@@ -1,0 +1,46 @@
+"""Fig. 12: relative performance of the 2-way (mobile-class) models.
+
+Paper: the smaller core amplifies RMOV overhead ("each RMOV behaves as one
+ALU instruction ... the impact becomes relatively large in the smaller
+configuration"); STRAIGHT-2way RE+ loses 7.4% on Dhrystone but wins 5.5% on
+CoreMark.  Reproduction shape: RAW is hurt more at 2-way than at 4-way, RE+
+recovers most of it, and the STRAIGHT-vs-SS gap is tighter than at 4-way.
+"""
+
+from repro.harness import fig11_performance_4way, fig12_performance_2way
+
+
+def test_fig12_performance_2way(regenerate):
+    result = regenerate(fig12_performance_2way)
+    perf = {
+        (r["workload"], r["model"]): r["relative_perf"] for r in result["rows"]
+    }
+
+    # RE+ >= RAW at the small core too.
+    for workload in ("dhrystone", "coremark"):
+        assert perf[(workload, "STRAIGHT-RE+")] >= perf[(workload, "STRAIGHT-RAW")] - 0.02
+
+    # STRAIGHT-2way is comparable to SS-2way (within ~25% either way),
+    # i.e. the architecture also works as a small efficient core (§VI-A).
+    for (workload, model), value in perf.items():
+        assert 0.75 < value < 1.35, (workload, model, value)
+
+
+def test_rmov_overhead_hurts_more_at_2way(regenerate):
+    """The paper's cross-figure observation: RAW's relative performance is
+    worse on the 2-way machine than on the 4-way machine (fewer empty issue
+    slots to absorb the added RMOVs)."""
+    result_4way = fig11_performance_4way()
+    result_2way = regenerate(fig12_performance_2way)
+    raw_4way = {
+        r["workload"]: r["relative_perf"]
+        for r in result_4way["rows"]
+        if r["model"] == "STRAIGHT-RAW"
+    }
+    raw_2way = {
+        r["workload"]: r["relative_perf"]
+        for r in result_2way["rows"]
+        if r["model"] == "STRAIGHT-RAW"
+    }
+    for workload in ("dhrystone", "coremark"):
+        assert raw_2way[workload] <= raw_4way[workload] + 0.03

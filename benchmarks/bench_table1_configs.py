@@ -1,0 +1,26 @@
+"""Table I: evaluated models — regenerate and check the printed parameters."""
+
+from repro.harness import table1
+
+
+def test_table1_configs(regenerate):
+    result = regenerate(table1)
+    rows = {r["Model"]: r for r in result["rows"]}
+    assert set(rows) == {"SS-2way", "STRAIGHT-2way", "SS-4way", "STRAIGHT-4way"}
+
+    # The table's defining equalizations (paper Table I):
+    for way in ("2way", "4way"):
+        ss, st = rows[f"SS-{way}"], rows[f"STRAIGHT-{way}"]
+        assert ss["ROB Capacity"] == st["ROB Capacity"]
+        assert ss["Register File"] == st["Register File"]
+        assert ss["Scheduler"] == st["Scheduler"]
+        assert ss["LSQ"] == st["LSQ"]
+        assert ss["Commit Width"] == st["Commit Width"]
+        # ...except the front-end: STRAIGHT is 6 deep, SS 8 deep.
+        assert ss["Front-end latency"] == 8
+        assert st["Front-end latency"] == 6
+
+    assert rows["SS-2way"]["ROB Capacity"] == 64
+    assert rows["SS-4way"]["ROB Capacity"] == 224
+    assert rows["SS-2way"]["L3"] == "N/A"
+    assert rows["SS-4way"]["L3"] != "N/A"

@@ -1,0 +1,29 @@
+"""Shared benchmark helpers.
+
+Each ``bench_*`` file regenerates one paper table/figure through
+:mod:`repro.harness`, asserts the *shape* of the result (who wins, rough
+factors, orderings — see EXPERIMENTS.md for paper-vs-measured), and reports
+the regeneration wall time through pytest-benchmark.
+
+Timing runs are memoized inside the harness, so a figure's first
+regeneration does the simulation work and subsequent figures reuse shared
+runs, exactly like the paper's evaluation scripts would.
+"""
+
+import pytest
+
+
+def run_once(benchmark, experiment):
+    """Benchmark one experiment with a single timed round."""
+    return benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    def _regenerate(experiment):
+        result = run_once(benchmark, experiment)
+        print()
+        print(result["text"])
+        return result
+
+    return _regenerate

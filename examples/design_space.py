@@ -1,0 +1,45 @@
+"""Design-space exploration: the window-scalability argument.
+
+Run:  python examples/design_space.py
+
+The paper argues STRAIGHT's recovery mechanism removes the classic penalty
+for growing the instruction window (the RMT-restoring ROB walk grows with
+occupancy).  This sweep scales ROB size for both architectures — keeping
+STRAIGHT's MAX_RP = max_distance + ROB registers, and giving SS the same
+register-file size — and reports cycles on the CoreMark-like workload.
+"""
+
+from repro.core.configs import ss_4way, straight_4way
+from repro.core.api import simulate
+from repro.workloads import build_workload
+
+
+def main():
+    binaries = build_workload("coremark")
+    print("ROB sweep on CoreMark-like (gshare, 4-way issue)\n")
+    header = (
+        f"{'ROB':>5s} {'SS cycles':>10s} {'ST cycles':>10s} "
+        f"{'ST/SS perf':>10s} {'SS walk':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for rob in (32, 64, 128, 224, 320):
+        regs = 31 + rob + 1
+        ss_cfg = ss_4way(rob_entries=rob, phys_regs=regs, name=f"SS-rob{rob}")
+        st_cfg = straight_4way(
+            rob_entries=rob, phys_regs=regs, name=f"ST-rob{rob}"
+        )
+        ss = simulate(binaries.riscv, ss_cfg, warm_caches=True)
+        st = simulate(binaries.straight_re, st_cfg, warm_caches=True)
+        print(
+            f"{rob:5d} {ss.cycles:10d} {st.cycles:10d} "
+            f"{ss.cycles / st.cycles:10.3f} {ss.stats.rob_walk_cycles:8d}"
+        )
+    print(
+        "\nSS's walk cycles grow with the window while STRAIGHT recovery\n"
+        "stays O(1) — the scalability argument of paper §III-B."
+    )
+
+
+if __name__ == "__main__":
+    main()

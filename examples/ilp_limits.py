@@ -1,0 +1,50 @@
+"""ILP-limit study: how much parallelism is there, and who captures it?
+
+Run:  python examples/ilp_limits.py
+
+For the CoreMark-like workload, computes the dataflow-limit IPC (infinite
+machine), the window-limited ceiling at several window sizes, and the IPC
+the Table I cores actually achieve — quantifying the paper's §I motivation
+that a scalable instruction window exploits "much larger ILP".
+"""
+
+from repro.core import simulate, ss_4way, straight_4way
+from repro.core.api import run_functional
+from repro.uarch.ilp import dataflow_limit, window_limited_ipc
+from repro.workloads import build_workload
+
+
+def main():
+    binaries = build_workload("coremark")
+
+    print("Dataflow limits (oracle fetch, infinite width):\n")
+    traces = {}
+    for label in ("SS", "STRAIGHT-RE+"):
+        result = run_functional(binaries.all()[label], collect_trace=True)
+        traces[label] = result.interpreter.trace
+        report = dataflow_limit(traces[label])
+        print(
+            f"  {label:13s} {report.instructions:7d} instrs, critical path "
+            f"{report.critical_path:6d} cycles -> dataflow IPC {report.dataflow_ipc:6.2f}"
+        )
+
+    print("\nWindow-limited IPC ceilings (STRAIGHT RE+ trace):\n")
+    print(f"  {'window':>7s} {'IPC ceiling':>12s}")
+    for window in (8, 16, 64, 224, 1024):
+        ipc = window_limited_ipc(traces["STRAIGHT-RE+"], window)
+        print(f"  {window:7d} {ipc:12.2f}")
+
+    print("\nAchieved IPC on the Table I 4-way cores:\n")
+    ss = simulate(binaries.riscv, ss_4way(), warm_caches=True)
+    st = simulate(binaries.straight_re, straight_4way(), warm_caches=True)
+    print(f"  SS-4way        {ss.stats.ipc:6.2f}")
+    print(f"  STRAIGHT-4way  {st.stats.ipc:6.2f}")
+    print(
+        "\nThe gap between the achieved IPC and the window ceilings is what\n"
+        "branch recovery and structural limits cost; STRAIGHT closes part of\n"
+        "it by making the large window cheap (paper §I, §III-B)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Misprediction-recovery study: sweep branch predictability.
+
+Run:  python examples/mispredict_study.py
+
+Generates a family of workloads whose branch outcomes range from fully
+biased (predictable) to LCG-random (hopeless), and measures how the gap
+between the conventional superscalar and STRAIGHT grows with the
+misprediction rate — the causal mechanism behind the paper's Fig. 13.
+"""
+
+from repro.core import build, simulate, ss_4way, straight_4way
+
+TEMPLATE = """
+int main() {{
+    int lcg = 987654321;
+    int acc = 0;
+    for (int i = 0; i < 800; i++) {{
+        lcg = lcg * 1103515245 + 12345;
+        int noise = (lcg >> 16) & 1023;
+        if (noise < {threshold}) acc += i;
+        else acc -= i * 3;
+        acc ^= noise;
+    }}
+    __out(acc);
+    return 0;
+}}
+"""
+
+
+def main():
+    print("threshold = P(taken)*1024; 512 is a coin flip\n")
+    header = (
+        f"{'thresh':>6s} {'SS misp':>8s} {'SS cyc':>8s} {'ST cyc':>8s} "
+        f"{'ST speedup':>10s} {'SS walk cyc':>11s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for threshold in (0, 128, 256, 512, 768, 1024):
+        binaries = build(TEMPLATE.format(threshold=threshold))
+        ss = simulate(binaries.riscv, ss_4way(), warm_caches=True)
+        st = simulate(binaries.straight_re, straight_4way(), warm_caches=True)
+        assert ss.output == st.output
+        print(
+            f"{threshold:6d} {ss.stats.branch_mispredicts:8d} "
+            f"{ss.cycles:8d} {st.cycles:8d} "
+            f"{ss.cycles / st.cycles:10.3f} {ss.stats.rob_walk_cycles:11d}"
+        )
+    print(
+        "\nAs branches get harder, the superscalar's ROB-walk recovery cost\n"
+        "grows while STRAIGHT keeps paying a single ROB-entry read per miss."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Reproduce every table and figure of the paper in one run.
+
+Run:  python examples/reproduce_paper.py            # everything (~2-3 min)
+      python examples/reproduce_paper.py fig11 fig16  # a subset
+
+Prints each experiment's series in paper order; the same runners back the
+pytest-benchmark suite under benchmarks/.
+"""
+
+import sys
+import time
+
+from repro.harness import ALL_EXPERIMENTS
+
+ORDER = [
+    "table1",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "sensitivity_maxdist",
+    "fig17",
+]
+
+
+def main(selected):
+    names = selected or ORDER
+    total_start = time.time()
+    for name in names:
+        runner = ALL_EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; choose from {ORDER}")
+            return 1
+        start = time.time()
+        result = runner()
+        print()
+        print(result["text"])
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]")
+    print(f"\nTotal: {time.time() - total_start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

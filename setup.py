@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+`pip install -e .` uses pyproject.toml; this file additionally enables
+`python setup.py develop` as a fallback for fully offline environments
+where pip's editable-install path is unavailable (it needs the `wheel`
+package, which an air-gapped box may not have).
+"""
+
+from setuptools import setup
+
+setup()

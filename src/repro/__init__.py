@@ -1,0 +1,14 @@
+"""repro — a full-stack reproduction of STRAIGHT (MICRO 2018).
+
+Start with :mod:`repro.core`::
+
+    from repro.core import build, simulate, ss_4way, straight_4way
+
+    binaries = build(mini_c_source)
+    result = simulate(binaries.straight_re, straight_4way(), warm_caches=True)
+
+See README.md for the architecture map, DESIGN.md for the system inventory,
+and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

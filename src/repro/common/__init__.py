@@ -1,0 +1,41 @@
+"""Shared low-level utilities: 32-bit arithmetic, errors.
+
+Everything in the reproduction models a 32-bit machine (the paper equalizes
+STRAIGHT to RV32IM), so all word arithmetic funnels through :mod:`.bitops`.
+"""
+
+from repro.common.bitops import (
+    MASK32,
+    sext,
+    to_signed,
+    to_unsigned,
+    wrap32,
+    bits,
+    fits_signed,
+    fits_unsigned,
+)
+from repro.common.errors import (
+    ReproError,
+    AsmError,
+    LinkError,
+    CompileError,
+    SimulationError,
+    IRError,
+)
+
+__all__ = [
+    "MASK32",
+    "sext",
+    "to_signed",
+    "to_unsigned",
+    "wrap32",
+    "bits",
+    "fits_signed",
+    "fits_unsigned",
+    "ReproError",
+    "AsmError",
+    "LinkError",
+    "CompileError",
+    "SimulationError",
+    "IRError",
+]

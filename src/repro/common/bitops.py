@@ -1,0 +1,52 @@
+"""32-bit word arithmetic helpers.
+
+Python integers are unbounded; every architectural value in the reproduction
+is stored as an *unsigned* 32-bit integer (0 .. 2**32-1) and converted to a
+signed view only where an operation's semantics demand it (arithmetic shifts,
+signed compares, signed division).
+"""
+
+MASK32 = 0xFFFF_FFFF
+
+
+def wrap32(value):
+    """Wrap an arbitrary Python int into an unsigned 32-bit word."""
+    return value & MASK32
+
+
+def to_signed(value):
+    """Interpret an unsigned 32-bit word as a signed two's-complement int."""
+    value &= MASK32
+    if value >= 0x8000_0000:
+        return value - 0x1_0000_0000
+    return value
+
+
+def to_unsigned(value):
+    """Alias of :func:`wrap32`; named for call-site readability."""
+    return value & MASK32
+
+
+def sext(value, width):
+    """Sign-extend the low ``width`` bits of ``value`` to a Python int."""
+    value &= (1 << width) - 1
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def bits(value, hi, lo):
+    """Extract the inclusive bit-field ``value[hi:lo]`` as an unsigned int."""
+    if hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    return (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def fits_signed(value, width):
+    """True when ``value`` is representable as a ``width``-bit signed field."""
+    return -(1 << (width - 1)) <= value < (1 << (width - 1))
+
+
+def fits_unsigned(value, width):
+    """True when ``value`` is representable as a ``width``-bit unsigned field."""
+    return 0 <= value < (1 << width)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can catch
+library failures without masking genuine programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: verifier failures, invalid builder usage."""
+
+
+class CompileError(ReproError):
+    """Front-end or back-end compilation failure (has source context)."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class AsmError(ReproError):
+    """Assembler failure: unknown mnemonic, out-of-range field, bad label."""
+
+
+class LinkError(ReproError):
+    """Linker failure: duplicate or undefined symbols."""
+
+
+class SimulationError(ReproError):
+    """Functional or timing simulation failure (bad memory access, etc.)."""

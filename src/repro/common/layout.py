@@ -1,0 +1,18 @@
+"""Shared memory layout for both target machines.
+
+Both simulated machines (STRAIGHT and the RV32IM superscalar baseline) use a
+32-bit byte-addressed flat memory with word-aligned accesses and the same
+segment layout, so compiled programs are directly comparable.
+"""
+
+#: Base byte address of the text (code) segment.
+TEXT_BASE = 0x0000_1000
+
+#: Base byte address of the data (globals) segment.
+DATA_BASE = 0x0010_0000
+
+#: Initial stack pointer (stack grows toward lower addresses).
+STACK_TOP = 0x0080_0000
+
+#: Bytes per instruction / memory word.
+WORD_BYTES = 4

@@ -1,0 +1,95 @@
+"""Dynamic instruction trace records.
+
+The functional simulators of both ISAs emit a common trace format that the
+shared cycle-level timing model (:mod:`repro.uarch`) replays.  This mirrors
+the paper's methodology of sharing back-end simulator code between the two
+architectures (§V-A) while keeping ISA-specific front-end behaviour pluggable.
+
+Register identifiers in a trace are *dependence tags*:
+
+* for RV32IM entries they are logical register numbers (1..31; ``x0`` and
+  immediates appear as ``None``) — the timing model's rename stage maps them
+  to physical registers, consuming RMT ports and free-list entries;
+* for STRAIGHT entries they are already physical register numbers (the RP
+  values computed by the operand-determination logic), because STRAIGHT has
+  no renaming — exactly the paper's point.
+"""
+
+#: Operation classes, used by the scheduler to pick a functional-unit port
+#: and an execution latency.
+OP_CLASSES = (
+    "alu",
+    "mul",
+    "div",
+    "load",
+    "store",
+    "branch",  # conditional branch
+    "jump",  # unconditional jump / call / return
+    "nop",
+    "sys",  # OUT / ECALL / HALT
+)
+
+
+class TraceEntry:
+    """One retired dynamic instruction."""
+
+    __slots__ = (
+        "pc",
+        "op_class",
+        "mnemonic",
+        "dest",
+        "srcs",
+        "is_branch",
+        "taken",
+        "target_pc",
+        "next_pc",
+        "mem_addr",
+        "is_call",
+        "is_return",
+        "is_rmov",
+        "is_spadd",
+        "src_distances",
+    )
+
+    def __init__(
+        self,
+        pc,
+        op_class,
+        mnemonic,
+        dest=None,
+        srcs=(),
+        taken=False,
+        target_pc=None,
+        next_pc=None,
+        mem_addr=None,
+        is_call=False,
+        is_return=False,
+        is_rmov=False,
+        is_spadd=False,
+        src_distances=(),
+    ):
+        self.pc = pc
+        self.op_class = op_class
+        self.mnemonic = mnemonic
+        self.dest = dest
+        self.srcs = tuple(s for s in srcs if s is not None)
+        self.is_branch = op_class == "branch"
+        self.taken = taken
+        self.target_pc = target_pc
+        self.next_pc = next_pc
+        self.mem_addr = mem_addr
+        self.is_call = is_call
+        self.is_return = is_return
+        self.is_rmov = is_rmov
+        self.is_spadd = is_spadd
+        self.src_distances = tuple(src_distances)
+
+    def changes_flow(self):
+        """True for any instruction that redirects fetch when taken."""
+        return self.op_class in ("branch", "jump")
+
+    def __repr__(self):
+        return (
+            f"TraceEntry(pc={self.pc:#x}, {self.mnemonic}, dest={self.dest}, "
+            f"srcs={self.srcs})"
+        )

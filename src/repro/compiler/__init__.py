@@ -1,0 +1,17 @@
+"""Compiler backends: SSA IR -> STRAIGHT / RV32IM machine code.
+
+* :func:`repro.compiler.straight_backend.compile_to_straight` implements the
+  paper's §IV algorithm: operation translation, the calling convention of
+  Fig. 5/6, distance fixing at merges, distance bounding, and the RE+
+  redundancy elimination of §IV-D.
+* :func:`repro.compiler.riscv_backend.compile_to_riscv` is the conventional
+  baseline backend (clang/LLVM substitute): isel to virtual registers,
+  phi lowering to parallel copies, linear-scan register allocation with
+  callee-saved preferences across calls, standard RV32 frames.
+"""
+
+from repro.compiler.data_layout import DataLayout
+from repro.compiler.straight_backend import compile_to_straight
+from repro.compiler.riscv_backend import compile_to_riscv
+
+__all__ = ["DataLayout", "compile_to_straight", "compile_to_riscv"]

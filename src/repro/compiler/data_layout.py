@@ -1,0 +1,32 @@
+"""Global variable layout, shared by both backends and linkers.
+
+Assigning data addresses *before* code generation lets both backends emit
+absolute address materialization (LUI/ORI pairs) without relocations, and
+guarantees the two binaries of one program agree on every global's address —
+which keeps their memory traces comparable in the timing model.
+"""
+
+from repro.common.layout import DATA_BASE, WORD_BYTES
+
+
+class DataLayout:
+    """Addresses and the initial data image for a module's globals."""
+
+    def __init__(self, module, data_base=DATA_BASE):
+        self.data_base = data_base
+        self.addresses = {}
+        self.size_words = 0
+        for name, var in module.globals.items():
+            self.addresses[name] = data_base + self.size_words * WORD_BYTES
+            self.size_words += var.size_words
+        self._module = module
+
+    def address_of(self, name):
+        return self.addresses[name]
+
+    def data_words(self):
+        """The full initial data segment image."""
+        words = []
+        for var in self._module.globals.values():
+            words.extend(var.init_words())
+        return words

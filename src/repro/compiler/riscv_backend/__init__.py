@@ -1,0 +1,5 @@
+"""RV32IM code generation (the conventional baseline backend)."""
+
+from repro.compiler.riscv_backend.driver import compile_to_riscv
+
+__all__ = ["compile_to_riscv"]

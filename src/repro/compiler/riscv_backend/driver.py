@@ -1,0 +1,110 @@
+"""RISC-V backend driver: isel -> regalloc -> frames -> assembly."""
+
+from repro.common.errors import CompileError
+from repro.ir.instructions import Br
+from repro.ir.passes.split_critical_edges import split_critical_edges
+from repro.ir.verifier import verify_function
+from repro.riscv.isa import RInstr
+from repro.riscv.assembler import AsmUnit
+from repro.riscv.linker import link_program, startup_stub
+from repro.compiler.data_layout import DataLayout
+from repro.compiler.riscv_backend.isel import RiscvISel
+from repro.compiler.riscv_backend.regalloc import (
+    build_intervals,
+    linear_scan,
+    eliminate_dead_ops,
+    FrameBuilder,
+)
+
+
+class RiscvCompilation:
+    """The result of compiling a module to RV32IM assembly."""
+
+    def __init__(self, module, units, layout, stats):
+        self.module = module
+        self.units = units
+        self.layout = layout
+        self.stats = stats
+
+    def asm_text(self):
+        return "\n".join(unit.to_text() for unit in self.units)
+
+    def link(self):
+        return link_program(
+            [startup_stub()] + self.units,
+            data_words=self.layout.data_words(),
+            data_base=self.layout.data_base,
+        )
+
+
+def compile_to_riscv(module, layout=None):
+    """Compile an SSA IR module to RV32IM assembly."""
+    layout = layout or DataLayout(module)
+    units = []
+    stats = {}
+    for func in module.functions.values():
+        unit, func_stats = _compile_function(func, layout)
+        units.append(unit)
+        stats[func.name] = func_stats
+    return RiscvCompilation(module, units, layout, stats)
+
+
+def _ensure_entry_has_no_preds(func):
+    entry = func.entry
+    if func.predecessors()[entry]:
+        from repro.ir.basicblock import BasicBlock
+
+        pre = BasicBlock(func.unique_name("preentry"), parent=func)
+        pre.append(Br(entry))
+        func.blocks.insert(0, pre)
+
+
+def _compile_function(func, layout):
+    split_critical_edges(func)
+    _ensure_entry_has_no_preds(func)
+    verify_function(func)
+    isel = RiscvISel(func, layout)
+    rvfunc = isel.run()
+    dead = eliminate_dead_ops(rvfunc)
+    intervals = build_intervals(rvfunc)
+    allocation = linear_scan(intervals)
+    frame = FrameBuilder(rvfunc, allocation)
+    frame_words = frame.run()
+    unit = _emit_assembly(rvfunc)
+    func_stats = {
+        "instructions": len(unit.instructions()),
+        "spilled_vregs": len(allocation.spilled),
+        "frame_words": frame_words,
+        "dead_ops_removed": dead,
+    }
+    return unit, func_stats
+
+
+def _emit_assembly(rvfunc):
+    unit = AsmUnit()
+    for block in rvfunc.blocks:
+        unit.add_label(block.label)
+        for op in block.ops:
+            unit.add_instr(_to_rinstr(op))
+    return unit
+
+
+def _to_rinstr(op):
+    label = None
+    if isinstance(op.target, str):
+        label = op.target  # direct call to a function entry label
+    elif op.target is not None:
+        label = op.target.label
+    for reg in (op.rd, op.rs1, op.rs2):
+        if reg is not None and not isinstance(reg, int):
+            raise CompileError(f"unallocated register {reg!r} in {op!r}")
+    if op.mnemonic == "J":
+        return RInstr("JAL", rd=0, label=label)
+    return RInstr(
+        op.mnemonic,
+        rd=op.rd,
+        rs1=op.rs1,
+        rs2=op.rs2,
+        imm=op.imm,
+        label=label,
+    )

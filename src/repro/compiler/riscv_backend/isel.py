@@ -1,0 +1,458 @@
+"""Instruction selection: SSA IR -> RV32IM machine IR with virtual registers.
+
+Follows the standard RISC-V conventions: arguments in a0..a7, result in a0,
+ra as the link register, sp-relative frames.  Compare-and-branch fusion emits
+RISC-V's native BLT/BGE/etc. when an ICmp's only consumer is the block's
+conditional branch (what clang does), keeping the baseline honest.
+
+Virtual registers are never assigned to a0..a7/ra; those are used only at
+call/return/ecall boundaries via explicit moves, which keeps the linear-scan
+allocator free of physical-register interference bookkeeping.
+"""
+
+from repro.common.bitops import to_signed, fits_signed, sext
+from repro.common.errors import CompileError
+from repro.ir.values import ConstantInt, Argument, GlobalVariable, UndefValue
+from repro.ir.instructions import (
+    BinOp,
+    ICmp,
+    Load,
+    Store,
+    Alloca,
+    GetElementPtr,
+    Call,
+    Ret,
+    Br,
+    CondBr,
+    Phi,
+    Output,
+    Select,
+)
+from repro.riscv.linker import ECALL_OUT, ECALL_EXIT
+from repro.compiler.riscv_backend.machine_ir import VReg, RVOp, RVFunction
+
+# Physical register numbers used by the convention.
+ZERO, RA, SP, SCRATCH1, SCRATCH2 = 0, 1, 2, 3, 4
+ARG_REGS = list(range(10, 18))  # a0..a7
+
+_BINOP_TABLE = {
+    "add": ("ADD", "ADDI"),
+    "sub": ("SUB", None),
+    "mul": ("MUL", None),
+    "sdiv": ("DIV", None),
+    "udiv": ("DIVU", None),
+    "srem": ("REM", None),
+    "urem": ("REMU", None),
+    "and": ("AND", "ANDI"),
+    "or": ("OR", "ORI"),
+    "xor": ("XOR", "XORI"),
+    "shl": ("SLL", "SLLI"),
+    "lshr": ("SRL", "SRLI"),
+    "ashr": ("SRA", "SRAI"),
+}
+_COMMUTATIVE = {"add", "mul", "and", "or", "xor"}
+
+#: icmp predicate -> (branch-if-true mnemonic, operands swapped)
+_BRANCH_TABLE = {
+    "eq": ("BEQ", False),
+    "ne": ("BNE", False),
+    "slt": ("BLT", False),
+    "sge": ("BGE", False),
+    "ult": ("BLTU", False),
+    "uge": ("BGEU", False),
+    "sgt": ("BLT", True),
+    "sle": ("BGE", True),
+    "ugt": ("BLTU", True),
+    "ule": ("BGEU", True),
+}
+
+
+class RiscvISel:
+    """Translates one IR function into an :class:`RVFunction`."""
+
+    def __init__(self, func, layout):
+        self.func = func
+        self.layout = layout
+        self.rvfunc = RVFunction(
+            func.name, len(func.params), not func.return_type.is_void()
+        )
+        self.block_map = {}
+        self.vreg_map = {}  # IR value -> VReg
+        self.current = None
+        self.fused_icmps = set()
+        self.use_counts = self._count_uses()
+
+    def _count_uses(self):
+        counts = {}
+        for instr in self.func.instructions():
+            for op in instr.operands:
+                counts[op] = counts.get(op, 0) + 1
+        return counts
+
+    # -- plumbing -----------------------------------------------------------
+
+    def emit(self, mnemonic, rd=None, rs1=None, rs2=None, imm=None, target=None):
+        op = RVOp(mnemonic, rd, rs1, rs2, imm, target)
+        self.current.append(op)
+        return op
+
+    def new_vreg(self, name=""):
+        return VReg(name)
+
+    def run(self):
+        if len(self.func.params) > len(ARG_REGS):
+            raise CompileError(
+                f"{self.func.name}: more than {len(ARG_REGS)} parameters"
+            )
+        for index, block in enumerate(self.func.blocks):
+            label = (
+                self.func.name if index == 0 else f"{self.func.name}.{block.name}"
+            )
+            self.block_map[block] = self.rvfunc.add_block(label, block)
+        for block in self.func.blocks:
+            for instr in block.instructions:
+                if isinstance(instr, Alloca):
+                    self.rvfunc.alloca_offsets[instr] = self.rvfunc.alloca_words
+                    self.rvfunc.alloca_words += instr.size_words
+                elif isinstance(instr, Phi):
+                    self.vreg_map[instr] = self.new_vreg(instr.name)
+        for index, block in enumerate(self.func.blocks):
+            self.current = self.block_map[block]
+            if index == 0:
+                self._emit_arg_moves()
+            for instr in block.non_phi_instructions():
+                self.select_instruction(instr)
+        self._lower_phis()
+        return self.rvfunc
+
+    def _emit_arg_moves(self):
+        for arg, phys in zip(self.func.params, ARG_REGS):
+            vreg = self.new_vreg(arg.name)
+            self.vreg_map[arg] = vreg
+            self.emit("ADDI", rd=vreg, rs1=phys, imm=0)
+
+    # -- operand resolution ----------------------------------------------------
+
+    def li(self, rd, value):
+        """Materialize a 32-bit constant into ``rd`` (LUI/ADDI expansion)."""
+        signed = to_signed(value)
+        if fits_signed(signed, 12):
+            self.emit("ADDI", rd=rd, rs1=ZERO, imm=signed)
+            return rd
+        lo = sext(value & 0xFFF, 12)
+        hi = ((value - lo) >> 12) & 0xFFFFF
+        self.emit("LUI", rd=rd, imm=hi)
+        if lo:
+            self.emit("ADDI", rd=rd, rs1=rd, imm=lo)
+        return rd
+
+    def resolve(self, ir_value):
+        """Produce a VReg holding ``ir_value`` at this point."""
+        if isinstance(ir_value, ConstantInt):
+            return self.li(self.new_vreg("const"), ir_value.value)
+        if isinstance(ir_value, UndefValue):
+            vreg = self.new_vreg("undef")
+            self.emit("ADDI", rd=vreg, rs1=ZERO, imm=0)
+            return vreg
+        if isinstance(ir_value, GlobalVariable):
+            return self.li(
+                self.new_vreg(ir_value.name), self.layout.address_of(ir_value.name)
+            )
+        if isinstance(ir_value, Alloca):
+            vreg = self.new_vreg(ir_value.name)
+            offset = self.rvfunc.alloca_offsets[ir_value] * 4
+            self.emit("FRAMEADDR", rd=vreg, imm=offset)
+            return vreg
+        vreg = self.vreg_map.get(ir_value)
+        if vreg is None:
+            raise CompileError(f"{self.func.name}: no vreg for {ir_value!r}")
+        return vreg
+
+    def define(self, ir_value, vreg):
+        self.vreg_map[ir_value] = vreg
+        return vreg
+
+    # -- per-instruction selection ---------------------------------------------
+
+    def select_instruction(self, instr):
+        if instr in self.fused_icmps:
+            return
+        if isinstance(instr, BinOp):
+            self.define(instr, self._select_binop(instr))
+        elif isinstance(instr, ICmp):
+            self.define(instr, self._select_icmp(instr))
+        elif isinstance(instr, Select):
+            self.define(instr, self._select_select(instr))
+        elif isinstance(instr, GetElementPtr):
+            self.define(instr, self._select_gep(instr))
+        elif isinstance(instr, Load):
+            vreg = self.new_vreg(instr.name)
+            self.emit("LW", rd=vreg, rs1=self.resolve(instr.ptr), imm=0)
+            self.define(instr, vreg)
+        elif isinstance(instr, Store):
+            value = self.resolve(instr.value)
+            ptr = self.resolve(instr.ptr)
+            self.emit("SW", rs1=ptr, rs2=value, imm=0)
+        elif isinstance(instr, Alloca):
+            pass
+        elif isinstance(instr, Output):
+            self.emit("ADDI", rd=ARG_REGS[0], rs1=self.resolve(instr.value), imm=0)
+            self.emit("ADDI", rd=17, rs1=ZERO, imm=ECALL_OUT)
+            self.emit("ECALL")
+        elif isinstance(instr, Call):
+            self._select_call(instr)
+        elif isinstance(instr, Ret):
+            if instr.value is not None:
+                self.emit(
+                    "ADDI", rd=ARG_REGS[0], rs1=self.resolve(instr.value), imm=0
+                )
+            self.emit("RET")
+        elif isinstance(instr, Br):
+            self.emit("J", target=self.block_map[instr.target])
+        elif isinstance(instr, CondBr):
+            self._select_condbr(instr)
+        else:
+            raise CompileError(f"{self.func.name}: cannot select {instr!r}")
+
+    def _select_binop(self, instr):
+        op = instr.opcode
+        reg_op, imm_op = _BINOP_TABLE[op]
+        lhs, rhs = instr.lhs, instr.rhs
+        if isinstance(lhs, ConstantInt) and op in _COMMUTATIVE:
+            lhs, rhs = rhs, lhs
+        vreg = self.new_vreg(instr.name)
+        if isinstance(rhs, ConstantInt):
+            const = to_signed(rhs.value)
+            if op == "sub" and fits_signed(-const, 12):
+                self.emit("ADDI", rd=vreg, rs1=self.resolve(lhs), imm=-const)
+                return vreg
+            if imm_op in ("SLLI", "SRLI", "SRAI"):
+                self.emit(imm_op, rd=vreg, rs1=self.resolve(lhs), imm=rhs.value & 31)
+                return vreg
+            if imm_op is not None and fits_signed(const, 12):
+                self.emit(imm_op, rd=vreg, rs1=self.resolve(lhs), imm=const)
+                return vreg
+        self.emit(reg_op, rd=vreg, rs1=self.resolve(lhs), rs2=self.resolve(rhs))
+        return vreg
+
+    def _select_icmp(self, instr):
+        pred = instr.pred
+        lhs, rhs = instr.lhs, instr.rhs
+        vreg = self.new_vreg(instr.name)
+        if pred in ("sgt", "ugt", "sle", "ule"):
+            lhs, rhs = rhs, lhs
+            pred = {"sgt": "slt", "ugt": "ult", "sle": "sge", "ule": "uge"}[pred]
+        if pred in ("slt", "ult"):
+            mnemonic = "SLT" if pred == "slt" else "SLTU"
+            if isinstance(rhs, ConstantInt) and fits_signed(to_signed(rhs.value), 12):
+                self.emit(
+                    mnemonic + "I" if pred == "slt" else "SLTIU",
+                    rd=vreg,
+                    rs1=self.resolve(lhs),
+                    imm=to_signed(rhs.value),
+                )
+            else:
+                self.emit(
+                    mnemonic, rd=vreg, rs1=self.resolve(lhs), rs2=self.resolve(rhs)
+                )
+            return vreg
+        if pred in ("sge", "uge"):
+            mnemonic = "SLT" if pred == "sge" else "SLTU"
+            self.emit(
+                mnemonic, rd=vreg, rs1=self.resolve(lhs), rs2=self.resolve(rhs)
+            )
+            self.emit("XORI", rd=vreg, rs1=vreg, imm=1)
+            return vreg
+        diff = self._emit_diff(lhs, rhs)
+        if pred == "eq":
+            self.emit("SLTIU", rd=vreg, rs1=diff, imm=1)
+        else:  # ne
+            self.emit("SLTU", rd=vreg, rs1=ZERO, rs2=diff)
+        return vreg
+
+    def _emit_diff(self, lhs, rhs):
+        if isinstance(rhs, ConstantInt) and rhs.value == 0:
+            return self.resolve(lhs)
+        if isinstance(lhs, ConstantInt) and lhs.value == 0:
+            return self.resolve(rhs)
+        vreg = self.new_vreg("diff")
+        self.emit("XOR", rd=vreg, rs1=self.resolve(lhs), rs2=self.resolve(rhs))
+        return vreg
+
+    def _select_select(self, instr):
+        cond = self.resolve(instr.cond)
+        nz = self.new_vreg("nz")
+        self.emit("SLTU", rd=nz, rs1=ZERO, rs2=cond)
+        mask = self.new_vreg("mask")
+        self.emit("SUB", rd=mask, rs1=ZERO, rs2=nz)
+        a_side = self.new_vreg()
+        self.emit("AND", rd=a_side, rs1=self.resolve(instr.operands[1]), rs2=mask)
+        inv = self.new_vreg()
+        self.emit("XORI", rd=inv, rs1=mask, imm=-1)
+        b_side = self.new_vreg()
+        self.emit("AND", rd=b_side, rs1=self.resolve(instr.operands[2]), rs2=inv)
+        result = self.new_vreg(instr.name)
+        self.emit("OR", rd=result, rs1=a_side, rs2=b_side)
+        return result
+
+    def _select_gep(self, instr):
+        base_ir, index_ir = instr.base, instr.index
+        vreg = self.new_vreg(instr.name)
+        if isinstance(index_ir, ConstantInt):
+            byte_off = to_signed(index_ir.value) * 4
+            if isinstance(base_ir, Alloca):
+                total = self.rvfunc.alloca_offsets[base_ir] * 4 + byte_off
+                self.emit("FRAMEADDR", rd=vreg, imm=total)
+                return vreg
+            if fits_signed(byte_off, 12):
+                self.emit("ADDI", rd=vreg, rs1=self.resolve(base_ir), imm=byte_off)
+                return vreg
+            offset = self.li(self.new_vreg(), byte_off & 0xFFFFFFFF)
+            self.emit("ADD", rd=vreg, rs1=self.resolve(base_ir), rs2=offset)
+            return vreg
+        scaled = self.new_vreg("scaled")
+        self.emit("SLLI", rd=scaled, rs1=self.resolve(index_ir), imm=2)
+        self.emit("ADD", rd=vreg, rs1=self.resolve(base_ir), rs2=scaled)
+        return vreg
+
+    def _select_condbr(self, instr):
+        cond = instr.cond
+        iftrue = self.block_map[instr.iftrue]
+        iffalse = self.block_map[instr.iffalse]
+        if (
+            isinstance(cond, ICmp)
+            and cond.parent is instr.parent
+            and self.use_counts.get(cond, 0) == 1
+        ):
+            mnemonic, swapped = _BRANCH_TABLE[cond.pred]
+            lhs, rhs = cond.lhs, cond.rhs
+            if swapped:
+                lhs, rhs = rhs, lhs
+            self.fused_icmps.add(cond)
+            self.emit(
+                mnemonic,
+                rs1=self._branch_operand(lhs),
+                rs2=self._branch_operand(rhs),
+                target=iftrue,
+            )
+            self.emit("J", target=iffalse)
+            return
+        self.emit("BNE", rs1=self.resolve(cond), rs2=ZERO, target=iftrue)
+        self.emit("J", target=iffalse)
+
+    def _branch_operand(self, ir_value):
+        if isinstance(ir_value, ConstantInt) and ir_value.value == 0:
+            return ZERO
+        return self.resolve(ir_value)
+
+    def _select_call(self, instr):
+        callee = instr.callee_name()
+        if callee == "__halt":
+            self.emit("ADDI", rd=ARG_REGS[0], rs1=ZERO, imm=0)
+            self.emit("ADDI", rd=17, rs1=ZERO, imm=ECALL_EXIT)
+            self.emit("ECALL")
+            return
+        if len(instr.operands) > len(ARG_REGS):
+            raise CompileError(f"call to {callee}: too many arguments")
+        # Resolve argument values first (their materializations may be long),
+        # then move them into a0.. right before the JAL.
+        resolved = []
+        for arg in instr.operands:
+            if isinstance(arg, ConstantInt):
+                resolved.append(("const", arg.value))
+            else:
+                resolved.append(("vreg", self.resolve(arg)))
+        for (kind, payload), phys in zip(resolved, ARG_REGS):
+            if kind == "const":
+                self.li(phys, payload)
+            else:
+                self.emit("ADDI", rd=phys, rs1=payload, imm=0)
+        self.emit("JAL", rd=RA, target=callee)
+        self.rvfunc.makes_calls = True
+        if not instr.type.is_void():
+            vreg = self.new_vreg(instr.name)
+            self.emit("ADDI", rd=vreg, rs1=ARG_REGS[0], imm=0)
+            self.define(instr, vreg)
+
+    # -- phi lowering ----------------------------------------------------------
+
+    def _lower_phis(self):
+        """Insert sequentialized parallel copies in each merge predecessor."""
+        preds = self.func.predecessors()
+        for block in self.func.blocks:
+            phis = block.phis()
+            if not phis:
+                continue
+            for pred in preds[block]:
+                self._emit_parallel_copy(block, pred, phis)
+
+    def _emit_parallel_copy(self, block, pred, phis):
+        mpred = self.block_map[pred]
+        pending = {}
+        for phi in phis:
+            incoming = phi.incoming_for(pred)
+            dst = self.vreg_map[phi]
+            if incoming is phi:
+                continue
+            if isinstance(
+                incoming, (ConstantInt, GlobalVariable, Alloca, UndefValue)
+            ):
+                pending[dst] = incoming  # materializations never conflict
+            else:
+                source = self.vreg_map.get(incoming)
+                if source is None:
+                    raise CompileError(f"no vreg for phi incoming {incoming!r}")
+                if source is not dst:
+                    pending[dst] = source
+
+        while pending:
+            ready = [
+                dst
+                for dst in pending
+                if not any(src is dst for src in pending.values())
+            ]
+            if ready:
+                dst = ready[0]
+                source = pending.pop(dst)
+                if isinstance(source, VReg):
+                    mpred.insert_before_terminator(
+                        RVOp("ADDI", rd=dst, rs1=source, imm=0)
+                    )
+                else:
+                    self._insert_materialization(mpred, dst, source)
+            else:
+                # A copy cycle: save one destination's current value in a
+                # temporary and redirect its readers (the swap problem).
+                dst = next(iter(pending))
+                tmp = self.new_vreg("cyc")
+                mpred.insert_before_terminator(RVOp("ADDI", rd=tmp, rs1=dst, imm=0))
+                pending = {
+                    d: (tmp if s is dst else s) for d, s in pending.items()
+                }
+
+    def _insert_materialization(self, mpred, dst, source):
+        ops = []
+        if isinstance(source, UndefValue):
+            ops.append(RVOp("ADDI", rd=dst, rs1=ZERO, imm=0))
+        elif isinstance(source, ConstantInt):
+            ops.extend(self._li_ops(dst, source.value))
+        elif isinstance(source, GlobalVariable):
+            ops.extend(self._li_ops(dst, self.layout.address_of(source.name)))
+        elif isinstance(source, Alloca):
+            offset = self.rvfunc.alloca_offsets[source] * 4
+            ops.append(RVOp("FRAMEADDR", rd=dst, imm=offset))
+        else:
+            raise CompileError(f"bad phi incoming {source!r}")
+        for op in ops:
+            mpred.insert_before_terminator(op)
+
+    def _li_ops(self, rd, value):
+        signed = to_signed(value)
+        if fits_signed(signed, 12):
+            return [RVOp("ADDI", rd=rd, rs1=ZERO, imm=signed)]
+        lo = sext(value & 0xFFF, 12)
+        hi = ((value - lo) >> 12) & 0xFFFFF
+        ops = [RVOp("LUI", rd=rd, imm=hi)]
+        if lo:
+            ops.append(RVOp("ADDI", rd=rd, rs1=rd, imm=lo))
+        return ops

@@ -1,0 +1,112 @@
+"""Backend machine IR for RV32IM code generation.
+
+Instructions carry virtual registers (:class:`VReg`) or fixed physical
+register numbers (plain ints) in their operand fields; linear-scan register
+allocation replaces the former.  ``target`` holds a block (branches) or a
+callee name (calls).
+"""
+
+
+class VReg:
+    """A virtual register."""
+
+    _next_id = 0
+
+    def __init__(self, name=""):
+        self.id = VReg._next_id
+        VReg._next_id += 1
+        self.name = name
+
+    def __repr__(self):
+        return f"v{self.id}" + (f"({self.name})" if self.name else "")
+
+
+class RVOp:
+    """One machine operation with possibly-virtual operands."""
+
+    __slots__ = ("mnemonic", "rd", "rs1", "rs2", "imm", "target")
+
+    def __init__(self, mnemonic, rd=None, rs1=None, rs2=None, imm=None, target=None):
+        self.mnemonic = mnemonic
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.target = target
+
+    def is_call(self):
+        return self.mnemonic == "JAL" and isinstance(self.target, str)
+
+    def is_terminator(self):
+        if self.mnemonic in ("BEQ", "BNE", "BLT", "BGE", "BLTU", "BGEU", "RET"):
+            return True
+        return self.mnemonic in ("J",) or (
+            self.mnemonic == "JAL" and not isinstance(self.target, str)
+        )
+
+    def uses(self):
+        """Virtual registers read by this op."""
+        return [r for r in (self.rs1, self.rs2) if isinstance(r, VReg)]
+
+    def defs(self):
+        """Virtual registers written by this op."""
+        return [self.rd] if isinstance(self.rd, VReg) else []
+
+    def __repr__(self):
+        fields = [self.mnemonic]
+        for name in ("rd", "rs1", "rs2"):
+            value = getattr(self, name)
+            if value is not None:
+                fields.append(f"{name}={value}")
+        if self.imm is not None:
+            fields.append(f"imm={self.imm}")
+        if self.target is not None:
+            label = getattr(self.target, "label", self.target)
+            fields.append(f"-> {label}")
+        return " ".join(str(f) for f in fields)
+
+
+class RVBlock:
+    """A machine basic block."""
+
+    def __init__(self, label, ir_block=None):
+        self.label = label
+        self.ir_block = ir_block
+        self.ops = []
+
+    def append(self, op):
+        self.ops.append(op)
+        return op
+
+    def insert_before_terminator(self, op):
+        index = len(self.ops)
+        while index > 0 and self.ops[index - 1].is_terminator():
+            index -= 1
+        self.ops.insert(index, op)
+        return op
+
+    def __repr__(self):
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {op!r}" for op in self.ops)
+        return "\n".join(lines)
+
+
+class RVFunction:
+    """A function in backend machine form."""
+
+    def __init__(self, name, num_args, returns_value):
+        self.name = name
+        self.num_args = num_args
+        self.returns_value = returns_value
+        self.blocks = []
+        self.makes_calls = False
+        self.alloca_offsets = {}  # IR Alloca -> word offset within frame
+        self.alloca_words = 0
+
+    def add_block(self, label, ir_block=None):
+        block = RVBlock(label, ir_block)
+        self.blocks.append(block)
+        return block
+
+    def __repr__(self):
+        return "\n".join(repr(b) for b in self.blocks)

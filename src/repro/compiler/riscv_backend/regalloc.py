@@ -1,0 +1,302 @@
+"""Linear-scan register allocation and frame finalization for RV32IM.
+
+Classic Poletto–Sarkar linear scan over live intervals built from
+machine-level liveness.  Intervals that cross a call site may only receive
+callee-saved registers (s0..s11); others prefer temporaries (t0..t6).
+Spilled virtual registers are rewritten to loads/stores through two reserved
+scratch registers (gp/tp, unused by the runtime convention).
+"""
+
+from repro.common.errors import CompileError
+from repro.compiler.riscv_backend.machine_ir import VReg, RVOp
+
+T_REGS = [5, 6, 7, 28, 29, 30, 31]  # t0-t2, t3-t6
+S_REGS = [8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27]  # s0-s11
+SCRATCH1, SCRATCH2 = 3, 4  # gp, tp
+SP, RA = 2, 1
+
+
+class AllocationResult:
+    """Register assignment plus spill decisions."""
+
+    def __init__(self, assignment, spilled, used_callee_saved):
+        self.assignment = assignment  # VReg -> phys int
+        self.spilled = spilled  # ordered list of spilled VRegs
+        self.used_callee_saved = used_callee_saved  # sorted phys list
+
+
+class _Interval:
+    __slots__ = ("vreg", "start", "end", "crosses_call")
+
+    def __init__(self, vreg, start, end, crosses_call):
+        self.vreg = vreg
+        self.start = start
+        self.end = end
+        self.crosses_call = crosses_call
+
+    def __repr__(self):
+        return f"[{self.start},{self.end}] {self.vreg} call={self.crosses_call}"
+
+
+def _block_successors(rvfunc):
+    succs = {}
+    for block in rvfunc.blocks:
+        out = []
+        for op in block.ops:
+            if op.target is not None and not isinstance(op.target, str):
+                out.append(op.target)
+        succs[block] = out
+    return succs
+
+
+def _machine_liveness(rvfunc):
+    succs = _block_successors(rvfunc)
+    use, defs = {}, {}
+    for block in rvfunc.blocks:
+        u, d = set(), set()
+        for op in block.ops:
+            for reg in op.uses():
+                if reg not in d:
+                    u.add(reg)
+            for reg in op.defs():
+                d.add(reg)
+        use[block], defs[block] = u, d
+    live_in = {b: set() for b in rvfunc.blocks}
+    live_out = {b: set() for b in rvfunc.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(rvfunc.blocks):
+            out = set()
+            for succ in succs[block]:
+                out |= live_in[succ]
+            new_in = use[block] | (out - defs[block])
+            if out != live_out[block] or new_in != live_in[block]:
+                live_out[block], live_in[block] = out, new_in
+                changed = True
+    return live_in, live_out
+
+
+def build_intervals(rvfunc):
+    """Live intervals over the linearized op order, plus call positions."""
+    live_in, live_out = _machine_liveness(rvfunc)
+    position = 0
+    starts, ends = {}, {}
+    call_positions = []
+
+    def touch(reg, pos):
+        if reg not in starts:
+            starts[reg] = pos
+        ends[reg] = max(ends.get(reg, pos), pos)
+
+    for block in rvfunc.blocks:
+        block_start = position
+        for reg in live_in[block]:
+            touch(reg, block_start)
+        for op in block.ops:
+            for reg in op.uses():
+                touch(reg, position)
+            for reg in op.defs():
+                touch(reg, position)
+            if op.is_call():
+                call_positions.append(position)
+            position += 1
+        block_end = position - 1 if position > block_start else block_start
+        for reg in live_out[block]:
+            touch(reg, block_end)
+    intervals = []
+    for reg, start in starts.items():
+        end = ends[reg]
+        crosses = any(start < pos < end for pos in call_positions)
+        intervals.append(_Interval(reg, start, end, crosses))
+    intervals.sort(key=lambda iv: (iv.start, iv.vreg.id))
+    return intervals
+
+
+def linear_scan(intervals):
+    """Allocate registers; returns an :class:`AllocationResult`."""
+    assignment = {}
+    spilled = []
+    active = []  # (interval, phys) sorted by end
+
+    def free_regs_for(interval):
+        pool = S_REGS if interval.crosses_call else T_REGS + S_REGS
+        taken = {phys for iv, phys in active if _overlaps(iv, interval)}
+        return [r for r in pool if r not in taken]
+
+    for interval in intervals:
+        active = [(iv, phys) for iv, phys in active if iv.end >= interval.start]
+        free = free_regs_for(interval)
+        if free:
+            phys = free[0]
+            assignment[interval.vreg] = phys
+            active.append((interval, phys))
+            active.sort(key=lambda pair: pair[0].end)
+            continue
+        # Spill the conflicting interval that ends furthest away.
+        pool = set(S_REGS if interval.crosses_call else T_REGS + S_REGS)
+        candidates = [
+            (iv, phys)
+            for iv, phys in active
+            if phys in pool and _overlaps(iv, interval) and not (
+                iv.crosses_call and not interval.crosses_call
+            )
+        ]
+        victim = max(candidates, key=lambda pair: pair[0].end, default=None)
+        if victim is not None and victim[0].end > interval.end:
+            iv, phys = victim
+            spilled.append(iv.vreg)
+            assignment.pop(iv.vreg, None)
+            active.remove(victim)
+            assignment[interval.vreg] = phys
+            active.append((interval, phys))
+            active.sort(key=lambda pair: pair[0].end)
+        else:
+            spilled.append(interval.vreg)
+    used_callee_saved = sorted(
+        {phys for phys in assignment.values() if phys in S_REGS}
+    )
+    return AllocationResult(assignment, spilled, used_callee_saved)
+
+
+def _overlaps(a, b):
+    return a.start <= b.end and b.start <= a.end
+
+
+def eliminate_dead_ops(rvfunc):
+    """Drop pure ops whose virtual destination is never read (machine DCE)."""
+    removed_total = 0
+    pure = {
+        "ADD", "SUB", "SLL", "SLT", "SLTU", "XOR", "SRL", "SRA", "OR", "AND",
+        "MUL", "ADDI", "SLTI", "SLTIU", "XORI", "ORI", "ANDI", "SLLI", "SRLI",
+        "SRAI", "LUI", "FRAMEADDR", "LW",
+    }
+    while True:
+        used = set()
+        for block in rvfunc.blocks:
+            for op in block.ops:
+                used.update(op.uses())
+        removed = 0
+        for block in rvfunc.blocks:
+            kept = []
+            for op in block.ops:
+                if (
+                    op.mnemonic in pure
+                    and isinstance(op.rd, VReg)
+                    and op.rd not in used
+                ):
+                    removed += 1
+                    continue
+                kept.append(op)
+            block.ops = kept
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+class FrameBuilder:
+    """Applies allocation results: spill code, frames, prologue/epilogue."""
+
+    def __init__(self, rvfunc, allocation):
+        self.rvfunc = rvfunc
+        self.allocation = allocation
+        self.spill_slots = {
+            vreg: rvfunc.alloca_words + index
+            for index, vreg in enumerate(allocation.spilled)
+        }
+        saved_base = rvfunc.alloca_words + len(allocation.spilled)
+        self.saved_offsets = {
+            phys: saved_base + index
+            for index, phys in enumerate(allocation.used_callee_saved)
+        }
+        self.ra_offset = saved_base + len(allocation.used_callee_saved)
+        self.save_ra = rvfunc.makes_calls
+        self.frame_words = self.ra_offset + (1 if self.save_ra else 0)
+
+    def run(self):
+        for block in self.rvfunc.blocks:
+            block.ops = self._rewrite_block(block)
+        self._insert_prologue()
+        return self.frame_words
+
+    # -- rewriting ----------------------------------------------------------------
+
+    def _phys(self, reg):
+        if isinstance(reg, VReg):
+            phys = self.allocation.assignment.get(reg)
+            if phys is None:
+                raise CompileError(f"vreg {reg} neither allocated nor spilled")
+            return phys
+        return reg
+
+    def _rewrite_block(self, block):
+        out = []
+        for op in block.ops:
+            if op.mnemonic == "RET":
+                out.extend(self._epilogue())
+                continue
+            out.extend(self._rewrite_op(op))
+        return out
+
+    def _rewrite_op(self, op):
+        ops = []
+        rs1, rs2, rd = op.rs1, op.rs2, op.rd
+        if isinstance(rs1, VReg) and rs1 in self.spill_slots:
+            ops.append(
+                RVOp("LW", rd=SCRATCH1, rs1=SP, imm=self.spill_slots[rs1] * 4)
+            )
+            rs1 = SCRATCH1
+        if isinstance(rs2, VReg) and rs2 in self.spill_slots:
+            ops.append(
+                RVOp("LW", rd=SCRATCH2, rs1=SP, imm=self.spill_slots[rs2] * 4)
+            )
+            rs2 = SCRATCH2
+        spill_store = None
+        if isinstance(rd, VReg) and rd in self.spill_slots:
+            spill_store = RVOp(
+                "SW", rs1=SP, rs2=SCRATCH1, imm=self.spill_slots[rd] * 4
+            )
+            rd = SCRATCH1
+        if op.mnemonic == "FRAMEADDR":
+            ops.append(RVOp("ADDI", rd=self._phys_or(rd), rs1=SP, imm=op.imm))
+        else:
+            ops.append(
+                RVOp(
+                    op.mnemonic,
+                    rd=self._phys_or(rd),
+                    rs1=self._phys_or(rs1),
+                    rs2=self._phys_or(rs2),
+                    imm=op.imm,
+                    target=op.target,
+                )
+            )
+        if spill_store is not None:
+            ops.append(spill_store)
+        return ops
+
+    def _phys_or(self, reg):
+        return self._phys(reg) if isinstance(reg, VReg) else reg
+
+    # -- prologue / epilogue ----------------------------------------------------
+
+    def _insert_prologue(self):
+        if self.frame_words == 0:
+            return
+        entry = self.rvfunc.blocks[0]
+        prologue = [RVOp("ADDI", rd=SP, rs1=SP, imm=-self.frame_words * 4)]
+        if self.save_ra:
+            prologue.append(RVOp("SW", rs1=SP, rs2=RA, imm=self.ra_offset * 4))
+        for phys, slot in self.saved_offsets.items():
+            prologue.append(RVOp("SW", rs1=SP, rs2=phys, imm=slot * 4))
+        entry.ops = prologue + entry.ops
+
+    def _epilogue(self):
+        ops = []
+        if self.frame_words:
+            for phys, slot in self.saved_offsets.items():
+                ops.append(RVOp("LW", rd=phys, rs1=SP, imm=slot * 4))
+            if self.save_ra:
+                ops.append(RVOp("LW", rd=RA, rs1=SP, imm=self.ra_offset * 4))
+            ops.append(RVOp("ADDI", rd=SP, rs1=SP, imm=self.frame_words * 4))
+        ops.append(RVOp("JALR", rd=0, rs1=RA, imm=0))
+        return ops

@@ -1,0 +1,26 @@
+"""STRAIGHT code generation (paper §IV).
+
+Pipeline, per function:
+
+1. CFG normalization: split critical edges, guarantee a predecessor-free
+   entry block (so merge refresh sequences are unconditionally placeable).
+2. Spill analysis (:mod:`.frame`): values live across calls go to the stack
+   frame (the callee's dynamic length makes their distances unknowable);
+   with RE+ enabled, values live *through* a loop but unused inside it are
+   demoted to the frame too (§IV-D / Fig. 10(c)).
+3. Instruction selection (:mod:`.isel`): IR ops -> machine instructions with
+   *logical value* operands; the Fig. 5/6 calling convention (argument
+   producers immediately before JAL, return-value producer before JR,
+   SPADD-managed frames, SPADD 0 re-materialization of the frame pointer).
+4. RE+ producer sinking (:mod:`.redundancy`): pure producers whose results
+   are unused before the block tail replace their RMOV refresh slots
+   (Fig. 10(b)).
+5. Distance fixing + bounding (:mod:`.distance`): merge refresh sequences
+   pin every cross-block value to a path-independent distance; a forward
+   age walk assigns every operand's distance and inserts relay RMOVs when a
+   live value approaches the ISA's maximum distance (§IV-C2, §IV-C3).
+"""
+
+from repro.compiler.straight_backend.driver import compile_to_straight
+
+__all__ = ["compile_to_straight"]

@@ -1,0 +1,477 @@
+"""Distance fixing and bounding (paper §IV-C2, §IV-C3), plus final emission.
+
+The central invariant: at every program point, each *logical value* has one
+well-defined **age** — the distance a consumer placed at that point would
+encode — and that age is identical along every control-flow path reaching
+the point.  Three mechanisms maintain it:
+
+* **merge refreshes**: every predecessor of a merge block appends one
+  producer instruction per refresh item (RMOV for pass-through values and
+  register-carried phi inputs; ADDI/LD/SPADD for constant, frame-resident,
+  or frame-pointer inputs) in a canonical order, followed by its J, so entry
+  ages at the merge are path-independent by construction;
+* **calls** kill all ages (callee length is dynamic); the calling convention
+  re-establishes known ages (return value at distance 2) and everything else
+  returns via the frame;
+* **bounding relays**: a forward walk inserts RMOVs whenever a still-needed
+  value's age approaches the ISA maximum distance.
+
+The walk simultaneously assigns every operand's numeric distance, producing
+encodable :class:`~repro.straight.isa.SInstr` output.
+"""
+
+from repro.common.bitops import to_signed, fits_signed
+from repro.common.errors import CompileError
+from repro.ir.values import ConstantInt, Argument, GlobalVariable, UndefValue
+from repro.ir.instructions import Instruction, Alloca
+from repro.straight.isa import SInstr
+from repro.compiler.straight_backend.machine_ir import MInst, ZERO, RefreshItem
+from repro.compiler.straight_backend.frame import RETADDR_KEY
+
+
+# ---------------------------------------------------------------------------
+# Refresh list construction
+# ---------------------------------------------------------------------------
+
+
+class _RefreshSource:
+    """How one predecessor produces one refresh item (exactly one instr)."""
+
+    __slots__ = ("kind", "payload", "fp")
+
+    def __init__(self, kind, payload=None, fp=None):
+        self.kind = kind  # 'rmov' | 'addi' | 'ld' | 'fpaddi' | 'sunk'
+        self.payload = payload
+        self.fp = fp
+
+
+def build_refresh_lists(mfunc, func, liveness, frame, value_map, layout):
+    """Populate ``refresh_list`` for every merge block of ``mfunc``.
+
+    Also inserts per-predecessor setup instructions (big-constant
+    materialization, SPADD 0 for frame access) ahead of the refresh point.
+    """
+    block_of = {b.ir_block: b for b in mfunc.blocks if b.ir_block is not None}
+
+    def rc_value(ir_value):
+        """Map an IR value to its register-carried MValue, or None."""
+        if isinstance(ir_value, Alloca) or ir_value in frame.spilled:
+            return None
+        return value_map.get(ir_value)
+
+    for mblock in mfunc.blocks:
+        if not mblock.is_merge or mblock.ir_block is None:
+            continue
+        ir_block = mblock.ir_block
+        items = []
+        for phi in ir_block.phis():
+            target = value_map[phi]
+            item = RefreshItem(target)
+            for ir_pred, incoming in (
+                (pred, phi.incoming_for(pred)) for pred in func.predecessors()[ir_block]
+            ):
+                mpred = block_of[ir_pred]
+                item.sources_by_pred[mpred] = _incoming_source(
+                    incoming, mpred, frame, value_map, layout, mfunc
+                )
+            items.append(item)
+        carried = []
+        for ir_value in liveness.live_in[ir_block]:
+            mval = rc_value(ir_value)
+            if mval is not None:
+                carried.append(mval)
+        if not frame.retaddr_spilled:
+            carried.append(mfunc.retaddr)
+        items.extend(RefreshItem(v) for v in sorted(set(carried), key=lambda v: v.uid))
+        mblock.refresh_list = items
+        if len(items) + 1 >= 1000:
+            raise CompileError(
+                f"{mfunc.name}/{mblock.label}: {len(items)} live values exceed "
+                "what a refresh sequence can pin"
+            )
+
+
+def _pred_fp(mpred, mfunc):
+    """The predecessor's frame-pointer value, materializing one if needed."""
+    fp = getattr(mpred, "block_fp", None)
+    if fp is None:
+        if mfunc.frame_words == 0:
+            raise CompileError(
+                f"{mfunc.name}/{mpred.label}: refresh needs a frame pointer "
+                "but the function has no frame"
+            )
+        fp = MInst("SPADD", imm=0, comment="remat fp (refresh)")
+        _insert_before_terminator(mpred, fp)
+        mpred.block_fp = fp
+    return fp
+
+
+def _insert_before_terminator(mblock, inst):
+    index = len(mblock.instrs)
+    while index > 0 and mblock.instrs[index - 1].is_terminator():
+        index -= 1
+    mblock.instrs.insert(index, inst)
+
+
+def _incoming_source(incoming, mpred, frame, value_map, layout, mfunc):
+    """Build the one-instruction producer spec for a phi input in ``mpred``."""
+    if isinstance(incoming, UndefValue):
+        return _RefreshSource("addi", 0)
+    if isinstance(incoming, ConstantInt):
+        signed = to_signed(incoming.value)
+        if fits_signed(signed, 15):
+            return _RefreshSource("addi", signed)
+        premat = _materialize_into(mpred, incoming.value)
+        return _RefreshSource("rmov", premat)
+    if isinstance(incoming, GlobalVariable):
+        premat = _materialize_into(mpred, layout.address_of(incoming.name))
+        return _RefreshSource("rmov", premat)
+    if isinstance(incoming, Alloca):
+        return _RefreshSource(
+            "fpaddi",
+            frame.byte_offset_of_alloca(incoming),
+            fp=_pred_fp(mpred, mfunc),
+        )
+    if incoming in frame.spilled:
+        return _RefreshSource(
+            "ld", frame.slot_of(incoming), fp=_pred_fp(mpred, mfunc)
+        )
+    mval = value_map.get(incoming)
+    if mval is None:
+        raise CompileError(f"no machine value for phi input {incoming!r}")
+    return _RefreshSource("rmov", mval)
+
+
+def _materialize_into(mblock, value):
+    """Insert a big-constant materialization before the refresh point."""
+    signed = to_signed(value)
+    if fits_signed(signed, 15):
+        inst = MInst("ADDI", [ZERO], imm=signed)
+        _insert_before_terminator(mblock, inst)
+        return inst
+    hi = (value >> 12) & 0xFFFFF
+    lo = value & 0xFFF
+    lui = MInst("LUI", imm=hi)
+    _insert_before_terminator(mblock, lui)
+    if lo:
+        ori = MInst("ORI", [lui], imm=lo)
+        _insert_before_terminator(mblock, ori)
+        return ori
+    return lui
+
+
+# ---------------------------------------------------------------------------
+# The distance walk
+# ---------------------------------------------------------------------------
+
+
+class DistanceWalker:
+    """Assigns operand distances, emits refreshes, inserts bounding relays."""
+
+    def __init__(self, mfunc, func, liveness, frame, value_map, max_distance):
+        self.mfunc = mfunc
+        self.func = func
+        self.liveness = liveness
+        self.frame = frame
+        self.value_map = value_map
+        self.max_distance = max_distance
+        self.entry_ages = {}  # MBlock -> ages dict (for single-pred blocks)
+        self.rc_live_in = {}  # MBlock -> set of MValues
+        self.rmov_relays = 0
+
+    # -- precomputed sets ------------------------------------------------------
+
+    def _compute_rc_live_in(self):
+        for mblock in self.mfunc.blocks:
+            values = set()
+            if mblock.ir_block is not None:
+                for ir_value in self.liveness.live_in[mblock.ir_block]:
+                    if isinstance(ir_value, Alloca) or ir_value in self.frame.spilled:
+                        continue
+                    mval = self.value_map.get(ir_value)
+                    if mval is not None:
+                        values.add(mval)
+                for phi in mblock.ir_block.phis():
+                    values.add(self.value_map[phi])
+            if not self.frame.retaddr_spilled:
+                values.add(self.mfunc.retaddr)
+            self.rc_live_in[mblock] = values
+
+    def _refresh_uses(self, pred, merge):
+        """Values ``pred`` consumes while emitting ``merge``'s refreshes."""
+        uses = []
+        for item in merge.refresh_list:
+            if pred in item.sunk_def_by_pred:
+                uses.extend(
+                    s for s in item.sunk_def_by_pred[pred].srcs if s is not ZERO
+                )
+                continue
+            spec = item.sources_by_pred.get(pred)
+            if spec is None:
+                uses.append(item.target)
+            elif spec.kind == "rmov":
+                uses.append(spec.payload)
+            elif spec.kind in ("ld", "fpaddi"):
+                uses.append(spec.fp)
+        return uses
+
+    def _pending_counts(self, mblock):
+        pending = {}
+
+        def count(value):
+            if value is not ZERO:
+                pending[value] = pending.get(value, 0) + 1
+
+        for inst in mblock.instrs:
+            for src in inst.srcs:
+                count(src)
+        for succ in mblock.successors():
+            if succ.is_merge:
+                for value in self._refresh_uses(mblock, succ):
+                    count(value)
+        return pending
+
+    def _live_out(self, mblock):
+        out = set()
+        for succ in mblock.successors():
+            if succ.is_merge:
+                continue  # refresh uses already counted in pending
+            out |= self.rc_live_in[succ]
+        return out
+
+    # -- main -------------------------------------------------------------------
+
+    def run(self):
+        self._compute_rc_live_in()
+        order = self._reverse_postorder()
+        emitted = {}
+        for mblock in order:
+            emitted[mblock] = self._walk_block(mblock)
+        for mblock in order:
+            mblock.instrs = emitted[mblock]
+        self.mfunc.blocks = order
+        return self.mfunc
+
+    def _reverse_postorder(self):
+        seen = {self.mfunc.entry}
+        order = []
+        stack = [(self.mfunc.entry, iter(self.mfunc.entry.successors()))]
+        while stack:
+            block, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, iter(child.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(block)
+                stack.pop()
+        return list(reversed(order))
+
+    def _initial_ages(self, mblock):
+        if mblock is self.mfunc.entry:
+            ages = {self.mfunc.retaddr: 1}
+            n = self.mfunc.num_args
+            for index, arg in enumerate(self.mfunc.arg_values):
+                ages[arg] = 1 + (n - index)
+            return ages
+        if mblock.is_merge:
+            items = mblock.refresh_list
+            n = len(items)
+            return {item.target: n - k + 1 for k, item in enumerate(items)}
+        if mblock not in self.entry_ages:
+            raise CompileError(
+                f"{self.mfunc.name}/{mblock.label}: no predecessor processed "
+                "before this single-predecessor block (irreducible CFG?)"
+            )
+        return self.entry_ages[mblock]
+
+    def _walk_block(self, mblock):
+        ages = dict(self._initial_ages(mblock))
+        pending = self._pending_counts(mblock)
+        live_out = self._live_out(mblock)
+        out = []
+
+        def needed_values():
+            return [
+                v
+                for v in ages
+                if pending.get(v, 0) > 0 or v in live_out
+            ]
+
+        def bound_check(margin=1):
+            """Relay-refresh any needed value whose age is within ``margin``
+            of the ISA maximum.  Ages are pairwise distinct (each is the
+            distance to a distinct producing instruction), so the steady
+            state of n live values occupies ages {1..n}; feasibility
+            requires n to stay below the relay threshold.
+            """
+            while True:
+                needed = needed_values()
+                threshold = self.max_distance - margin
+                if len(needed) >= threshold:
+                    raise CompileError(
+                        f"{self.mfunc.name}/{mblock.label}: {len(needed)} live "
+                        f"values cannot fit max distance {self.max_distance}"
+                    )
+                stale = [v for v in needed if ages[v] >= threshold]
+                if not stale:
+                    return
+                victim = max(stale, key=lambda v: ages[v])
+                relay = MInst("RMOV", [victim], comment="bounding relay")
+                self._emit(relay, ages, pending, out, target=victim, consume=False)
+                self.rmov_relays += 1
+
+        index = 0
+        instrs = mblock.instrs
+        while index < len(instrs):
+            inst = instrs[index]
+            if inst.op == "J" and inst.target.is_merge:
+                self._emit_refreshes(mblock, inst.target, ages, pending, out, bound_check)
+            bound_check()
+            self._emit(inst, ages, pending, out)
+            if inst.op == "JAL":
+                retval = getattr(inst, "retval_value", None)
+                ages.clear()
+                if retval is not None:
+                    ages[retval] = 2
+            if inst.op in ("BEZ", "BNZ", "J") and not inst.target.is_merge:
+                self.entry_ages[inst.target] = dict(ages)
+            index += 1
+        return out
+
+    def _emit(self, inst, ages, pending, out, target=None, consume=True):
+        dists = []
+        for src in inst.srcs:
+            if src is ZERO:
+                dists.append(0)
+                continue
+            age = ages.get(src)
+            if age is None:
+                raise CompileError(
+                    f"{self.mfunc.name}: {inst!r} uses {src!r} which has no "
+                    "age here (value not carried to this point)"
+                )
+            if age > self.max_distance:
+                raise CompileError(
+                    f"{self.mfunc.name}: {inst!r} needs distance {age} > "
+                    f"max {self.max_distance} (bounding failed)"
+                )
+            dists.append(age)
+            if consume and pending.get(src, 0) > 0:
+                pending[src] -= 1
+        inst.dists = dists
+        for value in ages:
+            ages[value] += 1
+        ages[target if target is not None else inst] = 1
+        out.append(inst)
+
+    def _emit_refreshes(self, pred, merge, ages, pending, out, bound_check):
+        """Emit the merge's refresh sequence in ``pred``.
+
+        The sequence has *parallel copy* semantics: every slot reads the
+        value its source had at the start of the sequence, even when an
+        earlier slot re-produces that same logical value (a loop's
+        ``prev = node`` swaps through the same phis).  Source distances are
+        therefore resolved against a snapshot of the age map, offset by the
+        slot position; age rebinding happens only after the full sequence.
+        """
+        items = merge.refresh_list
+        if not items:
+            return
+        # Pre-relay so every source stays encodable at its slot position:
+        # slot k reads its source at (start age + k).
+        bound_check(margin=len(items) + 1)
+        start_ages = dict(ages)
+        emitted = []
+        for position, item in enumerate(items):
+            sunk = item.sunk_def_by_pred.get(pred)
+            if sunk is not None:
+                inst = sunk
+            else:
+                spec = item.sources_by_pred.get(pred)
+                if spec is None or (
+                    spec.kind == "rmov" and spec.payload is item.target
+                ):
+                    inst = MInst("RMOV", [item.target])
+                elif spec.kind == "rmov":
+                    inst = MInst("RMOV", [spec.payload])
+                elif spec.kind == "addi":
+                    inst = MInst("ADDI", [ZERO], imm=spec.payload)
+                elif spec.kind == "ld":
+                    inst = MInst("LD", [spec.fp], imm=spec.payload * 4)
+                elif spec.kind == "fpaddi":
+                    inst = MInst("ADDI", [spec.fp], imm=spec.payload)
+                else:  # pragma: no cover
+                    raise CompileError(f"bad refresh kind {spec.kind}")
+            dists = []
+            for src in inst.srcs:
+                if src is ZERO:
+                    dists.append(0)
+                    continue
+                base = start_ages.get(src)
+                if base is None:
+                    raise CompileError(
+                        f"{self.mfunc.name}: refresh of {item.target!r} in "
+                        f"{pred.label} uses {src!r} which has no age here"
+                    )
+                distance = base + position
+                if distance > self.max_distance:
+                    raise CompileError(
+                        f"{self.mfunc.name}: refresh distance {distance} > "
+                        f"max {self.max_distance} in {pred.label}"
+                    )
+                dists.append(distance)
+                if pending.get(src, 0) > 0:
+                    pending[src] -= 1
+            inst.dists = dists
+            out.append(inst)
+            emitted.append(item.target)
+        count = len(items)
+        for value in ages:
+            ages[value] += count
+        for position, target in enumerate(emitted):
+            ages[target] = count - position
+
+
+# ---------------------------------------------------------------------------
+# Final emission to assembly-level instructions
+# ---------------------------------------------------------------------------
+
+
+def emit_assembly(mfunc):
+    """Convert a distance-resolved MFunction into assembler items."""
+    items = []
+    for index, mblock in enumerate(mfunc.blocks):
+        if index == 0:
+            if mblock.label != mfunc.name:
+                items.append(("label", mfunc.name))
+            items.append(("label", mblock.label))
+        else:
+            items.append(("label", mblock.label))
+        for inst in mblock.instrs:
+            items.append(("instr", _to_sinstr(inst)))
+    # Drop a duplicate entry label if present.
+    if (
+        len(items) >= 2
+        and items[0] == ("label", mfunc.name)
+        and items[1] == ("label", mfunc.name)
+    ):
+        items.pop(0)
+    return items
+
+
+def _to_sinstr(inst):
+    if inst.dists is None:
+        raise CompileError(f"instruction {inst!r} has no resolved distances")
+    label = None
+    imm = inst.imm
+    if inst.op in ("BEZ", "BNZ", "J"):
+        label = inst.target.label
+        imm = None
+    elif inst.op == "JAL":
+        label = inst.target  # callee entry label (function name)
+        imm = None
+    return SInstr(inst.op, inst.dists, imm, label)

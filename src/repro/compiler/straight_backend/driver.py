@@ -1,0 +1,116 @@
+"""STRAIGHT backend driver: orchestrates the per-function pipeline."""
+
+from repro.common.errors import CompileError
+from repro.ir.instructions import Br
+from repro.ir.analysis.liveness import compute_liveness
+from repro.ir.passes.split_critical_edges import split_critical_edges
+from repro.ir.verifier import verify_function
+from repro.straight.isa import MAX_DISTANCE
+from repro.straight.assembler import AsmUnit
+from repro.straight.linker import link_program, startup_stub
+from repro.compiler.data_layout import DataLayout
+from repro.compiler.straight_backend.frame import build_frame_info
+from repro.compiler.straight_backend.isel import StraightISel
+from repro.compiler.straight_backend.distance import (
+    build_refresh_lists,
+    DistanceWalker,
+    emit_assembly,
+)
+from repro.compiler.straight_backend.redundancy import sink_producers
+
+
+class StraightCompilation:
+    """The result of compiling a module to STRAIGHT assembly."""
+
+    def __init__(self, module, units, layout, max_distance, stats):
+        self.module = module
+        self.units = units  # list of AsmUnit, one per function
+        self.layout = layout
+        self.max_distance = max_distance
+        self.stats = stats  # per-function dict of compile statistics
+
+    def asm_text(self):
+        """The full program's assembly listing."""
+        return "\n".join(unit.to_text() for unit in self.units)
+
+    def link(self):
+        """Link with the startup stub into an executable program image."""
+        return link_program(
+            [startup_stub()] + self.units,
+            data_words=self.layout.data_words(),
+            data_base=self.layout.data_base,
+            max_distance=self.max_distance,
+        )
+
+
+def compile_to_straight(
+    module,
+    max_distance=MAX_DISTANCE,
+    redundancy_elimination=True,
+    layout=None,
+    enable_sinking=None,
+    enable_demotion=None,
+):
+    """Compile an SSA IR module to STRAIGHT assembly.
+
+    ``redundancy_elimination`` selects between the paper's two binaries:
+    ``False`` is STRAIGHT RAW (the basic §IV-A..C algorithm), ``True`` adds
+    the §IV-D RE+ optimizations (loop demotion + producer sinking).
+    ``enable_sinking``/``enable_demotion`` override the individual RE+
+    mechanisms for ablation studies (default: follow
+    ``redundancy_elimination``).
+    """
+    layout = layout or DataLayout(module)
+    sinking = redundancy_elimination if enable_sinking is None else enable_sinking
+    demotion = (
+        redundancy_elimination if enable_demotion is None else enable_demotion
+    )
+    units = []
+    stats = {}
+    for func in module.functions.values():
+        unit, func_stats = _compile_function(
+            func, module, layout, max_distance, sinking, demotion
+        )
+        units.append(unit)
+        stats[func.name] = func_stats
+    return StraightCompilation(module, units, layout, max_distance, stats)
+
+
+def _ensure_entry_has_no_preds(func):
+    """Merge refreshes cannot target the convention-defined entry block."""
+    entry = func.entry
+    if func.predecessors()[entry]:
+        from repro.ir.basicblock import BasicBlock
+
+        pre = BasicBlock(func.unique_name("preentry"), parent=func)
+        pre.append(Br(entry))
+        func.blocks.insert(0, pre)
+
+
+def _compile_function(func, module, layout, max_distance, sinking, demotion):
+    split_critical_edges(func)
+    _ensure_entry_has_no_preds(func)
+    verify_function(func)
+    liveness = compute_liveness(func)
+    frame = build_frame_info(func, optimize=demotion)
+    isel = StraightISel(func, layout, frame)
+    mfunc = isel.run()
+    build_refresh_lists(mfunc, func, liveness, frame, isel.value_map, layout)
+    sunk = sink_producers(mfunc) if sinking else 0
+    walker = DistanceWalker(
+        mfunc, func, liveness, frame, isel.value_map, max_distance
+    )
+    walker.run()
+    items = emit_assembly(mfunc)
+    unit = AsmUnit(items)
+    instr_count = len(unit.instructions())
+    rmov_count = sum(1 for i in unit.instructions() if i.mnemonic == "RMOV")
+    func_stats = {
+        "instructions": instr_count,
+        "rmovs": rmov_count,
+        "bounding_relays": walker.rmov_relays,
+        "sunk_producers": sunk,
+        "frame_words": frame.frame_words,
+        "spilled_values": len(frame.spilled),
+    }
+    return unit, func_stats

@@ -1,0 +1,165 @@
+"""Stack frame construction and spill analysis for the STRAIGHT backend.
+
+Why spilling exists at all in STRAIGHT: a distance is a *dynamic* instruction
+count, and the number of instructions a callee executes is unknowable at
+compile time, so **no value can be carried in a register across a call** —
+everything live across a call site goes through the stack frame (the paper's
+calling convention stores "alive variables ... in the stack frame using the
+SP before the function call", §IV-B).
+
+The RE+ mode additionally demotes values that are live *through* a loop but
+never used inside it (the paper's Fig. 10(c) `_RETADDR` example): carrying
+them in registers would cost one RMOV per live value per iteration.
+"""
+
+from repro.ir.values import Argument
+from repro.ir.instructions import Instruction, Alloca, Call, Phi, Ret
+from repro.ir.analysis.liveness import compute_liveness
+from repro.ir.analysis.loops import find_natural_loops
+
+#: Marker key used for the return-address slot in FrameInfo maps.
+RETADDR_KEY = "$retaddr"
+
+
+class FrameInfo:
+    """Spill decisions and slot offsets (in words from the adjusted SP)."""
+
+    def __init__(self):
+        self.spilled = set()  # IR values (Instruction/Argument) with slots
+        self.retaddr_spilled = False
+        self.slots = {}  # IR value or RETADDR_KEY -> word offset
+        self.alloca_offsets = {}  # Alloca -> word offset
+        self.frame_words = 0
+        self.makes_calls = False
+
+    def slot_of(self, value):
+        return self.slots[value]
+
+    def byte_offset_of_alloca(self, alloca):
+        return self.alloca_offsets[alloca] * 4
+
+
+def build_frame_info(func, optimize=False):
+    """Analyze ``func`` and return its :class:`FrameInfo`.
+
+    ``optimize=True`` enables the RE+ loop demotion (spill values live
+    through a loop that never uses them).
+    """
+    info = FrameInfo()
+    liveness = compute_liveness(func)
+
+    _spill_call_crossing(func, liveness, info)
+    if optimize:
+        _demote_loop_through_values(func, liveness, info)
+    _assign_slots(func, info)
+    return info
+
+
+def _spill_call_crossing(func, liveness, info):
+    """Values live across any call site must live in the frame."""
+    for block in func.blocks:
+        calls = [i for i in block.instructions if isinstance(i, Call)]
+        if calls:
+            info.makes_calls = True
+        live = set(liveness.live_out[block])
+        # Phi uses at the end of this block count as live at block exit.
+        for succ in block.successors():
+            for phi in succ.phis():
+                incoming = phi.incoming_for(block)
+                if isinstance(incoming, (Instruction, Argument)):
+                    live.add(incoming)
+        for instr in reversed(block.instructions):
+            if isinstance(instr, Call):
+                crossing = {v for v in live if v is not instr}
+                info.spilled |= {
+                    v for v in crossing if not isinstance(v, Alloca)
+                }
+            live.discard(instr)
+            for op in instr.operands:
+                if isinstance(op, (Instruction, Argument)):
+                    live.add(op)
+    if info.makes_calls:
+        info.retaddr_spilled = True
+
+
+def _demote_loop_through_values(func, liveness, info):
+    """RE+ §IV-D: spill values live through a loop but unused inside it."""
+    loops = find_natural_loops(func)
+    for loop in loops:
+        used_in_loop = set()
+        defined_in_loop = set()
+        has_return = False
+        for block in loop.body:
+            for instr in block.instructions:
+                if isinstance(instr, Ret):
+                    has_return = True
+                if isinstance(instr, Phi):
+                    defined_in_loop.add(instr)
+                    for value, pred in instr.incomings():
+                        if pred in loop.body:
+                            used_in_loop.add(value)
+                    continue
+                defined_in_loop.add(instr)
+                used_in_loop.update(
+                    op
+                    for op in instr.operands
+                    if isinstance(op, (Instruction, Argument))
+                )
+        use_counts = _static_use_counts(func)
+        for value in liveness.live_in[loop.header]:
+            if (
+                value not in used_in_loop
+                and value not in defined_in_loop
+                and not isinstance(value, Alloca)
+                # Only demote rarely-read values (the paper's _RETADDR
+                # archetype: "variables not read in the near future").
+                # Heavily-used values pay a 4-cycle reload per use, which
+                # can cost more than the RMOVs the demotion saves.
+                and use_counts.get(value, 0) <= 2
+            ):
+                info.spilled.add(value)
+        # The return address behaves like a live-through value for any loop
+        # that does not itself return (the paper's Fig. 10(c) _RETADDR case).
+        if not has_return:
+            info.retaddr_spilled = True
+
+
+def _static_use_counts(func):
+    """How many operand slots reference each value, function-wide."""
+    counts = {}
+    for instr in func.instructions():
+        for op in instr.operands:
+            counts[op] = counts.get(op, 0) + 1
+    return counts
+
+
+def _assign_slots(func, info):
+    """Assign word offsets: spilled values first, then allocas."""
+    offset = 0
+    if info.retaddr_spilled:
+        info.slots[RETADDR_KEY] = offset
+        offset += 1
+    for value in sorted(info.spilled, key=_stable_key(func)):
+        info.slots[value] = offset
+        offset += 1
+    for block in func.blocks:
+        for instr in block.instructions:
+            if isinstance(instr, Alloca):
+                info.alloca_offsets[instr] = offset
+                offset += instr.size_words
+    info.frame_words = offset
+
+
+def _stable_key(func):
+    """Deterministic ordering key for IR values (position in the function)."""
+    positions = {}
+    for arg in func.params:
+        positions[arg] = (0, arg.index)
+    for block_index, block in enumerate(func.blocks):
+        for instr_index, instr in enumerate(block.instructions):
+            positions[instr] = (1 + block_index, instr_index)
+
+    def key(value):
+        return positions.get(value, (10**9, id(value)))
+
+    return key

@@ -1,0 +1,445 @@
+"""Instruction selection: SSA IR -> STRAIGHT machine IR (§IV-C1).
+
+Operands at this stage are logical values (:mod:`.machine_ir`); the distance
+walk assigns numeric distances later.  This pass implements:
+
+* operation translation (with immediate forms and constant materialization),
+* the calling convention: argument producers packed immediately before JAL,
+  the return-value producer before JR, SPADD-managed frames (Fig. 5/6),
+* spill stores after definitions and reloads before uses for frame-resident
+  values, with the frame pointer re-materialized per block (``SPADD 0`` —
+  SP is the one persistent register, so the frame base is always
+  recoverable; this is how the paper's Fig. 10(c) reloads work after calls).
+"""
+
+from repro.common.bitops import to_signed, fits_signed
+from repro.common.errors import CompileError
+from repro.ir.values import ConstantInt, Argument, GlobalVariable, UndefValue
+from repro.ir.instructions import (
+    BinOp,
+    ICmp,
+    Load,
+    Store,
+    Alloca,
+    GetElementPtr,
+    Call,
+    Ret,
+    Br,
+    CondBr,
+    Phi,
+    Output,
+    Select,
+)
+from repro.compiler.straight_backend.machine_ir import (
+    MInst,
+    MFunction,
+    MValue,
+    ZERO,
+    RetValValue,
+)
+from repro.compiler.straight_backend.frame import RETADDR_KEY
+
+#: IR binop -> (register mnemonic, immediate mnemonic or None).
+_BINOP_TABLE = {
+    "add": ("ADD", "ADDI"),
+    "sub": ("SUB", None),  # folded to ADDI of the negated constant
+    "mul": ("MUL", None),
+    "sdiv": ("DIV", None),
+    "udiv": ("DIVU", None),
+    "srem": ("REM", None),
+    "urem": ("REMU", None),
+    "and": ("AND", "ANDI"),
+    "or": ("OR", "ORI"),
+    "xor": ("XOR", "XORI"),
+    "shl": ("SLL", "SLLI"),
+    "lshr": ("SRL", "SRLI"),
+    "ashr": ("SRA", "SRAI"),
+}
+
+_COMMUTATIVE = {"add", "mul", "and", "or", "xor"}
+
+#: Word offsets that fit the ST instruction's 5-bit scaled immediate.
+_ST_IMM_MAX = 15
+_ST_IMM_MIN = -16
+
+
+class PhiValue(MValue):
+    """The logical value of an IR phi (produced by predecessor refreshes)."""
+
+    def __init__(self, phi):
+        super().__init__()
+        self.phi = phi
+
+    def __repr__(self):
+        return f"$phi.{self.phi.name}"
+
+
+class StraightISel:
+    """Translates one IR function into an :class:`MFunction`."""
+
+    def __init__(self, func, layout, frame_info, entry_label=None):
+        self.func = func
+        self.layout = layout
+        self.frame = frame_info
+        self.mfunc = MFunction(
+            entry_label or func.name,
+            len(func.params),
+            not func.return_type.is_void(),
+        )
+        self.mfunc.frame_words = frame_info.frame_words
+        self.mfunc.makes_calls = frame_info.makes_calls
+        self.block_map = {}
+        self.value_map = {}  # IR value -> logical MValue (register-carried)
+        self.current = None
+        self.block_fp = None  # current block's frame-pointer logical value
+
+    # -- plumbing -----------------------------------------------------------
+
+    def emit(self, op, srcs=(), imm=None, target=None, comment=""):
+        inst = MInst(op, srcs, imm, target, comment)
+        self.current.append(inst)
+        return inst
+
+    def run(self):
+        for index, block in enumerate(self.func.blocks):
+            label = (
+                self.mfunc.name
+                if index == 0
+                else f"{self.mfunc.name}.{block.name}"
+            )
+            self.block_map[block] = self.mfunc.add_block(label, block)
+        for arg, mval in zip(self.func.params, self.mfunc.arg_values):
+            mval.name = arg.name
+            self.value_map[arg] = mval
+        for block in self.func.blocks:
+            for phi in block.phis():
+                self.value_map[phi] = PhiValue(phi)
+        for index, block in enumerate(self.func.blocks):
+            self.select_block(block, is_entry=(index == 0))
+        self.mfunc.compute_preds()
+        # Record the block-local frame pointer for the refresh builder.
+        return self.mfunc
+
+    # -- frame access --------------------------------------------------------
+
+    def fp(self):
+        """The current block's frame-pointer value, materializing if needed."""
+        if self.frame.frame_words == 0:
+            raise CompileError(
+                f"{self.func.name}: frame access with an empty frame"
+            )
+        if self.block_fp is None:
+            self.block_fp = self.emit("SPADD", imm=0, comment="remat fp")
+        return self.block_fp
+
+    def emit_frame_store(self, value, slot_words, comment=""):
+        fp = self.fp()
+        if _ST_IMM_MIN <= slot_words <= _ST_IMM_MAX:
+            return self.emit("ST", [value, fp], imm=slot_words, comment=comment)
+        addr = self.emit("ADDI", [fp], imm=slot_words * 4)
+        return self.emit("ST", [value, addr], imm=0, comment=comment)
+
+    def emit_frame_load(self, slot_words, comment=""):
+        fp = self.fp()
+        return self.emit("LD", [fp], imm=slot_words * 4, comment=comment)
+
+    # -- operand resolution ----------------------------------------------------
+
+    def materialize_const(self, value, comment=""):
+        signed = to_signed(value)
+        if fits_signed(signed, 15):
+            return self.emit("ADDI", [ZERO], imm=signed, comment=comment)
+        hi = (value >> 12) & 0xFFFFF
+        lo = value & 0xFFF
+        inst = self.emit("LUI", imm=hi, comment=comment)
+        if lo:
+            inst = self.emit("ORI", [inst], imm=lo, comment=comment)
+        return inst
+
+    def resolve(self, ir_value, comment=""):
+        """Produce a usable logical value for ``ir_value`` at this point."""
+        if isinstance(ir_value, ConstantInt):
+            return self.materialize_const(ir_value.value, comment)
+        if isinstance(ir_value, UndefValue):
+            return ZERO
+        if isinstance(ir_value, GlobalVariable):
+            return self.materialize_const(
+                self.layout.address_of(ir_value.name), comment=f"@{ir_value.name}"
+            )
+        if isinstance(ir_value, Alloca):
+            offset = self.frame.byte_offset_of_alloca(ir_value)
+            return self.emit(
+                "ADDI", [self.fp()], imm=offset, comment=f"&{ir_value.name}"
+            )
+        if ir_value in self.frame.spilled:
+            return self.emit_frame_load(
+                self.frame.slot_of(ir_value), comment=f"reload {ir_value.short()}"
+            )
+        mapped = self.value_map.get(ir_value)
+        if mapped is None:
+            raise CompileError(
+                f"{self.func.name}: no machine value for {ir_value!r}"
+            )
+        return mapped
+
+    def define(self, ir_value, mvalue):
+        """Record the producer of ``ir_value``; add a spill store if framed."""
+        self.value_map[ir_value] = mvalue
+        if ir_value in self.frame.spilled:
+            self.emit_frame_store(
+                mvalue,
+                self.frame.slot_of(ir_value),
+                comment=f"spill {ir_value.short()}",
+            )
+
+    # -- block selection ----------------------------------------------------------
+
+    def select_block(self, block, is_entry):
+        self.current = self.block_map[block]
+        self.block_fp = None
+        if is_entry:
+            self._emit_prologue()
+        for phi in block.phis():
+            if phi in self.frame.spilled:
+                self.emit_frame_store(
+                    self.value_map[phi],
+                    self.frame.slot_of(phi),
+                    comment=f"spill {phi.short()}",
+                )
+        for instr in block.non_phi_instructions():
+            self.select_instruction(instr)
+        self.current.block_fp = self.block_fp
+
+    def _emit_prologue(self):
+        if self.frame.frame_words > 0:
+            self.block_fp = self.emit(
+                "SPADD", imm=-self.frame.frame_words * 4, comment="frame"
+            )
+        if self.frame.retaddr_spilled:
+            self.emit_frame_store(
+                self.mfunc.retaddr,
+                self.frame.slots[RETADDR_KEY],
+                comment="spill retaddr",
+            )
+        for arg, mval in zip(self.func.params, self.mfunc.arg_values):
+            if arg in self.frame.spilled:
+                self.emit_frame_store(
+                    mval, self.frame.slot_of(arg), comment=f"spill {arg.name}"
+                )
+
+    # -- per-instruction selection ---------------------------------------------
+
+    def select_instruction(self, instr):
+        if isinstance(instr, BinOp):
+            self.define(instr, self._select_binop(instr))
+        elif isinstance(instr, ICmp):
+            self.define(instr, self._select_icmp(instr))
+        elif isinstance(instr, Select):
+            self.define(instr, self._select_select(instr))
+        elif isinstance(instr, GetElementPtr):
+            self.define(instr, self._select_gep(instr))
+        elif isinstance(instr, Load):
+            ptr = self.resolve(instr.ptr)
+            self.define(instr, self.emit("LD", [ptr], imm=0))
+        elif isinstance(instr, Store):
+            value = self.resolve(instr.value)
+            ptr = self.resolve(instr.ptr)
+            self.emit("ST", [value, ptr], imm=0)
+        elif isinstance(instr, Alloca):
+            pass  # materialized at each use
+        elif isinstance(instr, Output):
+            self.emit("OUT", [self.resolve(instr.value)])
+        elif isinstance(instr, Call):
+            self._select_call(instr)
+        elif isinstance(instr, Ret):
+            self._select_ret(instr)
+        elif isinstance(instr, Br):
+            self.emit("J", target=self.block_map[instr.target])
+        elif isinstance(instr, CondBr):
+            cond = self.resolve(instr.cond)
+            self.emit("BNZ", [cond], target=self.block_map[instr.iftrue])
+            self.emit("J", target=self.block_map[instr.iffalse])
+        else:
+            raise CompileError(
+                f"{self.func.name}: cannot select {instr!r}"
+            )
+
+    def _select_binop(self, instr):
+        op = instr.opcode
+        reg_op, imm_op = _BINOP_TABLE[op]
+        lhs, rhs = instr.lhs, instr.rhs
+        if isinstance(lhs, ConstantInt) and op in _COMMUTATIVE:
+            lhs, rhs = rhs, lhs
+        if isinstance(rhs, ConstantInt):
+            const = to_signed(rhs.value)
+            if op == "sub" and fits_signed(-const, 15):
+                return self.emit("ADDI", [self.resolve(lhs)], imm=-const)
+            if imm_op is not None:
+                if imm_op in ("SLLI", "SRLI", "SRAI"):
+                    return self.emit(
+                        imm_op, [self.resolve(lhs)], imm=rhs.value & 31
+                    )
+                if fits_signed(const, 15):
+                    return self.emit(imm_op, [self.resolve(lhs)], imm=const)
+        return self.emit(reg_op, [self.resolve(lhs), self.resolve(rhs)])
+
+    def _select_icmp(self, instr):
+        pred = instr.pred
+        lhs, rhs = instr.lhs, instr.rhs
+        if pred in ("sgt", "ugt", "sle", "ule"):
+            # a > b == b < a;  a <= b == !(b < a)
+            lhs, rhs = rhs, lhs
+            pred = {"sgt": "slt", "ugt": "ult", "sle": "sge", "ule": "uge"}[pred]
+        if pred in ("slt", "ult"):
+            return self._emit_setlt(pred, lhs, rhs)
+        if pred in ("sge", "uge"):
+            lt = self._emit_setlt("slt" if pred == "sge" else "ult", lhs, rhs)
+            return self.emit("XORI", [lt], imm=1)
+        if pred == "eq":
+            diff = self._emit_diff(lhs, rhs)
+            return self.emit("SLTUI", [diff], imm=1)
+        if pred == "ne":
+            diff = self._emit_diff(lhs, rhs)
+            return self.emit("SLTU", [ZERO, diff])
+        raise CompileError(f"unknown icmp predicate {pred!r}")
+
+    def _emit_setlt(self, pred, lhs, rhs):
+        mnemonic = "SLT" if pred == "slt" else "SLTU"
+        if isinstance(rhs, ConstantInt) and fits_signed(to_signed(rhs.value), 15):
+            return self.emit(
+                mnemonic + "I", [self.resolve(lhs)], imm=to_signed(rhs.value)
+            )
+        return self.emit(mnemonic, [self.resolve(lhs), self.resolve(rhs)])
+
+    def _emit_diff(self, lhs, rhs):
+        """x ^ y (or just x when y == 0), for equality tests."""
+        if isinstance(rhs, ConstantInt) and rhs.value == 0:
+            return self.resolve(lhs)
+        if isinstance(lhs, ConstantInt) and lhs.value == 0:
+            return self.resolve(rhs)
+        return self.emit("XOR", [self.resolve(lhs), self.resolve(rhs)])
+
+    def _select_select(self, instr):
+        cond = self.resolve(instr.cond)
+        nz = self.emit("SLTU", [ZERO, cond])
+        mask = self.emit("SUB", [ZERO, nz])  # 0 or -1
+        a = self.resolve(instr.operands[1])
+        a_side = self.emit("AND", [a, mask])
+        inv = self.emit("XORI", [mask], imm=-1)
+        b = self.resolve(instr.operands[2])
+        b_side = self.emit("AND", [b, inv])
+        return self.emit("OR", [a_side, b_side])
+
+    def _select_gep(self, instr):
+        base_ir, index_ir = instr.base, instr.index
+        if isinstance(index_ir, ConstantInt):
+            byte_off = to_signed(index_ir.value) * 4
+            if isinstance(base_ir, Alloca):
+                total = self.frame.byte_offset_of_alloca(base_ir) + byte_off
+                if fits_signed(total, 15):
+                    return self.emit("ADDI", [self.fp()], imm=total)
+            base = self.resolve(base_ir)
+            if fits_signed(byte_off, 15):
+                return self.emit("ADDI", [base], imm=byte_off)
+            offset = self.materialize_const(byte_off & 0xFFFFFFFF)
+            return self.emit("ADD", [base, offset])
+        index = self.resolve(index_ir)
+        scaled = self.emit("SLLI", [index], imm=2)
+        base = self.resolve(base_ir)
+        return self.emit("ADD", [base, scaled])
+
+    # -- calls and returns --------------------------------------------------------
+
+    def _producer_plan(self, ir_value):
+        """Classify how to emit a one-instruction producer for ``ir_value``.
+
+        Returns ``(kind, payload)`` where kind is 'addi' (small constant),
+        'ld' (frame reload), 'fpaddi' (alloca address), or 'rmov' (an
+        already-available logical value, possibly just materialized).
+        """
+        if isinstance(ir_value, ConstantInt):
+            signed = to_signed(ir_value.value)
+            if fits_signed(signed, 15):
+                return ("addi", signed)
+            return ("rmov", self.materialize_const(ir_value.value))
+        if isinstance(ir_value, UndefValue):
+            return ("addi", 0)
+        if isinstance(ir_value, GlobalVariable):
+            return (
+                "rmov",
+                self.materialize_const(self.layout.address_of(ir_value.name)),
+            )
+        if isinstance(ir_value, Alloca):
+            return ("fpaddi", self.frame.byte_offset_of_alloca(ir_value))
+        if ir_value in self.frame.spilled:
+            return ("ld", self.frame.slot_of(ir_value))
+        mapped = self.value_map.get(ir_value)
+        if mapped is None:
+            raise CompileError(
+                f"{self.func.name}: no machine value for call operand "
+                f"{ir_value!r}"
+            )
+        return ("rmov", mapped)
+
+    def _emit_producer(self, plan, comment=""):
+        kind, payload = plan
+        if kind == "addi":
+            return self.emit("ADDI", [ZERO], imm=payload, comment=comment)
+        if kind == "ld":
+            return self.emit_frame_load(payload, comment=comment)
+        if kind == "fpaddi":
+            return self.emit("ADDI", [self.fp()], imm=payload, comment=comment)
+        return self.emit("RMOV", [payload], comment=comment)
+
+    def _select_call(self, instr):
+        callee = instr.callee_name()
+        if callee == "__halt":
+            self.emit("HALT")
+            return
+        # Phase 1 (prerequisites): materializations and the frame pointer,
+        # so that phase 2 can emit exactly one producer per argument.
+        plans = []
+        needs_fp = any(
+            isinstance(a, Alloca) or a in self.frame.spilled
+            for a in instr.operands
+        )
+        if needs_fp:
+            self.fp()
+        for arg in instr.operands:
+            plans.append(self._producer_plan(arg))
+        # Phase 2: arg0 producer first ... argN-1 immediately before JAL
+        # (Fig. 5: callee sees argN-1 at distance 2, arg0 at N+1).
+        for index, plan in enumerate(plans):
+            self._emit_producer(plan, comment=f"arg{index}")
+        jal = self.emit("JAL", target=callee)
+        self.mfunc.makes_calls = True
+        self.block_fp = None  # callee length unknown: all ages die here
+        retval = RetValValue(jal)
+        jal.retval_value = retval
+        if not instr.type.is_void():
+            self.define(instr, retval)
+
+    def _select_ret(self, instr):
+        # Prerequisites run before the SPADD that pops the frame (frame
+        # reloads must use the still-adjusted SP).
+        retval_plan = None
+        if instr.value is not None:
+            retval_plan = self._producer_plan(instr.value)
+            if retval_plan[0] == "ld":
+                retval_plan = ("rmov", self.emit_frame_load(retval_plan[1]))
+            elif retval_plan[0] == "fpaddi":
+                retval_plan = (
+                    "rmov",
+                    self.emit("ADDI", [self.fp()], imm=retval_plan[1]),
+                )
+        if self.frame.retaddr_spilled:
+            jr_src = self.emit_frame_load(
+                self.frame.slots[RETADDR_KEY], comment="reload retaddr"
+            )
+        else:
+            jr_src = self.mfunc.retaddr
+        if self.frame.frame_words > 0:
+            self.emit("SPADD", imm=self.frame.frame_words * 4, comment="pop frame")
+        if retval_plan is not None:
+            self._emit_producer(retval_plan, comment="retval")
+        self.emit("JR", [jr_src])

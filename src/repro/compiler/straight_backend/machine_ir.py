@@ -1,0 +1,233 @@
+"""Backend machine IR for STRAIGHT code generation.
+
+Between instruction selection and the distance walk, operands are *logical
+values*, not distances: a logical value is the machine instruction that
+produces it, or one of the calling-convention markers (arguments, the return
+address, a call's return value).  RMOVs inserted later (merge refreshes,
+bounding relays) re-produce an existing logical value, which is how one
+logical value can have many physical producers along a path while consumers
+stay oblivious — the distance walk resolves each use against the *nearest*
+producer via the age map.
+"""
+
+from repro.common.errors import CompileError
+
+
+class MValue:
+    """Base class of logical values.
+
+    Every logical value gets a creation-order ``uid`` so refresh lists and
+    live sets can be ordered deterministically (compilation must be
+    reproducible for the golden-code tests).
+    """
+
+    _next_uid = 0
+
+    def __init__(self):
+        self.uid = MValue._next_uid
+        MValue._next_uid += 1
+
+    def describe(self):
+        return repr(self)
+
+
+class ZeroValue(MValue):
+    """The zero register (distance 0)."""
+
+    def __init__(self):
+        super().__init__()
+
+    def __repr__(self):
+        return "$zero"
+
+
+#: Singleton zero value.
+ZERO = ZeroValue()
+
+
+class ArgValue(MValue):
+    """The ``index``-th incoming argument (entry age ``nargs - index + 1``)."""
+
+    def __init__(self, index, name=""):
+        super().__init__()
+        self.index = index
+        self.name = name
+
+    def __repr__(self):
+        return f"$arg{self.index}"
+
+
+class RetAddrValue(MValue):
+    """The caller's JAL value (entry age 1)."""
+
+    def __init__(self):
+        super().__init__()
+
+    def __repr__(self):
+        return "$retaddr"
+
+
+class RetValValue(MValue):
+    """The return value of a particular call site (resume age 2)."""
+
+    def __init__(self, call_site):
+        super().__init__()
+        self.call_site = call_site
+
+    def __repr__(self):
+        return "$retval"
+
+
+class MInst(MValue):
+    """One machine instruction; it *is* the logical value it produces.
+
+    ``srcs`` holds logical values; ``imm`` the immediate (if any);
+    ``target`` an :class:`MBlock` for branches/jumps or a function name for
+    JAL.  ``dists`` is filled by the distance walk.
+    """
+
+    def __init__(self, op, srcs=(), imm=None, target=None, comment=""):
+        super().__init__()
+        self.op = op
+        self.srcs = list(srcs)
+        self.imm = imm
+        self.target = target
+        self.dists = None
+        self.comment = comment
+
+    def is_terminator(self):
+        return self.op in ("J", "JR", "BEZ", "BNZ", "HALT")
+
+    def is_call(self):
+        return self.op == "JAL"
+
+    def is_pure_alu(self):
+        """Safe to sink: no memory, control, SP, or I/O effects."""
+        return self.op in (
+            "ADD",
+            "SUB",
+            "AND",
+            "OR",
+            "XOR",
+            "SLL",
+            "SRL",
+            "SRA",
+            "SLT",
+            "SLTU",
+            "MUL",
+            "ADDI",
+            "ANDI",
+            "ORI",
+            "XORI",
+            "SLLI",
+            "SRLI",
+            "SRAI",
+            "SLTI",
+            "SLTUI",
+            "LUI",
+            "RMOV",
+        )
+
+    def __repr__(self):
+        parts = [self.op]
+        parts.extend(repr(s) for s in self.srcs)
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            name = getattr(self.target, "label", self.target)
+            parts.append(f"-> {name}")
+        text = " ".join(parts)
+        if self.comment:
+            text += f"  # {self.comment}"
+        return text
+
+
+class RefreshItem:
+    """One slot of a merge block's refresh sequence.
+
+    ``target`` is the logical value the slot (re)produces at a fixed entry
+    distance.  ``source_for(pred)`` tells the emitter what to emit in a given
+    predecessor: the incoming logical value for phis, or ``target`` itself
+    for pass-through live values.  RE+ producer sinking replaces a
+    predecessor's slot with the original defining instruction.
+    """
+
+    def __init__(self, target, sources_by_pred=None):
+        self.target = target
+        self.sources_by_pred = sources_by_pred or {}
+        self.sunk_def_by_pred = {}
+
+    def source_for(self, pred):
+        return self.sources_by_pred.get(pred, self.target)
+
+    def __repr__(self):
+        return f"Refresh({self.target!r})"
+
+
+class MBlock:
+    """A machine basic block."""
+
+    def __init__(self, label, ir_block=None):
+        self.label = label
+        self.ir_block = ir_block
+        self.instrs = []
+        self.preds = []
+        self.refresh_list = []  # RefreshItems, only for merge blocks
+        # Filled by isel: logical values live out toward each successor,
+        # and spill stores that must run at block top (spilled phis).
+        self.rc_live_out = set()
+
+    def append(self, inst):
+        self.instrs.append(inst)
+        return inst
+
+    def successors(self):
+        succs = []
+        for inst in self.instrs:
+            if inst.op in ("BEZ", "BNZ", "J") and isinstance(inst.target, MBlock):
+                succs.append(inst.target)
+        return succs
+
+    @property
+    def is_merge(self):
+        return len(self.preds) >= 2
+
+    def __repr__(self):
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {inst!r}" for inst in self.instrs)
+        return "\n".join(lines)
+
+
+class MFunction:
+    """A function in backend machine form."""
+
+    def __init__(self, name, num_args, returns_value):
+        self.name = name
+        self.num_args = num_args
+        self.returns_value = returns_value
+        self.blocks = []
+        self.frame_words = 0
+        self.makes_calls = False
+        self.arg_values = [ArgValue(i) for i in range(num_args)]
+        self.retaddr = RetAddrValue()
+
+    def add_block(self, label, ir_block=None):
+        block = MBlock(label, ir_block)
+        self.blocks.append(block)
+        return block
+
+    @property
+    def entry(self):
+        if not self.blocks:
+            raise CompileError(f"function {self.name} has no machine blocks")
+        return self.blocks[0]
+
+    def compute_preds(self):
+        for block in self.blocks:
+            block.preds = []
+        for block in self.blocks:
+            for succ in block.successors():
+                succ.preds.append(block)
+
+    def __repr__(self):
+        return "\n".join(repr(b) for b in self.blocks)

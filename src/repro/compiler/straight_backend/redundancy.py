@@ -1,0 +1,71 @@
+"""RE+ redundancy elimination: producer sinking (paper §IV-D, Fig. 10(b)).
+
+A merge refresh slot normally holds ``RMOV [v]``.  When ``v``'s defining
+instruction sits in the same predecessor, is a pure ALU operation, and its
+result is consumed *only* by that refresh slot, the definition itself can be
+moved into the slot: it then "generates the value and adjusts the distance at
+the same time" and the RMOV disappears.  (The other half of RE+ — demoting
+loop-through values to the stack frame — runs earlier, in
+:func:`repro.compiler.straight_backend.frame.build_frame_info`.)
+"""
+
+from repro.compiler.straight_backend.machine_ir import MInst, ZERO
+
+
+def sink_producers(mfunc):
+    """Apply producer sinking to every merge block; returns RMOVs removed."""
+    removed = 0
+    for merge in mfunc.blocks:
+        if not merge.is_merge:
+            continue
+        for pred in merge.preds:
+            removed += _sink_into_pred(merge, pred)
+    return removed
+
+
+def _sink_into_pred(merge, pred):
+    removed = 0
+    for item in merge.refresh_list:
+        spec = item.sources_by_pred.get(pred)
+        if spec is None:
+            source = item.target
+        elif spec.kind == "rmov":
+            source = spec.payload
+        else:
+            continue  # ADDI/LD/SPADD refreshes are already single producers
+        if not isinstance(source, MInst) or not source.is_pure_alu():
+            continue
+        if source not in pred.instrs:
+            continue
+        if _refresh_use_count(merge, pred, source) != 1:
+            continue
+        def_index = pred.instrs.index(source)
+        tail = pred.instrs[def_index + 1 :]
+        if any(inst.op == "JAL" for inst in tail):
+            continue  # ages die at calls; cannot move the producer across
+        if any(source in inst.srcs for inst in tail):
+            continue  # still consumed in the block after its definition
+        pred.instrs.pop(def_index)
+        item.sunk_def_by_pred[pred] = source
+        removed += 1
+    return removed
+
+
+def _refresh_use_count(merge, pred, value):
+    """How many of ``merge``'s refresh slots consume ``value`` in ``pred``."""
+    count = 0
+    for item in merge.refresh_list:
+        if pred in item.sunk_def_by_pred:
+            count += sum(
+                1 for s in item.sunk_def_by_pred[pred].srcs if s is value
+            )
+            continue
+        spec = item.sources_by_pred.get(pred)
+        if spec is None:
+            if item.target is value:
+                count += 1
+        elif spec.kind == "rmov" and spec.payload is value:
+            count += 1
+        elif spec.kind in ("ld", "fpaddi") and spec.fp is value:
+            count += 1
+    return count

@@ -1,0 +1,39 @@
+"""The paper's contribution, packaged: STRAIGHT and SS core models + API.
+
+* :mod:`repro.core.configs` — the Table I processor models;
+* :mod:`repro.core.api` — ``build()`` (one source, three binaries: RV32IM,
+  STRAIGHT RAW, STRAIGHT RE+), ``run_functional()``, and ``simulate()``
+  (functional trace + cycle-level timing on a chosen core model).
+"""
+
+from repro.core.api import (
+    build,
+    simulate,
+    run_functional,
+    Binary,
+    BuildResult,
+    SimulationResult,
+)
+from repro.core.configs import (
+    ss_2way,
+    straight_2way,
+    ss_4way,
+    straight_4way,
+    TABLE1,
+    table1_rows,
+)
+
+__all__ = [
+    "build",
+    "simulate",
+    "run_functional",
+    "Binary",
+    "BuildResult",
+    "SimulationResult",
+    "ss_2way",
+    "straight_2way",
+    "ss_4way",
+    "straight_4way",
+    "TABLE1",
+    "table1_rows",
+]

@@ -1,0 +1,119 @@
+"""High-level API: source -> binaries -> functional run -> timing run.
+
+This is the entry point a downstream user reaches for::
+
+    from repro.core import build, simulate
+    from repro.core.configs import ss_4way, straight_4way
+
+    binaries = build(source_text)
+    ss = simulate(binaries.riscv, ss_4way())
+    st = simulate(binaries.straight_re, straight_4way())
+    print(st.stats.ipc / ss.stats.ipc)
+"""
+
+from repro.common.errors import SimulationError
+from repro.frontend import compile_source
+from repro.compiler import compile_to_riscv, compile_to_straight
+from repro.riscv import RiscvInterpreter
+from repro.straight import StraightInterpreter
+from repro.uarch.core import OoOCore
+
+
+class Binary:
+    """One linked executable plus which ISA it targets."""
+
+    def __init__(self, isa, program, compilation):
+        self.isa = isa  # 'riscv' | 'straight'
+        self.program = program
+        self.compilation = compilation
+
+    def interpreter(self, collect_trace=False):
+        if self.isa == "riscv":
+            return RiscvInterpreter(self.program, collect_trace=collect_trace)
+        return StraightInterpreter(self.program, collect_trace=collect_trace)
+
+
+class BuildResult:
+    """The three binaries the paper evaluates for every benchmark."""
+
+    def __init__(self, module, riscv, straight_raw, straight_re):
+        self.module = module
+        self.riscv = riscv
+        self.straight_raw = straight_raw
+        self.straight_re = straight_re
+
+    def all(self):
+        return {
+            "SS": self.riscv,
+            "STRAIGHT-RAW": self.straight_raw,
+            "STRAIGHT-RE+": self.straight_re,
+        }
+
+
+def build(source, max_distance=1023, optimize=True):
+    """Compile mini-C source to RV32IM + STRAIGHT RAW + STRAIGHT RE+ binaries."""
+    module = compile_source(source, optimize=optimize)
+    riscv = compile_to_riscv(module)
+    raw = compile_to_straight(
+        module, max_distance=max_distance, redundancy_elimination=False
+    )
+    re_plus = compile_to_straight(
+        module, max_distance=max_distance, redundancy_elimination=True
+    )
+    return BuildResult(
+        module,
+        Binary("riscv", riscv.link(), riscv),
+        Binary("straight", raw.link(), raw),
+        Binary("straight", re_plus.link(), re_plus),
+    )
+
+
+class SimulationResult:
+    """Functional + timing results for one binary on one core."""
+
+    def __init__(self, binary, config, run_result, interpreter, stats):
+        self.binary = binary
+        self.config = config
+        self.run_result = run_result
+        self.interpreter = interpreter
+        self.stats = stats  # SimStats (None for functional-only runs)
+
+    @property
+    def output(self):
+        return self.run_result.output
+
+    @property
+    def cycles(self):
+        return self.stats.cycles
+
+    @property
+    def ipc(self):
+        return self.stats.ipc
+
+
+def run_functional(binary, max_steps=50_000_000, collect_trace=False):
+    """Execute a binary on its ISA's functional simulator."""
+    interp = binary.interpreter(collect_trace=collect_trace)
+    result = interp.run(max_steps)
+    if result.status == "limit":
+        raise SimulationError(
+            f"functional run did not finish within {max_steps} steps"
+        )
+    return SimulationResult(binary, None, result, interp, None)
+
+
+def simulate(binary, config, max_steps=50_000_000, warm_caches=False):
+    """Run a binary through the functional ISS, then the timing model.
+
+    ``warm_caches=True`` pre-touches all lines so compulsory misses do not
+    dominate short runs (the evaluation harness uses this; see DESIGN.md).
+    """
+    interp = binary.interpreter(collect_trace=True)
+    result = interp.run(max_steps)
+    if result.status == "limit":
+        raise SimulationError(
+            f"functional run did not finish within {max_steps} steps"
+        )
+    core = OoOCore(config)
+    stats = core.run(interp.trace, warm=warm_caches)
+    return SimulationResult(binary, config, result, interp, stats)

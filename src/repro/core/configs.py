@@ -1,0 +1,139 @@
+"""Table I: the four evaluated processor models.
+
+Sizes of each module are equal between the SS and STRAIGHT columns of one
+class to clarify the comparison; STRAIGHT's max distance of 31 is chosen so
+that ``MAX_RP = 31 + ROB`` lands on the same register-file size as SS
+(2-way: 31+64≈96, 4-way: 31+224≈256), exactly as the paper explains.
+"""
+
+from repro.uarch.config import CoreConfig, CacheConfig
+
+_CACHES_COMMON = dict(
+    l1i=CacheConfig(32, 4, 64, 4),
+    l1d=CacheConfig(32, 4, 64, 4),
+    l2=CacheConfig(256, 4, 64, 12),
+    mem_latency=200,
+)
+
+_UNITS_2WAY = {"alu": 2, "mul": 1, "div": 1, "bc": 2, "mem": 2}
+_UNITS_4WAY = {"alu": 4, "mul": 2, "div": 1, "bc": 4, "mem": 4}
+
+
+def ss_2way(**overrides):
+    """SS-2way: the conventional superscalar mobile-class core."""
+    return CoreConfig(
+        name="SS-2way",
+        is_straight=False,
+        fetch_width=2,
+        issue_width=2,
+        commit_width=3,
+        frontend_depth=8,
+        rename_stage_depth=4,
+        rob_entries=64,
+        iq_entries=16,
+        phys_regs=96,
+        lsq_loads=48,
+        lsq_stores=48,
+        units=_UNITS_2WAY,
+        l3=None,
+        **_CACHES_COMMON,
+    ).copy(**overrides)
+
+
+def straight_2way(**overrides):
+    """STRAIGHT-2way: same resources, RP front end, 6-stage front end."""
+    return CoreConfig(
+        name="STRAIGHT-2way",
+        is_straight=True,
+        fetch_width=2,
+        issue_width=2,
+        commit_width=3,
+        frontend_depth=6,
+        rename_stage_depth=0,
+        rob_entries=64,
+        iq_entries=16,
+        phys_regs=96,  # == max_distance(31) + ROB(64) + 1
+        lsq_loads=48,
+        lsq_stores=48,
+        units=_UNITS_2WAY,
+        max_distance=31,
+        l3=None,
+        **_CACHES_COMMON,
+    ).copy(**overrides)
+
+
+def ss_4way(**overrides):
+    """SS-4way: the high-end desktop/server-class core."""
+    return CoreConfig(
+        name="SS-4way",
+        is_straight=False,
+        fetch_width=6,
+        issue_width=4,
+        commit_width=4,
+        frontend_depth=8,
+        rename_stage_depth=4,
+        rob_entries=224,
+        iq_entries=96,
+        phys_regs=256,
+        lsq_loads=72,
+        lsq_stores=56,
+        units=_UNITS_4WAY,
+        l3=CacheConfig(2048, 4, 64, 42),
+        **_CACHES_COMMON,
+    ).copy(**overrides)
+
+
+def straight_4way(**overrides):
+    """STRAIGHT-4way: same resources, RP front end, 6-stage front end."""
+    return CoreConfig(
+        name="STRAIGHT-4way",
+        is_straight=True,
+        fetch_width=6,
+        issue_width=4,
+        commit_width=4,
+        frontend_depth=6,
+        rename_stage_depth=0,
+        rob_entries=224,
+        iq_entries=96,
+        phys_regs=256,  # == max_distance(31) + ROB(224) + 1
+        lsq_loads=72,
+        lsq_stores=56,
+        units=_UNITS_4WAY,
+        max_distance=31,
+        l3=CacheConfig(2048, 4, 64, 42),
+        **_CACHES_COMMON,
+    ).copy(**overrides)
+
+
+#: All Table I models by name.
+TABLE1 = {
+    "SS-2way": ss_2way,
+    "STRAIGHT-2way": straight_2way,
+    "SS-4way": ss_4way,
+    "STRAIGHT-4way": straight_4way,
+}
+
+
+def table1_rows():
+    """Printable parameter rows for the Table I reproduction bench."""
+    rows = []
+    for factory in (ss_2way, straight_2way, ss_4way, straight_4way):
+        cfg = factory()
+        rows.append(
+            {
+                "Model": cfg.name,
+                "ISA": "STRAIGHT" if cfg.is_straight else "RV32IM",
+                "Fetch Width": cfg.fetch_width,
+                "Front-end latency": cfg.frontend_depth,
+                "ROB Capacity": cfg.rob_entries,
+                "Scheduler": f"{cfg.issue_width} way, {cfg.iq_entries} entries",
+                "Register File": cfg.phys_regs,
+                "LSQ": f"LD {cfg.lsq_loads} / ST {cfg.lsq_stores}",
+                "Exec Unit": ", ".join(
+                    f"{k.upper()} {v}" for k, v in cfg.units.items()
+                ),
+                "Commit Width": cfg.commit_width,
+                "L3": "N/A" if cfg.l3 is None else f"{cfg.l3.size_kib} KiB",
+            }
+        )
+    return rows

@@ -1,0 +1,32 @@
+"""Mini-C front end (the reproduction's clang substitute).
+
+A small C dialect sufficient to express the paper's benchmarks: 32-bit
+``int``/``uint``, pointers and one-dimensional arrays, full statement-level
+control flow, functions, globals, and an ``__out(x)`` builtin writing to the
+validation output channel.  Compilation goes AST -> alloca-form IR ->
+(mem2reg) -> SSA, mirroring clang -> LLVM IR.
+
+Use :func:`compile_source` to get an optimized SSA module from source text.
+"""
+
+from repro.frontend.lexer import tokenize, Token
+from repro.frontend.parser import parse
+from repro.frontend.sema import analyze
+from repro.frontend.lowering import lower_program
+from repro.ir.passes import default_pipeline
+from repro.ir.verifier import verify_module
+
+
+def compile_source(source, module_name="main", optimize=True):
+    """Compile mini-C ``source`` into a verified (optionally optimized) SSA module."""
+    program = parse(tokenize(source))
+    analyze(program)
+    module = lower_program(program, module_name)
+    verify_module(module)
+    if optimize:
+        default_pipeline().run(module)
+        verify_module(module)
+    return module
+
+
+__all__ = ["tokenize", "Token", "parse", "analyze", "lower_program", "compile_source"]

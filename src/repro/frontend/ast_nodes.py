@@ -1,0 +1,239 @@
+"""Mini-C abstract syntax tree nodes.
+
+Nodes are plain data carriers; semantic analysis (:mod:`repro.frontend.sema`)
+annotates expressions with a ``ctype`` attribute and declarations with symbol
+information, which lowering then consumes.
+"""
+
+
+class Node:
+    """Base AST node carrying a source line for diagnostics."""
+
+    def __init__(self, line=None):
+        self.line = line
+
+
+# -- types (the front end's C types, distinct from IR types) -------------------
+
+
+class CType:
+    """A mini-C type: ``int``/``uint``/``void`` with a pointer depth."""
+
+    def __init__(self, base, pointer_depth=0):
+        if base not in ("int", "uint", "void"):
+            raise ValueError(f"bad base type {base!r}")
+        self.base = base
+        self.pointer_depth = pointer_depth
+
+    def is_pointer(self):
+        return self.pointer_depth > 0
+
+    def is_void(self):
+        return self.base == "void" and self.pointer_depth == 0
+
+    def is_unsigned_arith(self):
+        """Unsigned semantics: ``uint`` values and all pointers."""
+        return self.is_pointer() or self.base == "uint"
+
+    def pointee(self):
+        if not self.is_pointer():
+            raise ValueError("pointee() of non-pointer")
+        return CType(self.base, self.pointer_depth - 1)
+
+    def pointer_to(self):
+        return CType(self.base, self.pointer_depth + 1)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, CType)
+            and other.base == self.base
+            and other.pointer_depth == self.pointer_depth
+        )
+
+    def __hash__(self):
+        return hash((self.base, self.pointer_depth))
+
+    def __repr__(self):
+        return self.base + "*" * self.pointer_depth
+
+
+INT = CType("int")
+UINT = CType("uint")
+VOID_T = CType("void")
+
+
+# -- declarations ---------------------------------------------------------------
+
+
+class Program(Node):
+    def __init__(self, decls):
+        super().__init__()
+        self.decls = decls  # GlobalDecl | FuncDef
+
+
+class GlobalDecl(Node):
+    def __init__(self, ctype, name, array_size, initializer, line):
+        super().__init__(line)
+        self.ctype = ctype
+        self.name = name
+        self.array_size = array_size  # None for scalars
+        self.initializer = initializer  # None | int | list[int]
+
+
+class Param(Node):
+    def __init__(self, ctype, name, line):
+        super().__init__(line)
+        self.ctype = ctype
+        self.name = name
+
+
+class FuncDef(Node):
+    def __init__(self, return_type, name, params, body, line):
+        super().__init__(line)
+        self.return_type = return_type
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+# -- statements ---------------------------------------------------------------
+
+
+class Block(Node):
+    def __init__(self, statements, line):
+        super().__init__(line)
+        self.statements = statements
+
+
+class VarDecl(Node):
+    def __init__(self, ctype, name, array_size, init_expr, line):
+        super().__init__(line)
+        self.ctype = ctype
+        self.name = name
+        self.array_size = array_size
+        self.init_expr = init_expr
+
+
+class If(Node):
+    def __init__(self, cond, then_stmt, else_stmt, line):
+        super().__init__(line)
+        self.cond = cond
+        self.then_stmt = then_stmt
+        self.else_stmt = else_stmt
+
+
+class While(Node):
+    def __init__(self, cond, body, line):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Node):
+    def __init__(self, body, cond, line):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Node):
+    def __init__(self, init, cond, step, body, line):
+        super().__init__(line)
+        self.init = init  # stmt or None
+        self.cond = cond  # expr or None
+        self.step = step  # expr or None
+        self.body = body
+
+
+class Return(Node):
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Node):
+    pass
+
+
+class Continue(Node):
+    pass
+
+
+class ExprStmt(Node):
+    def __init__(self, expr, line):
+        super().__init__(line)
+        self.expr = expr
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base expression; ``ctype`` is filled in by sema."""
+
+    def __init__(self, line=None):
+        super().__init__(line)
+        self.ctype = None
+
+
+class IntLiteral(Expr):
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class Identifier(Expr):
+    def __init__(self, name, line):
+        super().__init__(line)
+        self.name = name
+        self.symbol = None  # filled by sema
+
+
+class Unary(Expr):
+    """op in {'-','!','~','*','&','++pre','--pre','++post','--post'}."""
+
+    def __init__(self, op, operand, line):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    def __init__(self, op, lhs, rhs, line):
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Assign(Expr):
+    """``op`` is '=' or a compound operator like '+='."""
+
+    def __init__(self, op, target, value, line):
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Ternary(Expr):
+    def __init__(self, cond, iftrue, iffalse, line):
+        super().__init__(line)
+        self.cond = cond
+        self.iftrue = iftrue
+        self.iffalse = iffalse
+
+
+class IndexExpr(Expr):
+    def __init__(self, base, index, line):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class CallExpr(Expr):
+    def __init__(self, name, args, line):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+        self.func = None  # filled by sema (FuncDef or builtin marker)

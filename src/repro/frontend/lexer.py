@@ -1,0 +1,176 @@
+"""Mini-C lexer."""
+
+from repro.common.errors import CompileError
+
+KEYWORDS = {
+    "int",
+    "uint",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "do",
+    "return",
+    "break",
+    "continue",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    "?",
+    ":",
+]
+
+
+class Token:
+    """A lexical token: ``kind`` in {'ident','number','keyword','op','eof'}."""
+
+    __slots__ = ("kind", "text", "value", "line", "column")
+
+    def __init__(self, kind, text, line, column, value=None):
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+def tokenize(source):
+    """Tokenize mini-C source text; returns a list ending with an EOF token."""
+    tokens = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def error(message):
+        raise CompileError(message, line=line, column=pos - line_start + 1)
+
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            nl = source.find("\n", pos)
+            pos = length if nl < 0 else nl
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                error("unterminated block comment")
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+
+        column = pos - line_start + 1
+        if ch.isdigit():
+            start = pos
+            if source.startswith(("0x", "0X"), pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                text = source[start:pos]
+                value = int(text, 16)
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                text = source[start:pos]
+                value = int(text)
+            if value >= 1 << 32:
+                error(f"integer literal {text} exceeds 32 bits")
+            tokens.append(Token("number", text, line, column, value))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            continue
+        if ch == "'":
+            if pos + 2 < length and source[pos + 1] == "\\":
+                escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39, "r": 13}
+                esc = source[pos + 2]
+                if esc not in escapes or source[pos + 3] != "'":
+                    error("bad character literal")
+                tokens.append(
+                    Token("number", source[pos : pos + 4], line, column, escapes[esc])
+                )
+                pos += 4
+            elif pos + 2 < length and source[pos + 2] == "'":
+                tokens.append(
+                    Token(
+                        "number",
+                        source[pos : pos + 3],
+                        line,
+                        column,
+                        ord(source[pos + 1]),
+                    )
+                )
+                pos += 3
+            else:
+                error("bad character literal")
+            continue
+
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, line, column))
+                pos += len(op)
+                break
+        else:
+            error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

@@ -1,0 +1,383 @@
+"""AST -> IR lowering.
+
+Locals are lowered to allocas with explicit loads/stores (clang's strategy);
+the mem2reg pass then rewrites them into phi-form SSA.  Short-circuit
+operators and ternaries also use temporary allocas, so *every* merge-point
+phi in the final IR comes out of mem2reg by one mechanism.
+"""
+
+from repro.common.errors import CompileError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.sema import BUILTINS
+from repro.ir import Module, IRBuilder
+from repro.ir.values import ConstantInt
+
+
+def lower_program(program, module_name="main"):
+    """Lower a type-checked program into an IR :class:`Module`."""
+    module = Module(module_name)
+    for decl in program.decls:
+        if isinstance(decl, ast.GlobalDecl):
+            size = decl.array_size if decl.array_size is not None else 1
+            init = decl.initializer
+            if init is not None and not isinstance(init, list):
+                init = [init]
+            module.add_global(decl.name, size, init)
+    for decl in program.decls:
+        if isinstance(decl, ast.FuncDef):
+            _FunctionLowerer(module, decl).run()
+    return module
+
+
+class _FunctionLowerer:
+    def __init__(self, module, func_def):
+        self.module = module
+        self.func_def = func_def
+        returns_value = not func_def.return_type.is_void()
+        self.func = module.add_function(
+            func_def.name,
+            [p.name for p in func_def.params],
+            returns_value,
+        )
+        self.builder = IRBuilder(self.func)
+        self.slots = {}  # VarSymbol -> alloca (or GlobalVariable)
+        self.break_targets = []
+        self.continue_targets = []
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self):
+        entry = self.func.add_block("entry")
+        self.builder.set_insert_point(entry)
+        for param, arg in zip(self.func_def.params, self.func.params):
+            slot = self.builder.alloca(1, name=param.name)
+            self.builder.store(arg, slot)
+            self.slots[param.symbol] = slot
+        self.lower_block(self.func_def.body)
+        if not self.builder.block.is_terminated():
+            if self.func.return_type.is_void():
+                self.builder.ret()
+            else:
+                self.builder.ret(ConstantInt(0))
+
+    # -- statements ----------------------------------------------------------------
+
+    def lower_block(self, block):
+        for stmt in block.statements:
+            self.lower_statement(stmt)
+
+    def _start_dead_block(self):
+        dead = self.func.add_block("dead")
+        self.builder.set_insert_point(dead)
+
+    def lower_statement(self, stmt):
+        if self.builder.block.is_terminated():
+            # Code after return/break/continue: emit into an unreachable
+            # block and let simplify-cfg delete it.
+            self._start_dead_block()
+        if isinstance(stmt, ast.Block):
+            self.lower_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._lower_var_decl(stmt)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.builder.ret()
+            else:
+                self.builder.ret(self.rvalue(stmt.value))
+        elif isinstance(stmt, ast.Break):
+            self.builder.br(self.break_targets[-1])
+        elif isinstance(stmt, ast.Continue):
+            self.builder.br(self.continue_targets[-1])
+        elif isinstance(stmt, ast.ExprStmt):
+            self.rvalue(stmt.expr, discard=True)
+        else:
+            raise CompileError(f"cannot lower statement {stmt!r}", line=stmt.line)
+
+    def _lower_var_decl(self, stmt):
+        size = stmt.array_size if stmt.array_size is not None else 1
+        slot = self.builder.alloca(size, name=stmt.name)
+        self.slots[stmt.symbol] = slot
+        if stmt.init_expr is not None:
+            self.builder.store(self.rvalue(stmt.init_expr), slot)
+
+    def _lower_if(self, stmt):
+        then_block = self.func.add_block("if.then")
+        end_block = self.func.add_block("if.end")
+        else_block = (
+            self.func.add_block("if.else") if stmt.else_stmt is not None else end_block
+        )
+        self.builder.cond_br(self.rvalue(stmt.cond), then_block, else_block)
+
+        self.builder.set_insert_point(then_block)
+        self.lower_statement(stmt.then_stmt)
+        if not self.builder.block.is_terminated():
+            self.builder.br(end_block)
+
+        if stmt.else_stmt is not None:
+            self.builder.set_insert_point(else_block)
+            self.lower_statement(stmt.else_stmt)
+            if not self.builder.block.is_terminated():
+                self.builder.br(end_block)
+
+        self.builder.set_insert_point(end_block)
+
+    def _lower_while(self, stmt):
+        cond_block = self.func.add_block("while.cond")
+        body_block = self.func.add_block("while.body")
+        end_block = self.func.add_block("while.end")
+        self.builder.br(cond_block)
+        self.builder.set_insert_point(cond_block)
+        self.builder.cond_br(self.rvalue(stmt.cond), body_block, end_block)
+        self._lower_loop_body(stmt.body, body_block, cond_block, end_block)
+        self.builder.set_insert_point(end_block)
+
+    def _lower_do_while(self, stmt):
+        body_block = self.func.add_block("do.body")
+        cond_block = self.func.add_block("do.cond")
+        end_block = self.func.add_block("do.end")
+        self.builder.br(body_block)
+        self._lower_loop_body(stmt.body, body_block, cond_block, end_block)
+        self.builder.set_insert_point(cond_block)
+        self.builder.cond_br(self.rvalue(stmt.cond), body_block, end_block)
+        self.builder.set_insert_point(end_block)
+
+    def _lower_for(self, stmt):
+        if stmt.init is not None:
+            self.lower_statement(stmt.init)
+        cond_block = self.func.add_block("for.cond")
+        body_block = self.func.add_block("for.body")
+        step_block = self.func.add_block("for.step")
+        end_block = self.func.add_block("for.end")
+        self.builder.br(cond_block)
+        self.builder.set_insert_point(cond_block)
+        if stmt.cond is not None:
+            self.builder.cond_br(self.rvalue(stmt.cond), body_block, end_block)
+        else:
+            self.builder.br(body_block)
+        self._lower_loop_body(stmt.body, body_block, step_block, end_block)
+        self.builder.set_insert_point(step_block)
+        if stmt.step is not None:
+            self.rvalue(stmt.step, discard=True)
+        self.builder.br(cond_block)
+        self.builder.set_insert_point(end_block)
+
+    def _lower_loop_body(self, body, body_block, continue_target, break_target):
+        self.builder.set_insert_point(body_block)
+        self.break_targets.append(break_target)
+        self.continue_targets.append(continue_target)
+        try:
+            self.lower_statement(body)
+        finally:
+            self.break_targets.pop()
+            self.continue_targets.pop()
+        if not self.builder.block.is_terminated():
+            self.builder.br(continue_target)
+
+    # -- expression lowering ----------------------------------------------------
+
+    def rvalue(self, expr, discard=False):
+        """Lower ``expr`` for its value (``discard=True`` for expr-statements)."""
+        if isinstance(expr, ast.IntLiteral):
+            return ConstantInt(expr.value)
+        if isinstance(expr, ast.Identifier):
+            if expr.symbol.is_array:
+                return self._address_of_symbol(expr.symbol)
+            return self.builder.load(self.lvalue(expr), name=expr.name)
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._lower_ternary(expr)
+        if isinstance(expr, ast.IndexExpr):
+            return self.builder.load(self.lvalue(expr))
+        if isinstance(expr, ast.CallExpr):
+            return self._lower_call(expr, discard)
+        raise CompileError(f"cannot lower expression {expr!r}", line=expr.line)
+
+    def lvalue(self, expr):
+        """Lower ``expr`` to the address it denotes."""
+        if isinstance(expr, ast.Identifier):
+            return self._address_of_symbol(expr.symbol)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self.rvalue(expr.operand)
+        if isinstance(expr, ast.IndexExpr):
+            base = self.rvalue(expr.base)
+            return self.builder.gep(base, self.rvalue(expr.index))
+        raise CompileError("expression is not addressable", line=expr.line)
+
+    def _address_of_symbol(self, symbol):
+        if symbol.kind == "global":
+            return self.module.globals[symbol.name]
+        return self.slots[symbol]
+
+    def _lower_unary(self, expr):
+        op = expr.op
+        if op == "-":
+            return self.builder.sub(ConstantInt(0), self.rvalue(expr.operand))
+        if op == "~":
+            return self.builder.xor(self.rvalue(expr.operand), ConstantInt(0xFFFFFFFF))
+        if op == "!":
+            return self.builder.icmp("eq", self.rvalue(expr.operand), ConstantInt(0))
+        if op == "*":
+            return self.builder.load(self.rvalue(expr.operand))
+        if op == "&":
+            return self.lvalue(expr.operand)
+        if op in ("++pre", "--pre", "++post", "--post"):
+            slot = self.lvalue(expr.operand)
+            old = self.builder.load(slot)
+            delta = 1 if op.startswith("++") else -1
+            if expr.operand.ctype.is_pointer():
+                new = self.builder.gep(old, ConstantInt(delta))
+            else:
+                new = self.builder.add(old, ConstantInt(delta))
+            self.builder.store(new, slot)
+            return old if op.endswith("post") else new
+        raise CompileError(f"cannot lower unary {op!r}", line=expr.line)
+
+    #: Mini-C operator -> (signed IR opcode, unsigned IR opcode).
+    _ARITH_OPS = {
+        "+": ("add", "add"),
+        "-": ("sub", "sub"),
+        "*": ("mul", "mul"),
+        "/": ("sdiv", "udiv"),
+        "%": ("srem", "urem"),
+        "&": ("and", "and"),
+        "|": ("or", "or"),
+        "^": ("xor", "xor"),
+        "<<": ("shl", "shl"),
+        ">>": ("ashr", "lshr"),
+    }
+    _CMP_OPS = {
+        "==": ("eq", "eq"),
+        "!=": ("ne", "ne"),
+        "<": ("slt", "ult"),
+        "<=": ("sle", "ule"),
+        ">": ("sgt", "ugt"),
+        ">=": ("sge", "uge"),
+    }
+
+    @staticmethod
+    def _operands_unsigned(lhs, rhs):
+        return lhs.ctype.is_unsigned_arith() or rhs.ctype.is_unsigned_arith()
+
+    def _lower_binary(self, expr):
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._lower_short_circuit(expr)
+        lt, rt = expr.lhs.ctype, expr.rhs.ctype
+        if op in ("+", "-") and (lt.is_pointer() or rt.is_pointer()):
+            return self._lower_pointer_arith(expr, lt, rt)
+        lhs = self.rvalue(expr.lhs)
+        rhs = self.rvalue(expr.rhs)
+        unsigned = self._operands_unsigned(expr.lhs, expr.rhs)
+        if op in self._CMP_OPS:
+            pred = self._CMP_OPS[op][1 if unsigned else 0]
+            return self.builder.icmp(pred, lhs, rhs)
+        if op == ">>":
+            # Shift signedness follows the *shifted* operand, as in C.
+            unsigned = expr.lhs.ctype.is_unsigned_arith()
+        opcode = self._ARITH_OPS[op][1 if unsigned else 0]
+        return self.builder.binop(opcode, lhs, rhs)
+
+    def _lower_pointer_arith(self, expr, lt, rt):
+        op = expr.op
+        if lt.is_pointer() and rt.is_pointer():
+            diff = self.builder.sub(self.rvalue(expr.lhs), self.rvalue(expr.rhs))
+            return self.builder.ashr(diff, ConstantInt(2))
+        if lt.is_pointer():
+            index = self.rvalue(expr.rhs)
+            if op == "-":
+                index = self.builder.sub(ConstantInt(0), index)
+            return self.builder.gep(self.rvalue(expr.lhs), index)
+        # int + ptr
+        return self.builder.gep(self.rvalue(expr.rhs), self.rvalue(expr.lhs))
+
+    def _lower_short_circuit(self, expr):
+        result = self.builder.alloca(1, name="sc")
+        rhs_block = self.func.add_block("sc.rhs")
+        end_block = self.func.add_block("sc.end")
+        lhs = self.rvalue(expr.lhs)
+        lhs_bool = self.builder.icmp("ne", lhs, ConstantInt(0))
+        self.builder.store(lhs_bool, result)
+        if expr.op == "&&":
+            self.builder.cond_br(lhs_bool, rhs_block, end_block)
+        else:
+            self.builder.cond_br(lhs_bool, end_block, rhs_block)
+        self.builder.set_insert_point(rhs_block)
+        rhs = self.rvalue(expr.rhs)
+        rhs_bool = self.builder.icmp("ne", rhs, ConstantInt(0))
+        self.builder.store(rhs_bool, result)
+        self.builder.br(end_block)
+        self.builder.set_insert_point(end_block)
+        return self.builder.load(result)
+
+    def _lower_ternary(self, expr):
+        result = self.builder.alloca(1, name="tern")
+        true_block = self.func.add_block("tern.true")
+        false_block = self.func.add_block("tern.false")
+        end_block = self.func.add_block("tern.end")
+        self.builder.cond_br(self.rvalue(expr.cond), true_block, false_block)
+        self.builder.set_insert_point(true_block)
+        self.builder.store(self.rvalue(expr.iftrue), result)
+        self.builder.br(end_block)
+        self.builder.set_insert_point(false_block)
+        self.builder.store(self.rvalue(expr.iffalse), result)
+        self.builder.br(end_block)
+        self.builder.set_insert_point(end_block)
+        return self.builder.load(result)
+
+    def _lower_assign(self, expr):
+        slot = self.lvalue(expr.target)
+        if expr.op == "=":
+            value = self.rvalue(expr.value)
+            self.builder.store(value, slot)
+            return value
+        base_op = expr.op[:-1]  # '+=' -> '+'
+        old = self.builder.load(slot)
+        rhs = self.rvalue(expr.value)
+        if expr.target.ctype.is_pointer():
+            if base_op == "-":
+                rhs = self.builder.sub(ConstantInt(0), rhs)
+            new = self.builder.gep(old, rhs)
+        else:
+            unsigned = expr.target.ctype.is_unsigned_arith() or (
+                expr.value.ctype.is_unsigned_arith() and base_op not in ("<<", ">>")
+            )
+            if base_op == ">>":
+                unsigned = expr.target.ctype.is_unsigned_arith()
+            opcode = self._ARITH_OPS[base_op][1 if unsigned else 0]
+            new = self.builder.binop(opcode, old, rhs)
+        self.builder.store(new, slot)
+        return new
+
+    def _lower_call(self, expr, discard):
+        args = [self.rvalue(arg) for arg in expr.args]
+        if expr.name in BUILTINS:
+            if expr.name == "__out":
+                self.builder.output(args[0])
+                return ConstantInt(0)
+            # __halt and any future builtins become named void calls the
+            # backends recognize.
+            self.builder.call(expr.name, args, returns_value=False)
+            return ConstantInt(0)
+        callee = self.module.get_function(expr.name)
+        returns_value = not callee.return_type.is_void()
+        result = self.builder.call(callee, args, returns_value=returns_value)
+        if returns_value:
+            return result
+        if not discard:
+            raise CompileError(
+                f"void call to {expr.name!r} used as a value", line=expr.line
+            )
+        return ConstantInt(0)

@@ -1,0 +1,360 @@
+"""Mini-C recursive-descent parser."""
+
+from repro.common.errors import CompileError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.ast_nodes import CType
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self):
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind, text=None):
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind, text=None):
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind, text=None):
+        tok = self.peek()
+        if not self.check(kind, text):
+            want = text or kind
+            raise CompileError(
+                f"expected {want!r}, found {tok.text!r}", line=tok.line
+            )
+        return self.advance()
+
+    def error(self, message):
+        raise CompileError(message, line=self.peek().line)
+
+    # -- types ---------------------------------------------------------------
+
+    def at_type(self):
+        return self.check("keyword", "int") or self.check(
+            "keyword", "uint"
+        ) or self.check("keyword", "void")
+
+    def parse_type(self):
+        tok = self.advance()
+        if tok.text not in ("int", "uint", "void"):
+            raise CompileError(f"expected a type, found {tok.text!r}", tok.line)
+        depth = 0
+        while self.accept("op", "*"):
+            depth += 1
+        if tok.text == "void" and depth > 0:
+            # void* is not part of the dialect; keep the type system tiny.
+            self.error("pointer to void is not supported")
+        return CType(tok.text, depth)
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_program(self):
+        decls = []
+        while not self.check("eof"):
+            decls.append(self.parse_top_level())
+        return ast.Program(decls)
+
+    def parse_top_level(self):
+        line = self.peek().line
+        ctype = self.parse_type()
+        name = self.expect("ident").text
+        if self.check("op", "("):
+            return self.parse_func_def(ctype, name, line)
+        return self.parse_global(ctype, name, line)
+
+    def parse_global(self, ctype, name, line):
+        if ctype.is_void():
+            self.error("global cannot have type void")
+        array_size = None
+        if self.accept("op", "["):
+            array_size = self.expect("number").value
+            self.expect("op", "]")
+            if array_size <= 0:
+                self.error("array size must be positive")
+        initializer = None
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                initializer = [self.parse_init_constant()]
+                while self.accept("op", ","):
+                    if self.check("op", "}"):
+                        break
+                    initializer.append(self.parse_init_constant())
+                self.expect("op", "}")
+                if array_size is None:
+                    array_size = len(initializer)
+            else:
+                initializer = self.parse_init_constant()
+        self.expect("op", ";")
+        return ast.GlobalDecl(ctype, name, array_size, initializer, line)
+
+    def parse_init_constant(self):
+        negative = bool(self.accept("op", "-"))
+        value = self.expect("number").value
+        return -value if negative else value
+
+    def parse_func_def(self, return_type, name, line):
+        self.expect("op", "(")
+        params = []
+        if not self.check("op", ")"):
+            if self.check("keyword", "void") and self.peek(1).text == ")":
+                self.advance()
+            else:
+                while True:
+                    p_line = self.peek().line
+                    p_type = self.parse_type()
+                    if p_type.is_void():
+                        self.error("parameter cannot have type void")
+                    p_name = self.expect("ident").text
+                    params.append(ast.Param(p_type, p_name, p_line))
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.FuncDef(return_type, name, params, body, line)
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_block(self):
+        line = self.expect("op", "{").line
+        statements = []
+        while not self.check("op", "}"):
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return ast.Block(statements, line)
+
+    def parse_statement(self):
+        tok = self.peek()
+        if tok.kind == "op" and tok.text == "{":
+            return self.parse_block()
+        if self.at_type():
+            return self.parse_var_decl()
+        if tok.kind == "keyword":
+            handler = {
+                "if": self.parse_if,
+                "while": self.parse_while,
+                "do": self.parse_do_while,
+                "for": self.parse_for,
+                "return": self.parse_return,
+                "break": self.parse_break,
+                "continue": self.parse_continue,
+            }.get(tok.text)
+            if handler:
+                return handler()
+        if self.accept("op", ";"):
+            return ast.Block([], tok.line)
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr, tok.line)
+
+    def parse_var_decl(self):
+        line = self.peek().line
+        ctype = self.parse_type()
+        if ctype.is_void():
+            self.error("variable cannot have type void")
+        name = self.expect("ident").text
+        array_size = None
+        if self.accept("op", "["):
+            array_size = self.expect("number").value
+            self.expect("op", "]")
+            if array_size <= 0:
+                self.error("array size must be positive")
+        init_expr = None
+        if self.accept("op", "="):
+            if array_size is not None:
+                self.error("array initializers are only supported for globals")
+            init_expr = self.parse_expression()
+        self.expect("op", ";")
+        return ast.VarDecl(ctype, name, array_size, init_expr, line)
+
+    def parse_if(self):
+        line = self.expect("keyword", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then_stmt = self.parse_statement()
+        else_stmt = None
+        if self.accept("keyword", "else"):
+            else_stmt = self.parse_statement()
+        return ast.If(cond, then_stmt, else_stmt, line)
+
+    def parse_while(self):
+        line = self.expect("keyword", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.While(cond, body, line)
+
+    def parse_do_while(self):
+        line = self.expect("keyword", "do").line
+        body = self.parse_statement()
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(body, cond, line)
+
+    def parse_for(self):
+        line = self.expect("keyword", "for").line
+        self.expect("op", "(")
+        init = None
+        if not self.check("op", ";"):
+            if self.at_type():
+                init = self.parse_var_decl()  # consumes trailing ';'
+            else:
+                expr = self.parse_expression()
+                self.expect("op", ";")
+                init = ast.ExprStmt(expr, line)
+        else:
+            self.expect("op", ";")
+        cond = None
+        if not self.check("op", ";"):
+            cond = self.parse_expression()
+        self.expect("op", ";")
+        step = None
+        if not self.check("op", ")"):
+            step = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body, line)
+
+    def parse_return(self):
+        line = self.expect("keyword", "return").line
+        value = None
+        if not self.check("op", ";"):
+            value = self.parse_expression()
+        self.expect("op", ";")
+        return ast.Return(value, line)
+
+    def parse_break(self):
+        line = self.expect("keyword", "break").line
+        self.expect("op", ";")
+        node = ast.Break()
+        node.line = line
+        return node
+
+    def parse_continue(self):
+        line = self.expect("keyword", "continue").line
+        self.expect("op", ";")
+        node = ast.Continue()
+        node.line = line
+        return node
+
+    # -- expressions (precedence climbing) ----------------------------------------
+
+    ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+    def parse_expression(self):
+        return self.parse_assignment()
+
+    def parse_assignment(self):
+        lhs = self.parse_ternary()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in self.ASSIGN_OPS:
+            self.advance()
+            rhs = self.parse_assignment()
+            return ast.Assign(tok.text, lhs, rhs, tok.line)
+        return lhs
+
+    def parse_ternary(self):
+        cond = self.parse_binary(0)
+        if self.accept("op", "?"):
+            iftrue = self.parse_expression()
+            self.expect("op", ":")
+            iffalse = self.parse_ternary()
+            return ast.Ternary(cond, iftrue, iffalse, cond.line)
+        return cond
+
+    # Precedence levels, loosest first.
+    BINARY_LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def parse_binary(self, level):
+        if level >= len(self.BINARY_LEVELS):
+            return self.parse_unary()
+        ops = self.BINARY_LEVELS[level]
+        lhs = self.parse_binary(level + 1)
+        while self.peek().kind == "op" and self.peek().text in ops:
+            tok = self.advance()
+            rhs = self.parse_binary(level + 1)
+            lhs = ast.Binary(tok.text, lhs, rhs, tok.line)
+        return lhs
+
+    def parse_unary(self):
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(tok.text, operand, tok.line)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(tok.text + "pre", operand, tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if self.accept("op", "["):
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = ast.IndexExpr(expr, index, tok.line)
+            elif tok.kind == "op" and tok.text in ("++", "--"):
+                self.advance()
+                expr = ast.Unary(tok.text + "post", expr, tok.line)
+            else:
+                return expr
+
+    def parse_primary(self):
+        tok = self.peek()
+        if tok.kind == "number":
+            self.advance()
+            return ast.IntLiteral(tok.value, tok.line)
+        if tok.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_expression())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expression())
+                self.expect("op", ")")
+                return ast.CallExpr(tok.text, args, tok.line)
+            return ast.Identifier(tok.text, tok.line)
+        if self.accept("op", "("):
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        self.error(f"unexpected token {tok.text!r} in expression")
+
+
+def parse(tokens):
+    """Parse a token list into an :class:`~repro.frontend.ast_nodes.Program`."""
+    return _Parser(tokens).parse_program()

@@ -1,0 +1,349 @@
+"""Mini-C semantic analysis: scopes, symbols, and type checking.
+
+Annotates every expression node with ``ctype`` and every identifier with its
+``symbol``; raises :class:`CompileError` on violations.  Signedness rules
+follow C: an operation is unsigned when either operand is ``uint`` (or a
+pointer), which later selects between the signed/unsigned instruction pairs
+of both target ISAs (``DIV``/``DIVU``, ``SLT``/``SLTU``, ``SRA``/``SRL``).
+"""
+
+from repro.common.errors import CompileError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.ast_nodes import CType, INT, UINT
+
+#: Builtin functions: name -> (arg count, returns value).
+BUILTINS = {"__out": (1, False), "__halt": (0, False)}
+
+
+class VarSymbol:
+    """A variable: global, parameter, or local (optionally an array)."""
+
+    def __init__(self, name, ctype, kind, array_size=None):
+        self.name = name
+        self.ctype = ctype
+        self.kind = kind  # 'global' | 'param' | 'local'
+        self.array_size = array_size
+
+    @property
+    def is_array(self):
+        return self.array_size is not None
+
+    def value_type(self):
+        """Type when read as an expression (arrays decay to pointers)."""
+        if self.is_array:
+            return self.ctype.pointer_to()
+        return self.ctype
+
+
+class FuncSymbol:
+    def __init__(self, node):
+        self.node = node
+        self.name = node.name
+        self.return_type = node.return_type
+        self.param_types = [p.ctype for p in node.params]
+
+
+class Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.symbols = {}
+
+    def define(self, symbol, line):
+        if symbol.name in self.symbols:
+            raise CompileError(f"redefinition of {symbol.name!r}", line=line)
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class _Analyzer:
+    def __init__(self, program):
+        self.program = program
+        self.globals = Scope()
+        self.functions = {}
+        self.current_function = None
+        self.loop_depth = 0
+
+    # -- entry ------------------------------------------------------------------
+
+    def run(self):
+        for decl in self.program.decls:
+            if isinstance(decl, ast.GlobalDecl):
+                self._declare_global(decl)
+            else:
+                self._declare_function(decl)
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FuncDef):
+                self._check_function(decl)
+        return self.program
+
+    def _declare_global(self, decl):
+        symbol = VarSymbol(decl.name, decl.ctype, "global", decl.array_size)
+        self.globals.define(symbol, decl.line)
+        decl.symbol = symbol
+
+    def _declare_function(self, decl):
+        if decl.name in self.functions or decl.name in BUILTINS:
+            raise CompileError(
+                f"redefinition of function {decl.name!r}", line=decl.line
+            )
+        self.functions[decl.name] = FuncSymbol(decl)
+
+    def _check_function(self, func):
+        self.current_function = func
+        scope = Scope(self.globals)
+        for param in func.params:
+            symbol = VarSymbol(param.name, param.ctype, "param")
+            scope.define(symbol, param.line)
+            param.symbol = symbol
+        self.check_block(func.body, scope)
+        self.current_function = None
+
+    # -- statements ----------------------------------------------------------------
+
+    def check_block(self, block, parent_scope):
+        scope = Scope(parent_scope)
+        for stmt in block.statements:
+            self.check_statement(stmt, scope)
+
+    def check_statement(self, stmt, scope):
+        if isinstance(stmt, ast.Block):
+            self.check_block(stmt, scope)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init_expr is not None:
+                self.check_expr(stmt.init_expr, scope)
+                self._check_assignable(stmt.ctype, stmt.init_expr, stmt.line)
+            symbol = VarSymbol(stmt.name, stmt.ctype, "local", stmt.array_size)
+            scope.define(symbol, stmt.line)
+            stmt.symbol = symbol
+        elif isinstance(stmt, ast.If):
+            self.check_expr(stmt.cond, scope)
+            self.check_statement(stmt.then_stmt, Scope(scope))
+            if stmt.else_stmt is not None:
+                self.check_statement(stmt.else_stmt, Scope(scope))
+        elif isinstance(stmt, ast.While):
+            self.check_expr(stmt.cond, scope)
+            self._check_loop_body(stmt.body, Scope(scope))
+        elif isinstance(stmt, ast.DoWhile):
+            self._check_loop_body(stmt.body, Scope(scope))
+            self.check_expr(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self.check_statement(stmt.init, inner)
+            if stmt.cond is not None:
+                self.check_expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self.check_expr(stmt.step, inner)
+            self._check_loop_body(stmt.body, Scope(inner))
+        elif isinstance(stmt, ast.Return):
+            ret_type = self.current_function.return_type
+            if stmt.value is None:
+                if not ret_type.is_void():
+                    raise CompileError(
+                        "non-void function must return a value", line=stmt.line
+                    )
+            else:
+                if ret_type.is_void():
+                    raise CompileError(
+                        "void function cannot return a value", line=stmt.line
+                    )
+                self.check_expr(stmt.value, scope)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                keyword = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise CompileError(f"{keyword} outside a loop", line=stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr, scope)
+        else:
+            raise CompileError(f"unknown statement {stmt!r}", line=stmt.line)
+
+    def _check_loop_body(self, body, scope):
+        self.loop_depth += 1
+        try:
+            self.check_statement(body, scope)
+        finally:
+            self.loop_depth -= 1
+
+    # -- expressions ----------------------------------------------------------------
+
+    def check_expr(self, expr, scope):
+        method = getattr(self, f"_check_{type(expr).__name__}", None)
+        if method is None:
+            raise CompileError(f"unknown expression {expr!r}", line=expr.line)
+        ctype = method(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _check_IntLiteral(self, expr, scope):
+        return UINT if expr.value > 0x7FFF_FFFF else INT
+
+    def _check_Identifier(self, expr, scope):
+        symbol = scope.lookup(expr.name)
+        if symbol is None:
+            raise CompileError(f"undeclared identifier {expr.name!r}", expr.line)
+        expr.symbol = symbol
+        return symbol.value_type()
+
+    def _check_Unary(self, expr, scope):
+        op = expr.op
+        operand_type = self.check_expr(expr.operand, scope)
+        if op in ("-", "~"):
+            self._require_arith(operand_type, expr.line, op)
+            return operand_type
+        if op == "!":
+            return INT
+        if op == "*":
+            if not operand_type.is_pointer():
+                raise CompileError("cannot dereference a non-pointer", expr.line)
+            return operand_type.pointee()
+        if op == "&":
+            self._require_lvalue(expr.operand, expr.line)
+            return operand_type.pointer_to()
+        if op in ("++pre", "--pre", "++post", "--post"):
+            self._require_lvalue(expr.operand, expr.line)
+            return operand_type
+        raise CompileError(f"unknown unary operator {op!r}", expr.line)
+
+    def _check_Binary(self, expr, scope):
+        lt = self.check_expr(expr.lhs, scope)
+        rt = self.check_expr(expr.rhs, scope)
+        op = expr.op
+        if op in ("&&", "||"):
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return INT
+        if op in ("+", "-"):
+            if lt.is_pointer() and rt.is_pointer():
+                if op == "-":
+                    return INT  # element difference
+                raise CompileError("cannot add two pointers", expr.line)
+            if lt.is_pointer():
+                return lt
+            if rt.is_pointer():
+                if op == "-":
+                    raise CompileError("cannot subtract pointer from int", expr.line)
+                return rt
+            return self._usual_arith(lt, rt)
+        if op in ("*", "/", "%", "&", "|", "^", "<<", ">>"):
+            self._require_arith(lt, expr.line, op)
+            self._require_arith(rt, expr.line, op)
+            if op in ("<<", ">>"):
+                return lt
+            return self._usual_arith(lt, rt)
+        raise CompileError(f"unknown binary operator {op!r}", expr.line)
+
+    def _check_Assign(self, expr, scope):
+        self._require_lvalue(expr.target, expr.line)
+        target_type = self.check_expr(expr.target, scope)
+        self.check_expr(expr.value, scope)
+        if expr.op == "=":
+            self._check_assignable(target_type, expr.value, expr.line)
+        elif target_type.is_pointer() and expr.op not in ("+=", "-="):
+            raise CompileError(
+                f"operator {expr.op!r} not valid on pointers", expr.line
+            )
+        return target_type
+
+    def _check_Ternary(self, expr, scope):
+        self.check_expr(expr.cond, scope)
+        t_type = self.check_expr(expr.iftrue, scope)
+        f_type = self.check_expr(expr.iffalse, scope)
+        if t_type.is_pointer() != f_type.is_pointer():
+            raise CompileError("ternary arms have incompatible types", expr.line)
+        if t_type.is_pointer():
+            return t_type
+        return self._usual_arith(t_type, f_type)
+
+    def _check_IndexExpr(self, expr, scope):
+        base_type = self.check_expr(expr.base, scope)
+        self.check_expr(expr.index, scope)
+        if not base_type.is_pointer():
+            raise CompileError("indexing a non-pointer", expr.line)
+        return base_type.pointee()
+
+    def _check_CallExpr(self, expr, scope):
+        if expr.name in BUILTINS:
+            arg_count, returns_value = BUILTINS[expr.name]
+            if len(expr.args) != arg_count:
+                raise CompileError(
+                    f"{expr.name} expects {arg_count} argument(s)", expr.line
+                )
+            for arg in expr.args:
+                self.check_expr(arg, scope)
+            expr.func = expr.name
+            return INT if returns_value else ast.VOID_T
+        func = self.functions.get(expr.name)
+        if func is None:
+            raise CompileError(f"call to undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != len(func.param_types):
+            raise CompileError(
+                f"{expr.name} expects {len(func.param_types)} argument(s), "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        for arg, param_type in zip(expr.args, func.param_types):
+            self.check_expr(arg, scope)
+            self._check_assignable(param_type, arg, expr.line)
+        expr.func = func
+        return func.return_type
+
+    # -- helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _usual_arith(lt, rt):
+        return UINT if lt.is_unsigned_arith() or rt.is_unsigned_arith() else INT
+
+    @staticmethod
+    def _require_arith(ctype, line, op):
+        if ctype.is_pointer():
+            raise CompileError(f"operator {op!r} not valid on pointers", line)
+        if ctype.is_void():
+            raise CompileError(f"operator {op!r} on void value", line)
+
+    @staticmethod
+    def _require_lvalue(expr, line):
+        if isinstance(expr, ast.Identifier):
+            return  # array-ness checked via assignment type rules
+        if isinstance(expr, ast.IndexExpr):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise CompileError("expression is not assignable", line)
+
+    @staticmethod
+    def _check_assignable(target_type, value_expr, line):
+        value_type = value_expr.ctype
+        if value_type is None or value_type.is_void():
+            raise CompileError("cannot use a void value", line)
+        if target_type.is_pointer() != value_type.is_pointer():
+            # Allow literal 0 as a null pointer.
+            if (
+                target_type.is_pointer()
+                and isinstance(value_expr, ast.IntLiteral)
+                and value_expr.value == 0
+            ):
+                return
+            raise CompileError(
+                f"incompatible assignment: {target_type!r} = {value_type!r}", line
+            )
+        if (
+            target_type.is_pointer()
+            and value_type.is_pointer()
+            and target_type != value_type
+        ):
+            raise CompileError(
+                f"incompatible pointer assignment: {target_type!r} = {value_type!r}",
+                line,
+            )
+
+
+def analyze(program):
+    """Type-check ``program`` in place; returns it for chaining."""
+    return _Analyzer(program).run()

@@ -1,0 +1,150 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: they decompose the mechanisms behind
+the headline results so a reader can see *which* design element buys what.
+
+* :func:`ablate_re_plus` — the two RE+ mechanisms (producer sinking into
+  refresh slots, Fig. 10(b); loop demotion to the stack frame, Fig. 10(c))
+  switched on independently.
+* :func:`ablate_recovery` — SS's misprediction cost split into the ROB-walk
+  component (removed by giving the walk unlimited overlap) and the
+  front-end depth component (SS at STRAIGHT's 6-stage depth).
+* :func:`ablate_spadd_throughput` — the §III-B concern that multiple SPADDs
+  per fetch group would need cascaded adders: measure how much allowing 2
+  or 4 per group would actually buy.
+"""
+
+from repro.frontend import compile_source
+from repro.compiler import compile_to_riscv, compile_to_straight
+from repro.core.api import Binary, simulate
+from repro.core.configs import ss_4way, straight_4way
+from repro.workloads import get_workload
+from repro.harness.reporting import format_table
+
+
+def _straight_binary(source, **compile_kwargs):
+    module = compile_source(source)
+    compilation = compile_to_straight(module, **compile_kwargs)
+    return Binary("straight", compilation.link(), compilation)
+
+
+def _riscv_binary(source):
+    module = compile_source(source)
+    compilation = compile_to_riscv(module)
+    return Binary("riscv", compilation.link(), compilation)
+
+
+def ablate_re_plus(workload="coremark"):
+    """RAW -> +sinking -> +demotion -> RE+ on the 4-way STRAIGHT model."""
+    source = get_workload(workload).source()
+    variants = [
+        ("RAW", dict(redundancy_elimination=False)),
+        ("RAW+sinking", dict(redundancy_elimination=False, enable_sinking=True)),
+        ("RAW+demotion", dict(redundancy_elimination=False, enable_demotion=True)),
+        ("RE+ (both)", dict(redundancy_elimination=True)),
+    ]
+    rows = []
+    baseline_cycles = None
+    for name, kwargs in variants:
+        binary = _straight_binary(source, **kwargs)
+        result = simulate(binary, straight_4way(), warm_caches=True)
+        if baseline_cycles is None:
+            baseline_cycles = result.cycles
+        rmovs = sum(
+            s["rmovs"] for s in binary.compilation.stats.values()
+        )  # static count in the binary
+        rows.append(
+            {
+                "variant": name,
+                "instructions": result.stats.instructions,
+                "static_rmovs": rmovs,
+                "cycles": result.cycles,
+                "relative_perf": round(baseline_cycles / result.cycles, 4),
+            }
+        )
+    return {
+        "rows": rows,
+        "text": format_table(
+            rows, title=f"RE+ ablation ({workload}, STRAIGHT-4way, RAW = 1.0)"
+        ),
+    }
+
+
+def ablate_recovery(workload="coremark"):
+    """Decompose SS's misprediction cost: walk vs front-end depth."""
+    source = get_workload(workload).source()
+    riscv = _riscv_binary(source)
+    straight = _straight_binary(source, redundancy_elimination=True)
+    variants = [
+        ("SS (walk + 8-deep)", riscv, ss_4way()),
+        (
+            "SS, walk fully overlapped",
+            riscv,
+            ss_4way(rename_stage_depth=10_000, name="SS-nowalk"),
+        ),
+        (
+            "SS, 6-deep front end",
+            riscv,
+            ss_4way(frontend_depth=6, name="SS-6deep"),
+        ),
+        (
+            "SS, both",
+            riscv,
+            ss_4way(
+                rename_stage_depth=10_000, frontend_depth=6, name="SS-both"
+            ),
+        ),
+        ("STRAIGHT RE+", straight, straight_4way()),
+    ]
+    rows = []
+    baseline = None
+    for name, binary, config in variants:
+        result = simulate(binary, config, warm_caches=True)
+        if baseline is None:
+            baseline = result.cycles
+        rows.append(
+            {
+                "variant": name,
+                "cycles": result.cycles,
+                "relative_perf": round(baseline / result.cycles, 4),
+                "recovery_stalls": result.stats.recovery_stall_cycles,
+            }
+        )
+    return {
+        "rows": rows,
+        "text": format_table(
+            rows,
+            title=f"Recovery ablation ({workload}, 4-way, SS = 1.0)",
+        ),
+    }
+
+
+def ablate_spadd_throughput(workload="dhrystone"):
+    """How much do cascaded SPADD adders (2 or 4 per group) buy?
+
+    The paper argues one SPADD per group suffices because SPADDs are rare
+    ("two per function call, at the most"); this measures that claim.
+    """
+    source = get_workload(workload).source()
+    binary = _straight_binary(source, redundancy_elimination=True)
+    rows = []
+    baseline = None
+    for limit in (1, 2, 4):
+        config = straight_4way(spadd_per_group=limit, name=f"ST-spadd{limit}")
+        result = simulate(binary, config, warm_caches=True)
+        if baseline is None:
+            baseline = result.cycles
+        rows.append(
+            {
+                "spadd_per_group": limit,
+                "cycles": result.cycles,
+                "relative_perf": round(baseline / result.cycles, 4),
+                "spadd_stalls": result.stats.spadd_stall_cycles,
+            }
+        )
+    return {
+        "rows": rows,
+        "text": format_table(
+            rows, title=f"SPADD throughput ablation ({workload}, 4-way)"
+        ),
+    }

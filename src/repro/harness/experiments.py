@@ -1,0 +1,323 @@
+"""One runner per paper table/figure (see DESIGN.md's experiment index).
+
+Every function returns a dict with a ``rows`` list (structured results) and
+a ``text`` rendering that prints the same series the paper reports.
+Performance is reported as the paper does: the inverse of execution cycles,
+normalized to the SS model of the same class.
+"""
+
+from repro.core.configs import ss_2way, straight_2way, ss_4way, straight_4way, table1_rows
+from repro.core.api import run_functional
+from repro.workloads import build_workload
+from repro.power import analyze_power
+from repro.harness.runner import timed_run
+from repro.harness.reporting import format_table, format_bars
+
+_WORKLOADS = ("dhrystone", "coremark")
+_BINARIES = ("SS", "STRAIGHT-RAW", "STRAIGHT-RE+")
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+
+def table1():
+    """Table I: evaluated models and their parameters."""
+    rows = table1_rows()
+    return {"rows": rows, "text": format_table(rows, title="Table I: Evaluated Models")}
+
+
+# ---------------------------------------------------------------------------
+# Figs. 11/12: relative performance
+# ---------------------------------------------------------------------------
+
+
+def _performance_figure(ss_factory, straight_factory, label):
+    rows = []
+    for workload in _WORKLOADS:
+        ss = timed_run(workload, "SS", ss_factory())
+        raw = timed_run(workload, "STRAIGHT-RAW", straight_factory())
+        re_plus = timed_run(workload, "STRAIGHT-RE+", straight_factory())
+        base = ss.cycles
+        for name, run in (("SS", ss), ("STRAIGHT-RAW", raw), ("STRAIGHT-RE+", re_plus)):
+            rows.append(
+                {
+                    "workload": workload,
+                    "model": name,
+                    "cycles": run.cycles,
+                    "relative_perf": round(base / run.cycles, 4),
+                    "ipc": round(run.stats.ipc, 3),
+                }
+            )
+    series = [
+        (f"{r['workload'][:5]}/{r['model']}", r["relative_perf"]) for r in rows
+    ]
+    return {
+        "rows": rows,
+        "text": format_bars(series, title=f"{label}: relative performance (1/cycles, SS = 1.0)"),
+    }
+
+
+def fig11_performance_4way():
+    """Fig. 11: SS vs STRAIGHT RAW vs RE+, 4-way models."""
+    return _performance_figure(ss_4way, straight_4way, "Fig. 11 (4-way)")
+
+
+def fig12_performance_2way():
+    """Fig. 12: SS vs STRAIGHT RAW vs RE+, 2-way models."""
+    return _performance_figure(ss_2way, straight_2way, "Fig. 12 (2-way)")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13: effect of the misprediction penalty
+# ---------------------------------------------------------------------------
+
+
+def fig13_mispredict_penalty():
+    """Fig. 13: SS, SS-no-penalty, STRAIGHT RE+ on CoreMark, both classes.
+
+    Normalized to SS-2way, exactly as the paper's figure.
+    """
+    runs = []
+    base_2way = timed_run("coremark", "SS", ss_2way()).cycles
+    for way, ss_f, st_f in (
+        ("2-way", ss_2way, straight_2way),
+        ("4-way", ss_4way, straight_4way),
+    ):
+        ss = timed_run("coremark", "SS", ss_f())
+        ss_ideal = timed_run(
+            "coremark", "SS", ss_f(ideal_recovery=True, name=f"SS-{way}-nopenalty")
+        )
+        st = timed_run("coremark", "STRAIGHT-RE+", st_f())
+        for name, run in (
+            (f"SS {way}", ss),
+            (f"SS no-penalty {way}", ss_ideal),
+            (f"STRAIGHT RE+ {way}", st),
+        ):
+            runs.append(
+                {
+                    "model": name,
+                    "cycles": run.cycles,
+                    "relative_perf": round(base_2way / run.cycles, 4),
+                    "recovery_stall_cycles": run.stats.recovery_stall_cycles,
+                    "mispredicts": run.stats.branch_mispredicts,
+                }
+            )
+    series = [(r["model"], r["relative_perf"]) for r in runs]
+    return {
+        "rows": runs,
+        "text": format_bars(
+            series, title="Fig. 13: mispredict penalty effect (CoreMark, SS-2way = 1.0)"
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14: TAGE predictor
+# ---------------------------------------------------------------------------
+
+
+def fig14_tage():
+    """Fig. 14: CoreMark relative performance with TAGE instead of gshare."""
+    rows = []
+    for way, ss_f, st_f in (
+        ("2-way", ss_2way, straight_2way),
+        ("4-way", ss_4way, straight_4way),
+    ):
+        ss = timed_run("coremark", "SS", ss_f(predictor="tage"))
+        raw = timed_run("coremark", "STRAIGHT-RAW", st_f(predictor="tage"))
+        re_plus = timed_run("coremark", "STRAIGHT-RE+", st_f(predictor="tage"))
+        base = ss.cycles
+        for name, run in (("SS", ss), ("RAW", raw), ("RE+", re_plus)):
+            rows.append(
+                {
+                    "class": way,
+                    "model": name,
+                    "cycles": run.cycles,
+                    "relative_perf": round(base / run.cycles, 4),
+                    "predictor_accuracy": round(run.stats.predictor_accuracy, 4),
+                }
+            )
+    series = [(f"{r['class']}/{r['model']}", r["relative_perf"]) for r in rows]
+    return {
+        "rows": rows,
+        "text": format_bars(series, title="Fig. 14: with TAGE (CoreMark, SS = 1.0/class)"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15: retired instruction mix
+# ---------------------------------------------------------------------------
+
+
+def fig15_instruction_mix(workload="coremark"):
+    """Fig. 15: retired-instruction type fractions, normalized to SS total."""
+    binaries = build_workload(workload)
+    rows = []
+    ss_total = None
+    for label, binary in binaries.all().items():
+        result = run_functional(binary)
+        groups = result.interpreter.class_counts()
+        total = sum(groups.values())
+        if label == "SS":
+            ss_total = total
+        row = {"model": label, "total": total}
+        for group, count in groups.items():
+            row[group] = count
+            row[f"{group}_norm"] = round(count / ss_total, 4)
+        row["total_norm"] = round(total / ss_total, 4)
+        rows.append(row)
+    columns = ["model", "total", "total_norm", "jump_branch", "alu", "load",
+               "store", "rmov", "nop", "other"]
+    return {
+        "rows": rows,
+        "text": format_table(
+            rows,
+            columns=columns,
+            title=f"Fig. 15: retired instruction mix ({workload}, SS total = 1.0)",
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16: source-distance distribution
+# ---------------------------------------------------------------------------
+
+
+def fig16_distance_distribution():
+    """Fig. 16: cumulative distribution of source operand distances.
+
+    Measured on RE+ binaries built with the uppermost distance limit
+    (1023), as in the paper.
+    """
+    rows = []
+    for workload in _WORKLOADS:
+        binaries = build_workload(workload, max_distance=1023)
+        result = run_functional(binaries.straight_re)
+        hist = result.interpreter.distance_hist
+        total = sum(hist.values())
+        running = 0
+        cdf = {}
+        for distance in sorted(hist):
+            running += hist[distance]
+            cdf[distance] = running / total
+        max_distance = max(hist)
+        for point in (1, 2, 4, 8, 16, 32, 64, 128):
+            covered = sum(c for d, c in hist.items() if d <= point) / total
+            rows.append(
+                {
+                    "workload": workload,
+                    "distance<=": point,
+                    "cumulative_fraction": round(covered, 4),
+                }
+            )
+        rows.append(
+            {
+                "workload": workload,
+                "distance<=": f"max={max_distance}",
+                "cumulative_fraction": 1.0,
+            }
+        )
+    return {
+        "rows": rows,
+        "text": format_table(
+            rows, title="Fig. 16: cumulative source-distance distribution (RE+)"
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# §VI-B: max-distance sensitivity
+# ---------------------------------------------------------------------------
+
+
+def sensitivity_max_distance(workload="coremark"):
+    """§VI-B: CoreMark performance, max distance 1023 vs 31 (~1% in paper)."""
+    rows = []
+    base_cycles = None
+    for max_distance in (1023, 127, 31):
+        config = straight_4way(max_distance=max_distance,
+                               name=f"STRAIGHT-4way-d{max_distance}")
+        run = timed_run(
+            workload, "STRAIGHT-RE+", config, max_distance=max_distance
+        )
+        if base_cycles is None:
+            base_cycles = run.cycles
+        rows.append(
+            {
+                "max_distance": max_distance,
+                "cycles": run.cycles,
+                "relative_perf": round(base_cycles / run.cycles, 4),
+                "instructions": run.stats.instructions,
+            }
+        )
+    return {
+        "rows": rows,
+        "text": format_table(
+            rows, title=f"Max-distance sensitivity ({workload}, RE+, 4-way)"
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 17: RTL power analysis
+# ---------------------------------------------------------------------------
+
+
+def fig17_power(workload="dhrystone"):
+    """Fig. 17: relative per-module power at 1.0x/2.5x/4.0x clocks (2-way).
+
+    Normalized to the corresponding SS module at 1.0x, as in the paper.
+    """
+    ss = timed_run(workload, "SS", ss_2way())
+    st = timed_run(workload, "STRAIGHT-RE+", straight_2way())
+    baselines = {}
+    rows = []
+    for rel_f in (1.0, 2.5, 4.0):
+        ss_report = analyze_power(ss.stats, False, rel_f, core_name="SS-2way")
+        st_report = analyze_power(st.stats, True, rel_f, core_name="STRAIGHT-2way")
+        for module in ("rename", "regfile", "other"):
+            if rel_f == 1.0:
+                baselines[module] = ss_report.modules[module].total
+            for arch, report in (("SS", ss_report), ("STRAIGHT", st_report)):
+                rows.append(
+                    {
+                        "module": module,
+                        "clock": f"{rel_f}x",
+                        "arch": arch,
+                        "relative_power": round(
+                            report.modules[module].total / baselines[module], 4
+                        ),
+                    }
+                )
+    return {
+        "rows": rows,
+        "text": format_table(
+            rows,
+            title="Fig. 17: relative power by module/clock (norm. to SS 1.0x)",
+        ),
+    }
+
+
+def _ablations():
+    from repro.harness import ablations
+
+    return ablations
+
+
+#: Registry used by the CLI example and tests.
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "fig11": fig11_performance_4way,
+    "fig12": fig12_performance_2way,
+    "fig13": fig13_mispredict_penalty,
+    "fig14": fig14_tage,
+    "fig15": fig15_instruction_mix,
+    "fig16": fig16_distance_distribution,
+    "sensitivity_maxdist": sensitivity_max_distance,
+    "fig17": fig17_power,
+    "ablation_re_plus": lambda: _ablations().ablate_re_plus(),
+    "ablation_recovery": lambda: _ablations().ablate_recovery(),
+    "ablation_spadd": lambda: _ablations().ablate_spadd_throughput(),
+}

@@ -1,0 +1,38 @@
+"""Plain-text rendering of experiment results (paper-style tables/series)."""
+
+
+def format_table(rows, columns=None, title=None):
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_bars(series, width=40, title=None):
+    """Render (label, value) pairs as a normalized ASCII bar chart."""
+    if not series:
+        return "(no data)"
+    peak = max(value for _, value in series) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(label) for label, _ in series)
+    for label, value in series:
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Cached workload timing runs shared across experiments."""
+
+from repro.core.api import simulate
+from repro.workloads import build_workload
+
+_run_cache = {}
+
+
+def clear_cache():
+    """Forget cached timing runs (tests use this for isolation)."""
+    _run_cache.clear()
+
+
+def timed_run(workload, binary_label, config, iterations=None, max_distance=1023):
+    """Simulate one (workload, binary, core) combination, memoized.
+
+    ``binary_label`` is one of ``'SS'``, ``'STRAIGHT-RAW'``,
+    ``'STRAIGHT-RE+'``; ``config`` is a CoreConfig.  The cache key includes
+    the parameters that change timing (predictor, recovery idealization,
+    core name, workload scale).
+    """
+    key = (
+        workload,
+        binary_label,
+        config.name,
+        config.predictor,
+        config.ideal_recovery,
+        config.max_distance if config.is_straight else None,
+        iterations,
+        max_distance,
+    )
+    if key not in _run_cache:
+        binaries = build_workload(workload, iterations, max_distance)
+        binary = binaries.all()[binary_label]
+        _run_cache[key] = simulate(binary, config, warm_caches=True)
+    return _run_cache[key]

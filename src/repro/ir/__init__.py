@@ -1,0 +1,78 @@
+"""SSA intermediate representation (the reproduction's LLVM-IR substitute).
+
+The STRAIGHT compiler in the paper consumes LLVM IR because it is SSA-formed:
+every destination is written once, which matches STRAIGHT's write-once
+register discipline, and PHI instructions mark exactly the merge points where
+the backend must fix distances.  This package provides the same shape:
+
+* a typed value graph (:mod:`.values`, :mod:`.instructions`),
+* functions of basic blocks with explicit terminators (:mod:`.function`),
+* an :class:`~repro.ir.builder.IRBuilder` for construction,
+* analyses (dominance, liveness, natural loops, CFG utilities), and
+* transformation passes (mem2reg, const-fold, DCE, simplify-CFG,
+  critical-edge splitting) run through a small pass manager.
+"""
+
+from repro.ir.types import IntType, PointerType, VoidType, I32, PTR, VOID
+from repro.ir.values import Value, ConstantInt, Argument, GlobalVariable, UndefValue
+from repro.ir.instructions import (
+    Instruction,
+    BinOp,
+    ICmp,
+    Load,
+    Store,
+    Alloca,
+    GetElementPtr,
+    Call,
+    Ret,
+    Br,
+    CondBr,
+    Phi,
+    Output,
+    Select,
+    BINOP_OPCODES,
+    ICMP_PREDICATES,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.verifier import verify_module, verify_function
+from repro.ir.parser import parse_module
+
+__all__ = [
+    "IntType",
+    "PointerType",
+    "VoidType",
+    "I32",
+    "PTR",
+    "VOID",
+    "Value",
+    "ConstantInt",
+    "Argument",
+    "GlobalVariable",
+    "UndefValue",
+    "Instruction",
+    "BinOp",
+    "ICmp",
+    "Load",
+    "Store",
+    "Alloca",
+    "GetElementPtr",
+    "Call",
+    "Ret",
+    "Br",
+    "CondBr",
+    "Phi",
+    "Output",
+    "Select",
+    "BINOP_OPCODES",
+    "ICMP_PREDICATES",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "IRBuilder",
+    "verify_module",
+    "verify_function",
+    "parse_module",
+]

@@ -1,0 +1,16 @@
+"""CFG analyses: dominance, liveness, natural loops, traversal orders."""
+
+from repro.ir.analysis.cfg import reverse_postorder, reachable_blocks
+from repro.ir.analysis.dominance import DominatorTree
+from repro.ir.analysis.liveness import LivenessInfo, compute_liveness
+from repro.ir.analysis.loops import NaturalLoop, find_natural_loops
+
+__all__ = [
+    "reverse_postorder",
+    "reachable_blocks",
+    "DominatorTree",
+    "LivenessInfo",
+    "compute_liveness",
+    "NaturalLoop",
+    "find_natural_loops",
+]

@@ -1,0 +1,41 @@
+"""CFG traversal utilities."""
+
+
+def reachable_blocks(func):
+    """The set of blocks reachable from the entry block."""
+    seen = set()
+    stack = [func.entry]
+    while stack:
+        block = stack.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        stack.extend(block.successors())
+    return seen
+
+
+def postorder(func):
+    """Postorder DFS from the entry block (iterative, deterministic)."""
+    seen = set()
+    order = []
+    # Emulate recursive DFS with an explicit stack of (block, child-iterator).
+    stack = [(func.entry, iter(func.entry.successors()))]
+    seen.add(func.entry)
+    while stack:
+        block, children = stack[-1]
+        advanced = False
+        for child in children:
+            if child not in seen:
+                seen.add(child)
+                stack.append((child, iter(child.successors())))
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    return order
+
+
+def reverse_postorder(func):
+    """Reverse postorder: a topological-ish order ideal for forward dataflow."""
+    return list(reversed(postorder(func)))

@@ -1,0 +1,105 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast
+Dominance Algorithm"), which is what production compilers at this scale use.
+Dominance frontiers drive phi insertion in mem2reg, the exact mechanism by
+which the front end produces the SSA the STRAIGHT backend needs.
+"""
+
+from repro.ir.analysis.cfg import reverse_postorder, reachable_blocks
+
+
+class DominatorTree:
+    """Immediate dominators, dominance queries, and dominance frontiers."""
+
+    def __init__(self, func):
+        self.func = func
+        self._reachable = reachable_blocks(func)
+        self._rpo = reverse_postorder(func)
+        self._rpo_index = {block: i for i, block in enumerate(self._rpo)}
+        self.idom = self._compute_idoms()
+        self.children = self._build_children()
+        self.frontier = self._compute_frontiers()
+
+    # -- construction -------------------------------------------------------
+
+    def _compute_idoms(self):
+        entry = self.func.entry
+        idom = {entry: entry}
+        preds = self.func.predecessors()
+
+        def intersect(a, b):
+            while a is not b:
+                while self._rpo_index[a] > self._rpo_index[b]:
+                    a = idom[a]
+                while self._rpo_index[b] > self._rpo_index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in self._rpo:
+                if block is entry:
+                    continue
+                processed = [
+                    p
+                    for p in preds[block]
+                    if p in idom and p in self._reachable
+                ]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for other in processed[1:]:
+                    new_idom = intersect(other, new_idom)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        return idom
+
+    def _build_children(self):
+        children = {block: [] for block in self._reachable}
+        for block, parent in self.idom.items():
+            if block is not self.func.entry:
+                children[parent].append(block)
+        return children
+
+    def _compute_frontiers(self):
+        frontier = {block: set() for block in self._reachable}
+        preds = self.func.predecessors()
+        for block in self._reachable:
+            block_preds = [p for p in preds[block] if p in self._reachable]
+            if len(block_preds) < 2:
+                continue
+            for pred in block_preds:
+                runner = pred
+                while runner is not self.idom[block]:
+                    frontier[runner].add(block)
+                    runner = self.idom[runner]
+        return frontier
+
+    # -- queries ----------------------------------------------------------------
+
+    def dominates(self, a, b):
+        """True when block ``a`` dominates block ``b`` (reflexive)."""
+        runner = b
+        while True:
+            if runner is a:
+                return True
+            parent = self.idom.get(runner)
+            if parent is None or parent is runner:
+                return False
+            runner = parent
+
+    def strictly_dominates(self, a, b):
+        return a is not b and self.dominates(a, b)
+
+    def dom_tree_preorder(self):
+        """Blocks in dominator-tree preorder (entry first)."""
+        order = []
+        stack = [self.func.entry]
+        while stack:
+            block = stack.pop()
+            order.append(block)
+            stack.extend(reversed(self.children.get(block, [])))
+        return order

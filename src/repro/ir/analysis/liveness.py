@@ -1,0 +1,80 @@
+"""Per-block liveness of SSA values.
+
+Phi semantics follow the standard convention: a phi's operands are live-out of
+the corresponding *predecessor* (the copy happens on the edge), and the phi's
+own result is live-in to its block — this is precisely the set of values the
+STRAIGHT backend must refresh with RMOVs at merge points (paper §IV-C2:
+"obtained by liveness analysis as well").
+"""
+
+from repro.ir.values import Argument
+from repro.ir.instructions import Instruction, Phi
+
+
+def _trackable(value):
+    """Instruction results and arguments have lifetimes worth tracking;
+    constants and globals are re-materializable and handled separately by
+    backends."""
+    return isinstance(value, (Instruction, Argument))
+
+
+class LivenessInfo:
+    """Holds live-in / live-out sets (of Instruction values) per block."""
+
+    def __init__(self, live_in, live_out):
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def live_across_edge(self, pred, succ):
+        """Values live along the CFG edge ``pred -> succ``.
+
+        This is live-in of ``succ`` minus ``succ``'s own phi results, plus the
+        phi operands flowing in from ``pred``.
+        """
+        values = set(self.live_in[succ])
+        for phi in succ.phis():
+            values.discard(phi)
+            incoming = phi.incoming_for(pred)
+            if _trackable(incoming):
+                values.add(incoming)
+        return values
+
+
+def compute_liveness(func):
+    """Backward dataflow to a fixed point; returns :class:`LivenessInfo`."""
+    use = {block: set() for block in func.blocks}
+    defs = {block: set() for block in func.blocks}
+    # Phi operands act as uses at the end of the incoming predecessor.
+    phi_uses_at_pred_exit = {block: set() for block in func.blocks}
+
+    for block in func.blocks:
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                defs[block].add(instr)
+                for value, pred in instr.incomings():
+                    if _trackable(value):
+                        phi_uses_at_pred_exit[pred].add(value)
+                continue
+            for op in instr.operands:
+                if _trackable(op) and op not in defs[block]:
+                    use[block].add(op)
+            if not instr.type.is_void():
+                defs[block].add(instr)
+
+    live_in = {block: set() for block in func.blocks}
+    live_out = {block: set() for block in func.blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            out = set(phi_uses_at_pred_exit[block])
+            for succ in block.successors():
+                out |= live_in[succ] - set(succ.phis())
+            new_in = use[block] | (out - defs[block])
+            if out != live_out[block] or new_in != live_in[block]:
+                live_out[block] = out
+                live_in[block] = new_in
+                changed = True
+
+    return LivenessInfo(live_in, live_out)

@@ -1,0 +1,56 @@
+"""Natural loop detection (back edges via dominance).
+
+The RE+ optimization's "stack-frame demotion" (paper §IV-D and Fig. 10(c))
+needs to know which values are live *through* a loop but never used inside it;
+this module finds the loops.
+"""
+
+from repro.ir.analysis.dominance import DominatorTree
+
+
+class NaturalLoop:
+    """A natural loop: ``header`` plus the ``body`` block set (incl. header)."""
+
+    def __init__(self, header, body):
+        self.header = header
+        self.body = body  # set of blocks, includes header
+
+    def exits(self):
+        """Blocks outside the loop targeted by a branch from inside it."""
+        targets = set()
+        for block in self.body:
+            for succ in block.successors():
+                if succ not in self.body:
+                    targets.add(succ)
+        return targets
+
+    def __repr__(self):
+        names = sorted(b.name for b in self.body)
+        return f"Loop(header=%{self.header.name}, body={names})"
+
+
+def find_natural_loops(func):
+    """All natural loops, one per header (bodies of shared headers merged)."""
+    domtree = DominatorTree(func)
+    preds = func.predecessors()
+    loops_by_header = {}
+
+    for block in func.blocks:
+        for succ in block.successors():
+            if domtree.dominates(succ, block):
+                # Back edge block -> succ; succ is the loop header.
+                body = loops_by_header.setdefault(succ, {succ})
+                _collect_body(block, succ, body, preds)
+
+    return [NaturalLoop(header, body) for header, body in loops_by_header.items()]
+
+
+def _collect_body(latch, header, body, preds):
+    """Walk predecessors from the latch up to the header, collecting blocks."""
+    stack = [latch]
+    while stack:
+        block = stack.pop()
+        if block in body:
+            continue
+        body.add(block)
+        stack.extend(preds[block])

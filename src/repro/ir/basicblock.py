@@ -1,0 +1,84 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from repro.common.errors import IRError
+from repro.ir.values import Value
+from repro.ir.instructions import Phi
+from repro.ir.types import VOID
+
+
+class BasicBlock(Value):
+    """A labeled sequence of instructions with a single terminator at the end.
+
+    Blocks are also :class:`Value` objects (of void type) purely so branch
+    targets can be printed uniformly; they are never operands.
+    """
+
+    def __init__(self, name, parent=None):
+        super().__init__(VOID, name)
+        self.parent = parent
+        self.instructions = []
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, instr):
+        """Append ``instr``; refuses to add past an existing terminator."""
+        if self.is_terminated():
+            raise IRError(
+                f"block {self.name!r} already terminated; cannot append {instr!r}"
+            )
+        instr.parent = self
+        self.instructions.append(instr)
+        return instr
+
+    def insert(self, index, instr):
+        instr.parent = self
+        self.instructions.insert(index, instr)
+        return instr
+
+    def remove(self, instr):
+        self.instructions.remove(instr)
+        instr.parent = None
+
+    # -- structure queries ---------------------------------------------------
+
+    def terminator(self):
+        """The block's terminator, or ``None`` if not yet terminated."""
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def is_terminated(self):
+        return self.terminator() is not None
+
+    def successors(self):
+        term = self.terminator()
+        if term is None or not hasattr(term, "successors"):
+            return []
+        return term.successors()
+
+    def phis(self):
+        """The block's leading phi instructions."""
+        out = []
+        for instr in self.instructions:
+            if isinstance(instr, Phi):
+                out.append(instr)
+            else:
+                break
+        return out
+
+    def non_phi_instructions(self):
+        return [i for i in self.instructions if not isinstance(i, Phi)]
+
+    def first_non_phi_index(self):
+        for idx, instr in enumerate(self.instructions):
+            if not isinstance(instr, Phi):
+                return idx
+        return len(self.instructions)
+
+    def short(self):
+        return f"%{self.name}"
+
+    def __repr__(self):
+        lines = [f"{self.name}:"]
+        lines.extend(f"  {instr!r}" for instr in self.instructions)
+        return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""IRBuilder: convenience construction of SSA instructions.
+
+The builder holds an insertion point (a block) and exposes one method per
+instruction kind, naming results automatically.  Mirrors LLVM's ``IRBuilder``
+at the scale this project needs.
+"""
+
+from repro.common.errors import IRError
+from repro.ir.types import I32
+from repro.ir.values import ConstantInt
+from repro.ir.instructions import (
+    BinOp,
+    ICmp,
+    Load,
+    Store,
+    Alloca,
+    GetElementPtr,
+    Call,
+    Ret,
+    Br,
+    CondBr,
+    Phi,
+    Output,
+    Select,
+)
+
+
+class IRBuilder:
+    """Appends instructions to a current block inside a current function."""
+
+    def __init__(self, function=None):
+        self.function = function
+        self.block = None
+
+    def set_insert_point(self, block):
+        self.block = block
+        self.function = block.parent
+        return block
+
+    def _emit(self, instr, base_name=None):
+        if self.block is None:
+            raise IRError("builder has no insertion point")
+        if base_name and not instr.name:
+            instr.name = self.function.unique_name(base_name)
+        return self.block.append(instr)
+
+    # -- constants ------------------------------------------------------------
+
+    def const(self, value):
+        return ConstantInt(value)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def binop(self, op, lhs, rhs, name=None):
+        return self._emit(BinOp(op, lhs, rhs), name or op)
+
+    def add(self, lhs, rhs, name=None):
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name=None):
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name=None):
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs, rhs, name=None):
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def udiv(self, lhs, rhs, name=None):
+        return self.binop("udiv", lhs, rhs, name)
+
+    def srem(self, lhs, rhs, name=None):
+        return self.binop("srem", lhs, rhs, name)
+
+    def urem(self, lhs, rhs, name=None):
+        return self.binop("urem", lhs, rhs, name)
+
+    def and_(self, lhs, rhs, name=None):
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs, rhs, name=None):
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs, rhs, name=None):
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs, rhs, name=None):
+        return self.binop("shl", lhs, rhs, name)
+
+    def lshr(self, lhs, rhs, name=None):
+        return self.binop("lshr", lhs, rhs, name)
+
+    def ashr(self, lhs, rhs, name=None):
+        return self.binop("ashr", lhs, rhs, name)
+
+    def icmp(self, pred, lhs, rhs, name=None):
+        return self._emit(ICmp(pred, lhs, rhs), name or f"cmp_{pred}")
+
+    def select(self, cond, a, b, name=None):
+        return self._emit(Select(cond, a, b), name or "sel")
+
+    # -- memory -----------------------------------------------------------------
+
+    def alloca(self, size_words=1, name=None):
+        return self._emit(Alloca(size_words), name or "slot")
+
+    def load(self, ptr, name=None):
+        return self._emit(Load(ptr), name or "ld")
+
+    def store(self, value, ptr):
+        return self._emit(Store(value, ptr))
+
+    def gep(self, base, index, name=None):
+        return self._emit(GetElementPtr(base, index), name or "addr")
+
+    # -- calls / io -----------------------------------------------------------------
+
+    def call(self, callee, args, returns_value=True, name=None):
+        instr = Call(callee, args, returns_value)
+        base = name or "call"
+        if returns_value:
+            return self._emit(instr, base)
+        return self._emit(instr)
+
+    def output(self, value):
+        return self._emit(Output(value))
+
+    # -- control flow -----------------------------------------------------------------
+
+    def phi(self, type_=I32, name=None):
+        """Create a phi at the head of the current block (before non-phis)."""
+        instr = Phi(type_)
+        instr.name = self.function.unique_name(name or "phi")
+        index = self.block.first_non_phi_index()
+        return self.block.insert(index, instr)
+
+    def br(self, target):
+        return self._emit(Br(target))
+
+    def cond_br(self, cond, iftrue, iffalse):
+        return self._emit(CondBr(cond, iftrue, iffalse))
+
+    def ret(self, value=None):
+        return self._emit(Ret(value))

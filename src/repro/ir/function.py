@@ -1,0 +1,76 @@
+"""IR functions: CFGs of basic blocks plus formal parameters."""
+
+from repro.common.errors import IRError
+from repro.ir.types import I32, VOID
+from repro.ir.values import Argument
+from repro.ir.basicblock import BasicBlock
+
+
+class Function:
+    """A function: named, with i32 parameters and an i32-or-void return.
+
+    The first block in ``self.blocks`` is the entry block.  Block and value
+    names are uniqued per-function via :meth:`unique_name`.
+    """
+
+    def __init__(self, name, param_names=(), returns_value=True):
+        self.name = name
+        self.params = [
+            Argument(p, I32, index=i) for i, p in enumerate(param_names)
+        ]
+        self.return_type = I32 if returns_value else VOID
+        self.blocks = []
+        self._name_counts = {}
+
+    # -- block management ----------------------------------------------------
+
+    def add_block(self, name):
+        block = BasicBlock(self.unique_name(name), parent=self)
+        self.blocks.append(block)
+        return block
+
+    def insert_block_after(self, after, name):
+        block = BasicBlock(self.unique_name(name), parent=self)
+        self.blocks.insert(self.blocks.index(after) + 1, block)
+        return block
+
+    def remove_block(self, block):
+        self.blocks.remove(block)
+
+    @property
+    def entry(self):
+        if not self.blocks:
+            raise IRError(f"function {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    # -- naming ----------------------------------------------------------------
+
+    def unique_name(self, base):
+        """Return ``base`` or ``base.N`` so names never collide in a function."""
+        count = self._name_counts.get(base)
+        if count is None:
+            self._name_counts[base] = 1
+            return base
+        self._name_counts[base] = count + 1
+        return f"{base}.{count}"
+
+    # -- traversal ---------------------------------------------------------------
+
+    def instructions(self):
+        """Iterate every instruction in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def predecessors(self):
+        """Map block -> list of predecessor blocks (in block order)."""
+        preds = {block: [] for block in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors():
+                preds[succ].append(block)
+        return preds
+
+    def __repr__(self):
+        params = ", ".join(f"%{p.name}" for p in self.params)
+        head = f"def @{self.name}({params}) -> {self.return_type!r}"
+        body = "\n".join(repr(block) for block in self.blocks)
+        return f"{head} {{\n{body}\n}}"

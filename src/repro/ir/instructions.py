@@ -1,0 +1,349 @@
+"""IR instructions.
+
+Instructions are :class:`~repro.ir.values.Value` objects whose operands are
+held in ``self.operands`` (a plain list, rewritten in place by passes).
+Terminators (:class:`Ret`, :class:`Br`, :class:`CondBr`) end a basic block.
+
+Comparison results are materialized as ``i32`` 0/1 — there is no ``i1`` type —
+which matches how both target ISAs (RV32IM ``SLT``-family, STRAIGHT
+``SLT``-family) produce booleans.
+"""
+
+from repro.ir.types import I32, PTR, VOID
+from repro.ir.values import Value
+
+#: Binary opcodes; the division/remainder/shift-right opcodes come in
+#: signed/unsigned pairs exactly as in RV32IM (div/divu, rem/remu, sra/srl).
+BINOP_OPCODES = (
+    "add",
+    "sub",
+    "mul",
+    "sdiv",
+    "udiv",
+    "srem",
+    "urem",
+    "and",
+    "or",
+    "xor",
+    "shl",
+    "lshr",
+    "ashr",
+)
+
+#: Comparison predicates (signed and unsigned orderings).
+ICMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
+
+
+class Instruction(Value):
+    """Base class; ``opcode`` names the operation, ``operands`` its inputs."""
+
+    opcode = "instr"
+
+    def __init__(self, type_, operands, name=""):
+        super().__init__(type_, name)
+        self.operands = list(operands)
+        self.parent = None  # owning BasicBlock, set on insertion
+
+    def is_terminator(self):
+        return False
+
+    def has_side_effects(self):
+        """True when the instruction cannot be dead-code eliminated."""
+        return False
+
+    def replace_operand(self, old, new):
+        """Replace every occurrence of ``old`` in the operand list."""
+        self.operands = [new if op is old else op for op in self.operands]
+
+    def operand_str(self):
+        return ", ".join(op.short() for op in self.operands)
+
+    def __repr__(self):
+        operands = self.operand_str()
+        body = f"{self.opcode} {operands}" if operands else self.opcode
+        if self.type.is_void():
+            return body
+        return f"{self.short()} = {body}"
+
+
+class BinOp(Instruction):
+    """``dst = op lhs, rhs`` for ``op`` in :data:`BINOP_OPCODES`."""
+
+    def __init__(self, op, lhs, rhs, name=""):
+        if op not in BINOP_OPCODES:
+            raise ValueError(f"unknown binary opcode {op!r}")
+        super().__init__(I32, [lhs, rhs], name)
+        self.opcode = op
+
+    @property
+    def lhs(self):
+        return self.operands[0]
+
+    @property
+    def rhs(self):
+        return self.operands[1]
+
+
+class ICmp(Instruction):
+    """``dst = icmp.<pred> lhs, rhs`` producing i32 0 or 1."""
+
+    def __init__(self, pred, lhs, rhs, name=""):
+        if pred not in ICMP_PREDICATES:
+            raise ValueError(f"unknown icmp predicate {pred!r}")
+        super().__init__(I32, [lhs, rhs], name)
+        self.pred = pred
+        self.opcode = f"icmp.{pred}"
+
+    @property
+    def lhs(self):
+        return self.operands[0]
+
+    @property
+    def rhs(self):
+        return self.operands[1]
+
+
+class Select(Instruction):
+    """``dst = select cond, a, b`` — ``a`` if ``cond`` is non-zero, else ``b``."""
+
+    opcode = "select"
+
+    def __init__(self, cond, a, b, name=""):
+        super().__init__(I32, [cond, a, b], name)
+
+    @property
+    def cond(self):
+        return self.operands[0]
+
+
+class Load(Instruction):
+    """``dst = load ptr`` — read one aligned word."""
+
+    opcode = "load"
+
+    def __init__(self, ptr, name=""):
+        super().__init__(I32, [ptr], name)
+
+    @property
+    def ptr(self):
+        return self.operands[0]
+
+
+class Store(Instruction):
+    """``store value, ptr`` — write one aligned word.  Value-less."""
+
+    opcode = "store"
+
+    def __init__(self, value, ptr):
+        super().__init__(VOID, [value, ptr])
+
+    def has_side_effects(self):
+        return True
+
+    @property
+    def value(self):
+        return self.operands[0]
+
+    @property
+    def ptr(self):
+        return self.operands[1]
+
+
+class Alloca(Instruction):
+    """``dst = alloca n`` — reserve ``n`` words in the current stack frame."""
+
+    opcode = "alloca"
+
+    def __init__(self, size_words, name=""):
+        super().__init__(PTR, [], name)
+        if size_words <= 0:
+            raise ValueError("alloca size must be positive")
+        self.size_words = size_words
+
+    def has_side_effects(self):
+        # Keep allocas alive until mem2reg decides their fate.
+        return True
+
+    def __repr__(self):
+        return f"{self.short()} = alloca {self.size_words}"
+
+
+class GetElementPtr(Instruction):
+    """``dst = gep base, index`` — byte address ``base + index * 4``."""
+
+    opcode = "gep"
+
+    def __init__(self, base, index, name=""):
+        super().__init__(PTR, [base, index], name)
+
+    @property
+    def base(self):
+        return self.operands[0]
+
+    @property
+    def index(self):
+        return self.operands[1]
+
+
+class Call(Instruction):
+    """``dst = call @f(args...)`` (or value-less for void functions)."""
+
+    opcode = "call"
+
+    def __init__(self, callee, args, returns_value=True, name=""):
+        super().__init__(I32 if returns_value else VOID, list(args), name)
+        self.callee = callee  # Function or str (resolved at link of IR module)
+
+    def has_side_effects(self):
+        return True
+
+    def callee_name(self):
+        return self.callee if isinstance(self.callee, str) else self.callee.name
+
+    def __repr__(self):
+        args = self.operand_str()
+        if self.type.is_void():
+            return f"call @{self.callee_name()}({args})"
+        return f"{self.short()} = call @{self.callee_name()}({args})"
+
+
+class Output(Instruction):
+    """``output value`` — emit a word to the validation output channel.
+
+    Lowered to the ``OUT`` instruction on STRAIGHT and the output ``ECALL`` on
+    RV32IM; used to cross-check compiled binaries between the two ISAs.
+    """
+
+    opcode = "output"
+
+    def __init__(self, value):
+        super().__init__(VOID, [value])
+
+    def has_side_effects(self):
+        return True
+
+    @property
+    def value(self):
+        return self.operands[0]
+
+
+class Ret(Instruction):
+    """``ret value`` or bare ``ret``."""
+
+    opcode = "ret"
+
+    def __init__(self, value=None):
+        super().__init__(VOID, [value] if value is not None else [])
+
+    def is_terminator(self):
+        return True
+
+    def has_side_effects(self):
+        return True
+
+    @property
+    def value(self):
+        return self.operands[0] if self.operands else None
+
+
+class Br(Instruction):
+    """``br label`` — unconditional branch."""
+
+    opcode = "br"
+
+    def __init__(self, target):
+        super().__init__(VOID, [])
+        self.target = target
+
+    def is_terminator(self):
+        return True
+
+    def has_side_effects(self):
+        return True
+
+    def successors(self):
+        return [self.target]
+
+    def replace_successor(self, old, new):
+        if self.target is old:
+            self.target = new
+
+    def __repr__(self):
+        return f"br %{self.target.name}"
+
+
+class CondBr(Instruction):
+    """``condbr cond, iftrue, iffalse`` — taken when ``cond`` is non-zero."""
+
+    opcode = "condbr"
+
+    def __init__(self, cond, iftrue, iffalse):
+        super().__init__(VOID, [cond])
+        self.iftrue = iftrue
+        self.iffalse = iffalse
+
+    def is_terminator(self):
+        return True
+
+    def has_side_effects(self):
+        return True
+
+    @property
+    def cond(self):
+        return self.operands[0]
+
+    def successors(self):
+        return [self.iftrue, self.iffalse]
+
+    def replace_successor(self, old, new):
+        if self.iftrue is old:
+            self.iftrue = new
+        if self.iffalse is old:
+            self.iffalse = new
+
+    def __repr__(self):
+        return f"condbr {self.cond.short()}, %{self.iftrue.name}, %{self.iffalse.name}"
+
+
+class Phi(Instruction):
+    """SSA merge: ``dst = phi [v0, bb0], [v1, bb1], ...``.
+
+    ``incomings`` is a list of ``(value, block)`` pairs; the operand list
+    mirrors the values so generic operand rewriting also reaches phis.
+    """
+
+    opcode = "phi"
+
+    def __init__(self, type_=I32, name=""):
+        super().__init__(type_, [], name)
+        self.incoming_blocks = []
+
+    def add_incoming(self, value, block):
+        self.operands.append(value)
+        self.incoming_blocks.append(block)
+
+    def incomings(self):
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for(self, block):
+        """The value flowing in from predecessor ``block``."""
+        for value, pred in self.incomings():
+            if pred is block:
+                return value
+        raise KeyError(f"phi has no incoming for block {block.name!r}")
+
+    def set_incoming_block(self, old, new):
+        self.incoming_blocks = [
+            new if blk is old else blk for blk in self.incoming_blocks
+        ]
+
+    def remove_incoming(self, block):
+        pairs = [(v, b) for v, b in self.incomings() if b is not block]
+        self.operands = [v for v, _ in pairs]
+        self.incoming_blocks = [b for _, b in pairs]
+
+    def __repr__(self):
+        pairs = ", ".join(
+            f"[{v.short()}, %{b.name}]" for v, b in self.incomings()
+        )
+        return f"{self.short()} = phi {pairs}"

@@ -1,0 +1,42 @@
+"""IR modules: a translation unit of globals and functions."""
+
+from repro.common.errors import IRError
+from repro.ir.values import GlobalVariable
+from repro.ir.function import Function
+
+
+class Module:
+    """A compilation unit: named globals plus named functions."""
+
+    def __init__(self, name="module"):
+        self.name = name
+        self.globals = {}
+        self.functions = {}
+
+    def add_global(self, name, size_words, initializer=None):
+        if name in self.globals:
+            raise IRError(f"duplicate global {name!r}")
+        var = GlobalVariable(name, size_words, initializer)
+        self.globals[name] = var
+        return var
+
+    def add_function(self, name, param_names=(), returns_value=True):
+        if name in self.functions:
+            raise IRError(f"duplicate function {name!r}")
+        func = Function(name, param_names, returns_value)
+        self.functions[name] = func
+        return func
+
+    def get_function(self, name):
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"unknown function {name!r}") from None
+
+    def __repr__(self):
+        parts = [f"; module {self.name}"]
+        for var in self.globals.values():
+            init = "" if var.initializer is None else f" = {var.initializer}"
+            parts.append(f"@{var.name}: [{var.size_words} x i32]{init}")
+        parts.extend(repr(func) for func in self.functions.values())
+        return "\n\n".join(parts)

@@ -1,0 +1,331 @@
+"""Textual IR parser: reads the exact format ``repr(Module)`` prints.
+
+Round-tripping IR through text makes golden tests readable and lets tools
+accept IR directly.  Two-pass: instructions are created with symbolic
+operand names first (phis may reference values defined later in a loop),
+then every operand is resolved.
+
+Grammar by example::
+
+    ; module demo
+    @table: [4 x i32] = [1, 2, 3, 4]
+
+    def @sum(%arr, %n) -> i32 {
+    entry:
+      br %loop
+    loop:
+      %i = phi [0, %entry], [%i.next, %body]
+      %cmp = icmp.slt %i, %n
+      condbr %cmp, %body, %done
+    body:
+      %addr = gep %arr, %i
+      %v = load %addr
+      %i.next = add %i, 1
+      br %loop
+    done:
+      ret %i
+    }
+"""
+
+from repro.common.errors import IRError
+from repro.ir.module import Module
+from repro.ir.values import ConstantInt, UndefValue
+from repro.ir.instructions import (
+    BinOp,
+    ICmp,
+    Load,
+    Store,
+    Alloca,
+    GetElementPtr,
+    Call,
+    Ret,
+    Br,
+    CondBr,
+    Phi,
+    Output,
+    Select,
+    BINOP_OPCODES,
+    ICMP_PREDICATES,
+)
+
+_VOID_RESULT_OPS = {"store", "output", "ret", "br", "condbr", "call"}
+
+
+class _FunctionParser:
+    def __init__(self, module, header, body_lines):
+        self.module = module
+        self.header = header
+        self.body_lines = body_lines
+        self.blocks = {}
+        self.values = {}  # %name -> Value
+        self.pending = []  # (instr, operand_index, token) to resolve
+
+    def parse(self):
+        name, params, returns_value = self._parse_header(self.header)
+        func = self.module.add_function(name, params, returns_value)
+        for param in func.params:
+            self.values[param.name] = param
+
+        # Pre-register every block label so forward branches resolve.
+        for raw in self.body_lines:
+            line = raw.strip()
+            if line.endswith(":") and not line.startswith(";"):
+                label = line[:-1]
+                block = func.add_block(label)
+                if block.name != label:
+                    raise IRError(f"duplicate block label {label!r}")
+                self.blocks[label] = block
+
+        current = None
+        staged = []
+        for raw in self.body_lines:
+            line = raw.strip()
+            if not line or line.startswith(";"):
+                continue
+            if line.endswith(":"):
+                current = self.blocks[line[:-1]]
+                continue
+            if current is None:
+                raise IRError(f"instruction before any block label: {line!r}")
+            staged.append((current, line))
+
+        for block, line in staged:
+            block.append(self._parse_instruction(line))
+        self._resolve_pending()
+        return func
+
+    @staticmethod
+    def _parse_header(header):
+        # def @name(%a, %b) -> i32 {
+        body = header[len("def @"):].rstrip("{").strip()
+        name, _, rest = body.partition("(")
+        params_text, _, ret_text = rest.partition(")")
+        params = [
+            token.strip().lstrip("%")
+            for token in params_text.split(",")
+            if token.strip()
+        ]
+        returns_value = "void" not in ret_text
+        return name.strip(), params, returns_value
+
+    # -- operand handling -----------------------------------------------------
+
+    def _operand(self, token):
+        """Resolve now if possible; otherwise return a placeholder token."""
+        token = token.strip()
+        if token == "undef":
+            return UndefValue()
+        if token.startswith("@"):
+            name = token[1:]
+            if name not in self.module.globals:
+                raise IRError(f"unknown global {token}")
+            return self.module.globals[name]
+        if token.startswith("%"):
+            return ("unresolved", token[1:])
+        try:
+            return ConstantInt(int(token, 0))
+        except ValueError:
+            raise IRError(f"bad operand {token!r}") from None
+
+    def _register(self, instr):
+        for index, op in enumerate(instr.operands):
+            if isinstance(op, tuple) and op and op[0] == "unresolved":
+                self.pending.append((instr, index, op[1]))
+        return instr
+
+    def _resolve_pending(self):
+        for instr, index, name in self.pending:
+            value = self.values.get(name)
+            if value is None:
+                raise IRError(f"use of undefined value %{name}")
+            instr.operands[index] = value
+
+    def _define(self, name, instr):
+        if name in self.values:
+            raise IRError(f"redefinition of %{name}")
+        instr.name = name
+        self.values[name] = instr
+        return instr
+
+    # -- instruction forms -----------------------------------------------------
+
+    def _parse_instruction(self, line):
+        result_name = None
+        if line.startswith("%"):
+            lhs, _, rhs = line.partition("=")
+            if not rhs:
+                raise IRError(f"bad instruction {line!r}")
+            result_name = lhs.strip().lstrip("%")
+            line = rhs.strip()
+        opcode, _, rest = line.partition(" ")
+        rest = rest.strip()
+
+        instr = self._build(opcode, rest, has_result=result_name is not None)
+        if result_name is not None:
+            self._define(result_name, instr)
+        return self._register(instr)
+
+    def _split_operands(self, text):
+        """Split on commas not inside brackets/parens."""
+        parts = []
+        depth = 0
+        current = ""
+        for ch in text:
+            if ch in "([":
+                depth += 1
+            elif ch in ")]":
+                depth -= 1
+            if ch == "," and depth == 0:
+                parts.append(current.strip())
+                current = ""
+            else:
+                current += ch
+        if current.strip():
+            parts.append(current.strip())
+        return parts
+
+    def _build(self, opcode, rest, has_result=False):
+        operands = self._split_operands(rest) if rest else []
+
+        if opcode in BINOP_OPCODES:
+            instr = BinOp(opcode, *self._two(operands, opcode))
+            return instr
+        if opcode.startswith("icmp."):
+            pred = opcode.split(".", 1)[1]
+            if pred not in ICMP_PREDICATES:
+                raise IRError(f"bad icmp predicate {pred!r}")
+            return ICmp(pred, *self._two(operands, opcode))
+        if opcode == "select":
+            if len(operands) != 3:
+                raise IRError("select takes 3 operands")
+            return Select(*(self._operand(op) for op in operands))
+        if opcode == "load":
+            return Load(self._one(operands, opcode))
+        if opcode == "store":
+            return Store(*self._two(operands, opcode))
+        if opcode == "alloca":
+            return Alloca(int(self._single_token(operands, opcode), 0))
+        if opcode == "gep":
+            return GetElementPtr(*self._two(operands, opcode))
+        if opcode == "output":
+            return Output(self._one(operands, opcode))
+        if opcode == "call":
+            return self._build_call(rest, returns_value=has_result)
+        if opcode == "ret":
+            if not operands:
+                return Ret()
+            return Ret(self._one(operands, opcode))
+        if opcode == "br":
+            return Br(self._block_ref(self._single_token(operands, opcode)))
+        if opcode == "condbr":
+            if len(operands) != 3:
+                raise IRError("condbr takes 3 operands")
+            return CondBr(
+                self._operand(operands[0]),
+                self._block_ref(operands[1]),
+                self._block_ref(operands[2]),
+            )
+        if opcode == "phi":
+            return self._build_phi(operands)
+        raise IRError(f"unknown opcode {opcode!r}")
+
+    def _build_call(self, rest, returns_value):
+        # call @name(arg, arg, ...)
+        if not rest.startswith("@"):
+            raise IRError(f"bad call {rest!r}")
+        name, _, args_text = rest[1:].partition("(")
+        args_text = args_text.rstrip(")")
+        args = [
+            self._operand(token)
+            for token in self._split_operands(args_text)
+            if token
+        ]
+        return Call(name.strip(), args, returns_value=returns_value)
+
+    def _build_phi(self, operands):
+        phi = Phi()
+        for pair in operands:
+            pair = pair.strip()
+            if not (pair.startswith("[") and pair.endswith("]")):
+                raise IRError(f"bad phi incoming {pair!r}")
+            value_text, _, block_text = pair[1:-1].partition(",")
+            phi.add_incoming(
+                self._operand(value_text), self._block_ref(block_text.strip())
+            )
+        return phi
+
+    def _block_ref(self, token):
+        token = token.strip().lstrip("%")
+        block = self.blocks.get(token)
+        if block is None:
+            raise IRError(f"branch to unknown block %{token}")
+        return block
+
+    def _one(self, operands, opcode):
+        if len(operands) != 1:
+            raise IRError(f"{opcode} takes 1 operand")
+        return self._operand(operands[0])
+
+    def _two(self, operands, opcode):
+        if len(operands) != 2:
+            raise IRError(f"{opcode} takes 2 operands")
+        return self._operand(operands[0]), self._operand(operands[1])
+
+    @staticmethod
+    def _single_token(operands, opcode):
+        if len(operands) != 1:
+            raise IRError(f"{opcode} takes 1 operand")
+        return operands[0]
+
+
+def parse_module(text, name="parsed"):
+    """Parse textual IR into a verified :class:`Module`."""
+    from repro.ir.verifier import verify_module
+
+    module = Module(name)
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        index += 1
+        if not line or line.startswith(";"):
+            continue
+        if line.startswith("@"):
+            _parse_global(module, line)
+            continue
+        if line.startswith("def @"):
+            body = []
+            while index < len(lines):
+                inner = lines[index].strip()
+                index += 1
+                if inner == "}":
+                    break
+                body.append(inner)
+            else:
+                raise IRError("unterminated function body")
+            _FunctionParser(module, line, body).parse()
+            continue
+        raise IRError(f"unexpected top-level line {line!r}")
+    verify_module(module)
+    return module
+
+
+def _parse_global(module, line):
+    # @name: [N x i32] = [1, 2]     (initializer optional)
+    head, _, init_text = line.partition("=")
+    name_part, _, size_part = head.partition(":")
+    name = name_part.strip().lstrip("@")
+    size_text = size_part.strip()
+    if not (size_text.startswith("[") and "x i32" in size_text):
+        raise IRError(f"bad global declaration {line!r}")
+    size = int(size_text[1:].split("x")[0].strip())
+    initializer = None
+    init_text = init_text.strip()
+    if init_text:
+        if not (init_text.startswith("[") and init_text.endswith("]")):
+            raise IRError(f"bad global initializer {line!r}")
+        body = init_text[1:-1].strip()
+        initializer = (
+            [int(tok.strip(), 0) for tok in body.split(",")] if body else []
+        )
+    module.add_global(name, size, initializer)

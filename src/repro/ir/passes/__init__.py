@@ -1,0 +1,22 @@
+"""IR-to-IR transformation passes and the pass manager."""
+
+from repro.ir.passes.mem2reg import promote_allocas
+from repro.ir.passes.constfold import fold_constants
+from repro.ir.passes.dce import eliminate_dead_code
+from repro.ir.passes.simplifycfg import simplify_cfg
+from repro.ir.passes.cse import eliminate_common_subexpressions
+from repro.ir.passes.licm import hoist_loop_invariants
+from repro.ir.passes.split_critical_edges import split_critical_edges
+from repro.ir.passes.pass_manager import PassManager, default_pipeline
+
+__all__ = [
+    "promote_allocas",
+    "fold_constants",
+    "eliminate_dead_code",
+    "simplify_cfg",
+    "eliminate_common_subexpressions",
+    "hoist_loop_invariants",
+    "split_critical_edges",
+    "PassManager",
+    "default_pipeline",
+]

@@ -1,0 +1,152 @@
+"""Constant folding and trivial algebraic simplification.
+
+Folds BinOp/ICmp/Select over :class:`ConstantInt` operands using the exact
+32-bit semantics of the target machines (shared with both functional
+simulators through :mod:`repro.common.bitops`), plus a few identities
+(x+0, x*1, x*0, x-x, ...).
+"""
+
+from repro.common.bitops import wrap32, to_signed
+from repro.ir.values import ConstantInt
+from repro.ir.instructions import BinOp, ICmp, Select
+
+
+def eval_binop(op, a, b):
+    """Evaluate ``op`` on unsigned 32-bit words ``a``, ``b``; returns a word.
+
+    Division semantics follow RV32IM: divide by zero yields all-ones (div)
+    or the dividend (rem); overflow ``INT_MIN / -1`` yields ``INT_MIN``.
+    """
+    sa, sb = to_signed(a), to_signed(b)
+    if op == "add":
+        return wrap32(a + b)
+    if op == "sub":
+        return wrap32(a - b)
+    if op == "mul":
+        return wrap32(a * b)
+    if op == "sdiv":
+        if b == 0:
+            return 0xFFFF_FFFF
+        if sa == -(2**31) and sb == -1:
+            return 0x8000_0000
+        return wrap32(int(sa / sb))  # trunc toward zero
+    if op == "udiv":
+        if b == 0:
+            return 0xFFFF_FFFF
+        return wrap32(a // b)
+    if op == "srem":
+        if b == 0:
+            return a
+        if sa == -(2**31) and sb == -1:
+            return 0
+        return wrap32(sa - int(sa / sb) * sb)
+    if op == "urem":
+        if b == 0:
+            return a
+        return wrap32(a % b)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return wrap32(a << (b & 31))
+    if op == "lshr":
+        return a >> (b & 31)
+    if op == "ashr":
+        return wrap32(sa >> (b & 31))
+    raise ValueError(f"unknown binop {op!r}")
+
+
+def eval_icmp(pred, a, b):
+    """Evaluate comparison ``pred`` on words ``a``, ``b``; returns 0 or 1."""
+    sa, sb = to_signed(a), to_signed(b)
+    table = {
+        "eq": a == b,
+        "ne": a != b,
+        "slt": sa < sb,
+        "sle": sa <= sb,
+        "sgt": sa > sb,
+        "sge": sa >= sb,
+        "ult": a < b,
+        "ule": a <= b,
+        "ugt": a > b,
+        "uge": a >= b,
+    }
+    return 1 if table[pred] else 0
+
+
+def fold_constants(func):
+    """One folding sweep over ``func``; returns the number of folds."""
+    folded = {}
+
+    def resolve(value):
+        return folded.get(value, value)
+
+    count = 0
+    for block in func.blocks:
+        for instr in list(block.instructions):
+            instr.operands = [resolve(op) for op in instr.operands]
+            replacement = _try_fold(instr)
+            if replacement is not None:
+                folded[instr] = replacement
+                block.remove(instr)
+                count += 1
+    if folded:
+        for block in func.blocks:
+            for instr in block.instructions:
+                instr.operands = [resolve(op) for op in instr.operands]
+    return count
+
+
+def _try_fold(instr):
+    if isinstance(instr, BinOp):
+        lhs, rhs = instr.lhs, instr.rhs
+        lc = isinstance(lhs, ConstantInt)
+        rc = isinstance(rhs, ConstantInt)
+        if lc and rc:
+            return ConstantInt(eval_binop(instr.opcode, lhs.value, rhs.value))
+        return _algebraic_identity(instr, lhs, rhs, lc, rc)
+    if isinstance(instr, ICmp):
+        if isinstance(instr.lhs, ConstantInt) and isinstance(
+            instr.rhs, ConstantInt
+        ):
+            return ConstantInt(
+                eval_icmp(instr.pred, instr.lhs.value, instr.rhs.value)
+            )
+        return None
+    if isinstance(instr, Select) and isinstance(instr.cond, ConstantInt):
+        return instr.operands[1] if instr.cond.value != 0 else instr.operands[2]
+    return None
+
+
+def _algebraic_identity(instr, lhs, rhs, lc, rc):
+    op = instr.opcode
+    if rc:
+        r = rhs.value
+        if op in ("add", "sub", "or", "xor", "shl", "lshr", "ashr") and r == 0:
+            return lhs
+        if op == "mul" and r == 1:
+            return lhs
+        if op == "mul" and r == 0:
+            return ConstantInt(0)
+        if op == "and" and r == 0xFFFF_FFFF:
+            return lhs
+        if op == "and" and r == 0:
+            return ConstantInt(0)
+    if lc:
+        l = lhs.value
+        if op == "add" and l == 0:
+            return rhs
+        if op == "mul" and l == 1:
+            return rhs
+        if op == "mul" and l == 0:
+            return ConstantInt(0)
+        if op in ("and", "or") and l == 0:
+            return ConstantInt(0) if op == "and" else rhs
+    if op == "sub" and lhs is rhs:
+        return ConstantInt(0)
+    if op == "xor" and lhs is rhs:
+        return ConstantInt(0)
+    return None

@@ -1,0 +1,75 @@
+"""Local common-subexpression elimination (block-scoped value numbering).
+
+Within one basic block, two pure instructions with the same opcode and the
+same operands compute the same value; the second is replaced by the first.
+Commutative operations are canonicalized so ``a+b`` and ``b+a`` match.
+Memory operations are not touched (no alias analysis at this scale).
+"""
+
+from repro.ir.values import ConstantInt
+from repro.ir.instructions import BinOp, ICmp, GetElementPtr, Select
+
+_COMMUTATIVE = {"add", "mul", "and", "or", "xor"}
+
+
+def _operand_key(value):
+    if isinstance(value, ConstantInt):
+        return ("const", value.value)
+    return ("value", id(value))
+
+
+def _value_number(instr):
+    """A hashable key identifying the computation, or None if not CSE-able."""
+    if isinstance(instr, BinOp):
+        lhs, rhs = _operand_key(instr.lhs), _operand_key(instr.rhs)
+        if instr.opcode in _COMMUTATIVE and rhs < lhs:
+            lhs, rhs = rhs, lhs
+        return ("bin", instr.opcode, lhs, rhs)
+    if isinstance(instr, ICmp):
+        return (
+            "icmp",
+            instr.pred,
+            _operand_key(instr.lhs),
+            _operand_key(instr.rhs),
+        )
+    if isinstance(instr, GetElementPtr):
+        return (
+            "gep",
+            _operand_key(instr.base),
+            _operand_key(instr.index),
+        )
+    if isinstance(instr, Select):
+        return ("select",) + tuple(_operand_key(op) for op in instr.operands)
+    return None
+
+
+def eliminate_common_subexpressions(func):
+    """Run local CSE over every block; returns the number of replacements."""
+    replaced = 0
+    replacements = {}
+    for block in func.blocks:
+        available = {}
+        for instr in list(block.instructions):
+            instr.operands = [replacements.get(op, op) for op in instr.operands]
+            key = _value_number(instr)
+            if key is None:
+                continue
+            existing = available.get(key)
+            if existing is not None:
+                replacements[instr] = existing
+                block.remove(instr)
+                replaced += 1
+            else:
+                available[key] = instr
+    if replacements:
+        def resolve(value):
+            seen = set()
+            while value in replacements and value not in seen:
+                seen.add(value)
+                value = replacements[value]
+            return value
+
+        for block in func.blocks:
+            for instr in block.instructions:
+                instr.operands = [resolve(op) for op in instr.operands]
+    return replaced

@@ -1,0 +1,30 @@
+"""Dead code elimination.
+
+Removes value-producing instructions with no transitive side-effecting users.
+Works backwards to a fixed point so whole dead chains disappear in one call.
+"""
+
+from repro.ir.instructions import Instruction
+
+
+def eliminate_dead_code(func):
+    """Remove dead instructions from ``func``; returns the number removed."""
+    removed_total = 0
+    while True:
+        used = set()
+        for block in func.blocks:
+            for instr in block.instructions:
+                for op in instr.operands:
+                    if isinstance(op, Instruction):
+                        used.add(op)
+        removed = 0
+        for block in func.blocks:
+            for instr in list(block.instructions):
+                if instr.is_terminator() or instr.has_side_effects():
+                    continue
+                if instr not in used:
+                    block.remove(instr)
+                    removed += 1
+        removed_total += removed
+        if removed == 0:
+            return removed_total

@@ -1,0 +1,132 @@
+"""Loop-invariant code motion.
+
+Hoists pure instructions whose operands are all defined outside a natural
+loop into a dedicated preheader block.  Classic and effective for the
+workload kernels (``i * n`` in a ``k`` loop, global base addresses), and an
+interesting ablation subject for STRAIGHT: hoisting *extends live ranges*,
+and every value live across a merge costs one refresh RMOV per iteration —
+the compile-time tension the paper's §IV-D discusses.
+"""
+
+from repro.ir.instructions import Br, Phi, BinOp, ICmp, GetElementPtr, Select
+from repro.ir.analysis.loops import find_natural_loops
+
+_HOISTABLE = (BinOp, ICmp, GetElementPtr, Select)
+
+
+def hoist_loop_invariants(func):
+    """Hoist invariant computations; returns the number hoisted."""
+    hoisted_total = 0
+    # Loops change as preheaders are inserted; recompute per round.
+    for _ in range(4):
+        hoisted = 0
+        for loop in find_natural_loops(func):
+            hoisted += _hoist_one_loop(func, loop)
+        hoisted_total += hoisted
+        if hoisted == 0:
+            break
+    return hoisted_total
+
+
+def _hoist_one_loop(func, loop):
+    defined_in_loop = set()
+    for block in loop.body:
+        for instr in block.instructions:
+            defined_in_loop.add(instr)
+
+    def is_invariant(instr):
+        return not any(op in defined_in_loop for op in instr.operands)
+
+    candidates = []
+    for block in loop.body:
+        for instr in block.instructions:
+            if isinstance(instr, _HOISTABLE) and is_invariant(instr):
+                candidates.append(instr)
+    # Re-scan to a local fixed point: hoisting one instruction can make its
+    # consumers invariant too.
+    changed = True
+    while changed:
+        changed = False
+        hoisted_set = set(candidates)
+        for block in loop.body:
+            for instr in block.instructions:
+                if instr in hoisted_set or not isinstance(instr, _HOISTABLE):
+                    continue
+                if all(
+                    op not in defined_in_loop or op in hoisted_set
+                    for op in instr.operands
+                ):
+                    candidates.append(instr)
+                    changed = True
+
+    if not candidates:
+        return 0
+
+    preheader = _get_or_create_preheader(func, loop)
+    if preheader is None:
+        return 0
+    ordered = _dependence_order(candidates)
+    insert_at = len(preheader.instructions) - 1  # before the terminator
+    for instr in ordered:
+        instr.parent.remove(instr)
+        preheader.insert(insert_at, instr)
+        insert_at += 1
+    return len(ordered)
+
+
+def _dependence_order(candidates):
+    """Order hoisted instructions so producers precede their consumers."""
+    candidate_set = set(candidates)
+    placed = set()
+    ordered = []
+    pending = list(candidates)
+    while pending:
+        progressed = False
+        remaining = []
+        for instr in pending:
+            deps = [op for op in instr.operands if op in candidate_set]
+            if all(dep in placed for dep in deps):
+                ordered.append(instr)
+                placed.add(instr)
+                progressed = True
+            else:
+                remaining.append(instr)
+        pending = remaining
+        if not progressed:  # pragma: no cover - SSA has no operand cycles
+            ordered.extend(pending)
+            break
+    return ordered
+
+
+def _get_or_create_preheader(func, loop):
+    """The unique out-of-loop predecessor of the header, creating one if
+    several exist.  Returns None when the header is the function entry."""
+    header = loop.header
+    preds = func.predecessors()[header]
+    outside = [p for p in preds if p not in loop.body]
+    if not outside:
+        return None
+    if len(outside) == 1 and len(set(outside[0].successors())) == 1:
+        return outside[0]
+
+    preheader = func.insert_block_after(outside[0], f"{header.name}.preheader")
+    preheader.append(Br(header))
+    for pred in outside:
+        pred.terminator().replace_successor(header, preheader)
+    # Re-route phi inputs: outside incomings merge in the preheader.
+    for phi in header.phis():
+        outside_pairs = [
+            (value, pred) for value, pred in phi.incomings() if pred in outside
+        ]
+        for _, pred in outside_pairs:
+            phi.remove_incoming(pred)
+        if len(outside_pairs) == 1:
+            phi.add_incoming(outside_pairs[0][0], preheader)
+        else:
+            merged = Phi()
+            merged.name = func.unique_name(f"{phi.name}.ph")
+            for value, pred in outside_pairs:
+                merged.add_incoming(value, pred)
+            preheader.insert(0, merged)
+            phi.add_incoming(merged, preheader)
+    return preheader

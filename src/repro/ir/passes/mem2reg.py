@@ -1,0 +1,146 @@
+"""mem2reg: promote single-word allocas to SSA values with phi insertion.
+
+This is the pass that turns the front end's naive alloca/load/store output
+into genuine SSA — the IR shape the paper's compiler consumes ("LLVM IR is an
+SSA-formed IR ... this manner is similar to the register management of
+STRAIGHT", §IV-A).  Classic two-phase algorithm:
+
+1. insert phis at the iterated dominance frontier of every store block;
+2. rename loads/stores by walking the dominator tree with a value stack.
+"""
+
+from repro.ir.values import UndefValue
+from repro.ir.instructions import Load, Store, Alloca, Phi
+from repro.ir.analysis.dominance import DominatorTree
+
+
+def promote_allocas(func):
+    """Promote every promotable alloca in ``func``; returns count promoted."""
+    allocas = _promotable_allocas(func)
+    if not allocas:
+        return 0
+    domtree = DominatorTree(func)
+    phi_owner = _insert_phis(func, allocas, domtree)
+    _rename(func, allocas, domtree, phi_owner)
+    _strip(func, allocas)
+    return len(allocas)
+
+
+def _promotable_allocas(func):
+    """Single-word allocas whose only uses are direct word loads/stores."""
+    allocas = [
+        instr
+        for block in func.blocks
+        for instr in block.instructions
+        if isinstance(instr, Alloca) and instr.size_words == 1
+    ]
+    promotable = set(allocas)
+    for block in func.blocks:
+        for instr in block.instructions:
+            for op in instr.operands:
+                if not isinstance(op, Alloca) or op not in promotable:
+                    continue
+                is_load = isinstance(instr, Load) and instr.ptr is op
+                is_store_addr = (
+                    isinstance(instr, Store)
+                    and instr.ptr is op
+                    and instr.value is not op
+                )
+                if not (is_load or is_store_addr):
+                    # Address escapes (stored as a value, passed to a call,
+                    # used in pointer arithmetic): leave it in memory.
+                    promotable.discard(op)
+    return [a for a in allocas if a in promotable]
+
+
+def _insert_phis(func, allocas, domtree):
+    """Phase 1: place empty phis at iterated dominance frontiers."""
+    phi_owner = {}
+    for alloca in allocas:
+        def_blocks = {
+            instr.parent
+            for block in func.blocks
+            for instr in block.instructions
+            if isinstance(instr, Store) and instr.ptr is alloca
+        }
+        placed = set()
+        worklist = list(def_blocks)
+        while worklist:
+            block = worklist.pop()
+            for frontier_block in domtree.frontier.get(block, ()):
+                if frontier_block in placed:
+                    continue
+                placed.add(frontier_block)
+                phi = Phi()
+                phi.name = func.unique_name(f"{alloca.name}.phi")
+                frontier_block.insert(0, phi)
+                phi_owner[phi] = alloca
+                if frontier_block not in def_blocks:
+                    worklist.append(frontier_block)
+    return phi_owner
+
+
+def _rename(func, allocas, domtree, phi_owner):
+    """Phase 2: dominator-tree walk replacing loads with reaching values."""
+    alloca_set = set(allocas)
+    replacements = {}  # load instruction -> SSA value
+
+    def current(stacks, alloca):
+        stack = stacks[alloca]
+        return stack[-1] if stack else UndefValue()
+
+    stacks = {alloca: [] for alloca in allocas}
+    # Iterative preorder walk carrying push-counts for scope restoration.
+    visit_stack = [(func.entry, False)]
+    pushed = {}
+    while visit_stack:
+        block, done = visit_stack.pop()
+        if done:
+            for alloca, count in pushed.pop(block, {}).items():
+                for _ in range(count):
+                    stacks[alloca].pop()
+            continue
+        visit_stack.append((block, True))
+        counts = {}
+        pushed[block] = counts
+
+        for instr in list(block.instructions):
+            if isinstance(instr, Phi) and instr in phi_owner:
+                alloca = phi_owner[instr]
+                stacks[alloca].append(instr)
+                counts[alloca] = counts.get(alloca, 0) + 1
+            elif isinstance(instr, Load) and instr.ptr in alloca_set:
+                replacements[instr] = current(stacks, instr.ptr)
+                block.remove(instr)
+            elif isinstance(instr, Store) and instr.ptr in alloca_set:
+                value = instr.value
+                value = replacements.get(value, value)
+                stacks[instr.ptr].append(value)
+                counts[instr.ptr] = counts.get(instr.ptr, 0) + 1
+                block.remove(instr)
+
+        for succ in block.successors():
+            for phi in succ.phis():
+                if phi in phi_owner:
+                    phi.add_incoming(current(stacks, phi_owner[phi]), block)
+
+        for child in domtree.children.get(block, ()):
+            visit_stack.append((child, False))
+
+    # Chase replacement chains (a load replaced by another replaced load).
+    def resolve(value):
+        seen = set()
+        while value in replacements and value not in seen:
+            seen.add(value)
+            value = replacements[value]
+        return value
+
+    for block in func.blocks:
+        for instr in block.instructions:
+            instr.operands = [resolve(op) for op in instr.operands]
+
+
+def _strip(func, allocas):
+    """Remove the promoted allocas and any phis that ended up unreferenced."""
+    for alloca in allocas:
+        alloca.parent.remove(alloca)

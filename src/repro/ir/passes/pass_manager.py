@@ -1,0 +1,51 @@
+"""A small pass manager running function passes over a module."""
+
+from repro.ir.verifier import verify_function
+from repro.ir.passes.mem2reg import promote_allocas
+from repro.ir.passes.constfold import fold_constants
+from repro.ir.passes.dce import eliminate_dead_code
+from repro.ir.passes.simplifycfg import simplify_cfg
+from repro.ir.passes.cse import eliminate_common_subexpressions
+from repro.ir.passes.licm import hoist_loop_invariants
+
+
+class PassManager:
+    """Runs a sequence of ``func -> int`` passes over every module function."""
+
+    def __init__(self, passes=(), verify_each=True, max_rounds=8):
+        self.passes = list(passes)
+        self.verify_each = verify_each
+        self.max_rounds = max_rounds
+
+    def add(self, pass_fn):
+        self.passes.append(pass_fn)
+        return self
+
+    def run(self, module):
+        """Run the pipeline to a fixed point (bounded); returns total rewrites."""
+        total = 0
+        for func in module.functions.values():
+            for _ in range(self.max_rounds):
+                round_changes = 0
+                for pass_fn in self.passes:
+                    round_changes += pass_fn(func)
+                    if self.verify_each:
+                        verify_function(func)
+                total += round_changes
+                if round_changes == 0:
+                    break
+        return total
+
+
+def default_pipeline(verify_each=True, licm=True):
+    """The standard -O2-like pipeline used ahead of both backends."""
+    passes = [
+        promote_allocas,
+        fold_constants,
+        eliminate_common_subexpressions,
+        eliminate_dead_code,
+        simplify_cfg,
+    ]
+    if licm:
+        passes.append(hoist_loop_invariants)
+    return PassManager(passes, verify_each=verify_each)

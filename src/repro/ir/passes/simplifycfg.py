@@ -1,0 +1,124 @@
+"""CFG simplification.
+
+Performs, to a fixed point:
+
+* folding of conditional branches on constants,
+* removal of unreachable blocks (with phi-incoming cleanup),
+* merging of a block into its unique predecessor when that predecessor has a
+  unique successor,
+* collapsing of trivial phis (all incomings identical or self-references).
+
+These matter for STRAIGHT code quality: every surviving merge point costs
+RMOVs, so removing pointless merges is a genuine code-size/performance lever.
+"""
+
+from repro.ir.values import ConstantInt
+from repro.ir.instructions import Instruction, Br, CondBr, Phi
+from repro.ir.analysis.cfg import reachable_blocks
+
+
+def simplify_cfg(func):
+    """Simplify ``func``'s CFG; returns the number of rewrites performed."""
+    total = 0
+    while True:
+        changed = (
+            _fold_constant_branches(func)
+            + _remove_unreachable(func)
+            + _collapse_trivial_phis(func)
+            + _merge_straightline_pairs(func)
+        )
+        total += changed
+        if changed == 0:
+            return total
+
+
+def _fold_constant_branches(func):
+    count = 0
+    for block in func.blocks:
+        term = block.terminator()
+        if isinstance(term, CondBr) and isinstance(term.cond, ConstantInt):
+            taken = term.iftrue if term.cond.value != 0 else term.iffalse
+            not_taken = term.iffalse if term.cond.value != 0 else term.iftrue
+            block.remove(term)
+            block.append(Br(taken))
+            if not_taken is not taken:
+                for phi in not_taken.phis():
+                    phi.remove_incoming(block)
+            count += 1
+        elif isinstance(term, CondBr) and term.iftrue is term.iffalse:
+            target = term.iftrue
+            block.remove(term)
+            block.append(Br(target))
+            count += 1
+    return count
+
+
+def _remove_unreachable(func):
+    reachable = reachable_blocks(func)
+    dead = [b for b in func.blocks if b not in reachable]
+    if not dead:
+        return 0
+    dead_set = set(dead)
+    for block in func.blocks:
+        if block in dead_set:
+            continue
+        for phi in block.phis():
+            for pred in list(phi.incoming_blocks):
+                if pred in dead_set:
+                    phi.remove_incoming(pred)
+    for block in dead:
+        func.remove_block(block)
+    return len(dead)
+
+
+def _collapse_trivial_phis(func):
+    replacements = {}
+    count = 0
+    for block in func.blocks:
+        for phi in list(block.phis()):
+            distinct = {v for v in phi.operands if v is not phi}
+            if len(distinct) == 1:
+                replacements[phi] = distinct.pop()
+                block.remove(phi)
+                count += 1
+    if replacements:
+        def resolve(value):
+            seen = set()
+            while value in replacements and value not in seen:
+                seen.add(value)
+                value = replacements[value]
+            return value
+
+        for block in func.blocks:
+            for instr in block.instructions:
+                instr.operands = [resolve(op) for op in instr.operands]
+    return count
+
+
+def _merge_straightline_pairs(func):
+    preds = func.predecessors()
+    count = 0
+    for block in list(func.blocks):
+        if block is func.entry:
+            continue
+        block_preds = preds.get(block)
+        if block_preds is None or len(block_preds) != 1:
+            continue
+        pred = block_preds[0]
+        if pred is block or len(pred.successors()) != 1:
+            continue
+        if block.phis():
+            continue  # trivial-phi collapse will clear these first
+        # Splice block's instructions into pred, replacing pred's terminator.
+        term = pred.terminator()
+        pred.remove(term)
+        for instr in list(block.instructions):
+            block.remove(instr)
+            pred.append(instr)
+        for succ in pred.successors():
+            for phi in succ.phis():
+                phi.set_incoming_block(block, pred)
+        func.remove_block(block)
+        preds = func.predecessors()
+        count += 1
+    return count

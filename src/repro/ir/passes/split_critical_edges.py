@@ -1,0 +1,39 @@
+"""Critical edge splitting.
+
+An edge P -> B is *critical* when P has multiple successors and B multiple
+predecessors.  The STRAIGHT backend appends distance-refreshing RMOVs "at the
+tail of merging basic blocks" (paper §IV-C2); that placement is only
+unconditionally correct when each predecessor of a merge reaches *only* that
+merge, so the backend runs this pass first.  (LLVM does the same before phi
+lowering.)
+"""
+
+from repro.ir.instructions import Br
+
+
+def split_critical_edges(func):
+    """Split every critical edge in ``func``; returns the number split."""
+    count = 0
+    while True:
+        edge = _find_critical_edge(func)
+        if edge is None:
+            return count
+        pred, succ = edge
+        middle = func.insert_block_after(pred, f"{pred.name}.split")
+        middle.append(Br(succ))
+        pred.terminator().replace_successor(succ, middle)
+        for phi in succ.phis():
+            phi.set_incoming_block(pred, middle)
+        count += 1
+
+
+def _find_critical_edge(func):
+    preds = func.predecessors()
+    for block in func.blocks:
+        succs = block.successors()
+        if len(set(succs)) < 2:
+            continue
+        for succ in succs:
+            if len(preds[succ]) >= 2:
+                return block, succ
+    return None

@@ -1,0 +1,48 @@
+"""IR type system.
+
+The target machines are 32-bit word machines, so the type system is small:
+``i32`` (which doubles as the boolean 0/1 produced by comparisons), ``ptr``
+(a 32-bit byte address), and ``void`` for value-less instructions.  Types are
+singletons compared by identity.
+"""
+
+
+class Type:
+    """Base class for IR types."""
+
+    name = "type"
+
+    def __repr__(self):
+        return self.name
+
+    def is_pointer(self):
+        return isinstance(self, PointerType)
+
+    def is_int(self):
+        return isinstance(self, IntType)
+
+    def is_void(self):
+        return isinstance(self, VoidType)
+
+
+class IntType(Type):
+    """A 32-bit integer (signedness is a property of operations, not types)."""
+
+    name = "i32"
+
+
+class PointerType(Type):
+    """A 32-bit byte address.  Pointees are untyped words."""
+
+    name = "ptr"
+
+
+class VoidType(Type):
+    """The type of value-less instructions (stores, branches, void calls)."""
+
+    name = "void"
+
+
+I32 = IntType()
+PTR = PointerType()
+VOID = VoidType()

@@ -1,0 +1,86 @@
+"""IR values: the nodes of the SSA value graph.
+
+A :class:`Value` is anything an instruction may take as an operand: constants,
+function arguments, global variables, and instructions themselves
+(:class:`~repro.ir.instructions.Instruction` subclasses ``Value``).
+"""
+
+from repro.common.bitops import wrap32
+from repro.ir.types import I32, PTR
+
+
+class Value:
+    """Base class of everything usable as an operand."""
+
+    def __init__(self, type_, name=""):
+        self.type = type_
+        self.name = name
+
+    def short(self):
+        """Compact printable form used inside instruction listings."""
+        return f"%{self.name}" if self.name else "%?"
+
+    def __repr__(self):
+        return self.short()
+
+
+class ConstantInt(Value):
+    """A 32-bit integer constant (stored wrapped to unsigned)."""
+
+    def __init__(self, value):
+        super().__init__(I32)
+        self.value = wrap32(value)
+
+    def short(self):
+        return str(self.value)
+
+    def __eq__(self, other):
+        return isinstance(other, ConstantInt) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("const", self.value))
+
+
+class UndefValue(Value):
+    """An undefined value (used for incomplete phi inputs on impossible paths)."""
+
+    def __init__(self, type_=I32):
+        super().__init__(type_)
+
+    def short(self):
+        return "undef"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, name, type_=I32, index=0):
+        super().__init__(type_, name)
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level array of words.
+
+    ``size_words`` is the allocation size; ``initializer`` is either ``None``
+    (zero-initialized) or a list of at most ``size_words`` word values.
+    A global's value, used as an operand, is its byte address (a ``ptr``).
+    """
+
+    def __init__(self, name, size_words, initializer=None):
+        super().__init__(PTR, name)
+        if size_words <= 0:
+            raise ValueError(f"global {name!r} must have positive size")
+        if initializer is not None and len(initializer) > size_words:
+            raise ValueError(f"global {name!r}: initializer longer than size")
+        self.size_words = size_words
+        self.initializer = list(initializer) if initializer is not None else None
+
+    def short(self):
+        return f"@{self.name}"
+
+    def init_words(self):
+        """The full ``size_words``-long initializer (zero padded)."""
+        words = [wrap32(w) for w in (self.initializer or [])]
+        words.extend([0] * (self.size_words - len(words)))
+        return words

@@ -1,0 +1,18 @@
+"""Event-based RTL power model (the reproduction's Cadence Joules substitute).
+
+The paper's §V-B/VI-C analysis synthesizes 2-way RTL for several clock
+targets and reports per-module power: rename logic, register file, "other
+modules".  This package reproduces the *methodology shape*: per-module
+energy-per-event constants x event counts from the timing simulation,
+voltage-frequency scaling for synthesis targets, and leakage proportional
+to module area.
+"""
+
+from repro.power.energy_model import (
+    EnergyParams,
+    ModulePower,
+    PowerReport,
+    analyze_power,
+)
+
+__all__ = ["EnergyParams", "ModulePower", "PowerReport", "analyze_power"]

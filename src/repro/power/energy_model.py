@@ -1,0 +1,159 @@
+"""Per-module event-energy power model with V-f scaling.
+
+Dynamic power of a module = (energy/event x events / cycles) x f x V(f)^2,
+normalized so the baseline frequency has V = 1.  Raising the synthesis
+frequency target raises the supply/effort voltage the synthesizer needs,
+which is why the paper's Fig. 17 shows *super-linear* growth of every
+module's power with the 1.0x / 2.5x / 4.0x clock targets.
+
+Energy constants are in arbitrary units chosen for relative magnitudes:
+
+* one RMT read/write port access costs several times a simple adder —
+  the RMT is "one of the most multiported tables in the processor" (§II-A);
+* STRAIGHT's operand determination is one small subtractor per operand
+  (Fig. 3), orders of magnitude below a multiported RAM access;
+* register file and execution energies are identical between the two
+  architectures (the back ends are the same hardware).
+"""
+
+
+class EnergyParams:
+    """Energy-per-event constants (arbitrary units) and leakage areas."""
+
+    def __init__(
+        self,
+        rmt_read=6.0,
+        rmt_write=8.0,
+        freelist_op=2.0,
+        opdet_op=0.25,
+        regfile_read=3.0,
+        regfile_write=4.0,
+        iq_wakeup=2.0,
+        iq_insert=1.5,
+        rob_write=1.5,
+        rob_walk_read=2.0,
+        alu_op=5.0,
+        mul_op=15.0,
+        div_op=25.0,
+        agu_op=4.0,
+        leak_rename=0.8,
+        leak_regfile=1.6,
+        leak_other=6.0,
+        voltage_slope=0.18,
+    ):
+        self.rmt_read = rmt_read
+        self.rmt_write = rmt_write
+        self.freelist_op = freelist_op
+        self.opdet_op = opdet_op
+        self.regfile_read = regfile_read
+        self.regfile_write = regfile_write
+        self.iq_wakeup = iq_wakeup
+        self.iq_insert = iq_insert
+        self.rob_write = rob_write
+        self.rob_walk_read = rob_walk_read
+        self.alu_op = alu_op
+        self.mul_op = mul_op
+        self.div_op = div_op
+        self.agu_op = agu_op
+        self.leak_rename = leak_rename
+        self.leak_regfile = leak_regfile
+        self.leak_other = leak_other
+        #: dV per unit of relative frequency above baseline.
+        self.voltage_slope = voltage_slope
+
+    def voltage(self, rel_frequency):
+        """Relative supply voltage needed for a synthesis target."""
+        return 1.0 + self.voltage_slope * (rel_frequency - 1.0)
+
+
+class ModulePower:
+    """Dynamic + leakage power of one module at one frequency."""
+
+    def __init__(self, name, dynamic, leakage):
+        self.name = name
+        self.dynamic = dynamic
+        self.leakage = leakage
+
+    @property
+    def total(self):
+        return self.dynamic + self.leakage
+
+    def __repr__(self):
+        return f"{self.name}: {self.total:.3f} (dyn {self.dynamic:.3f})"
+
+
+class PowerReport:
+    """Per-module power for one core running one workload at one frequency."""
+
+    MODULES = ("rename", "regfile", "other")
+
+    def __init__(self, core_name, rel_frequency, modules):
+        self.core_name = core_name
+        self.rel_frequency = rel_frequency
+        self.modules = modules  # name -> ModulePower
+
+    def total(self):
+        return sum(m.total for m in self.modules.values())
+
+    def __repr__(self):
+        parts = ", ".join(f"{m!r}" for m in self.modules.values())
+        return f"PowerReport({self.core_name} @{self.rel_frequency}x: {parts})"
+
+
+def _events_per_cycle(stats, field):
+    return getattr(stats, field) / stats.cycles if stats.cycles else 0.0
+
+
+def analyze_power(stats, is_straight, rel_frequency=1.0, params=None, core_name=""):
+    """Build a :class:`PowerReport` from timing-run statistics.
+
+    ``stats`` is a :class:`repro.uarch.core.SimStats`; the event counters it
+    accumulated during the run drive each module's activity factor.
+    """
+    params = params or EnergyParams()
+    volts = params.voltage(rel_frequency)
+    scale = rel_frequency * volts * volts  # P ~ a*C*V^2*f
+
+    if is_straight:
+        # Operand determination: one subtract per source operand; no RMT,
+        # no free list, no walk.
+        rename_energy = params.opdet_op * stats.opdet_ops
+        rename_leak = params.leak_rename * 0.05  # a few adders vs. a RAM
+    else:
+        rename_energy = (
+            params.rmt_read * stats.rename_src_reads
+            + params.rmt_write * stats.rename_writes
+            + params.freelist_op * stats.rename_writes
+            + params.rob_walk_read * stats.rob_walk_cycles
+        )
+        rename_leak = params.leak_rename
+
+    regfile_energy = (
+        params.regfile_read * stats.regfile_reads
+        + params.regfile_write * stats.regfile_writes
+    )
+    other_energy = (
+        params.iq_wakeup * stats.iq_wakeups
+        + params.iq_insert * stats.instructions
+        + params.rob_write * stats.rob_writes
+        + params.alu_op * stats.alu_ops
+        + params.mul_op * stats.mul_ops
+        + params.div_op * stats.div_ops
+        + params.agu_op * (stats.loads + stats.stores)
+    )
+
+    cycles = max(stats.cycles, 1)
+    modules = {
+        "rename": ModulePower(
+            "rename", rename_energy / cycles * scale, rename_leak * volts * volts
+        ),
+        "regfile": ModulePower(
+            "regfile",
+            regfile_energy / cycles * scale,
+            params.leak_regfile * volts * volts,
+        ),
+        "other": ModulePower(
+            "other", other_energy / cycles * scale, params.leak_other * volts * volts
+        ),
+    }
+    return PowerReport(core_name, rel_frequency, modules)

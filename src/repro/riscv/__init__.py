@@ -1,0 +1,30 @@
+"""RV32IM subset: the conventional-superscalar baseline ISA.
+
+The paper's "SS" models execute RV32IM; this package provides the ISA spec
+with standard RISC-V encodings, an assembler, a linker, and a functional
+instruction-set simulator that emits the shared trace format with *logical*
+register identifiers (which the timing model's rename stage then maps to
+physical registers — the work STRAIGHT eliminates).
+"""
+
+from repro.riscv.isa import RInstr, REG_NAMES, ABI_NAMES, reg_number, OPCODES
+from repro.riscv.encoding import encode, decode
+from repro.riscv.assembler import parse_assembly, AsmUnit
+from repro.riscv.linker import link_program, RiscvProgram, startup_stub
+from repro.riscv.interpreter import RiscvInterpreter
+
+__all__ = [
+    "RInstr",
+    "REG_NAMES",
+    "ABI_NAMES",
+    "reg_number",
+    "OPCODES",
+    "encode",
+    "decode",
+    "parse_assembly",
+    "AsmUnit",
+    "link_program",
+    "RiscvProgram",
+    "startup_stub",
+    "RiscvInterpreter",
+]

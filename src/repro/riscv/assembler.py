@@ -1,0 +1,113 @@
+"""RV32IM assembler: standard assembly text -> instruction lists."""
+
+from repro.common.errors import AsmError
+from repro.riscv.isa import RInstr, OPCODES, reg_number
+
+
+class AsmUnit:
+    """A parsed assembly unit: ordered labels and instructions."""
+
+    def __init__(self, items=None):
+        self.items = list(items or [])
+
+    def add_label(self, name):
+        self.items.append(("label", name))
+
+    def add_instr(self, instr):
+        self.items.append(("instr", instr))
+
+    def instructions(self):
+        return [item for kind, item in self.items if kind == "instr"]
+
+    def to_text(self):
+        lines = []
+        for kind, item in self.items:
+            lines.append(f"{item}:" if kind == "label" else f"    {item.to_asm()}")
+        return "\n".join(lines) + "\n"
+
+
+def parse_assembly(text):
+    """Parse RISC-V assembly text into an :class:`AsmUnit`."""
+    unit = AsmUnit()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            unit.add_label(line[:-1].strip())
+            continue
+        unit.add_instr(_parse_instr_line(line, lineno))
+    return unit
+
+
+def _parse_instr_line(line, lineno):
+    head, _, rest = line.partition(" ")
+    mnemonic = head.upper()
+    if mnemonic not in OPCODES:
+        raise AsmError(f"line {lineno}: unknown mnemonic {head!r}")
+    spec = OPCODES[mnemonic]
+    operands = [tok.strip() for tok in rest.split(",") if tok.strip()]
+    try:
+        return _build_instr(mnemonic, spec, operands)
+    except AsmError as exc:
+        raise AsmError(f"line {lineno}: {exc}") from None
+
+
+def _build_instr(mnemonic, spec, operands):
+    fmt = spec.fmt
+    if fmt == "SYS":
+        return RInstr(mnemonic)
+    if fmt == "R":
+        rd, rs1, rs2 = (reg_number(op) for op in _exactly(operands, 3, mnemonic))
+        return RInstr(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    if mnemonic == "LW":
+        rd, mem = _exactly(operands, 2, mnemonic)
+        base, offset = _parse_mem(mem)
+        return RInstr(mnemonic, rd=reg_number(rd), rs1=base, imm=offset)
+    if mnemonic == "SW":
+        rs2, mem = _exactly(operands, 2, mnemonic)
+        base, offset = _parse_mem(mem)
+        return RInstr(mnemonic, rs1=base, rs2=reg_number(rs2), imm=offset)
+    if fmt == "I":
+        rd, rs1, tail = _exactly(operands, 3, mnemonic)
+        imm, label = _imm_or_label(tail)
+        return RInstr(mnemonic, rd=reg_number(rd), rs1=reg_number(rs1), imm=imm, label=label)
+    if fmt == "B":
+        rs1, rs2, tail = _exactly(operands, 3, mnemonic)
+        imm, label = _imm_or_label(tail)
+        return RInstr(
+            mnemonic, rs1=reg_number(rs1), rs2=reg_number(rs2), imm=imm, label=label
+        )
+    if fmt == "U":
+        rd, tail = _exactly(operands, 2, mnemonic)
+        imm, label = _imm_or_label(tail)
+        if label is not None:
+            raise AsmError(f"{mnemonic} takes a numeric immediate")
+        return RInstr(mnemonic, rd=reg_number(rd), imm=imm)
+    if fmt == "J":
+        rd, tail = _exactly(operands, 2, mnemonic)
+        imm, label = _imm_or_label(tail)
+        return RInstr(mnemonic, rd=reg_number(rd), imm=imm, label=label)
+    raise AsmError(f"unhandled format {fmt!r}")  # pragma: no cover
+
+
+def _exactly(operands, count, mnemonic):
+    if len(operands) != count:
+        raise AsmError(f"{mnemonic} takes {count} operands, got {len(operands)}")
+    return operands
+
+
+def _parse_mem(token):
+    """Parse ``imm(reg)``; returns (reg number, offset)."""
+    if not token.endswith(")") or "(" not in token:
+        raise AsmError(f"bad memory operand {token!r}")
+    offset_text, _, reg_text = token[:-1].partition("(")
+    offset = int(offset_text, 0) if offset_text else 0
+    return reg_number(reg_text.strip()), offset
+
+
+def _imm_or_label(token):
+    body = token[1:] if token[:1] in "+-" else token
+    if body.isdigit() or body.lower().startswith("0x"):
+        return int(token, 0), None
+    return None, token

@@ -1,0 +1,154 @@
+"""RV32IM binary encoding, following the RISC-V unprivileged spec exactly."""
+
+from repro.common.bitops import bits, fits_signed, sext
+from repro.common.errors import AsmError
+from repro.riscv.isa import RInstr, OPCODES
+
+
+def encode(instr):
+    """Encode an :class:`RInstr` (with resolved immediate) to a 32-bit word."""
+    spec = instr.spec
+    if instr.label is not None:
+        raise AsmError(f"cannot encode unresolved label in {instr!r}")
+    fmt = spec.fmt
+    imm = instr.imm
+
+    if fmt == "R":
+        return (
+            (spec.funct7 << 25)
+            | (instr.rs2 << 20)
+            | (instr.rs1 << 15)
+            | (spec.funct3 << 12)
+            | (instr.rd << 7)
+            | spec.opcode
+        )
+    if fmt == "I":
+        if instr.mnemonic in ("SLLI", "SRLI", "SRAI"):
+            if not 0 <= imm < 32:
+                raise AsmError(f"{instr!r}: shift amount out of range")
+            imm_field = (spec.funct7 << 5) | imm
+        else:
+            if not fits_signed(imm, 12):
+                raise AsmError(f"{instr!r}: immediate {imm} does not fit 12 bits")
+            imm_field = imm & 0xFFF
+        return (
+            (imm_field << 20)
+            | (instr.rs1 << 15)
+            | (spec.funct3 << 12)
+            | (instr.rd << 7)
+            | spec.opcode
+        )
+    if fmt == "S":
+        if not fits_signed(imm, 12):
+            raise AsmError(f"{instr!r}: immediate {imm} does not fit 12 bits")
+        u = imm & 0xFFF
+        return (
+            (bits(u, 11, 5) << 25)
+            | (instr.rs2 << 20)
+            | (instr.rs1 << 15)
+            | (spec.funct3 << 12)
+            | (bits(u, 4, 0) << 7)
+            | spec.opcode
+        )
+    if fmt == "B":
+        if imm % 2 != 0 or not fits_signed(imm, 13):
+            raise AsmError(f"{instr!r}: bad branch offset {imm}")
+        u = imm & 0x1FFF
+        return (
+            (bits(u, 12, 12) << 31)
+            | (bits(u, 10, 5) << 25)
+            | (instr.rs2 << 20)
+            | (instr.rs1 << 15)
+            | (spec.funct3 << 12)
+            | (bits(u, 4, 1) << 8)
+            | (bits(u, 11, 11) << 7)
+            | spec.opcode
+        )
+    if fmt == "U":
+        if not 0 <= imm < (1 << 20):
+            raise AsmError(f"{instr!r}: U immediate out of range")
+        return (imm << 12) | (instr.rd << 7) | spec.opcode
+    if fmt == "J":
+        if imm % 2 != 0 or not fits_signed(imm, 21):
+            raise AsmError(f"{instr!r}: bad jump offset {imm}")
+        u = imm & 0x1F_FFFF
+        return (
+            (bits(u, 20, 20) << 31)
+            | (bits(u, 10, 1) << 21)
+            | (bits(u, 11, 11) << 20)
+            | (bits(u, 19, 12) << 12)
+            | (instr.rd << 7)
+            | spec.opcode
+        )
+    if fmt == "SYS":
+        return spec.opcode  # ECALL: funct12 = 0
+    raise AsmError(f"unknown format {fmt!r}")  # pragma: no cover
+
+
+# Lookup: (opcode, funct3, funct7-or-None) -> mnemonic, built once.
+def _build_decoder_index():
+    index = {}
+    for mnemonic, spec in OPCODES.items():
+        if spec.fmt == "R" or mnemonic in ("SLLI", "SRLI", "SRAI"):
+            index[(spec.opcode, spec.funct3, spec.funct7)] = mnemonic
+        elif spec.fmt in ("I", "S", "B"):
+            index[(spec.opcode, spec.funct3, None)] = mnemonic
+        else:  # U, J, SYS keyed by opcode alone
+            index[(spec.opcode, None, None)] = mnemonic
+    return index
+
+
+_DECODER = _build_decoder_index()
+
+
+def decode(word):
+    """Decode a 32-bit word to an :class:`RInstr`."""
+    opcode = bits(word, 6, 0)
+    funct3 = bits(word, 14, 12)
+    funct7 = bits(word, 31, 25)
+    rd = bits(word, 11, 7)
+    rs1 = bits(word, 19, 15)
+    rs2 = bits(word, 24, 20)
+
+    mnemonic = (
+        _DECODER.get((opcode, funct3, funct7))
+        or _DECODER.get((opcode, funct3, None))
+        or _DECODER.get((opcode, None, None))
+    )
+    if mnemonic is None:
+        raise AsmError(f"cannot decode word {word:#010x}")
+    spec = OPCODES[mnemonic]
+    fmt = spec.fmt
+
+    if fmt == "R":
+        return RInstr(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    if fmt == "I":
+        if mnemonic in ("SLLI", "SRLI", "SRAI"):
+            imm = rs2  # shamt
+        else:
+            imm = sext(bits(word, 31, 20), 12)
+        return RInstr(mnemonic, rd=rd, rs1=rs1, imm=imm)
+    if fmt == "S":
+        imm = sext((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+        return RInstr(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
+    if fmt == "B":
+        imm = sext(
+            (bits(word, 31, 31) << 12)
+            | (bits(word, 7, 7) << 11)
+            | (bits(word, 30, 25) << 5)
+            | (bits(word, 11, 8) << 1),
+            13,
+        )
+        return RInstr(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
+    if fmt == "U":
+        return RInstr(mnemonic, rd=rd, imm=bits(word, 31, 12))
+    if fmt == "J":
+        imm = sext(
+            (bits(word, 31, 31) << 20)
+            | (bits(word, 19, 12) << 12)
+            | (bits(word, 20, 20) << 11)
+            | (bits(word, 30, 21) << 1),
+            21,
+        )
+        return RInstr(mnemonic, rd=rd, imm=imm)
+    return RInstr(mnemonic)  # SYS

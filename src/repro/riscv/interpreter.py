@@ -1,0 +1,252 @@
+"""RV32IM functional instruction-set simulator.
+
+Shares exact ALU semantics with the STRAIGHT simulator and the IR constant
+folder through :func:`repro.ir.passes.constfold.eval_binop`, so compiled
+binaries for the two ISAs are bit-comparable on the output channel.
+"""
+
+from repro.common.bitops import wrap32
+from repro.common.errors import SimulationError
+from repro.common.layout import STACK_TOP, WORD_BYTES
+from repro.common.trace import TraceEntry
+from repro.ir.passes.constfold import eval_binop, eval_icmp
+from repro.riscv.linker import ECALL_OUT, ECALL_EXIT
+
+_R_BINOPS = {
+    "ADD": "add",
+    "SUB": "sub",
+    "SLL": "shl",
+    "XOR": "xor",
+    "SRL": "lshr",
+    "SRA": "ashr",
+    "OR": "or",
+    "AND": "and",
+    "MUL": "mul",
+    "DIV": "sdiv",
+    "DIVU": "udiv",
+    "REM": "srem",
+    "REMU": "urem",
+}
+_I_BINOPS = {
+    "ADDI": "add",
+    "XORI": "xor",
+    "ORI": "or",
+    "ANDI": "and",
+    "SLLI": "shl",
+    "SRLI": "lshr",
+    "SRAI": "ashr",
+}
+_BRANCH_PREDS = {
+    "BEQ": "eq",
+    "BNE": "ne",
+    "BLT": "slt",
+    "BGE": "sge",
+    "BLTU": "ult",
+    "BGEU": "uge",
+}
+
+
+class RunResult:
+    """Outcome of an interpreter run."""
+
+    def __init__(self, status, steps, output, exit_code=None):
+        self.status = status  # 'exit' | 'limit'
+        self.steps = steps
+        self.output = output
+        self.exit_code = exit_code
+
+    def __repr__(self):
+        return f"RunResult({self.status}, steps={self.steps})"
+
+
+class RiscvInterpreter:
+    """Executes a linked :class:`~repro.riscv.linker.RiscvProgram`."""
+
+    def __init__(self, program, collect_trace=False):
+        self.program = program
+        self.regs = [0] * 32
+        self.regs[2] = STACK_TOP
+        self.pc_index = program.index_of_pc(program.entry_pc)
+        self.memory = {}
+        for offset, word in enumerate(program.data_words):
+            self.memory[(program.data_base + offset * WORD_BYTES) // 4] = wrap32(word)
+        self.output = []
+        self.collect_trace = collect_trace
+        self.trace = []
+        self.halted = False
+        self.exit_code = None
+        self.mnemonic_counts = {}
+
+    # -- helpers --------------------------------------------------------------
+
+    def _pc(self):
+        return self.program.text_base + self.pc_index * WORD_BYTES
+
+    def _read(self, reg):
+        return 0 if reg == 0 else self.regs[reg]
+
+    def _write(self, reg, value):
+        if reg != 0:
+            self.regs[reg] = wrap32(value)
+
+    def _load_word(self, addr):
+        if addr % 4 != 0:
+            raise SimulationError(f"pc={self._pc():#x}: misaligned load {addr:#x}")
+        return self.memory.get(addr // 4, 0)
+
+    def _store_word(self, addr, value):
+        if addr % 4 != 0:
+            raise SimulationError(f"pc={self._pc():#x}: misaligned store {addr:#x}")
+        self.memory[addr // 4] = wrap32(value)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, max_steps=10_000_000):
+        """Run until exit ECALL or ``max_steps``; returns a :class:`RunResult`."""
+        steps = 0
+        instrs = self.program.instrs
+        n_instrs = len(instrs)
+        while not self.halted and steps < max_steps:
+            if not 0 <= self.pc_index < n_instrs:
+                raise SimulationError(f"pc out of text segment: {self._pc():#x}")
+            self.step(instrs[self.pc_index])
+            steps += 1
+        return RunResult(
+            "exit" if self.halted else "limit", steps, self.output, self.exit_code
+        )
+
+    def step(self, instr):
+        """Execute one instruction, updating architectural state."""
+        m = instr.mnemonic
+        pc = self._pc()
+        next_index = self.pc_index + 1
+        taken = False
+        target_pc = None
+        mem_addr = None
+        dest = None
+        srcs = []
+        is_call = False
+        is_return = False
+
+        if m in _R_BINOPS:
+            value = eval_binop(
+                _R_BINOPS[m], self._read(instr.rs1), self._read(instr.rs2)
+            )
+            self._write(instr.rd, value)
+            dest, srcs = instr.rd, [instr.rs1, instr.rs2]
+        elif m in ("SLT", "SLTU"):
+            pred = "slt" if m == "SLT" else "ult"
+            value = eval_icmp(pred, self._read(instr.rs1), self._read(instr.rs2))
+            self._write(instr.rd, value)
+            dest, srcs = instr.rd, [instr.rs1, instr.rs2]
+        elif m in _I_BINOPS:
+            value = eval_binop(
+                _I_BINOPS[m], self._read(instr.rs1), wrap32(instr.imm)
+            )
+            self._write(instr.rd, value)
+            dest, srcs = instr.rd, [instr.rs1]
+        elif m in ("SLTI", "SLTIU"):
+            pred = "slt" if m == "SLTI" else "ult"
+            value = eval_icmp(pred, self._read(instr.rs1), wrap32(instr.imm))
+            self._write(instr.rd, value)
+            dest, srcs = instr.rd, [instr.rs1]
+        elif m == "LUI":
+            self._write(instr.rd, instr.imm << 12)
+            dest = instr.rd
+        elif m == "AUIPC":
+            self._write(instr.rd, wrap32(pc + (instr.imm << 12)))
+            dest = instr.rd
+        elif m == "LW":
+            mem_addr = wrap32(self._read(instr.rs1) + instr.imm)
+            self._write(instr.rd, self._load_word(mem_addr))
+            dest, srcs = instr.rd, [instr.rs1]
+        elif m == "SW":
+            mem_addr = wrap32(self._read(instr.rs1) + instr.imm)
+            self._store_word(mem_addr, self._read(instr.rs2))
+            srcs = [instr.rs1, instr.rs2]
+        elif m in _BRANCH_PREDS:
+            taken = bool(
+                eval_icmp(
+                    _BRANCH_PREDS[m], self._read(instr.rs1), self._read(instr.rs2)
+                )
+            )
+            target_pc = pc + instr.imm
+            if taken:
+                next_index = self.program.index_of_pc(target_pc)
+            srcs = [instr.rs1, instr.rs2]
+        elif m == "JAL":
+            self._write(instr.rd, pc + WORD_BYTES)
+            taken = True
+            target_pc = pc + instr.imm
+            next_index = self.program.index_of_pc(target_pc)
+            dest = instr.rd
+            is_call = instr.rd == 1
+        elif m == "JALR":
+            return_target = wrap32(self._read(instr.rs1) + instr.imm) & ~1
+            self._write(instr.rd, pc + WORD_BYTES)
+            taken = True
+            target_pc = return_target
+            next_index = self.program.index_of_pc(return_target)
+            dest, srcs = instr.rd, [instr.rs1]
+            is_return = instr.rd == 0 and instr.rs1 == 1
+            is_call = instr.rd == 1
+        elif m == "ECALL":
+            service = self._read(17)  # a7
+            if service == ECALL_OUT:
+                self.output.append(self._read(10))  # a0
+            elif service == ECALL_EXIT:
+                self.halted = True
+                self.exit_code = self._read(10)
+            else:
+                raise SimulationError(f"pc={pc:#x}: unknown ecall {service}")
+            srcs = [10, 17]
+        else:  # pragma: no cover - closed opcode table
+            raise SimulationError(f"unimplemented mnemonic {m}")
+
+        self.mnemonic_counts[m] = self.mnemonic_counts.get(m, 0) + 1
+        if self.collect_trace:
+            self.trace.append(
+                TraceEntry(
+                    pc=pc,
+                    op_class=instr.op_class,
+                    mnemonic=m,
+                    dest=dest if dest not in (None, 0) else None,
+                    srcs=[s for s in srcs if s != 0],
+                    taken=taken,
+                    target_pc=target_pc,
+                    next_pc=self.program.text_base + next_index * WORD_BYTES,
+                    mem_addr=mem_addr,
+                    is_call=is_call,
+                    is_return=is_return,
+                )
+            )
+        self.pc_index = next_index
+
+    # -- statistics ---------------------------------------------------------------
+
+    def class_counts(self):
+        """Retired counts grouped the way Fig. 15 groups them."""
+        from repro.riscv.isa import OPCODES
+
+        groups = {
+            "jump_branch": 0,
+            "alu": 0,
+            "load": 0,
+            "store": 0,
+            "rmov": 0,
+            "nop": 0,
+            "other": 0,
+        }
+        for mnemonic, count in self.mnemonic_counts.items():
+            op_class = OPCODES[mnemonic].op_class
+            if op_class in ("branch", "jump"):
+                groups["jump_branch"] += count
+            elif op_class in ("alu", "mul", "div"):
+                groups["alu"] += count
+            elif op_class == "load":
+                groups["load"] += count
+            elif op_class == "store":
+                groups["store"] += count
+            else:
+                groups["other"] += count
+        return groups

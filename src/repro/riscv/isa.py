@@ -1,0 +1,200 @@
+"""RV32IM subset instruction set specification.
+
+Mnemonics and formats follow the RISC-V unprivileged spec.  The subset is
+what the mini-C compiler needs (and what the paper's evaluation uses after
+disabling floating point): the full RV32I integer ALU/branch/load-store set
+minus byte/half memory ops, plus the M extension's MUL/DIV/REM family, plus
+ECALL for the output/exit runtime services.
+"""
+
+from repro.common.errors import AsmError
+
+#: ABI register names indexed by register number.
+REG_NAMES = (
+    "zero",
+    "ra",
+    "sp",
+    "gp",
+    "tp",
+    "t0",
+    "t1",
+    "t2",
+    "s0",
+    "s1",
+    "a0",
+    "a1",
+    "a2",
+    "a3",
+    "a4",
+    "a5",
+    "a6",
+    "a7",
+    "s2",
+    "s3",
+    "s4",
+    "s5",
+    "s6",
+    "s7",
+    "s8",
+    "s9",
+    "s10",
+    "s11",
+    "t3",
+    "t4",
+    "t5",
+    "t6",
+)
+
+ABI_NAMES = {name: number for number, name in enumerate(REG_NAMES)}
+ABI_NAMES["fp"] = 8
+
+
+def reg_number(name):
+    """Parse a register operand: ABI name or ``x<N>``."""
+    if name in ABI_NAMES:
+        return ABI_NAMES[name]
+    if name.startswith("x") and name[1:].isdigit():
+        number = int(name[1:])
+        if 0 <= number < 32:
+            return number
+    raise AsmError(f"unknown register {name!r}")
+
+
+class OpSpec:
+    """Format + encoding constants + timing class for one mnemonic."""
+
+    __slots__ = ("mnemonic", "fmt", "opcode", "funct3", "funct7", "op_class")
+
+    def __init__(self, mnemonic, fmt, opcode, funct3, funct7, op_class):
+        self.mnemonic = mnemonic
+        self.fmt = fmt  # 'R' | 'I' | 'S' | 'B' | 'U' | 'J' | 'SYS'
+        self.opcode = opcode
+        self.funct3 = funct3
+        self.funct7 = funct7
+        self.op_class = op_class
+
+
+def _build_opcode_table():
+    table = {}
+
+    def add(mnemonic, fmt, opcode, funct3=0, funct7=0, op_class="alu"):
+        table[mnemonic] = OpSpec(mnemonic, fmt, opcode, funct3, funct7, op_class)
+
+    op = 0b0110011  # OP
+    add("ADD", "R", op, 0b000, 0b0000000)
+    add("SUB", "R", op, 0b000, 0b0100000)
+    add("SLL", "R", op, 0b001, 0b0000000)
+    add("SLT", "R", op, 0b010, 0b0000000)
+    add("SLTU", "R", op, 0b011, 0b0000000)
+    add("XOR", "R", op, 0b100, 0b0000000)
+    add("SRL", "R", op, 0b101, 0b0000000)
+    add("SRA", "R", op, 0b101, 0b0100000)
+    add("OR", "R", op, 0b110, 0b0000000)
+    add("AND", "R", op, 0b111, 0b0000000)
+    add("MUL", "R", op, 0b000, 0b0000001, "mul")
+    add("DIV", "R", op, 0b100, 0b0000001, "div")
+    add("DIVU", "R", op, 0b101, 0b0000001, "div")
+    add("REM", "R", op, 0b110, 0b0000001, "div")
+    add("REMU", "R", op, 0b111, 0b0000001, "div")
+
+    opi = 0b0010011  # OP-IMM
+    add("ADDI", "I", opi, 0b000)
+    add("SLTI", "I", opi, 0b010)
+    add("SLTIU", "I", opi, 0b011)
+    add("XORI", "I", opi, 0b100)
+    add("ORI", "I", opi, 0b110)
+    add("ANDI", "I", opi, 0b111)
+    add("SLLI", "I", opi, 0b001, 0b0000000)
+    add("SRLI", "I", opi, 0b101, 0b0000000)
+    add("SRAI", "I", opi, 0b101, 0b0100000)
+
+    add("LW", "I", 0b0000011, 0b010, op_class="load")
+    add("SW", "S", 0b0100011, 0b010, op_class="store")
+
+    br = 0b1100011
+    add("BEQ", "B", br, 0b000, op_class="branch")
+    add("BNE", "B", br, 0b001, op_class="branch")
+    add("BLT", "B", br, 0b100, op_class="branch")
+    add("BGE", "B", br, 0b101, op_class="branch")
+    add("BLTU", "B", br, 0b110, op_class="branch")
+    add("BGEU", "B", br, 0b111, op_class="branch")
+
+    add("LUI", "U", 0b0110111)
+    add("AUIPC", "U", 0b0010111)
+    add("JAL", "J", 0b1101111, op_class="jump")
+    add("JALR", "I", 0b1100111, 0b000, op_class="jump")
+    add("ECALL", "SYS", 0b1110011, op_class="sys")
+    return table
+
+
+OPCODES = _build_opcode_table()
+
+
+class RInstr:
+    """One RV32IM instruction at the assembly level.
+
+    ``label`` (branch/jump target) is resolved to a PC-relative byte offset
+    in ``imm`` by the linker.
+    """
+
+    __slots__ = ("mnemonic", "rd", "rs1", "rs2", "imm", "label")
+
+    def __init__(self, mnemonic, rd=None, rs1=None, rs2=None, imm=None, label=None):
+        if mnemonic not in OPCODES:
+            raise AsmError(f"unknown RV32IM mnemonic {mnemonic!r}")
+        spec = OPCODES[mnemonic]
+        need_rd = spec.fmt in ("R", "I", "U", "J")
+        need_rs1 = spec.fmt in ("R", "I", "S", "B")
+        need_rs2 = spec.fmt in ("R", "S", "B")
+        need_imm = spec.fmt in ("I", "S", "B", "U", "J")
+        if need_rd and rd is None:
+            raise AsmError(f"{mnemonic} requires rd")
+        if need_rs1 and rs1 is None:
+            raise AsmError(f"{mnemonic} requires rs1")
+        if need_rs2 and rs2 is None:
+            raise AsmError(f"{mnemonic} requires rs2")
+        if need_imm and imm is None and label is None:
+            raise AsmError(f"{mnemonic} requires an immediate or label")
+        for reg in (rd, rs1, rs2):
+            if reg is not None and not 0 <= reg < 32:
+                raise AsmError(f"{mnemonic}: register x{reg} out of range")
+        self.mnemonic = mnemonic
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.label = label
+
+    @property
+    def spec(self):
+        return OPCODES[self.mnemonic]
+
+    @property
+    def op_class(self):
+        return self.spec.op_class
+
+    def to_asm(self):
+        m = self.mnemonic.lower()
+        spec = self.spec
+        r = REG_NAMES
+        if spec.fmt == "R":
+            return f"{m} {r[self.rd]}, {r[self.rs1]}, {r[self.rs2]}"
+        if self.mnemonic == "LW":
+            return f"{m} {r[self.rd]}, {self.imm}({r[self.rs1]})"
+        if self.mnemonic == "SW":
+            return f"{m} {r[self.rs2]}, {self.imm}({r[self.rs1]})"
+        if spec.fmt == "I":
+            tail = self.label if self.label is not None else self.imm
+            return f"{m} {r[self.rd]}, {r[self.rs1]}, {tail}"
+        if spec.fmt == "B":
+            tail = self.label if self.label is not None else self.imm
+            return f"{m} {r[self.rs1]}, {r[self.rs2]}, {tail}"
+        if spec.fmt == "U":
+            return f"{m} {r[self.rd]}, {self.imm}"
+        if spec.fmt == "J":
+            tail = self.label if self.label is not None else self.imm
+            return f"{m} {r[self.rd]}, {tail}"
+        return m  # SYS
+
+    def __repr__(self):
+        return self.to_asm()

@@ -1,0 +1,101 @@
+"""RV32IM linker: assembly units + data image -> executable program."""
+
+from repro.common.errors import LinkError
+from repro.common.layout import TEXT_BASE, STACK_TOP, WORD_BYTES
+from repro.riscv.isa import RInstr
+from repro.riscv.encoding import encode
+from repro.riscv.assembler import AsmUnit, parse_assembly
+
+
+class RiscvProgram:
+    """A linked RV32IM executable image."""
+
+    def __init__(self, instrs, labels, data_words, data_base, entry_label="_start"):
+        self.instrs = instrs
+        self.labels = labels
+        self.data_words = data_words
+        self.data_base = data_base
+        self.text_base = TEXT_BASE
+        self.entry_pc = TEXT_BASE + labels[entry_label] * WORD_BYTES
+        self.stack_top = STACK_TOP
+
+    @property
+    def text_words(self):
+        return [encode(i) for i in self.instrs]
+
+    def pc_of(self, label):
+        return self.text_base + self.labels[label] * WORD_BYTES
+
+    def index_of_pc(self, pc):
+        return (pc - self.text_base) // WORD_BYTES
+
+    def disassemble(self):
+        by_index = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for index, instr in enumerate(self.instrs):
+            for label in by_index.get(index, ()):
+                lines.append(f"{label}:")
+            pc = self.text_base + index * WORD_BYTES
+            lines.append(f"  {pc:#08x}: {instr.to_asm()}")
+        return "\n".join(lines)
+
+
+#: ECALL service codes (passed in a7): write a0 to the output channel / exit.
+ECALL_OUT = 1
+ECALL_EXIT = 93
+
+
+def startup_stub():
+    """Runtime entry: set up sp, call main, exit via ECALL."""
+    return parse_assembly(
+        f"""
+_start:
+    lui sp, {STACK_TOP >> 12}
+    jal ra, main
+    addi a7, zero, {ECALL_EXIT}
+    ecall
+"""
+    )
+
+
+def link_program(units, data_words=(), data_base=0):
+    """Link assembly units (startup stub first) into a :class:`RiscvProgram`."""
+    merged = AsmUnit()
+    for unit in units:
+        merged.items.extend(unit.items)
+
+    labels = {}
+    index = 0
+    for kind, item in merged.items:
+        if kind == "label":
+            if item in labels:
+                raise LinkError(f"duplicate label {item!r}")
+            labels[item] = index
+        else:
+            index += 1
+
+    instrs = []
+    position = 0
+    for kind, item in merged.items:
+        if kind == "label":
+            continue
+        instr = item
+        if instr.label is not None:
+            if instr.label not in labels:
+                raise LinkError(f"undefined label {instr.label!r}")
+            byte_offset = (labels[instr.label] - position) * WORD_BYTES
+            instr = RInstr(
+                instr.mnemonic,
+                rd=instr.rd,
+                rs1=instr.rs1,
+                rs2=instr.rs2,
+                imm=byte_offset,
+            )
+        instrs.append(instr)
+        position += 1
+
+    if "_start" not in labels:
+        raise LinkError("no _start label; pass startup_stub() as the first unit")
+    return RiscvProgram(instrs, labels, list(data_words), data_base)

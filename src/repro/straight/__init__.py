@@ -1,0 +1,44 @@
+"""The STRAIGHT ISA: specification, encoding, assembler, linker, and the
+functional instruction-set simulator.
+
+Key properties (paper §III-A):
+
+* a source operand is the *distance*, in dynamic (control-flow) instruction
+  count, back to its producer; distance 0 is the zero register;
+* every instruction occupies exactly one destination register — even stores,
+  branches and NOPs — so distance arithmetic stays trivial and the Register
+  Pointer (RP) increments once per fetched instruction;
+* the only overwritable architectural register is the stack pointer SP,
+  updated exclusively by ``SPADD imm`` (which also writes the new SP value to
+  its ordinary write-once destination);
+* a register's lifetime is bounded by the maximum encodable distance, which
+  makes ``MAX_RP = max_distance + ROB entries`` physical registers sufficient.
+"""
+
+from repro.straight.isa import (
+    SInstr,
+    OPCODES,
+    OpSpec,
+    MAX_DISTANCE,
+    op_class_of,
+)
+from repro.straight.encoding import encode, decode
+from repro.straight.assembler import assemble_function, parse_assembly
+from repro.straight.linker import link_program, StraightProgram, startup_stub
+from repro.straight.interpreter import StraightInterpreter
+
+__all__ = [
+    "SInstr",
+    "OPCODES",
+    "OpSpec",
+    "MAX_DISTANCE",
+    "op_class_of",
+    "encode",
+    "decode",
+    "assemble_function",
+    "parse_assembly",
+    "link_program",
+    "StraightProgram",
+    "startup_stub",
+    "StraightInterpreter",
+]

@@ -1,0 +1,123 @@
+"""STRAIGHT assembler: text <-> assembly-level instruction lists.
+
+Syntax (one item per line; ``#`` starts a comment)::
+
+    Function_iota:              # a label
+        ADDI [0] 0              # distance operands in brackets
+        SLT [2] [4]
+        BEZ [1] Label_for_end   # branch to label
+        ST [4] [7] 0            # value, address, word offset
+        JAL Function_callee
+        SPADD -4
+        LUI 0x100
+        HALT
+"""
+
+from repro.common.errors import AsmError
+from repro.straight.isa import SInstr, OPCODES
+
+
+class AsmUnit:
+    """A parsed assembly unit: ordered labels and instructions."""
+
+    def __init__(self, items=None):
+        self.items = list(items or [])  # ('label', name) | ('instr', SInstr)
+
+    def add_label(self, name):
+        self.items.append(("label", name))
+
+    def add_instr(self, instr):
+        self.items.append(("instr", instr))
+
+    def instructions(self):
+        return [item for kind, item in self.items if kind == "instr"]
+
+    def to_text(self):
+        lines = []
+        for kind, item in self.items:
+            if kind == "label":
+                lines.append(f"{item}:")
+            else:
+                lines.append(f"    {item.to_asm()}")
+        return "\n".join(lines) + "\n"
+
+
+def parse_assembly(text):
+    """Parse assembly text into an :class:`AsmUnit`."""
+    unit = AsmUnit()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not label or not _is_symbol(label):
+                raise AsmError(f"line {lineno}: bad label {line!r}")
+            unit.add_label(label)
+            continue
+        unit.add_instr(_parse_instr_line(line, lineno))
+    return unit
+
+
+def assemble_function(name, instrs, internal_labels=None):
+    """Build an :class:`AsmUnit` for one function.
+
+    ``instrs`` is a list of either SInstr or ``('label', name)`` marker pairs
+    as produced by the backend; ``name`` becomes the leading entry label.
+    """
+    unit = AsmUnit()
+    unit.add_label(name)
+    for item in instrs:
+        if isinstance(item, SInstr):
+            unit.add_instr(item)
+        else:
+            kind, label = item
+            if kind != "label":
+                raise AsmError(f"bad assembly item {item!r}")
+            unit.add_label(label)
+    if internal_labels:
+        for label in internal_labels:
+            if label not in [i for k, i in unit.items if k == "label"]:
+                raise AsmError(f"function {name}: missing internal label {label}")
+    return unit
+
+
+def _is_symbol(text):
+    return text and (text[0].isalpha() or text[0] in "_.") and all(
+        c.isalnum() or c in "_.$" for c in text
+    )
+
+
+def _parse_instr_line(line, lineno):
+    parts = line.replace(",", " ").split()
+    mnemonic = parts[0].upper()
+    if mnemonic not in OPCODES:
+        raise AsmError(f"line {lineno}: unknown mnemonic {parts[0]!r}")
+    srcs = []
+    imm = None
+    label = None
+    for token in parts[1:]:
+        if token.startswith("[") and token.endswith("]"):
+            try:
+                srcs.append(int(token[1:-1], 0))
+            except ValueError:
+                raise AsmError(f"line {lineno}: bad distance {token!r}") from None
+        elif _looks_numeric(token):
+            if imm is not None:
+                raise AsmError(f"line {lineno}: duplicate immediate in {line!r}")
+            imm = int(token, 0)
+        else:
+            if not _is_symbol(token):
+                raise AsmError(f"line {lineno}: bad operand {token!r}")
+            if label is not None:
+                raise AsmError(f"line {lineno}: duplicate label operand")
+            label = token
+    try:
+        return SInstr(mnemonic, srcs, imm, label)
+    except AsmError as exc:
+        raise AsmError(f"line {lineno}: {exc}") from None
+
+
+def _looks_numeric(token):
+    body = token[1:] if token[:1] in "+-" else token
+    return body.isdigit() or body.lower().startswith("0x")

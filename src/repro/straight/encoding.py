@@ -1,0 +1,59 @@
+"""STRAIGHT binary encoding: assembly-level instructions <-> 32-bit words."""
+
+from repro.common.bitops import bits, fits_signed, sext
+from repro.common.errors import AsmError
+from repro.straight.isa import SInstr, OPCODES_BY_CODE
+
+_IMM_WIDTH = {"R2": 5, "R1I": 15, "I25": 25, "I20": 20}
+
+
+def encode(instr):
+    """Encode an :class:`SInstr` (with resolved immediate) to a 32-bit word."""
+    spec = instr.spec
+    if instr.label is not None:
+        raise AsmError(f"cannot encode unresolved label in {instr!r}")
+    word = spec.code << 25
+    fmt = spec.fmt
+    if fmt in ("R2", "R1I", "R1"):
+        word |= (instr.srcs[0] & 0x3FF) << 15
+    if fmt == "R2":
+        word |= (instr.srcs[1] & 0x3FF) << 5
+    imm = instr.imm if spec.has_imm else None
+    if imm is not None:
+        width = _IMM_WIDTH[fmt]
+        if fmt == "I20":
+            if not 0 <= imm < (1 << 20):
+                raise AsmError(f"{instr!r}: LUI immediate out of range")
+            word |= imm
+        else:
+            if not fits_signed(imm, width):
+                raise AsmError(
+                    f"{instr!r}: immediate {imm} does not fit {width} bits"
+                )
+            word |= imm & ((1 << width) - 1)
+    return word
+
+
+def decode(word):
+    """Decode a 32-bit word back to an :class:`SInstr`."""
+    code = bits(word, 31, 25)
+    spec = OPCODES_BY_CODE.get(code)
+    if spec is None:
+        raise AsmError(f"invalid STRAIGHT opcode {code} in word {word:#010x}")
+    fmt = spec.fmt
+    srcs = []
+    if fmt in ("R2", "R1I", "R1"):
+        srcs.append(bits(word, 24, 15))
+    if fmt == "R2":
+        srcs.append(bits(word, 14, 5))
+    imm = None
+    if spec.has_imm:
+        if fmt == "R2":
+            imm = sext(bits(word, 4, 0), 5)
+        elif fmt == "R1I":
+            imm = sext(bits(word, 14, 0), 15)
+        elif fmt == "I25":
+            imm = sext(bits(word, 24, 0), 25)
+        elif fmt == "I20":
+            imm = bits(word, 19, 0)
+    return SInstr(spec.mnemonic, srcs, imm)

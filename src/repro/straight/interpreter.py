@@ -1,0 +1,272 @@
+"""STRAIGHT functional instruction-set simulator.
+
+Models the architectural state exactly as the paper defines it:
+
+* a circular register file of ``MAX_RP`` write-once registers, the
+  destination register of the N-th retired instruction being ``N mod MAX_RP``;
+* sources resolved by subtracting the encoded distance from the instruction's
+  own register number;
+* the stack pointer SP, updated only by SPADD;
+* a flat word memory and an output channel (OUT).
+
+With ``check_distances=True`` (the default) every source read verifies that
+the addressed physical register was written *exactly* ``distance``
+instructions ago — i.e. that the value hasn't been overwritten by register
+aliasing and that the compiler's static distances are dynamically exact.
+This is the property STRAIGHT hardware relies on; violating code is a
+compiler bug and the simulator raises immediately instead of computing
+garbage.
+"""
+
+from repro.common.bitops import wrap32
+from repro.common.errors import SimulationError
+from repro.common.layout import STACK_TOP, WORD_BYTES
+from repro.common.trace import TraceEntry
+from repro.ir.passes.constfold import eval_binop, eval_icmp
+
+_ALU_BINOPS = {
+    "ADD": "add",
+    "SUB": "sub",
+    "AND": "and",
+    "OR": "or",
+    "XOR": "xor",
+    "SLL": "shl",
+    "SRL": "lshr",
+    "SRA": "ashr",
+    "MUL": "mul",
+    "DIV": "sdiv",
+    "DIVU": "udiv",
+    "REM": "srem",
+    "REMU": "urem",
+    "ADDI": "add",
+    "ANDI": "and",
+    "ORI": "or",
+    "XORI": "xor",
+    "SLLI": "shl",
+    "SRLI": "lshr",
+    "SRAI": "ashr",
+}
+
+_CMP_OPS = {"SLT": "slt", "SLTU": "ult", "SLTI": "slt", "SLTUI": "ult"}
+
+
+class RunResult:
+    """Outcome of an interpreter run."""
+
+    def __init__(self, status, steps, output):
+        self.status = status  # 'halt' | 'limit'
+        self.steps = steps
+        self.output = output
+
+    def __repr__(self):
+        return f"RunResult({self.status}, steps={self.steps})"
+
+
+class StraightInterpreter:
+    """Executes a linked :class:`~repro.straight.linker.StraightProgram`."""
+
+    def __init__(
+        self,
+        program,
+        max_rp=None,
+        collect_trace=False,
+        check_distances=True,
+        rob_entries=256,
+    ):
+        self.program = program
+        # MAX_RP = max distance + ROB entries (paper §III-B); the functional
+        # simulator only needs it large enough that live values never alias.
+        self.max_rp = max_rp or (program.max_distance + rob_entries)
+        self.regs = [0] * self.max_rp
+        self.written_seq = [None] * self.max_rp
+        self.sp = STACK_TOP
+        self.seq = 0  # retired-instruction counter == next destination id
+        self.pc_index = program.index_of_pc(program.entry_pc)
+        self.memory = {}
+        for offset, word in enumerate(program.data_words):
+            self.memory[(program.data_base + offset * WORD_BYTES) // 4] = wrap32(word)
+        self.output = []
+        self.collect_trace = collect_trace
+        self.check_distances = check_distances
+        self.trace = []
+        self.halted = False
+        # Statistics for the evaluation (Fig. 15 instruction mix, Fig. 16
+        # source-distance distribution).
+        self.mnemonic_counts = {}
+        self.distance_hist = {}
+
+    # -- architectural helpers ---------------------------------------------------
+
+    def _read_source(self, distance):
+        """Resolve one distance operand; returns (value, producer_seq)."""
+        if distance == 0:
+            return 0, None
+        producer = self.seq - distance
+        if producer < 0:
+            raise SimulationError(
+                f"pc={self._pc():#x}: distance {distance} reaches before "
+                "program start"
+            )
+        reg = producer % self.max_rp
+        if self.check_distances and self.written_seq[reg] != producer:
+            raise SimulationError(
+                f"pc={self._pc():#x}: distance {distance} names instruction "
+                f"#{producer} but register {reg} holds the value of "
+                f"#{self.written_seq[reg]} (stale/aliased operand)"
+            )
+        self.distance_hist[distance] = self.distance_hist.get(distance, 0) + 1
+        return self.regs[reg], producer
+
+    def _write_dest(self, value):
+        reg = self.seq % self.max_rp
+        self.regs[reg] = wrap32(value)
+        self.written_seq[reg] = self.seq
+
+    def _pc(self):
+        return self.program.text_base + self.pc_index * WORD_BYTES
+
+    def _load_word(self, addr):
+        if addr % 4 != 0:
+            raise SimulationError(f"pc={self._pc():#x}: misaligned load {addr:#x}")
+        return self.memory.get(addr // 4, 0)
+
+    def _store_word(self, addr, value):
+        if addr % 4 != 0:
+            raise SimulationError(f"pc={self._pc():#x}: misaligned store {addr:#x}")
+        self.memory[addr // 4] = wrap32(value)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, max_steps=10_000_000):
+        """Run until HALT or ``max_steps``; returns a :class:`RunResult`."""
+        steps = 0
+        instrs = self.program.instrs
+        n_instrs = len(instrs)
+        while not self.halted and steps < max_steps:
+            if not 0 <= self.pc_index < n_instrs:
+                raise SimulationError(f"pc out of text segment: {self._pc():#x}")
+            self.step(instrs[self.pc_index])
+            steps += 1
+        return RunResult("halt" if self.halted else "limit", steps, self.output)
+
+    def step(self, instr):
+        """Execute one instruction, updating all architectural state."""
+        mnemonic = instr.mnemonic
+        pc = self._pc()
+        next_index = self.pc_index + 1
+        dest_value = 0
+        taken = False
+        target_pc = None
+        mem_addr = None
+        src_values = []
+        src_seqs = []
+        for dist in instr.srcs:
+            value, producer = self._read_source(dist)
+            src_values.append(value)
+            src_seqs.append(producer)
+
+        if mnemonic in _ALU_BINOPS:
+            rhs = src_values[1] if len(src_values) == 2 else wrap32(instr.imm)
+            dest_value = eval_binop(_ALU_BINOPS[mnemonic], src_values[0], rhs)
+        elif mnemonic in _CMP_OPS:
+            rhs = src_values[1] if len(src_values) == 2 else wrap32(instr.imm)
+            dest_value = eval_icmp(_CMP_OPS[mnemonic], src_values[0], rhs)
+        elif mnemonic == "LUI":
+            dest_value = wrap32(instr.imm << 12)
+        elif mnemonic == "RMOV":
+            dest_value = src_values[0]
+        elif mnemonic == "LD":
+            mem_addr = wrap32(src_values[0] + instr.imm)
+            dest_value = self._load_word(mem_addr)
+        elif mnemonic == "ST":
+            mem_addr = wrap32(src_values[1] + instr.imm * WORD_BYTES)
+            self._store_word(mem_addr, src_values[0])
+            dest_value = src_values[0]  # "store value is returned" (§III-A)
+        elif mnemonic == "BEZ" or mnemonic == "BNZ":
+            cond = src_values[0] == 0
+            taken = cond if mnemonic == "BEZ" else not cond
+            target_pc = pc + instr.imm * WORD_BYTES
+            if taken:
+                next_index = self.pc_index + instr.imm
+        elif mnemonic == "J":
+            taken = True
+            target_pc = pc + instr.imm * WORD_BYTES
+            next_index = self.pc_index + instr.imm
+        elif mnemonic == "JAL":
+            taken = True
+            target_pc = pc + instr.imm * WORD_BYTES
+            next_index = self.pc_index + instr.imm
+            dest_value = pc + WORD_BYTES
+        elif mnemonic == "JR":
+            taken = True
+            target_pc = src_values[0]
+            next_index = self.program.index_of_pc(target_pc)
+        elif mnemonic == "SPADD":
+            self.sp = wrap32(self.sp + instr.imm)
+            dest_value = self.sp
+        elif mnemonic == "OUT":
+            self.output.append(src_values[0])
+            dest_value = src_values[0]
+        elif mnemonic == "NOP":
+            dest_value = 0
+        elif mnemonic == "HALT":
+            self.halted = True
+        else:  # pragma: no cover - the opcode table is closed
+            raise SimulationError(f"unimplemented mnemonic {mnemonic}")
+
+        self._write_dest(dest_value)
+        self.mnemonic_counts[mnemonic] = self.mnemonic_counts.get(mnemonic, 0) + 1
+
+        if self.collect_trace:
+            self.trace.append(
+                TraceEntry(
+                    pc=pc,
+                    op_class=instr.op_class,
+                    mnemonic=mnemonic,
+                    dest=self.seq,
+                    srcs=src_seqs,
+                    taken=taken,
+                    target_pc=target_pc,
+                    next_pc=self.program.text_base + next_index * WORD_BYTES,
+                    mem_addr=mem_addr,
+                    is_call=(mnemonic == "JAL"),
+                    is_return=(mnemonic == "JR"),
+                    is_rmov=(mnemonic == "RMOV"),
+                    is_spadd=(mnemonic == "SPADD"),
+                    src_distances=instr.srcs,
+                )
+            )
+        self.seq += 1
+        self.pc_index = next_index
+
+    # -- statistics ---------------------------------------------------------------
+
+    def class_counts(self):
+        """Retired counts grouped the way Fig. 15 groups them."""
+        groups = {
+            "jump_branch": 0,
+            "alu": 0,
+            "load": 0,
+            "store": 0,
+            "rmov": 0,
+            "nop": 0,
+            "other": 0,
+        }
+        from repro.straight.isa import OPCODES
+
+        for mnemonic, count in self.mnemonic_counts.items():
+            if mnemonic == "RMOV":
+                groups["rmov"] += count
+            elif mnemonic == "NOP":
+                groups["nop"] += count
+            elif OPCODES[mnemonic].op_class in ("branch", "jump"):
+                groups["jump_branch"] += count
+            elif OPCODES[mnemonic].op_class in ("alu", "mul", "div"):
+                groups["alu"] += count
+            elif OPCODES[mnemonic].op_class == "load":
+                groups["load"] += count
+            elif OPCODES[mnemonic].op_class == "store":
+                groups["store"] += count
+            else:
+                groups["other"] += count
+        return groups

@@ -1,0 +1,148 @@
+"""STRAIGHT instruction set specification.
+
+Instruction formats (32-bit words; fields from the paper's Fig. 1(b) concept,
+field widths fixed by this reproduction):
+
+======  =======================================  ==========================
+format  bit layout (31..0)                        used by
+======  =======================================  ==========================
+R2      op[31:25] s1[24:15] s2[14:5] imm5[4:0]   reg-reg ALU, ST
+R1I     op[31:25] s1[24:15] imm15[14:0]          reg-imm ALU, LD, BEZ/BNZ
+R1      op[31:25] s1[24:15] 0[14:0]              RMOV, JR, OUT
+I25     op[31:25] imm25[24:0]                    J, JAL, SPADD
+I20     op[31:25] imm20[19:0]                    LUI
+N       op[31:25] 0[24:0]                        NOP, HALT
+======  =======================================  ==========================
+
+Source fields are 10 bits, so distances span 1..1023 and ``[0]`` denotes the
+zero register (paper: "a source operand field can span up to 10 bits ...
+[0] is decoded as a zero register").  Branch/jump immediates are PC-relative
+*word* offsets.  The ST immediate is a word-scaled 5-bit offset; the compiler
+falls back to explicit address arithmetic for larger offsets.
+"""
+
+from repro.common.errors import AsmError
+
+#: Largest encodable operand distance (2**10 - 1).
+MAX_DISTANCE = 1023
+
+
+class OpSpec:
+    """Static description of one opcode."""
+
+    __slots__ = ("mnemonic", "code", "fmt", "op_class", "num_srcs", "has_imm")
+
+    def __init__(self, mnemonic, code, fmt, op_class, num_srcs, has_imm):
+        self.mnemonic = mnemonic
+        self.code = code
+        self.fmt = fmt
+        self.op_class = op_class
+        self.num_srcs = num_srcs
+        self.has_imm = has_imm
+
+
+def _build_opcode_table():
+    table = {}
+    code = 1  # opcode 0 reserved so an all-zero word is not a valid instruction
+
+    def add(mnemonic, fmt, op_class, num_srcs, has_imm):
+        nonlocal code
+        table[mnemonic] = OpSpec(mnemonic, code, fmt, op_class, num_srcs, has_imm)
+        code += 1
+
+    for m in ("ADD", "SUB", "AND", "OR", "XOR", "SLL", "SRL", "SRA", "SLT", "SLTU"):
+        add(m, "R2", "alu", 2, False)
+    add("MUL", "R2", "mul", 2, False)
+    for m in ("DIV", "DIVU", "REM", "REMU"):
+        add(m, "R2", "div", 2, False)
+    for m in (
+        "ADDI",
+        "ANDI",
+        "ORI",
+        "XORI",
+        "SLLI",
+        "SRLI",
+        "SRAI",
+        "SLTI",
+        "SLTUI",
+    ):
+        add(m, "R1I", "alu", 1, True)
+    add("LUI", "I20", "alu", 0, True)
+    add("RMOV", "R1", "alu", 1, False)
+    add("LD", "R1I", "load", 1, True)
+    add("ST", "R2", "store", 2, True)  # imm5 word-scaled offset
+    add("BEZ", "R1I", "branch", 1, True)
+    add("BNZ", "R1I", "branch", 1, True)
+    add("J", "I25", "jump", 0, True)
+    add("JAL", "I25", "jump", 0, True)
+    add("JR", "R1", "jump", 1, False)
+    add("SPADD", "I25", "alu", 0, True)
+    add("OUT", "R1", "sys", 1, False)
+    add("NOP", "N", "nop", 0, False)
+    add("HALT", "N", "sys", 0, False)
+    return table
+
+
+#: mnemonic -> OpSpec
+OPCODES = _build_opcode_table()
+
+#: opcode number -> OpSpec
+OPCODES_BY_CODE = {spec.code: spec for spec in OPCODES.values()}
+
+
+def op_class_of(mnemonic):
+    return OPCODES[mnemonic].op_class
+
+
+class SInstr:
+    """One STRAIGHT instruction at the assembly level.
+
+    ``srcs`` holds operand distances (ints, 0..MAX_DISTANCE); ``imm`` holds
+    the immediate where the format has one; ``label`` holds an unresolved
+    branch/jump target which the linker converts into a PC-relative word
+    offset written to ``imm``.
+    """
+
+    __slots__ = ("mnemonic", "srcs", "imm", "label")
+
+    def __init__(self, mnemonic, srcs=(), imm=None, label=None):
+        if mnemonic not in OPCODES:
+            raise AsmError(f"unknown STRAIGHT mnemonic {mnemonic!r}")
+        spec = OPCODES[mnemonic]
+        srcs = tuple(srcs)
+        if len(srcs) != spec.num_srcs:
+            raise AsmError(
+                f"{mnemonic} takes {spec.num_srcs} source(s), got {len(srcs)}"
+            )
+        for dist in srcs:
+            if not 0 <= dist <= MAX_DISTANCE:
+                raise AsmError(f"{mnemonic}: distance {dist} out of range")
+        if spec.has_imm and imm is None and label is None:
+            raise AsmError(f"{mnemonic} requires an immediate or label")
+        if not spec.has_imm and imm is not None:
+            raise AsmError(f"{mnemonic} does not take an immediate")
+        self.mnemonic = mnemonic
+        self.srcs = srcs
+        self.imm = imm
+        self.label = label
+
+    @property
+    def spec(self):
+        return OPCODES[self.mnemonic]
+
+    @property
+    def op_class(self):
+        return self.spec.op_class
+
+    def __repr__(self):
+        parts = [self.mnemonic]
+        parts.extend(f"[{d}]" for d in self.srcs)
+        if self.label is not None:
+            parts.append(self.label)
+        elif self.imm is not None:
+            parts.append(str(self.imm))
+        return " ".join(parts)
+
+    def to_asm(self):
+        """Canonical assembly text for this instruction."""
+        return repr(self)

@@ -1,0 +1,110 @@
+"""STRAIGHT linker: combine assembly units + data layout into a program image.
+
+Branch/jump labels become PC-relative word offsets; global symbols were
+already resolved to absolute data addresses by the backend (both backends
+share :class:`repro.compiler.data_layout.DataLayout`), so no relocations
+remain at this stage.
+"""
+
+from repro.common.errors import LinkError
+from repro.common.layout import TEXT_BASE, WORD_BYTES
+from repro.straight.isa import SInstr, MAX_DISTANCE
+from repro.straight.encoding import encode
+from repro.straight.assembler import AsmUnit, parse_assembly
+
+
+class StraightProgram:
+    """A linked STRAIGHT executable image."""
+
+    def __init__(
+        self,
+        instrs,
+        labels,
+        data_words,
+        data_base,
+        entry_label="_start",
+        max_distance=MAX_DISTANCE,
+    ):
+        self.instrs = instrs  # resolved SInstr list, index = word position
+        self.labels = labels  # label -> instruction index
+        self.data_words = data_words
+        self.data_base = data_base
+        self.text_base = TEXT_BASE
+        self.entry_pc = TEXT_BASE + labels[entry_label] * WORD_BYTES
+        self.max_distance = max_distance
+
+    @property
+    def text_words(self):
+        """The encoded text segment."""
+        return [encode(i) for i in self.instrs]
+
+    def pc_of(self, label):
+        return self.text_base + self.labels[label] * WORD_BYTES
+
+    def index_of_pc(self, pc):
+        return (pc - self.text_base) // WORD_BYTES
+
+    def disassemble(self):
+        """Human-readable listing with addresses and labels."""
+        by_index = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for index, instr in enumerate(self.instrs):
+            for label in by_index.get(index, ()):
+                lines.append(f"{label}:")
+            pc = self.text_base + index * WORD_BYTES
+            lines.append(f"  {pc:#08x}: {instr.to_asm()}")
+        return "\n".join(lines)
+
+
+def startup_stub():
+    """The runtime entry: call main, halt when it returns.
+
+    ``main`` takes no arguments in the workload suite, so the calling
+    convention needs no argument producers before the JAL.
+    """
+    return parse_assembly(
+        """
+_start:
+    JAL main
+    HALT
+"""
+    )
+
+
+def link_program(units, data_words=(), data_base=0, max_distance=MAX_DISTANCE):
+    """Link assembly units (startup stub first) into a :class:`StraightProgram`."""
+    merged = AsmUnit()
+    for unit in units:
+        merged.items.extend(unit.items)
+
+    labels = {}
+    index = 0
+    for kind, item in merged.items:
+        if kind == "label":
+            if item in labels:
+                raise LinkError(f"duplicate label {item!r}")
+            labels[item] = index
+        else:
+            index += 1
+
+    instrs = []
+    position = 0
+    for kind, item in merged.items:
+        if kind == "label":
+            continue
+        instr = item
+        if instr.label is not None:
+            if instr.label not in labels:
+                raise LinkError(f"undefined label {instr.label!r}")
+            offset = labels[instr.label] - position
+            instr = SInstr(instr.mnemonic, instr.srcs, offset)
+        instrs.append(instr)
+        position += 1
+
+    if "_start" not in labels:
+        raise LinkError("no _start label; pass startup_stub() as the first unit")
+    return StraightProgram(
+        instrs, labels, list(data_words), data_base, max_distance=max_distance
+    )

@@ -1,0 +1,186 @@
+"""The ``straight`` command-line interface.
+
+Subcommands::
+
+    straight compile  prog.c --target straight        # print assembly
+    straight disasm   prog.c --target riscv           # linked image listing
+    straight run      prog.c --target straight-raw    # functional run
+    straight simulate prog.c --core STRAIGHT-4way     # timing run (JSON)
+    straight experiments fig11 fig16                  # regenerate figures
+
+Targets: ``riscv`` (the SS baseline), ``straight`` (RE+), ``straight-raw``.
+Cores: the Table I names (``SS-2way``, ``STRAIGHT-2way``, ``SS-4way``,
+``STRAIGHT-4way``).
+"""
+
+import argparse
+import json
+import sys
+
+from repro.frontend import compile_source
+from repro.compiler import compile_to_riscv, compile_to_straight
+from repro.core.api import Binary, simulate, run_functional
+from repro.core.configs import TABLE1
+
+TARGETS = ("riscv", "straight", "straight-raw")
+
+
+def _compile_target(source, target, max_distance=1023):
+    module = compile_source(source)
+    if target == "riscv":
+        compilation = compile_to_riscv(module)
+        isa = "riscv"
+    else:
+        compilation = compile_to_straight(
+            module,
+            max_distance=max_distance,
+            redundancy_elimination=(target == "straight"),
+        )
+        isa = "straight"
+    return Binary(isa, compilation.link(), compilation)
+
+
+def _read_source(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def cmd_compile(args):
+    binary = _compile_target(_read_source(args.file), args.target, args.max_distance)
+    print(binary.compilation.asm_text())
+    return 0
+
+
+def cmd_disasm(args):
+    binary = _compile_target(_read_source(args.file), args.target, args.max_distance)
+    print(binary.program.disassemble())
+    return 0
+
+
+def cmd_run(args):
+    binary = _compile_target(_read_source(args.file), args.target, args.max_distance)
+    result = run_functional(binary, max_steps=args.max_steps)
+    for word in result.output:
+        print(word)
+    print(f"# {result.run_result.steps} instructions retired", file=sys.stderr)
+    return 0
+
+
+def cmd_simulate(args):
+    factory = TABLE1.get(args.core)
+    if factory is None:
+        print(f"unknown core {args.core!r}; choose from {sorted(TABLE1)}",
+              file=sys.stderr)
+        return 1
+    config = factory()
+    target = "riscv" if not config.is_straight else (
+        "straight" if not args.raw else "straight-raw"
+    )
+    binary = _compile_target(_read_source(args.file), target, config.max_distance
+                             if config.is_straight else 1023)
+    result = simulate(binary, config, warm_caches=not args.cold)
+    payload = result.stats.as_dict()
+    payload["output"] = result.output
+    payload["core"] = args.core
+    payload["target"] = target
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_trace(args):
+    binary = _compile_target(_read_source(args.file), args.target, args.max_distance)
+    result = run_functional(binary, max_steps=args.max_steps, collect_trace=True)
+    trace = result.interpreter.trace
+    limit = args.limit if args.limit is not None else len(trace)
+    for entry in trace[:limit]:
+        sources = ",".join(str(s) for s in entry.srcs)
+        fields = [
+            f"{entry.pc:#08x}",
+            f"{entry.mnemonic:6s}",
+            f"dest={entry.dest}",
+            f"srcs=[{sources}]",
+        ]
+        if entry.mem_addr is not None:
+            fields.append(f"mem={entry.mem_addr:#x}")
+        if entry.changes_flow():
+            fields.append("taken" if entry.taken else "not-taken")
+        print("  ".join(fields))
+    if limit < len(trace):
+        print(f"... ({len(trace) - limit} more)", file=sys.stderr)
+    return 0
+
+
+def cmd_experiments(args):
+    from repro.harness import ALL_EXPERIMENTS
+
+    names = args.names or sorted(ALL_EXPERIMENTS)
+    for name in names:
+        runner = ALL_EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; choose from "
+                  f"{sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+            return 1
+        result = runner()
+        print(result["text"])
+        print()
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="straight",
+        description="STRAIGHT (MICRO 2018) reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("file", help="mini-C source file ('-' for stdin)")
+        p.add_argument("--target", choices=TARGETS, default="straight")
+        p.add_argument("--max-distance", type=int, default=1023)
+
+    p_compile = sub.add_parser("compile", help="emit assembly")
+    add_common(p_compile)
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_disasm = sub.add_parser("disasm", help="emit the linked image listing")
+    add_common(p_disasm)
+    p_disasm.set_defaults(func=cmd_disasm)
+
+    p_run = sub.add_parser("run", help="run on the functional simulator")
+    add_common(p_run)
+    p_run.add_argument("--max-steps", type=int, default=50_000_000)
+    p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser("trace", help="dump the dynamic instruction trace")
+    add_common(p_trace)
+    p_trace.add_argument("--max-steps", type=int, default=50_000_000)
+    p_trace.add_argument("--limit", type=int, default=None,
+                         help="print at most N entries")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_sim = sub.add_parser("simulate", help="cycle-level timing run (JSON)")
+    p_sim.add_argument("file", help="mini-C source file ('-' for stdin)")
+    p_sim.add_argument("--core", default="STRAIGHT-4way",
+                       help="Table I core name")
+    p_sim.add_argument("--raw", action="store_true",
+                       help="use the RAW (no RE+) STRAIGHT binary")
+    p_sim.add_argument("--cold", action="store_true",
+                       help="skip cache warmup")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper figures")
+    p_exp.add_argument("names", nargs="*", help="experiment ids (default all)")
+    p_exp.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

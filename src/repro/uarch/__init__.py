@@ -1,0 +1,26 @@
+"""Cycle-level out-of-order timing model shared by both architectures.
+
+The paper's two in-house simulators "share common codes for the most part"
+(§V-A) because STRAIGHT's back end is a conventional OoO back end; the
+differences live in the front end (rename vs. RP-based operand
+determination) and in recovery (ROB walk vs. single ROB-entry read).  This
+package mirrors that: one timing engine (:mod:`.core`), pluggable front-end
+models (:mod:`.frontend_models`), and shared branch predictors, caches, and
+load-store queue.
+"""
+
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import OoOCore, SimStats
+from repro.uarch.frontend_models import RenameFrontEnd, StraightFrontEnd
+from repro.uarch.ilp import dataflow_limit, window_limited_ipc, IlpReport
+
+__all__ = [
+    "CoreConfig",
+    "OoOCore",
+    "SimStats",
+    "RenameFrontEnd",
+    "StraightFrontEnd",
+    "dataflow_limit",
+    "window_limited_ipc",
+    "IlpReport",
+]

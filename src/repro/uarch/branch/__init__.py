@@ -1,0 +1,26 @@
+"""Branch prediction: gshare, TAGE, BTB, and a return-address stack."""
+
+from repro.uarch.branch.gshare import GsharePredictor
+from repro.uarch.branch.tage import TagePredictor
+from repro.uarch.branch.btb import BranchTargetBuffer
+from repro.uarch.branch.ras import ReturnAddressStack
+
+PREDICTORS = {"gshare": GsharePredictor, "tage": TagePredictor}
+
+
+def make_predictor(name, **kwargs):
+    """Instantiate a direction predictor by name ('gshare' or 'tage')."""
+    try:
+        return PREDICTORS[name](**kwargs)
+    except KeyError:
+        raise ValueError(f"unknown predictor {name!r}") from None
+
+
+__all__ = [
+    "GsharePredictor",
+    "TagePredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "make_predictor",
+    "PREDICTORS",
+]

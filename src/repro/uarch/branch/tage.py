@@ -1,0 +1,180 @@
+"""TAGE direction predictor (8-component CBP-style, paper §VI-A Fig. 14).
+
+A faithful small-scale TAGE: a bimodal base predictor plus seven tagged
+components indexed by geometrically-growing global history lengths, with
+provider/altpred selection, the useful-bit policy, and the canonical
+allocate-on-mispredict rule.
+"""
+
+
+class _TaggedTable:
+    __slots__ = ("entries", "index_mask", "tag_mask", "history_length",
+                 "tags", "counters", "useful")
+
+    def __init__(self, entries, tag_bits, history_length):
+        self.entries = entries
+        self.index_mask = entries - 1
+        self.tag_mask = (1 << tag_bits) - 1
+        self.history_length = history_length
+        self.tags = [0] * entries
+        self.counters = [0] * entries  # 3-bit signed, -4..3; >=0 means taken
+        self.useful = [0] * entries  # 2-bit
+
+
+class TagePredictor:
+    """8-component TAGE (bimodal + 7 tagged tables)."""
+
+    HISTORY_LENGTHS = (4, 8, 16, 32, 64, 128, 256)
+
+    def __init__(self, bimodal_entries=8192, tagged_entries=1024, tag_bits=9):
+        self.bimodal = [2] * bimodal_entries  # 2-bit counters
+        self.bimodal_mask = bimodal_entries - 1
+        self.tables = [
+            _TaggedTable(tagged_entries, tag_bits, length)
+            for length in self.HISTORY_LENGTHS
+        ]
+        self.max_history = max(self.HISTORY_LENGTHS)
+        self.history = 0  # low bit = most recent outcome
+        self.use_alt_on_new = 8  # 4-bit counter, >=8 prefers altpred
+        self.predictions = 0
+        self.correct = 0
+
+    # -- hashing ----------------------------------------------------------------
+
+    def _folded_history(self, length, width):
+        """Fold ``length`` history bits into ``width`` bits by XOR."""
+        history = self.history & ((1 << length) - 1)
+        folded = 0
+        while history:
+            folded ^= history & ((1 << width) - 1)
+            history >>= width
+        return folded
+
+    def _index(self, table, pc):
+        width = table.index_mask.bit_length()
+        return (
+            (pc >> 2)
+            ^ (pc >> 6)
+            ^ self._folded_history(table.history_length, width)
+        ) & table.index_mask
+
+    def _tag(self, table, pc):
+        width = table.tag_mask.bit_length()
+        return (
+            (pc >> 2)
+            ^ self._folded_history(table.history_length, width)
+            ^ (self._folded_history(table.history_length, width - 1) << 1)
+        ) & table.tag_mask
+
+    # -- prediction ----------------------------------------------------------------
+
+    def _lookup(self, pc):
+        """Returns (provider_idx|None, provider_entry_idx, alt prediction...)."""
+        provider = None
+        altpred_source = None
+        for level in range(len(self.tables) - 1, -1, -1):
+            table = self.tables[level]
+            index = self._index(table, pc)
+            if table.tags[index] == self._tag(table, pc):
+                if provider is None:
+                    provider = (level, index)
+                elif altpred_source is None:
+                    altpred_source = (level, index)
+                    break
+        return provider, altpred_source
+
+    def _bimodal_predict(self, pc):
+        return self.bimodal[(pc >> 2) & self.bimodal_mask] >= 2
+
+    def predict(self, pc):
+        provider, alt_source = self._lookup(pc)
+        if provider is None:
+            return self._bimodal_predict(pc)
+        level, index = provider
+        table = self.tables[level]
+        counter = table.counters[index]
+        weak = counter in (-1, 0)
+        newly_allocated = weak and table.useful[index] == 0
+        if newly_allocated and self.use_alt_on_new >= 8:
+            if alt_source is not None:
+                alt_level, alt_index = alt_source
+                return self.tables[alt_level].counters[alt_index] >= 0
+            return self._bimodal_predict(pc)
+        return counter >= 0
+
+    # -- update ----------------------------------------------------------------
+
+    def update(self, pc, taken):
+        prediction = self.predict(pc)
+        provider, alt_source = self._lookup(pc)
+        self.predictions += 1
+        if prediction == taken:
+            self.correct += 1
+
+        if provider is not None:
+            level, index = provider
+            table = self.tables[level]
+            counter = table.counters[index]
+            provider_pred = counter >= 0
+            if alt_source is not None:
+                alt_level, alt_index = alt_source
+                alt_pred = self.tables[alt_level].counters[alt_index] >= 0
+            else:
+                alt_pred = self._bimodal_predict(pc)
+            # Useful bit: provider was right where altpred was wrong.
+            if provider_pred != alt_pred:
+                if provider_pred == taken:
+                    table.useful[index] = min(3, table.useful[index] + 1)
+                else:
+                    table.useful[index] = max(0, table.useful[index] - 1)
+            # use_alt_on_new bookkeeping for weak new entries.
+            if counter in (-1, 0) and table.useful[index] == 0:
+                if provider_pred != alt_pred:
+                    if alt_pred == taken:
+                        self.use_alt_on_new = min(15, self.use_alt_on_new + 1)
+                    else:
+                        self.use_alt_on_new = max(0, self.use_alt_on_new - 1)
+            table.counters[index] = _update_signed(counter, taken)
+        else:
+            index = (pc >> 2) & self.bimodal_mask
+            self.bimodal[index] = _update_2bit(self.bimodal[index], taken)
+
+        if prediction != taken:
+            self._allocate(pc, taken, provider)
+
+        self.history = ((self.history << 1) | (1 if taken else 0)) & (
+            (1 << self.max_history) - 1
+        )
+
+    def _allocate(self, pc, taken, provider):
+        """Allocate one entry in a longer-history table on a mispredict."""
+        start = provider[0] + 1 if provider is not None else 0
+        for level in range(start, len(self.tables)):
+            table = self.tables[level]
+            index = self._index(table, pc)
+            if table.useful[index] == 0:
+                table.tags[index] = self._tag(table, pc)
+                table.counters[index] = 0 if taken else -1
+                table.useful[index] = 0
+                return
+        # No victim found: age the candidates.
+        for level in range(start, len(self.tables)):
+            table = self.tables[level]
+            index = self._index(table, pc)
+            table.useful[index] = max(0, table.useful[index] - 1)
+
+    @property
+    def accuracy(self):
+        return self.correct / self.predictions if self.predictions else 1.0
+
+
+def _update_signed(counter, taken, low=-4, high=3):
+    if taken:
+        return min(high, counter + 1)
+    return max(low, counter - 1)
+
+
+def _update_2bit(counter, taken):
+    if taken:
+        return min(3, counter + 1)
+    return max(0, counter - 1)

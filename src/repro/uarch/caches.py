@@ -1,0 +1,151 @@
+"""Cache hierarchy model: set-associative LRU caches plus a stream prefetcher.
+
+Latency convention follows Table I: each level has an absolute hit latency
+(L1 4, L2 12, L3 42, memory 200 cycles); an access costs the hit latency of
+the closest level that holds the line, and the line is filled into every
+upper level on the way back (inclusive hierarchy).
+"""
+
+
+class CacheLevel:
+    """One set-associative cache level with true-LRU replacement."""
+
+    def __init__(self, size_bytes, ways, line_bytes, hit_latency, name=""):
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ValueError(f"{name}: geometry does not divide evenly")
+        self.name = name
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.num_sets = size_bytes // (ways * line_bytes)
+        # Per set: dict line_addr -> None; insertion order is LRU order
+        # (oldest first) because we re-insert on every touch.
+        self.sets = [dict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, line_addr):
+        return self.sets[line_addr % self.num_sets]
+
+    def lookup(self, line_addr):
+        """True on hit (and refreshes LRU position)."""
+        cache_set = self._set_of(line_addr)
+        if line_addr in cache_set:
+            del cache_set[line_addr]
+            cache_set[line_addr] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, line_addr):
+        cache_set = self._set_of(line_addr)
+        if line_addr in cache_set:
+            del cache_set[line_addr]
+        elif len(cache_set) >= self.ways:
+            oldest = next(iter(cache_set))
+            del cache_set[oldest]
+        cache_set[line_addr] = None
+
+    def contains(self, line_addr):
+        """Non-updating probe (used by tests and the prefetcher)."""
+        return line_addr in self._set_of(line_addr)
+
+
+class StreamPrefetcher:
+    """Ascending-stream detector issuing next-line prefetches on L1D misses.
+
+    Tracks up to ``streams`` recent miss streams; a miss extending a stream
+    by one line triggers prefetch of the following ``degree`` lines.
+    """
+
+    def __init__(self, streams=8, degree=2):
+        self.streams = streams
+        self.degree = degree
+        self.recent = []  # list of last-line addresses, most recent last
+        self.issued = 0
+
+    def on_miss(self, line_addr):
+        """Returns the list of line addresses to prefetch."""
+        for index, last in enumerate(self.recent):
+            if line_addr == last + 1:
+                self.recent[index] = line_addr
+                self.issued += self.degree
+                return [line_addr + k for k in range(1, self.degree + 1)]
+        self.recent.append(line_addr)
+        if len(self.recent) > self.streams:
+            self.recent.pop(0)
+        return []
+
+
+class MemoryHierarchy:
+    """L1I + L1D over shared L2 (and optional L3) over main memory."""
+
+    def __init__(self, l1i, l1d, l2, l3=None, mem_latency=200, prefetcher=None):
+        self.l1i = l1i
+        self.l1d = l1d
+        self.l2 = l2
+        self.l3 = l3
+        self.mem_latency = mem_latency
+        self.prefetcher = prefetcher
+        self.line_bytes = l1d.line_bytes
+
+    def _line(self, addr):
+        return addr // self.line_bytes
+
+    def _shared_levels(self):
+        return [lvl for lvl in (self.l2, self.l3) if lvl is not None]
+
+    def _access(self, l1, addr):
+        """Returns (latency, l1_missed)."""
+        line = self._line(addr)
+        if l1.lookup(line):
+            return l1.hit_latency, False
+        latency = None
+        filled = [l1]
+        for level in self._shared_levels():
+            if level.lookup(line):
+                latency = level.hit_latency
+                break
+            filled.append(level)
+        if latency is None:
+            latency = self.mem_latency
+        for level in filled:
+            level.insert(line)
+        return latency, True
+
+    def access_instr(self, pc):
+        """Instruction fetch: returns total latency in cycles."""
+        latency, _ = self._access(self.l1i, pc)
+        return latency
+
+    def access_data(self, addr, is_store=False):
+        """Data access: returns total latency; drives the prefetcher."""
+        latency, missed = self._access(self.l1d, addr)
+        if missed and self.prefetcher is not None and not is_store:
+            for line in self.prefetcher.on_miss(self._line(addr)):
+                self._prefetch_line(line)
+        return latency
+
+    def _prefetch_line(self, line):
+        # Background fill: no cycle charge to the demand stream (both
+        # architectures share this optimism, so comparisons are unaffected).
+        for level in self._shared_levels():
+            level.insert(line)
+        self.l1d.insert(line)
+
+    def stats(self):
+        data = {
+            "l1i_hits": self.l1i.hits,
+            "l1i_misses": self.l1i.misses,
+            "l1d_hits": self.l1d.hits,
+            "l1d_misses": self.l1d.misses,
+            "l2_hits": self.l2.hits,
+            "l2_misses": self.l2.misses,
+        }
+        if self.l3 is not None:
+            data["l3_hits"] = self.l3.hits
+            data["l3_misses"] = self.l3.misses
+        if self.prefetcher is not None:
+            data["prefetches"] = self.prefetcher.issued
+        return data

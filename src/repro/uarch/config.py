@@ -1,0 +1,114 @@
+"""Core timing-model configuration (the knobs of Table I)."""
+
+
+class CacheConfig:
+    """Geometry + latency for one cache level."""
+
+    def __init__(self, size_kib, ways, line_bytes, hit_latency):
+        self.size_kib = size_kib
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+
+    def build(self, name):
+        from repro.uarch.caches import CacheLevel
+
+        return CacheLevel(
+            self.size_kib * 1024, self.ways, self.line_bytes, self.hit_latency, name
+        )
+
+
+class CoreConfig:
+    """Every parameter of one simulated core (one column of Table I)."""
+
+    def __init__(
+        self,
+        name,
+        is_straight,
+        fetch_width,
+        issue_width,
+        commit_width,
+        frontend_depth,
+        rename_stage_depth,
+        rob_entries,
+        iq_entries,
+        phys_regs,
+        lsq_loads,
+        lsq_stores,
+        units,
+        predictor="gshare",
+        btb_entries=4096,
+        ras_depth=16,
+        l1i=CacheConfig(32, 4, 64, 4),
+        l1d=CacheConfig(32, 4, 64, 4),
+        l2=CacheConfig(256, 4, 64, 12),
+        l3=None,
+        mem_latency=200,
+        max_distance=31,
+        ideal_recovery=False,
+        mdp_replay_penalty=8,
+        spadd_per_group=1,
+        btb_miss_penalty=2,
+        latencies=None,
+        prefetch_streams=8,
+        prefetch_degree=2,
+    ):
+        self.name = name
+        self.is_straight = is_straight
+        self.fetch_width = fetch_width
+        self.issue_width = issue_width
+        self.commit_width = commit_width
+        #: cycles from fetch to dispatch (Table I "Front-end latency").
+        self.frontend_depth = frontend_depth
+        #: stages between fetch and the rename stage (SS recovery overlap).
+        self.rename_stage_depth = rename_stage_depth
+        self.rob_entries = rob_entries
+        self.iq_entries = iq_entries
+        self.phys_regs = phys_regs
+        self.lsq_loads = lsq_loads
+        self.lsq_stores = lsq_stores
+        self.units = dict(units)  # e.g. {'alu': 4, 'mul': 2, 'div': 1, 'bc': 4, 'mem': 4}
+        self.predictor = predictor
+        self.btb_entries = btb_entries
+        self.ras_depth = ras_depth
+        self.l1i = l1i
+        self.l1d = l1d
+        self.l2 = l2
+        self.l3 = l3
+        self.mem_latency = mem_latency
+        self.max_distance = max_distance
+        self.ideal_recovery = ideal_recovery
+        self.mdp_replay_penalty = mdp_replay_penalty
+        self.spadd_per_group = spadd_per_group
+        self.btb_miss_penalty = btb_miss_penalty
+        self.latencies = dict(latencies or {"alu": 1, "mul": 3, "div": 12,
+                                            "branch": 1, "jump": 1, "store": 1,
+                                            "sys": 1, "nop": 1})
+        self.prefetch_streams = prefetch_streams
+        self.prefetch_degree = prefetch_degree
+
+    def copy(self, **overrides):
+        """A modified copy (used for Fig. 13's no-penalty and Fig. 14's TAGE)."""
+        import copy as _copy
+
+        clone = _copy.deepcopy(self)
+        for key, value in overrides.items():
+            if not hasattr(clone, key):
+                raise AttributeError(f"unknown CoreConfig field {key!r}")
+            setattr(clone, key, value)
+        return clone
+
+    def build_hierarchy(self):
+        from repro.uarch.caches import MemoryHierarchy, StreamPrefetcher
+
+        return MemoryHierarchy(
+            self.l1i.build(f"{self.name}.l1i"),
+            self.l1d.build(f"{self.name}.l1d"),
+            self.l2.build(f"{self.name}.l2"),
+            self.l3.build(f"{self.name}.l3") if self.l3 else None,
+            mem_latency=self.mem_latency,
+            prefetcher=StreamPrefetcher(self.prefetch_streams, self.prefetch_degree),
+        )
+
+    def __repr__(self):
+        return f"CoreConfig({self.name})"

@@ -1,0 +1,116 @@
+"""Pluggable front-end models: register renaming vs. RP operand determination.
+
+This module is the heart of the reproduction's architectural comparison:
+
+* :class:`RenameFrontEnd` models the conventional superscalar front end —
+  RAM-based RMT lookups, free-list allocation (dispatch stalls when physical
+  registers run out), and the recovery cost of *walking the ROB to restore
+  the RMT* after a branch misprediction (paper §II-A, [14]);
+* :class:`StraightFrontEnd` models STRAIGHT's operand determination — an
+  adder per operand against the running RP, no table, no free list, and a
+  *single ROB-entry read* on recovery (paper §III-B, Figs. 3 and 4).  Its
+  only dispatch restriction is one SPADD per group (the cascaded-SPADD
+  frequency concern of §III-B).
+"""
+
+
+class RenameFrontEnd:
+    """Conventional rename stage with a RAM-based RMT and a free list."""
+
+    name = "rename"
+
+    def __init__(self, config, stats):
+        self.config = config
+        self.stats = stats
+        # 32 architectural registers hold mappings at all times; the rest of
+        # the physical register file backs in-flight instructions.
+        self.free_regs = config.phys_regs - 32
+        self.last_writer = {}  # logical reg -> producer trace seq
+
+    def can_dispatch(self, entry, group_state):
+        """Structural check; may record a stall reason in ``stats``."""
+        if entry.dest is not None and self.free_regs <= 0:
+            self.stats.freelist_stall_cycles += 1
+            return False
+        return True
+
+    def rename(self, entry, seq):
+        """Map source logical registers to producer tags; allocate the dest.
+
+        Returns the list of producer tags (trace sequence numbers).
+        """
+        tags = [self.last_writer.get(reg) for reg in entry.srcs]
+        self.stats.rename_src_reads += len(entry.srcs) + (
+            1 if entry.dest is not None else 0
+        )  # sources + previous-mapping read of the destination
+        if entry.dest is not None:
+            self.free_regs -= 1
+            self.last_writer[entry.dest] = seq
+            self.stats.rename_writes += 1
+        return [t for t in tags if t is not None]
+
+    def on_commit(self, entry):
+        """Freeing the previous mapping returns one register per writer."""
+        if entry.dest is not None:
+            self.free_regs += 1
+
+    def recovery_block_until(self, resolve_cycle, fetch_cycle, rob_free):
+        """When dispatch may resume after a mispredict resolved at
+        ``resolve_cycle`` for a branch fetched at ``fetch_cycle``.
+
+        The RMT must be restored by walking the wrong-path ROB entries at
+        front-end width; re-fetched instructions reaching the rename stage
+        earlier than that must stall (paper §V-A).  Wrong-path occupancy is
+        estimated as fetch-width instructions per cycle of resolution delay,
+        capped by the ROB space that was available.
+        """
+        if self.config.ideal_recovery:
+            return resolve_cycle
+        wrong_path = min(
+            self.config.fetch_width * max(0, resolve_cycle - fetch_cycle),
+            max(rob_free, 0),
+        )
+        walk_width = self.config.fetch_width
+        walk_cycles = -(-wrong_path // walk_width) if wrong_path else 0
+        self.stats.rob_walk_cycles += walk_cycles
+        # The walk overlaps the re-fetched instructions' trip to the rename
+        # stage; only the excess shows up as an extra stall.
+        overlap = self.config.rename_stage_depth
+        return resolve_cycle + max(0, walk_cycles - overlap)
+
+
+class StraightFrontEnd:
+    """STRAIGHT operand determination: RP arithmetic instead of renaming."""
+
+    name = "straight"
+
+    def __init__(self, config, stats):
+        self.config = config
+        self.stats = stats
+        # MAX_RP = maximum distance + ROB entries (paper §III-B) never
+        # aliases live registers, so there is no free-list stall by design.
+        self.max_rp = config.max_distance + config.rob_entries
+
+    def can_dispatch(self, entry, group_state):
+        limit = getattr(self.config, "spadd_per_group", 1)
+        if entry.is_spadd and group_state.get("spadds", 0) >= limit:
+            self.stats.spadd_stall_cycles += 1
+            return False
+        return True
+
+    def rename(self, entry, seq):
+        """Operand determination: one subtraction per source operand."""
+        if entry.is_spadd:
+            pass  # group accounting is done by the dispatcher
+        self.stats.opdet_ops += len(entry.srcs)
+        # Trace sources already are producer sequence numbers.
+        return list(entry.srcs)
+
+    def on_commit(self, entry):
+        pass  # RP reclamation is implicit in the circular register file
+
+    def recovery_block_until(self, resolve_cycle, fetch_cycle, rob_free):
+        """One ROB-entry read restores RP/SP/PC (paper Fig. 4)."""
+        if self.config.ideal_recovery:
+            return resolve_cycle
+        return resolve_cycle + 1

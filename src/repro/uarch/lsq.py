@@ -1,0 +1,119 @@
+"""Load-store queue: forwarding, memory-dependence prediction, violations.
+
+Loads may issue past older stores with unknown addresses (speculative
+disambiguation).  A PC-indexed memory-dependence predictor forces loads that
+have violated before to wait for older stores instead.  When a store
+executes and an already-issued younger load turns out to alias it, the core
+charges a replay penalty and the predictor is trained (both simulated
+architectures share this machinery, as in the paper's simulators).
+"""
+
+
+class MemDependencePredictor:
+    """PC-indexed 2-bit 'wait for older stores' predictor."""
+
+    def __init__(self):
+        self.counters = {}
+
+    def predicts_conflict(self, pc):
+        return self.counters.get(pc, 0) >= 2
+
+    def train_conflict(self, pc):
+        self.counters[pc] = min(3, self.counters.get(pc, 0) + 2)
+
+    def train_no_conflict(self, pc):
+        if pc in self.counters:
+            self.counters[pc] = max(0, self.counters[pc] - 1)
+
+
+class _Load:
+    __slots__ = ("addr", "pc", "issued_cycle")
+
+    def __init__(self, addr, pc):
+        self.addr = addr
+        self.pc = pc
+        self.issued_cycle = None
+
+
+class _Store:
+    __slots__ = ("addr", "data_ready")
+
+    def __init__(self):
+        self.addr = None  # unknown until the store executes
+        self.data_ready = None
+
+
+class LoadStoreQueue:
+    """Split load/store queues keyed by trace sequence number."""
+
+    def __init__(self, load_entries, store_entries):
+        self.load_entries = load_entries
+        self.store_entries = store_entries
+        self.loads = {}  # seq -> _Load (insertion = program order)
+        self.stores = {}  # seq -> _Store
+
+    # -- occupancy ------------------------------------------------------------
+
+    def can_add_load(self):
+        return len(self.loads) < self.load_entries
+
+    def can_add_store(self):
+        return len(self.stores) < self.store_entries
+
+    def add_load(self, seq, addr, pc):
+        self.loads[seq] = _Load(addr, pc)
+
+    def add_store(self, seq):
+        self.stores[seq] = _Store()
+
+    def commit_load(self, seq):
+        self.loads.pop(seq, None)
+
+    def commit_store(self, seq):
+        self.stores.pop(seq, None)
+
+    def load_pc(self, seq):
+        return self.loads[seq].pc
+
+    # -- execution ----------------------------------------------------------------
+
+    def try_issue_load(self, seq, cycle, mdp, hierarchy, stats):
+        """Attempt to issue the load ``seq``.
+
+        Returns ``('ok', latency)`` or ``('wait', store_seq)`` when the
+        memory-dependence predictor forbids speculating past an older store
+        whose address is still unknown.
+        """
+        load = self.loads[seq]
+        must_wait = mdp.predicts_conflict(load.pc)
+        for store_seq in reversed(self.stores):
+            if store_seq > seq:
+                continue
+            store = self.stores[store_seq]
+            if store.addr is None:
+                if must_wait:
+                    return ("wait", store_seq)
+                continue  # speculate past the unknown address
+            if store.addr == load.addr:
+                stats.store_forwards += 1
+                load.issued_cycle = cycle
+                wait = max(0, store.data_ready - cycle)
+                return ("ok", 2 + wait)
+        load.issued_cycle = cycle
+        latency = 1 + hierarchy.access_data(load.addr)
+        return ("ok", latency)
+
+    def store_executed(self, seq, addr, data_ready):
+        """Record an executed store; returns seqs of violated younger loads."""
+        store = self.stores[seq]
+        store.addr = addr
+        store.data_ready = data_ready
+        violations = []
+        for load_seq, load in self.loads.items():
+            if (
+                load_seq > seq
+                and load.issued_cycle is not None
+                and load.addr == addr
+            ):
+                violations.append(load_seq)
+        return violations

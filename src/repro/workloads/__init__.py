@@ -1,0 +1,35 @@
+"""Benchmark workloads (mini-C re-implementations of Dhrystone and CoreMark).
+
+The paper evaluates Dhrystone 2.1 and CoreMark (§V-A).  The originals are C
+programs; these re-implementations preserve the behavioural properties the
+paper's analysis leans on:
+
+* ``dhrystone`` — record/array manipulation, string (word-array) compares,
+  a web of small function calls, branch-heavy integer code with mostly
+  short-lived values;
+* ``coremark`` — linked-list find/sort (pointer chasing), matrix kernels,
+  a state machine, and CRC accumulation; it keeps *more values alive across
+  control flow*, which is exactly why the paper sees more RMOV overhead on
+  CoreMark than on Dhrystone (§VI-A).
+
+Each module exposes ``source(iterations)`` returning mini-C text and
+``EXPECTED_OUTPUT_LEN``; correctness is checked by comparing the RV32IM and
+STRAIGHT output channels word-for-word.
+"""
+
+from repro.workloads import dhrystone, coremark
+from repro.workloads.common import (
+    Workload,
+    WORKLOADS,
+    get_workload,
+    build_workload,
+)
+
+__all__ = [
+    "dhrystone",
+    "coremark",
+    "Workload",
+    "WORKLOADS",
+    "get_workload",
+    "build_workload",
+]

@@ -1,0 +1,61 @@
+"""Workload registry and build/validation helpers."""
+
+from repro.common.errors import SimulationError
+from repro.core.api import build, run_functional
+from repro.workloads import dhrystone as _dhrystone
+from repro.workloads import coremark as _coremark
+
+
+class Workload:
+    """A named benchmark: mini-C source generator + default scale."""
+
+    def __init__(self, name, module, default_iterations):
+        self.name = name
+        self.module = module
+        self.default_iterations = default_iterations
+
+    def source(self, iterations=None):
+        return self.module.source(
+            self.default_iterations if iterations is None else iterations
+        )
+
+    def build(self, iterations=None, max_distance=1023):
+        """Compile to all three binaries and cross-validate their outputs."""
+        result = build(self.source(iterations), max_distance=max_distance)
+        reference = run_functional(result.riscv).output
+        for name, binary in result.all().items():
+            output = run_functional(binary).output
+            if output != reference:
+                raise SimulationError(
+                    f"{self.name}: {name} output {output} != SS {reference}"
+                )
+        return result
+
+
+#: Default iteration counts keep one full timing sweep around 10^5 dynamic
+#: instructions per binary — the paper's 9000 Dhrystone / 9 CoreMark runs
+#: scaled to what a Python cycle model sweeps in seconds (see DESIGN.md).
+WORKLOADS = {
+    "dhrystone": Workload("dhrystone", _dhrystone, default_iterations=40),
+    "coremark": Workload("coremark", _coremark, default_iterations=3),
+}
+
+
+def get_workload(name):
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+
+
+_build_cache = {}
+
+
+def build_workload(name, iterations=None, max_distance=1023):
+    """Cached cross-validated build of a workload."""
+    key = (name, iterations, max_distance)
+    if key not in _build_cache:
+        _build_cache[key] = get_workload(name).build(iterations, max_distance)
+    return _build_cache[key]

@@ -1,0 +1,278 @@
+"""CoreMark-like workload in mini-C.
+
+The three CoreMark kernels, re-expressed over word arenas:
+
+* **list processing** — a singly linked list in an integer arena
+  (node = [next_index, data]); find, reverse, and an insertion sort keyed
+  on data values (pointer chasing, data-dependent branches);
+* **matrix operations** — N x N integer matrix multiply-accumulate plus
+  bit-twiddled extraction, as in ``core_matrix.c``;
+* **state machine** — a character-stream scanner switching among numeric /
+  hex / flag states, as in ``core_state.c``;
+
+with every kernel folded into a running CRC-32 checksum (``uint`` shifts),
+CoreMark's validation strategy.  Many values stay live across the kernel
+loops — the property that makes CoreMark RMOV-heavy on STRAIGHT (§VI-A).
+"""
+
+#: Number of output words the workload emits.
+EXPECTED_OUTPUT_LEN = 6
+
+_TEMPLATE = """
+// ------------------------------------------------------------------
+// CoreMark-like benchmark (mini-C).
+// ------------------------------------------------------------------
+
+int list_arena[128];     // 64 nodes x [next, data]; index -1 == null
+int matrix_a[64];        // 8x8
+int matrix_b[64];
+int matrix_c[64];
+int input_stream[64];    // synthetic character stream
+int state_counts[8];
+
+uint crc_accum;
+
+uint crc32_step(uint crc, uint value) {
+    uint cur = crc ^ value;
+    int bit = 0;
+    while (bit < 8) {
+        if (cur & 1) {
+            cur = (cur >> 1) ^ 0xEDB88320;
+        } else {
+            cur = cur >> 1;
+        }
+        bit = bit + 1;
+    }
+    return cur;
+}
+
+void crc_add(int value) {
+    crc_accum = crc32_step(crc_accum, value);
+}
+
+// ---------------------------- list kernel ----------------------------
+
+int lcg_state;
+
+int lcg_next() {
+    lcg_state = lcg_state * 1103515245 + 12345;
+    return (lcg_state >> 16) & 0x7FFF;
+}
+
+int list_init(int n, int seed) {
+    // Build nodes 0..n-1 linked in order; returns head index.
+    lcg_state = seed;
+    int i = 0;
+    while (i < n) {
+        list_arena[2 * i] = i + 1;
+        list_arena[2 * i + 1] = lcg_next() % 97;
+        i = i + 1;
+    }
+    list_arena[2 * (n - 1)] = 0 - 1;   // null
+    return 0;
+}
+
+int list_find(int head, int value) {
+    int node = head;
+    while (node != 0 - 1) {
+        if (list_arena[2 * node + 1] == value) {
+            return node;
+        }
+        node = list_arena[2 * node];
+    }
+    return 0 - 1;
+}
+
+int list_reverse(int head) {
+    int prev = 0 - 1;
+    int node = head;
+    while (node != 0 - 1) {
+        int next = list_arena[2 * node];
+        list_arena[2 * node] = prev;
+        prev = node;
+        node = next;
+    }
+    return prev;
+}
+
+int list_sort(int head) {
+    // Insertion sort on data values; returns new head.
+    int sorted = 0 - 1;
+    int node = head;
+    while (node != 0 - 1) {
+        int next = list_arena[2 * node];
+        int value = list_arena[2 * node + 1];
+        if (sorted == 0 - 1 || list_arena[2 * sorted + 1] >= value) {
+            list_arena[2 * node] = sorted;
+            sorted = node;
+        } else {
+            int scan = sorted;
+            while (list_arena[2 * scan] != 0 - 1 &&
+                   list_arena[2 * list_arena[2 * scan] + 1] < value) {
+                scan = list_arena[2 * scan];
+            }
+            list_arena[2 * node] = list_arena[2 * scan];
+            list_arena[2 * scan] = node;
+        }
+        node = next;
+    }
+    return sorted;
+}
+
+int list_bench(int n, int seed) {
+    int head = list_init(n, seed);
+    int found = list_find(head, (seed * 11) % 97);
+    crc_add(found);
+    head = list_reverse(head);
+    crc_add(list_arena[2 * head + 1]);
+    head = list_sort(head);
+    int node = head;
+    int checksum = 0;
+    while (node != 0 - 1) {
+        checksum = checksum * 3 + list_arena[2 * node + 1];
+        node = list_arena[2 * node];
+    }
+    crc_add(checksum);
+    return checksum;
+}
+
+// ---------------------------- matrix kernel ----------------------------
+
+void matrix_init(int seed) {
+    lcg_state = seed * 31 + 3;
+    int i = 0;
+    while (i < 64) {
+        matrix_a[i] = lcg_next() % 31 - 15;
+        matrix_b[i] = lcg_next() % 29 - 14;
+        i = i + 1;
+    }
+}
+
+int matrix_mul(int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            int acc = 0;
+            for (int k = 0; k < n; k++) {
+                acc = acc + matrix_a[i * n + k] * matrix_b[k * n + j];
+            }
+            matrix_c[i * n + j] = acc;
+            total = total + (acc & 0xFFFF) - ((acc >> 16) & 0xFFFF);
+        }
+    }
+    return total;
+}
+
+int matrix_bit_extract(int n) {
+    int total = 0;
+    for (int i = 0; i < n * n; i++) {
+        int v = matrix_c[i];
+        total = total + ((v >> 2) & 15) + ((v >> 7) & 7);
+    }
+    return total;
+}
+
+int matrix_bench(int seed) {
+    matrix_init(seed);
+    int m = matrix_mul(8);
+    crc_add(m);
+    int e = matrix_bit_extract(8);
+    crc_add(e);
+    return m + e;
+}
+
+// ---------------------------- state machine ----------------------------
+
+void stream_init(int seed) {
+    lcg_state = seed * 7 + 1;
+    int i = 0;
+    while (i < 64) {
+        int sel = lcg_next() % 10;
+        if (sel < 4) {
+            input_stream[i] = 48 + lcg_next() % 10;     // digit
+        } else if (sel < 6) {
+            input_stream[i] = 97 + lcg_next() % 6;      // hex letter a-f
+        } else if (sel < 7) {
+            input_stream[i] = 44;                        // ',' separator
+        } else if (sel < 8) {
+            input_stream[i] = 46;                        // '.'
+        } else {
+            input_stream[i] = 120;                       // 'x' flag
+        }
+        i = i + 1;
+    }
+}
+
+int state_machine(int len) {
+    // states: 0 start, 1 int, 2 float, 3 hex, 4 invalid
+    int state = 0;
+    int i = 0;
+    while (i < len) {
+        int ch = input_stream[i];
+        if (state == 0) {
+            if (ch >= 48 && ch <= 57) { state = 1; }
+            else if (ch == 120) { state = 3; }
+            else if (ch == 44) { state = 0; }
+            else { state = 4; }
+        } else if (state == 1) {
+            if (ch >= 48 && ch <= 57) { state = 1; }
+            else if (ch == 46) { state = 2; }
+            else if (ch == 44) { state = 0; }
+            else { state = 4; }
+        } else if (state == 2) {
+            if (ch >= 48 && ch <= 57) { state = 2; }
+            else if (ch == 44) { state = 0; }
+            else { state = 4; }
+        } else if (state == 3) {
+            if (ch >= 48 && ch <= 57) { state = 3; }
+            else if (ch >= 97 && ch <= 102) { state = 3; }
+            else if (ch == 44) { state = 0; }
+            else { state = 4; }
+        } else {
+            if (ch == 44) { state = 0; }
+        }
+        state_counts[state] = state_counts[state] + 1;
+        i = i + 1;
+    }
+    int total = 0;
+    for (int s = 0; s < 5; s++) {
+        total = total * 5 + state_counts[s];
+    }
+    return total;
+}
+
+int state_bench(int seed) {
+    stream_init(seed);
+    int result = state_machine(64);
+    crc_add(result);
+    return result;
+}
+
+// ------------------------------- driver -------------------------------
+
+int main() {
+    crc_accum = 0xFFFFFFFF;
+    int iterations = @ITERATIONS@;
+    int list_result = 0;
+    int matrix_result = 0;
+    int state_result = 0;
+    for (int iter = 0; iter < iterations; iter++) {
+        int seed = 17 + iter * 3;
+        list_result = list_result + list_bench(24, seed);
+        matrix_result = matrix_result + matrix_bench(seed);
+        state_result = state_result + state_bench(seed);
+    }
+    __out(list_result);
+    __out(matrix_result);
+    __out(state_result);
+    __out(crc_accum);
+    __out(state_counts[0]);
+    __out(state_counts[4]);
+    return 0;
+}
+"""
+
+
+def source(iterations=3):
+    """Mini-C source text for ``iterations`` CoreMark-like runs."""
+    return _TEMPLATE.replace("@ITERATIONS@", str(iterations))

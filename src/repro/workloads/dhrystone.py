@@ -1,0 +1,269 @@
+"""Dhrystone-like workload in mini-C.
+
+Mirrors Dhrystone 2.1's structure: a "record" type (modeled as a 6-word
+block in an arena), 30-character strings (modeled as 30-word arrays),
+the Proc1..Proc8 / Func1..Func3 call web, and the same per-iteration
+statement mix (record copies, string compares, enum switching, integer
+identities).  The final state is streamed to the output channel so the
+RV32IM and STRAIGHT binaries can be checked word-for-word.
+
+Record layout (word offsets):  0 PTR_COMP, 1 DISCR, 2 ENUM_COMP,
+3 INT_COMP, 4..9 STRING_COMP (first 6 words of a 30-word string id).
+"""
+
+#: Number of output words the workload emits.
+EXPECTED_OUTPUT_LEN = 10
+
+_TEMPLATE = """
+// ------------------------------------------------------------------
+// Dhrystone-like benchmark (mini-C). Records are 16-word blocks in an
+// arena; strings are 30-word arrays of character codes.
+// ------------------------------------------------------------------
+
+int arena[64];          // two records + slack
+int str_1_loc[30];
+int str_2_loc[30];
+
+int int_glob;
+int bool_glob;
+int ch_1_glob;
+int ch_2_glob;
+int arr_1_glob[50];
+int arr_2_glob[200];    // flattened 50 x 4 region is enough traffic
+int ptr_glob;           // arena index of record 1
+int next_ptr_glob;      // arena index of record 2
+
+int func_1(int ch_1, int ch_2) {
+    int ch_1_loc = ch_1;
+    int ch_2_loc = ch_1_loc;
+    if (ch_2_loc != ch_2) {
+        return 0;  // ident_1
+    }
+    ch_1_glob = ch_1_loc;
+    return 1;      // ident_2
+}
+
+int str_cmp(int* s1, int* s2) {
+    int i = 0;
+    while (i < 30) {
+        if (s1[i] != s2[i]) {
+            return s1[i] - s2[i];
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+int func_2(int* str_1_par, int* str_2_par) {
+    int int_loc = 2;
+    int ch_loc = 0;
+    while (int_loc <= 2) {
+        if (func_1(str_1_par[int_loc], str_2_par[int_loc + 1]) == 0) {
+            ch_loc = 65;         // 'A'
+            int_loc = int_loc + 1;
+        } else {
+            int_loc = int_loc + 3;
+        }
+    }
+    if (ch_loc >= 87 && ch_loc < 90) {
+        int_loc = 7;
+    }
+    if (ch_loc == 82) {
+        return 1;
+    }
+    if (str_cmp(str_1_par, str_2_par) > 0) {
+        int_loc = int_loc + 7;
+        int_glob = int_loc;
+        return 1;
+    }
+    return 0;
+}
+
+int func_3(int enum_par) {
+    int enum_loc = enum_par;
+    if (enum_loc == 2) {     // ident_3
+        return 1;
+    }
+    return 0;
+}
+
+void proc_6(int enum_par, int* enum_ref) {
+    *enum_ref = enum_par;
+    if (func_3(enum_par) == 0) {
+        *enum_ref = 3;       // ident_4
+    }
+    if (enum_par == 0) {
+        *enum_ref = 0;
+    } else if (enum_par == 1) {
+        if (int_glob > 100) { *enum_ref = 0; }
+        else { *enum_ref = 3; }
+    } else if (enum_par == 2) {
+        *enum_ref = 1;
+    } else if (enum_par == 4) {
+        *enum_ref = 2;
+    }
+}
+
+void proc_7(int int_1_par, int int_2_par, int* int_ref) {
+    int int_loc = int_1_par + 2;
+    *int_ref = int_2_par + int_loc;
+}
+
+void proc_8(int* arr_1_par, int* arr_2_par, int int_1_par, int int_2_par) {
+    int int_loc = int_1_par + 5;
+    arr_1_par[int_loc] = int_2_par;
+    arr_1_par[int_loc + 1] = arr_1_par[int_loc];
+    arr_1_par[int_loc + 30] = int_loc;
+    int int_index = int_loc;
+    while (int_index <= int_loc + 1) {
+        arr_2_par[int_loc * 4 + int_index - int_loc] = int_loc;
+        int_index = int_index + 1;
+    }
+    arr_2_par[int_loc * 4 + 1] = arr_2_par[int_loc * 4 + 1] + 1;
+    arr_2_par[(int_loc + 24) % 50 * 4 + 3] = arr_1_par[int_loc];
+    int_glob = 5;
+}
+
+void proc_3(int* ptr_ref) {
+    if (ptr_glob != 0 - 1) {            // Ptr_Glob != Null
+        *ptr_ref = arena[ptr_glob + 0];  // Ptr_Ref = Ptr_Glob->Ptr_Comp
+    }
+    proc_7(10, int_glob, &arena[ptr_glob + 3]);
+}
+
+void proc_1(int ptr_val_par) {
+    int next_record = arena[ptr_val_par + 0];
+    // *Ptr_Val_Par->Ptr_Comp = *Ptr_Glob (structure copy, 10 words)
+    int i = 0;
+    while (i < 10) {
+        arena[next_record + i] = arena[ptr_glob + i];
+        i = i + 1;
+    }
+    arena[ptr_val_par + 3] = 5;
+    arena[next_record + 3] = arena[ptr_val_par + 3];
+    arena[next_record + 0] = arena[ptr_val_par + 0];
+    proc_3(&arena[next_record + 0]);
+    if (arena[next_record + 1] == 0) {    // Discr == ident_1
+        arena[next_record + 3] = 6;
+        proc_6(arena[ptr_val_par + 2], &arena[next_record + 2]);
+        arena[next_record + 0] = arena[ptr_glob + 0];
+        proc_7(arena[next_record + 3], 10, &arena[next_record + 3]);
+    } else {
+        i = 0;
+        while (i < 10) {
+            arena[ptr_val_par + i] = arena[next_record + i];
+            i = i + 1;
+        }
+    }
+}
+
+void proc_2(int* int_par_ref) {
+    int int_loc = *int_par_ref + 10;
+    int enum_loc = 0;
+    int done = 0;
+    while (done == 0) {
+        if (ch_1_glob == 65) {           // 'A'
+            int_loc = int_loc - 1;
+            *int_par_ref = int_loc - int_glob;
+            enum_loc = 1;
+        }
+        if (enum_loc == 1) {
+            done = 1;
+        }
+    }
+}
+
+void proc_4() {
+    int bool_loc = ch_1_glob == 65;
+    bool_loc = bool_loc | bool_glob;
+    ch_2_glob = 66;                      // 'B'
+}
+
+void proc_5() {
+    ch_1_glob = 65;                      // 'A'
+    bool_glob = 0;
+}
+
+void init_strings() {
+    int i = 0;
+    while (i < 30) {
+        str_1_loc[i] = 32 + (i % 26);    // pseudo characters
+        str_2_loc[i] = 32 + (i % 26);
+        i = i + 1;
+    }
+    // "DHRYSTONE PROGRAM, 2'ND STRING" vs 3'RD: differ late
+    str_2_loc[20] = 51;
+}
+
+int main() {
+    // Init: Next_Ptr_Glob = record 2 at arena[16], Ptr_Glob = record 1 at 0
+    next_ptr_glob = 16;
+    ptr_glob = 0;
+    arena[ptr_glob + 0] = next_ptr_glob;
+    arena[ptr_glob + 1] = 0;             // ident_1
+    arena[ptr_glob + 2] = 2;             // ident_3
+    arena[ptr_glob + 3] = 40;
+    int i = 0;
+    while (i < 6) {
+        arena[ptr_glob + 4 + i] = 68 + i;  // string id
+        i = i + 1;
+    }
+    init_strings();
+    arr_1_glob[8] = 7;
+    arr_2_glob[8 * 4 + 3] = 10;
+
+    int run_index;
+    int number_of_runs = @ITERATIONS@;
+    int int_1_loc;
+    int int_2_loc;
+    int int_3_loc = 0;
+    int ch_index;
+    int enum_loc;
+    int bool_checksum = 0;
+
+    for (run_index = 1; run_index <= number_of_runs; run_index = run_index + 1) {
+        proc_5();
+        proc_4();
+        int_1_loc = 2;
+        int_2_loc = 3;
+        enum_loc = 1;                    // ident_2
+        bool_glob = func_2(str_1_loc, str_2_loc) == 0;
+        bool_checksum = bool_checksum + bool_glob;
+        while (int_1_loc < int_2_loc) {
+            int_3_loc = 5 * int_1_loc - int_2_loc;
+            proc_7(int_1_loc, int_2_loc, &int_3_loc);
+            int_1_loc = int_1_loc + 1;
+        }
+        proc_8(arr_1_glob, arr_2_glob, int_1_loc, int_3_loc);
+        proc_1(ptr_glob);
+        for (ch_index = 69; ch_index <= ch_2_glob; ch_index = ch_index + 1) {
+            if (enum_loc == func_1(ch_index, 67)) {
+                proc_6(0, &enum_loc);
+                int_2_loc = run_index;
+                int_glob = run_index;
+            }
+        }
+        int_2_loc = int_2_loc * int_1_loc;
+        int_1_loc = int_2_loc / int_3_loc;
+        int_2_loc = 7 * (int_2_loc - int_3_loc) - int_1_loc;
+        proc_2(&int_1_loc);
+    }
+
+    __out(int_glob);
+    __out(bool_glob);
+    __out(ch_1_glob);
+    __out(ch_2_glob);
+    __out(arr_1_glob[8]);
+    __out(arr_2_glob[8 * 4 + 3]);
+    __out(int_1_loc);
+    __out(int_2_loc);
+    __out(int_3_loc);
+    __out(bool_checksum);
+    return 0;
+}
+"""
+
+
+def source(iterations=50):
+    """Mini-C source text for ``iterations`` Dhrystone-like runs."""
+    return _TEMPLATE.replace("@ITERATIONS@", str(iterations))

@@ -1,0 +1,112 @@
+"""Unit + property tests for 32-bit word arithmetic helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitops import (
+    MASK32,
+    wrap32,
+    to_signed,
+    to_unsigned,
+    sext,
+    bits,
+    fits_signed,
+    fits_unsigned,
+)
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+any_int = st.integers(min_value=-(2**40), max_value=2**40)
+
+
+class TestWrap32:
+    def test_identity_in_range(self):
+        assert wrap32(0) == 0
+        assert wrap32(MASK32) == MASK32
+
+    def test_wraps_overflow(self):
+        assert wrap32(MASK32 + 1) == 0
+        assert wrap32(2**32 + 5) == 5
+
+    def test_wraps_negative(self):
+        assert wrap32(-1) == MASK32
+        assert wrap32(-(2**31)) == 0x8000_0000
+
+    @given(any_int)
+    def test_always_in_range(self, value):
+        assert 0 <= wrap32(value) <= MASK32
+
+    @given(any_int, any_int)
+    def test_additive_homomorphism(self, a, b):
+        assert wrap32(wrap32(a) + wrap32(b)) == wrap32(a + b)
+
+
+class TestToSigned:
+    def test_positive_unchanged(self):
+        assert to_signed(5) == 5
+        assert to_signed(0x7FFF_FFFF) == 2**31 - 1
+
+    def test_negative_boundary(self):
+        assert to_signed(0x8000_0000) == -(2**31)
+        assert to_signed(MASK32) == -1
+
+    @given(u32)
+    def test_roundtrip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    @given(u32)
+    def test_range(self, value):
+        assert -(2**31) <= to_signed(value) < 2**31
+
+
+class TestSext:
+    def test_positive(self):
+        assert sext(0b0111, 4) == 7
+
+    def test_negative(self):
+        assert sext(0b1000, 4) == -8
+        assert sext(0xFFF, 12) == -1
+
+    @given(st.integers(min_value=0, max_value=2**15 - 1))
+    def test_sext_15_matches_straight_imm_range(self, value):
+        result = sext(value, 15)
+        assert -(2**14) <= result < 2**14
+
+    @given(st.integers(min_value=1, max_value=31), st.integers(min_value=0))
+    def test_idempotent(self, width, raw):
+        once = sext(raw, width)
+        assert sext(once & ((1 << width) - 1), width) == once
+
+
+class TestBits:
+    def test_basic_extraction(self):
+        assert bits(0b1011_0110, 5, 2) == 0b1101
+
+    def test_full_word(self):
+        assert bits(MASK32, 31, 0) == MASK32
+
+    def test_single_bit(self):
+        assert bits(0b100, 2, 2) == 1
+        assert bits(0b100, 1, 1) == 0
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            bits(0, 1, 3)
+
+
+class TestFits:
+    def test_fits_signed_boundaries(self):
+        assert fits_signed(-16, 5)
+        assert fits_signed(15, 5)
+        assert not fits_signed(16, 5)
+        assert not fits_signed(-17, 5)
+
+    def test_fits_unsigned_boundaries(self):
+        assert fits_unsigned(0, 5)
+        assert fits_unsigned(31, 5)
+        assert not fits_unsigned(32, 5)
+        assert not fits_unsigned(-1, 5)
+
+    @given(st.integers(min_value=1, max_value=31), any_int)
+    def test_fits_signed_matches_sext(self, width, value):
+        if fits_signed(value, width):
+            assert sext(value & ((1 << width) - 1), width) == value

@@ -1,0 +1,166 @@
+"""Branch predictor tests: gshare, TAGE, BTB, RAS."""
+
+from hypothesis import given, strategies as st
+
+from repro.uarch.branch import (
+    GsharePredictor,
+    TagePredictor,
+    BranchTargetBuffer,
+    ReturnAddressStack,
+    make_predictor,
+)
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        predictor = GsharePredictor()
+        pc = 0x1000
+        for _ in range(8):
+            predictor.update(pc, True)
+        assert predictor.predict(pc) is True
+
+    def test_learns_never_taken(self):
+        predictor = GsharePredictor()
+        pc = 0x1000
+        for _ in range(8):
+            predictor.update(pc, False)
+        assert predictor.predict(pc) is False
+
+    def test_history_disambiguates_alternating(self):
+        """A strict alternation is predictable with global history."""
+        predictor = GsharePredictor()
+        pc = 0x2000
+        outcome = True
+        for _ in range(400):
+            predictor.update(pc, outcome)
+            outcome = not outcome
+        correct = 0
+        for _ in range(100):
+            if predictor.predict(pc) == outcome:
+                correct += 1
+            predictor.update(pc, outcome)
+            outcome = not outcome
+        assert correct >= 95
+
+    def test_accuracy_counter(self):
+        predictor = GsharePredictor()
+        for _ in range(10):
+            predictor.update(0x100, True)
+        assert 0.0 <= predictor.accuracy <= 1.0
+        assert predictor.predictions == 10
+
+    @given(st.integers(min_value=0, max_value=2**31), st.booleans())
+    def test_update_keeps_counters_in_range(self, pc, taken):
+        predictor = GsharePredictor(table_entries=64)
+        for _ in range(5):
+            predictor.update(pc & ~3, taken)
+        assert all(0 <= c <= 3 for c in predictor.table)
+
+
+class TestTage:
+    def test_learns_biased_branch(self):
+        predictor = TagePredictor()
+        for _ in range(20):
+            predictor.update(0x400, True)
+        assert predictor.predict(0x400) is True
+
+    def test_beats_gshare_on_long_period_pattern(self):
+        """A period-24 pattern exceeds gshare's 10-bit history but fits
+        TAGE's longer components — the reason Fig. 14 exists."""
+        pattern = [True] * 20 + [False] * 4
+
+        def run(predictor):
+            correct = 0
+            total = 0
+            for round_index in range(160):
+                for outcome in pattern:
+                    if round_index >= 40:  # after warmup
+                        correct += predictor.predict(0x800) == outcome
+                        total += 1
+                    predictor.update(0x800, outcome)
+            return correct / total
+
+        tage_acc = run(TagePredictor())
+        gshare_acc = run(GsharePredictor())
+        assert tage_acc >= gshare_acc
+
+    def test_allocation_on_mispredict(self):
+        predictor = TagePredictor()
+        # Drive mispredicts so tagged entries get allocated.
+        outcome = True
+        for i in range(200):
+            predictor.update(0x900 + (i % 4) * 4, outcome)
+            outcome = not outcome
+        allocated = sum(
+            1
+            for table in predictor.tables
+            for tag in table.tags
+            if tag != 0
+        )
+        assert allocated > 0
+
+    def test_folded_history_width(self):
+        predictor = TagePredictor()
+        predictor.history = (1 << 200) - 1
+        folded = predictor._folded_history(256, 10)
+        assert 0 <= folded < 1024
+
+    def test_factory(self):
+        assert isinstance(make_predictor("tage"), TagePredictor)
+        assert isinstance(make_predictor("gshare"), GsharePredictor)
+
+    def test_factory_rejects_unknown(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_predictor("oracle")
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=16)
+        assert btb.predict(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.predict(0x1000) == 0x2000
+
+    def test_aliasing_detected_by_tag(self):
+        btb = BranchTargetBuffer(entries=16)
+        btb.update(0x1000, 0x2000)
+        aliased_pc = 0x1000 + 16 * 4  # same index, different tag
+        assert btb.predict(aliased_pc) is None
+
+    def test_update_overwrites(self):
+        btb = BranchTargetBuffer(entries=16)
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.predict(0x1000) == 0x3000
+
+
+class TestRAS:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack(depth=8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_empty_pop_returns_none(self):
+        ras = ReturnAddressStack(depth=4)
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None  # 1 was dropped
+
+    def test_matched_call_return_nest(self):
+        ras = ReturnAddressStack(depth=16)
+        addresses = [0x10 * i for i in range(1, 9)]
+        for addr in addresses:
+            ras.push(addr)
+        for addr in reversed(addresses):
+            assert ras.pop() == addr

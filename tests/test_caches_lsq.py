@@ -1,0 +1,218 @@
+"""Cache hierarchy, stream prefetcher, and load-store queue tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.uarch.caches import CacheLevel, StreamPrefetcher, MemoryHierarchy
+from repro.uarch.config import CacheConfig
+from repro.uarch.lsq import LoadStoreQueue, MemDependencePredictor
+from repro.uarch.core import SimStats
+
+
+def small_hierarchy(prefetcher=None):
+    return MemoryHierarchy(
+        l1i=CacheLevel(1024, 2, 64, 4, "l1i"),
+        l1d=CacheLevel(1024, 2, 64, 4, "l1d"),
+        l2=CacheLevel(8192, 4, 64, 12, "l2"),
+        l3=None,
+        mem_latency=200,
+        prefetcher=prefetcher,
+    )
+
+
+class TestCacheLevel:
+    def test_miss_then_hit(self):
+        cache = CacheLevel(1024, 2, 64, 4, "t")
+        assert not cache.lookup(5)
+        cache.insert(5)
+        assert cache.lookup(5)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = CacheLevel(2 * 64 * 2, 2, 64, 4, "t")  # 2 sets, 2 ways
+        set_stride = cache.num_sets
+        a, b, c = 0, set_stride, 2 * set_stride  # all map to set 0
+        cache.insert(a)
+        cache.insert(b)
+        cache.lookup(a)  # touch a: b becomes LRU
+        cache.insert(c)  # evicts b
+        assert cache.contains(a)
+        assert not cache.contains(b)
+        assert cache.contains(c)
+
+    def test_geometry_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CacheLevel(1000, 3, 64, 4, "bad")
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=60))
+    def test_occupancy_never_exceeds_ways(self, lines):
+        cache = CacheLevel(4 * 64 * 2, 2, 64, 4, "t")
+        for line in lines:
+            cache.insert(line)
+        for cache_set in cache.sets:
+            assert len(cache_set) <= cache.ways
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=60))
+    def test_insert_then_contains(self, lines):
+        cache = CacheLevel(4 * 64 * 4, 4, 64, 4, "t")
+        for line in lines:
+            cache.insert(line)
+            assert cache.contains(line)
+
+
+class TestHierarchy:
+    def test_l1_hit_latency(self):
+        h = small_hierarchy()
+        h.access_data(0x1000)  # cold miss
+        assert h.access_data(0x1000) == 4
+
+    def test_miss_latencies_cascade(self):
+        h = small_hierarchy()
+        assert h.access_data(0x1000) == 200  # memory
+        # Three more lines in the same L1 set (8 sets x 64B = 512B stride)
+        # evict 0x1000 from the 2-way L1, but they land in *different* L2
+        # sets (32 sets), so 0x1000 survives in L2.
+        for i in range(1, 4):
+            h.access_data(0x1000 + i * 512)
+        assert h.access_data(0x1000) == 12  # L2 hit
+
+    def test_instruction_and_data_split(self):
+        h = small_hierarchy()
+        h.access_instr(0x2000)
+        # Same line in L1I does not help L1D, but L2 does (inclusive fill).
+        assert h.access_data(0x2000) == 12
+
+    def test_stats_keys(self):
+        h = small_hierarchy()
+        h.access_data(0x0)
+        stats = h.stats()
+        assert stats["l1d_misses"] == 1
+        assert "l2_misses" in stats
+
+
+class TestPrefetcher:
+    def test_detects_ascending_stream(self):
+        prefetcher = StreamPrefetcher(streams=4, degree=2)
+        assert prefetcher.on_miss(100) == []
+        assert prefetcher.on_miss(101) == [102, 103]
+        assert prefetcher.on_miss(102) == [103, 104]
+
+    def test_ignores_random_misses(self):
+        prefetcher = StreamPrefetcher(streams=4, degree=2)
+        assert prefetcher.on_miss(10) == []
+        assert prefetcher.on_miss(50) == []
+        assert prefetcher.on_miss(90) == []
+
+    def test_hierarchy_integration(self):
+        h = small_hierarchy(prefetcher=StreamPrefetcher(streams=4, degree=4))
+        base = 0x10000
+        h.access_data(base)  # miss, starts stream
+        h.access_data(base + 64)  # miss, triggers prefetch of next 4 lines
+        assert h.access_data(base + 128) == 4  # prefetched: L1 hit
+
+    def test_stream_table_bounded(self):
+        prefetcher = StreamPrefetcher(streams=2, degree=1)
+        for line in (10, 20, 30, 40):
+            prefetcher.on_miss(line)
+        assert len(prefetcher.recent) == 2
+
+
+class TestMemDependencePredictor:
+    def test_defaults_to_speculate(self):
+        mdp = MemDependencePredictor()
+        assert not mdp.predicts_conflict(0x100)
+
+    def test_trains_on_violation(self):
+        mdp = MemDependencePredictor()
+        mdp.train_conflict(0x100)
+        assert mdp.predicts_conflict(0x100)
+
+    def test_decays(self):
+        mdp = MemDependencePredictor()
+        mdp.train_conflict(0x100)
+        mdp.train_no_conflict(0x100)
+        mdp.train_no_conflict(0x100)
+        assert not mdp.predicts_conflict(0x100)
+
+
+class TestLSQ:
+    def _fresh(self):
+        return LoadStoreQueue(4, 4), MemDependencePredictor(), small_hierarchy(), SimStats()
+
+    def test_store_to_load_forwarding(self):
+        lsq, mdp, h, stats = self._fresh()
+        lsq.add_store(1)
+        lsq.add_load(2, 0x100, pc=0x10)
+        lsq.store_executed(1, 0x100, data_ready=5)
+        kind, latency = lsq.try_issue_load(2, 10, mdp, h, stats)
+        assert kind == "ok"
+        assert latency == 2  # forwarded, data already ready
+        assert stats.store_forwards == 1
+
+    def test_forward_waits_for_store_data(self):
+        lsq, mdp, h, stats = self._fresh()
+        lsq.add_store(1)
+        lsq.add_load(2, 0x100, pc=0x10)
+        lsq.store_executed(1, 0x100, data_ready=20)
+        kind, latency = lsq.try_issue_load(2, 10, mdp, h, stats)
+        assert kind == "ok"
+        assert latency == 2 + 10  # waits until the store data is ready
+
+    def test_speculates_past_unknown_store_by_default(self):
+        lsq, mdp, h, stats = self._fresh()
+        lsq.add_store(1)  # address unknown
+        lsq.add_load(2, 0x100, pc=0x10)
+        kind, latency = lsq.try_issue_load(2, 10, mdp, h, stats)
+        assert kind == "ok"  # went to the cache
+
+    def test_predicted_conflict_waits(self):
+        lsq, mdp, h, stats = self._fresh()
+        mdp.train_conflict(0x10)
+        lsq.add_store(1)
+        lsq.add_load(2, 0x100, pc=0x10)
+        kind, payload = lsq.try_issue_load(2, 10, mdp, h, stats)
+        assert kind == "wait"
+        assert payload == 1
+
+    def test_violation_detection(self):
+        lsq, mdp, h, stats = self._fresh()
+        lsq.add_store(1)
+        lsq.add_load(2, 0x100, pc=0x10)
+        lsq.try_issue_load(2, 10, mdp, h, stats)  # speculates
+        violations = lsq.store_executed(1, 0x100, data_ready=15)
+        assert violations == [2]
+
+    def test_no_violation_for_different_address(self):
+        lsq, mdp, h, stats = self._fresh()
+        lsq.add_store(1)
+        lsq.add_load(2, 0x200, pc=0x10)
+        lsq.try_issue_load(2, 10, mdp, h, stats)
+        assert lsq.store_executed(1, 0x100, data_ready=15) == []
+
+    def test_youngest_matching_store_forwards(self):
+        lsq, mdp, h, stats = self._fresh()
+        lsq.add_store(1)
+        lsq.add_store(2)
+        lsq.add_load(3, 0x100, pc=0x10)
+        lsq.store_executed(1, 0x100, data_ready=3)
+        lsq.store_executed(2, 0x100, data_ready=8)
+        kind, latency = lsq.try_issue_load(3, 20, mdp, h, stats)
+        assert kind == "ok" and latency == 2  # store 2's data, already ready
+
+    def test_capacity_accounting(self):
+        lsq = LoadStoreQueue(1, 1)
+        assert lsq.can_add_load()
+        lsq.add_load(1, 0x100, pc=0)
+        assert not lsq.can_add_load()
+        lsq.commit_load(1)
+        assert lsq.can_add_load()
+
+    def test_stores_do_not_forward_to_older_loads(self):
+        lsq, mdp, h, stats = self._fresh()
+        lsq.add_load(1, 0x100, pc=0x10)
+        lsq.add_store(2)
+        lsq.store_executed(2, 0x100, data_ready=5)
+        kind, latency = lsq.try_issue_load(1, 10, mdp, h, stats)
+        assert kind == "ok"
+        assert stats.store_forwards == 0  # store is younger; no forwarding

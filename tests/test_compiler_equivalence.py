@@ -1,0 +1,336 @@
+"""Cross-ISA differential tests: every program must produce identical output
+on the RV32IM and STRAIGHT (RAW and RE+) binaries.
+
+The STRAIGHT functional simulator additionally *proves* every operand's
+distance is dynamically exact (write-once discipline), so a passing run here
+certifies the distance fixing/bounding algorithms, not just the data values.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.bitops import to_signed, wrap32
+from tests.conftest import compile_and_run_both
+
+CORPUS = {
+    "arith_mix": (
+        """
+        int main() {
+            int a = 12345; uint b = 0xDEADBEEF;
+            __out(a * 7 - a / 3 + a % 11);
+            __out(b >> 5); __out(b / 3); __out(b % 1000);
+            __out(a << 4); __out(-a >> 2); __out(~a); __out(!a);
+            __out(a & 0xF0F0); __out(a | 3); __out(a ^ 0x5555);
+            return 0;
+        }
+        """,
+        None,
+    ),
+    "division_edges": (
+        """
+        int main() {
+            int min_int = 0x80000000;
+            int zero = 0;
+            __out(min_int / -1);    // overflow -> INT_MIN (RV32IM rule)
+            __out(min_int % -1);    // -> 0
+            __out(5 / zero);        // -> all ones
+            __out(5 % zero);        // -> dividend
+            uint u = 7;
+            __out(u / zero);
+            return 0;
+        }
+        """,
+        None,
+    ),
+    "nested_loops": (
+        """
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 12; i++) {
+                for (int j = i; j < 12; j++) {
+                    if ((i * j) % 3 == 0) total += i * 16 + j;
+                    else if ((i + j) % 5 == 0) total -= j;
+                    else continue;
+                    total ^= i;
+                }
+            }
+            __out(total);
+            return 0;
+        }
+        """,
+        None,
+    ),
+    "while_break_continue": (
+        """
+        int main() {
+            int i = 0; int acc = 0;
+            while (1) {
+                i++;
+                if (i > 40) break;
+                if (i % 3 == 0) continue;
+                acc += i;
+            }
+            do { acc -= 2; i--; } while (i > 30);
+            __out(acc); __out(i);
+            return 0;
+        }
+        """,
+        None,
+    ),
+    "pointers_and_arrays": (
+        """
+        int grid[24];
+        int main() {
+            int* p = grid;
+            for (int i = 0; i < 24; i++) *(p + i) = i * i;
+            int* q = &grid[23];
+            int total = 0;
+            while (q >= p) { total += *q; q = q - 1; }
+            __out(total);
+            int local[6];
+            for (int i = 0; i < 6; i++) local[i] = grid[i * 4];
+            __out(local[0] + local[5] * 2);
+            return 0;
+        }
+        """,
+        None,
+    ),
+    "call_web": (
+        """
+        int add3(int a, int b, int c) { return a + b + c; }
+        int twice(int x) { return add3(x, x, 0); }
+        int compose(int x) { return twice(add3(x, 1, 2)) - twice(x); }
+        int main() {
+            int acc = 0;
+            for (int i = 0; i < 8; i++) acc += compose(i + acc % 7);
+            __out(acc);
+            return 0;
+        }
+        """,
+        None,
+    ),
+    "deep_recursion": (
+        """
+        int ack_lite(int m, int n) {
+            if (m == 0) return n + 1;
+            if (n == 0) return ack_lite(m - 1, 1);
+            return ack_lite(m - 1, ack_lite(m, n - 1));
+        }
+        int main() { __out(ack_lite(2, 3)); return 0; }
+        """,
+        [9],
+    ),
+    "mutual_recursion": (
+        """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main() { __out(is_even(10)); __out(is_odd(7)); return 0; }
+        """,
+        None,
+    ),
+    "many_live_values": (
+        """
+        int main() {
+            int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+            int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+            for (int k = 0; k < 12; k++) {
+                a += b; b += c; c += d; d += e; e += f;
+                f += g; g += h; h += i; i += j; j += a;
+                if (k % 2 == 0) { a ^= j; } else { j ^= a; }
+            }
+            __out(a + b + c + d + e + f + g + h + i + j);
+            return 0;
+        }
+        """,
+        None,
+    ),
+    "swap_cycle_phis": (
+        """
+        int main() {
+            int a = 3; int b = 1000;
+            for (int i = 0; i < 9; i++) {
+                int t = a; a = b; b = t;   // phi swap problem
+            }
+            __out(a); __out(b);
+            return 0;
+        }
+        """,
+        [1000, 3],
+    ),
+    "ternary_and_shortcircuit": (
+        """
+        int side_effects;
+        int bump(int v) { side_effects += 1; return v; }
+        int main() {
+            side_effects = 0;
+            int x = 0;
+            x = (1 && bump(0)) || bump(1);
+            x += bump(2) && 0 && bump(3);
+            __out(x);
+            __out(side_effects);   // bump(3) must never run
+            __out(x > 0 ? bump(10) : bump(20));
+            return 0;
+        }
+        """,
+        None,
+    ),
+    "unsigned_compares": (
+        """
+        int main() {
+            uint big = 0xFFFFFFF0;
+            int negative = -16;
+            __out(big > 10);          // unsigned: true
+            __out(negative > 10);     // signed: false
+            __out(big == 0xFFFFFFF0);
+            uint a = 3; uint b = 5;
+            __out(a - b);             // wraps
+            __out((a - b) < 100);     // unsigned compare of wrap
+            return 0;
+        }
+        """,
+        [1, 0, 1, 4294967294, 0],
+    ),
+    "global_state_machine": (
+        """
+        int state; int counts[4];
+        void step(int input) {
+            if (state == 0) { state = input % 2 == 0 ? 1 : 2; }
+            else if (state == 1) { state = input > 5 ? 3 : 0; }
+            else if (state == 2) { state = 0; }
+            else { state = input % 3; }
+            counts[state] += 1;
+        }
+        int main() {
+            for (int i = 0; i < 50; i++) step(i * 7 % 11);
+            __out(counts[0]); __out(counts[1]);
+            __out(counts[2]); __out(counts[3]);
+            __out(state);
+            return 0;
+        }
+        """,
+        None,
+    ),
+}
+
+# Forward declarations are not in the language; rewrite mutual recursion.
+CORPUS["mutual_recursion"] = (
+    """
+    int is_even(int n);
+    """.replace("int is_even(int n);", "")
+    + """
+    int helper(int n, int parity) {
+        if (n == 0) return parity;
+        return helper(n - 1, 1 - parity);
+    }
+    int main() { __out(helper(10, 1)); __out(helper(7, 0)); return 0; }
+    """,
+    None,
+)
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_corpus_program(name):
+    source, expected = CORPUS[name]
+    output = compile_and_run_both(source)
+    if expected is not None:
+        assert output == expected, f"{name}: {output}"
+
+
+@pytest.mark.parametrize("max_distance", [31, 63])
+def test_corpus_with_tight_distance_limits(max_distance):
+    """Distance bounding must keep programs correct at small limits."""
+    source, expected = CORPUS["many_live_values"]
+    output = compile_and_run_both(source, max_distance=max_distance)
+    reference = compile_and_run_both(source)
+    assert output == reference
+
+
+def test_moderate_program_at_very_tight_limit():
+    """A program with few live values still compiles at max distance 15."""
+    source, _ = CORPUS["swap_cycle_phis"]
+    output = compile_and_run_both(source, max_distance=15)
+    assert output == [1000, 3]
+
+
+def test_infeasible_live_set_raises_cleanly():
+    """Too many live values for the distance budget is a clean CompileError,
+    never silent miscompilation."""
+    from repro.common.errors import CompileError
+    from repro.core.api import build
+
+    source, _ = CORPUS["many_live_values"]
+    with pytest.raises(CompileError, match="cannot fit"):
+        build(source, max_distance=15)
+
+
+# ---------------------------------------------------------------------------
+# Property-based compiler fuzzing: random expression programs
+# ---------------------------------------------------------------------------
+
+_LEAVES = ["a", "b", "c", "7", "0", "123456", "0x7fffffff"]
+_BINOPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"]
+_CMPOPS = ["<", ">", "<=", ">=", "==", "!="]
+
+
+@st.composite
+def expression(draw, depth=0):
+    if depth >= 4 or draw(st.booleans()):
+        return draw(st.sampled_from(_LEAVES))
+    kind = draw(st.sampled_from(["bin", "cmp", "neg", "not"]))
+    left = draw(expression(depth=depth + 1))
+    if kind == "bin":
+        op = draw(st.sampled_from(_BINOPS))
+        right = draw(expression(depth=depth + 1))
+        if op in ("<<", ">>"):
+            right = f"({right} & 15)"
+        return f"({left} {op} {right})"
+    if kind == "cmp":
+        op = draw(st.sampled_from(_CMPOPS))
+        right = draw(expression(depth=depth + 1))
+        return f"({left} {op} {right})"
+    if kind == "neg":
+        return f"(-{left})"
+    return f"(~{left})"
+
+
+@settings(max_examples=30, deadline=None)
+@given(expression(), st.integers(-100, 100), st.integers(-100, 100),
+       st.integers(0, 2**31 - 1))
+def test_random_expressions_agree_across_isas(expr, a, b, c):
+    source = f"""
+    int main() {{
+        int a = {a}; int b = {b}; uint c = {c};
+        __out({expr});
+        return 0;
+    }}
+    """
+    compile_and_run_both(source)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.integers(-50, 50), min_size=1, max_size=12),
+    st.integers(1, 6),
+)
+def test_random_loop_programs_agree(values, stride):
+    body = "\n".join(
+        f"acc = acc * 3 + data[{i % len(values)}];" for i in range(len(values))
+    )
+    array_init = "\n".join(
+        f"data[{i}] = {v};" for i, v in enumerate(values)
+    )
+    source = f"""
+    int data[{len(values)}];
+    int main() {{
+        {array_init}
+        int acc = 0;
+        for (int i = 0; i < {len(values)}; i += {stride}) {{
+            {body}
+            acc ^= i;
+        }}
+        __out(acc);
+        return 0;
+    }}
+    """
+    compile_and_run_both(source)

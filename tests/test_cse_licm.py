@@ -1,0 +1,205 @@
+"""Tests for the CSE and LICM optimizer passes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Module, IRBuilder, ConstantInt, verify_function
+from repro.ir.instructions import BinOp, GetElementPtr
+from repro.ir.passes.cse import eliminate_common_subexpressions
+from repro.ir.passes.licm import hoist_loop_invariants
+from repro.frontend import compile_source
+from tests.conftest import compile_and_run_both
+
+
+class TestCse:
+    def _two_adds(self, commuted=False):
+        module = Module("m")
+        func = module.add_function("f", ["a", "b"])
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        a, b = func.params
+        first = builder.add(a, b)
+        second = builder.add(b, a) if commuted else builder.add(a, b)
+        result = builder.mul(first, second)
+        builder.ret(result)
+        return module, func
+
+    def test_identical_binops_merged(self):
+        module, func = self._two_adds()
+        assert eliminate_common_subexpressions(func) == 1
+        verify_function(func)
+        adds = [i for i in func.instructions() if isinstance(i, BinOp) and i.opcode == "add"]
+        assert len(adds) == 1
+
+    def test_commutative_canonicalization(self):
+        module, func = self._two_adds(commuted=True)
+        assert eliminate_common_subexpressions(func) == 1
+
+    def test_non_commutative_not_merged(self):
+        module = Module("m")
+        func = module.add_function("f", ["a", "b"])
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        a, b = func.params
+        first = builder.sub(a, b)
+        second = builder.sub(b, a)
+        builder.ret(builder.mul(first, second))
+        assert eliminate_common_subexpressions(func) == 0
+
+    def test_loads_never_merged(self):
+        module = Module("m")
+        func = module.add_function("f", ["p"])
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        first = builder.load(func.params[0])
+        builder.store(ConstantInt(1), func.params[0])
+        second = builder.load(func.params[0])  # different value!
+        builder.ret(builder.add(first, second))
+        assert eliminate_common_subexpressions(func) == 0
+
+    def test_cross_block_not_merged(self):
+        """Local CSE only: same expression in sibling blocks is kept."""
+        module = Module("m")
+        func = module.add_function("f", ["c", "a"])
+        entry = func.add_block("entry")
+        left = func.add_block("left")
+        right = func.add_block("right")
+        builder = IRBuilder()
+        builder.set_insert_point(entry)
+        builder.cond_br(func.params[0], left, right)
+        builder.set_insert_point(left)
+        builder.ret(builder.add(func.params[1], ConstantInt(1)))
+        builder.set_insert_point(right)
+        builder.ret(builder.add(func.params[1], ConstantInt(1)))
+        assert eliminate_common_subexpressions(func) == 0
+
+    def test_gep_merged(self):
+        module = Module("m")
+        func = module.add_function("f", ["p", "i"])
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        first = builder.gep(func.params[0], func.params[1])
+        second = builder.gep(func.params[0], func.params[1])
+        builder.store(ConstantInt(1), first)
+        builder.ret(builder.load(second))
+        assert eliminate_common_subexpressions(func) == 1
+        verify_function(func)
+
+
+class TestLicm:
+    def _loop_with_invariant(self):
+        source = """
+        int g;
+        int f(int n, int k) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) {
+                acc += i + k * 31;      // k*31 is invariant
+            }
+            return acc;
+        }
+        int main() { __out(f(g + 5, g + 2)); return 0; }
+        """
+        return compile_source(source, optimize=False)
+
+    def test_hoists_invariant_mul(self):
+        module = self._loop_with_invariant()
+        from repro.ir.passes import promote_allocas, simplify_cfg
+
+        func = module.functions["f"]
+        promote_allocas(func)
+        simplify_cfg(func)
+        hoisted = hoist_loop_invariants(func)
+        verify_function(func)
+        assert hoisted >= 1
+        # The multiply left the loop body.
+        from repro.ir.analysis.loops import find_natural_loops
+
+        loops = find_natural_loops(func)
+        assert loops
+        in_loop_muls = [
+            i
+            for block in loops[0].body
+            for i in block.instructions
+            if isinstance(i, BinOp) and i.opcode == "mul"
+        ]
+        assert in_loop_muls == []
+
+    def test_variant_values_stay(self):
+        source = """
+        int g;
+        int main() {
+            int acc = g;
+            for (int i = 0; i < 10; i++) acc += i * i;   // variant
+            __out(acc);
+            return 0;
+        }
+        """
+        module = compile_source(source)  # full pipeline incl. LICM
+        func = module.functions["main"]
+        from repro.ir.analysis.loops import find_natural_loops
+
+        loops = find_natural_loops(func)
+        assert loops
+        in_loop_muls = [
+            i
+            for block in loops[0].body
+            for i in block.instructions
+            if isinstance(i, BinOp) and i.opcode == "mul"
+        ]
+        assert len(in_loop_muls) == 1  # i*i cannot be hoisted
+
+    def test_licm_preserves_semantics_both_isas(self):
+        source = """
+        int g;
+        int main() {
+            g = 3;
+            int total = 0;
+            for (int i = 0; i < 8; i++) {
+                for (int j = 0; j < 8; j++) {
+                    total += i * 64 + g * j;   // i*64 invariant in j-loop
+                }
+            }
+            __out(total);
+            return 0;
+        }
+        """
+        compile_and_run_both(source)
+
+    def test_zero_trip_loop_safe(self):
+        """Hoisted pure code may execute even when the loop runs 0 times —
+        that must not change observable behaviour (pure ops cannot trap)."""
+        source = """
+        int g;
+        int main() {
+            int acc = 7;
+            int divisor = g;   // zero!
+            for (int i = 0; i < g; i++) {    // zero-trip
+                acc += 100 / divisor;        // would be div-by-zero
+            }
+            __out(acc);
+            return 0;
+        }
+        """
+        assert compile_and_run_both(source) == [7]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=-20, max_value=20),
+    st.integers(min_value=-20, max_value=20),
+)
+def test_licm_equivalence_fuzz(trip, k1, k2):
+    source = f"""
+    int g;
+    int main() {{
+        int acc = g;
+        for (int i = 0; i < {trip}; i++) {{
+            acc += ({k1} * 13 + {k2}) ^ (i + g * {k1});
+            acc -= g * {k2};
+        }}
+        __out(acc);
+        return 0;
+    }}
+    """
+    compile_and_run_both(source)

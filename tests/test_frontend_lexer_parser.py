@@ -1,0 +1,148 @@
+"""Lexer and parser tests for the mini-C front end."""
+
+import pytest
+
+from repro.common.errors import CompileError
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse
+from repro.frontend import ast_nodes as ast
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("42 0x2A 0")
+        assert [t.value for t in tokens[:-1]] == [42, 42, 0]
+
+    def test_char_literals(self):
+        tokens = tokenize("'A' '\\n' '\\0'")
+        assert [t.value for t in tokens[:-1]] == [65, 10, 0]
+
+    def test_identifiers_vs_keywords(self):
+        assert kinds("int foo while whale") == [
+            ("keyword", "int"),
+            ("ident", "foo"),
+            ("keyword", "while"),
+            ("ident", "whale"),
+        ]
+
+    def test_maximal_munch_operators(self):
+        assert [t.text for t in tokenize("a<<=b>>c<=d") if t.kind == "op"] == [
+            "<<=",
+            ">>",
+            "<=",
+        ]
+
+    def test_comments_stripped(self):
+        assert kinds("a // line\nb /* block\nmore */ c") == [
+            ("ident", "a"),
+            ("ident", "b"),
+            ("ident", "c"),
+        ]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never ends")
+
+    def test_oversized_literal(self):
+        with pytest.raises(CompileError, match="exceeds 32 bits"):
+            tokenize("4294967296")
+
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+
+def parse_source(source):
+    return parse(tokenize(source))
+
+
+class TestParser:
+    def test_function_with_params(self):
+        program = parse_source("int f(int a, uint* b) { return a; }")
+        func = program.decls[0]
+        assert isinstance(func, ast.FuncDef)
+        assert func.name == "f"
+        assert func.params[0].ctype.base == "int"
+        assert func.params[1].ctype.pointer_depth == 1
+
+    def test_void_function_and_void_params(self):
+        program = parse_source("void f(void) { return; }")
+        func = program.decls[0]
+        assert func.return_type.is_void()
+        assert func.params == []
+
+    def test_global_array_with_initializer(self):
+        program = parse_source("int g[4] = {1, 2, -3};")
+        decl = program.decls[0]
+        assert decl.array_size == 4
+        assert decl.initializer == [1, 2, -3]
+
+    def test_global_array_size_inferred(self):
+        program = parse_source("int g[] = {7, 8};" .replace("[]", "[2]"))
+        assert program.decls[0].array_size == 2
+
+    def test_precedence(self):
+        program = parse_source("int f() { return 1 + 2 * 3; }")
+        ret = program.decls[0].body.statements[0]
+        assert isinstance(ret.value, ast.Binary)
+        assert ret.value.op == "+"
+        assert ret.value.rhs.op == "*"
+
+    def test_ternary_right_associative(self):
+        program = parse_source("int f(int a) { return a ? 1 : a ? 2 : 3; }")
+        ret = program.decls[0].body.statements[0]
+        assert isinstance(ret.value, ast.Ternary)
+        assert isinstance(ret.value.iffalse, ast.Ternary)
+
+    def test_assignment_right_associative(self):
+        program = parse_source("int f(int a, int b) { a = b = 1; return a; }")
+        stmt = program.decls[0].body.statements[0]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert isinstance(stmt.expr.value, ast.Assign)
+
+    def test_for_with_decl_init(self):
+        program = parse_source("int f() { for (int i = 0; i < 3; i++) {} return 0; }")
+        loop = program.decls[0].body.statements[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert isinstance(loop.step, ast.Unary)
+
+    def test_postfix_and_prefix_increment(self):
+        program = parse_source("int f(int a) { ++a; a--; return a; }")
+        stmts = program.decls[0].body.statements
+        assert stmts[0].expr.op == "++pre"
+        assert stmts[1].expr.op == "--post"
+
+    def test_index_chains(self):
+        program = parse_source("int f(int** p) { return p[1][2]; }")
+        ret = program.decls[0].body.statements[0]
+        assert isinstance(ret.value, ast.IndexExpr)
+        assert isinstance(ret.value.base, ast.IndexExpr)
+
+    def test_do_while(self):
+        program = parse_source("int f() { int i = 0; do { i++; } while (i < 3); return i; }")
+        assert isinstance(program.decls[0].body.statements[1], ast.DoWhile)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError, match="expected"):
+            parse_source("int f() { return 1 }")
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(CompileError, match="void"):
+            parse_source("void* f() { }")
+
+    def test_local_array_initializer_rejected(self):
+        with pytest.raises(CompileError, match="array initializers"):
+            parse_source("int f() { int a[3] = 1; return 0; }")
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(CompileError, match="positive"):
+            parse_source("int g[0];")

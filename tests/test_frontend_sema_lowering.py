@@ -1,0 +1,161 @@
+"""Semantic analysis and AST->IR lowering tests."""
+
+import pytest
+
+from repro.common.errors import CompileError
+from repro.frontend import compile_source, tokenize, parse, analyze
+from repro.ir.instructions import Phi, Call, Output
+
+
+def check(source):
+    return analyze(parse(tokenize(source)))
+
+
+class TestSemaAccepts:
+    def test_pointer_arithmetic(self):
+        check("int f(int* p, int n) { return *(p + n) + p[n]; }")
+
+    def test_unsigned_mix(self):
+        check("uint f(uint a, int b) { return a / b + (a >> 3); }")
+
+    def test_address_of(self):
+        check("void g(int* p) { *p = 1; } int f() { int x; g(&x); return x; }")
+
+    def test_null_pointer_literal(self):
+        check("int f(int* p) { if (p == 0) return 1; return 0; }")
+
+    def test_forward_call(self):
+        check("int f() { return g(); } int g() { return 1; }")
+
+
+class TestSemaRejects:
+    def test_undeclared_identifier(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            check("int f() { return x; }")
+
+    def test_redefinition(self):
+        with pytest.raises(CompileError, match="redefinition"):
+            check("int f() { int x; int x; return 0; }")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        check("int f() { int x = 1; { int x = 2; } return x; }")
+
+    def test_pointer_int_assignment(self):
+        with pytest.raises(CompileError, match="incompatible"):
+            check("int f(int* p) { int x; x = p; return x; }")
+
+    def test_pointer_depth_mismatch(self):
+        with pytest.raises(CompileError, match="incompatible"):
+            check("int f(int** p) { int* q; q = p; return 0; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(CompileError, match="dereference"):
+            check("int f(int x) { return *x; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break"):
+            check("int f() { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(CompileError, match="continue"):
+            check("int f() { continue; return 0; }")
+
+    def test_wrong_arg_count(self):
+        with pytest.raises(CompileError, match="argument"):
+            check("int g(int a) { return a; } int f() { return g(1, 2); }")
+
+    def test_void_return_with_value(self):
+        with pytest.raises(CompileError, match="void function"):
+            check("void f() { return 1; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(CompileError, match="must return"):
+            check("int f() { return; }")
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(CompileError, match="not assignable"):
+            check("int f(int a) { (a + 1) = 2; return a; }")
+
+    def test_call_undefined(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            check("int f() { return nope(); }")
+
+    def test_mul_on_pointer(self):
+        with pytest.raises(CompileError, match="not valid on pointers"):
+            check("int f(int* p) { return p * 2; }")
+
+    def test_add_two_pointers(self):
+        with pytest.raises(CompileError, match="add two pointers"):
+            check("int* f(int* p, int* q) { return p + q; }")
+
+
+class TestLowering:
+    def test_loop_becomes_phi(self):
+        module = compile_source(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }"
+        )
+        func = module.functions["f"]
+        phis = [i for i in func.instructions() if isinstance(i, Phi)]
+        assert len(phis) == 2  # i and s
+
+    def test_short_circuit_does_not_evaluate_rhs(self):
+        # g() would trap the output channel; && must skip it when lhs is 0.
+        module = compile_source(
+            """
+            int g() { __out(99); return 1; }
+            int f(int a) { return a && g(); }
+            """
+        )
+        func = module.functions["f"]
+        # The call must be under a conditional branch, not straight-line.
+        entry_calls = [
+            i for i in func.entry.instructions if isinstance(i, Call)
+        ]
+        assert entry_calls == []
+
+    def test_output_builtin(self):
+        module = compile_source("int main() { __out(7); return 0; }")
+        outs = [
+            i
+            for i in module.functions["main"].instructions()
+            if isinstance(i, Output)
+        ]
+        assert len(outs) == 1
+
+    def test_global_scalar_becomes_size_1(self):
+        module = compile_source("int g = 5; int main() { return g; }")
+        assert module.globals["g"].size_words == 1
+        assert module.globals["g"].initializer == [5]
+
+    def test_missing_return_defaults_to_zero(self):
+        module = compile_source("int f() { }")
+        from repro.ir.instructions import Ret
+        from repro.ir.values import ConstantInt
+
+        rets = [i for i in module.functions["f"].instructions() if isinstance(i, Ret)]
+        assert len(rets) == 1
+        assert isinstance(rets[0].value, ConstantInt)
+
+    def test_dead_code_after_return_removed(self):
+        module = compile_source("int f() { return 1; __out(5); }")
+        outs = [
+            i for i in module.functions["f"].instructions() if isinstance(i, Output)
+        ]
+        assert outs == []
+
+    def test_pointer_difference_scales(self, small_build):
+        from repro.core.api import run_functional
+
+        module_src = """
+        int a[10];
+        int main() {
+            int* p = &a[7];
+            int* q = &a[2];
+            __out(p - q);
+            return 0;
+        }
+        """
+        from repro.core.api import build
+
+        result = build(module_src)
+        assert run_functional(result.riscv).output == [5]

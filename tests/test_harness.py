@@ -1,0 +1,107 @@
+"""Experiment harness tests (the cheap, functional-only experiments plus
+plumbing; the full timing figures are exercised by the benchmark suite)."""
+
+from repro.harness import (
+    table1,
+    fig15_instruction_mix,
+    fig16_distance_distribution,
+    fig17_power,
+    format_table,
+    format_bars,
+    timed_run,
+    ALL_EXPERIMENTS,
+)
+from repro.core.configs import straight_2way
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 222, "bb": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert "no rows" in format_table([])
+
+    def test_format_bars_normalizes_to_peak(self):
+        text = format_bars([("x", 1.0), ("y", 0.5)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+
+class TestCheapExperiments:
+    def test_table1_has_four_models(self):
+        result = table1()
+        assert len(result["rows"]) == 4
+        assert "Table I" in result["text"]
+
+    def test_fig15_shape(self):
+        result = fig15_instruction_mix()
+        rows = {r["model"]: r for r in result["rows"]}
+        # SS executes no RMOVs; RAW executes more than RE+.
+        assert rows["SS"]["rmov"] == 0
+        assert rows["STRAIGHT-RAW"]["rmov"] > rows["STRAIGHT-RE+"]["rmov"] > 0
+        assert rows["STRAIGHT-RAW"]["total_norm"] > rows["STRAIGHT-RE+"]["total_norm"] > 1.0
+        # Paper: RE+ cuts the added RMOVs to roughly 20% of the SS count.
+        assert rows["STRAIGHT-RE+"]["rmov"] / rows["SS"]["total"] < 0.35
+
+    def test_fig16_shape(self):
+        result = fig16_distance_distribution()
+        by_key = {
+            (r["workload"], r["distance<="]): r["cumulative_fraction"]
+            for r in result["rows"]
+            if isinstance(r["distance<="], int)
+        }
+        for workload in ("dhrystone", "coremark"):
+            # Paper: 30-40%+ of operands are distance 1; most within 32.
+            assert by_key[(workload, 1)] > 0.25
+            assert by_key[(workload, 32)] > 0.9
+            # CDF is monotone.
+            previous = 0.0
+            for point in (1, 2, 4, 8, 16, 32, 64, 128):
+                assert by_key[(workload, point)] >= previous
+                previous = by_key[(workload, point)]
+
+    def test_fig17_shape(self):
+        result = fig17_power()
+        rows = {
+            (r["module"], r["clock"], r["arch"]): r["relative_power"]
+            for r in result["rows"]
+        }
+        # Rename power almost removed at every frequency.
+        for clock in ("1.0x", "2.5x", "4.0x"):
+            assert rows[("rename", clock, "STRAIGHT")] < 0.2 * rows[
+                ("rename", clock, "SS")
+            ]
+        # Register file / other slightly higher for STRAIGHT (higher IPC),
+        # within the paper's reported bounds-ish (<= +18% / +5% at 1.0x).
+        assert 0.90 <= rows[("regfile", "1.0x", "STRAIGHT")] < 1.30
+        assert 0.85 <= rows[("other", "1.0x", "STRAIGHT")] < 1.15
+        # Everything grows with the clock target.
+        assert rows[("other", "4.0x", "SS")] > rows[("other", "1.0x", "SS")]
+
+    def test_registry_covers_all_figures(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "sensitivity_maxdist",
+            "fig17",
+            "ablation_re_plus",
+            "ablation_recovery",
+            "ablation_spadd",
+        }
+
+
+class TestRunnerCache:
+    def test_timed_run_is_memoized(self):
+        first = timed_run("dhrystone", "STRAIGHT-RE+", straight_2way())
+        second = timed_run("dhrystone", "STRAIGHT-RE+", straight_2way())
+        assert first is second

@@ -1,0 +1,85 @@
+"""Tests for the trace-level ILP analyzer."""
+
+from repro.common.trace import TraceEntry
+from repro.uarch.ilp import dataflow_limit, window_limited_ipc
+from repro.core.api import build, run_functional
+
+
+def _alu(seq, srcs=(), dest=None):
+    return TraceEntry(
+        pc=0x1000 + 4 * seq,
+        op_class="alu",
+        mnemonic="ADD",
+        dest=dest if dest is not None else seq,
+        srcs=srcs,
+    )
+
+
+class TestDataflowLimit:
+    def test_independent_ops_have_high_ipc(self):
+        trace = [_alu(i) for i in range(100)]
+        report = dataflow_limit(trace)
+        assert report.critical_path == 1
+        assert report.dataflow_ipc == 100.0
+
+    def test_serial_chain_has_ipc_one(self):
+        trace = [_alu(0)]
+        for i in range(1, 50):
+            trace.append(_alu(i, srcs=(i - 1,)))
+        report = dataflow_limit(trace)
+        assert report.critical_path == 50
+        assert report.dataflow_ipc == 1.0
+
+    def test_latency_weighting(self):
+        mul = TraceEntry(pc=0, op_class="mul", mnemonic="MUL", dest=0)
+        dependent = _alu(1, srcs=(0,))
+        report = dataflow_limit([mul, dependent])
+        assert report.critical_path == 4  # 3 (mul) + 1 (alu)
+
+    def test_memory_dependence_honored(self):
+        store = TraceEntry(
+            pc=0, op_class="store", mnemonic="ST", dest=0, mem_addr=0x100
+        )
+        load = TraceEntry(
+            pc=4, op_class="load", mnemonic="LD", dest=1, mem_addr=0x100
+        )
+        with_mem = dataflow_limit([store, load], track_memory=True)
+        without = dataflow_limit([store, load], track_memory=False)
+        assert with_mem.critical_path > without.critical_path
+
+    def test_real_trace_ceiling_above_achieved_ipc(self, small_build):
+        from repro.core import simulate, straight_4way
+
+        result = simulate(small_build.straight_re, straight_4way())
+        report = dataflow_limit(result.interpreter.trace)
+        assert report.dataflow_ipc >= result.stats.ipc
+
+    def test_distance_histogram_collected(self, small_build):
+        result = run_functional(small_build.straight_re, collect_trace=True)
+        report = dataflow_limit(result.interpreter.trace)
+        assert report.dependence_distance_histogram
+        assert min(report.dependence_distance_histogram) >= 1
+
+
+class TestWindowLimit:
+    def test_window_monotonicity(self):
+        # Parallel work interleaved with chains: bigger window, more ILP.
+        trace = []
+        for i in range(0, 300, 3):
+            trace.append(_alu(i))
+            trace.append(_alu(i + 1, srcs=(i,)))
+            trace.append(_alu(i + 2, srcs=(i + 1,)))
+        small = window_limited_ipc(trace, window=4)
+        large = window_limited_ipc(trace, window=64)
+        assert large >= small
+
+    def test_window_one_serializes(self):
+        trace = [_alu(i) for i in range(20)]
+        assert window_limited_ipc(trace, window=1) == 1.0
+
+    def test_real_trace_window_scaling(self, small_build):
+        result = run_functional(small_build.straight_re, collect_trace=True)
+        trace = result.interpreter.trace
+        ipc_small = window_limited_ipc(trace, window=8)
+        ipc_large = window_limited_ipc(trace, window=224)
+        assert ipc_large >= ipc_small

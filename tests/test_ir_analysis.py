@@ -1,0 +1,175 @@
+"""Dominance, liveness, loop, and CFG-order analysis tests."""
+
+from repro.ir import Module, IRBuilder, ConstantInt
+from repro.ir.analysis.cfg import reverse_postorder, reachable_blocks
+from repro.ir.analysis.dominance import DominatorTree
+from repro.ir.analysis.liveness import compute_liveness
+from repro.ir.analysis.loops import find_natural_loops
+
+
+def build_diamond():
+    """entry -> (left|right) -> merge, with a phi at the merge."""
+    module = Module("m")
+    func = module.add_function("f", ["c", "x", "y"])
+    entry = func.add_block("entry")
+    left = func.add_block("left")
+    right = func.add_block("right")
+    merge = func.add_block("merge")
+    builder = IRBuilder()
+    builder.set_insert_point(entry)
+    builder.cond_br(func.params[0], left, right)
+    builder.set_insert_point(left)
+    lval = builder.add(func.params[1], ConstantInt(1))
+    builder.br(merge)
+    builder.set_insert_point(right)
+    rval = builder.add(func.params[2], ConstantInt(2))
+    builder.br(merge)
+    builder.set_insert_point(merge)
+    phi = builder.phi()
+    phi.add_incoming(lval, left)
+    phi.add_incoming(rval, right)
+    builder.ret(phi)
+    return func, (entry, left, right, merge), (lval, rval, phi)
+
+
+def build_loop():
+    """entry -> header <-> body, header -> exit."""
+    module = Module("m")
+    func = module.add_function("f", ["n"])
+    entry = func.add_block("entry")
+    header = func.add_block("header")
+    body = func.add_block("body")
+    exit_block = func.add_block("exit")
+    builder = IRBuilder()
+    builder.set_insert_point(entry)
+    builder.br(header)
+    builder.set_insert_point(header)
+    phi = builder.phi()
+    cond = builder.icmp("slt", phi, func.params[0])
+    builder.cond_br(cond, body, exit_block)
+    builder.set_insert_point(body)
+    step = builder.add(phi, ConstantInt(1))
+    builder.br(header)
+    phi.add_incoming(ConstantInt(0), entry)
+    phi.add_incoming(step, body)
+    builder.set_insert_point(exit_block)
+    builder.ret(phi)
+    return func, (entry, header, body, exit_block)
+
+
+class TestDominance:
+    def test_diamond_idoms(self):
+        func, (entry, left, right, merge), _ = build_diamond()
+        dom = DominatorTree(func)
+        assert dom.idom[left] is entry
+        assert dom.idom[right] is entry
+        assert dom.idom[merge] is entry
+
+    def test_dominates_reflexive_and_entry(self):
+        func, blocks, _ = build_diamond()
+        dom = DominatorTree(func)
+        for block in blocks:
+            assert dom.dominates(block, block)
+            assert dom.dominates(blocks[0], block)
+
+    def test_siblings_do_not_dominate(self):
+        func, (entry, left, right, merge), _ = build_diamond()
+        dom = DominatorTree(func)
+        assert not dom.dominates(left, right)
+        assert not dom.dominates(left, merge)
+        assert not dom.strictly_dominates(merge, merge)
+
+    def test_diamond_frontiers(self):
+        func, (entry, left, right, merge), _ = build_diamond()
+        dom = DominatorTree(func)
+        assert dom.frontier[left] == {merge}
+        assert dom.frontier[right] == {merge}
+        assert dom.frontier[entry] == set()
+
+    def test_loop_frontier_contains_header(self):
+        func, (entry, header, body, exit_block) = build_loop()
+        dom = DominatorTree(func)
+        assert header in dom.frontier[body]
+        assert header in dom.frontier[header]  # header is in its own DF
+
+    def test_dom_tree_preorder_starts_at_entry(self):
+        func, blocks, _ = build_diamond()
+        dom = DominatorTree(func)
+        order = dom.dom_tree_preorder()
+        assert order[0] is blocks[0]
+        assert set(order) == set(blocks)
+
+
+class TestCfgOrders:
+    def test_rpo_entry_first(self):
+        func, blocks, _ = build_diamond()
+        order = reverse_postorder(func)
+        assert order[0] is blocks[0]
+        assert set(order) == set(blocks)
+        # merge must come after both its predecessors
+        assert order.index(blocks[3]) > order.index(blocks[1])
+        assert order.index(blocks[3]) > order.index(blocks[2])
+
+    def test_reachable_excludes_orphans(self):
+        func, blocks, _ = build_diamond()
+        orphan = func.add_block("orphan")
+        builder = IRBuilder()
+        builder.set_insert_point(orphan)
+        builder.ret(ConstantInt(0))
+        assert orphan not in reachable_blocks(func)
+
+
+class TestLiveness:
+    def test_phi_operands_live_out_of_preds(self):
+        func, (entry, left, right, merge), (lval, rval, phi) = build_diamond()
+        liveness = compute_liveness(func)
+        assert lval in liveness.live_out[left]
+        assert rval in liveness.live_out[right]
+        assert lval not in liveness.live_out[right]
+
+    def test_phi_result_not_live_into_merge(self):
+        func, blocks, (lval, rval, phi) = build_diamond()
+        liveness = compute_liveness(func)
+        assert phi not in liveness.live_in[blocks[3]]
+
+    def test_loop_carried_value_live_around_loop(self):
+        func, (entry, header, body, exit_block) = build_loop()
+        liveness = compute_liveness(func)
+        phi = header.phis()[0]
+        step = body.instructions[0]
+        assert step in liveness.live_out[body]
+        assert phi in liveness.live_in[body]
+        # phi is live out of the header toward the exit use too
+        assert phi in liveness.live_out[header]
+
+    def test_arguments_tracked(self):
+        func, (entry, header, body, exit_block) = build_loop()
+        liveness = compute_liveness(func)
+        n = func.params[0]
+        assert n in liveness.live_in[header]
+
+    def test_live_across_edge_substitutes_phi_incomings(self):
+        func, (entry, left, right, merge), (lval, rval, phi) = build_diamond()
+        liveness = compute_liveness(func)
+        across = liveness.live_across_edge(left, merge)
+        assert lval in across
+        assert phi not in across
+
+
+class TestLoops:
+    def test_finds_single_loop(self):
+        func, (entry, header, body, exit_block) = build_loop()
+        loops = find_natural_loops(func)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header is header
+        assert loop.body == {header, body}
+
+    def test_loop_exits(self):
+        func, (entry, header, body, exit_block) = build_loop()
+        loop = find_natural_loops(func)[0]
+        assert loop.exits() == {exit_block}
+
+    def test_no_loops_in_diamond(self):
+        func, _, _ = build_diamond()
+        assert find_natural_loops(func) == []

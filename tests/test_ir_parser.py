@@ -1,0 +1,181 @@
+"""Textual IR parser tests: golden inputs, round-trips, error paths."""
+
+import pytest
+
+from repro.common.errors import IRError
+from repro.frontend import compile_source
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_module
+
+GOLDEN = """
+; module demo
+@table: [4 x i32] = [10, 20, 30, 40]
+
+def @sum(%arr, %n) -> i32 {
+entry:
+  br %loop
+loop:
+  %i = phi [0, %entry], [%i.next, %body]
+  %acc = phi [0, %entry], [%acc.next, %body]
+  %cmp = icmp.slt %i, %n
+  condbr %cmp, %body, %done
+body:
+  %addr = gep %arr, %i
+  %v = load %addr
+  %acc.next = add %acc, %v
+  %i.next = add %i, 1
+  br %loop
+done:
+  ret %acc
+}
+
+def @main() -> i32 {
+entry:
+  %total = call @sum(@table, 4)
+  output %total
+  ret 0
+}
+"""
+
+
+class TestParsing:
+    def test_golden_module_parses_and_verifies(self):
+        module = parse_module(GOLDEN)
+        verify_module(module)
+        assert set(module.functions) == {"sum", "main"}
+        assert module.globals["table"].init_words() == [10, 20, 30, 40]
+
+    def test_parsed_module_executes(self):
+        from repro.compiler import compile_to_riscv
+        from repro.riscv import RiscvInterpreter
+
+        module = parse_module(GOLDEN)
+        program = compile_to_riscv(module).link()
+        interp = RiscvInterpreter(program)
+        interp.run(10_000)
+        assert interp.output == [100]
+
+    def test_forward_phi_reference(self):
+        # %x.next is referenced by the phi before it is defined.
+        module = parse_module(GOLDEN)
+        loop = [b for b in module.functions["sum"].blocks if b.name == "loop"][0]
+        phi = loop.phis()[0]
+        assert phi.incomings()[1][0].name == "i.next"
+
+    def test_void_function_and_void_call(self):
+        text = """
+def @emit(%v) -> void {
+entry:
+  output %v
+  ret
+}
+
+def @main() -> i32 {
+entry:
+  call @emit(42)
+  ret 0
+}
+"""
+        module = parse_module(text)
+        call = module.functions["main"].entry.instructions[0]
+        assert call.type.is_void()
+
+    def test_hex_and_negative_constants(self):
+        text = """
+def @f() -> i32 {
+entry:
+  %a = add 0x10, -3
+  ret %a
+}
+"""
+        module = parse_module(text)
+        instr = module.functions["f"].entry.instructions[0]
+        assert instr.lhs.value == 16
+        # -3 wraps to unsigned form
+        assert instr.rhs.value == 0xFFFFFFFD
+
+    def test_undef_operand(self):
+        text = """
+def @f() -> i32 {
+entry:
+  %a = add undef, 1
+  ret %a
+}
+"""
+        module = parse_module(text)
+        from repro.ir.values import UndefValue
+
+        instr = module.functions["f"].entry.instructions[0]
+        assert isinstance(instr.lhs, UndefValue)
+
+
+class TestRoundTrip:
+    SOURCES = {
+        "loops": """
+            int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }
+            int main() { __out(f(9)); return 0; }
+        """,
+        "calls_and_arrays": """
+            int g[4] = {1, 2, 3, 4};
+            int pick(int* p, int i) { return p[i]; }
+            int main() { __out(pick(g, 2)); return 0; }
+        """,
+        "branches": """
+            int main() {
+                int x = 5;
+                if (x > 3) { __out(1); } else { __out(0); }
+                return x > 4 ? 2 : 3;
+            }
+        """,
+    }
+
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_print_parse_print_fixed_point(self, name):
+        module = compile_source(self.SOURCES[name])
+        text = repr(module)
+        reparsed = parse_module(text, name=module.name)
+        assert repr(reparsed) == text
+
+
+class TestErrors:
+    def test_undefined_value(self):
+        with pytest.raises(IRError, match="undefined value"):
+            parse_module("def @f() -> i32 {\nentry:\n  ret %nope\n}")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IRError, match="unknown opcode"):
+            parse_module("def @f() -> i32 {\nentry:\n  %a = frobnicate 1, 2\n  ret %a\n}")
+
+    def test_branch_to_unknown_block(self):
+        with pytest.raises(IRError, match="unknown block"):
+            parse_module("def @f() -> i32 {\nentry:\n  br %nowhere\n}")
+
+    def test_unterminated_function(self):
+        with pytest.raises(IRError, match="unterminated"):
+            parse_module("def @f() -> i32 {\nentry:\n  ret 0")
+
+    def test_redefinition(self):
+        with pytest.raises(IRError, match="redefinition"):
+            parse_module(
+                "def @f() -> i32 {\nentry:\n  %a = add 1, 2\n  %a = add 3, 4\n  ret %a\n}"
+            )
+
+    def test_instruction_before_label(self):
+        with pytest.raises(IRError, match="before any block"):
+            parse_module("def @f() -> i32 {\n  ret 0\n}")
+
+    def test_verifier_runs_on_parse(self):
+        # Structurally parseable but SSA-invalid (use not dominated).
+        text = """
+def @f(%c) -> i32 {
+entry:
+  condbr %c, %a, %b
+a:
+  %x = add 1, 2
+  ret %x
+b:
+  ret %x
+}
+"""
+        with pytest.raises(IRError, match="not dominated"):
+            parse_module(text)

@@ -1,0 +1,318 @@
+"""Transformation pass tests: mem2reg, const-fold, DCE, simplify-CFG, edges."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitops import wrap32, to_signed
+from repro.ir import Module, IRBuilder, ConstantInt, verify_function
+from repro.ir.instructions import Phi, Alloca, CondBr, Br
+from repro.ir.passes import (
+    promote_allocas,
+    fold_constants,
+    eliminate_dead_code,
+    simplify_cfg,
+    split_critical_edges,
+    default_pipeline,
+)
+from repro.ir.passes.constfold import eval_binop, eval_icmp
+
+u32 = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+class TestEvalBinop:
+    """eval_binop is the single source of ALU truth for IR folding and both
+    functional simulators, so its semantics get their own scrutiny."""
+
+    @given(u32, u32)
+    def test_add_matches_wrap(self, a, b):
+        assert eval_binop("add", a, b) == wrap32(a + b)
+
+    @given(u32, u32)
+    def test_sub_matches_wrap(self, a, b):
+        assert eval_binop("sub", a, b) == wrap32(a - b)
+
+    @given(u32, u32)
+    def test_mul_matches_wrap(self, a, b):
+        assert eval_binop("mul", a, b) == wrap32(a * b)
+
+    @given(u32, u32)
+    def test_sdiv_truncates_toward_zero(self, a, b):
+        result = eval_binop("sdiv", a, b)
+        sa, sb = to_signed(a), to_signed(b)
+        if sb == 0:
+            assert result == 0xFFFF_FFFF  # RV32IM div-by-zero
+        elif sa == -(2**31) and sb == -1:
+            assert result == 0x8000_0000  # signed overflow case
+        else:
+            assert to_signed(result) == int(sa / sb)
+
+    @given(u32, u32)
+    def test_srem_sign_follows_dividend(self, a, b):
+        sa, sb = to_signed(a), to_signed(b)
+        result = to_signed(eval_binop("srem", a, b))
+        if sb == 0:
+            assert result == sa
+        elif not (sa == -(2**31) and sb == -1):
+            assert result == sa - int(sa / sb) * sb
+            if result != 0:
+                assert (result < 0) == (sa < 0)
+
+    @given(u32, u32)
+    def test_udiv_urem_identity(self, a, b):
+        if b != 0:
+            q = eval_binop("udiv", a, b)
+            r = eval_binop("urem", a, b)
+            assert wrap32(q * b + r) == a
+            assert r < b
+
+    @given(u32, st.integers(min_value=0, max_value=255))
+    def test_shifts_mask_amount(self, a, amount):
+        assert eval_binop("shl", a, amount) == wrap32(a << (amount & 31))
+        assert eval_binop("lshr", a, amount) == a >> (amount & 31)
+        assert eval_binop("ashr", a, amount) == wrap32(
+            to_signed(a) >> (amount & 31)
+        )
+
+    @given(u32, u32)
+    def test_icmp_signed_unsigned_agree_on_equal_sign(self, a, b):
+        if (a >> 31) == (b >> 31):
+            assert eval_icmp("slt", a, b) == eval_icmp("ult", a, b)
+
+    @given(u32, u32)
+    def test_icmp_total_order(self, a, b):
+        assert eval_icmp("slt", a, b) + eval_icmp("sgt", a, b) + eval_icmp(
+            "eq", a, b
+        ) == 1
+
+
+def _counting_module():
+    """A loop in naive alloca form (what the front end produces)."""
+    module = Module("t")
+    func = module.add_function("count", ["n"])
+    entry = func.add_block("entry")
+    loop = func.add_block("loop")
+    body = func.add_block("body")
+    done = func.add_block("done")
+    builder = IRBuilder()
+    builder.set_insert_point(entry)
+    i_slot = builder.alloca(1, "i")
+    builder.store(builder.const(0), i_slot)
+    builder.br(loop)
+    builder.set_insert_point(loop)
+    i = builder.load(i_slot)
+    cond = builder.icmp("slt", i, func.params[0])
+    builder.cond_br(cond, body, done)
+    builder.set_insert_point(body)
+    builder.store(builder.add(builder.load(i_slot), builder.const(1)), i_slot)
+    builder.br(loop)
+    builder.set_insert_point(done)
+    builder.ret(builder.load(i_slot))
+    return module, func
+
+
+class TestMem2Reg:
+    def test_promotes_loop_counter_to_phi(self):
+        module, func = _counting_module()
+        promoted = promote_allocas(func)
+        verify_function(func)
+        assert promoted == 1
+        assert not any(
+            isinstance(i, Alloca) for i in func.instructions()
+        )
+        loop = [b for b in func.blocks if b.name == "loop"][0]
+        assert len(loop.phis()) == 1
+
+    def test_escaping_alloca_not_promoted(self):
+        module = Module("t")
+        func = module.add_function("f")
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        slot = builder.alloca(1, "x")
+        builder.store(builder.const(1), slot)
+        builder.call("g", [slot], returns_value=False)  # address escapes
+        builder.ret(builder.load(slot))
+        assert promote_allocas(func) == 0
+
+    def test_array_alloca_not_promoted(self):
+        module = Module("t")
+        func = module.add_function("f")
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        arr = builder.alloca(4, "arr")
+        builder.store(builder.const(1), arr)
+        builder.ret(builder.load(arr))
+        assert promote_allocas(func) == 0
+
+    def test_load_before_store_gets_undef(self):
+        module = Module("t")
+        func = module.add_function("f")
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        slot = builder.alloca(1, "x")
+        loaded = builder.load(slot)
+        builder.ret(loaded)
+        promote_allocas(func)
+        verify_function(func)
+
+
+class TestConstFold:
+    def _fold_one(self, op, a, b):
+        module = Module("t")
+        func = module.add_function("f")
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        value = builder.binop(op, ConstantInt(a), ConstantInt(b))
+        builder.ret(value)
+        fold_constants(func)
+        ret = func.entry.instructions[-1]
+        assert isinstance(ret.value, ConstantInt)
+        return ret.value.value
+
+    def test_folds_add(self):
+        assert self._fold_one("add", 2, 3) == 5
+
+    def test_folds_wrapping(self):
+        assert self._fold_one("add", 0xFFFF_FFFF, 1) == 0
+
+    def test_identity_add_zero(self):
+        module = Module("t")
+        func = module.add_function("f", ["x"])
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        value = builder.add(func.params[0], ConstantInt(0))
+        builder.ret(value)
+        fold_constants(func)
+        assert func.entry.instructions[-1].value is func.params[0]
+
+    def test_mul_by_zero(self):
+        module = Module("t")
+        func = module.add_function("f", ["x"])
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        value = builder.mul(func.params[0], ConstantInt(0))
+        builder.ret(value)
+        fold_constants(func)
+        assert func.entry.instructions[-1].value == ConstantInt(0)
+
+    def test_sub_self_is_zero(self):
+        module = Module("t")
+        func = module.add_function("f", ["x"])
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        value = builder.sub(func.params[0], func.params[0])
+        builder.ret(value)
+        fold_constants(func)
+        assert func.entry.instructions[-1].value == ConstantInt(0)
+
+
+class TestDCE:
+    def test_removes_dead_chain(self):
+        module = Module("t")
+        func = module.add_function("f", ["x"])
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        a = builder.add(func.params[0], ConstantInt(1))
+        b = builder.mul(a, ConstantInt(2))  # dead chain: a -> b
+        builder.ret(func.params[0])
+        removed = eliminate_dead_code(func)
+        assert removed == 2
+        assert len(func.entry.instructions) == 1
+
+    def test_keeps_side_effects(self):
+        module = Module("t")
+        func = module.add_function("f", ["p"])
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        builder.store(ConstantInt(1), func.params[0])
+        builder.output(ConstantInt(2))
+        builder.ret(ConstantInt(0))
+        assert eliminate_dead_code(func) == 0
+        assert len(func.entry.instructions) == 3
+
+
+class TestSimplifyCfg:
+    def test_folds_constant_condbr(self):
+        module = Module("t")
+        func = module.add_function("f")
+        entry = func.add_block("entry")
+        taken = func.add_block("taken")
+        dead = func.add_block("dead")
+        builder = IRBuilder()
+        builder.set_insert_point(entry)
+        builder.cond_br(ConstantInt(1), taken, dead)
+        builder.set_insert_point(taken)
+        builder.ret(ConstantInt(1))
+        builder.set_insert_point(dead)
+        builder.ret(ConstantInt(0))
+        simplify_cfg(func)
+        verify_function(func)
+        assert dead not in func.blocks
+        # entry+taken merged into a straight line
+        assert len(func.blocks) == 1
+
+    def test_collapses_trivial_phi(self):
+        module = Module("t")
+        func = module.add_function("f", ["x"])
+        entry = func.add_block("entry")
+        merge = func.add_block("merge")
+        builder = IRBuilder()
+        builder.set_insert_point(entry)
+        builder.br(merge)
+        builder.set_insert_point(merge)
+        phi = builder.phi()
+        phi.add_incoming(func.params[0], entry)
+        builder.ret(phi)
+        simplify_cfg(func)
+        verify_function(func)
+        assert not any(isinstance(i, Phi) for i in func.instructions())
+
+    def test_same_target_condbr_becomes_br(self):
+        module = Module("t")
+        func = module.add_function("f", ["c"])
+        entry = func.add_block("entry")
+        target = func.add_block("target")
+        builder = IRBuilder()
+        builder.set_insert_point(entry)
+        builder.cond_br(func.params[0], target, target)
+        builder.set_insert_point(target)
+        builder.ret(ConstantInt(0))
+        simplify_cfg(func)
+        verify_function(func)
+
+
+class TestSplitCriticalEdges:
+    def test_splits_loop_exit_edge(self):
+        module = Module("t")
+        func = module.add_function("f", ["c"])
+        entry = func.add_block("entry")
+        merge = func.add_block("merge")
+        builder = IRBuilder()
+        builder.set_insert_point(entry)
+        # entry has two successors, both the same merge-ish target pattern:
+        other = func.add_block("other")
+        builder.cond_br(func.params[0], merge, other)
+        builder.set_insert_point(other)
+        builder.br(merge)
+        builder.set_insert_point(merge)
+        phi = builder.phi()
+        phi.add_incoming(ConstantInt(1), entry)
+        phi.add_incoming(ConstantInt(2), other)
+        builder.ret(phi)
+        split = split_critical_edges(func)
+        verify_function(func)
+        assert split == 1
+        preds = func.predecessors()[merge]
+        for pred in preds:
+            assert len(set(pred.successors())) == 1
+
+    def test_idempotent(self):
+        module, func = _counting_module()
+        promote_allocas(func)
+        split_critical_edges(func)
+        assert split_critical_edges(func) == 0
+
+
+class TestDefaultPipeline:
+    def test_pipeline_reaches_fixed_point(self, small_module):
+        rewrites = default_pipeline().run(small_module)
+        assert rewrites == 0  # already optimized by compile_source

@@ -1,0 +1,127 @@
+"""Coverage for remaining corners: CLI trace, regalloc frames, isel errors,
+config cache-building, runner cache keys, and the simplify-CFG merger."""
+
+import pytest
+
+from repro.common.errors import CompileError
+from repro.frontend import compile_source
+from repro.tools.cli import main as cli_main
+from repro.core.configs import ss_2way, straight_2way
+from repro.harness.runner import timed_run
+
+
+class TestCliTrace:
+    DEMO = "int main() { __out(1 + 2); return 0; }"
+
+    @pytest.fixture
+    def demo_file(self, tmp_path):
+        path = tmp_path / "t.c"
+        path.write_text(self.DEMO)
+        return str(path)
+
+    def test_trace_lists_entries(self, demo_file, capsys):
+        assert cli_main(["trace", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "JAL" in out and "HALT" in out
+        assert "srcs=[" in out
+
+    def test_trace_limit(self, demo_file, capsys):
+        assert cli_main(["trace", demo_file, "--limit", "2"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 2
+        assert "more" in captured.err
+
+    def test_trace_riscv_target(self, demo_file, capsys):
+        assert cli_main(["trace", demo_file, "--target", "riscv"]) == 0
+        assert "ECALL" in capsys.readouterr().out
+
+
+class TestConfigBuilders:
+    def test_hierarchy_matches_table1_geometry(self):
+        hierarchy = ss_2way().build_hierarchy()
+        assert hierarchy.l1d.num_sets == 32 * 1024 // (4 * 64)
+        assert hierarchy.l1i.hit_latency == 4
+        assert hierarchy.l2.hit_latency == 12
+        assert hierarchy.l3 is None
+        assert hierarchy.mem_latency == 200
+
+    def test_4way_has_l3(self):
+        from repro.core.configs import ss_4way
+
+        hierarchy = ss_4way().build_hierarchy()
+        assert hierarchy.l3 is not None
+        assert hierarchy.l3.hit_latency == 42
+
+    def test_copy_is_deep(self):
+        base = straight_2way()
+        clone = base.copy(rob_entries=128)
+        assert base.rob_entries == 64
+        assert clone.rob_entries == 128
+        clone.units["alu"] = 99
+        assert base.units["alu"] == 2
+
+
+class TestRunnerCacheKeys:
+    def test_different_config_not_conflated(self):
+        a = timed_run("dhrystone", "SS", ss_2way())
+        b = timed_run("dhrystone", "SS", ss_2way(ideal_recovery=True,
+                                                 name="SS-2way-ideal"))
+        assert a is not b
+        assert b.cycles <= a.cycles
+
+    def test_predictor_in_key(self):
+        a = timed_run("dhrystone", "SS", ss_2way())
+        b = timed_run("dhrystone", "SS", ss_2way(predictor="tage"))
+        assert a is not b
+
+
+class TestBackendErrorPaths:
+    def test_too_many_riscv_args_rejected(self):
+        params = ", ".join(f"int a{i}" for i in range(9))
+        args = ", ".join(str(i) for i in range(9))
+        source = f"""
+        int f({params}) {{ return a0; }}
+        int main() {{ return f({args}); }}
+        """
+        from repro.compiler import compile_to_riscv
+
+        with pytest.raises(CompileError, match="parameters|arguments"):
+            compile_to_riscv(compile_source(source))
+
+    def test_straight_supports_many_args(self):
+        """STRAIGHT's register-distance convention has no 8-arg ABI limit."""
+        params = ", ".join(f"int a{i}" for i in range(10))
+        total = " + ".join(f"a{i}" for i in range(10))
+        args = ", ".join(str(i + 1) for i in range(10))
+        source = f"""
+        int f({params}) {{ return {total}; }}
+        int main() {{ __out(f({args})); return 0; }}
+        """
+        from repro.compiler import compile_to_straight
+        from repro.straight import StraightInterpreter
+
+        compilation = compile_to_straight(compile_source(source))
+        interp = StraightInterpreter(compilation.link())
+        interp.run(10_000)
+        assert interp.output == [sum(range(1, 11))]
+
+
+class TestInterpreterLimits:
+    def test_straight_step_limit_reported(self):
+        source = "int main() { while (1) {} return 0; }"
+        from repro.core.api import build
+
+        binaries = build(source)
+        interp = binaries.straight_re.interpreter()
+        result = interp.run(max_steps=500)
+        assert result.status == "limit"
+        assert result.steps == 500
+
+    def test_riscv_step_limit_reported(self):
+        source = "int main() { while (1) {} return 0; }"
+        from repro.core.api import build
+
+        binaries = build(source)
+        interp = binaries.riscv.interpreter()
+        result = interp.run(max_steps=500)
+        assert result.status == "limit"

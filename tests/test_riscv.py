@@ -1,0 +1,263 @@
+"""RV32IM ISA: encodings (spec compliance + round-trips), assembler, ISS."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import AsmError, SimulationError
+from repro.common.layout import STACK_TOP
+from repro.riscv import (
+    RInstr,
+    OPCODES,
+    reg_number,
+    encode,
+    decode,
+    parse_assembly,
+    startup_stub,
+    link_program,
+    RiscvInterpreter,
+)
+
+
+class TestRegisters:
+    def test_abi_names(self):
+        assert reg_number("zero") == 0
+        assert reg_number("ra") == 1
+        assert reg_number("sp") == 2
+        assert reg_number("a0") == 10
+        assert reg_number("t6") == 31
+        assert reg_number("fp") == 8
+
+    def test_numeric_names(self):
+        assert reg_number("x0") == 0
+        assert reg_number("x31") == 31
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            reg_number("x32")
+        with pytest.raises(AsmError):
+            reg_number("q7")
+
+
+class TestKnownEncodings:
+    """Golden words checked against the RISC-V spec examples."""
+
+    def test_addi(self):
+        # addi x1, x2, 3 -> imm=3, rs1=2, funct3=0, rd=1, opcode=0x13
+        word = encode(RInstr("ADDI", rd=1, rs1=2, imm=3))
+        assert word == (3 << 20) | (2 << 15) | (1 << 7) | 0x13
+
+    def test_add(self):
+        word = encode(RInstr("ADD", rd=3, rs1=1, rs2=2))
+        assert word == (2 << 20) | (1 << 15) | (3 << 7) | 0x33
+
+    def test_sub_funct7(self):
+        word = encode(RInstr("SUB", rd=3, rs1=1, rs2=2))
+        assert word >> 25 == 0b0100000
+
+    def test_mul_funct7(self):
+        word = encode(RInstr("MUL", rd=3, rs1=1, rs2=2))
+        assert word >> 25 == 0b0000001
+
+    def test_ecall(self):
+        assert encode(RInstr("ECALL")) == 0x00000073
+
+    def test_lui(self):
+        word = encode(RInstr("LUI", rd=5, imm=0xABCDE))
+        assert word == (0xABCDE << 12) | (5 << 7) | 0x37
+
+    def test_branch_offset_scrambling(self):
+        # beq x1, x2, +8
+        word = encode(RInstr("BEQ", rs1=1, rs2=2, imm=8))
+        decoded = decode(word)
+        assert decoded.imm == 8
+
+    def test_jal_negative_offset(self):
+        word = encode(RInstr("JAL", rd=1, imm=-16))
+        assert decode(word).imm == -16
+
+
+def _random_rinstr(draw):
+    mnemonic = draw(st.sampled_from(sorted(OPCODES)))
+    spec = OPCODES[mnemonic]
+    reg = st.integers(min_value=0, max_value=31)
+    kwargs = {}
+    if spec.fmt in ("R", "I", "U", "J"):
+        kwargs["rd"] = draw(reg)
+    if spec.fmt in ("R", "I", "S", "B"):
+        kwargs["rs1"] = draw(reg)
+    if spec.fmt in ("R", "S", "B"):
+        kwargs["rs2"] = draw(reg)
+    if spec.fmt == "I":
+        if mnemonic in ("SLLI", "SRLI", "SRAI"):
+            kwargs["imm"] = draw(st.integers(min_value=0, max_value=31))
+        else:
+            kwargs["imm"] = draw(st.integers(min_value=-2048, max_value=2047))
+    elif spec.fmt == "S":
+        kwargs["imm"] = draw(st.integers(min_value=-2048, max_value=2047))
+    elif spec.fmt == "B":
+        kwargs["imm"] = draw(st.integers(min_value=-2048, max_value=2047)) * 2
+    elif spec.fmt == "U":
+        kwargs["imm"] = draw(st.integers(min_value=0, max_value=2**20 - 1))
+    elif spec.fmt == "J":
+        kwargs["imm"] = draw(st.integers(min_value=-(2**19), max_value=2**19 - 1)) * 2
+    return RInstr(mnemonic, **kwargs)
+
+
+random_rinstrs = st.composite(_random_rinstr)()
+
+
+class TestRoundTrip:
+    @given(random_rinstrs)
+    def test_encode_decode_roundtrip(self, instr):
+        decoded = decode(encode(instr))
+        assert decoded.mnemonic == instr.mnemonic
+        assert decoded.rd == instr.rd or instr.spec.fmt in ("S", "B", "SYS")
+        assert decoded.imm == instr.imm
+
+    def test_overflowing_immediate_rejected(self):
+        with pytest.raises(AsmError):
+            encode(RInstr("ADDI", rd=1, rs1=1, imm=5000))
+
+
+class TestAssemblerText:
+    def test_parse_memory_operands(self):
+        unit = parse_assembly("lw t0, 8(sp)\nsw t1, -4(a0)")
+        lw, sw = unit.instructions()
+        assert (lw.rd, lw.rs1, lw.imm) == (5, 2, 8)
+        assert (sw.rs2, sw.rs1, sw.imm) == (6, 10, -4)
+
+    def test_text_roundtrip(self):
+        text = "main:\n    add t0, t1, t2\n    beq t0, zero, main\n"
+        unit = parse_assembly(text)
+        assert parse_assembly(unit.to_text()).to_text() == unit.to_text()
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError, match="operands"):
+            parse_assembly("add t0, t1")
+
+
+def run_riscv(body, data_words=(), data_base=0):
+    unit = parse_assembly("main:\n" + body)
+    program = link_program([startup_stub(), unit], data_words, data_base)
+    interp = RiscvInterpreter(program, collect_trace=True)
+    result = interp.run(100_000)
+    assert result.status == "exit"
+    return interp, result
+
+
+class TestInterpreter:
+    def test_startup_sets_sp(self):
+        interp, result = run_riscv("jalr zero, ra, 0")
+        assert interp.regs[2] == STACK_TOP
+
+    def test_arithmetic_and_output(self):
+        interp, result = run_riscv(
+            """
+            addi t0, zero, 21
+            slli t1, t0, 1
+            addi a0, t1, 0
+            addi a7, zero, 1
+            ecall
+            jalr zero, ra, 0
+            """
+        )
+        assert result.output == [42]
+
+    def test_x0_is_hardwired(self):
+        interp, _ = run_riscv(
+            """
+            addi zero, zero, 99
+            addi a0, zero, 0
+            addi a7, zero, 1
+            ecall
+            jalr zero, ra, 0
+            """
+        )
+        assert interp.output == [0]
+
+    def test_memory_roundtrip(self):
+        _, result = run_riscv(
+            """
+            lui t0, 256
+            addi t1, zero, 1234
+            sw t1, 12(t0)
+            lw a0, 12(t0)
+            addi a7, zero, 1
+            ecall
+            jalr zero, ra, 0
+            """
+        )
+        assert result.output == [1234]
+
+    def test_branch_taken(self):
+        _, result = run_riscv(
+            """
+            addi t0, zero, 1
+            bne t0, zero, main.skip
+            addi t0, zero, 99
+            main.skip:
+            addi a0, t0, 0
+            addi a7, zero, 1
+            ecall
+            jalr zero, ra, 0
+            """
+        )
+        assert result.output == [1]
+
+    def test_exit_code(self):
+        _, result = run_riscv(
+            """
+            addi a0, zero, 7
+            jalr zero, ra, 0
+            """
+        )
+        assert result.exit_code == 7
+
+    def test_unknown_ecall_raises(self):
+        with pytest.raises(SimulationError, match="ecall"):
+            run_riscv(
+                """
+                addi a7, zero, 42
+                ecall
+                jalr zero, ra, 0
+                """
+            )
+
+    def test_misaligned_load(self):
+        with pytest.raises(SimulationError, match="misaligned"):
+            run_riscv(
+                """
+                addi t0, zero, 2
+                lw t1, 0(t0)
+                jalr zero, ra, 0
+                """
+            )
+
+    def test_data_segment(self):
+        _, result = run_riscv(
+            """
+            lui t0, 256
+            lw a0, 4(t0)
+            addi a7, zero, 1
+            ecall
+            jalr zero, ra, 0
+            """,
+            data_words=[5, 6],
+            data_base=0x100000,
+        )
+        assert result.output == [6]
+
+    def test_trace_uses_logical_registers(self):
+        interp, _ = run_riscv(
+            """
+            addi t0, zero, 1
+            add t1, t0, t0
+            addi a0, t1, 0
+            addi a7, zero, 1
+            ecall
+            jalr zero, ra, 0
+            """
+        )
+        add_entry = [e for e in interp.trace if e.mnemonic == "ADD"][0]
+        assert add_entry.dest == 6  # t1
+        assert add_entry.srcs == (5, 5)  # t0 twice

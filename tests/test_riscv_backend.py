@@ -1,0 +1,170 @@
+"""RISC-V backend: register allocation, spilling, frames, phi copies."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.compiler.riscv_backend import compile_to_riscv
+from repro.compiler.riscv_backend.regalloc import (
+    build_intervals,
+    linear_scan,
+    T_REGS,
+    S_REGS,
+)
+from repro.compiler.riscv_backend.isel import RiscvISel
+from repro.compiler.data_layout import DataLayout
+from repro.ir.passes.split_critical_edges import split_critical_edges
+from repro.core.api import build, run_functional
+from repro.riscv import RiscvInterpreter
+
+
+def _isel(source, func_name="main"):
+    module = compile_source(source)
+    func = module.functions[func_name]
+    split_critical_edges(func)
+    return RiscvISel(func, DataLayout(module)).run()
+
+
+class TestLinearScan:
+    def test_few_values_all_allocated(self):
+        rvfunc = _isel("int main() { int a = 1; int b = 2; __out(a + b); return 0; }")
+        allocation = linear_scan(build_intervals(rvfunc))
+        assert allocation.spilled == []
+
+    def test_call_crossing_values_get_callee_saved(self):
+        source = """
+        int f(int x) { return x + 1; }
+        int main() {
+            int keep = f(1);
+            int also = f(2);
+            __out(keep + also);
+            return 0;
+        }
+        """
+        rvfunc = _isel(source)
+        allocation = linear_scan(build_intervals(rvfunc))
+        intervals = {iv.vreg: iv for iv in build_intervals(rvfunc)}
+        for vreg, phys in allocation.assignment.items():
+            if intervals[vreg].crosses_call:
+                assert phys in S_REGS, f"{vreg} crosses a call but got x{phys}"
+
+    def test_register_pressure_forces_spills(self):
+        decls = "\n".join(f"int v{i} = g + {i};" for i in range(30))
+        uses = " + ".join(f"v{i}" for i in range(30))
+        source = f"""
+        int g;
+        int main() {{
+            {decls}
+            __out({uses});
+            return 0;
+        }}
+        """
+        rvfunc = _isel(source)
+        allocation = linear_scan(build_intervals(rvfunc))
+        assert len(allocation.spilled) > 0
+        # ...and the program still runs correctly with the spill code:
+        result = build(source)
+        assert run_functional(result.riscv).output == [sum(range(30))]
+
+    def test_distinct_registers_for_overlapping_intervals(self):
+        rvfunc = _isel(
+            """
+            int g;
+            int main() {
+                int a = g + 1; int b = g + 2; int c = g + 3;
+                __out(a * b + c);
+                return 0;
+            }
+            """
+        )
+        intervals = build_intervals(rvfunc)
+        allocation = linear_scan(intervals)
+        by_vreg = {iv.vreg: iv for iv in intervals}
+        assigned = [
+            (vreg, phys) for vreg, phys in allocation.assignment.items()
+        ]
+        for i, (v1, p1) in enumerate(assigned):
+            for v2, p2 in assigned[i + 1 :]:
+                iv1, iv2 = by_vreg[v1], by_vreg[v2]
+                if p1 == p2:
+                    assert not (
+                        iv1.start <= iv2.end and iv2.start <= iv1.end
+                    ), f"{v1} and {v2} overlap in x{p1}"
+
+
+class TestFramesAndEmission:
+    def test_leaf_without_frame(self):
+        source = "int f(int x) { return x * 3; } int main() { __out(f(2)); return 0; }"
+        compilation = compile_to_riscv(compile_source(source))
+        assert compilation.stats["f"]["frame_words"] == 0
+
+    def test_caller_saves_ra(self):
+        source = "int f(int x) { return x; } int main() { __out(f(5)); return 0; }"
+        compilation = compile_to_riscv(compile_source(source))
+        text = compilation.asm_text()
+        assert "sw ra" in text and "lw ra" in text
+
+    def test_sp_restored_at_exit(self):
+        from repro.common.layout import STACK_TOP
+
+        result = build(
+            """
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main() { __out(fib(8)); return 0; }
+            """
+        )
+        interp = RiscvInterpreter(result.riscv.program)
+        interp.run(1_000_000)
+        assert interp.regs[2] == STACK_TOP
+
+    def test_dead_move_elimination(self):
+        source = """
+        int main() {
+            int unused = 5 * 5;
+            __out(1);
+            return 0;
+        }
+        """
+        compilation = compile_to_riscv(compile_source(source))
+        # The dead computation is folded/eliminated before emission.
+        assert compilation.stats["main"]["instructions"] < 12
+
+    def test_phi_swap_compiles_to_cycle_breaking_copies(self):
+        source = """
+        int g;
+        int main() {
+            int a = g + 3; int b = g + 1000;
+            for (int i = 0; i < 9; i++) { int t = a; a = b; b = t; }
+            __out(a); __out(b);
+            return 0;
+        }
+        """
+        result = build(source)
+        assert run_functional(result.riscv).output == [1000, 3]
+
+
+class TestCompareBranchFusion:
+    def test_single_use_icmp_fuses(self):
+        source = """
+        int g;
+        int main() {
+            if (g < 5) __out(1); else __out(2);
+            return 0;
+        }
+        """
+        compilation = compile_to_riscv(compile_source(source))
+        text = compilation.asm_text()
+        assert "blt" in text
+        assert "slt " not in text  # no separate compare materialization
+
+    def test_multi_use_icmp_not_fused(self):
+        source = """
+        int g;
+        int main() {
+            int cmp = g < 5;
+            if (cmp) __out(cmp);
+            return 0;
+        }
+        """
+        compilation = compile_to_riscv(compile_source(source))
+        text = compilation.asm_text()
+        assert "slt" in text

@@ -1,0 +1,179 @@
+"""STRAIGHT backend internals: frames/spills, RE+ behaviour, emitted code
+structure, and the calling convention (paper §IV)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.compiler.straight_backend import compile_to_straight
+from repro.compiler.straight_backend.frame import build_frame_info, RETADDR_KEY
+from repro.ir.passes.split_critical_edges import split_critical_edges
+from repro.straight import StraightInterpreter
+from repro.core.api import build, run_functional
+
+LOOP_WITH_CALL = """
+int leaf(int x) { return x * 2 + 1; }
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 6; i++) {
+        acc += leaf(i) + i;
+    }
+    __out(acc);
+    return 0;
+}
+"""
+
+LEAF_LOOP = """
+int g_seed;
+int main() {
+    int unused_after = g_seed * 3;  // live through the loop, unused inside
+    int acc = g_seed;
+    for (int i = 0; i < 20; i++) acc += i * i;
+    __out(acc + unused_after);
+    return 0;
+}
+"""
+
+
+class TestFrameAnalysis:
+    def _frame_for(self, source, func_name, optimize):
+        module = compile_source(source)
+        func = module.functions[func_name]
+        split_critical_edges(func)
+        return build_frame_info(func, optimize=optimize), func
+
+    def test_leaf_function_has_no_frame(self):
+        frame, _ = self._frame_for(LOOP_WITH_CALL, "leaf", optimize=False)
+        assert frame.frame_words == 0
+        assert not frame.retaddr_spilled
+        assert frame.spilled == set()
+
+    def test_caller_spills_retaddr_and_crossers(self):
+        frame, func = self._frame_for(LOOP_WITH_CALL, "main", optimize=False)
+        assert frame.retaddr_spilled
+        assert RETADDR_KEY in frame.slots
+        # acc and i live across the call -> must have slots
+        assert len(frame.spilled) >= 2
+
+    def test_re_plus_demotes_loop_through_values(self):
+        frame_raw, _ = self._frame_for(LEAF_LOOP, "main", optimize=False)
+        frame_re, _ = self._frame_for(LEAF_LOOP, "main", optimize=True)
+        # RAW: a leaf function spills nothing; RE+ demotes the value that is
+        # live through the loop but unused inside it (paper Fig. 10(c)), and
+        # the return address alongside it.
+        assert frame_raw.spilled == set()
+        assert len(frame_re.spilled) >= 1
+        assert frame_re.retaddr_spilled
+
+    def test_alloca_gets_frame_slot(self):
+        source = "int main() { int a[4]; a[2] = 9; __out(a[2]); return 0; }"
+        frame, func = self._frame_for(source, "main", optimize=False)
+        assert frame.frame_words >= 4
+
+
+class TestGeneratedCode:
+    def test_re_plus_reduces_rmovs(self, small_build):
+        raw = small_build.straight_raw.compilation
+        re_plus = small_build.straight_re.compilation
+        raw_rmovs = sum(s["rmovs"] for s in raw.stats.values())
+        re_rmovs = sum(s["rmovs"] for s in re_plus.stats.values())
+        assert re_rmovs < raw_rmovs
+
+    def test_producer_sinking_reported(self, small_build):
+        stats = small_build.straight_re.compilation.stats
+        assert sum(s["sunk_producers"] for s in stats.values()) > 0
+
+    def test_all_distances_encodable(self, small_build):
+        from repro.straight.encoding import encode
+
+        for instr in small_build.straight_re.program.instrs:
+            word = encode(instr)
+            assert 0 <= word < 2**32
+            for distance in instr.srcs:
+                assert 0 <= distance <= 1023
+
+    def test_every_function_entry_has_label(self, small_build):
+        program = small_build.straight_re.program
+        for name in ("main", "sum", "fib"):
+            assert name in program.labels
+
+    def test_max_distance_respected_when_bounded(self):
+        result = build(LOOP_WITH_CALL, max_distance=31)
+        for instr in result.straight_re.program.instrs:
+            for distance in instr.srcs:
+                assert distance <= 31
+        assert run_functional(result.straight_re).output == \
+            run_functional(result.riscv).output
+
+    def test_bounding_inserts_relays_in_long_blocks(self):
+        # A single basic block longer than the max distance forces relays.
+        lines = "\n".join(f"acc = acc + {i};" for i in range(80))
+        source = f"""
+        int g_seed;
+        int main() {{
+            int keep = g_seed + 77;
+            int acc = g_seed;
+            {lines}
+            __out(acc + keep);
+            return 0;
+        }}
+        """
+        result = compile_to_straight(
+            compile_source(source), max_distance=31, redundancy_elimination=False
+        )
+        relays = sum(s["bounding_relays"] for s in result.stats.values())
+        # `keep` must be relayed through the 80-add block.
+        assert relays > 0
+        program = result.link()
+        interp = StraightInterpreter(program)
+        interp.run(10_000)
+        assert interp.output == [sum(range(80)) + 77]  # g_seed is 0
+
+
+class TestCallingConvention:
+    def test_args_arrive_at_fixed_distances(self):
+        # A callee reading all args in order exercises the Fig. 5 layout.
+        source = """
+        int pick(int a, int b, int c, int d) { return a * 1000 + b * 100 + c * 10 + d; }
+        int main() { __out(pick(1, 2, 3, 4)); __out(pick(4, 3, 2, 1)); return 0; }
+        """
+        result = build(source)
+        assert run_functional(result.straight_re).output == [1234, 4321]
+
+    def test_return_value_distance(self):
+        source = """
+        int seven() { return 7; }
+        int main() { __out(seven() + 1); return 0; }
+        """
+        result = build(source)
+        assert run_functional(result.straight_raw).output == [8]
+
+    def test_call_in_loop_reloads_state(self):
+        result = build(LOOP_WITH_CALL)
+        expected = run_functional(result.riscv).output
+        assert run_functional(result.straight_raw).output == expected
+        assert run_functional(result.straight_re).output == expected
+
+    def test_void_function_call(self):
+        source = """
+        int g;
+        void poke(int v) { g = v; }
+        int main() { poke(42); __out(g); return 0; }
+        """
+        result = build(source)
+        assert run_functional(result.straight_re).output == [42]
+
+    def test_spadd_balance(self):
+        """Every execution must leave SP back at STACK_TOP (frames pop)."""
+        from repro.common.layout import STACK_TOP
+
+        result = build(LOOP_WITH_CALL)
+        interp = result.straight_re.interpreter()
+        interp.run(100_000)
+        assert interp.sp == STACK_TOP
+
+
+class TestDeterminism:
+    def test_compilation_is_reproducible(self):
+        first = build(LOOP_WITH_CALL).straight_re.compilation.asm_text()
+        second = build(LOOP_WITH_CALL).straight_re.compilation.asm_text()
+        assert first == second

@@ -1,0 +1,264 @@
+"""STRAIGHT functional simulator: semantics, the write-once discipline,
+distance validation, and linker behaviour."""
+
+import pytest
+
+from repro.common.errors import LinkError, SimulationError
+from repro.common.layout import STACK_TOP, TEXT_BASE
+from repro.straight import (
+    parse_assembly,
+    startup_stub,
+    link_program,
+    StraightInterpreter,
+)
+
+
+def run_asm(body, **kwargs):
+    """Assemble a main body, link with the stub, run, return the interpreter."""
+    unit = parse_assembly("main:\n" + body)
+    program = link_program([startup_stub(), unit], **kwargs)
+    interp = StraightInterpreter(program, collect_trace=True)
+    result = interp.run(100_000)
+    assert result.status == "halt"
+    return interp
+
+
+class TestBasicSemantics:
+    def test_fibonacci_distances(self):
+        interp = run_asm(
+            """
+            ADDI [0] 1
+            ADDI [0] 1
+            ADD [1] [2]
+            ADD [1] [2]
+            ADD [1] [2]
+            OUT [1]
+            JR [7]
+            """
+        )
+        assert interp.output == [5]
+
+    def test_zero_register(self):
+        interp = run_asm(
+            """
+            ADD [0] [0]
+            OUT [1]
+            JR [3]
+            """
+        )
+        assert interp.output == [0]
+
+    def test_store_returns_value(self):
+        # ST writes its stored value to its destination register (§III-A),
+        # so a later instruction can reference the ST by distance.
+        interp = run_asm(
+            """
+            ADDI [0] 123
+            LUI 256
+            ST [2] [1] 0
+            OUT [1]
+            JR [5]
+            """
+        )
+        assert interp.output == [123]
+
+    def test_load_store_roundtrip(self):
+        interp = run_asm(
+            """
+            LUI 256
+            ADDI [0] 77
+            ST [1] [2] 4
+            LD [3] 16
+            OUT [1]
+            JR [6]
+            """
+        )
+        # ST stored to 0x100000 + 4*4 = 0x100010; LD reads base+16.
+        assert interp.output == [77]
+
+    def test_spadd_updates_sp_and_writes_copy(self):
+        interp = run_asm(
+            """
+            SPADD -16
+            SPADD 0
+            OUT [1]
+            SPADD 16
+            JR [5]
+            """
+        )
+        assert interp.output == [STACK_TOP - 16]
+        assert interp.sp == STACK_TOP
+
+    def test_bez_taken_and_not_taken(self):
+        interp = run_asm(
+            """
+            ADDI [0] 0
+            BEZ [1] main.skip
+            OUT [1]
+            main.skip:
+            ADDI [0] 7
+            BNZ [1] main.skip2
+            OUT [1]
+            main.skip2:
+            OUT [2]
+            JR [6]
+            """
+        )
+        # Both branches taken: the skipped OUTs never execute; the final OUT
+        # reaches the second ADDI at dynamic distance 2 (through the BNZ).
+        assert interp.output == [7]
+
+    def test_lui(self):
+        interp = run_asm(
+            """
+            LUI 0xABCDE
+            OUT [1]
+            JR [3]
+            """
+        )
+        assert interp.output == [0xABCDE << 12]
+
+    def test_jal_writes_return_address(self):
+        interp = run_asm(
+            """
+            OUT [1]
+            JR [2]
+            """
+        )
+        # main's first instruction sees the stub JAL at distance 1, whose
+        # value is the address of the HALT that follows it.
+        assert interp.output == [TEXT_BASE + 4]
+
+
+class TestWriteOnceDiscipline:
+    def test_stale_distance_detected(self):
+        # Reference a register older than MAX_RP: the interpreter must
+        # detect the aliased (overwritten) register rather than return junk.
+        body = "\n".join(["ADDI [0] 1"] * 40) + "\nADD [40] [1]\nJR [43]"
+        unit = parse_assembly("main:\n" + body)
+        program = link_program([startup_stub(), unit])
+        interp = StraightInterpreter(program, max_rp=32)
+        with pytest.raises(SimulationError, match="stale|aliased"):
+            interp.run(1000)
+
+    def test_distance_before_program_start(self):
+        unit = parse_assembly("main:\nADD [900] [1]\nJR [2]")
+        program = link_program([startup_stub(), unit])
+        with pytest.raises(SimulationError, match="before"):
+            StraightInterpreter(program).run(100)
+
+    def test_checks_can_be_disabled(self):
+        body = "\n".join(["ADDI [0] 1"] * 40) + "\nADD [40] [1]\nOUT [1]\nHALT"
+        unit = parse_assembly("main:\n" + body)
+        program = link_program([startup_stub(), unit])
+        interp = StraightInterpreter(program, max_rp=32, check_distances=False)
+        assert interp.run(1000).status == "halt"
+        assert interp.output == [2]  # the aliased register happens to hold 1
+
+    def test_misaligned_access_rejected(self):
+        with pytest.raises(SimulationError, match="misaligned"):
+            run_asm(
+                """
+                LUI 256
+                ADDI [1] 2
+                LD [1] 0
+                JR [4]
+                """
+            )
+
+
+class TestTraceAndStats:
+    def test_trace_dest_is_sequence_number(self):
+        interp = run_asm(
+            """
+            ADDI [0] 5
+            RMOV [1]
+            OUT [1]
+            JR [4]
+            """
+        )
+        seqs = [entry.dest for entry in interp.trace]
+        assert seqs == list(range(len(interp.trace)))
+
+    def test_trace_sources_are_producer_seqs(self):
+        interp = run_asm(
+            """
+            ADDI [0] 5
+            RMOV [1]
+            OUT [1]
+            JR [4]
+            """
+        )
+        rmov = interp.trace[2]  # stub JAL is seq 0
+        assert rmov.mnemonic == "RMOV"
+        assert rmov.srcs == (1,)  # produced by the ADDI at seq 1
+
+    def test_distance_histogram(self):
+        interp = run_asm(
+            """
+            ADDI [0] 1
+            ADD [1] [1]
+            OUT [1]
+            JR [4]
+            """
+        )
+        assert interp.distance_hist[1] >= 3
+
+    def test_class_counts_group_rmov(self):
+        interp = run_asm(
+            """
+            ADDI [0] 1
+            RMOV [1]
+            RMOV [1]
+            JR [4]
+            """
+        )
+        counts = interp.class_counts()
+        assert counts["rmov"] == 2
+        assert counts["jump_branch"] >= 2  # stub JAL + JR
+
+
+class TestLinker:
+    def test_duplicate_label(self):
+        unit = parse_assembly("main:\nJR [1]\nmain:\nJR [1]")
+        with pytest.raises(LinkError, match="duplicate"):
+            link_program([startup_stub(), unit])
+
+    def test_undefined_label(self):
+        unit = parse_assembly("main:\nJ nowhere")
+        with pytest.raises(LinkError, match="undefined"):
+            link_program([startup_stub(), unit])
+
+    def test_missing_start(self):
+        unit = parse_assembly("main:\nJR [1]")
+        with pytest.raises(LinkError, match="_start"):
+            link_program([unit])
+
+    def test_pc_relative_offsets(self):
+        unit = parse_assembly("main:\nJ main.next\nmain.next:\nJR [2]")
+        program = link_program([startup_stub(), unit])
+        j_instr = program.instrs[program.labels["main"]]
+        assert j_instr.imm == 1  # one word forward
+
+    def test_data_segment_loaded(self):
+        unit = parse_assembly(
+            """
+main:
+    LUI 256
+    LD [1] 4
+    OUT [1]
+    JR [4]
+"""
+        )
+        program = link_program(
+            [startup_stub(), unit], data_words=[11, 22], data_base=0x100000
+        )
+        interp = StraightInterpreter(program)
+        interp.run(100)
+        assert interp.output == [22]
+
+    def test_disassembly_lists_labels(self):
+        unit = parse_assembly("main:\nJR [1]")
+        program = link_program([startup_stub(), unit])
+        text = program.disassemble()
+        assert "main:" in text and "_start:" in text

@@ -1,0 +1,135 @@
+"""STRAIGHT ISA: instruction construction, encoding round-trips, assembler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import AsmError
+from repro.straight.isa import SInstr, OPCODES, MAX_DISTANCE
+from repro.straight.encoding import encode, decode
+from repro.straight.assembler import parse_assembly
+
+
+class TestSInstr:
+    def test_operand_count_enforced(self):
+        with pytest.raises(AsmError, match="source"):
+            SInstr("ADD", [1])
+        with pytest.raises(AsmError, match="source"):
+            SInstr("RMOV", [1, 2])
+
+    def test_distance_range_enforced(self):
+        SInstr("ADD", [0, MAX_DISTANCE])
+        with pytest.raises(AsmError, match="out of range"):
+            SInstr("ADD", [1, MAX_DISTANCE + 1])
+
+    def test_immediate_required(self):
+        with pytest.raises(AsmError, match="immediate"):
+            SInstr("ADDI", [1])
+
+    def test_immediate_rejected_where_absent(self):
+        with pytest.raises(AsmError, match="does not take"):
+            SInstr("ADD", [1, 2], imm=5)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError, match="unknown"):
+            SInstr("FROB", [])
+
+    def test_asm_text_roundtrip(self):
+        instr = SInstr("ST", [4, 7], imm=2)
+        assert instr.to_asm() == "ST [4] [7] 2"
+
+    def test_every_opcode_unique(self):
+        codes = [spec.code for spec in OPCODES.values()]
+        assert len(codes) == len(set(codes))
+        assert 0 not in codes  # opcode 0 reserved
+
+
+def _random_instr(draw):
+    mnemonic = draw(st.sampled_from(sorted(OPCODES)))
+    spec = OPCODES[mnemonic]
+    srcs = [
+        draw(st.integers(min_value=0, max_value=MAX_DISTANCE))
+        for _ in range(spec.num_srcs)
+    ]
+    imm = None
+    if spec.has_imm:
+        if spec.fmt == "R2":
+            imm = draw(st.integers(min_value=-16, max_value=15))
+        elif spec.fmt == "R1I":
+            imm = draw(st.integers(min_value=-(2**14), max_value=2**14 - 1))
+        elif spec.fmt == "I25":
+            imm = draw(st.integers(min_value=-(2**24), max_value=2**24 - 1))
+        elif spec.fmt == "I20":
+            imm = draw(st.integers(min_value=0, max_value=2**20 - 1))
+    return SInstr(mnemonic, srcs, imm)
+
+
+random_instrs = st.composite(_random_instr)()
+
+
+class TestEncoding:
+    @given(random_instrs)
+    def test_roundtrip(self, instr):
+        word = encode(instr)
+        assert 0 <= word < 2**32
+        decoded = decode(word)
+        assert decoded.mnemonic == instr.mnemonic
+        assert decoded.srcs == instr.srcs
+        assert decoded.imm == (instr.imm if instr.spec.has_imm else None)
+
+    def test_out_of_range_immediate_rejected(self):
+        with pytest.raises(AsmError, match="fit"):
+            encode(SInstr("ADDI", [1], imm=2**14))
+
+    def test_unresolved_label_rejected(self):
+        with pytest.raises(AsmError, match="unresolved"):
+            encode(SInstr("J", [], label="somewhere"))
+
+    def test_invalid_opcode_decode(self):
+        with pytest.raises(AsmError, match="invalid"):
+            decode(0)  # opcode 0 reserved
+
+    def test_negative_immediate_roundtrip(self):
+        instr = SInstr("SPADD", [], imm=-64)
+        assert decode(encode(instr)).imm == -64
+
+
+class TestAssembler:
+    def test_parse_labels_and_instrs(self):
+        unit = parse_assembly(
+            """
+            # comment
+            main:
+                ADDI [0] 5
+                OUT [1]
+            loop:
+                J loop
+            """
+        )
+        labels = [item for kind, item in unit.items if kind == "label"]
+        assert labels == ["main", "loop"]
+        instrs = unit.instructions()
+        assert [i.mnemonic for i in instrs] == ["ADDI", "OUT", "J"]
+        assert instrs[2].label == "loop"
+
+    def test_hex_distances_and_imm(self):
+        unit = parse_assembly("ADDI [0x2] 0x10")
+        instr = unit.instructions()[0]
+        assert instr.srcs == (2,)
+        assert instr.imm == 16
+
+    def test_text_roundtrip(self):
+        text = "main:\n    ST [4] [7] 1\n    BEZ [1] main\n"
+        unit = parse_assembly(text)
+        assert parse_assembly(unit.to_text()).to_text() == unit.to_text()
+
+    def test_bad_mnemonic(self):
+        with pytest.raises(AsmError, match="unknown mnemonic"):
+            parse_assembly("BLORP [1]")
+
+    def test_bad_distance(self):
+        with pytest.raises(AsmError, match="bad distance"):
+            parse_assembly("RMOV [x]")
+
+    def test_duplicate_immediate(self):
+        with pytest.raises(AsmError, match="duplicate"):
+            parse_assembly("ADDI [1] 2 3")

@@ -1,0 +1,177 @@
+"""Timing-engine behaviour tests: the architectural effects under study.
+
+These check *directional* properties the paper relies on, using controlled
+micro-workloads: dependence chains bound IPC, recovery costs differ between
+the rename and RP front ends, structural limits stall, idealized recovery
+helps, wider machines help parallel code.
+"""
+
+import pytest
+
+from repro.core.api import build, simulate
+from repro.core.configs import ss_2way, straight_2way, ss_4way, straight_4way
+from repro.uarch.core import OoOCore
+from repro.uarch.frontend_models import RenameFrontEnd, StraightFrontEnd
+
+
+def run_on(source, config, label="STRAIGHT-RE+"):
+    binaries = build(source)
+    return simulate(binaries.all()[label], config)
+
+
+SERIAL_CHAIN = """
+int g;
+int main() {
+    int x = g + 1;
+    for (int i = 0; i < 200; i++) {
+        x = x * 3 + 1;   // serial dependence chain
+    }
+    __out(x);
+    return 0;
+}
+"""
+
+PARALLEL_SUMS = """
+int a[64]; int b[64]; int c[64]; int d[64];
+int main() {
+    int s0 = 0; int s1 = 0; int s2 = 0; int s3 = 0;
+    for (int i = 0; i < 64; i++) {
+        s0 += a[i]; s1 += b[i]; s2 += c[i]; s3 += d[i];
+    }
+    __out(s0 + s1 + s2 + s3);
+    return 0;
+}
+"""
+
+BRANCHY = """
+int main() {
+    int lcg = 12345;
+    int acc = 0;
+    for (int i = 0; i < 600; i++) {
+        lcg = lcg * 1103515245 + 12345;
+        if ((lcg >> 16) & 1) acc += i;      // data-dependent branch
+        else acc -= i;
+    }
+    __out(acc);
+    return 0;
+}
+"""
+
+
+class TestBasicSanity:
+    def test_cycles_positive_and_ipc_bounded(self):
+        result = run_on(SERIAL_CHAIN, straight_4way())
+        assert result.cycles > 0
+        assert 0 < result.stats.ipc <= result.config.issue_width
+
+    def test_all_instructions_commit(self):
+        result = run_on(SERIAL_CHAIN, ss_4way(), label="SS")
+        assert result.stats.instructions == len(result.interpreter.trace)
+
+    def test_serial_chain_ipc_near_one(self):
+        """A multiply chain cannot exceed 1/mul-latency IPC by much."""
+        result = run_on(SERIAL_CHAIN, straight_4way())
+        # mul latency 3 + dependent add -> long recurrence; generous bound:
+        assert result.stats.ipc < 3.0
+
+    def test_parallel_code_beats_serial_ipc(self):
+        serial = run_on(SERIAL_CHAIN, straight_4way())
+        parallel = run_on(PARALLEL_SUMS, straight_4way())
+        assert parallel.stats.ipc > serial.stats.ipc
+
+    def test_wider_machine_helps_parallel_code(self):
+        narrow = run_on(PARALLEL_SUMS, straight_2way())
+        wide = run_on(PARALLEL_SUMS, straight_4way())
+        assert wide.cycles < narrow.cycles
+
+
+class TestRecoveryEffects:
+    def test_branchy_code_mispredicts(self):
+        result = run_on(BRANCHY, ss_4way(), label="SS")
+        assert result.stats.branch_mispredicts > 50
+
+    def test_ideal_recovery_strictly_helps_ss(self):
+        real = run_on(BRANCHY, ss_4way(), label="SS")
+        ideal = run_on(BRANCHY, ss_4way(ideal_recovery=True), label="SS")
+        assert ideal.cycles < real.cycles
+
+    def test_ss_pays_rob_walk_cycles(self):
+        result = run_on(BRANCHY, ss_4way(), label="SS")
+        assert result.stats.rob_walk_cycles > 0
+        assert result.stats.recovery_stall_cycles > 0
+
+    def test_straight_recovery_is_one_cycle_per_event(self):
+        result = run_on(BRANCHY, straight_4way())
+        stats = result.stats
+        assert stats.rob_walk_cycles == 0
+        # one blocked cycle per mispredict, nothing more
+        assert stats.recovery_stall_cycles == stats.branch_mispredicts
+
+    def test_recovery_stall_smaller_for_straight(self):
+        ss = run_on(BRANCHY, ss_4way(), label="SS")
+        st = run_on(BRANCHY, straight_4way())
+        per_event_ss = ss.stats.recovery_stall_cycles / max(
+            1, ss.stats.branch_mispredicts
+        )
+        per_event_st = st.stats.recovery_stall_cycles / max(
+            1, st.stats.branch_mispredicts
+        )
+        assert per_event_st < per_event_ss
+
+
+class TestFrontEndModels:
+    def test_model_selection(self):
+        assert isinstance(OoOCore(ss_2way()).frontend, RenameFrontEnd)
+        assert isinstance(OoOCore(straight_2way()).frontend, StraightFrontEnd)
+
+    def test_rename_counts_rmt_traffic(self):
+        result = run_on(SERIAL_CHAIN, ss_2way(), label="SS")
+        stats = result.stats
+        assert stats.rename_src_reads > 0
+        assert stats.rename_writes > 0
+        assert stats.opdet_ops == 0
+
+    def test_straight_counts_opdet_only(self):
+        result = run_on(SERIAL_CHAIN, straight_2way())
+        stats = result.stats
+        assert stats.opdet_ops > 0
+        assert stats.rename_src_reads == 0
+        assert stats.rename_writes == 0
+
+    def test_free_list_stall_under_tiny_register_file(self):
+        config = ss_4way(phys_regs=40)  # 8 in-flight registers only
+        result = run_on(PARALLEL_SUMS, config, label="SS")
+        assert result.stats.freelist_stall_cycles > 0
+
+    def test_straight_never_freelist_stalls(self):
+        result = run_on(PARALLEL_SUMS, straight_4way())
+        assert result.stats.freelist_stall_cycles == 0
+
+
+class TestStructuralLimits:
+    def test_tiny_rob_stalls(self):
+        config = straight_4way(rob_entries=8, phys_regs=40)
+        result = run_on(PARALLEL_SUMS, config)
+        assert result.stats.rob_full_stalls > 0
+
+    def test_tiny_iq_stalls(self):
+        config = straight_4way(iq_entries=4)
+        result = run_on(PARALLEL_SUMS, config)
+        assert result.stats.iq_full_stalls > 0
+
+    def test_memory_latency_hurts(self):
+        fast = run_on(PARALLEL_SUMS, straight_4way(mem_latency=20))
+        slow = run_on(PARALLEL_SUMS, straight_4way(mem_latency=400))
+        assert slow.cycles > fast.cycles
+
+    def test_shorter_frontend_helps_branchy_code(self):
+        deep = run_on(BRANCHY, straight_4way(frontend_depth=12))
+        shallow = run_on(BRANCHY, straight_4way(frontend_depth=6))
+        assert shallow.cycles < deep.cycles
+
+
+class TestDeterminism:
+    def test_same_trace_same_cycles(self):
+        first = run_on(BRANCHY, straight_2way())
+        second = run_on(BRANCHY, straight_2way())
+        assert first.cycles == second.cycles

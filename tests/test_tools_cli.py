@@ -1,0 +1,119 @@
+"""CLI tool tests (driven through main() with captured stdout)."""
+
+import io
+import json
+import sys
+
+import pytest
+
+from repro.tools.cli import main
+
+DEMO = """
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 5; i++) acc += i * i;
+    __out(acc);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCompileAndDisasm:
+    def test_compile_straight(self, demo_file, capsys):
+        code, out, _ = run_cli(["compile", demo_file, "--target", "straight"], capsys)
+        assert code == 0
+        assert "main:" in out
+        assert "SPADD" in out or "RMOV" in out or "ADDI" in out
+
+    def test_compile_riscv(self, demo_file, capsys):
+        code, out, _ = run_cli(["compile", demo_file, "--target", "riscv"], capsys)
+        assert code == 0
+        assert "addi" in out
+
+    def test_compile_raw_has_more_rmovs(self, demo_file, capsys):
+        _, re_out, _ = run_cli(["compile", demo_file, "--target", "straight"], capsys)
+        _, raw_out, _ = run_cli(
+            ["compile", demo_file, "--target", "straight-raw"], capsys
+        )
+        assert raw_out.count("RMOV") >= re_out.count("RMOV")
+
+    def test_disasm_shows_addresses(self, demo_file, capsys):
+        code, out, _ = run_cli(["disasm", demo_file], capsys)
+        assert code == 0
+        assert "_start:" in out
+        assert "0x001000" in out or "0x1000" in out
+
+    def test_max_distance_flag(self, demo_file, capsys):
+        code, out, _ = run_cli(
+            ["compile", demo_file, "--max-distance", "15"], capsys
+        )
+        assert code == 0
+
+
+class TestRun:
+    def test_run_outputs_words(self, demo_file, capsys):
+        code, out, err = run_cli(["run", demo_file], capsys)
+        assert code == 0
+        assert out.strip() == "30"  # 0+1+4+9+16
+        assert "instructions retired" in err
+
+    def test_run_all_targets_agree(self, demo_file, capsys):
+        outputs = set()
+        for target in ("riscv", "straight", "straight-raw"):
+            _, out, _ = run_cli(["run", demo_file, "--target", target], capsys)
+            outputs.add(out)
+        assert len(outputs) == 1
+
+    def test_stdin_source(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "stdin", io.StringIO(DEMO))
+        code, out, _ = run_cli(["run", "-", "--target", "riscv"], capsys)
+        assert code == 0
+        assert out.strip() == "30"
+
+
+class TestSimulate:
+    def test_simulate_emits_json(self, demo_file, capsys):
+        code, out, _ = run_cli(
+            ["simulate", demo_file, "--core", "STRAIGHT-2way"], capsys
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["output"] == [30]
+        assert payload["cycles"] > 0
+        assert payload["core"] == "STRAIGHT-2way"
+
+    def test_simulate_ss_core(self, demo_file, capsys):
+        code, out, _ = run_cli(["simulate", demo_file, "--core", "SS-2way"], capsys)
+        payload = json.loads(out)
+        assert payload["target"] == "riscv"
+        assert payload["rename_writes"] > 0
+
+    def test_unknown_core_fails(self, demo_file, capsys):
+        code, _, err = run_cli(["simulate", demo_file, "--core", "SS-9way"], capsys)
+        assert code == 1
+        assert "unknown core" in err
+
+
+class TestExperiments:
+    def test_single_cheap_experiment(self, capsys):
+        code, out, _ = run_cli(["experiments", "table1"], capsys)
+        assert code == 0
+        assert "Table I" in out
+
+    def test_unknown_experiment(self, capsys):
+        code, _, err = run_cli(["experiments", "fig99"], capsys)
+        assert code == 1
+        assert "unknown experiment" in err
