@@ -2,6 +2,12 @@
 
 Every subsystem raises a subclass of :class:`ReproError` so callers can catch
 library failures without masking genuine programming errors.
+
+Simulation-side errors carry *structured context* (cycle, PC, per-structure
+occupancy, free-form detail) so that the harness can write machine-readable
+crash dumps and so that a failure inside a long sweep pinpoints the exact
+machine state instead of just a message.  Plain single-message construction
+keeps working everywhere.
 """
 
 
@@ -33,4 +39,70 @@ class LinkError(ReproError):
 
 
 class SimulationError(ReproError):
-    """Functional or timing simulation failure (bad memory access, etc.)."""
+    """Functional or timing simulation failure (bad memory access, etc.).
+
+    Optional keyword-only context:
+
+    * ``cycle`` — timing-model cycle at which the failure was observed;
+    * ``pc`` — program counter of the implicated instruction;
+    * ``occupancy`` — per-structure occupancy snapshot (``rob``, ``iq``, ...);
+    * ``context`` — free-form extra detail (checker name, expected/observed
+      values, replay window, ...).
+    """
+
+    def __init__(self, message, *, cycle=None, pc=None, occupancy=None,
+                 context=None):
+        self.message = message
+        self.cycle = cycle
+        self.pc = pc
+        self.occupancy = dict(occupancy) if occupancy else {}
+        self.context = dict(context) if context else {}
+        super().__init__(message)
+
+    def __str__(self):
+        parts = [self.message]
+        if self.cycle is not None:
+            parts.append(f"cycle={self.cycle}")
+        if self.pc is not None:
+            parts.append(f"pc={self.pc:#x}")
+        if self.occupancy:
+            occ = ", ".join(f"{k}={v}" for k, v in sorted(self.occupancy.items()))
+            parts.append(f"occupancy[{occ}]")
+        if len(parts) == 1:
+            return self.message
+        return parts[0] + " [" + "; ".join(parts[1:]) + "]"
+
+    def as_dict(self):
+        """JSON-serializable view used by crash dumps."""
+        return {
+            "type": type(self).__name__,
+            "message": self.message,
+            "cycle": self.cycle,
+            "pc": self.pc,
+            "occupancy": dict(self.occupancy),
+            "context": {k: v for k, v in self.context.items()},
+        }
+
+
+class GuardrailError(SimulationError):
+    """Base class of every failure raised by the guardrails subsystem."""
+
+
+class InvariantViolation(GuardrailError):
+    """A structural invariant checker observed an impossible machine state."""
+
+
+class DeadlockError(GuardrailError):
+    """The forward-progress watchdog saw no commit for too many cycles."""
+
+
+class DivergenceError(GuardrailError):
+    """Lockstep co-simulation: timing commit stream left the golden path."""
+
+
+class FaultEscapeError(GuardrailError):
+    """A fault-injection campaign found corruption the checkers missed."""
+
+
+class RunTimeoutError(SimulationError):
+    """A hardened-harness run exceeded its wall-clock budget."""

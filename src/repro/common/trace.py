@@ -49,6 +49,7 @@ class TraceEntry:
         "is_rmov",
         "is_spadd",
         "src_distances",
+        "dest_value",
     )
 
     def __init__(
@@ -67,6 +68,7 @@ class TraceEntry:
         is_rmov=False,
         is_spadd=False,
         src_distances=(),
+        dest_value=None,
     ):
         self.pc = pc
         self.op_class = op_class
@@ -83,6 +85,10 @@ class TraceEntry:
         self.is_rmov = is_rmov
         self.is_spadd = is_spadd
         self.src_distances = tuple(src_distances)
+        #: Architectural result of the instruction (the written register value
+        #: or, for stores, the stored word); ``None`` when there is none.
+        #: Lockstep co-simulation compares this against a golden re-execution.
+        self.dest_value = dest_value
 
     def changes_flow(self):
         """True for any instruction that redirects fetch when taken."""

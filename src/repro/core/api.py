@@ -71,12 +71,15 @@ def build(source, max_distance=1023, optimize=True):
 class SimulationResult:
     """Functional + timing results for one binary on one core."""
 
-    def __init__(self, binary, config, run_result, interpreter, stats):
+    def __init__(self, binary, config, run_result, interpreter, stats,
+                 guardrail_report=None):
         self.binary = binary
         self.config = config
         self.run_result = run_result
         self.interpreter = interpreter
         self.stats = stats  # SimStats (None for functional-only runs)
+        #: Dict summary of what the guardrails checked (None when disabled).
+        self.guardrail_report = guardrail_report
 
     @property
     def output(self):
@@ -102,11 +105,17 @@ def run_functional(binary, max_steps=50_000_000, collect_trace=False):
     return SimulationResult(binary, None, result, interp, None)
 
 
-def simulate(binary, config, max_steps=50_000_000, warm_caches=False):
+def simulate(binary, config, max_steps=50_000_000, warm_caches=False,
+             guardrails=None):
     """Run a binary through the functional ISS, then the timing model.
 
     ``warm_caches=True`` pre-touches all lines so compulsory misses do not
     dominate short runs (the evaluation harness uses this; see DESIGN.md).
+
+    ``guardrails`` turns on invariant checking plus lockstep co-simulation
+    against a golden second interpreter (see :mod:`repro.guardrails`); the
+    default ``None`` defers to ``config.guardrails``.  Disabled runs take the
+    exact fast path and reproduce guardrail-free cycle counts.
     """
     interp = binary.interpreter(collect_trace=True)
     result = interp.run(max_steps)
@@ -114,6 +123,16 @@ def simulate(binary, config, max_steps=50_000_000, warm_caches=False):
         raise SimulationError(
             f"functional run did not finish within {max_steps} steps"
         )
-    core = OoOCore(config)
+    if guardrails is None:
+        guardrails = getattr(config, "guardrails", False)
+    suite = None
+    if guardrails:
+        from repro.guardrails import GuardrailSuite, build_guardrails
+
+        suite = (guardrails if isinstance(guardrails, GuardrailSuite)
+                 else build_guardrails(config, binary=binary))
+    core = OoOCore(config, guardrails=suite)
     stats = core.run(interp.trace, warm=warm_caches)
-    return SimulationResult(binary, config, result, interp, stats)
+    report = suite.finish(result.output) if suite is not None else None
+    return SimulationResult(binary, config, result, interp, stats,
+                            guardrail_report=report)

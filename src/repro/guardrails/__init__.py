@@ -1,0 +1,87 @@
+"""Simulation guardrails: invariant checkers, lockstep co-simulation, fault
+injection, and crash dumps.
+
+The subsystem is strictly opt-in: the timing core only pays for it when a
+:class:`~repro.guardrails.suite.GuardrailSuite` is attached (``guardrails=True``
+on :func:`repro.core.api.simulate`, the ``CoreConfig.guardrails`` knob, or the
+CLI's ``--guardrails`` flag).  With no suite attached, the engine executes the
+seed's exact fast path and cycle counts are unchanged.
+"""
+
+from repro.guardrails.suite import GuardrailSuite, GuardView, InvariantChecker
+from repro.guardrails.checkers import (
+    CommitSanityChecker,
+    DistanceBoundChecker,
+    FreelistChecker,
+    OccupancyChecker,
+    PredictorStateChecker,
+    Watchdog,
+    WriteOnceChecker,
+)
+from repro.guardrails.lockstep import LockstepMonitor
+from repro.guardrails.faultinject import (
+    DEFAULT_CAMPAIGN_SOURCE,
+    CampaignReport,
+    FaultSpec,
+    TimingFaultInjector,
+    run_campaign,
+    run_functional_with_fault,
+)
+from repro.guardrails.crashdump import write_crash_dump, write_manifest
+
+
+def build_guardrails(config, binary=None, lockstep=True, injector=None,
+                     window=32):
+    """Standard suite for one run: full checker set plus optional lockstep.
+
+    ``binary`` enables lockstep co-simulation (a golden interpreter needs the
+    program) and lets the distance/write-once checkers use the *binary's*
+    compiled distance bound, which experiment sweeps may set wider than the
+    core's Table-I default.
+    """
+    watchdog_cycles = getattr(config, "watchdog_cycles", 50_000)
+    deep_interval = getattr(config, "deep_check_interval", 64)
+    predictor_interval = getattr(config, "predictor_check_interval", 4_096)
+    checkers = [
+        OccupancyChecker(deep_interval=deep_interval),
+        CommitSanityChecker(),
+        Watchdog(limit=watchdog_cycles),
+        PredictorStateChecker(interval=predictor_interval),
+    ]
+    if config.is_straight:
+        bound = config.max_distance
+        if binary is not None:
+            bound = max(bound, getattr(binary.program, "max_distance", bound))
+        checkers.append(WriteOnceChecker(max_rp=bound + config.rob_entries))
+        checkers.append(DistanceBoundChecker(bound))
+    else:
+        checkers.append(FreelistChecker(interval=deep_interval))
+    monitor = None
+    if lockstep and binary is not None:
+        monitor = LockstepMonitor(binary, window=window)
+    return GuardrailSuite(config, checkers, lockstep=monitor,
+                          injector=injector, window=window)
+
+
+__all__ = [
+    "GuardrailSuite",
+    "GuardView",
+    "InvariantChecker",
+    "build_guardrails",
+    "CommitSanityChecker",
+    "DistanceBoundChecker",
+    "FreelistChecker",
+    "OccupancyChecker",
+    "PredictorStateChecker",
+    "Watchdog",
+    "WriteOnceChecker",
+    "LockstepMonitor",
+    "DEFAULT_CAMPAIGN_SOURCE",
+    "CampaignReport",
+    "FaultSpec",
+    "TimingFaultInjector",
+    "run_campaign",
+    "run_functional_with_fault",
+    "write_crash_dump",
+    "write_manifest",
+]

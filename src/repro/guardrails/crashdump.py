@@ -1,0 +1,52 @@
+"""Crash dumps: machine-readable post-mortems for failed simulation runs.
+
+A dump is one JSON file in a diagnostics directory holding the structured
+error (type, message, cycle, PC, per-structure occupancy), the replayable
+commit window when the guardrail suite attached one, and whatever extra
+context the caller supplies (config name, workload, experiment id).  The
+hardened harness writes one per failed run plus a sweep-level error manifest.
+"""
+
+import json
+import os
+import time
+
+from repro.common.errors import SimulationError
+
+_counter = 0
+
+
+def _error_payload(exc):
+    if isinstance(exc, SimulationError):
+        return exc.as_dict()
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def write_crash_dump(directory, label, exc, extra=None):
+    """Serialize one failure; returns the dump's path."""
+    global _counter
+    os.makedirs(directory, exist_ok=True)
+    _counter += 1
+    payload = {
+        "label": label,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "error": _error_payload(exc),
+    }
+    if extra:
+        payload["extra"] = dict(extra)
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in label)
+    path = os.path.join(
+        directory, f"crash-{safe}-{os.getpid()}-{_counter:03d}.json"
+    )
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=repr)
+    return path
+
+
+def write_manifest(directory, manifest):
+    """Write the sweep-level error manifest; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "manifest.json")
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, default=repr)
+    return path

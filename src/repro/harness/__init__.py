@@ -5,7 +5,7 @@ same series the paper plots; the ``benchmarks/`` directory wraps them in
 pytest-benchmark entries, and EXPERIMENTS.md records paper-vs-measured.
 """
 
-from repro.harness.runner import timed_run, clear_cache
+from repro.harness.runner import timed_run, clear_cache, run_suite, deadline
 from repro.harness.ablations import (
     ablate_re_plus,
     ablate_recovery,
@@ -28,6 +28,8 @@ from repro.harness.reporting import format_table, format_bars
 __all__ = [
     "timed_run",
     "clear_cache",
+    "run_suite",
+    "deadline",
     "table1",
     "fig11_performance_4way",
     "fig12_performance_2way",

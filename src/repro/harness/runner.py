@@ -1,5 +1,21 @@
-"""Cached workload timing runs shared across experiments."""
+"""Cached workload timing runs plus the hardened sweep driver.
 
+``timed_run`` memoizes one (workload, binary, core) simulation on the *full
+structural identity* of the core configuration (``CoreConfig.cache_key()``),
+so two configs that merely share a display name never alias to one result.
+
+``run_suite`` is the hardened entry point for regenerating many experiments:
+each runner gets a wall-clock budget, a failure degrades the sweep to partial
+results with an error manifest instead of aborting it, and every failure is
+written out as a JSON crash dump (structured error + replay window) in a
+diagnostics directory.
+"""
+
+import signal
+import threading
+from contextlib import contextmanager
+
+from repro.common.errors import RunTimeoutError
 from repro.core.api import simulate
 from repro.workloads import build_workload
 
@@ -11,26 +27,113 @@ def clear_cache():
     _run_cache.clear()
 
 
-def timed_run(workload, binary_label, config, iterations=None, max_distance=1023):
+def timed_run(workload, binary_label, config, iterations=None,
+              max_distance=1023, timeout_s=None, guardrails=False):
     """Simulate one (workload, binary, core) combination, memoized.
 
     ``binary_label`` is one of ``'SS'``, ``'STRAIGHT-RAW'``,
-    ``'STRAIGHT-RE+'``; ``config`` is a CoreConfig.  The cache key includes
-    the parameters that change timing (predictor, recovery idealization,
-    core name, workload scale).
+    ``'STRAIGHT-RE+'``; ``config`` is a CoreConfig.  The cache key is the
+    config's full timing identity plus the workload parameters, so any field
+    that changes timing (widths, ROB/IQ/LSQ sizes, cache geometry, predictor,
+    penalties, ...) forces a fresh run.  ``timeout_s`` bounds the run's
+    wall-clock time (see :func:`deadline`); ``guardrails`` runs it under
+    invariant checking + lockstep (never cached together with unguarded runs).
     """
     key = (
         workload,
         binary_label,
-        config.name,
-        config.predictor,
-        config.ideal_recovery,
-        config.max_distance if config.is_straight else None,
+        config.cache_key(),
         iterations,
         max_distance,
+        bool(guardrails),
     )
     if key not in _run_cache:
         binaries = build_workload(workload, iterations, max_distance)
         binary = binaries.all()[binary_label]
-        _run_cache[key] = simulate(binary, config, warm_caches=True)
+        with deadline(timeout_s, f"{workload}/{binary_label}/{config.name}"):
+            _run_cache[key] = simulate(
+                binary, config, warm_caches=True, guardrails=guardrails
+            )
     return _run_cache[key]
+
+
+@contextmanager
+def deadline(seconds, label=""):
+    """Wall-clock budget for one run; raises :class:`RunTimeoutError`.
+
+    Uses ``SIGALRM`` where available (CPython main thread on POSIX); on other
+    platforms or worker threads it degrades to a no-op rather than failing,
+    so sweeps stay portable.
+    """
+    usable = (
+        seconds
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeoutError(
+            f"{label or 'run'}: exceeded {seconds}s wall-clock budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_suite(names=None, timeout_s=None, diagnostics_dir=None,
+              raise_on_error=False):
+    """Run experiment registry entries, degrading to partial results.
+
+    Returns ``{"results": {name: result}, "manifest": {...}}`` where the
+    manifest lists completed and failed experiments with per-failure detail.
+    With ``diagnostics_dir`` set, each failure also produces a JSON crash
+    dump and the manifest itself is persisted there.
+    """
+    from repro.harness.experiments import ALL_EXPERIMENTS
+
+    names = list(names) if names else sorted(ALL_EXPERIMENTS)
+    results = {}
+    errors = []
+    for name in names:
+        runner = ALL_EXPERIMENTS.get(name)
+        if runner is None:
+            errors.append({"experiment": name, "type": "KeyError",
+                           "message": f"unknown experiment {name!r}"})
+            continue
+        try:
+            with deadline(timeout_s, name):
+                results[name] = runner()
+        except Exception as exc:  # noqa: BLE001 - sweep must degrade, not die
+            if raise_on_error:
+                raise
+            record = {
+                "experiment": name,
+                "type": type(exc).__name__,
+                "message": str(exc),
+            }
+            if diagnostics_dir:
+                from repro.guardrails.crashdump import write_crash_dump
+
+                record["crash_dump"] = write_crash_dump(
+                    diagnostics_dir, name, exc, extra={"experiment": name}
+                )
+            errors.append(record)
+    manifest = {
+        "requested": names,
+        "completed": sorted(results),
+        "failed": [e["experiment"] for e in errors],
+        "errors": errors,
+    }
+    if diagnostics_dir and errors:
+        from repro.guardrails.crashdump import write_manifest
+
+        manifest["manifest_path"] = write_manifest(diagnostics_dir, manifest)
+    return {"results": results, "manifest": manifest}

@@ -127,6 +127,7 @@ class RiscvInterpreter:
         srcs = []
         is_call = False
         is_return = False
+        store_value = None
 
         if m in _R_BINOPS:
             value = eval_binop(
@@ -164,6 +165,7 @@ class RiscvInterpreter:
             mem_addr = wrap32(self._read(instr.rs1) + instr.imm)
             self._store_word(mem_addr, self._read(instr.rs2))
             srcs = [instr.rs1, instr.rs2]
+            store_value = self.memory[mem_addr // 4]
         elif m in _BRANCH_PREDS:
             taken = bool(
                 eval_icmp(
@@ -205,12 +207,17 @@ class RiscvInterpreter:
 
         self.mnemonic_counts[m] = self.mnemonic_counts.get(m, 0) + 1
         if self.collect_trace:
+            arch_dest = dest if dest not in (None, 0) else None
+            if arch_dest is not None:
+                dest_value = self.regs[arch_dest]
+            else:
+                dest_value = store_value
             self.trace.append(
                 TraceEntry(
                     pc=pc,
                     op_class=instr.op_class,
                     mnemonic=m,
-                    dest=dest if dest not in (None, 0) else None,
+                    dest=arch_dest,
                     srcs=[s for s in srcs if s != 0],
                     taken=taken,
                     target_pc=target_pc,
@@ -218,6 +225,7 @@ class RiscvInterpreter:
                     mem_addr=mem_addr,
                     is_call=is_call,
                     is_return=is_return,
+                    dest_value=dest_value,
                 )
             )
         self.pc_index = next_index

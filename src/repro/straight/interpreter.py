@@ -234,6 +234,7 @@ class StraightInterpreter:
                     is_rmov=(mnemonic == "RMOV"),
                     is_spadd=(mnemonic == "SPADD"),
                     src_distances=instr.srcs,
+                    dest_value=self.regs[self.seq % self.max_rp],
                 )
             )
         self.seq += 1

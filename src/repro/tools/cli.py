@@ -7,6 +7,8 @@ Subcommands::
     straight run      prog.c --target straight-raw    # functional run
     straight simulate prog.c --core STRAIGHT-4way     # timing run (JSON)
     straight experiments fig11 fig16                  # regenerate figures
+    straight guardrails --workload dhrystone          # lockstep smoke run
+    straight guardrails --faults 100 --seed 7         # fault campaign
 
 Targets: ``riscv`` (the SS baseline), ``straight`` (RE+), ``straight-raw``.
 Cores: the Table I names (``SS-2way``, ``STRAIGHT-2way``, ``SS-4way``,
@@ -80,11 +82,57 @@ def cmd_simulate(args):
     )
     binary = _compile_target(_read_source(args.file), target, config.max_distance
                              if config.is_straight else 1023)
-    result = simulate(binary, config, warm_caches=not args.cold)
+    result = simulate(binary, config, warm_caches=not args.cold,
+                      guardrails=args.guardrails)
     payload = result.stats.as_dict()
     payload["output"] = result.output
     payload["core"] = args.core
     payload["target"] = target
+    if result.guardrail_report is not None:
+        payload["guardrails"] = result.guardrail_report
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_guardrails(args):
+    """Guarded smoke run (lockstep + checkers) or a fault-injection campaign."""
+    from repro.common.errors import RunTimeoutError
+    from repro.core.configs import TABLE1
+    from repro.guardrails import run_campaign
+    from repro.harness.runner import timed_run, deadline
+
+    factory = TABLE1.get(args.core)
+    if factory is None:
+        print(f"unknown core {args.core!r}; choose from {sorted(TABLE1)}",
+              file=sys.stderr)
+        return 1
+    config = factory(guardrails=True)
+    try:
+        if args.faults:
+            with deadline(args.timeout, "fault-injection campaign"):
+                report = run_campaign(config=config, n_faults=args.faults,
+                                      seed=args.seed)
+            print(json.dumps(report.as_dict(), indent=2))
+            print(report.text(), file=sys.stderr)
+            if report.escaped_silent:
+                print("FAIL: silent fault escapes detected", file=sys.stderr)
+                return 1
+            return 0
+        binary_label = "SS" if not config.is_straight else "STRAIGHT-RE+"
+        run = timed_run(args.workload, binary_label, config,
+                        iterations=args.iterations, timeout_s=args.timeout,
+                        guardrails=True)
+    except RunTimeoutError as exc:
+        print(f"timeout: {exc}", file=sys.stderr)
+        return 1
+    payload = {
+        "workload": args.workload,
+        "core": args.core,
+        "binary": binary_label,
+        "cycles": run.cycles,
+        "ipc": round(run.ipc, 4),
+        "guardrails": run.guardrail_report,
+    }
     print(json.dumps(payload, indent=2))
     return 0
 
@@ -168,7 +216,27 @@ def build_parser():
                        help="use the RAW (no RE+) STRAIGHT binary")
     p_sim.add_argument("--cold", action="store_true",
                        help="skip cache warmup")
+    p_sim.add_argument("--guardrails", action="store_true",
+                       help="run under invariant checkers + lockstep")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_guard = sub.add_parser(
+        "guardrails",
+        help="guarded smoke run (lockstep + checkers) or fault campaign",
+    )
+    p_guard.add_argument("--workload", default="dhrystone",
+                         help="registry workload for the smoke run")
+    p_guard.add_argument("--core", default="STRAIGHT-2way",
+                         help="Table I core name")
+    p_guard.add_argument("--iterations", type=int, default=None,
+                         help="workload scale override")
+    p_guard.add_argument("--faults", type=int, default=0,
+                         help="run a fault-injection campaign of N faults")
+    p_guard.add_argument("--seed", type=int, default=20260805,
+                         help="campaign RNG seed")
+    p_guard.add_argument("--timeout", type=float, default=None,
+                         help="wall-clock budget in seconds")
+    p_guard.set_defaults(func=cmd_guardrails)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper figures")
     p_exp.add_argument("names", nargs="*", help="experiment ids (default all)")

@@ -52,6 +52,10 @@ class CoreConfig:
         latencies=None,
         prefetch_streams=8,
         prefetch_degree=2,
+        guardrails=False,
+        watchdog_cycles=50_000,
+        deep_check_interval=64,
+        predictor_check_interval=4096,
     ):
         self.name = name
         self.is_straight = is_straight
@@ -86,6 +90,62 @@ class CoreConfig:
                                             "sys": 1, "nop": 1})
         self.prefetch_streams = prefetch_streams
         self.prefetch_degree = prefetch_degree
+        #: Opt-in invariant checking + lockstep (see repro.guardrails); the
+        #: default keeps the zero-overhead fast path.
+        self.guardrails = guardrails
+        #: Forward-progress watchdog: cycles without a commit before the run
+        #: dies with a DeadlockError (only when guardrails are enabled).
+        self.watchdog_cycles = watchdog_cycles
+        #: Cycle stride of the expensive consistency scans (ROB index walk,
+        #: free-list conservation).
+        self.deep_check_interval = deep_check_interval
+        #: Cycle stride of the predictor-storage range sweep.
+        self.predictor_check_interval = predictor_check_interval
+
+    def cache_key(self):
+        """Full timing-relevant identity of this configuration.
+
+        Two configs with equal keys produce identical timing results, so the
+        harness memoizes runs on this (never on ``name``, which is a display
+        alias that experiments freely reuse across different parameters).
+        """
+
+        def cache(level):
+            if level is None:
+                return None
+            return (level.size_kib, level.ways, level.line_bytes,
+                    level.hit_latency)
+
+        return (
+            self.is_straight,
+            self.fetch_width,
+            self.issue_width,
+            self.commit_width,
+            self.frontend_depth,
+            self.rename_stage_depth,
+            self.rob_entries,
+            self.iq_entries,
+            self.phys_regs,
+            self.lsq_loads,
+            self.lsq_stores,
+            tuple(sorted(self.units.items())),
+            self.predictor,
+            self.btb_entries,
+            self.ras_depth,
+            cache(self.l1i),
+            cache(self.l1d),
+            cache(self.l2),
+            cache(self.l3),
+            self.mem_latency,
+            self.max_distance,
+            self.ideal_recovery,
+            self.mdp_replay_penalty,
+            self.spadd_per_group,
+            self.btb_miss_penalty,
+            tuple(sorted(self.latencies.items())),
+            self.prefetch_streams,
+            self.prefetch_degree,
+        )
 
     def copy(self, **overrides):
         """A modified copy (used for Fig. 13's no-penalty and Fig. 14's TAGE)."""

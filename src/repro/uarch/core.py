@@ -122,10 +122,16 @@ class _RobEntry:
 
 
 class OoOCore:
-    """One configured core; ``run(trace)`` returns :class:`SimStats`."""
+    """One configured core; ``run(trace)`` returns :class:`SimStats`.
 
-    def __init__(self, config):
+    ``guardrails`` is an optional :class:`~repro.guardrails.GuardrailSuite`;
+    when ``None`` (the default) no hook is consulted and the run takes the
+    exact fast path, so cycle counts are identical to a guardrail-free build.
+    """
+
+    def __init__(self, config, guardrails=None):
         self.config = config
+        self.guardrails = guardrails
         self.stats = SimStats()
         self.hierarchy = config.build_hierarchy()
         self.predictor = make_predictor(config.predictor)
@@ -214,6 +220,18 @@ class OoOCore:
 
         rob_by_seq = {}
 
+        guard = self.guardrails
+        if guard is not None:
+            guard.begin_run(
+                core=self,
+                trace=trace,
+                rob=rob,
+                rob_by_seq=rob_by_seq,
+                pipe=pipe,
+                reg_ready=reg_ready,
+                lsq=self.lsq,
+            )
+
         # ------------------------------------------------------------ stages
 
         def do_completions():
@@ -241,6 +259,8 @@ class OoOCore:
                 head = rob[0]
                 if not head.done:
                     break
+                if guard is not None:
+                    guard.on_commit(head, cycle)
                 rob.popleft()
                 del rob_by_seq[head.seq]
                 self.frontend.on_commit(head.entry)
@@ -356,6 +376,8 @@ class OoOCore:
                 rob.append(rob_entry)
                 rob_by_seq[seq] = rob_entry
                 stats.rob_writes += 1
+                if guard is not None:
+                    guard.on_dispatch(seq, entry, cycle)
                 if entry.op_class == "nop":
                     rob_entry.done = True
                     continue
@@ -459,16 +481,30 @@ class OoOCore:
             do_issue()
             do_dispatch()
             do_fetch()
+            if guard is not None:
+                guard.on_cycle(cycle, committed, iq_count, fetch_idx)
             cycle += 1
             if cycle > max_cycles:
                 raise SimulationError(
                     f"{cfg.name}: exceeded {max_cycles} cycles "
-                    f"({committed}/{n} committed)"
+                    f"({committed}/{n} committed)",
+                    cycle=cycle,
+                    occupancy={
+                        "rob": len(rob),
+                        "iq": iq_count,
+                        "lsq_loads": len(self.lsq.loads),
+                        "lsq_stores": len(self.lsq.stores),
+                        "pipe": len(pipe),
+                        "fetched": fetch_idx,
+                        "committed": committed,
+                    },
                 )
 
         stats.cycles = cycle
         stats.instructions = n
         stats.cache_stats = self.hierarchy.stats()
         stats.predictor_accuracy = self.predictor.accuracy
+        if guard is not None:
+            guard.end_run(stats)
         return stats
 
