@@ -1,15 +1,18 @@
 """Guardrail suite: the timing core's hook bus for checkers and injectors.
 
-The timing engine (:mod:`repro.uarch.core`) stays unaware of what runs behind
-the guardrails: it calls ``begin_run`` / ``on_dispatch`` / ``on_commit`` /
-``on_cycle`` / ``end_run`` on one :class:`GuardrailSuite` *only when one was
-attached*, so the default (guardrails disabled) path executes exactly the
-seed's instruction stream and reproduces its cycle counts bit-for-bit.
+The timing engine (:mod:`repro.uarch.pipeline`) stays unaware of what runs
+behind the guardrails: it calls ``begin_run`` / ``on_dispatch`` /
+``on_commit`` / ``on_cycle`` / ``end_run`` on one :class:`GuardrailSuite`
+*only when one was attached*, so the default (guardrails disabled) path
+executes exactly the same instruction stream and reproduces its cycle counts
+bit-for-bit.  Attaching a suite also disables event-driven cycle skipping,
+so per-cycle hooks observe every cycle.
 
-The suite exposes the core's live structures to checkers through a
-:class:`GuardView` — shared references plus per-cycle scalars — and keeps a
-bounded log of the most recently committed instructions so every raised
-guardrail error carries a replayable window of the commit stream.
+The suite exposes the engine's live :class:`~repro.uarch.pipeline.PipelineState`
+to checkers through a :class:`GuardView` — shared structure references plus
+live scalars read straight off the state and scheduler — and keeps a bounded
+log of the most recently committed instructions so every raised guardrail
+error carries a replayable window of the commit stream.
 """
 
 from collections import deque
@@ -35,10 +38,11 @@ def _entry_summary(entry):
 class GuardView:
     """Window into one running :class:`~repro.uarch.core.OoOCore` instance.
 
-    ``rob``/``rob_by_seq``/``pipe``/``reg_ready``/``lsq`` are the core's own
-    mutable structures (shared references, never copies); ``cycle``,
-    ``committed``, ``iq_count`` and ``fetch_idx`` are refreshed by the suite
-    before every per-cycle hook.
+    ``rob``/``rob_by_seq``/``pipe``/``reg_ready``/``lsq`` are the engine's
+    own mutable structures (shared references, never copies); ``cycle``,
+    ``committed``, ``iq_count`` and ``fetch_idx`` are properties reading the
+    live :class:`~repro.uarch.pipeline.PipelineState` and scheduler, so
+    every hook sees the current value without any per-cycle refresh.
     """
 
     __slots__ = (
@@ -50,25 +54,37 @@ class GuardView:
         "pipe",
         "reg_ready",
         "lsq",
-        "cycle",
-        "committed",
-        "iq_count",
-        "fetch_idx",
+        "_state",
+        "_sched",
     )
 
-    def __init__(self, core, trace, rob, rob_by_seq, pipe, reg_ready, lsq):
+    def __init__(self, core, state, sched):
         self.core = core
         self.config = core.config
-        self.trace = trace
-        self.rob = rob
-        self.rob_by_seq = rob_by_seq
-        self.pipe = pipe
-        self.reg_ready = reg_ready
-        self.lsq = lsq
-        self.cycle = 0
-        self.committed = 0
-        self.iq_count = 0
-        self.fetch_idx = 0
+        self.trace = state.trace
+        self.rob = state.rob
+        self.rob_by_seq = state.rob_by_seq
+        self.pipe = state.pipe
+        self.reg_ready = state.reg_ready
+        self.lsq = core.lsq
+        self._state = state
+        self._sched = sched
+
+    @property
+    def cycle(self):
+        return self._sched.cycle
+
+    @property
+    def committed(self):
+        return self._state.committed
+
+    @property
+    def iq_count(self):
+        return self._state.iq_count
+
+    @property
+    def fetch_idx(self):
+        return self._state.fetch_idx
 
     def occupancy(self):
         """Per-structure occupancy snapshot (attached to guardrail errors)."""
@@ -138,8 +154,8 @@ class GuardrailSuite:
 
     # -- hooks called by the timing core ------------------------------------
 
-    def begin_run(self, core, trace, rob, rob_by_seq, pipe, reg_ready, lsq):
-        self.view = GuardView(core, trace, rob, rob_by_seq, pipe, reg_ready, lsq)
+    def begin_run(self, core, state, sched):
+        self.view = GuardView(core, state, sched)
         for checker in self.checkers:
             checker.begin_run(self.view, self.config)
         if self.injector is not None:
@@ -163,12 +179,8 @@ class GuardrailSuite:
         except GuardrailError as exc:
             raise self._augment(exc)
 
-    def on_cycle(self, cycle, committed, iq_count, fetch_idx):
+    def on_cycle(self):
         view = self.view
-        view.cycle = cycle
-        view.committed = committed
-        view.iq_count = iq_count
-        view.fetch_idx = fetch_idx
         if self.injector is not None:
             self.injector.on_cycle(view)
         try:

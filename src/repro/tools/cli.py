@@ -9,6 +9,7 @@ Subcommands::
     straight experiments fig11 fig16                  # regenerate figures
     straight guardrails --workload dhrystone          # lockstep smoke run
     straight guardrails --faults 100 --seed 7         # fault campaign
+    straight bench --smoke --json bench.json          # simulator throughput
 
 Targets: ``riscv`` (the SS baseline), ``straight`` (RE+), ``straight-raw``.
 Cores: the Table I names (``SS-2way``, ``STRAIGHT-2way``, ``SS-4way``,
@@ -160,6 +161,28 @@ def cmd_trace(args):
     return 0
 
 
+def cmd_bench(args):
+    """Simulator-throughput smoke benchmark (stepped vs. event-driven)."""
+    from repro.harness.bench import BENCH_WORKLOADS, bench_smoke
+
+    if not args.smoke:
+        print("nothing to do: pass --smoke", file=sys.stderr)
+        return 1
+    for name in args.workload or ():
+        if name not in BENCH_WORKLOADS:
+            print(f"unknown bench workload {name!r}; choose from "
+                  f"{sorted(BENCH_WORKLOADS)}", file=sys.stderr)
+            return 1
+    report = bench_smoke(config_name=args.core, repeats=args.repeats,
+                         workloads=args.workload or None)
+    text = json.dumps(report, indent=2)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+    print(text)
+    return 0
+
+
 def cmd_experiments(args):
     from repro.harness import ALL_EXPERIMENTS
 
@@ -237,6 +260,22 @@ def build_parser():
     p_guard.add_argument("--timeout", type=float, default=None,
                          help="wall-clock budget in seconds")
     p_guard.set_defaults(func=cmd_guardrails)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="simulator-throughput benchmark (stepped vs. event-driven)",
+    )
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="run the small stall-heavy workload set")
+    p_bench.add_argument("--core", default="SS-2way",
+                         help="Table I core name")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="best-of-N wall-clock timing")
+    p_bench.add_argument("--workload", action="append",
+                         help="limit to this bench workload (repeatable)")
+    p_bench.add_argument("--json", metavar="PATH",
+                         help="also write the report to PATH")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper figures")
     p_exp.add_argument("names", nargs="*", help="experiment ids (default all)")

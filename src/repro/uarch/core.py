@@ -1,4 +1,4 @@
-"""The shared out-of-order timing engine (trace-driven, cycle-stepped).
+"""The shared out-of-order timing core (trace-driven, component-based).
 
 Models, per cycle: fetch with branch/target/return prediction and I-cache
 stalls; a fixed-depth front-end pipe; dispatch with ROB/IQ/LSQ/rename
@@ -13,112 +13,22 @@ a mispredicted branch until it resolves, then pays the front-end refill plus
 the model-specific recovery cost (SS: RMT restore by ROB walking; STRAIGHT:
 one ROB-entry read).  Wrong-path cache pollution is not modeled (see
 DESIGN.md).
+
+This module owns the per-core structures that persist across runs (caches,
+predictors, LSQ, front-end model) and the public ``run`` entry point.  The
+cycle-by-cycle machinery lives in :mod:`repro.uarch.pipeline` as explicit
+stage components driven by an event scheduler (:mod:`repro.uarch.scheduler`)
+that skips provably-idle cycles; :class:`~repro.uarch.stats.SimStats` and
+its :class:`~repro.uarch.stats.StatsRegistry` are re-exported here for
+backwards compatibility.
 """
 
-import heapq
-from collections import deque
-
-from repro.common.errors import SimulationError
 from repro.uarch.branch import make_predictor, BranchTargetBuffer, ReturnAddressStack
 from repro.uarch.frontend_models import RenameFrontEnd, StraightFrontEnd
 from repro.uarch.lsq import LoadStoreQueue, MemDependencePredictor
+from repro.uarch.stats import SimStats, StatsRegistry, default_registry
 
-_PORT_CLASS = {
-    "alu": "alu",
-    "mul": "mul",
-    "div": "div",
-    "branch": "bc",
-    "jump": "bc",
-    "load": "mem",
-    "store": "mem",
-    "sys": "alu",
-    "nop": "alu",
-}
-
-
-class SimStats:
-    """Counters accumulated during one timing run."""
-
-    _FIELDS = (
-        "cycles",
-        "instructions",
-        "fetch_stall_cycles",
-        "branches",
-        "branch_mispredicts",
-        "target_mispredicts",
-        "return_mispredicts",
-        "btb_redirects",
-        "recovery_stall_cycles",
-        "rob_walk_cycles",
-        "rob_full_stalls",
-        "iq_full_stalls",
-        "lsq_full_stalls",
-        "freelist_stall_cycles",
-        "spadd_stall_cycles",
-        "rename_src_reads",
-        "rename_writes",
-        "opdet_ops",
-        "regfile_reads",
-        "regfile_writes",
-        "iq_wakeups",
-        "rob_writes",
-        "alu_ops",
-        "mul_ops",
-        "div_ops",
-        "loads",
-        "stores",
-        "store_forwards",
-        "mem_violations",
-        "icache_stall_cycles",
-    )
-
-    def __init__(self):
-        for field in self._FIELDS:
-            setattr(self, field, 0)
-        self.cache_stats = {}
-        self.predictor_accuracy = 1.0
-
-    @property
-    def ipc(self):
-        return self.instructions / self.cycles if self.cycles else 0.0
-
-    def as_dict(self):
-        data = {field: getattr(self, field) for field in self._FIELDS}
-        data["ipc"] = self.ipc
-        data["cache"] = dict(self.cache_stats)
-        data["predictor_accuracy"] = self.predictor_accuracy
-        return data
-
-    def __repr__(self):
-        return (
-            f"SimStats(cycles={self.cycles}, instrs={self.instructions}, "
-            f"ipc={self.ipc:.3f}, mispredicts={self.branch_mispredicts})"
-        )
-
-
-class _IQEntry:
-    """An issue-queue entry; the ready heap selects oldest-first."""
-
-    __slots__ = ("seq", "entry", "remaining", "min_issue")
-
-    def __init__(self, seq, entry):
-        self.seq = seq
-        self.entry = entry
-        self.remaining = 0
-        self.min_issue = 0
-
-    def __lt__(self, other):
-        return self.seq < other.seq
-
-
-class _RobEntry:
-    __slots__ = ("seq", "entry", "done", "fetch_cycle")
-
-    def __init__(self, seq, entry, fetch_cycle):
-        self.seq = seq
-        self.entry = entry
-        self.done = False
-        self.fetch_cycle = fetch_cycle
+__all__ = ["OoOCore", "SimStats", "StatsRegistry", "default_registry"]
 
 
 class OoOCore:
@@ -126,7 +36,8 @@ class OoOCore:
 
     ``guardrails`` is an optional :class:`~repro.guardrails.GuardrailSuite`;
     when ``None`` (the default) no hook is consulted and the run takes the
-    exact fast path, so cycle counts are identical to a guardrail-free build.
+    exact fast path — including event-driven cycle skipping — so cycle
+    counts are identical to a guardrail-free build.
     """
 
     def __init__(self, config, guardrails=None):
@@ -141,6 +52,7 @@ class OoOCore:
         self.frontend = frontend_cls(config, self.stats)
         self.lsq = LoadStoreQueue(config.lsq_loads, config.lsq_stores)
         self.mdp = MemDependencePredictor()
+        self.engine = None  # the TimingEngine of the most recent run
 
     def warm_caches(self, trace):
         """Pre-touch every instruction and data line of ``trace``.
@@ -168,343 +80,18 @@ class OoOCore:
 
     # ------------------------------------------------------------------ run --
 
-    def run(self, trace, max_cycles=200_000_000, warm=False):
+    def run(self, trace, max_cycles=200_000_000, warm=False, idle_skip=True):
+        """Simulate ``trace`` to completion and return the stats.
+
+        ``idle_skip=False`` forces cycle-by-cycle stepping (benchmarks use
+        it to measure the event-driven speedup); attaching a guardrail suite
+        disables skipping regardless, so per-cycle hooks see every cycle.
+        """
         if warm:
             self.warm_caches(trace)
-        return self._run(trace, max_cycles)
+        from repro.uarch.pipeline import TimingEngine
 
-    def _run(self, trace, max_cycles):
-        cfg = self.config
-        stats = self.stats
-        n = len(trace)
-        if n == 0:
-            return stats
-
-        cycle = 0
-        fetch_idx = 0
-        fetch_resume = 0  # earliest cycle fetch may proceed
-        awaiting_branch = None  # seq of unresolved mispredicted branch
-        mispredict_fetch_cycle = 0
-        rename_blocked_until = 0
-        pipe = deque()  # (seq, dispatch_ready_cycle, fetch_cycle)
-        rob = deque()
-        committed = 0
-        iq_count = 0
-
-        events = {}  # cycle -> list of seq completing
-        event_cycles = []  # heap of event cycles
-        ready_buckets = {}  # cycle -> list of _IQEntry
-        ready_heap = []
-        waiting = {}  # producer seq -> list of _IQEntry
-        reg_ready = {}  # producer seq -> result-available cycle
-        iq_entries_by_seq = {}
-
-        latencies = cfg.latencies
-        line_shift = (self.hierarchy.line_bytes - 1).bit_length()
-        last_fetch_line = -1
-
-        def schedule_completion(seq, at):
-            events.setdefault(at, []).append(seq)
-            heapq.heappush(event_cycles, at)
-
-        def wake_consumers(seq, at):
-            for consumer in waiting.pop(seq, ()):
-                consumer.remaining -= 1
-                if consumer.min_issue < at:
-                    consumer.min_issue = at
-                if consumer.remaining == 0:
-                    bucket_at = max(consumer.min_issue, cycle + 1)
-                    ready_buckets.setdefault(bucket_at, []).append(consumer)
-                    heapq.heappush(event_cycles, bucket_at)
-                stats.iq_wakeups += 1
-
-        rob_by_seq = {}
-
-        guard = self.guardrails
-        if guard is not None:
-            guard.begin_run(
-                core=self,
-                trace=trace,
-                rob=rob,
-                rob_by_seq=rob_by_seq,
-                pipe=pipe,
-                reg_ready=reg_ready,
-                lsq=self.lsq,
-            )
-
-        # ------------------------------------------------------------ stages
-
-        def do_completions():
-            nonlocal awaiting_branch, fetch_resume, rename_blocked_until
-            for seq in events.pop(cycle, ()):
-                entry = trace[seq]
-                rob_entry = rob_by_seq.get(seq)
-                if rob_entry is not None:
-                    rob_entry.done = True
-                wake_consumers(seq, cycle)
-                if seq == awaiting_branch:
-                    awaiting_branch = None
-                    fetch_resume = cycle + 1
-                    rob_free = cfg.rob_entries - len(rob)
-                    blocked = self.frontend.recovery_block_until(
-                        cycle, rob_by_seq[seq].fetch_cycle, rob_free
-                    )
-                    rename_blocked_until = max(rename_blocked_until, blocked)
-                    stats.recovery_stall_cycles += max(0, blocked - cycle)
-
-        def do_commit():
-            nonlocal committed
-            slots = cfg.commit_width
-            while rob and slots > 0:
-                head = rob[0]
-                if not head.done:
-                    break
-                if guard is not None:
-                    guard.on_commit(head, cycle)
-                rob.popleft()
-                del rob_by_seq[head.seq]
-                self.frontend.on_commit(head.entry)
-                if head.entry.op_class == "store":
-                    self.lsq.commit_store(head.seq)
-                elif head.entry.op_class == "load":
-                    self.lsq.commit_load(head.seq)
-                committed += 1
-                slots -= 1
-
-        def issue_latency(iq_entry):
-            """Latency for an issuing instruction; None defers the issue."""
-            nonlocal fetch_resume
-            entry = iq_entry.entry
-            cls = entry.op_class
-            if cls == "load":
-                kind, payload = self.lsq.try_issue_load(
-                    iq_entry.seq, cycle, self.mdp, self.hierarchy, stats
-                )
-                if kind == "wait":
-                    # Forbidden to speculate past this older store; sleep
-                    # until it executes and recheck.
-                    waiting.setdefault(payload, []).append(iq_entry)
-                    iq_entry.remaining += 1
-                    return None
-                return payload
-            if cls == "store":
-                violations = self.lsq.store_executed(
-                    iq_entry.seq, entry.mem_addr, cycle + latencies["store"]
-                )
-                if violations:
-                    stats.mem_violations += len(violations)
-                    for load_seq in violations:
-                        self.mdp.train_conflict(self.lsq.load_pc(load_seq))
-                    # Replay of the violating loads and their dependents,
-                    # modeled as a short pipeline penalty.
-                    fetch_resume = max(
-                        fetch_resume, cycle + cfg.mdp_replay_penalty
-                    )
-                return latencies["store"]
-            return latencies.get(cls, 1)
-
-        def do_issue():
-            nonlocal iq_count
-            for iq_entry in ready_buckets.pop(cycle, ()):
-                heapq.heappush(ready_heap, iq_entry)
-            ports = dict(cfg.units)
-            issued = 0
-            deferred = []
-            while ready_heap and issued < cfg.issue_width:
-                iq_entry = heapq.heappop(ready_heap)
-                if iq_entry.min_issue > cycle:
-                    deferred.append(iq_entry)
-                    continue
-                port = _PORT_CLASS[iq_entry.entry.op_class]
-                if ports.get(port, 0) <= 0:
-                    deferred.append(iq_entry)
-                    continue
-                latency = issue_latency(iq_entry)
-                if latency is None:
-                    continue  # stays in the IQ, now waiting on a store
-                ports[port] -= 1
-                issued += 1
-                iq_count -= 1
-                seq = iq_entry.seq
-                done_at = cycle + latency
-                reg_ready[seq] = done_at
-                schedule_completion(seq, done_at)
-                stats.regfile_reads += len(iq_entry.entry.srcs)
-                if iq_entry.entry.dest is not None or self.config.is_straight:
-                    stats.regfile_writes += 1
-                cls = iq_entry.entry.op_class
-                if cls in ("alu", "sys"):
-                    stats.alu_ops += 1
-                elif cls == "mul":
-                    stats.mul_ops += 1
-                elif cls == "div":
-                    stats.div_ops += 1
-            for iq_entry in deferred:
-                heapq.heappush(ready_heap, iq_entry)
-
-        def do_dispatch():
-            nonlocal iq_count
-            if cycle < rename_blocked_until:
-                return
-            slots = cfg.fetch_width
-            group_state = {"spadds": 0}
-            while pipe and slots > 0:
-                seq, ready_at, fetch_cycle = pipe[0]
-                if ready_at > cycle:
-                    break
-                entry = trace[seq]
-                if len(rob) >= cfg.rob_entries:
-                    stats.rob_full_stalls += 1
-                    break
-                if entry.op_class != "nop" and iq_count >= cfg.iq_entries:
-                    stats.iq_full_stalls += 1
-                    break
-                if entry.op_class == "load" and not self.lsq.can_add_load():
-                    stats.lsq_full_stalls += 1
-                    break
-                if entry.op_class == "store" and not self.lsq.can_add_store():
-                    stats.lsq_full_stalls += 1
-                    break
-                if not self.frontend.can_dispatch(entry, group_state):
-                    break
-                pipe.popleft()
-                slots -= 1
-                if entry.is_spadd:
-                    group_state["spadds"] = group_state.get("spadds", 0) + 1
-                tags = self.frontend.rename(entry, seq)
-                rob_entry = _RobEntry(seq, entry, fetch_cycle)
-                rob.append(rob_entry)
-                rob_by_seq[seq] = rob_entry
-                stats.rob_writes += 1
-                if guard is not None:
-                    guard.on_dispatch(seq, entry, cycle)
-                if entry.op_class == "nop":
-                    rob_entry.done = True
-                    continue
-                if entry.op_class == "load":
-                    self.lsq.add_load(seq, entry.mem_addr, entry.pc)
-                    stats.loads += 1
-                elif entry.op_class == "store":
-                    self.lsq.add_store(seq)
-                    stats.stores += 1
-                iq_entry = _IQEntry(seq, entry)
-                iq_entry.min_issue = cycle + 1
-                for tag in tags:
-                    ready_at_tag = reg_ready.get(tag)
-                    if ready_at_tag is None:
-                        if tag in rob_by_seq:
-                            waiting.setdefault(tag, []).append(iq_entry)
-                            iq_entry.remaining += 1
-                        # else: producer long retired; operand ready
-                    elif ready_at_tag > iq_entry.min_issue:
-                        iq_entry.min_issue = ready_at_tag
-                iq_count += 1
-                iq_entries_by_seq[seq] = iq_entry
-                if iq_entry.remaining == 0:
-                    ready_buckets.setdefault(iq_entry.min_issue, []).append(iq_entry)
-                    heapq.heappush(event_cycles, iq_entry.min_issue)
-
-        def predict_control(entry, seq):
-            """Returns (mispredicted, stop_fetch_group, redirect_penalty)."""
-            stats.branches += 1
-            actual_taken = entry.taken
-            actual_target = entry.next_pc if actual_taken else None
-            if entry.op_class == "branch":
-                predicted_taken = self.predictor.predict(entry.pc)
-                self.predictor.update(entry.pc, actual_taken)
-            else:
-                predicted_taken = True
-            predicted_target = None
-            if predicted_taken:
-                if entry.is_return:
-                    predicted_target = self.ras.pop()
-                else:
-                    predicted_target = self.btb.predict(entry.pc)
-            if entry.is_call:
-                self.ras.push(entry.pc + 4)
-            if actual_taken and not entry.is_return:
-                self.btb.update(entry.pc, entry.next_pc)
-            if cfg.ideal_recovery:
-                return False, actual_taken, 0
-            if predicted_taken != actual_taken:
-                stats.branch_mispredicts += 1
-                return True, True, 0
-            if actual_taken and predicted_target != actual_target:
-                if entry.is_return:
-                    stats.return_mispredicts += 1
-                    stats.branch_mispredicts += 1
-                    return True, True, 0
-                # Direct jump/branch with a BTB miss: the target is computed
-                # at decode; short front-end redirect, not a full recovery.
-                stats.btb_redirects += 1
-                stats.target_mispredicts += 1
-                return False, True, cfg.btb_miss_penalty
-            return False, actual_taken, 0
-
-        def do_fetch():
-            nonlocal fetch_idx, fetch_resume, awaiting_branch, last_fetch_line
-            nonlocal mispredict_fetch_cycle
-            if awaiting_branch is not None or cycle < fetch_resume:
-                return
-            fetched = 0
-            while fetched < cfg.fetch_width and fetch_idx < n:
-                entry = trace[fetch_idx]
-                line = entry.pc >> line_shift
-                if line != last_fetch_line:
-                    latency = self.hierarchy.access_instr(entry.pc)
-                    last_fetch_line = line
-                    if latency > self.hierarchy.l1i.hit_latency:
-                        extra = latency - self.hierarchy.l1i.hit_latency
-                        fetch_resume = cycle + extra
-                        stats.icache_stall_cycles += extra
-                        return
-                pipe.append((fetch_idx, cycle + cfg.frontend_depth, cycle))
-                seq = fetch_idx
-                fetch_idx += 1
-                fetched += 1
-                if entry.changes_flow():
-                    mispredicted, stop_group, redirect = predict_control(entry, seq)
-                    if mispredicted:
-                        awaiting_branch = seq
-                        return
-                    if redirect:
-                        fetch_resume = cycle + 1 + redirect
-                        return
-                    if stop_group:
-                        return
-
-        # ------------------------------------------------------------ loop --
-
-        while committed < n:
-            do_completions()
-            do_commit()
-            do_issue()
-            do_dispatch()
-            do_fetch()
-            if guard is not None:
-                guard.on_cycle(cycle, committed, iq_count, fetch_idx)
-            cycle += 1
-            if cycle > max_cycles:
-                raise SimulationError(
-                    f"{cfg.name}: exceeded {max_cycles} cycles "
-                    f"({committed}/{n} committed)",
-                    cycle=cycle,
-                    occupancy={
-                        "rob": len(rob),
-                        "iq": iq_count,
-                        "lsq_loads": len(self.lsq.loads),
-                        "lsq_stores": len(self.lsq.stores),
-                        "pipe": len(pipe),
-                        "fetched": fetch_idx,
-                        "committed": committed,
-                    },
-                )
-
-        stats.cycles = cycle
-        stats.instructions = n
-        stats.cache_stats = self.hierarchy.stats()
-        stats.predictor_accuracy = self.predictor.accuracy
-        if guard is not None:
-            guard.end_run(stats)
-        return stats
-
+        self.engine = TimingEngine(
+            self, trace, guardrails=self.guardrails, idle_skip=idle_skip
+        )
+        return self.engine.run(max_cycles)

@@ -18,6 +18,9 @@ class RenameFrontEnd:
     """Conventional rename stage with a RAM-based RMT and a free list."""
 
     name = "rename"
+    #: counters this model increments, contributed to the StatsRegistry
+    STAT_FIELDS = ("rob_walk_cycles", "freelist_stall_cycles",
+                   "rename_src_reads", "rename_writes")
 
     def __init__(self, config, stats):
         self.config = config
@@ -83,6 +86,8 @@ class StraightFrontEnd:
     """STRAIGHT operand determination: RP arithmetic instead of renaming."""
 
     name = "straight"
+    #: counters this model increments, contributed to the StatsRegistry
+    STAT_FIELDS = ("spadd_stall_cycles", "opdet_ops")
 
     def __init__(self, config, stats):
         self.config = config

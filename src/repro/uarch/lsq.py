@@ -46,6 +46,9 @@ class _Store:
 class LoadStoreQueue:
     """Split load/store queues keyed by trace sequence number."""
 
+    #: counters this component increments, contributed to the StatsRegistry
+    STAT_FIELDS = ("store_forwards",)
+
     def __init__(self, load_entries, store_entries):
         self.load_entries = load_entries
         self.store_entries = store_entries

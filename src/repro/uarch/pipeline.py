@@ -1,0 +1,711 @@
+"""Stage-decomposed timing engine with an event-driven, cycle-skipping clock.
+
+This replaces the seed's monolithic ``OoOCore._run`` closure with explicit
+pipeline-stage components that communicate through one typed
+:class:`PipelineState` object:
+
+* :class:`CompletionStage` — retires completion events, wakes issue-queue
+  consumers, resolves awaited branches and charges recovery stalls;
+* :class:`CommitStage` — in-order commit at commit width, guardrail commit
+  hooks, LSQ deallocation, and pruning of per-seq bookkeeping;
+* :class:`IssueStage` — wakeup-select with per-class ports, LSQ issue
+  (forwarding / memory-dependence waits / violation replays);
+* :class:`DispatchStage` — ROB/IQ/LSQ structural stalls, front-end model
+  rename / operand determination, dependence capture;
+* :class:`FetchStage` — I-cache access, branch/target/return prediction and
+  misprediction handling.
+
+Stage order within one cycle is exactly the seed's: completion, commit,
+issue, dispatch, fetch — so all timing is bit-identical to the monolithic
+engine (enforced by the golden snapshots in ``tests/test_golden_snapshots``).
+
+The clock is owned by an :class:`~repro.uarch.scheduler.EventScheduler`.
+Every stage implements ``can_tick()`` (could it make progress or count a
+stall *this* cycle?) and ``next_wake()`` (the earliest future cycle at which
+it could, when that cycle is not already in the scheduler's event heap).
+When every stage is idle the engine jumps the clock to the next scheduled
+event instead of stepping cycle-by-cycle, which is where the wall-clock
+speedup on stall-heavy traces comes from.  Guardrailed runs never jump, so
+per-cycle hooks observe every cycle.
+"""
+
+import heapq
+
+from repro.common.errors import SimulationError
+from repro.uarch.frontend_models import RenameFrontEnd, StraightFrontEnd
+from repro.uarch.lsq import LoadStoreQueue
+
+_PORT_CLASS = {
+    "alu": "alu",
+    "mul": "mul",
+    "div": "div",
+    "branch": "bc",
+    "jump": "bc",
+    "load": "mem",
+    "store": "mem",
+    "sys": "alu",
+    "nop": "alu",
+}
+
+
+class _IQEntry:
+    """An issue-queue entry; the ready heap selects oldest-first."""
+
+    __slots__ = ("seq", "entry", "remaining", "min_issue")
+
+    def __init__(self, seq, entry):
+        self.seq = seq
+        self.entry = entry
+        self.remaining = 0
+        self.min_issue = 0
+
+    def __lt__(self, other):
+        return self.seq < other.seq
+
+
+class _RobEntry:
+    __slots__ = ("seq", "entry", "done", "fetch_cycle")
+
+    def __init__(self, seq, entry, fetch_cycle):
+        self.seq = seq
+        self.entry = entry
+        self.done = False
+        self.fetch_cycle = fetch_cycle
+
+
+class PipelineState:
+    """All mutable pipeline state crossing stage boundaries, in one place.
+
+    The seed engine held these as closure-local variables; making them
+    attributes of one shared object is what lets stages be separate
+    components and lets guardrail checkers observe stage-boundary state
+    without reaching into closures.
+    """
+
+    __slots__ = (
+        "trace",            # the dynamic instruction trace (list of TraceEntry)
+        "n",                # len(trace)
+        "committed",        # instructions retired so far
+        "fetch_idx",        # next trace index to fetch
+        "fetch_resume",     # earliest cycle fetch may proceed
+        "awaiting_branch",  # seq of unresolved mispredicted branch, or None
+        "rename_blocked_until",  # dispatch blocked during recovery until here
+        "pipe",             # front-end pipe: (seq, dispatch_ready_cycle, fetch_cycle)
+        "rob",              # deque of _RobEntry, program order
+        "rob_by_seq",       # seq -> _RobEntry for in-flight instructions
+        "iq_count",         # issue-queue occupancy
+        "events",           # cycle -> [seq, ...] completing that cycle
+        "ready_buckets",    # cycle -> [_IQEntry, ...] becoming ready
+        "ready_heap",       # heap of ready _IQEntry (oldest-first select)
+        "waiting",          # producer seq -> [_IQEntry, ...] blocked on it
+        "reg_ready",        # in-flight producer seq -> result-available cycle
+        "iq_entries_by_seq",  # in-flight seq -> _IQEntry (pruned at commit)
+        "last_fetch_line",  # last I-cache line touched by fetch
+        "line_shift",       # log2(cache line bytes)
+    )
+
+    def __init__(self, trace, line_shift):
+        from collections import deque
+
+        self.trace = trace
+        self.n = len(trace)
+        self.committed = 0
+        self.fetch_idx = 0
+        self.fetch_resume = 0
+        self.awaiting_branch = None
+        self.rename_blocked_until = 0
+        self.pipe = deque()
+        self.rob = deque()
+        self.rob_by_seq = {}
+        self.iq_count = 0
+        self.events = {}
+        self.ready_buckets = {}
+        self.ready_heap = []
+        self.waiting = {}
+        self.reg_ready = {}
+        self.iq_entries_by_seq = {}
+        self.last_fetch_line = -1
+        self.line_shift = line_shift
+
+    def occupancy(self, lsq, fetched=None):
+        """Per-structure occupancy snapshot (error payloads, guard views)."""
+        return {
+            "rob": len(self.rob),
+            "iq": self.iq_count,
+            "lsq_loads": len(lsq.loads),
+            "lsq_stores": len(lsq.stores),
+            "pipe": len(self.pipe),
+            "fetched": self.fetch_idx if fetched is None else fetched,
+            "committed": self.committed,
+        }
+
+
+class PipelineStage:
+    """Base class: one pipeline stage ticking against the shared state.
+
+    ``tick()`` performs this cycle's work.  ``can_tick()`` answers whether
+    the stage could make progress — or count a stall — at the scheduler's
+    current cycle; it must err on the side of ``True``, since a wrongly-idle
+    verdict would let the clock jump over an observable cycle.
+    ``next_wake()`` names the earliest future cycle the stage could act at
+    when that cycle is *not* carried by the scheduler's event heap (front-end
+    pipe readiness, fetch resumption, rename unblocking).
+    """
+
+    name = "stage"
+    STAT_FIELDS = ()
+
+    def __init__(self, core, state, sched, stats, guard=None):
+        self.core = core
+        self.cfg = core.config
+        self.state = state
+        self.sched = sched
+        self.stats = stats
+        self.guard = guard
+
+    def tick(self):
+        raise NotImplementedError
+
+    def can_tick(self):
+        return True
+
+    def next_wake(self):
+        return None
+
+
+class CompletionStage(PipelineStage):
+    """Retire completion events; wake consumers; resolve awaited branches."""
+
+    name = "completion"
+    STAT_FIELDS = ("recovery_stall_cycles", "iq_wakeups")
+
+    def tick(self):
+        state = self.state
+        cycle = self.sched.cycle
+        seqs = state.events.pop(cycle, None)
+        if not seqs:
+            return
+        stats = self.stats
+        waiting = state.waiting
+        ready_buckets = state.ready_buckets
+        rob_by_seq = state.rob_by_seq
+        schedule = self.sched.schedule
+        for seq in seqs:
+            rob_entry = rob_by_seq.get(seq)
+            if rob_entry is not None:
+                rob_entry.done = True
+            for consumer in waiting.pop(seq, ()):
+                consumer.remaining -= 1
+                if consumer.min_issue < cycle:
+                    consumer.min_issue = cycle
+                if consumer.remaining == 0:
+                    bucket_at = consumer.min_issue
+                    if bucket_at <= cycle:
+                        bucket_at = cycle + 1
+                    ready_buckets.setdefault(bucket_at, []).append(consumer)
+                    schedule(bucket_at)
+                stats.iq_wakeups += 1
+            if seq == state.awaiting_branch:
+                state.awaiting_branch = None
+                state.fetch_resume = cycle + 1
+                rob_free = self.cfg.rob_entries - len(state.rob)
+                blocked = self.core.frontend.recovery_block_until(
+                    cycle, rob_by_seq[seq].fetch_cycle, rob_free
+                )
+                if blocked > state.rename_blocked_until:
+                    state.rename_blocked_until = blocked
+                stats.recovery_stall_cycles += max(0, blocked - cycle)
+
+    def can_tick(self):
+        return self.sched.cycle in self.state.events
+
+
+class CommitStage(PipelineStage):
+    """In-order commit at commit width, plus per-seq bookkeeping pruning."""
+
+    name = "commit"
+
+    def tick(self):
+        state = self.state
+        rob = state.rob
+        if not rob or not rob[0].done:
+            return
+        cycle = self.sched.cycle
+        guard = self.guard
+        lsq = self.core.lsq
+        frontend = self.core.frontend
+        rob_by_seq = state.rob_by_seq
+        reg_ready = state.reg_ready
+        iq_entries_by_seq = state.iq_entries_by_seq
+        slots = self.cfg.commit_width
+        while rob and slots > 0:
+            head = rob[0]
+            if not head.done:
+                break
+            if guard is not None:
+                guard.on_commit(head, cycle)
+            rob.popleft()
+            seq = head.seq
+            del rob_by_seq[seq]
+            frontend.on_commit(head.entry)
+            if head.entry.op_class == "store":
+                lsq.commit_store(seq)
+            elif head.entry.op_class == "load":
+                lsq.commit_load(seq)
+            # Retired instructions need no further wakeup bookkeeping: a
+            # consumer dispatched after this point finds the seq absent from
+            # both maps and treats the operand as ready, which is exactly
+            # what the result-available cycle would have said (completion
+            # always precedes commit).  Without this pruning both dicts grew
+            # O(trace) on long runs.
+            reg_ready.pop(seq, None)
+            iq_entries_by_seq.pop(seq, None)
+            state.committed += 1
+            slots -= 1
+
+    def can_tick(self):
+        rob = self.state.rob
+        return bool(rob) and rob[0].done
+
+
+class IssueStage(PipelineStage):
+    """Wakeup-select issue with per-class ports and LSQ execution."""
+
+    name = "issue"
+    STAT_FIELDS = ("regfile_reads", "regfile_writes", "alu_ops", "mul_ops",
+                   "div_ops", "mem_violations")
+
+    def tick(self):
+        state = self.state
+        cycle = self.sched.cycle
+        ready_heap = state.ready_heap
+        bucket = state.ready_buckets.pop(cycle, None)
+        if bucket:
+            for iq_entry in bucket:
+                heapq.heappush(ready_heap, iq_entry)
+        if not ready_heap:
+            return
+        cfg = self.cfg
+        stats = self.stats
+        reg_ready = state.reg_ready
+        events = state.events
+        schedule = self.sched.schedule
+        ports = dict(cfg.units)
+        issued = 0
+        deferred = []
+        while ready_heap and issued < cfg.issue_width:
+            iq_entry = heapq.heappop(ready_heap)
+            if iq_entry.min_issue > cycle:
+                deferred.append(iq_entry)
+                continue
+            port = _PORT_CLASS[iq_entry.entry.op_class]
+            if ports.get(port, 0) <= 0:
+                deferred.append(iq_entry)
+                continue
+            latency = self._issue_latency(iq_entry, cycle)
+            if latency is None:
+                continue  # stays in the IQ, now waiting on a store
+            ports[port] -= 1
+            issued += 1
+            state.iq_count -= 1
+            seq = iq_entry.seq
+            done_at = cycle + latency
+            reg_ready[seq] = done_at
+            events.setdefault(done_at, []).append(seq)
+            schedule(done_at)
+            stats.regfile_reads += len(iq_entry.entry.srcs)
+            if iq_entry.entry.dest is not None or cfg.is_straight:
+                stats.regfile_writes += 1
+            cls = iq_entry.entry.op_class
+            if cls in ("alu", "sys"):
+                stats.alu_ops += 1
+            elif cls == "mul":
+                stats.mul_ops += 1
+            elif cls == "div":
+                stats.div_ops += 1
+        for iq_entry in deferred:
+            heapq.heappush(ready_heap, iq_entry)
+
+    def _issue_latency(self, iq_entry, cycle):
+        """Latency for an issuing instruction; ``None`` defers the issue."""
+        state = self.state
+        entry = iq_entry.entry
+        cls = entry.op_class
+        lsq = self.core.lsq
+        latencies = self.cfg.latencies
+        if cls == "load":
+            kind, payload = lsq.try_issue_load(
+                iq_entry.seq, cycle, self.core.mdp, self.core.hierarchy,
+                self.stats
+            )
+            if kind == "wait":
+                # Forbidden to speculate past this older store; sleep until
+                # it executes and recheck.
+                state.waiting.setdefault(payload, []).append(iq_entry)
+                iq_entry.remaining += 1
+                return None
+            return payload
+        if cls == "store":
+            violations = lsq.store_executed(
+                iq_entry.seq, entry.mem_addr, cycle + latencies["store"]
+            )
+            if violations:
+                self.stats.mem_violations += len(violations)
+                for load_seq in violations:
+                    self.core.mdp.train_conflict(lsq.load_pc(load_seq))
+                # Replay of the violating loads and their dependents,
+                # modeled as a short pipeline penalty.
+                resume = cycle + self.cfg.mdp_replay_penalty
+                if resume > state.fetch_resume:
+                    state.fetch_resume = resume
+            return latencies["store"]
+        return latencies.get(cls, 1)
+
+    def can_tick(self):
+        state = self.state
+        return bool(state.ready_heap) or self.sched.cycle in state.ready_buckets
+
+
+class DispatchStage(PipelineStage):
+    """Structural stalls, front-end rename/operand-determination, wakeup."""
+
+    name = "dispatch"
+    STAT_FIELDS = ("rob_full_stalls", "iq_full_stalls", "lsq_full_stalls",
+                   "rob_writes", "loads", "stores")
+
+    def tick(self):
+        state = self.state
+        cycle = self.sched.cycle
+        if cycle < state.rename_blocked_until:
+            return
+        pipe = state.pipe
+        if not pipe or pipe[0][1] > cycle:
+            return
+        cfg = self.cfg
+        stats = self.stats
+        guard = self.guard
+        trace = state.trace
+        rob = state.rob
+        rob_by_seq = state.rob_by_seq
+        lsq = self.core.lsq
+        frontend = self.core.frontend
+        reg_ready = state.reg_ready
+        waiting = state.waiting
+        ready_buckets = state.ready_buckets
+        schedule = self.sched.schedule
+        slots = cfg.fetch_width
+        group_state = {"spadds": 0}
+        while pipe and slots > 0:
+            seq, ready_at, fetch_cycle = pipe[0]
+            if ready_at > cycle:
+                break
+            entry = trace[seq]
+            if len(rob) >= cfg.rob_entries:
+                stats.rob_full_stalls += 1
+                break
+            if entry.op_class != "nop" and state.iq_count >= cfg.iq_entries:
+                stats.iq_full_stalls += 1
+                break
+            if entry.op_class == "load" and not lsq.can_add_load():
+                stats.lsq_full_stalls += 1
+                break
+            if entry.op_class == "store" and not lsq.can_add_store():
+                stats.lsq_full_stalls += 1
+                break
+            if not frontend.can_dispatch(entry, group_state):
+                break
+            pipe.popleft()
+            slots -= 1
+            if entry.is_spadd:
+                group_state["spadds"] = group_state.get("spadds", 0) + 1
+            tags = frontend.rename(entry, seq)
+            rob_entry = _RobEntry(seq, entry, fetch_cycle)
+            rob.append(rob_entry)
+            rob_by_seq[seq] = rob_entry
+            stats.rob_writes += 1
+            if guard is not None:
+                guard.on_dispatch(seq, entry, cycle)
+            if entry.op_class == "nop":
+                rob_entry.done = True
+                continue
+            if entry.op_class == "load":
+                lsq.add_load(seq, entry.mem_addr, entry.pc)
+                stats.loads += 1
+            elif entry.op_class == "store":
+                lsq.add_store(seq)
+                stats.stores += 1
+            iq_entry = _IQEntry(seq, entry)
+            iq_entry.min_issue = cycle + 1
+            for tag in tags:
+                ready_at_tag = reg_ready.get(tag)
+                if ready_at_tag is None:
+                    if tag in rob_by_seq:
+                        waiting.setdefault(tag, []).append(iq_entry)
+                        iq_entry.remaining += 1
+                    # else: producer long retired; operand ready
+                elif ready_at_tag > iq_entry.min_issue:
+                    iq_entry.min_issue = ready_at_tag
+            state.iq_count += 1
+            state.iq_entries_by_seq[seq] = iq_entry
+            if iq_entry.remaining == 0:
+                ready_buckets.setdefault(iq_entry.min_issue, []).append(iq_entry)
+                schedule(iq_entry.min_issue)
+
+    def can_tick(self):
+        state = self.state
+        cycle = self.sched.cycle
+        if cycle < state.rename_blocked_until:
+            return False
+        pipe = state.pipe
+        return bool(pipe) and pipe[0][1] <= cycle
+
+    def next_wake(self):
+        state = self.state
+        if not state.pipe:
+            return None
+        ready_at = state.pipe[0][1]
+        blocked_until = state.rename_blocked_until
+        return ready_at if ready_at > blocked_until else blocked_until
+
+
+class FetchStage(PipelineStage):
+    """Fetch with I-cache stalls and branch/target/return prediction."""
+
+    name = "fetch"
+    #: fetch_stall_cycles is a legacy always-zero counter kept for output
+    #: compatibility with the seed engine's as_dict() surface.
+    STAT_FIELDS = ("fetch_stall_cycles", "icache_stall_cycles", "branches",
+                   "branch_mispredicts", "target_mispredicts",
+                   "return_mispredicts", "btb_redirects")
+
+    def tick(self):
+        state = self.state
+        cycle = self.sched.cycle
+        if state.awaiting_branch is not None or cycle < state.fetch_resume:
+            return
+        n = state.n
+        fetch_idx = state.fetch_idx
+        if fetch_idx >= n:
+            return
+        cfg = self.cfg
+        trace = state.trace
+        hierarchy = self.core.hierarchy
+        pipe = state.pipe
+        line_shift = state.line_shift
+        dispatch_at = cycle + cfg.frontend_depth
+        fetched = 0
+        while fetched < cfg.fetch_width and fetch_idx < n:
+            entry = trace[fetch_idx]
+            line = entry.pc >> line_shift
+            if line != state.last_fetch_line:
+                latency = hierarchy.access_instr(entry.pc)
+                state.last_fetch_line = line
+                if latency > hierarchy.l1i.hit_latency:
+                    extra = latency - hierarchy.l1i.hit_latency
+                    state.fetch_resume = cycle + extra
+                    self.stats.icache_stall_cycles += extra
+                    break
+            pipe.append((fetch_idx, dispatch_at, cycle))
+            seq = fetch_idx
+            fetch_idx += 1
+            fetched += 1
+            if entry.changes_flow():
+                mispredicted, stop_group, redirect = self._predict_control(
+                    entry, seq
+                )
+                if mispredicted:
+                    state.awaiting_branch = seq
+                    break
+                if redirect:
+                    state.fetch_resume = cycle + 1 + redirect
+                    break
+                if stop_group:
+                    break
+        state.fetch_idx = fetch_idx
+
+    def _predict_control(self, entry, seq):
+        """Returns (mispredicted, stop_fetch_group, redirect_penalty)."""
+        stats = self.stats
+        core = self.core
+        stats.branches += 1
+        actual_taken = entry.taken
+        actual_target = entry.next_pc if actual_taken else None
+        if entry.op_class == "branch":
+            predicted_taken = core.predictor.predict(entry.pc)
+            core.predictor.update(entry.pc, actual_taken)
+        else:
+            predicted_taken = True
+        predicted_target = None
+        if predicted_taken:
+            if entry.is_return:
+                predicted_target = core.ras.pop()
+            else:
+                predicted_target = core.btb.predict(entry.pc)
+        if entry.is_call:
+            core.ras.push(entry.pc + 4)
+        if actual_taken and not entry.is_return:
+            core.btb.update(entry.pc, entry.next_pc)
+        if self.cfg.ideal_recovery:
+            return False, actual_taken, 0
+        if predicted_taken != actual_taken:
+            stats.branch_mispredicts += 1
+            return True, True, 0
+        if actual_taken and predicted_target != actual_target:
+            if entry.is_return:
+                stats.return_mispredicts += 1
+                stats.branch_mispredicts += 1
+                return True, True, 0
+            # Direct jump/branch with a BTB miss: the target is computed at
+            # decode; short front-end redirect, not a full recovery.
+            stats.btb_redirects += 1
+            stats.target_mispredicts += 1
+            return False, True, self.cfg.btb_miss_penalty
+        return False, actual_taken, 0
+
+    def can_tick(self):
+        state = self.state
+        return (state.awaiting_branch is None
+                and self.sched.cycle >= state.fetch_resume
+                and state.fetch_idx < state.n)
+
+    def next_wake(self):
+        state = self.state
+        if state.awaiting_branch is not None or state.fetch_idx >= state.n:
+            return None  # resumption rides on a completion event
+        return state.fetch_resume
+
+
+class TimingEngine:
+    """Wires the five stages to one state object and one event scheduler.
+
+    One engine instance drives one ``run``; the owning
+    :class:`~repro.uarch.core.OoOCore` holds the cross-run structures
+    (predictor, caches, LSQ, front-end model) that stages reach through
+    ``core``.  ``idle_skip=False`` forces seed-style cycle-by-cycle stepping
+    (used by benchmarks to measure the skip win, and implied whenever a
+    guardrail suite is attached).
+    """
+
+    STAT_FIELDS = ("cycles", "instructions")
+
+    def __init__(self, core, trace, guardrails=None, idle_skip=True):
+        self.core = core
+        self.guard = guardrails
+        line_shift = (core.hierarchy.line_bytes - 1).bit_length()
+        self.state = PipelineState(trace, line_shift)
+
+        from repro.uarch.scheduler import EventScheduler
+
+        self.sched = EventScheduler()
+        # Guardrailed runs step every cycle so per-cycle hooks (watchdog,
+        # fault schedules, periodic deep scans) observe the exact cadence
+        # the seed engine gave them.
+        self.idle_skip = idle_skip and guardrails is None
+        args = (core, self.state, self.sched, core.stats)
+        self.completion = CompletionStage(*args)
+        self.commit = CommitStage(*args, guard=guardrails)
+        self.issue = IssueStage(*args)
+        self.dispatch = DispatchStage(*args, guard=guardrails)
+        self.fetch = FetchStage(*args)
+        self.stages = (self.completion, self.commit, self.issue,
+                       self.dispatch, self.fetch)
+
+    def run(self, max_cycles=200_000_000):
+        state = self.state
+        stats = self.core.stats
+        n = state.n
+        if n == 0:
+            return stats
+        sched = self.sched
+        guard = self.guard
+        if guard is not None:
+            guard.begin_run(core=self.core, state=state, sched=sched)
+
+        completion, commit, issue, dispatch, fetch = self.stages
+        idle_skip = self.idle_skip
+        while state.committed < n:
+            # The cheap pre-filter first: a non-empty ready heap or front-end
+            # pipe almost always means some stage can act, and reading two
+            # attributes costs far less per executed cycle than five
+            # can_tick() calls.  Only quiet windows (both empty) pay for the
+            # full stage-by-stage idleness check.
+            if (idle_skip
+                    and not state.ready_heap
+                    and not state.pipe
+                    and not (
+                        completion.can_tick()
+                        or commit.can_tick()
+                        or issue.can_tick()
+                        or dispatch.can_tick()
+                        or fetch.can_tick()
+                    )):
+                self._skip_to_next_event(max_cycles)
+                continue
+            completion.tick()
+            commit.tick()
+            issue.tick()
+            dispatch.tick()
+            fetch.tick()
+            if guard is not None:
+                guard.on_cycle()
+            sched.advance()
+            if sched.cycle > max_cycles:
+                raise self._exceeded(max_cycles)
+
+        stats.cycles = sched.cycle
+        stats.instructions = n
+        stats.cache_stats = self.core.hierarchy.stats()
+        stats.predictor_accuracy = self.core.predictor.accuracy
+        if guard is not None:
+            guard.end_run(stats)
+        return stats
+
+    # -- cycle skipping ------------------------------------------------------
+
+    def _skip_to_next_event(self, max_cycles):
+        """Jump the clock to the next cycle at which any stage can act.
+
+        Candidates are the scheduler's event heap (completions and ready
+        buckets) plus the stage-computed wakes that are not heap-carried:
+        front-end pipe readiness / rename unblocking (dispatch) and fetch
+        resumption (fetch).  Idle-skip invariant: every candidate is
+        strictly in the future, and no statistic can change on the cycles
+        jumped over.
+        """
+        sched = self.sched
+        target = sched.next_event()
+        for wake in (self.dispatch.next_wake(), self.fetch.next_wake()):
+            if wake is not None and (target is None or wake < target):
+                target = wake
+        if target is None or target > max_cycles:
+            # The seed engine would have idled cycle-by-cycle up to the
+            # budget and raised there; reproduce that exactly.
+            sched.jump(max_cycles + 1)
+            raise self._exceeded(max_cycles)
+        sched.jump(target)
+
+    def _exceeded(self, max_cycles):
+        state = self.state
+        occupancy = state.occupancy(self.core.lsq)
+        return SimulationError(
+            f"{self.cfg_name}: exceeded {max_cycles} cycles "
+            f"({state.committed}/{state.n} committed)",
+            cycle=self.sched.cycle,
+            occupancy=occupancy,
+        )
+
+    @property
+    def cfg_name(self):
+        return self.core.config.name
+
+
+def contribute_default_stats(registry):
+    """Assemble the canonical counter set from every pipeline component."""
+    registry.contribute("engine", TimingEngine.STAT_FIELDS)
+    registry.contribute("fetch", FetchStage.STAT_FIELDS)
+    registry.contribute("completion", CompletionStage.STAT_FIELDS)
+    registry.contribute("dispatch", DispatchStage.STAT_FIELDS)
+    registry.contribute("issue", IssueStage.STAT_FIELDS)
+    registry.contribute("frontend.rename", RenameFrontEnd.STAT_FIELDS)
+    registry.contribute("frontend.straight", StraightFrontEnd.STAT_FIELDS)
+    registry.contribute("lsq", LoadStoreQueue.STAT_FIELDS)

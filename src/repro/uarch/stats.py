@@ -1,0 +1,106 @@
+"""Simulation statistics: a registry of counters owned by pipeline components.
+
+The seed engine hard-coded every counter name in one ad-hoc ``_FIELDS``
+tuple inside the core.  Here each pipeline component (stage class,
+front-end model, load-store queue) declares the counters it increments in a
+``STAT_FIELDS`` class attribute, and a :class:`StatsRegistry` assembles the
+full set — so a new stage or front-end model contributes its counters by
+declaration instead of by editing the core, and the registry can answer
+"which component owns this counter" for reporting and doc generation.
+
+:class:`SimStats` keeps the seed's exact public surface (one integer
+attribute per counter, ``ipc``, ``as_dict()``, ``cache_stats``,
+``predictor_accuracy``) so downstream consumers — the power model, the
+experiment harness, the CLI JSON output — are unaffected.
+"""
+
+
+class StatsRegistry:
+    """Ordered registry mapping counter fields to their owning component."""
+
+    def __init__(self):
+        self._fields = []
+        self._owners = {}
+
+    def contribute(self, owner, fields):
+        """Register ``fields`` (an ordered iterable) as owned by ``owner``."""
+        for field in fields:
+            existing = self._owners.get(field)
+            if existing is not None:
+                raise ValueError(
+                    f"stat field {field!r} already contributed by {existing!r}"
+                )
+            self._owners[field] = owner
+            self._fields.append(field)
+
+    @property
+    def fields(self):
+        return tuple(self._fields)
+
+    def owner_of(self, field):
+        return self._owners.get(field)
+
+    def by_owner(self):
+        """``{owner: [field, ...]}`` in contribution order."""
+        grouped = {}
+        for field in self._fields:
+            grouped.setdefault(self._owners[field], []).append(field)
+        return grouped
+
+    def __contains__(self, field):
+        return field in self._owners
+
+    def __len__(self):
+        return len(self._fields)
+
+
+_default_registry = None
+
+
+def default_registry():
+    """The canonical registry, assembled from every pipeline component."""
+    global _default_registry
+    if _default_registry is None:
+        registry = StatsRegistry()
+        # Imported lazily: pipeline pulls in the stage classes and the
+        # front-end/LSQ components whose STAT_FIELDS declarations make up
+        # the canonical counter set.
+        from repro.uarch.pipeline import contribute_default_stats
+
+        contribute_default_stats(registry)
+        _default_registry = registry
+    return _default_registry
+
+
+class SimStats:
+    """Counters accumulated during one timing run."""
+
+    def __init__(self, registry=None):
+        if registry is None:
+            registry = default_registry()
+        self._registry = registry
+        for field in registry.fields:
+            setattr(self, field, 0)
+        self.cache_stats = {}
+        self.predictor_accuracy = 1.0
+
+    @property
+    def fields(self):
+        return self._registry.fields
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def as_dict(self):
+        data = {field: getattr(self, field) for field in self._registry.fields}
+        data["ipc"] = self.ipc
+        data["cache"] = dict(self.cache_stats)
+        data["predictor_accuracy"] = self.predictor_accuracy
+        return data
+
+    def __repr__(self):
+        return (
+            f"SimStats(cycles={self.cycles}, instrs={self.instructions}, "
+            f"ipc={self.ipc:.3f}, mispredicts={self.branch_mispredicts})"
+        )

@@ -1,0 +1,136 @@
+"""Cycle-exactness golden snapshots for the timing engine.
+
+The fixture ``tests/fixtures/golden_simstats.json`` was generated from the
+*seed* monolithic engine (pre stage/scheduler refactor) by running::
+
+    PYTHONPATH=src python -m tests.test_golden_snapshots
+
+Every (config, workload) cell records the full ``SimStats.as_dict()`` of a
+cold-cache timing run.  The test compares the current engine's output
+field-by-field, so any timing drift — a stall counted on a different cycle,
+an event fired early, a skipped cycle that was not actually idle — fails
+loudly and names the exact counter that moved.
+
+Two deliberately different workloads are pinned:
+
+* ``branchy_div`` — data-dependent branches feeding a division chain: heavy
+  misprediction recovery plus long-latency completion events (the idle-skip
+  scheduler's best case, and the easiest place to break recovery timing);
+* ``mem_stride`` — strided array sweeps: cache misses, prefetch, LSQ
+  forwarding and memory-dependence machinery.
+"""
+
+import json
+import os
+
+from repro.core.api import build, simulate
+from repro.core.configs import ss_2way, ss_4way, straight_4way
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "golden_simstats.json")
+
+BRANCHY_DIV = """
+int main() {
+    int lcg = 12345;
+    int acc = 7;
+    for (int i = 0; i < 300; i++) {
+        lcg = lcg * 1103515245 + 12345;
+        if ((lcg >> 16) & 1) acc += lcg / (i + 3);   // div chain, taken path
+        else acc = acc / 3 + i;                      // div chain, other path
+    }
+    __out(acc);
+    return 0;
+}
+"""
+
+MEM_STRIDE = """
+int a[256]; int b[256];
+int main() {
+    for (int i = 0; i < 256; i++) { a[i] = i * 3; b[i] = i ^ 5; }
+    int s = 0;
+    for (int r = 0; r < 4; r++) {
+        for (int i = 0; i < 256; i += 4) { s += a[i] + b[255 - i]; }
+        for (int i = 0; i < 256; i++) { a[i] = a[i] + b[i]; }
+    }
+    __out(s);
+    return 0;
+}
+"""
+
+WORKLOADS = {
+    "branchy_div": BRANCHY_DIV,
+    "mem_stride": MEM_STRIDE,
+}
+
+#: (fixture key, config factory, binary label) — the three Table-I shapes the
+#: issue pins: a narrow SS, a wide SS, and a wide STRAIGHT.
+CONFIGS = (
+    ("SS-2way", ss_2way, "SS"),
+    ("SS-4way", ss_4way, "SS"),
+    ("STRAIGHT-4way", straight_4way, "STRAIGHT-RE+"),
+)
+
+
+def _snapshot(workload_source, factory, label):
+    binaries = build(workload_source)
+    result = simulate(binaries.all()[label], factory())
+    return result.stats.as_dict()
+
+
+def generate():
+    """Regenerate the fixture from the current engine (maintainers only)."""
+    payload = {}
+    for wl_name, source in sorted(WORKLOADS.items()):
+        for cfg_name, factory, label in CONFIGS:
+            payload[f"{cfg_name}/{wl_name}"] = _snapshot(source, factory, label)
+    os.makedirs(os.path.dirname(FIXTURE), exist_ok=True)
+    with open(FIXTURE, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return payload
+
+
+def _load_fixture():
+    with open(FIXTURE) as handle:
+        return json.load(handle)
+
+
+def _flatten(stats_dict):
+    """One flat {field: value} map; cache sub-dict becomes dotted keys."""
+    flat = {}
+    for key, value in stats_dict.items():
+        if isinstance(value, dict):
+            for sub, subvalue in value.items():
+                flat[f"{key}.{sub}"] = subvalue
+        else:
+            flat[key] = value
+    return flat
+
+
+class TestGoldenSnapshots:
+    def test_fixture_exists_and_covers_all_cells(self):
+        golden = _load_fixture()
+        expected = {f"{cfg}/{wl}" for wl in WORKLOADS
+                    for cfg, _, _ in CONFIGS}
+        assert set(golden) == expected
+
+    def test_cycle_exact_against_seed_engine(self):
+        """Field-by-field comparison of every (config, workload) cell."""
+        golden = _load_fixture()
+        drift = []
+        for wl_name, source in sorted(WORKLOADS.items()):
+            for cfg_name, factory, label in CONFIGS:
+                cell = f"{cfg_name}/{wl_name}"
+                observed = _flatten(_snapshot(source, factory, label))
+                for field, want in sorted(_flatten(golden[cell]).items()):
+                    got = observed.get(field)
+                    if got != want:
+                        drift.append(f"{cell}: {field} {want!r} -> {got!r}")
+        assert not drift, "timing drift vs seed engine:\n" + "\n".join(drift)
+
+
+if __name__ == "__main__":
+    cells = generate()
+    for name in sorted(cells):
+        stats = cells[name]
+        print(f"{name}: cycles={stats['cycles']} instrs={stats['instructions']}"
+              f" ipc={stats['ipc']:.3f}")

@@ -117,3 +117,33 @@ class TestExperiments:
         code, _, err = run_cli(["experiments", "fig99"], capsys)
         assert code == 1
         assert "unknown experiment" in err
+
+
+class TestBench:
+    def test_smoke_reports_throughput_and_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        code, out, _ = run_cli(
+            ["bench", "--smoke", "--repeats", "1",
+             "--workload", "branchy_div", "--json", str(out_path)],
+            capsys,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload == json.loads(out_path.read_text())
+        (report,) = payload["workloads"]
+        assert report["workload"] == "branchy_div"
+        assert report["instrs_per_sec"]["event_driven"] > 0
+        assert report["skipped_cycles"] > 0
+        assert (report["executed_cycles"] + report["skipped_cycles"]
+                == report["cycles"])
+
+    def test_bench_without_smoke_fails(self, capsys):
+        code, _, err = run_cli(["bench"], capsys)
+        assert code == 1
+        assert "--smoke" in err
+
+    def test_bench_unknown_workload_fails(self, capsys):
+        code, _, err = run_cli(["bench", "--smoke", "--workload", "nope"],
+                               capsys)
+        assert code == 1
+        assert "unknown bench workload" in err
