@@ -1,0 +1,33 @@
+"""Static analysis of assembled STRAIGHT binaries.
+
+``verify_program`` proves the distance/write-once/SP/calling-convention
+discipline over every CFG path of a linked program (translation validation
+when the backend's producer manifest is attached); ``run_mutation_campaign``
+measures that the verifier catches seeded distance corruption.  See
+DESIGN.md §8 for the abstract domain and the proof obligations.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    ERROR,
+    INFO,
+    Report,
+    WARNING,
+)
+from repro.analysis.verifier import verify_program
+from repro.analysis.cfg import build_cfg
+from repro.analysis.mutation import MutationReport, run_mutation_campaign
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "Report",
+    "WARNING",
+    "build_cfg",
+    "verify_program",
+    "MutationReport",
+    "run_mutation_campaign",
+]

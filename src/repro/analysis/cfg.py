@@ -1,0 +1,226 @@
+"""Binary-level CFG reconstruction for linked STRAIGHT programs.
+
+Rebuilds, from a :class:`~repro.straight.linker.StraightProgram` alone, the
+function partition and per-function basic-block graph the verifier walks:
+
+* functions are discovered from the entry point, every ``JAL`` target, and
+  (iteratively) the lowest still-unvisited labelled instruction — which picks
+  up functions that are never called;
+* ``JAL`` is *not* a block terminator: intra-procedurally the call returns to
+  the next instruction, so the resume point stays inside the block and the
+  verifier models the callee as an opaque age-killing event;
+* ``JR`` and ``HALT`` terminate, ``BEZ``/``BNZ`` fall through and branch.
+
+Structural problems found while decoding edges (targets outside the text
+segment) are collected as ``issues`` — ``(code, index, message)`` tuples —
+for the verifier to turn into diagnostics.
+"""
+
+
+class BinBlock:
+    """One basic block: a contiguous run of instruction indices."""
+
+    __slots__ = ("start", "indices", "succs", "preds")
+
+    def __init__(self, start):
+        self.start = start
+        self.indices = []
+        self.succs = []  # successor block leader indices
+        self.preds = []
+
+    def __repr__(self):
+        return f"BinBlock({self.start}..{self.indices[-1] if self.indices else '?'})"
+
+
+class BinFunction:
+    """One discovered function: entry index, reachable set, block graph."""
+
+    def __init__(self, name, entry):
+        self.name = name
+        self.entry = entry
+        self.indices = set()
+        self.blocks = {}  # leader index -> BinBlock
+        self.call_sites = []  # (index, callee entry index | None)
+        self.returns = []  # indices of JR instructions
+
+    def block_order(self):
+        return [self.blocks[leader] for leader in sorted(self.blocks)]
+
+    def __repr__(self):
+        return f"BinFunction({self.name!r}, entry={self.entry})"
+
+
+class BinCFG:
+    """The whole program's reconstructed control-flow structure."""
+
+    def __init__(self, program):
+        self.program = program
+        self.functions = []
+        self.entry_of_index = {}  # instruction index -> owning function entry
+        self.issues = []  # (code, index, message)
+        self.unreachable = []  # instruction indices in no function
+
+    def function_at(self, entry):
+        for func in self.functions:
+            if func.entry == entry:
+                return func
+        return None
+
+
+def successors(program, index):
+    """Intra-procedural successor indices of instruction ``index``.
+
+    Returns ``(succs, call_target, issue)``: ``call_target`` is the callee
+    entry for JAL, ``issue`` a ``(code, message)`` pair for malformed edges.
+    """
+    instr = program.instrs[index]
+    n = len(program.instrs)
+    mnemonic = instr.mnemonic
+    if mnemonic == "HALT":
+        return [], None, None
+    if mnemonic == "JR":
+        return [], None, None
+    if mnemonic in ("BEZ", "BNZ", "J", "JAL"):
+        target = index + (instr.imm or 0)
+        if not 0 <= target < n:
+            issue = (
+                "STR010",
+                f"{mnemonic} target index {target} outside text segment",
+            )
+            if mnemonic == "J":
+                return [], None, issue
+            return [index + 1] if index + 1 < n else [], None, issue
+        if mnemonic == "J":
+            return [target], None, None
+        if mnemonic == "JAL":
+            succs = [index + 1] if index + 1 < n else []
+            return succs, target, None
+        succs = [target]
+        if index + 1 < n:
+            succs.append(index + 1)
+        return succs, None, None
+    if index + 1 < n:
+        return [index + 1], None, None
+    return [], None, ("STR010", f"{mnemonic} falls off the end of the text segment")
+
+
+def _labels_by_index(program):
+    table = {}
+    for label, index in program.labels.items():
+        table.setdefault(index, []).append(label)
+    for labels in table.values():
+        labels.sort(key=lambda name: (name.count("."), name))
+    return table
+
+
+def build_cfg(program):
+    """Reconstruct the :class:`BinCFG` of a linked program."""
+    cfg = BinCFG(program)
+    labels_at = _labels_by_index(program)
+    n = len(program.instrs)
+    entry_index = program.index_of_pc(program.entry_pc)
+
+    # Pass 1: discover call targets so every callee becomes a function root.
+    queue = []
+    seen_entries = set()
+
+    def add_entry(index, name=None):
+        if index in seen_entries or not 0 <= index < n:
+            return
+        seen_entries.add(index)
+        if name is None:
+            names = labels_at.get(index)
+            name = names[0] if names else f"fn_{index}"
+        queue.append(BinFunction(name, index))
+
+    add_entry(entry_index)
+    for index, instr in enumerate(program.instrs):
+        if instr.mnemonic == "JAL":
+            target = index + (instr.imm or 0)
+            if 0 <= target < n:
+                add_entry(target)
+
+    # Pass 2: claim reachable code per function; then sweep leftover labelled
+    # code as additional (never-called) functions until nothing is claimed.
+    claimed = set()
+    position = 0
+    issue_seen = set()
+    while True:
+        while position < len(queue):
+            func = queue[position]
+            position += 1
+            cfg.functions.append(func)
+            worklist = [func.entry]
+            while worklist:
+                index = worklist.pop()
+                if index in func.indices:
+                    continue
+                func.indices.add(index)
+                claimed.add(index)
+                cfg.entry_of_index.setdefault(index, func.entry)
+                succs, call_target, issue = successors(program, index)
+                if issue is not None and (issue[0], index) not in issue_seen:
+                    issue_seen.add((issue[0], index))
+                    cfg.issues.append((issue[0], index, issue[1]))
+                instr = program.instrs[index]
+                if instr.mnemonic == "JAL":
+                    func.call_sites.append((index, call_target))
+                elif instr.mnemonic == "JR":
+                    func.returns.append(index)
+                worklist.extend(s for s in succs if s not in func.indices)
+        fresh = None
+        for index in range(n):
+            if index not in claimed and index in labels_at:
+                fresh = index
+                break
+        if fresh is None:
+            break
+        add_entry(fresh)
+        if position >= len(queue):  # add_entry rejected it (already seen)
+            break
+
+    cfg.unreachable = [i for i in range(n) if i not in claimed]
+
+    for func in cfg.functions:
+        _partition_blocks(program, func)
+    return cfg
+
+
+def _partition_blocks(program, func):
+    """Split a function's reachable indices into basic blocks with edges."""
+    leaders = {func.entry}
+    for index in func.indices:
+        succs, _, _ = successors(program, index)
+        instr = program.instrs[index]
+        if instr.mnemonic in ("BEZ", "BNZ", "J"):
+            leaders.update(s for s in succs if s in func.indices)
+        if instr.mnemonic in ("BEZ", "BNZ", "J", "JR", "HALT"):
+            follower = index + 1
+            if follower in func.indices:
+                leaders.add(follower)
+
+    for leader in leaders:
+        func.blocks[leader] = BinBlock(leader)
+
+    for leader in sorted(leaders):
+        block = func.blocks[leader]
+        index = leader
+        while True:
+            block.indices.append(index)
+            succs, _, _ = successors(program, index)
+            succs = [s for s in succs if s in func.indices]
+            ends = (
+                not succs
+                or program.instrs[index].mnemonic in ("BEZ", "BNZ", "J")
+                or (index + 1 in leaders)
+                or len(succs) > 1
+                or (succs and succs[0] != index + 1)
+            )
+            if ends:
+                block.succs = succs
+                break
+            index += 1
+
+    for block in func.blocks.values():
+        for succ in block.succs:
+            func.blocks[succ].preds.append(block.start)

@@ -1,0 +1,223 @@
+"""Diagnostics framework for the static STRAIGHT verifier.
+
+Every finding carries a stable code (``STR0xx`` for invariant violations,
+``STR1xx`` for lints), a severity, the linked instruction index/PC, the
+containing function, a label-relative location (``main.loop+3``), and — when
+the unit was assembled from text — the 1-based assembly source line mapped
+back through the assembler (:attr:`AsmUnit.origins`).
+
+The catalog below is the contract: codes are append-only and never reused,
+so downstream tooling (CI gates, baselines) can match on them.
+"""
+
+from repro.common.layout import WORD_BYTES
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: code -> (severity, title).  STR0xx: proof obligations; STR1xx: lints.
+CODES = {
+    "STR001": (ERROR, "merge-inconsistent operand"),
+    "STR002": (ERROR, "distance exceeds max_distance"),
+    "STR003": (ERROR, "operand reaches across a call boundary"),
+    "STR004": (ERROR, "SP offset differs across incoming paths"),
+    "STR005": (ERROR, "SP offset not restored at return"),
+    "STR006": (ERROR, "distance reaches before program start"),
+    "STR007": (ERROR, "JR target is not the return address"),
+    "STR008": (ERROR, "call site does not provide a value the callee consumes"),
+    "STR009": (ERROR, "instruction does not survive encode/decode"),
+    "STR010": (ERROR, "control transfer leaves the text segment"),
+    "STR011": (ERROR, "distance names a different producer than intended"),
+    "STR012": (ERROR, "consumes a caller-internal value beyond the convention"),
+    "STR101": (WARNING, "dead destination: result is never consumed"),
+    "STR102": (WARNING, "redundant RMOV: re-produced value is never consumed"),
+    "STR103": (INFO, "long RMOV relay chain"),
+    "STR104": (INFO, "return address reloaded through memory"),
+    "STR105": (WARNING, "unreachable instruction"),
+    "STR106": (INFO, "consumes the call-boundary JR value"),
+}
+
+
+class Diagnostic:
+    """One verifier or lint finding, anchored to a linked instruction."""
+
+    __slots__ = (
+        "code",
+        "severity",
+        "message",
+        "index",
+        "pc",
+        "function",
+        "location",
+        "origin",
+        "data",
+    )
+
+    def __init__(
+        self,
+        code,
+        message,
+        index=None,
+        pc=None,
+        function=None,
+        location=None,
+        origin=None,
+        data=None,
+    ):
+        if code not in CODES:
+            raise KeyError(f"unknown diagnostic code {code!r}")
+        self.code = code
+        self.severity = CODES[code][0]
+        self.message = message
+        self.index = index
+        self.pc = pc
+        self.function = function
+        self.location = location
+        self.origin = origin
+        self.data = dict(data) if data else {}
+
+    @property
+    def title(self):
+        return CODES[self.code][1]
+
+    def sort_key(self):
+        return (
+            _SEVERITY_ORDER[self.severity],
+            self.code,
+            self.index if self.index is not None else -1,
+        )
+
+    def render(self):
+        where = self.location or (f"pc={self.pc:#x}" if self.pc is not None else "?")
+        prefix = f"{where}: {self.severity} {self.code}"
+        if self.origin is not None:
+            prefix += f" (asm line {self.origin})"
+        return f"{prefix}: {self.message}"
+
+    def as_dict(self):
+        payload = {
+            "code": self.code,
+            "severity": self.severity,
+            "title": self.title,
+            "message": self.message,
+            "index": self.index,
+            "pc": self.pc,
+            "function": self.function,
+            "location": self.location,
+            "origin": self.origin,
+        }
+        if self.data:
+            payload["data"] = dict(self.data)
+        return payload
+
+    def __repr__(self):
+        return f"Diagnostic({self.code}, {self.location!r}, {self.message!r})"
+
+
+class Report:
+    """The ordered set of diagnostics one verification run produced."""
+
+    def __init__(self, program=None):
+        self.program = program
+        self.diagnostics = []
+        self._seen = set()
+        self.stats = {}
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, code, message, index=None, **kwargs):
+        """Add one diagnostic; duplicate (code, index, operand) are dropped."""
+        dedup = (code, index, kwargs.get("data", {}).get("operand"))
+        if index is not None and dedup in self._seen:
+            return None
+        self._seen.add(dedup)
+        pc = kwargs.pop("pc", None)
+        location = kwargs.pop("location", None)
+        origin = kwargs.pop("origin", None)
+        if index is not None and self.program is not None:
+            if pc is None:
+                pc = self.program.text_base + index * WORD_BYTES
+            if location is None:
+                location = locate(self.program, index)
+            if origin is None and index < len(self.program.origins):
+                origin = self.program.origins[index]
+        diag = Diagnostic(
+            code,
+            message,
+            index=index,
+            pc=pc,
+            location=location,
+            origin=origin,
+            **kwargs,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    # -- queries -------------------------------------------------------------
+
+    def errors(self):
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    def warnings(self):
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    def has_errors(self):
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def counts(self):
+        counts = {ERROR: 0, WARNING: 0, INFO: 0}
+        for diag in self.diagnostics:
+            counts[diag.severity] += 1
+        return counts
+
+    def by_code(self):
+        table = {}
+        for diag in self.diagnostics:
+            table.setdefault(diag.code, []).append(diag)
+        return table
+
+    def sorted(self):
+        return sorted(self.diagnostics, key=lambda d: d.sort_key())
+
+    # -- rendering -----------------------------------------------------------
+
+    def summary(self):
+        counts = self.counts()
+        return (
+            f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
+            f"{counts[INFO]} info"
+        )
+
+    def text(self, max_items=None):
+        lines = [d.render() for d in self.sorted()]
+        if max_items is not None and len(lines) > max_items:
+            dropped = len(lines) - max_items
+            lines = lines[:max_items] + [f"... ({dropped} more)"]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def as_dict(self):
+        return {
+            "counts": self.counts(),
+            "stats": dict(self.stats),
+            "diagnostics": [d.as_dict() for d in self.sorted()],
+        }
+
+
+def locate(program, index):
+    """Label-relative position of instruction ``index`` (``main.loop+3``)."""
+    best_label, best_index = None, -1
+    for label, label_index in program.labels.items():
+        if best_index < label_index <= index:
+            best_label, best_index = label, label_index
+        elif label_index == best_index and best_label is not None:
+            # Prefer the more specific (dotted, later-registered) label.
+            if label.count(".") > best_label.count("."):
+                best_label = label
+    if best_label is None:
+        return f"+{index}"
+    offset = index - best_index
+    return best_label if offset == 0 else f"{best_label}+{offset}"

@@ -1,0 +1,125 @@
+"""Lint passes over a verified STRAIGHT binary.
+
+These are advisory (warning/info) findings layered on the consumption facts
+the verifier collected; they flag code-quality problems — dead producers,
+RMOVs the RE+ optimizations should have removed, long relay chains — rather
+than correctness violations.
+"""
+
+#: op classes whose instructions have no side effect besides their product.
+_PURE_CLASSES = ("alu", "mul", "div", "load")
+
+#: An RMOV chain this long suggests a missed sinking/demotion opportunity.
+RELAY_CHAIN_LIMIT = 3
+
+
+def run_lints(ctx, cfg, report):
+    _lint_unreachable(ctx, cfg, report)
+    _lint_dead_destinations(ctx, cfg, report)
+    _lint_relay_chains(ctx, cfg, report)
+
+
+def _lint_unreachable(ctx, cfg, report):
+    """STR105: instructions no discovered function can reach."""
+    if not cfg.unreachable:
+        return
+    run_start = None
+    previous = None
+    runs = []
+    for index in cfg.unreachable:
+        if run_start is None:
+            run_start = previous = index
+        elif index == previous + 1:
+            previous = index
+        else:
+            runs.append((run_start, previous))
+            run_start = previous = index
+    runs.append((run_start, previous))
+    for start, end in runs:
+        count = end - start + 1
+        report.emit(
+            "STR105",
+            f"{count} instruction(s) unreachable from any function entry",
+            index=start,
+            data={"count": count},
+        )
+
+
+def _lint_dead_destinations(ctx, cfg, report):
+    """STR101/STR102: pure producers whose value no path ever consumes.
+
+    Runs only on manifest-annotated functions — for hand-written assembly
+    the verifier cannot know which trailing producers feed the surrounding
+    convention.  Exempt are producers consumed through the calling
+    convention: argument packs (marked consumed at call-site checking) and
+    the return-value slot before each JR.
+    """
+    program = ctx.program
+    for func in cfg.functions:
+        result = ctx.results.get(func.entry)
+        if result is None or not result.annotated:
+            continue
+        exempt = result.pre_jr_tags
+        for index in sorted(func.indices):
+            instr = program.instrs[index]
+            if instr.mnemonic in ("SPADD", "NOP"):
+                continue
+            if instr.op_class not in _PURE_CLASSES:
+                continue
+            if index in ctx.consumed or index in exempt:
+                continue
+            if instr.mnemonic == "RMOV":
+                report.emit(
+                    "STR102",
+                    "RMOV re-produces a value no path consumes "
+                    "(missed redundancy-elimination opportunity)",
+                    index=index,
+                    function=func.name,
+                )
+            else:
+                report.emit(
+                    "STR101",
+                    f"{instr.mnemonic} result is never consumed on any path",
+                    index=index,
+                    function=func.name,
+                )
+
+
+def _relay_depth(ctx, index, memo, guard):
+    """Length of the RMOV chain ending at ``index`` (1 = a lone RMOV)."""
+    if index in memo:
+        return memo[index]
+    if index in guard:
+        return 0  # refresh cycle through a loop; not a linear relay chain
+    guard.add(index)
+    deepest = 0
+    for tag in ctx.rmov_src_tags.get(index, ()):
+        if isinstance(tag, int) and ctx.program.instrs[tag].mnemonic == "RMOV":
+            depth = _relay_depth(ctx, tag, memo, guard)
+            if depth > deepest:
+                deepest = depth
+    guard.discard(index)
+    memo[index] = deepest + 1
+    return memo[index]
+
+
+def _lint_relay_chains(ctx, cfg, report):
+    """STR103: distance-bounding relays stacked ``RELAY_CHAIN_LIMIT`` deep."""
+    memo = {}
+    for index in ctx.rmov_src_tags:
+        _relay_depth(ctx, index, memo, set())
+    for index, depth in sorted(memo.items()):
+        if depth < RELAY_CHAIN_LIMIT:
+            continue
+        if index in ctx.rmov_source_of:
+            continue  # report only the tail of each chain
+        entry = cfg.entry_of_index.get(index)
+        func = cfg.function_at(entry) if entry is not None else None
+        report.emit(
+            "STR103",
+            f"value travels through a chain of {depth} RMOV relays; "
+            "consider sinking the producer or raising max_distance",
+            index=index,
+            function=func.name if func else None,
+            data={"depth": depth},
+        )

@@ -1,0 +1,166 @@
+"""Seeded mutation campaign: prove the static verifier catches corruption.
+
+The dual of :mod:`repro.guardrails.faultinject`: instead of flipping
+simulator state at run time, this corrupts operand *distances* in a
+known-good linked binary — the encodings a STRAIGHT compiler bug or a bad
+linker relocation would actually produce — and checks that
+:func:`repro.analysis.verify_program` flags every mutant.
+
+Mutation targets (all on ``SInstr.srcs``, keeping the producer manifest
+truthful so detection measures the verifier, not a stale manifest):
+
+* ``off_by_one``  — a distance nudged by ±1 (the classic refresh-slot bug);
+* ``bit_flip``    — one of the 10 encoding bits of a distance flipped;
+* ``retarget``    — a distance rewritten to another in-range value;
+* ``zeroed``      — a distance replaced by 0 (reads the zero register);
+* ``rmov_retarget`` — specifically an RMOV's source distance, modelling a
+  corrupted merge-refresh or bounding relay.
+
+Every mutation changes the dynamic dataflow of some reachable instruction,
+so an undetected mutant is a genuine verifier gap, not a benign rewrite.
+"""
+
+import copy
+import random
+
+from repro.analysis.verifier import verify_program
+
+#: The campaign's mutation mix: (target, weight).
+DEFAULT_MIX = (
+    ("off_by_one", 30),
+    ("bit_flip", 25),
+    ("retarget", 20),
+    ("zeroed", 10),
+    ("rmov_retarget", 15),
+)
+
+
+class MutationReport:
+    """Aggregated outcome of one verifier mutation campaign."""
+
+    def __init__(self, seed, records):
+        self.seed = seed
+        self.records = records
+        self.total = len(records)
+        self.detected = sum(1 for r in records if r["detected"])
+        self.by_target = {}
+        for record in records:
+            bucket = self.by_target.setdefault(
+                record["target"], {"detected": 0, "missed": 0}
+            )
+            bucket["detected" if record["detected"] else "missed"] += 1
+
+    @property
+    def detection_rate(self):
+        return self.detected / self.total if self.total else 1.0
+
+    def missed(self):
+        return [r for r in self.records if not r["detected"]]
+
+    def as_dict(self):
+        return {
+            "seed": self.seed,
+            "total": self.total,
+            "detected": self.detected,
+            "missed": self.total - self.detected,
+            "detection_rate": round(self.detection_rate, 4),
+            "by_target": self.by_target,
+        }
+
+    def text(self):
+        lines = [
+            f"verifier mutation campaign: seed={self.seed} "
+            f"mutants={self.total}",
+            f"  detected {self.detected:4d}  ({self.detection_rate:.1%})",
+            f"  missed   {self.total - self.detected:4d}",
+        ]
+        for target, bucket in sorted(self.by_target.items()):
+            lines.append(
+                f"    {target:15s} detected={bucket['detected']} "
+                f"missed={bucket['missed']}"
+            )
+        for record in self.missed():
+            lines.append(
+                f"    MISSED {record['target']} at index {record['index']}: "
+                f"{record['mutation']}"
+            )
+        return "\n".join(lines)
+
+
+def _mutable_sites(program):
+    """(index, operand) pairs whose distance a mutation may corrupt."""
+    sites = []
+    rmov_sites = []
+    for index, instr in enumerate(program.instrs):
+        for operand, dist in enumerate(instr.srcs):
+            if dist > 0:
+                sites.append((index, operand))
+                if instr.mnemonic == "RMOV":
+                    rmov_sites.append((index, operand))
+    return sites, rmov_sites
+
+
+def _mutate(rng, program, target, sites, rmov_sites, bound):
+    """Apply one mutation in place; returns a (index, description) record."""
+    pool = rmov_sites if target == "rmov_retarget" and rmov_sites else sites
+    index, operand = pool[rng.randrange(len(pool))]
+    instr = program.instrs[index]
+    old = instr.srcs[operand]
+    new = old
+    while new == old:
+        if target == "off_by_one":
+            new = old + rng.choice((-1, 1))
+            if not 0 <= new <= bound:
+                new = old - (new - old)
+        elif target == "bit_flip":
+            new = old ^ (1 << rng.randrange(10))
+        elif target == "zeroed":
+            new = 0  # sites only list nonzero distances
+        else:  # retarget / rmov_retarget
+            new = rng.randrange(1, bound + 1)
+    srcs = list(instr.srcs)
+    srcs[operand] = new
+    instr.srcs = tuple(srcs)  # bypass SInstr validation: corrupt on purpose
+    return index, f"srcs[{operand}] {old} -> {new}"
+
+
+def run_mutation_campaign(
+    program, mutants=80, seed=20260805, mix=DEFAULT_MIX, max_distance=None
+):
+    """Corrupt ``mutants`` seeded copies of ``program``; verify each one.
+
+    ``program`` must verify cleanly (no error diagnostics) before the
+    campaign starts — a dirty baseline would make detection meaningless —
+    otherwise ``ValueError`` is raised.  Returns a :class:`MutationReport`.
+    """
+    baseline = verify_program(program, max_distance=max_distance)
+    if baseline.has_errors():
+        raise ValueError(
+            "mutation campaign needs a clean baseline, got:\n"
+            + baseline.text(max_items=10)
+        )
+    bound = max_distance if max_distance is not None else program.max_distance
+    sites, rmov_sites = _mutable_sites(program)
+    if not sites:
+        raise ValueError("program has no distance operands to mutate")
+
+    rng = random.Random(seed)
+    targets = [t for t, weight in mix for _ in range(weight)]
+    records = []
+    for _ in range(mutants):
+        target = targets[rng.randrange(len(targets))]
+        mutant = copy.deepcopy(program)
+        index, description = _mutate(
+            rng, mutant, target, sites, rmov_sites, bound
+        )
+        report = verify_program(mutant, max_distance=max_distance)
+        records.append(
+            {
+                "target": target,
+                "index": index,
+                "mutation": description,
+                "detected": report.has_errors(),
+                "codes": sorted({d.code for d in report.errors()}),
+            }
+        )
+    return MutationReport(seed, records)

@@ -1,0 +1,603 @@
+"""Static verifier for linked STRAIGHT programs.
+
+Proves, over every path of the reconstructed CFG, the properties the
+functional simulator (:mod:`repro.straight.interpreter`) checks dynamically
+on one path:
+
+* **Distance discipline** — every operand distance is in bounds, never
+  reaches before program start, and never reaches across a call boundary
+  into values the callee's dynamic instructions have pushed out of range.
+* **Merge consistency / translation validation** — with the backend's
+  producer manifest attached (``program.manifest``), every operand is proven
+  to name the *same logical value* on every incoming path, i.e. the distance
+  walker's merge refreshes actually realigned all producers.
+* **SP discipline** — SP is only moved by SPADD, its offset is equal on all
+  paths into a merge, and it is restored to the entry offset at every return.
+* **Calling convention** — each call site provides every entry-age the
+  callee consumes, and every JR jumps through the function's return address.
+
+The abstract domain is a register-age vector: a tuple of ``K`` slots, slot
+``d-1`` describing what a distance-``d`` operand would read.  Each slot is a
+*frozenset of producer tags* (path join = pointwise union), where a tag is
+
+* an ``int`` — the linked index of the static instruction that produced it,
+* ``("entry", k)`` — the value that was at age ``k`` on function entry,
+* ``("before", k)`` — a slot predating the program (only at ``_start``),
+* ``("call", site, 1 | 2)`` — the callee's JR / return value after the
+  call at ``site`` returned,
+* ``("dead", site)`` — a caller value pushed out of reach by the callee's
+  (statically unbounded) dynamic instruction count.
+
+Every retired instruction writes exactly once, so the transfer function of
+an instruction is a uniform shift-in; a JAL replaces the whole vector with
+the post-return view.  The join is monotone over finite sets, so the
+worklist fixpoint terminates; consumption checks run in a final pass over
+the converged block-entry states.
+"""
+
+from repro.straight.encoding import encode, decode
+from repro.common.errors import AsmError
+from repro.analysis.cfg import build_cfg
+from repro.analysis.diagnostics import Report, locate
+
+#: SP lattice top: incoming paths disagree on the SPADD sum.
+SP_CONFLICT = "conflict"
+
+
+class FuncResult:
+    """Per-function facts the final pass and the lints consume."""
+
+    def __init__(self, func):
+        self.func = func
+        self.annotated = False
+        self.entry_ages = {}
+        self.returns_value = False
+        self.demand = set()  # entry ages k >= 2 this function consumes
+        self.call_states = {}  # call-site index -> state before the JAL
+        self.pre_jr_tags = set()  # int tags at slot 0 just before a JR
+        self.in_states = {}  # block leader -> (slots, sp)
+
+
+class VerifyContext:
+    """Shared state of one :func:`verify_program` run."""
+
+    def __init__(self, program, manifest, report, depth):
+        self.program = program
+        self.report = report
+        self.depth = depth  # K: number of tracked slots
+        self.manifest_instrs = (manifest or {}).get("instrs", {})
+        self.manifest_funcs = (manifest or {}).get("functions", {})
+        self.consumed = set()  # int tags read on some path
+        self.rmov_src_tags = {}  # RMOV index -> frozenset of source tags
+        self.rmov_source_of = set()  # int tags feeding some RMOV
+        self.results = {}  # function entry index -> FuncResult
+
+
+def verify_program(program, manifest=None, lint=False, max_distance=None):
+    """Verify a linked :class:`~repro.straight.linker.StraightProgram`.
+
+    ``manifest`` defaults to ``program.manifest`` (attached by the backend);
+    without one, only the structural obligations are checked and the
+    translation-validation checks (STR001/STR011) are skipped.
+    ``max_distance`` overrides the bound to prove (default: the program's).
+    Returns a :class:`~repro.analysis.diagnostics.Report`.
+    """
+    report = Report(program)
+    if manifest is None:
+        manifest = program.manifest
+    bound = max_distance if max_distance is not None else program.max_distance
+
+    _check_encoding(program, report)
+
+    cfg = build_cfg(program)
+    for code, index, message in cfg.issues:
+        report.emit(code, message, index=index)
+
+    depth = _state_depth(program, bound)
+    ctx = VerifyContext(program, manifest, report, depth)
+
+    for func in cfg.functions:
+        _verify_function(ctx, cfg, func, bound)
+
+    _check_call_sites(ctx, cfg)
+
+    report.stats.update(
+        {
+            "functions": len(cfg.functions),
+            "instructions": len(program.instrs),
+            "tracked_slots": depth,
+            "annotated_functions": sum(
+                1 for r in ctx.results.values() if r.annotated
+            ),
+        }
+    )
+
+    if lint:
+        from repro.analysis.lints import run_lints
+
+        run_lints(ctx, cfg, report)
+    return report
+
+
+# -- program-wide structural checks -------------------------------------------
+
+
+def _check_encoding(program, report):
+    """STR009: every instruction must survive an encode/decode round trip."""
+    for index, instr in enumerate(program.instrs):
+        try:
+            back = decode(encode(instr))
+        except AsmError as exc:
+            report.emit("STR009", str(exc), index=index)
+            continue
+        same = (
+            back.mnemonic == instr.mnemonic
+            and back.srcs == instr.srcs
+            and (back.imm or 0) == (instr.imm or 0)
+        )
+        if not same:
+            report.emit(
+                "STR009",
+                f"{instr!r} decodes as {back!r}",
+                index=index,
+            )
+
+
+def _state_depth(program, bound):
+    """K: deep enough for every used distance, capped at the proved bound."""
+    deepest = 1
+    for instr in program.instrs:
+        for dist in instr.srcs:
+            if dist > deepest:
+                deepest = dist
+    return max(1, min(bound, deepest))
+
+
+# -- the abstract domain -------------------------------------------------------
+
+
+def _entry_state(ctx, func, is_program_entry):
+    kind = "before" if is_program_entry else "entry"
+    slots = tuple(frozenset({(kind, k)}) for k in range(1, ctx.depth + 1))
+    return slots, 0
+
+
+def _join_sp(a, b):
+    if a == b:
+        return a
+    return SP_CONFLICT
+
+
+def _join(a, b):
+    slots_a, sp_a = a
+    slots_b, sp_b = b
+    if slots_a == slots_b:
+        slots = slots_a
+    else:
+        slots = tuple(x | y for x, y in zip(slots_a, slots_b))
+    return slots, _join_sp(sp_a, sp_b)
+
+
+def _post_call_slots(ctx, site):
+    """The caller's age vector right after the call at ``site`` returns."""
+    slots = [frozenset({("call", site, 1)}), frozenset({("call", site, 2)})]
+    dead = frozenset({("dead", site)})
+    while len(slots) < ctx.depth:
+        slots.append(dead)
+    return tuple(slots[: ctx.depth])
+
+
+def _transfer_block(ctx, func, block, state):
+    """Push the block's producers through ``state`` (no checks: fixpoint path)."""
+    slots, sp = state
+    program = ctx.program
+    depth = ctx.depth
+    indices = block.indices
+    # Everything pushed before the last JAL is irrelevant to the out-state.
+    last_call = None
+    for pos in range(len(indices) - 1, -1, -1):
+        if program.instrs[indices[pos]].mnemonic == "JAL":
+            last_call = pos
+            break
+    if sp != SP_CONFLICT:
+        for index in indices:
+            if program.instrs[index].mnemonic == "SPADD":
+                sp += program.instrs[index].imm
+    if last_call is not None:
+        slots = _post_call_slots(ctx, indices[last_call])
+        tail = indices[last_call + 1 :]
+    else:
+        tail = indices
+    if tail:
+        pushed = tuple(frozenset({i}) for i in reversed(tail))
+        slots = (pushed + slots)[:depth]
+    return slots, sp
+
+
+# -- per-function fixpoint + final checking pass -------------------------------
+
+
+def _verify_function(ctx, cfg, func, bound):
+    program = ctx.program
+    result = FuncResult(func)
+    ctx.results[func.entry] = result
+
+    fmanifest = ctx.manifest_funcs.get(func.name)
+    entry_annotated = func.entry in ctx.manifest_instrs
+    if fmanifest is not None and entry_annotated:
+        result.annotated = True
+        result.entry_ages = dict(fmanifest["entry_ages"])
+        result.returns_value = bool(fmanifest.get("returns_value"))
+
+    is_program_entry = func.entry == program.index_of_pc(program.entry_pc)
+    entry_state = _entry_state(ctx, func, is_program_entry)
+
+    in_states = {func.entry: entry_state}
+    worklist = [func.entry]
+    on_list = {func.entry}
+    while worklist:
+        leader = worklist.pop()
+        on_list.discard(leader)
+        block = func.blocks[leader]
+        out = _transfer_block(ctx, func, block, in_states[leader])
+        for succ in block.succs:
+            if succ in in_states:
+                joined = _join(in_states[succ], out)
+                if joined == in_states[succ]:
+                    continue
+                in_states[succ] = joined
+            else:
+                in_states[succ] = out
+            if succ not in on_list:
+                on_list.add(succ)
+                worklist.append(succ)
+    result.in_states = in_states
+
+    # Final pass: walk each block from its converged entry state, checking
+    # every operand and recording consumption facts for lints.  JR target
+    # checks are deferred until every RMOV's source tags are on record.
+    jr_checks = []
+    for leader in sorted(in_states):
+        block = func.blocks[leader]
+        slots, sp = in_states[leader]
+        merge = len(block.preds) > 1
+        if merge and sp == SP_CONFLICT:
+            ctx.report.emit(
+                "STR004",
+                "incoming paths reach this merge with different SP offsets",
+                index=leader,
+                function=func.name,
+            )
+        for index in block.indices:
+            instr = program.instrs[index]
+            for operand, dist in enumerate(instr.srcs):
+                _check_operand(
+                    ctx, result, func, index, instr, operand, dist, slots, bound
+                )
+            if instr.mnemonic == "RMOV" and instr.srcs[0] > 0:
+                dist = instr.srcs[0]
+                if dist <= len(slots):
+                    tags = slots[dist - 1]
+                    ctx.rmov_src_tags[index] = tags
+                    ctx.rmov_source_of.update(
+                        t for t in tags if isinstance(t, int)
+                    )
+            if instr.mnemonic == "JAL":
+                result.call_states[index] = (slots, sp)
+                slots = _post_call_slots(ctx, index)
+                continue
+            if instr.mnemonic == "JR":
+                result.pre_jr_tags.update(
+                    t for t in slots[0] if isinstance(t, int)
+                )
+                if sp != 0 and sp != SP_CONFLICT:
+                    ctx.report.emit(
+                        "STR005",
+                        f"returns with SP offset {sp:+d} (SPADD sum must be "
+                        "zero on every path to JR)",
+                        index=index,
+                        function=func.name,
+                    )
+                jr_checks.append((index, instr, slots))
+            if instr.mnemonic == "SPADD":
+                if sp != SP_CONFLICT:
+                    sp += instr.imm
+            slots = (frozenset({index}),) + slots[: ctx.depth - 1]
+    for index, instr, jr_slots in jr_checks:
+        _check_return_target(ctx, result, func, index, instr, jr_slots)
+
+
+def _expected_uid(ctx, index, operand):
+    entry = ctx.manifest_instrs.get(index)
+    if entry is None:
+        return None
+    srcs = entry["srcs"]
+    return srcs[operand] if operand < len(srcs) else None
+
+
+def _tag_uid(ctx, result, tag):
+    """The logical-value uid a tag carries, or a descriptive sentinel."""
+    if isinstance(tag, int):
+        entry = ctx.manifest_instrs.get(tag)
+        if entry is not None:
+            return entry["product"]
+        return ("instr", tag)
+    kind = tag[0]
+    if kind == "entry":
+        uid = result.entry_ages.get(tag[1])
+        if uid is not None:
+            return uid
+        return ("beyond-entry", tag[1])
+    if kind == "call":
+        site = tag[1]
+        if tag[2] == 2:
+            entry = ctx.manifest_instrs.get(site)
+            retval = entry["retval"] if entry is not None else None
+            if retval is not None:
+                return retval
+            return ("void-call", site)
+        return ("jr", site)
+    return ("invalid",) + tag  # before / dead
+
+
+def _describe_tag(ctx, tag):
+    if isinstance(tag, int):
+        return f"producer at {locate(ctx.program, tag)}"
+    kind = tag[0]
+    if kind == "entry":
+        return f"entry age {tag[1]}"
+    if kind == "before":
+        return "a slot before program start"
+    if kind == "call":
+        which = "return value" if tag[2] == 2 else "return jump"
+        return f"{which} of the call at {locate(ctx.program, tag[1])}"
+    return repr(tag)
+
+
+def _check_operand(ctx, result, func, index, instr, operand, dist, slots, bound):
+    report = ctx.report
+    where = dict(function=func.name, data={"operand": operand})
+    if dist == 0:
+        if result.annotated and _expected_uid(ctx, index, operand) is not None:
+            report.emit(
+                "STR011",
+                f"{instr.mnemonic} operand {operand} reads the zero register "
+                "but the backend recorded a real source value",
+                index=index,
+                **where,
+            )
+        return
+    if dist > bound:
+        report.emit(
+            "STR002",
+            f"{instr.mnemonic} operand {operand} has distance {dist} "
+            f"> max_distance {bound}",
+            index=index,
+            **where,
+        )
+        return
+    if dist > len(slots):  # deeper than any producer this program tracks
+        report.emit(
+            "STR006",
+            f"distance {dist} is deeper than any value the program "
+            "has produced on this path",
+            index=index,
+            **where,
+        )
+        return
+    tags = slots[dist - 1]
+    ctx.consumed.update(t for t in tags if isinstance(t, int))
+    for tag in tags:
+        if not isinstance(tag, int) and tag[0] == "entry" and tag[1] >= 2:
+            result.demand.add(tag[1])
+
+    # Structural obligations (checked with or without a manifest).
+    emitted_error = False
+    for tag in tags:
+        if isinstance(tag, int):
+            continue
+        kind = tag[0]
+        if kind == "dead":
+            report.emit(
+                "STR003",
+                f"distance {dist} reaches a caller value the call at "
+                f"{locate(ctx.program, tag[1])} pushed out of range",
+                index=index,
+                **where,
+            )
+            emitted_error = True
+        elif kind == "before":
+            report.emit(
+                "STR006",
+                f"distance {dist} reaches before program start",
+                index=index,
+                **where,
+            )
+            emitted_error = True
+        elif kind == "call" and tag[2] == 1:
+            report.emit(
+                "STR106",
+                f"distance {dist} reads the callee's JR value "
+                "(architecturally zero)",
+                index=index,
+                **where,
+            )
+        elif kind == "entry" and result.annotated and tag[1] not in result.entry_ages:
+            report.emit(
+                "STR012",
+                f"distance {dist} reaches entry age {tag[1]}, beyond the "
+                f"{len(result.entry_ages)} value(s) the calling convention "
+                "defines for this function",
+                index=index,
+                **where,
+            )
+            emitted_error = True
+        elif kind == "call" and tag[2] == 2 and result.annotated:
+            entry = ctx.manifest_instrs.get(tag[1])
+            if entry is not None and entry["retval"] is None:
+                report.emit(
+                    "STR003",
+                    f"distance {dist} reads the return-value slot of a "
+                    "void call",
+                    index=index,
+                    **where,
+                )
+                emitted_error = True
+
+    if emitted_error or not result.annotated:
+        return
+
+    # Translation validation: every surviving tag must carry the uid the
+    # backend recorded for this operand.
+    expected = _expected_uid(ctx, index, operand)
+    if expected is None:
+        # Either this instruction was not compiler-emitted (mixed link) or
+        # the backend recorded a zero-register source for a nonzero distance.
+        if index in ctx.manifest_instrs:
+            report.emit(
+                "STR011",
+                f"{instr.mnemonic} operand {operand} has distance {dist} "
+                "but the backend recorded a zero-register source",
+                index=index,
+                **where,
+            )
+        return
+    mismatched = [t for t in tags if _tag_uid(ctx, result, t) != expected]
+    if not mismatched:
+        return
+    matched = len(tags) - len(mismatched)
+    sample = _describe_tag(ctx, mismatched[0])
+    if matched:
+        report.emit(
+            "STR001",
+            f"{instr.mnemonic} operand {operand} (distance {dist}) names "
+            f"the intended value on {matched} path(s) but {sample} on "
+            f"{len(mismatched)} other(s): merge refresh missing or misaligned",
+            index=index,
+            **where,
+        )
+    else:
+        report.emit(
+            "STR011",
+            f"{instr.mnemonic} operand {operand} (distance {dist}) names "
+            f"{sample}, not the value the backend intended",
+            index=index,
+            **where,
+        )
+
+
+def _resolve_root(ctx, tag, _guard=None):
+    """Follow RMOV relays back to the originating producer tags."""
+    if _guard is None:
+        _guard = set()
+    if not isinstance(tag, int):
+        return {tag}
+    if tag in _guard:
+        return set()
+    _guard.add(tag)
+    instr = ctx.program.instrs[tag]
+    if instr.mnemonic != "RMOV":
+        return {tag}
+    roots = set()
+    for src in ctx.rmov_src_tags.get(tag, ()):
+        roots |= _resolve_root(ctx, src, _guard)
+    return roots or {tag}
+
+
+def _check_return_target(ctx, result, func, index, instr, slots):
+    """STR007/STR104: every JR must jump through the return address."""
+    dist = instr.srcs[0]
+    if dist == 0 or dist > len(slots):
+        return  # already diagnosed by the operand checks
+    roots = set()
+    for tag in slots[dist - 1]:
+        roots |= _resolve_root(ctx, tag)
+    retaddr_uid = result.entry_ages.get(1) if result.annotated else None
+    bad = []
+    for root in roots:
+        if not isinstance(root, int):
+            if root == ("entry", 1):
+                continue
+            bad.append(root)
+            continue
+        mnemonic = ctx.program.instrs[root].mnemonic
+        if mnemonic == "LD":
+            # Spilled return address: the operand itself was validated
+            # against the manifest; proving the *memory* round trip is out
+            # of scope for a register-age analysis, so only note it.
+            ctx.report.emit(
+                "STR104",
+                "JR target travels through memory (spilled return "
+                "address); the round trip is validated dynamically, "
+                "not statically",
+                index=index,
+                function=func.name,
+            )
+            continue
+        if retaddr_uid is not None and _tag_uid(ctx, result, root) == retaddr_uid:
+            continue
+        bad.append(root)
+    for root in bad[:1]:
+        ctx.report.emit(
+            "STR007",
+            f"JR target resolves to {_describe_tag(ctx, root)}, not the "
+            "function's return address",
+            index=index,
+            function=func.name,
+        )
+
+
+# -- interprocedural: call-site demand ----------------------------------------
+
+
+def _check_call_sites(ctx, cfg):
+    """STR008: every entry age a callee consumes must exist at the call."""
+    for func in cfg.functions:
+        result = ctx.results[func.entry]
+        for site, target in func.call_sites:
+            if target is None:
+                continue
+            callee = ctx.results.get(target)
+            if callee is None:
+                continue
+            if callee.annotated:
+                demand = {k for k in callee.entry_ages if k >= 2}
+            else:
+                demand = set(callee.demand)
+            state = result.call_states.get(site)
+            if state is None:
+                continue  # unreachable call site
+            slots, _ = state
+            callee_name = cfg.function_at(target).name
+            for age in sorted(demand):
+                caller_dist = age - 1  # callee age k = caller slot k-2
+                if caller_dist > len(slots):
+                    ctx.report.emit(
+                        "STR008",
+                        f"callee {callee_name!r} consumes entry age {age} "
+                        "but the call site has produced no such value",
+                        index=site,
+                        function=func.name,
+                        data={"operand": age},
+                    )
+                    continue
+                tags = slots[caller_dist - 1]
+                broken = [
+                    t
+                    for t in tags
+                    if not isinstance(t, int)
+                    and t[0] in ("dead", "before")
+                ]
+                if broken:
+                    ctx.report.emit(
+                        "STR008",
+                        f"callee {callee_name!r} consumes entry age {age} "
+                        f"but at this call site that slot is "
+                        f"{_describe_tag(ctx, broken[0])}",
+                        index=site,
+                        function=func.name,
+                        data={"operand": age},
+                    )
+                    continue
+                # The argument producers are consumed by the callee.
+                ctx.consumed.update(t for t in tags if isinstance(t, int))

@@ -31,7 +31,17 @@ class CompileError(ReproError):
 
 
 class AsmError(ReproError):
-    """Assembler failure: unknown mnemonic, out-of-range field, bad label."""
+    """Assembler failure: unknown mnemonic, out-of-range field, bad label.
+
+    ``line`` (when known) is the 1-based source line of the offending item so
+    tools can report structured positions instead of free-text prefixes.
+    """
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
 
 
 class LinkError(ReproError):

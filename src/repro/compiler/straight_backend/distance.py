@@ -363,6 +363,7 @@ class DistanceWalker:
             if consume and pending.get(src, 0) > 0:
                 pending[src] -= 1
         inst.dists = dists
+        inst.product_value = target if target is not None else inst
         for value in ages:
             ages[value] += 1
         ages[target if target is not None else inst] = 1
@@ -427,6 +428,7 @@ class DistanceWalker:
                 if pending.get(src, 0) > 0:
                     pending[src] -= 1
             inst.dists = dists
+            inst.product_value = item.target
             out.append(inst)
             emitted.append(item.target)
         count = len(items)
@@ -442,8 +444,15 @@ class DistanceWalker:
 
 
 def emit_assembly(mfunc):
-    """Convert a distance-resolved MFunction into assembler items."""
+    """Convert a distance-resolved MFunction into assembler items.
+
+    Returns ``(items, manifest)``.  The manifest is the static verifier's
+    ground truth (:mod:`repro.analysis`): for every emitted instruction, the
+    logical-value uid it (re)produces and the uid each source distance is
+    supposed to name; plus the function's calling-convention entry ages.
+    """
     items = []
+    manifest_instrs = []
     for index, mblock in enumerate(mfunc.blocks):
         if index == 0:
             if mblock.label != mfunc.name:
@@ -453,6 +462,7 @@ def emit_assembly(mfunc):
             items.append(("label", mblock.label))
         for inst in mblock.instrs:
             items.append(("instr", _to_sinstr(inst)))
+            manifest_instrs.append(_manifest_entry(inst))
     # Drop a duplicate entry label if present.
     if (
         len(items) >= 2
@@ -460,7 +470,30 @@ def emit_assembly(mfunc):
         and items[1] == ("label", mfunc.name)
     ):
         items.pop(0)
-    return items
+    entry_ages = {1: mfunc.retaddr.uid}
+    n = mfunc.num_args
+    for index, arg in enumerate(mfunc.arg_values):
+        entry_ages[1 + (n - index)] = arg.uid
+    manifest = {
+        "instrs": manifest_instrs,
+        "function": {
+            "name": mfunc.name,
+            "num_args": mfunc.num_args,
+            "returns_value": mfunc.returns_value,
+            "entry_ages": entry_ages,
+        },
+    }
+    return items, manifest
+
+
+def _manifest_entry(inst):
+    product = getattr(inst, "product_value", None) or inst
+    retval = getattr(inst, "retval_value", None)
+    return {
+        "product": product.uid,
+        "srcs": tuple(None if s is ZERO else s.uid for s in inst.srcs),
+        "retval": retval.uid if retval is not None else None,
+    }
 
 
 def _to_sinstr(inst):

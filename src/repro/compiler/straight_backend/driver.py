@@ -42,6 +42,18 @@ class StraightCompilation:
             max_distance=self.max_distance,
         )
 
+    def verify(self, lint=False):
+        """Statically verify the linked image (see :mod:`repro.analysis`).
+
+        Returns the diagnostic :class:`~repro.analysis.Report`.  This is the
+        verify-after-compile hook: the linked binary plus the backend's
+        producer manifest are checked over every CFG path, independently of
+        the distance walk that emitted them.
+        """
+        from repro.analysis import verify_program
+
+        return verify_program(self.link(), lint=lint)
+
 
 def compile_to_straight(
     module,
@@ -50,6 +62,7 @@ def compile_to_straight(
     layout=None,
     enable_sinking=None,
     enable_demotion=None,
+    verify=False,
 ):
     """Compile an SSA IR module to STRAIGHT assembly.
 
@@ -73,7 +86,14 @@ def compile_to_straight(
         )
         units.append(unit)
         stats[func.name] = func_stats
-    return StraightCompilation(module, units, layout, max_distance, stats)
+    compilation = StraightCompilation(module, units, layout, max_distance, stats)
+    if verify:
+        report = compilation.verify()
+        if report.has_errors():
+            raise CompileError(
+                "static verification failed:\n" + report.text(max_items=20)
+            )
+    return compilation
 
 
 def _ensure_entry_has_no_preds(func):
@@ -101,8 +121,9 @@ def _compile_function(func, module, layout, max_distance, sinking, demotion):
         mfunc, func, liveness, frame, isel.value_map, max_distance
     )
     walker.run()
-    items = emit_assembly(mfunc)
+    items, manifest = emit_assembly(mfunc)
     unit = AsmUnit(items)
+    unit.verify_manifest = manifest
     instr_count = len(unit.instructions())
     rmov_count = sum(1 for i in unit.instructions() if i.mnemonic == "RMOV")
     func_stats = {

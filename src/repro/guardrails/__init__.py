@@ -30,6 +30,31 @@ from repro.guardrails.faultinject import (
 from repro.guardrails.crashdump import write_crash_dump, write_manifest
 
 
+def static_precheck(binary, strict=True, lint=False):
+    """Static verification pre-pass over a STRAIGHT binary.
+
+    The cheap front half of the guarded pipeline: before any dynamic
+    lockstep run, prove the distance/write-once/SP discipline over every
+    CFG path (see :mod:`repro.analysis`), so dynamic checking starts from a
+    binary already known to be structurally sound on the paths the run
+    won't take.  Returns the diagnostic report, or ``None`` for non-STRAIGHT
+    binaries; with ``strict`` (default) error diagnostics raise
+    :class:`~repro.common.errors.GuardrailError`.
+    """
+    if getattr(binary, "isa", None) != "straight":
+        return None
+    from repro.common.errors import GuardrailError
+    from repro.analysis import verify_program
+
+    report = verify_program(binary.program, lint=lint)
+    if strict and report.has_errors():
+        raise GuardrailError(
+            "static verification failed before the dynamic run:\n"
+            + report.text(max_items=10)
+        )
+    return report
+
+
 def build_guardrails(config, binary=None, lockstep=True, injector=None,
                      window=32):
     """Standard suite for one run: full checker set plus optional lockstep.
@@ -39,6 +64,9 @@ def build_guardrails(config, binary=None, lockstep=True, injector=None,
     compiled distance bound, which experiment sweeps may set wider than the
     core's Table-I default.
     """
+    if binary is not None and not getattr(binary.program, "_static_verified", False):
+        static_precheck(binary)
+        binary.program._static_verified = True
     watchdog_cycles = getattr(config, "watchdog_cycles", 50_000)
     deep_interval = getattr(config, "deep_check_interval", 64)
     predictor_interval = getattr(config, "predictor_check_interval", 4_096)
@@ -68,6 +96,7 @@ __all__ = [
     "GuardView",
     "InvariantChecker",
     "build_guardrails",
+    "static_precheck",
     "CommitSanityChecker",
     "DistanceBoundChecker",
     "FreelistChecker",

@@ -387,6 +387,12 @@ def run_campaign(source=None, binary=None, config=None, n_faults=100,
         binary = build(source or DEFAULT_CAMPAIGN_SOURCE).straight_re
     config = _campaign_config(config)
 
+    # Static pre-pass: the campaign's golden binary must verify cleanly
+    # before any dynamic fault is injected (see repro.analysis).
+    from repro.guardrails import static_precheck
+
+    static_precheck(binary)
+
     # Golden references: functional state and the clean guarded timing run
     # (which also proves checkers are quiet on an uncorrupted machine).
     from repro.uarch.core import OoOCore

@@ -18,19 +18,35 @@ from repro.straight.isa import SInstr, OPCODES
 
 
 class AsmUnit:
-    """A parsed assembly unit: ordered labels and instructions."""
+    """A parsed assembly unit: ordered labels and instructions.
 
-    def __init__(self, items=None):
+    ``origins`` (parallel to :meth:`instructions`) maps each instruction to
+    its 1-based source line when the unit was parsed from text, else None.
+    ``verify_manifest`` optionally carries the compiler's producer manifest
+    (see :mod:`repro.analysis`) through assembly and linking.
+    """
+
+    def __init__(self, items=None, origins=None):
         self.items = list(items or [])  # ('label', name) | ('instr', SInstr)
+        self.origins = list(origins or [])
+        self.verify_manifest = None
 
     def add_label(self, name):
         self.items.append(("label", name))
 
-    def add_instr(self, instr):
+    def add_instr(self, instr, origin=None):
         self.items.append(("instr", instr))
+        self.origins.append(origin)
 
     def instructions(self):
         return [item for kind, item in self.items if kind == "instr"]
+
+    def instruction_origins(self):
+        """Per-instruction source lines, padded to the instruction count."""
+        instrs = self.instructions()
+        origins = list(self.origins[: len(instrs)])
+        origins.extend([None] * (len(instrs) - len(origins)))
+        return origins
 
     def to_text(self):
         lines = []
@@ -45,6 +61,7 @@ class AsmUnit:
 def parse_assembly(text):
     """Parse assembly text into an :class:`AsmUnit`."""
     unit = AsmUnit()
+    seen_labels = set()
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -52,10 +69,13 @@ def parse_assembly(text):
         if line.endswith(":"):
             label = line[:-1].strip()
             if not label or not _is_symbol(label):
-                raise AsmError(f"line {lineno}: bad label {line!r}")
+                raise AsmError(f"bad label {line!r}", line=lineno)
+            if label in seen_labels:
+                raise AsmError(f"duplicate label {label!r}", line=lineno)
+            seen_labels.add(label)
             unit.add_label(label)
             continue
-        unit.add_instr(_parse_instr_line(line, lineno))
+        unit.add_instr(_parse_instr_line(line, lineno), origin=lineno)
     return unit
 
 
@@ -92,7 +112,7 @@ def _parse_instr_line(line, lineno):
     parts = line.replace(",", " ").split()
     mnemonic = parts[0].upper()
     if mnemonic not in OPCODES:
-        raise AsmError(f"line {lineno}: unknown mnemonic {parts[0]!r}")
+        raise AsmError(f"unknown mnemonic {parts[0]!r}", line=lineno)
     srcs = []
     imm = None
     label = None
@@ -101,21 +121,21 @@ def _parse_instr_line(line, lineno):
             try:
                 srcs.append(int(token[1:-1], 0))
             except ValueError:
-                raise AsmError(f"line {lineno}: bad distance {token!r}") from None
+                raise AsmError(f"bad distance {token!r}", line=lineno) from None
         elif _looks_numeric(token):
             if imm is not None:
-                raise AsmError(f"line {lineno}: duplicate immediate in {line!r}")
+                raise AsmError(f"duplicate immediate in {line!r}", line=lineno)
             imm = int(token, 0)
         else:
             if not _is_symbol(token):
-                raise AsmError(f"line {lineno}: bad operand {token!r}")
+                raise AsmError(f"bad operand {token!r}", line=lineno)
             if label is not None:
-                raise AsmError(f"line {lineno}: duplicate label operand")
+                raise AsmError("duplicate label operand", line=lineno)
             label = token
     try:
         return SInstr(mnemonic, srcs, imm, label)
     except AsmError as exc:
-        raise AsmError(f"line {lineno}: {exc}") from None
+        raise AsmError(str(exc), line=lineno) from None
 
 
 def _looks_numeric(token):

@@ -10,7 +10,7 @@ from repro.common.errors import LinkError
 from repro.common.layout import TEXT_BASE, WORD_BYTES
 from repro.straight.isa import SInstr, MAX_DISTANCE
 from repro.straight.encoding import encode
-from repro.straight.assembler import AsmUnit, parse_assembly
+from repro.straight.assembler import parse_assembly
 
 
 class StraightProgram:
@@ -24,6 +24,8 @@ class StraightProgram:
         data_base,
         entry_label="_start",
         max_distance=MAX_DISTANCE,
+        origins=None,
+        manifest=None,
     ):
         self.instrs = instrs  # resolved SInstr list, index = word position
         self.labels = labels  # label -> instruction index
@@ -32,6 +34,10 @@ class StraightProgram:
         self.text_base = TEXT_BASE
         self.entry_pc = TEXT_BASE + labels[entry_label] * WORD_BYTES
         self.max_distance = max_distance
+        # Per-instruction assembly source lines (None where unknown) and the
+        # compiler's producer manifest (see repro.analysis), both optional.
+        self.origins = list(origins) if origins else [None] * len(instrs)
+        self.manifest = manifest
 
     @property
     def text_words(self):
@@ -75,36 +81,61 @@ _start:
 
 def link_program(units, data_words=(), data_base=0, max_distance=MAX_DISTANCE):
     """Link assembly units (startup stub first) into a :class:`StraightProgram`."""
-    merged = AsmUnit()
-    for unit in units:
-        merged.items.extend(unit.items)
-
     labels = {}
     index = 0
-    for kind, item in merged.items:
-        if kind == "label":
-            if item in labels:
-                raise LinkError(f"duplicate label {item!r}")
-            labels[item] = index
-        else:
-            index += 1
+    for unit in units:
+        for kind, item in unit.items:
+            if kind == "label":
+                if item in labels:
+                    raise LinkError(f"duplicate label {item!r}")
+                labels[item] = index
+            else:
+                index += 1
 
     instrs = []
+    origins = []
+    instr_manifest = {}
+    func_manifest = {}
+    any_manifest = False
     position = 0
-    for kind, item in merged.items:
-        if kind == "label":
-            continue
-        instr = item
-        if instr.label is not None:
-            if instr.label not in labels:
-                raise LinkError(f"undefined label {instr.label!r}")
-            offset = labels[instr.label] - position
-            instr = SInstr(instr.mnemonic, instr.srcs, offset)
-        instrs.append(instr)
-        position += 1
+    for unit in units:
+        unit_origins = unit.instruction_origins()
+        unit_manifest = getattr(unit, "verify_manifest", None)
+        if unit_manifest is not None:
+            any_manifest = True
+            func_manifest[unit_manifest["function"]["name"]] = unit_manifest[
+                "function"
+            ]
+        within = 0
+        for kind, item in unit.items:
+            if kind == "label":
+                continue
+            instr = item
+            if instr.label is not None:
+                if instr.label not in labels:
+                    raise LinkError(f"undefined label {instr.label!r}")
+                offset = labels[instr.label] - position
+                instr = SInstr(instr.mnemonic, instr.srcs, offset)
+            instrs.append(instr)
+            origins.append(unit_origins[within])
+            if unit_manifest is not None:
+                instr_manifest[position] = unit_manifest["instrs"][within]
+            position += 1
+            within += 1
 
     if "_start" not in labels:
         raise LinkError("no _start label; pass startup_stub() as the first unit")
+    manifest = (
+        {"instrs": instr_manifest, "functions": func_manifest}
+        if any_manifest
+        else None
+    )
     return StraightProgram(
-        instrs, labels, list(data_words), data_base, max_distance=max_distance
+        instrs,
+        labels,
+        list(data_words),
+        data_base,
+        max_distance=max_distance,
+        origins=origins,
+        manifest=manifest,
     )

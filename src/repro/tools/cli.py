@@ -6,6 +6,8 @@ Subcommands::
     straight disasm   prog.c --target riscv           # linked image listing
     straight run      prog.c --target straight-raw    # functional run
     straight simulate prog.c --core STRAIGHT-4way     # timing run (JSON)
+    straight verify   prog.c --target both --lint     # static verification
+    straight verify   --all-shipped                   # CI workload gate
     straight experiments fig11 fig16                  # regenerate figures
     straight guardrails --workload dhrystone          # lockstep smoke run
     straight guardrails --faults 100 --seed 7         # fault campaign
@@ -120,6 +122,15 @@ def cmd_guardrails(args):
                 return 1
             return 0
         binary_label = "SS" if not config.is_straight else "STRAIGHT-RE+"
+        if config.is_straight:
+            from repro.guardrails import static_precheck
+            from repro.workloads.common import build_workload
+
+            built = build_workload(args.workload, iterations=args.iterations,
+                                   max_distance=config.max_distance)
+            static_report = static_precheck(built.straight_re)
+            print(f"static verify: {static_report.summary()}",
+                  file=sys.stderr)
         run = timed_run(args.workload, binary_label, config,
                         iterations=args.iterations, timeout_s=args.timeout,
                         guardrails=True)
@@ -136,6 +147,119 @@ def cmd_guardrails(args):
     }
     print(json.dumps(payload, indent=2))
     return 0
+
+
+def _verify_jobs_all_shipped(max_distances):
+    """(name, program) pairs covering every shipped STRAIGHT artifact."""
+    import os
+
+    from repro.workloads.common import get_workload
+    from repro.guardrails import DEFAULT_CAMPAIGN_SOURCE
+
+    sources = [
+        ("dhrystone", get_workload("dhrystone").source()),
+        ("coremark", get_workload("coremark").source()),
+        ("fault-campaign", DEFAULT_CAMPAIGN_SOURCE),
+    ]
+    for name, source in sources:
+        for target in ("straight", "straight-raw"):
+            for max_distance in max_distances:
+                binary = _compile_target(source, target, max_distance)
+                yield f"{name}/{target}/md={max_distance}", binary.program
+
+    # The hand-written assembly example, when run from a repo checkout.
+    example = os.path.normpath(
+        os.path.join(
+            os.path.dirname(__file__), "..", "..", "..",
+            "examples", "hand_written_asm.py",
+        )
+    )
+    if os.path.exists(example):
+        import importlib.util
+
+        from repro.straight import link_program, parse_assembly, startup_stub
+
+        spec = importlib.util.spec_from_file_location("hand_written_asm",
+                                                      example)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        for snippet in ("FIG1", "LOOP_FIXED"):
+            program = link_program(
+                [startup_stub(), parse_assembly(getattr(module, snippet))]
+            )
+            yield f"examples/hand_written_asm/{snippet}", program
+
+
+def cmd_verify(args):
+    """Static verification: prove the distance discipline over all paths."""
+    from repro.analysis import run_mutation_campaign, verify_program
+
+    if args.all_shipped:
+        jobs = list(_verify_jobs_all_shipped(max_distances=(1023, 31)))
+    else:
+        if args.file is None:
+            if not args.mutants:
+                print("verify: pass a source file, --all-shipped, or "
+                      "--mutants", file=sys.stderr)
+                return 2
+            from repro.guardrails import DEFAULT_CAMPAIGN_SOURCE
+
+            name = "fault-campaign"
+            source = DEFAULT_CAMPAIGN_SOURCE
+        else:
+            name = args.file
+            source = _read_source(args.file)
+        targets = (
+            ("straight", "straight-raw")
+            if args.target == "both"
+            else (args.target,)
+        )
+        jobs = [
+            (
+                f"{name}/{target}/md={args.max_distance}",
+                _compile_target(source, target, args.max_distance).program,
+            )
+            for target in targets
+        ]
+
+    runs = []
+    failed = False
+    for name, program in jobs:
+        report = verify_program(program, lint=args.lint)
+        entry = {"name": name, "counts": report.counts(),
+                 "stats": report.stats}
+        if args.json:
+            entry["diagnostics"] = report.as_dict()["diagnostics"]
+        runs.append((entry, report))
+        failed = failed or report.has_errors()
+
+    campaign = None
+    if args.mutants:
+        if args.all_shipped or len(jobs) != 1:
+            print("verify: --mutants needs a single file/target",
+                  file=sys.stderr)
+            return 2
+        campaign = run_mutation_campaign(
+            jobs[0][1], mutants=args.mutants, seed=args.seed
+        )
+        failed = failed or campaign.detection_rate < 0.95
+
+    if args.json:
+        payload = {"runs": [entry for entry, _ in runs],
+                   "ok": not failed}
+        if campaign is not None:
+            payload["mutation_campaign"] = campaign.as_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        for entry, report in runs:
+            print(f"{entry['name']}: {report.summary()}")
+            show = report.sorted() if args.verbose else report.errors()
+            for diag in show:
+                print(f"  {diag.render()}")
+        if campaign is not None:
+            print(campaign.text())
+        print("FAIL" if failed else "OK")
+    return 1 if failed else 0
 
 
 def cmd_trace(args):
@@ -230,6 +354,32 @@ def build_parser():
     p_trace.add_argument("--limit", type=int, default=None,
                          help="print at most N entries")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="statically verify STRAIGHT binaries (distance discipline, "
+             "calling convention, lints)",
+    )
+    p_verify.add_argument("file", nargs="?", default=None,
+                          help="mini-C source file ('-' for stdin)")
+    p_verify.add_argument("--target", choices=("straight", "straight-raw",
+                                               "both"), default="straight")
+    p_verify.add_argument("--max-distance", type=int, default=1023)
+    p_verify.add_argument("--all-shipped", action="store_true",
+                          help="verify every shipped workload/example at "
+                               "max_distance 1023 and 31")
+    p_verify.add_argument("--lint", action="store_true",
+                          help="also run the advisory lint passes")
+    p_verify.add_argument("--json", action="store_true",
+                          help="machine-readable report on stdout")
+    p_verify.add_argument("--verbose", action="store_true",
+                          help="print every diagnostic, not just errors")
+    p_verify.add_argument("--mutants", type=int, default=0,
+                          help="also run a seeded mutation campaign of N "
+                               "corrupted copies (single target only)")
+    p_verify.add_argument("--seed", type=int, default=20260805,
+                          help="mutation campaign RNG seed")
+    p_verify.set_defaults(func=cmd_verify)
 
     p_sim = sub.add_parser("simulate", help="cycle-level timing run (JSON)")
     p_sim.add_argument("file", help="mini-C source file ('-' for stdin)")

@@ -1,0 +1,69 @@
+"""Mutation campaign: the static verifier must catch seeded corruption."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.compiler import compile_to_straight
+from repro.guardrails import DEFAULT_CAMPAIGN_SOURCE
+from repro.analysis import run_mutation_campaign, verify_program
+
+
+def campaign_program(max_distance=1023, redundancy_elimination=True):
+    return compile_to_straight(
+        compile_source(DEFAULT_CAMPAIGN_SOURCE),
+        max_distance=max_distance,
+        redundancy_elimination=redundancy_elimination,
+    ).link()
+
+
+class TestMutationCampaign:
+    def test_detection_rate_meets_threshold(self):
+        report = run_mutation_campaign(
+            campaign_program(), mutants=60, seed=20260805
+        )
+        assert report.total == 60
+        assert report.detection_rate >= 0.95, report.text()
+
+    def test_raw_binary_and_tight_bound(self):
+        program = campaign_program(
+            max_distance=31, redundancy_elimination=False
+        )
+        report = run_mutation_campaign(program, mutants=40, seed=7)
+        assert report.detection_rate >= 0.95, report.text()
+
+    def test_campaign_is_deterministic(self):
+        first = run_mutation_campaign(campaign_program(), mutants=20, seed=3)
+        second = run_mutation_campaign(campaign_program(), mutants=20, seed=3)
+        assert [r["mutation"] for r in first.records] == [
+            r["mutation"] for r in second.records
+        ]
+        assert first.as_dict() == second.as_dict()
+
+    def test_campaign_leaves_program_intact(self):
+        program = campaign_program()
+        before = [instr.srcs for instr in program.instrs]
+        run_mutation_campaign(program, mutants=10, seed=1)
+        assert [instr.srcs for instr in program.instrs] == before
+        assert not verify_program(program).has_errors()
+
+    def test_dirty_baseline_is_rejected(self):
+        program = campaign_program()
+        for instr in program.instrs:
+            if instr.srcs and instr.srcs[0] > 0:
+                instr.srcs = (0,) + instr.srcs[1:]
+                break
+        with pytest.raises(ValueError, match="clean baseline"):
+            run_mutation_campaign(program, mutants=5, seed=1)
+
+    def test_report_shapes(self):
+        report = run_mutation_campaign(campaign_program(), mutants=12, seed=9)
+        payload = report.as_dict()
+        assert payload["total"] == 12
+        assert set(payload["by_target"]) <= {
+            "off_by_one", "bit_flip", "retarget", "zeroed", "rmov_retarget",
+        }
+        assert "detection_rate" in payload
+        assert "mutants=12" in report.text()
+        for record in report.records:
+            if record["detected"]:
+                assert record["codes"]

@@ -1,0 +1,428 @@
+"""Static verifier tests: clean programs prove, violations get stable codes."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.compiler import compile_to_straight
+from repro.common.errors import CompileError, GuardrailError
+from repro.straight import link_program, parse_assembly, startup_stub
+from repro.straight.isa import SInstr
+from repro.analysis import CODES, build_cfg, verify_program
+
+LOOP_CALL_SOURCE = """
+int twice(int x) { return x + x; }
+
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 8; i++) acc += twice(i) - i;
+    __out(acc);
+    return 0;
+}
+"""
+
+
+def compile_program(source, max_distance=1023, redundancy_elimination=True):
+    return compile_to_straight(
+        compile_source(source),
+        max_distance=max_distance,
+        redundancy_elimination=redundancy_elimination,
+    ).link()
+
+
+def codes_of(report):
+    return {d.code for d in report.diagnostics}
+
+
+class TestCleanPrograms:
+    @pytest.mark.parametrize("re_plus", [True, False])
+    @pytest.mark.parametrize("max_distance", [1023, 31])
+    def test_compiled_program_proves_clean(self, re_plus, max_distance):
+        program = compile_program(
+            LOOP_CALL_SOURCE,
+            max_distance=max_distance,
+            redundancy_elimination=re_plus,
+        )
+        report = verify_program(program, lint=True)
+        assert not report.has_errors(), report.text()
+        assert not report.warnings(), report.text()
+
+    def test_tight_bound_forces_relays_and_still_proves(self):
+        # max_distance=7 forces bounding RMOV chains through the loop body.
+        program = compile_program(LOOP_CALL_SOURCE, max_distance=7)
+        assert any(i.mnemonic == "RMOV" for i in program.instrs)
+        report = verify_program(program)
+        assert not report.has_errors(), report.text()
+
+    def test_hand_written_asm_is_structurally_clean(self):
+        program = link_program(
+            [
+                startup_stub(),
+                parse_assembly(
+                    """
+main:
+    ADDI [0] 1
+    ADDI [0] 1
+    ADD [1] [2]
+    OUT [1]
+    JR [5]
+"""
+                ),
+            ]
+        )
+        report = verify_program(program, lint=True)
+        assert not report.has_errors(), report.text()
+
+    def test_manifest_attached_by_backend(self):
+        program = compile_program(LOOP_CALL_SOURCE)
+        assert program.manifest is not None
+        assert "main" in program.manifest["functions"]
+        # The startup stub is hand-written assembly: unannotated.
+        report = verify_program(program)
+        assert report.stats["annotated_functions"] == 2
+        assert report.stats["functions"] == 3
+
+    def test_driver_verify_hook(self):
+        compilation = compile_to_straight(compile_source(LOOP_CALL_SOURCE))
+        report = compilation.verify(lint=True)
+        assert not report.has_errors()
+
+    def test_compile_with_verify_flag(self):
+        compilation = compile_to_straight(
+            compile_source(LOOP_CALL_SOURCE), verify=True
+        )
+        assert compilation.units
+
+
+def verify_asm(text, max_distance=1023, lint=False, with_stub=True):
+    units = [startup_stub()] if with_stub else []
+    units.append(parse_assembly(text))
+    program = link_program(units, max_distance=max_distance)
+    return verify_program(program, lint=lint)
+
+
+class TestStructuralViolations:
+    def test_str006_read_before_program_start(self):
+        report = verify_asm(
+            "_start:\n    ADD [1] [2]\n    HALT", with_stub=False
+        )
+        assert "STR006" in codes_of(report)
+
+    def test_str002_distance_exceeds_bound(self):
+        report = verify_asm(
+            """
+main:
+    ADDI [0] 1
+    NOP
+    NOP
+    NOP
+    ADD [4] [1]
+    JR [6]
+""",
+            max_distance=3,
+        )
+        assert "STR002" in codes_of(report)
+
+    def test_str003_operand_crosses_call_boundary(self):
+        report = verify_asm(
+            """
+main:
+    ADDI [0] 7
+    JAL helper
+    ADD [3] [0]
+    JR [4]
+helper:
+    JR [1]
+"""
+        )
+        assert "STR003" in codes_of(report)
+
+    def test_str005_sp_not_restored_at_return(self):
+        report = verify_asm(
+            """
+main:
+    SPADD -8
+    JR [2]
+"""
+        )
+        assert "STR005" in codes_of(report)
+
+    def test_str004_sp_differs_across_paths(self):
+        report = verify_asm(
+            """
+main:
+    BEZ [1] main.b
+main.a:
+    SPADD -4
+    J main.m
+main.b:
+    NOP
+    J main.m
+main.m:
+    JR [4]
+"""
+        )
+        assert "STR004" in codes_of(report)
+
+    def test_str007_jr_through_alu_result(self):
+        report = verify_asm(
+            """
+main:
+    ADDI [0] 5
+    JR [1]
+"""
+        )
+        assert "STR007" in codes_of(report)
+
+    def test_str008_callee_demands_missing_value(self):
+        report = verify_asm(
+            """
+main:
+    OUT [2]
+    JR [2]
+"""
+        )
+        # main consumes entry age 2 (an argument), but the startup stub's
+        # JAL provides only the return address.
+        assert "STR008" in codes_of(report)
+
+    def test_str010_jump_leaves_text_segment(self):
+        unit = parse_assembly("main:\n    ADDI [0] 1")
+        unit.add_instr(SInstr("J", imm=500))  # far outside the text segment
+        program = link_program([startup_stub(), unit])
+        report = verify_program(program)
+        assert "STR010" in codes_of(report)
+
+    def test_str009_unencodable_immediate(self):
+        unit = parse_assembly("main:\n    JR [1]")
+        unit.add_instr(SInstr("ADDI", [0], imm=40_000))  # > 15-bit signed
+        program = link_program([startup_stub(), unit])
+        report = verify_program(program)
+        assert "STR009" in codes_of(report)
+
+    def test_str105_unreachable_code(self):
+        report = verify_asm(
+            """
+_start:
+    HALT
+    ADD [1] [1]
+    ADD [1] [1]
+""",
+            with_stub=False,
+            lint=True,
+        )
+        diags = report.by_code().get("STR105")
+        assert diags and diags[0].data["count"] == 2
+
+
+def manifest_entry(product, srcs=(), retval=None):
+    return {"product": product, "srcs": tuple(srcs), "retval": retval}
+
+
+def annotated_merge_program(consistent):
+    """A diamond whose merge refresh is consistent or subtly wrong.
+
+    Both arms re-produce the loop value ``v1`` (uid 100) for the merge
+    consumer; the inconsistent variant's second arm produces a different
+    logical value (uid 999) at the same age instead.
+    """
+    text = """
+main:
+    ADDI [0] 1
+    BEZ [1] main.b
+main.a:
+    RMOV [2]
+    J main.m
+main.b:
+    %s
+    J main.m
+main.m:
+    OUT [2]
+    JR [6]
+"""
+    arm_b = "RMOV [2]" if consistent else "ADDI [0] 9"
+    unit = parse_assembly(text % arm_b)
+    arm_product = 100 if consistent else 999
+    unit.verify_manifest = {
+        "function": {
+            "name": "main",
+            "num_args": 0,
+            "returns_value": False,
+            "entry_ages": {1: 50},
+        },
+        "instrs": [
+            manifest_entry(100, srcs=(None,)),  # ADDI [0]: produces v1
+            manifest_entry(3, srcs=(100,)),  # BEZ
+            manifest_entry(100, srcs=(100,)),  # arm a RMOV: refreshes v1
+            manifest_entry(5),  # J
+            manifest_entry(
+                arm_product, srcs=(100,) if consistent else (None,)
+            ),  # arm b: refresh v1 or produce an unrelated value
+            manifest_entry(7),  # J
+            manifest_entry(8, srcs=(100,)),  # OUT: expects v1 on every path
+            manifest_entry(9, srcs=(50,)),  # JR: expects the return address
+        ],
+    }
+    return link_program([startup_stub(), unit])
+
+
+class TestManifestValidation:
+    def test_consistent_merge_proves(self):
+        report = verify_program(annotated_merge_program(consistent=True))
+        assert not report.has_errors(), report.text()
+
+    def test_str001_merge_inconsistent_operand(self):
+        report = verify_program(annotated_merge_program(consistent=False))
+        assert "STR001" in codes_of(report)
+
+    def test_str011_corrupted_distance(self):
+        program = compile_program(LOOP_CALL_SOURCE)
+        victim = None
+        for index, instr in enumerate(program.instrs):
+            if (
+                index in program.manifest["instrs"]
+                and instr.srcs
+                and instr.srcs[0] >= 2
+            ):
+                victim = index
+                break
+        assert victim is not None
+        instr = program.instrs[victim]
+        instr.srcs = (instr.srcs[0] - 1,) + instr.srcs[1:]
+        report = verify_program(program)
+        assert report.has_errors()
+        assert codes_of(report) & {"STR001", "STR011", "STR003"}
+
+    def test_str011_zeroed_distance(self):
+        program = compile_program(LOOP_CALL_SOURCE)
+        for instr in program.instrs:
+            if instr.mnemonic == "RMOV" and instr.srcs[0] > 0:
+                instr.srcs = (0,)
+                break
+        report = verify_program(program)
+        assert "STR011" in codes_of(report)
+
+    def test_str012_reach_beyond_declared_args(self):
+        unit = parse_assembly("main:\n    OUT [2]\n    JR [2]")
+        unit.verify_manifest = {
+            "function": {
+                "name": "main",
+                "num_args": 0,
+                "returns_value": False,
+                "entry_ages": {1: 50},
+            },
+            "instrs": [
+                manifest_entry(8, srcs=(77,)),
+                manifest_entry(9, srcs=(50,)),
+            ],
+        }
+        program = link_program([startup_stub(), unit])
+        report = verify_program(program)
+        assert "STR012" in codes_of(report)
+
+
+class TestDiagnosticsFramework:
+    def test_catalog_codes_are_stable(self):
+        for code in ("STR001", "STR002", "STR005", "STR007", "STR011"):
+            assert CODES[code][0] == "error"
+        for code in ("STR101", "STR102", "STR105"):
+            assert CODES[code][0] == "warning"
+        for code in ("STR103", "STR104", "STR106"):
+            assert CODES[code][0] == "info"
+
+    def test_diagnostic_location_and_origin(self):
+        report = verify_asm(
+            """
+main:
+    ADDI [0] 5
+    JR [1]
+"""
+        )
+        diag = report.by_code()["STR007"][0]
+        assert diag.location == "main+1"
+        assert diag.origin == 4  # 1-based line of the JR in the unit text
+        assert diag.pc is not None
+
+    def test_report_renders_text_and_json(self):
+        report = verify_asm("main:\n    ADDI [0] 5\n    JR [1]")
+        assert "STR007" in report.text()
+        payload = report.as_dict()
+        assert payload["counts"]["error"] >= 1
+        assert any(d["code"] == "STR007" for d in payload["diagnostics"])
+
+    def test_compile_verify_raises_on_corruption(self):
+        # Simulate a backend bug: break the manifest invariant by hand.
+        compilation = compile_to_straight(compile_source(LOOP_CALL_SOURCE))
+        program = compilation.link()
+        for instr in program.instrs:
+            if instr.mnemonic == "RMOV" and instr.srcs[0] > 0:
+                instr.srcs = (0,)
+                break
+        report = verify_program(program)
+        assert report.has_errors()
+        with pytest.raises(CompileError, match="static verification"):
+            raise CompileError(
+                "static verification failed:\n" + report.text(max_items=5)
+            )
+
+
+class TestGuardrailsIntegration:
+    def test_static_precheck_passes_clean_binary(self):
+        from repro.core.api import build
+        from repro.guardrails import static_precheck
+
+        binary = build(LOOP_CALL_SOURCE).straight_re
+        report = static_precheck(binary)
+        assert report is not None and not report.has_errors()
+
+    def test_static_precheck_skips_riscv(self):
+        from repro.core.api import build
+        from repro.guardrails import static_precheck
+
+        assert static_precheck(build(LOOP_CALL_SOURCE).riscv) is None
+
+    def test_static_precheck_raises_on_corruption(self):
+        from repro.core.api import build
+        from repro.guardrails import static_precheck
+
+        binary = build(LOOP_CALL_SOURCE).straight_re
+        for instr in binary.program.instrs:
+            if instr.mnemonic == "RMOV" and instr.srcs[0] > 0:
+                instr.srcs = (0,)
+                break
+        with pytest.raises(GuardrailError, match="static verification"):
+            static_precheck(binary)
+
+
+class TestCFG:
+    def test_function_discovery_includes_uncalled(self):
+        program = link_program(
+            [
+                startup_stub(),
+                parse_assembly(
+                    """
+main:
+    JR [1]
+orphan:
+    ADDI [0] 1
+    JR [2]
+"""
+                ),
+            ]
+        )
+        cfg = build_cfg(program)
+        names = {f.name for f in cfg.functions}
+        assert {"_start", "main", "orphan"} <= names
+        assert not cfg.unreachable
+
+    def test_blocks_partition_at_branches(self):
+        program = compile_program(LOOP_CALL_SOURCE)
+        cfg = build_cfg(program)
+        main = next(f for f in cfg.functions if f.name == "main")
+        assert len(main.blocks) > 1
+        covered = sorted(
+            i for block in main.blocks.values() for i in block.indices
+        )
+        assert covered == sorted(main.indices)
+        for block in main.blocks.values():
+            for succ in block.succs:
+                assert block.start in main.blocks[succ].preds

@@ -1,0 +1,100 @@
+"""Assembler error paths: malformed input raises structured AsmError.
+
+Every parse failure must carry the 1-based source line (``.line``) and a
+message naming the offending token — not a bare traceback from deep inside
+instruction construction.
+"""
+
+import pytest
+
+from repro.common.errors import AsmError
+from repro.straight import parse_assembly
+from repro.straight.isa import SInstr
+
+
+def parse_error(text):
+    with pytest.raises(AsmError) as excinfo:
+        parse_assembly(text)
+    return excinfo.value
+
+
+class TestInstructionLineErrors:
+    def test_unknown_mnemonic(self):
+        err = parse_error("main:\n    FROB [1]")
+        assert "unknown mnemonic" in str(err)
+        assert err.line == 2
+
+    def test_malformed_distance_operand(self):
+        err = parse_error("main:\n    ADD [x] [2]")
+        assert "bad distance" in str(err)
+        assert err.line == 2
+
+    def test_bad_operand_token(self):
+        err = parse_error("main:\n    ADDI [0] 1\n    J !!!")
+        assert "bad operand" in str(err)
+        assert err.line == 3
+
+    def test_duplicate_immediate(self):
+        err = parse_error("main:\n    ADDI [1] 2 3")
+        assert "duplicate immediate" in str(err)
+        assert err.line == 2
+
+    def test_duplicate_label_operand(self):
+        err = parse_error("main:\n    J here there")
+        assert "duplicate label" in str(err)
+        assert err.line == 2
+
+    def test_wrong_source_count(self):
+        err = parse_error("main:\n    NOP\n    ADD [1]")
+        assert "2 source(s)" in str(err)
+        assert err.line == 3
+
+    def test_out_of_range_distance(self):
+        err = parse_error("main:\n    RMOV [1024]")
+        assert "out of range" in str(err)
+        assert err.line == 2
+
+    def test_missing_immediate(self):
+        err = parse_error("main:\n    ADDI [1]")
+        assert "immediate" in str(err)
+        assert err.line == 2
+
+    def test_unexpected_immediate(self):
+        err = parse_error("main:\n    RMOV [1] 5")
+        assert "does not take an immediate" in str(err)
+        assert err.line == 2
+
+
+class TestLabelErrors:
+    def test_bad_label_character(self):
+        err = parse_error("9lives:\n    NOP")
+        assert "bad label" in str(err)
+        assert err.line == 1
+
+    def test_empty_label(self):
+        err = parse_error("   :\n    NOP")
+        assert "bad label" in str(err)
+        assert err.line == 1
+
+    def test_duplicate_label_reports_second_site(self):
+        err = parse_error("main:\n    NOP\nmain:\n    NOP")
+        assert "duplicate label 'main'" in str(err)
+        assert err.line == 3
+
+
+class TestStructuredErrors:
+    def test_line_is_in_message_and_attribute(self):
+        err = parse_error("main:\n    FROB")
+        assert err.line == 2
+        assert str(err).startswith("line 2:")
+
+    def test_direct_sinstr_errors_have_no_line(self):
+        with pytest.raises(AsmError) as excinfo:
+            SInstr("ADD", srcs=(1,))
+        assert excinfo.value.line is None
+
+    def test_origins_track_instruction_lines(self):
+        unit = parse_assembly(
+            "\nmain:\n    ADDI [0] 1\n\n    # comment\n    JR [2]\n"
+        )
+        assert unit.instruction_origins() == [3, 6]

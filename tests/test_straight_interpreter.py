@@ -219,10 +219,17 @@ class TestTraceAndStats:
 
 
 class TestLinker:
-    def test_duplicate_label(self):
-        unit = parse_assembly("main:\nJR [1]\nmain:\nJR [1]")
+    def test_duplicate_label_in_unit(self):
+        from repro.common.errors import AsmError
+
+        with pytest.raises(AsmError, match="duplicate"):
+            parse_assembly("main:\nJR [1]\nmain:\nJR [1]")
+
+    def test_duplicate_label_across_units(self):
+        first = parse_assembly("main:\nJR [1]")
+        second = parse_assembly("main:\nJR [1]")
         with pytest.raises(LinkError, match="duplicate"):
-            link_program([startup_stub(), unit])
+            link_program([startup_stub(), first, second])
 
     def test_undefined_label(self):
         unit = parse_assembly("main:\nJ nowhere")

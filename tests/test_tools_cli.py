@@ -147,3 +147,48 @@ class TestBench:
                                capsys)
         assert code == 1
         assert "unknown bench workload" in err
+
+
+class TestVerify:
+    def test_verify_clean_program(self, demo_file, capsys):
+        code, out, _ = run_cli(["verify", demo_file], capsys)
+        assert code == 0
+        assert "0 error(s)" in out
+        assert out.strip().endswith("OK")
+
+    def test_verify_both_targets_with_lint(self, demo_file, capsys):
+        code, out, _ = run_cli(
+            ["verify", demo_file, "--target", "both", "--lint"], capsys
+        )
+        assert code == 0
+        assert "straight/md=1023" in out
+        assert "straight-raw/md=1023" in out
+
+    def test_verify_json_payload(self, demo_file, capsys):
+        code, out, _ = run_cli(["verify", demo_file, "--json"], capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        (run,) = payload["runs"]
+        assert run["counts"]["error"] == 0
+        assert run["stats"]["functions"] >= 2
+
+    def test_verify_mutants_default_campaign(self, capsys):
+        code, out, _ = run_cli(
+            ["verify", "--mutants", "8", "--seed", "5"], capsys
+        )
+        assert code == 0
+        assert "mutation campaign" in out
+        assert "mutants=8" in out
+
+    def test_verify_without_input_fails(self, capsys):
+        code, _, err = run_cli(["verify"], capsys)
+        assert code == 2
+        assert "--all-shipped" in err
+
+    def test_verify_tight_distance_bound(self, demo_file, capsys):
+        code, out, _ = run_cli(
+            ["verify", demo_file, "--max-distance", "15"], capsys
+        )
+        assert code == 0
+        assert "md=15" in out
