@@ -40,6 +40,7 @@ class TraceEntry:
         "dest",
         "srcs",
         "is_branch",
+        "is_control",
         "taken",
         "target_pc",
         "next_pc",
@@ -76,6 +77,10 @@ class TraceEntry:
         self.dest = dest
         self.srcs = tuple(s for s in srcs if s is not None)
         self.is_branch = op_class == "branch"
+        #: Precomputed "redirects fetch when taken" flag; the fetch stage
+        #: tests this once per fetched instruction, so it is a slot, not a
+        #: per-access method call.
+        self.is_control = op_class == "branch" or op_class == "jump"
         self.taken = taken
         self.target_pc = target_pc
         self.next_pc = next_pc
@@ -92,7 +97,7 @@ class TraceEntry:
 
     def changes_flow(self):
         """True for any instruction that redirects fetch when taken."""
-        return self.op_class in ("branch", "jump")
+        return self.is_control
 
     def __repr__(self):
         return (

@@ -42,11 +42,20 @@ class LockstepMonitor:
         golden_pc = golden._pc()
         if golden_pc != entry.pc:
             self._diverge("pc", golden_pc, entry.pc, entry, cycle)
-        instrs = golden.program.instrs
-        if not 0 <= golden.pc_index < len(instrs):
-            self._diverge("pc_index", f"[0, {len(instrs)})", golden.pc_index,
-                          entry, cycle)
-        golden.step(instrs[golden.pc_index])
+        decoded = getattr(golden, "decoded", None)
+        if decoded is not None:
+            # STRAIGHT golden machine: step straight off the shared
+            # pre-decoded array (one decode per binary, not per machine).
+            if not 0 <= golden.pc_index < len(decoded):
+                self._diverge("pc_index", f"[0, {len(decoded)})",
+                              golden.pc_index, entry, cycle)
+            golden.step_op(decoded[golden.pc_index])
+        else:
+            instrs = golden.program.instrs
+            if not 0 <= golden.pc_index < len(instrs):
+                self._diverge("pc_index", f"[0, {len(instrs)})",
+                              golden.pc_index, entry, cycle)
+            golden.step(instrs[golden.pc_index])
         self._compare_result(entry, cycle)
         if entry.op_class == "store" and entry.mem_addr is not None:
             stored = golden.memory.get(entry.mem_addr // 4)

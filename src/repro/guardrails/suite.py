@@ -30,7 +30,7 @@ def _entry_summary(entry):
     }
     if entry.mem_addr is not None:
         summary["mem_addr"] = entry.mem_addr
-    if entry.changes_flow():
+    if entry.is_control:
         summary["taken"] = entry.taken
     return summary
 

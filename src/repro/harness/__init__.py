@@ -23,13 +23,31 @@ from repro.harness.experiments import (
     sensitivity_max_distance,
     ALL_EXPERIMENTS,
 )
+from repro.harness.experiments import grid_tasks
 from repro.harness.reporting import format_table, format_bars
+from repro.harness.sweep import (
+    SweepTask,
+    SweepReport,
+    cached_simulate,
+    compile_binary_cached,
+    ensure_results,
+    run_sweep,
+    set_default_jobs,
+)
 
 __all__ = [
     "timed_run",
     "clear_cache",
     "run_suite",
     "deadline",
+    "SweepTask",
+    "SweepReport",
+    "cached_simulate",
+    "compile_binary_cached",
+    "ensure_results",
+    "run_sweep",
+    "set_default_jobs",
+    "grid_tasks",
     "table1",
     "fig11_performance_4way",
     "fig12_performance_2way",

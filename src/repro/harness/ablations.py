@@ -12,54 +12,88 @@ the headline results so a reader can see *which* design element buys what.
 * :func:`ablate_spadd_throughput` — the §III-B concern that multiple SPADDs
   per fetch group would need cascaded adders: measure how much allowing 2
   or 4 per group would actually buy.
+
+Each study declares its custom-compiled grid points as
+:class:`~repro.harness.sweep.SweepTask` descriptors with ``compile_opts``
+(the backend knobs the registry binaries do not expose) and submits them to
+the sweep engine, so ablation points parallelize and persist alongside the
+figure grid.
 """
 
-from repro.frontend import compile_source
-from repro.compiler import compile_to_riscv, compile_to_straight
-from repro.core.api import Binary, simulate
 from repro.core.configs import ss_4way, straight_4way
-from repro.workloads import get_workload
+from repro.harness.cache import canonical_key
 from repro.harness.reporting import format_table
+from repro.harness.sweep import (
+    SweepTask,
+    compile_binary_cached,
+    ensure_results,
+    payload_or_raise,
+)
+from repro.workloads import get_workload
 
 
-def _straight_binary(source, **compile_kwargs):
-    module = compile_source(source)
-    compilation = compile_to_straight(module, **compile_kwargs)
-    return Binary("straight", compilation.link(), compilation)
+def custom_task(workload, compile_opts, config, max_distance=1023,
+                iterations=None):
+    """One custom-compiled timing grid point."""
+    opts_tag = canonical_key(dict(sorted(compile_opts.items())))[:10]
+    task_id = (
+        f"abl/{workload}/{compile_opts.get('target', 'straight')}/"
+        f"{opts_tag}/md{max_distance}/"
+        f"{config.name}@{canonical_key(config.cache_key())[:10]}"
+    )
+    return SweepTask(
+        task_id,
+        workload,
+        config=config,
+        iterations=iterations,
+        max_distance=max_distance,
+        compile_opts=compile_opts,
+    )
 
 
-def _riscv_binary(source):
-    module = compile_source(source)
-    compilation = compile_to_riscv(module)
-    return Binary("riscv", compilation.link(), compilation)
+def _stats_of(results, task):
+    return payload_or_raise(results[task.task_id], task.task_id)["stats"]
 
 
-def ablate_re_plus(workload="coremark"):
-    """RAW -> +sinking -> +demotion -> RE+ on the 4-way STRAIGHT model."""
-    source = get_workload(workload).source()
+def re_plus_grid(workload="coremark"):
+    """[(variant name, task)] for the RE+ mechanism ablation."""
     variants = [
         ("RAW", dict(redundancy_elimination=False)),
         ("RAW+sinking", dict(redundancy_elimination=False, enable_sinking=True)),
         ("RAW+demotion", dict(redundancy_elimination=False, enable_demotion=True)),
         ("RE+ (both)", dict(redundancy_elimination=True)),
     ]
+    return [
+        (name, custom_task(workload, dict(target="straight", **kwargs),
+                           straight_4way()))
+        for name, kwargs in variants
+    ]
+
+
+def ablate_re_plus(workload="coremark"):
+    """RAW -> +sinking -> +demotion -> RE+ on the 4-way STRAIGHT model."""
+    grid = re_plus_grid(workload)
+    results = ensure_results([task for _, task in grid])
+    source = get_workload(workload).source()
     rows = []
     baseline_cycles = None
-    for name, kwargs in variants:
-        binary = _straight_binary(source, **kwargs)
-        result = simulate(binary, straight_4way(), warm_caches=True)
+    for name, task in grid:
+        stats = _stats_of(results, task)
         if baseline_cycles is None:
-            baseline_cycles = result.cycles
+            baseline_cycles = stats["cycles"]
+        opts = dict(task.compile_opts)
+        opts.pop("target")
+        binary = compile_binary_cached(source, target="straight", **opts)
         rmovs = sum(
             s["rmovs"] for s in binary.compilation.stats.values()
         )  # static count in the binary
         rows.append(
             {
                 "variant": name,
-                "instructions": result.stats.instructions,
+                "instructions": stats["instructions"],
                 "static_rmovs": rmovs,
-                "cycles": result.cycles,
-                "relative_perf": round(baseline_cycles / result.cycles, 4),
+                "cycles": stats["cycles"],
+                "relative_perf": round(baseline_cycles / stats["cycles"], 4),
             }
         )
     return {
@@ -70,44 +104,44 @@ def ablate_re_plus(workload="coremark"):
     }
 
 
+def recovery_grid(workload="coremark"):
+    """[(variant name, task)] decomposing SS's misprediction cost."""
+    riscv_opts = dict(target="riscv")
+    straight_opts = dict(target="straight", redundancy_elimination=True)
+    return [
+        ("SS (walk + 8-deep)",
+         custom_task(workload, riscv_opts, ss_4way())),
+        ("SS, walk fully overlapped",
+         custom_task(workload, riscv_opts,
+                     ss_4way(rename_stage_depth=10_000, name="SS-nowalk"))),
+        ("SS, 6-deep front end",
+         custom_task(workload, riscv_opts,
+                     ss_4way(frontend_depth=6, name="SS-6deep"))),
+        ("SS, both",
+         custom_task(workload, riscv_opts,
+                     ss_4way(rename_stage_depth=10_000, frontend_depth=6,
+                             name="SS-both"))),
+        ("STRAIGHT RE+",
+         custom_task(workload, straight_opts, straight_4way())),
+    ]
+
+
 def ablate_recovery(workload="coremark"):
     """Decompose SS's misprediction cost: walk vs front-end depth."""
-    source = get_workload(workload).source()
-    riscv = _riscv_binary(source)
-    straight = _straight_binary(source, redundancy_elimination=True)
-    variants = [
-        ("SS (walk + 8-deep)", riscv, ss_4way()),
-        (
-            "SS, walk fully overlapped",
-            riscv,
-            ss_4way(rename_stage_depth=10_000, name="SS-nowalk"),
-        ),
-        (
-            "SS, 6-deep front end",
-            riscv,
-            ss_4way(frontend_depth=6, name="SS-6deep"),
-        ),
-        (
-            "SS, both",
-            riscv,
-            ss_4way(
-                rename_stage_depth=10_000, frontend_depth=6, name="SS-both"
-            ),
-        ),
-        ("STRAIGHT RE+", straight, straight_4way()),
-    ]
+    grid = recovery_grid(workload)
+    results = ensure_results([task for _, task in grid])
     rows = []
     baseline = None
-    for name, binary, config in variants:
-        result = simulate(binary, config, warm_caches=True)
+    for name, task in grid:
+        stats = _stats_of(results, task)
         if baseline is None:
-            baseline = result.cycles
+            baseline = stats["cycles"]
         rows.append(
             {
                 "variant": name,
-                "cycles": result.cycles,
-                "relative_perf": round(baseline / result.cycles, 4),
-                "recovery_stalls": result.stats.recovery_stall_cycles,
+                "cycles": stats["cycles"],
+                "relative_perf": round(baseline / stats["cycles"], 4),
+                "recovery_stalls": stats["recovery_stall_cycles"],
             }
         )
     return {
@@ -119,27 +153,38 @@ def ablate_recovery(workload="coremark"):
     }
 
 
+def spadd_grid(workload="dhrystone"):
+    """[(limit, task)] for the SPADD-throughput ablation."""
+    opts = dict(target="straight", redundancy_elimination=True)
+    return [
+        (limit,
+         custom_task(workload, opts,
+                     straight_4way(spadd_per_group=limit,
+                                   name=f"ST-spadd{limit}")))
+        for limit in (1, 2, 4)
+    ]
+
+
 def ablate_spadd_throughput(workload="dhrystone"):
     """How much do cascaded SPADD adders (2 or 4 per group) buy?
 
     The paper argues one SPADD per group suffices because SPADDs are rare
     ("two per function call, at the most"); this measures that claim.
     """
-    source = get_workload(workload).source()
-    binary = _straight_binary(source, redundancy_elimination=True)
+    grid = spadd_grid(workload)
+    results = ensure_results([task for _, task in grid])
     rows = []
     baseline = None
-    for limit in (1, 2, 4):
-        config = straight_4way(spadd_per_group=limit, name=f"ST-spadd{limit}")
-        result = simulate(binary, config, warm_caches=True)
+    for limit, task in grid:
+        stats = _stats_of(results, task)
         if baseline is None:
-            baseline = result.cycles
+            baseline = stats["cycles"]
         rows.append(
             {
                 "spadd_per_group": limit,
-                "cycles": result.cycles,
-                "relative_perf": round(baseline / result.cycles, 4),
-                "spadd_stalls": result.stats.spadd_stall_cycles,
+                "cycles": stats["cycles"],
+                "relative_perf": round(baseline / stats["cycles"], 4),
+                "spadd_stalls": stats["spadd_stall_cycles"],
             }
         )
     return {

@@ -21,10 +21,15 @@ Every benchmark run asserts the two modes produce identical cycle counts —
 the throughput numbers are only meaningful while the engines agree.
 """
 
+import os
+import tempfile
 import time
 
+from repro.common.bitops import wrap32
+from repro.common.layout import WORD_BYTES
 from repro.core.api import build
 from repro.core.configs import TABLE1
+from repro.ir.passes.constfold import eval_binop, eval_icmp
 from repro.uarch.core import OoOCore
 
 BENCH_WORKLOADS = {
@@ -125,13 +130,234 @@ def bench_workload(name, config_name="SS-2way", repeats=3):
     }
 
 
-def bench_smoke(config_name="SS-2way", repeats=3, workloads=None):
+# -- pre-decode speedup --------------------------------------------------------
+
+_SEED_ALU = {
+    "ADD": "add", "SUB": "sub", "AND": "and", "OR": "or", "XOR": "xor",
+    "SLL": "shl", "SRL": "lshr", "SRA": "ashr", "MUL": "mul", "DIV": "sdiv",
+    "DIVU": "udiv", "REM": "srem", "REMU": "urem", "ADDI": "add",
+    "ANDI": "and", "ORI": "or", "XORI": "xor", "SLLI": "shl", "SRLI": "lshr",
+    "SRAI": "ashr",
+}
+_SEED_CMP = {"SLT": "slt", "SLTU": "ult", "SLTI": "slt", "SLTUI": "ult"}
+
+
+def _seed_style_run(interp, max_steps=50_000_000):
+    """Reference loop re-deriving the decode on every dynamic instruction.
+
+    This replicates the per-step work the interpreter did before
+    pre-decoding (mnemonic-table lookups, immediate wrapping, branch-target
+    arithmetic on each execution) so the benchmark can price exactly what
+    :mod:`repro.straight.predecode` removed.  The caller cross-checks its
+    output and step count against the fast path, keeping the baseline
+    honest.
+    """
+    program = interp.program
+    instrs = program.instrs
+    n_instrs = len(instrs)
+    text_base = program.text_base
+    steps = 0
+    while not interp.halted and steps < max_steps:
+        index = interp.pc_index
+        if not 0 <= index < n_instrs:
+            raise AssertionError("pc out of text segment")
+        instr = instrs[index]
+        mnemonic = instr.mnemonic
+        pc = text_base + index * WORD_BYTES
+        next_index = index + 1
+        dest_value = 0
+        src_values = [interp._read_source(d)[0] for d in instr.srcs]
+        if mnemonic in _SEED_ALU:
+            rhs = src_values[1] if len(src_values) == 2 else wrap32(instr.imm)
+            dest_value = eval_binop(_SEED_ALU[mnemonic], src_values[0], rhs)
+        elif mnemonic in _SEED_CMP:
+            rhs = src_values[1] if len(src_values) == 2 else wrap32(instr.imm)
+            dest_value = eval_icmp(_SEED_CMP[mnemonic], src_values[0], rhs)
+        elif mnemonic == "LUI":
+            dest_value = wrap32(instr.imm << 12)
+        elif mnemonic == "RMOV":
+            dest_value = src_values[0]
+        elif mnemonic == "LD":
+            dest_value = interp._load_word(wrap32(src_values[0] + instr.imm))
+        elif mnemonic == "ST":
+            addr = wrap32(src_values[1] + instr.imm * WORD_BYTES)
+            interp._store_word(addr, src_values[0])
+            dest_value = src_values[0]
+        elif mnemonic == "BEZ" or mnemonic == "BNZ":
+            cond = src_values[0] == 0
+            if cond if mnemonic == "BEZ" else not cond:
+                next_index = index + instr.imm
+        elif mnemonic == "J":
+            next_index = index + instr.imm
+        elif mnemonic == "JAL":
+            next_index = index + instr.imm
+            dest_value = pc + WORD_BYTES
+        elif mnemonic == "JR":
+            next_index = program.index_of_pc(src_values[0])
+        elif mnemonic == "SPADD":
+            interp.sp = wrap32(interp.sp + instr.imm)
+            dest_value = interp.sp
+        elif mnemonic == "OUT":
+            interp.output.append(src_values[0])
+            dest_value = src_values[0]
+        elif mnemonic == "HALT":
+            interp.halted = True
+        interp._write_dest(dest_value)
+        interp.seq += 1
+        interp.pc_index = next_index
+        steps += 1
+    return steps
+
+
+def bench_predecode(workload="branchy_div", repeats=3, max_steps=50_000_000):
+    """Price the pre-decoded functional hot path against per-step decode.
+
+    Runs the STRAIGHT-RE+ binary of one bench workload through the
+    interpreter's pre-decoded ``run()`` and through a reference loop that
+    re-derives the decode every dynamic instruction (the seed behaviour),
+    best-of-``repeats`` each, asserting both agree on output and step count.
+    """
+    binaries = build(BENCH_WORKLOADS[workload])
+    binary = binaries.all()["STRAIGHT-RE+"]
+
+    fast_s = None
+    fast_result = None
+    for _ in range(repeats):
+        interp = binary.interpreter(collect_trace=False)
+        start = time.perf_counter()
+        result = interp.run(max_steps)
+        elapsed = time.perf_counter() - start
+        if fast_s is None or elapsed < fast_s:
+            fast_s = elapsed
+            fast_result = result
+
+    seed_s = None
+    seed_steps = None
+    seed_output = None
+    for _ in range(repeats):
+        interp = binary.interpreter(collect_trace=False)
+        start = time.perf_counter()
+        steps = _seed_style_run(interp, max_steps)
+        elapsed = time.perf_counter() - start
+        if seed_s is None or elapsed < seed_s:
+            seed_s = elapsed
+            seed_steps = steps
+            seed_output = list(interp.output)
+
+    if seed_steps != fast_result.steps or seed_output != fast_result.output:
+        raise AssertionError(
+            f"{workload}: pre-decoded and per-step-decode runs diverged "
+            f"(steps {fast_result.steps} vs {seed_steps})"
+        )
+    return {
+        "workload": workload,
+        "binary": "STRAIGHT-RE+",
+        "steps": fast_result.steps,
+        "wall_s": {
+            "predecoded": round(fast_s, 6),
+            "decode_per_step": round(seed_s, 6),
+        },
+        "steps_per_sec": {
+            "predecoded": round(fast_result.steps / fast_s),
+            "decode_per_step": round(seed_steps / seed_s),
+        },
+        "speedup": round(seed_s / fast_s, 3),
+    }
+
+
+# -- sweep-cache benchmark -----------------------------------------------------
+
+
+def _sweep_grid(workloads):
+    """A reduced timing grid: each bench workload on both 2-way cores."""
+    from repro.core.configs import ss_2way, straight_2way
+    from repro.harness.sweep import SweepTask
+
+    tasks = []
+    for name in workloads:
+        source = BENCH_WORKLOADS[name]
+        for config, opts in (
+            (ss_2way(), {"target": "riscv"}),
+            (straight_2way(), {"target": "straight"}),
+        ):
+            tasks.append(
+                SweepTask(
+                    f"bench/{name}/{config.name}",
+                    name,
+                    config=config,
+                    compile_opts=dict(opts, source_text=source),
+                )
+            )
+    return tasks
+
+
+def bench_sweep(jobs=1, cache_dir=None, workloads=None):
+    """Two-pass sweep over a reduced grid: cold fill, then warm from cache.
+
+    Exercises the whole engine — compile-artifact cache, result cache,
+    pre-pass serving — and reports wall-clock, simulated/skipped cycles, and
+    cache hit/miss counts for both passes.  With ``cache_dir=None`` the
+    cache lives in a temporary directory that is deleted afterwards, so
+    benchmarking never pollutes (or is flattered by) the user's real cache.
+    """
+    from repro.harness import cache as cache_mod
+    from repro.harness.sweep import clear_memo, run_sweep
+
+    names = list(workloads) if workloads else sorted(BENCH_WORKLOADS)
+    tasks = _sweep_grid(names)
+
+    tempdir = None
+    if cache_dir is None:
+        tempdir = tempfile.TemporaryDirectory(prefix="straight-bench-cache-")
+        cache_dir = tempdir.name
+    previous = cache_mod.swap_state()
+    cache_mod.configure(cache_dir=cache_dir, enabled=True)
+    try:
+        passes = []
+        for label in ("cold", "warm"):
+            clear_memo()  # drop the in-process memo; only the disk layer persists
+            cache_mod.reset_cache_stats()
+            report = run_sweep(tasks, jobs=jobs, raise_on_error=True)
+            cycles = sum(
+                p["stats"]["cycles"] for p in report.results.values()
+            )
+            passes.append(
+                {
+                    "pass": label,
+                    "tasks": len(tasks),
+                    "wall_s": round(report.wall_s, 6),
+                    "cycles_simulated": cycles,
+                    "results_from_cache": report.manifest["cache_served"],
+                    "result_hit_rate": round(report.result_hit_rate(), 4),
+                    "cache": report.cache,
+                }
+            )
+        cold, warm = passes
+        return {
+            "jobs": jobs,
+            "grid": [t.task_id for t in tasks],
+            "passes": passes,
+            "warm_speedup": round(cold["wall_s"] / max(warm["wall_s"], 1e-9), 2),
+        }
+    finally:
+        clear_memo()
+        cache_mod.swap_state(previous)
+        if tempdir is not None:
+            tempdir.cleanup()
+
+
+def bench_smoke(config_name="SS-2way", repeats=3, workloads=None,
+                sweep_jobs=None):
     """The full smoke benchmark across all (or the named) workloads."""
     names = list(workloads) if workloads else sorted(BENCH_WORKLOADS)
     results = [bench_workload(name, config_name, repeats) for name in names]
+    if sweep_jobs is None:
+        sweep_jobs = min(2, os.cpu_count() or 1)
     return {
         "config": config_name,
         "repeats": repeats,
         "workloads": results,
         "best_speedup": max(r["speedup"] for r in results),
+        "predecode": bench_predecode(names[0], repeats),
+        "sweep": bench_sweep(jobs=sweep_jobs, workloads=names),
     }

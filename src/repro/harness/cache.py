@@ -1,0 +1,313 @@
+"""Persistent content-addressed caches for the sweep engine.
+
+Two layers, both rooted in one cache directory (``STRAIGHT_CACHE_DIR`` or
+``~/.cache/straight-repro``):
+
+* :class:`ResultCache` — JSON entries holding the complete ``SimStats``
+  surface (every registry counter, cache hit/miss tables, predictor
+  accuracy) plus the architectural output channel of one timing run.
+  Entries are keyed by the SHA-256 of a canonical JSON rendering of
+  ``(schema version, binary digest, CoreConfig.cache_key(), run
+  parameters)``, so *any* timing-relevant knob forces a distinct entry and
+  two configs that merely share a display name can never alias.
+* :class:`ArtifactCache` — pickled compiled-binary artifacts (linked
+  programs / cross-validated workload builds), keyed by the SHA-256 of
+  ``(schema version, source digest, backend options)``.  RAW and RE+
+  compilations of the same source land on different keys (the options
+  differ), while every figure that needs the same (source, options) pair —
+  and every later run — shares one compilation.
+
+Entries embed their schema version; a version bump makes old entries
+*evict themselves* on first touch (the stale file is deleted and the lookup
+reported as a miss), so no separate migration step exists.
+
+The module also owns the process-global cache configuration.  The
+persistent layer is **opt-in**: library code runs memory-only until an
+entry point (the ``straight sweep`` CLI, ``examples/reproduce_paper.py``,
+the bench harness, a worker process) calls :func:`configure`.  Setting
+``STRAIGHT_CACHE_DIR`` in the environment opts in implicitly, which is how
+pool workers inherit the parent's cache.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+
+#: Bump when the serialized result entry layout changes (new stats surface,
+#: different payload shape).  Old entries auto-evict.
+SCHEMA_VERSION = 1
+
+#: Bump when compiler/simulator behaviour changes in a way that must
+#: invalidate *all* persisted results and artifacts (new backend pass, timing
+#: model fix).  Folded into every key.
+TOOLCHAIN_TAG = "straight-repro-4"
+
+
+def default_cache_dir():
+    env = os.environ.get("STRAIGHT_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "straight-repro")
+
+
+def canonical_key(obj):
+    """SHA-256 hex digest of a canonical JSON rendering of ``obj``."""
+    text = json.dumps(obj, sort_keys=True, separators=(",", ":"), default=_jsonify)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _jsonify(obj):
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if isinstance(obj, tuple):
+        return list(obj)
+    raise TypeError(f"unhashable cache key component: {obj!r}")
+
+
+def source_digest(text):
+    """Content digest of one compiler input."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def binary_digest(binary):
+    """SHA-256 of a linked binary's full machine-visible identity.
+
+    Hashes the encoded text segment, the data image and the load/entry
+    geometry — everything the simulators consume — and memoizes the digest
+    on the program object (it also survives pickling through the artifact
+    cache, so cache-served builds never re-encode).
+    """
+    program = binary.program
+    digest = getattr(program, "_repro_digest", None)
+    if digest is None:
+        hasher = hashlib.sha256()
+        hasher.update(binary.isa.encode("utf-8"))
+        for word in program.text_words:
+            hasher.update(word.to_bytes(4, "little", signed=False))
+        for word in program.data_words:
+            hasher.update((word & 0xFFFFFFFF).to_bytes(4, "little"))
+        hasher.update(
+            json.dumps(
+                [
+                    program.data_base,
+                    program.text_base,
+                    program.entry_pc,
+                    getattr(program, "max_distance", None),
+                ]
+            ).encode("utf-8")
+        )
+        digest = hasher.hexdigest()
+        program._repro_digest = digest
+    return digest
+
+
+class _CacheStats:
+    __slots__ = ("hits", "misses", "stores", "evictions")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def as_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def merge(self, other):
+        self.hits += other["hits"]
+        self.misses += other["misses"]
+        self.stores += other["stores"]
+        self.evictions += other["evictions"]
+
+
+class _DiskCache:
+    """Shared machinery: sharded content-addressed files under one root."""
+
+    subdir = "entries"
+    suffix = ".json"
+
+    def __init__(self, root):
+        self.root = os.path.join(root, self.subdir)
+        self.stats = _CacheStats()
+
+    def _path(self, key_obj):
+        digest = canonical_key(key_obj)
+        return os.path.join(self.root, digest[:2], digest + self.suffix)
+
+    def _evict(self, path):
+        self.stats.evictions += 1
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def get(self, key_obj):
+        path = self._path(key_obj)
+        try:
+            payload = self._read(path)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Corrupt / truncated / unreadable entry: evict and treat as miss.
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload["value"]
+
+    def put(self, key_obj, value):
+        path = self._path(key_obj)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + f".tmp.{os.getpid()}"
+        try:
+            self._write(tmp, {"schema": SCHEMA_VERSION, "value": value})
+            os.replace(tmp, path)  # atomic: concurrent workers can't tear it
+        except Exception:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1
+
+    def clear(self):
+        import shutil
+
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+class ResultCache(_DiskCache):
+    """JSON-serialized timing/functional results."""
+
+    subdir = "results"
+    suffix = ".json"
+
+    def _read(self, path):
+        with open(path) as handle:
+            return json.load(handle)
+
+    def _write(self, path, payload):
+        with open(path, "w") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+
+
+class ArtifactCache(_DiskCache):
+    """Pickled compiled-binary artifacts (linked programs, workload builds)."""
+
+    subdir = "artifacts"
+    suffix = ".pkl"
+
+    def _read(self, path):
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    def _write(self, path, payload):
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class CacheConfigState:
+    """Process-global persistent-cache switchboard."""
+
+    def __init__(self):
+        self.enabled = bool(os.environ.get("STRAIGHT_CACHE_DIR"))
+        self.root = default_cache_dir()
+        self._results = None
+        self._artifacts = None
+
+    def results(self):
+        if not self.enabled:
+            return None
+        if self._results is None:
+            self._results = ResultCache(self.root)
+        return self._results
+
+    def artifacts(self):
+        if not self.enabled:
+            return None
+        if self._artifacts is None:
+            self._artifacts = ArtifactCache(self.root)
+        return self._artifacts
+
+
+_state = CacheConfigState()
+
+
+def configure(cache_dir=None, enabled=True):
+    """Enable (or disable) the persistent layer for this process."""
+    if cache_dir is not None and cache_dir != _state.root:
+        _state.root = cache_dir
+        _state._results = None
+        _state._artifacts = None
+    _state.enabled = enabled
+    return _state
+
+
+def swap_state(state=None):
+    """Swap in a cache configuration; returns the previous one.
+
+    ``state=None`` installs a fresh default state.  Scoped users (the bench
+    harness, tests) save the return value and swap it back when done, so a
+    temporary cache dir never leaks into the rest of the process.
+    """
+    global _state
+    previous = _state
+    _state = state if state is not None else CacheConfigState()
+    return previous
+
+
+def reset_cache_stats():
+    """Zero the hit/miss counters of the active layers (not the contents)."""
+    for layer in (_state._results, _state._artifacts):
+        if layer is not None:
+            layer.stats = _CacheStats()
+
+
+def is_enabled():
+    return _state.enabled
+
+
+def cache_root():
+    return _state.root
+
+
+def result_cache():
+    """The active :class:`ResultCache`, or ``None`` when memory-only."""
+    return _state.results()
+
+
+def artifact_cache():
+    """The active :class:`ArtifactCache`, or ``None`` when memory-only."""
+    return _state.artifacts()
+
+
+def clear_persistent():
+    """Delete every persisted result and artifact under the active root."""
+    ResultCache(_state.root).clear()
+    ArtifactCache(_state.root).clear()
+    _state._results = None
+    _state._artifacts = None
+
+
+def cache_report():
+    """Hit/miss/store counters for both layers (zeros when disabled)."""
+    report = {}
+    for name, layer in (("results", _state._results),
+                        ("artifacts", _state._artifacts)):
+        report[name] = layer.stats.as_dict() if layer is not None else (
+            _CacheStats().as_dict()
+        )
+    report["enabled"] = _state.enabled
+    report["root"] = _state.root
+    return report

@@ -4,17 +4,65 @@ Every function returns a dict with a ``rows`` list (structured results) and
 a ``text`` rendering that prints the same series the paper reports.
 Performance is reported as the paper does: the inverse of execution cycles,
 normalized to the SS model of the same class.
+
+Since PR 4 every figure declares its grid points as
+:class:`~repro.harness.sweep.SweepTask` descriptors and submits them to the
+sweep engine (:func:`~repro.harness.sweep.ensure_results`), so one
+``reproduce_paper.py --jobs N`` invocation fans the whole deduplicated grid
+out across cores and any later invocation is served from the persistent
+result cache.  :func:`grid_tasks` exposes the same declarations to the
+``straight sweep`` CLI.
 """
 
 from repro.core.configs import ss_2way, straight_2way, ss_4way, straight_4way, table1_rows
-from repro.core.api import run_functional
-from repro.workloads import build_workload
-from repro.power import analyze_power
-from repro.harness.runner import timed_run
+from repro.harness.cache import canonical_key
 from repro.harness.reporting import format_table, format_bars
+from repro.harness.sweep import (
+    SweepTask,
+    ensure_results,
+    metrics_view,
+    payload_or_raise,
+)
+from repro.uarch.stats import SimStats
 
 _WORKLOADS = ("dhrystone", "coremark")
 _BINARIES = ("SS", "STRAIGHT-RAW", "STRAIGHT-RE+")
+
+
+def _config_tag(config):
+    """A short stable id for a config's full timing identity."""
+    return f"{config.name}@{canonical_key(config.cache_key())[:10]}"
+
+
+def timing_task(workload, binary_label, config, max_distance=1023,
+                iterations=None):
+    """One registry timing grid point."""
+    return SweepTask(
+        f"{workload}/{binary_label}/md{max_distance}/{_config_tag(config)}",
+        workload,
+        binary_label=binary_label,
+        config=config,
+        iterations=iterations,
+        max_distance=max_distance,
+    )
+
+
+def functional_task(workload, binary_label, max_distance=1023,
+                    iterations=None):
+    """One functional (interpreter-metrics) grid point."""
+    return SweepTask(
+        f"func/{workload}/{binary_label}/md{max_distance}",
+        workload,
+        binary_label=binary_label,
+        iterations=iterations,
+        max_distance=max_distance,
+        kind="functional",
+    )
+
+
+def _stats_of(results, task):
+    """The stats dict of one finished timing task."""
+    return payload_or_raise(results[task.task_id], task.task_id)["stats"]
 
 
 # ---------------------------------------------------------------------------
@@ -33,21 +81,31 @@ def table1():
 # ---------------------------------------------------------------------------
 
 
-def _performance_figure(ss_factory, straight_factory, label):
-    rows = []
+def _performance_tasks(ss_factory, straight_factory):
+    tasks = []
     for workload in _WORKLOADS:
-        ss = timed_run(workload, "SS", ss_factory())
-        raw = timed_run(workload, "STRAIGHT-RAW", straight_factory())
-        re_plus = timed_run(workload, "STRAIGHT-RE+", straight_factory())
-        base = ss.cycles
-        for name, run in (("SS", ss), ("STRAIGHT-RAW", raw), ("STRAIGHT-RE+", re_plus)):
+        tasks.append(timing_task(workload, "SS", ss_factory()))
+        tasks.append(timing_task(workload, "STRAIGHT-RAW", straight_factory()))
+        tasks.append(timing_task(workload, "STRAIGHT-RE+", straight_factory()))
+    return tasks
+
+
+def _performance_figure(ss_factory, straight_factory, label):
+    tasks = _performance_tasks(ss_factory, straight_factory)
+    results = ensure_results(tasks)
+    rows = []
+    for offset, workload in enumerate(_WORKLOADS):
+        per_model = tasks[3 * offset:3 * offset + 3]
+        stats = [_stats_of(results, task) for task in per_model]
+        base = stats[0]["cycles"]
+        for name, stat in zip(_BINARIES, stats):
             rows.append(
                 {
                     "workload": workload,
                     "model": name,
-                    "cycles": run.cycles,
-                    "relative_perf": round(base / run.cycles, 4),
-                    "ipc": round(run.stats.ipc, 3),
+                    "cycles": stat["cycles"],
+                    "relative_perf": round(base / stat["cycles"], 4),
+                    "ipc": round(stat["ipc"], 3),
                 }
             )
     series = [
@@ -74,36 +132,50 @@ def fig12_performance_2way():
 # ---------------------------------------------------------------------------
 
 
+def _fig13_grid():
+    """[(display name, task)] in figure order; SS-2way is the baseline."""
+    grid = []
+    for way, ss_f, st_f in (
+        ("2-way", ss_2way, straight_2way),
+        ("4-way", ss_4way, straight_4way),
+    ):
+        grid.append((f"SS {way}", timing_task("coremark", "SS", ss_f())))
+        grid.append(
+            (
+                f"SS no-penalty {way}",
+                timing_task(
+                    "coremark", "SS",
+                    ss_f(ideal_recovery=True, name=f"SS-{way}-nopenalty"),
+                ),
+            )
+        )
+        grid.append(
+            (f"STRAIGHT RE+ {way}",
+             timing_task("coremark", "STRAIGHT-RE+", st_f()))
+        )
+    return grid
+
+
 def fig13_mispredict_penalty():
     """Fig. 13: SS, SS-no-penalty, STRAIGHT RE+ on CoreMark, both classes.
 
     Normalized to SS-2way, exactly as the paper's figure.
     """
+    grid = _fig13_grid()
+    results = ensure_results([task for _, task in grid])
+    base_2way = _stats_of(results, grid[0][1])["cycles"]
     runs = []
-    base_2way = timed_run("coremark", "SS", ss_2way()).cycles
-    for way, ss_f, st_f in (
-        ("2-way", ss_2way, straight_2way),
-        ("4-way", ss_4way, straight_4way),
-    ):
-        ss = timed_run("coremark", "SS", ss_f())
-        ss_ideal = timed_run(
-            "coremark", "SS", ss_f(ideal_recovery=True, name=f"SS-{way}-nopenalty")
+    for name, task in grid:
+        stats = _stats_of(results, task)
+        runs.append(
+            {
+                "model": name,
+                "cycles": stats["cycles"],
+                "relative_perf": round(base_2way / stats["cycles"], 4),
+                "recovery_stall_cycles": stats["recovery_stall_cycles"],
+                "mispredicts": stats["branch_mispredicts"],
+            }
         )
-        st = timed_run("coremark", "STRAIGHT-RE+", st_f())
-        for name, run in (
-            (f"SS {way}", ss),
-            (f"SS no-penalty {way}", ss_ideal),
-            (f"STRAIGHT RE+ {way}", st),
-        ):
-            runs.append(
-                {
-                    "model": name,
-                    "cycles": run.cycles,
-                    "relative_perf": round(base_2way / run.cycles, 4),
-                    "recovery_stall_cycles": run.stats.recovery_stall_cycles,
-                    "mispredicts": run.stats.branch_mispredicts,
-                }
-            )
     series = [(r["model"], r["relative_perf"]) for r in runs]
     return {
         "rows": runs,
@@ -118,27 +190,46 @@ def fig13_mispredict_penalty():
 # ---------------------------------------------------------------------------
 
 
-def fig14_tage():
-    """Fig. 14: CoreMark relative performance with TAGE instead of gshare."""
-    rows = []
+def _fig14_grid():
+    grid = []
     for way, ss_f, st_f in (
         ("2-way", ss_2way, straight_2way),
         ("4-way", ss_4way, straight_4way),
     ):
-        ss = timed_run("coremark", "SS", ss_f(predictor="tage"))
-        raw = timed_run("coremark", "STRAIGHT-RAW", st_f(predictor="tage"))
-        re_plus = timed_run("coremark", "STRAIGHT-RE+", st_f(predictor="tage"))
-        base = ss.cycles
-        for name, run in (("SS", ss), ("RAW", raw), ("RE+", re_plus)):
-            rows.append(
-                {
-                    "class": way,
-                    "model": name,
-                    "cycles": run.cycles,
-                    "relative_perf": round(base / run.cycles, 4),
-                    "predictor_accuracy": round(run.stats.predictor_accuracy, 4),
-                }
-            )
+        grid.append(
+            (way, "SS",
+             timing_task("coremark", "SS", ss_f(predictor="tage")))
+        )
+        grid.append(
+            (way, "RAW",
+             timing_task("coremark", "STRAIGHT-RAW", st_f(predictor="tage")))
+        )
+        grid.append(
+            (way, "RE+",
+             timing_task("coremark", "STRAIGHT-RE+", st_f(predictor="tage")))
+        )
+    return grid
+
+
+def fig14_tage():
+    """Fig. 14: CoreMark relative performance with TAGE instead of gshare."""
+    grid = _fig14_grid()
+    results = ensure_results([task for _, _, task in grid])
+    rows = []
+    base = None
+    for way, name, task in grid:
+        stats = _stats_of(results, task)
+        if name == "SS":
+            base = stats["cycles"]
+        rows.append(
+            {
+                "class": way,
+                "model": name,
+                "cycles": stats["cycles"],
+                "relative_perf": round(base / stats["cycles"], 4),
+                "predictor_accuracy": round(stats["predictor_accuracy"], 4),
+            }
+        )
     series = [(f"{r['class']}/{r['model']}", r["relative_perf"]) for r in rows]
     return {
         "rows": rows,
@@ -153,12 +244,13 @@ def fig14_tage():
 
 def fig15_instruction_mix(workload="coremark"):
     """Fig. 15: retired-instruction type fractions, normalized to SS total."""
-    binaries = build_workload(workload)
+    tasks = [functional_task(workload, label) for label in _BINARIES]
+    results = ensure_results(tasks)
     rows = []
     ss_total = None
-    for label, binary in binaries.all().items():
-        result = run_functional(binary)
-        groups = result.interpreter.class_counts()
+    for label, task in zip(_BINARIES, tasks):
+        payload = payload_or_raise(results[task.task_id], task.task_id)
+        groups = payload["class_counts"]
         total = sum(groups.values())
         if label == "SS":
             ss_total = total
@@ -191,17 +283,16 @@ def fig16_distance_distribution():
     Measured on RE+ binaries built with the uppermost distance limit
     (1023), as in the paper.
     """
+    tasks = [functional_task(workload, "STRAIGHT-RE+", max_distance=1023)
+             for workload in _WORKLOADS]
+    results = ensure_results(tasks)
     rows = []
-    for workload in _WORKLOADS:
-        binaries = build_workload(workload, max_distance=1023)
-        result = run_functional(binaries.straight_re)
-        hist = result.interpreter.distance_hist
+    for workload, task in zip(_WORKLOADS, tasks):
+        payload = metrics_view(
+            payload_or_raise(results[task.task_id], task.task_id)
+        )
+        hist = payload["distance_hist"]
         total = sum(hist.values())
-        running = 0
-        cdf = {}
-        for distance in sorted(hist):
-            running += hist[distance]
-            cdf[distance] = running / total
         max_distance = max(hist)
         for point in (1, 2, 4, 8, 16, 32, 64, 128):
             covered = sum(c for d, c in hist.items() if d <= point) / total
@@ -232,24 +323,35 @@ def fig16_distance_distribution():
 # ---------------------------------------------------------------------------
 
 
-def sensitivity_max_distance(workload="coremark"):
-    """§VI-B: CoreMark performance, max distance 1023 vs 31 (~1% in paper)."""
-    rows = []
-    base_cycles = None
+def _sensitivity_grid(workload="coremark"):
+    grid = []
     for max_distance in (1023, 127, 31):
         config = straight_4way(max_distance=max_distance,
                                name=f"STRAIGHT-4way-d{max_distance}")
-        run = timed_run(
-            workload, "STRAIGHT-RE+", config, max_distance=max_distance
+        grid.append(
+            (max_distance,
+             timing_task(workload, "STRAIGHT-RE+", config,
+                         max_distance=max_distance))
         )
+    return grid
+
+
+def sensitivity_max_distance(workload="coremark"):
+    """§VI-B: CoreMark performance, max distance 1023 vs 31 (~1% in paper)."""
+    grid = _sensitivity_grid(workload)
+    results = ensure_results([task for _, task in grid])
+    rows = []
+    base_cycles = None
+    for max_distance, task in grid:
+        stats = _stats_of(results, task)
         if base_cycles is None:
-            base_cycles = run.cycles
+            base_cycles = stats["cycles"]
         rows.append(
             {
                 "max_distance": max_distance,
-                "cycles": run.cycles,
-                "relative_perf": round(base_cycles / run.cycles, 4),
-                "instructions": run.stats.instructions,
+                "cycles": stats["cycles"],
+                "relative_perf": round(base_cycles / stats["cycles"], 4),
+                "instructions": stats["instructions"],
             }
         )
     return {
@@ -270,13 +372,20 @@ def fig17_power(workload="dhrystone"):
 
     Normalized to the corresponding SS module at 1.0x, as in the paper.
     """
-    ss = timed_run(workload, "SS", ss_2way())
-    st = timed_run(workload, "STRAIGHT-RE+", straight_2way())
+    from repro.power import analyze_power
+
+    tasks = [
+        timing_task(workload, "SS", ss_2way()),
+        timing_task(workload, "STRAIGHT-RE+", straight_2way()),
+    ]
+    results = ensure_results(tasks)
+    ss_stats = SimStats.from_dict(_stats_of(results, tasks[0]))
+    st_stats = SimStats.from_dict(_stats_of(results, tasks[1]))
     baselines = {}
     rows = []
     for rel_f in (1.0, 2.5, 4.0):
-        ss_report = analyze_power(ss.stats, False, rel_f, core_name="SS-2way")
-        st_report = analyze_power(st.stats, True, rel_f, core_name="STRAIGHT-2way")
+        ss_report = analyze_power(ss_stats, False, rel_f, core_name="SS-2way")
+        st_report = analyze_power(st_stats, True, rel_f, core_name="STRAIGHT-2way")
         for module in ("rename", "regfile", "other"):
             if rel_f == 1.0:
                 baselines[module] = ss_report.modules[module].total
@@ -321,3 +430,55 @@ ALL_EXPERIMENTS = {
     "ablation_recovery": lambda: _ablations().ablate_recovery(),
     "ablation_spadd": lambda: _ablations().ablate_spadd_throughput(),
 }
+
+
+def _grid_builders():
+    """Per-experiment task declarations for the sweep CLI / prefetch."""
+    ab = _ablations()
+    return {
+        "fig11": lambda: _performance_tasks(ss_4way, straight_4way),
+        "fig12": lambda: _performance_tasks(ss_2way, straight_2way),
+        "fig13": lambda: [task for _, task in _fig13_grid()],
+        "fig14": lambda: [task for _, _, task in _fig14_grid()],
+        "fig15": lambda: [functional_task("coremark", label)
+                          for label in _BINARIES],
+        "fig16": lambda: [
+            functional_task(workload, "STRAIGHT-RE+", max_distance=1023)
+            for workload in _WORKLOADS
+        ],
+        "sensitivity_maxdist": lambda: [
+            task for _, task in _sensitivity_grid()
+        ],
+        "fig17": lambda: [
+            timing_task("dhrystone", "SS", ss_2way()),
+            timing_task("dhrystone", "STRAIGHT-RE+", straight_2way()),
+        ],
+        "ablation_re_plus": lambda: [t for _, t in ab.re_plus_grid()],
+        "ablation_recovery": lambda: [t for _, t in ab.recovery_grid()],
+        "ablation_spadd": lambda: [t for _, t in ab.spadd_grid()],
+    }
+
+
+def grid_tasks(names=None):
+    """The deduplicated SweepTask grid behind the named experiments.
+
+    ``table1`` contributes nothing (it is static), unknown names raise.
+    """
+    builders = _grid_builders()
+    names = list(names) if names else sorted(set(builders) | {"table1"})
+    tasks = []
+    seen = set()
+    for name in names:
+        if name == "table1":
+            continue
+        builder = builders.get(name)
+        if builder is None:
+            raise KeyError(
+                f"unknown experiment {name!r}; choose from "
+                f"{sorted(set(builders) | {'table1'})}"
+            )
+        for task in builder():
+            if task.task_id not in seen:
+                seen.add(task.task_id)
+                tasks.append(task)
+    return tasks

@@ -22,9 +22,28 @@ from repro.workloads import build_workload
 _run_cache = {}
 
 
-def clear_cache():
-    """Forget cached timing runs (tests use this for isolation)."""
+def clear_cache(disk=False):
+    """Forget cached timing runs (tests use this for isolation).
+
+    With ``disk=True`` the persistent on-disk layer is wiped too — this is
+    what ``--no-cache`` entry points call, so a "no cache" run can never be
+    silently served by results persisted from an earlier invocation.
+    Stale-schema entries need no manual eviction: the persistent layer
+    drops any entry whose embedded schema version does not match
+    :data:`repro.harness.cache.SCHEMA_VERSION` at first touch.
+    """
     _run_cache.clear()
+    from repro.harness.sweep import clear_memo
+
+    clear_memo()
+    if disk:
+        from repro.harness import cache as cache_mod
+        from repro.workloads.common import clear_build_cache
+
+        clear_build_cache(disk=False)
+        # clear_persistent works on the configured root even while the
+        # persistent layer is disabled — exactly the --no-cache situation.
+        cache_mod.clear_persistent()
 
 
 def timed_run(workload, binary_label, config, iterations=None,
@@ -35,9 +54,11 @@ def timed_run(workload, binary_label, config, iterations=None,
     ``'STRAIGHT-RE+'``; ``config`` is a CoreConfig.  The cache key is the
     config's full timing identity plus the workload parameters, so any field
     that changes timing (widths, ROB/IQ/LSQ sizes, cache geometry, predictor,
-    penalties, ...) forces a fresh run.  ``timeout_s`` bounds the run's
-    wall-clock time (see :func:`deadline`); ``guardrails`` runs it under
-    invariant checking + lockstep (never cached together with unguarded runs).
+    penalties, ...) forces a fresh run.  Behind the in-process memo sits the
+    persistent result cache (when enabled), keyed on the binary's SHA-256
+    plus the same config identity; guardrailed runs bypass it (their reports
+    are not serialized and must never alias unguarded timing results).
+    ``timeout_s`` bounds the run's wall-clock time (see :func:`deadline`).
     """
     key = (
         workload,
@@ -51,9 +72,14 @@ def timed_run(workload, binary_label, config, iterations=None,
         binaries = build_workload(workload, iterations, max_distance)
         binary = binaries.all()[binary_label]
         with deadline(timeout_s, f"{workload}/{binary_label}/{config.name}"):
-            _run_cache[key] = simulate(
-                binary, config, warm_caches=True, guardrails=guardrails
-            )
+            if guardrails:
+                _run_cache[key] = simulate(
+                    binary, config, warm_caches=True, guardrails=True
+                )
+            else:
+                from repro.harness.sweep import cached_simulate
+
+                _run_cache[key] = cached_simulate(binary, config)
     return _run_cache[key]
 
 

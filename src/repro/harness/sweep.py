@@ -1,0 +1,567 @@
+"""Parallel sweep engine over the experiment grid, with persistent caching.
+
+The paper's evaluation is a grid: (workload × binary × CoreConfig), plus a
+handful of custom-compiled ablation points.  This module turns one grid
+point into a *spawn-safe task descriptor* (:class:`SweepTask`), fans task
+batches out across CPU cores with a process pool, and backs every execution
+with the persistent content-addressed caches of :mod:`repro.harness.cache`:
+
+* compiled binaries come from the artifact cache (shared between RAW/RE+
+  figure runs and across processes/runs),
+* finished runs come from the result cache, keyed on the binary's SHA-256
+  plus the config's full timing identity (``CoreConfig.cache_key()``) plus
+  the engine schema version.
+
+Guarantees:
+
+* **Determinism** — results are returned in task-submission order, and a
+  cache-served result is bit-identical to a fresh one (the cache stores the
+  complete ``SimStats`` counter surface, reconstructed exactly).
+* **Degradation, not death** — a task that raises inside a worker comes
+  back as a structured error record (a :class:`SimulationError` payload
+  with traceback); the sweep writes a crash dump, notes the failure in the
+  manifest, and completes every remaining task.  A worker process dying
+  outright (broken pool) re-runs the unfinished tasks inline.
+* **Budgets** — each task gets a wall-clock ``deadline`` inside its worker
+  (SIGALRM-based, same machinery as the PR 1 hardened harness).
+
+``run_sweep`` never requires the pool: with ``jobs <= 1`` everything runs
+inline in the calling process, and tasks fully served by the cache never
+spawn a worker at all (the warm path of ``examples/reproduce_paper.py``).
+"""
+
+import os
+import time
+import traceback
+
+from repro.common.errors import SimulationError
+from repro.harness import cache as cache_mod
+from repro.harness.runner import deadline
+from repro.uarch.stats import SimStats
+
+#: Default per-task wall-clock budget inside a worker (seconds).
+DEFAULT_TASK_TIMEOUT_S = 600.0
+
+
+class SweepTask:
+    """One spawn-safe grid point.
+
+    Two shapes:
+
+    * registry tasks — ``workload``/``binary_label`` name a cross-validated
+      registry build (the common case for the paper figures);
+    * custom-compile tasks — ``compile_opts`` describes a bespoke backend
+      configuration applied to the workload's source (the ablations).
+
+    ``config`` is ``None`` for functional tasks (instruction mix, distance
+    distributions), which need an interpreter run but no timing model.
+    """
+
+    __slots__ = ("task_id", "workload", "binary_label", "config",
+                 "iterations", "max_distance", "compile_opts", "kind",
+                 "timeout_s")
+
+    def __init__(self, task_id, workload, binary_label=None, config=None,
+                 iterations=None, max_distance=1023, compile_opts=None,
+                 kind="timing", timeout_s=None):
+        self.task_id = task_id
+        self.workload = workload
+        self.binary_label = binary_label
+        self.config = config
+        self.iterations = iterations
+        self.max_distance = max_distance
+        self.compile_opts = dict(compile_opts) if compile_opts else None
+        self.kind = kind  # 'timing' | 'functional'
+        self.timeout_s = timeout_s
+
+    def __repr__(self):
+        return f"SweepTask({self.task_id})"
+
+
+# ---------------------------------------------------------------------------
+# Binary resolution (artifact-cached)
+# ---------------------------------------------------------------------------
+
+
+def compile_binary_cached(source, target="straight", max_distance=1023,
+                          **backend_opts):
+    """Compile one source/target/options point, persistently memoized.
+
+    Returns a :class:`~repro.core.api.Binary`.  The artifact key covers the
+    source digest, the target ISA, ``max_distance`` and every backend
+    option, so RAW and RE+ (or sinking/demotion ablation variants) never
+    alias while identical requests across figures and runs share one
+    compilation.
+    """
+    artifact_key = {
+        "kind": "compile",
+        "tag": cache_mod.TOOLCHAIN_TAG,
+        "source": cache_mod.source_digest(source),
+        "target": target,
+        "max_distance": max_distance,
+        "opts": dict(sorted(backend_opts.items())),
+    }
+    artifacts = cache_mod.artifact_cache()
+    if artifacts is not None:
+        binary = artifacts.get(artifact_key)
+        if binary is not None:
+            return binary
+
+    from repro.compiler import compile_to_riscv, compile_to_straight
+    from repro.core.api import Binary
+    from repro.frontend import compile_source
+
+    module = compile_source(source)
+    if target == "riscv":
+        compilation = compile_to_riscv(module)
+        binary = Binary("riscv", compilation.link(), compilation)
+    else:
+        compilation = compile_to_straight(
+            module, max_distance=max_distance, **backend_opts
+        )
+        binary = Binary("straight", compilation.link(), compilation)
+    cache_mod.binary_digest(binary)  # memoize the digest into the pickle
+    if artifacts is not None:
+        artifacts.put(artifact_key, binary)
+    return binary
+
+
+def _resolve_binary(task, compile_missing=True):
+    """The task's binary, or ``None`` when it is not already cached and
+    ``compile_missing`` is false (the parent's cheap cache pre-pass)."""
+    from repro.workloads import build_workload, get_workload
+    from repro.workloads.common import peek_cached_build
+
+    if task.compile_opts is not None:
+        opts = dict(task.compile_opts)
+        # Inline-source tasks (the bench grid) carry their program text in
+        # the descriptor; registry tasks resolve it by workload name.
+        source = opts.pop("source_text", None)
+        if source is None:
+            source = get_workload(task.workload).source(task.iterations)
+        target = opts.pop("target", "straight")
+        if not compile_missing and cache_mod.artifact_cache() is None:
+            return None
+        if not compile_missing:
+            # Probe without compiling: re-issue the lookup only.
+            artifact_key = {
+                "kind": "compile",
+                "tag": cache_mod.TOOLCHAIN_TAG,
+                "source": cache_mod.source_digest(source),
+                "target": target,
+                "max_distance": task.max_distance,
+                "opts": dict(sorted(opts.items())),
+            }
+            return cache_mod.artifact_cache().get(artifact_key)
+        return compile_binary_cached(
+            source, target=target, max_distance=task.max_distance, **opts
+        )
+    if not compile_missing:
+        build = peek_cached_build(task.workload, task.iterations,
+                                  task.max_distance)
+        return None if build is None else build.all()[task.binary_label]
+    return build_workload(
+        task.workload, task.iterations, task.max_distance
+    ).all()[task.binary_label]
+
+
+# ---------------------------------------------------------------------------
+# Single-task execution (result-cached)
+# ---------------------------------------------------------------------------
+
+
+def _timing_key(binary, config, warm):
+    return {
+        "kind": "timing",
+        "tag": cache_mod.TOOLCHAIN_TAG,
+        "binary": cache_mod.binary_digest(binary),
+        "config": config.cache_key(),
+        "warm": bool(warm),
+        "guardrails": False,
+    }
+
+
+def _functional_key(binary):
+    return {
+        "kind": "functional",
+        "tag": cache_mod.TOOLCHAIN_TAG,
+        "binary": cache_mod.binary_digest(binary),
+    }
+
+
+def _timing_payload(result):
+    return {
+        "kind": "timing",
+        "stats": result.stats.as_dict(),
+        "output": list(result.output),
+        "steps": result.run_result.steps,
+    }
+
+
+def _functional_payload(interp, run_result):
+    return {
+        "kind": "functional",
+        "output": list(run_result.output),
+        "steps": run_result.steps,
+        "class_counts": interp.class_counts(),
+        "mnemonic_counts": dict(interp.mnemonic_counts),
+        "distance_hist": {
+            str(d): c for d, c in getattr(interp, "distance_hist", {}).items()
+        },
+    }
+
+
+def rehydrate_timing(binary, config, payload):
+    """A :class:`SimulationResult` rebuilt from a cached timing payload."""
+    from repro.core.api import SimulationResult
+    from repro.straight.interpreter import RunResult
+
+    stats = SimStats.from_dict(payload["stats"])
+    run_result = RunResult("halt", payload["steps"], list(payload["output"]))
+    return SimulationResult(binary, config, run_result, None, stats)
+
+
+def execute_task(task, payload_only=True):
+    """Run one task in this process, via the result cache when possible.
+
+    Returns the JSON-safe payload dict (what workers ship back to the
+    parent); set ``payload_only=False`` to get ``(payload, served_from_cache)``.
+    """
+    binary = _resolve_binary(task)
+    results = cache_mod.result_cache()
+    if task.kind == "functional":
+        key = _functional_key(binary)
+        if results is not None:
+            hit = results.get(key)
+            if hit is not None:
+                return hit if payload_only else (hit, True)
+        from repro.core.api import run_functional
+
+        run = run_functional(binary)
+        payload = _functional_payload(run.interpreter, run.run_result)
+    else:
+        key = _timing_key(binary, task.config, warm=True)
+        if results is not None:
+            hit = results.get(key)
+            if hit is not None:
+                return hit if payload_only else (hit, True)
+        from repro.core.api import simulate
+
+        result = simulate(binary, task.config, warm_caches=True)
+        payload = _timing_payload(result)
+    if results is not None:
+        results.put(key, payload)
+    return payload if payload_only else (payload, False)
+
+
+def cached_simulate(binary, config, warm_caches=True):
+    """Result-cached drop-in for :func:`repro.core.api.simulate`.
+
+    Serial callers (the ablations, ``timed_run``) funnel through this so a
+    sweep's persisted results and a later interactive run share entries.
+    """
+    results = cache_mod.result_cache()
+    key = None
+    if results is not None and warm_caches:
+        key = _timing_key(binary, config, warm=True)
+        hit = results.get(key)
+        if hit is not None:
+            return rehydrate_timing(binary, config, hit)
+    from repro.core.api import simulate
+
+    result = simulate(binary, config, warm_caches=warm_caches)
+    if key is not None:
+        results.put(key, _timing_payload(result))
+    return result
+
+
+def cached_functional_metrics(binary):
+    """Instruction-mix / distance metrics of one binary, result-cached."""
+    results = cache_mod.result_cache()
+    key = None
+    if results is not None:
+        key = _functional_key(binary)
+        hit = results.get(key)
+        if hit is not None:
+            return _metrics_view(hit)
+    from repro.core.api import run_functional
+
+    run = run_functional(binary)
+    payload = _functional_payload(run.interpreter, run.run_result)
+    if key is not None:
+        results.put(key, payload)
+    return _metrics_view(payload)
+
+
+def _metrics_view(payload):
+    view = dict(payload)
+    view["distance_hist"] = {
+        int(d): c for d, c in payload.get("distance_hist", {}).items()
+    }
+    return view
+
+
+# ---------------------------------------------------------------------------
+# In-process payload memo (what the experiment runners consume)
+# ---------------------------------------------------------------------------
+
+_payload_memo = {}
+_default_jobs = 1
+
+
+def set_default_jobs(jobs):
+    """Set the process-wide parallelism for :func:`ensure_results` callers.
+
+    Entry points (``straight sweep``, ``examples/reproduce_paper.py``) set
+    this once; the experiment runners then fan their grids out without
+    every call site threading a ``jobs`` parameter.
+    """
+    global _default_jobs
+    _default_jobs = max(1, int(jobs))
+
+
+def clear_memo():
+    """Forget in-process sweep payloads (cache-isolation hook for tests)."""
+    _payload_memo.clear()
+
+
+def ensure_results(tasks, jobs=None, progress=None, diagnostics_dir=None):
+    """Guarantee a payload for every task; returns ``{task_id: payload}``.
+
+    Tasks already resolved this process are served from the in-process
+    memo; the rest go through :func:`run_sweep` (persistent cache, then the
+    pool).  This is the single entry point the experiment runners use.
+    """
+    missing = [t for t in tasks if t.task_id not in _payload_memo]
+    if missing:
+        report = run_sweep(missing, jobs=jobs if jobs is not None
+                           else _default_jobs, progress=progress,
+                           diagnostics_dir=diagnostics_dir)
+        _payload_memo.update(report.results)
+    return {t.task_id: _payload_memo[t.task_id] for t in tasks}
+
+
+def payload_or_raise(payload, label=""):
+    """Unwrap one payload, re-raising worker-side failures in the parent."""
+    if payload.get("kind") == "error":
+        raise SimulationError(
+            f"{label or payload.get('task', 'sweep task')} failed in the "
+            f"sweep engine: {payload.get('type')}: {payload.get('message')}",
+            context={"traceback": payload.get("traceback")},
+        )
+    return payload
+
+
+def metrics_view(payload):
+    """A functional payload with ``distance_hist`` keys restored to ints."""
+    return _metrics_view(payload)
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+
+def _error_payload(task, exc):
+    record = {
+        "kind": "error",
+        "task": task.task_id,
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+    if isinstance(exc, SimulationError):
+        record["error"] = exc.as_dict()
+    return record
+
+
+def _worker_init(cache_root, cache_enabled):
+    cache_mod.configure(cache_root, enabled=cache_enabled)
+
+
+def _worker_run(task):
+    """Top-level (spawn-picklable) worker entry: never raises."""
+    served = False
+    try:
+        timeout = task.timeout_s or DEFAULT_TASK_TIMEOUT_S
+        with deadline(timeout, task.task_id):
+            payload, served = execute_task(task, payload_only=False)
+    except BaseException as exc:  # noqa: BLE001 - shipped back, not swallowed
+        payload = _error_payload(task, exc)
+    return task.task_id, payload, served
+
+
+class SweepReport:
+    """Ordered results + manifest + cache accounting for one sweep."""
+
+    def __init__(self, results, manifest, cache_report, wall_s):
+        #: ``{task_id: payload}`` in task-submission order; error payloads
+        #: have ``kind == 'error'`` and are *also* listed in the manifest.
+        self.results = results
+        self.manifest = manifest
+        self.cache = cache_report
+        self.wall_s = wall_s
+
+    @property
+    def ok(self):
+        return not self.manifest["failed"]
+
+    def result_hit_rate(self):
+        """Fraction of tasks served from the persistent result cache."""
+        total = len(self.manifest["requested"])
+        return self.manifest["cache_served"] / total if total else 0.0
+
+    def as_dict(self):
+        return {
+            "results": self.results,
+            "manifest": self.manifest,
+            "cache": self.cache,
+            "wall_s": self.wall_s,
+        }
+
+
+def run_sweep(tasks, jobs=None, progress=None, diagnostics_dir=None,
+              raise_on_error=False):
+    """Execute ``tasks`` (deduplicated by id), fanned out over ``jobs`` cores.
+
+    Returns a :class:`SweepReport`.  ``jobs=None`` uses ``os.cpu_count()``;
+    ``jobs<=1`` runs inline.  ``progress`` is an optional callable receiving
+    ``(done, total, task_id, status, seconds)`` events.
+    """
+    started = time.perf_counter()
+    ordered = []
+    seen = set()
+    for task in tasks:
+        if task.task_id not in seen:
+            seen.add(task.task_id)
+            ordered.append(task)
+
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    results = {}
+    errors = []
+    done = 0
+    cache_served = 0
+
+    def record(task, payload, seconds, status):
+        nonlocal done, cache_served
+        done += 1
+        results[task.task_id] = payload
+        if status == "cache":
+            cache_served += 1
+        if payload.get("kind") == "error":
+            record_failure(task, payload)
+        if progress is not None:
+            progress(done, len(ordered), task.task_id, status, seconds)
+
+    def record_failure(task, payload):
+        entry = {
+            "experiment": task.task_id,
+            "type": payload.get("type", "Error"),
+            "message": payload.get("message", ""),
+        }
+        if raise_on_error:
+            raise SimulationError(
+                f"sweep task {task.task_id} failed: "
+                f"{entry['type']}: {entry['message']}"
+            )
+        if diagnostics_dir:
+            from repro.guardrails.crashdump import write_crash_dump
+
+            exc = SimulationError(
+                f"{entry['type']}: {entry['message']}",
+                context={"task": task.task_id},
+            )
+            entry["crash_dump"] = write_crash_dump(
+                diagnostics_dir, task.task_id, exc,
+                extra={"worker": payload},
+            )
+        errors.append(entry)
+
+    # Cheap parent-side pre-pass: anything the caches can fully serve never
+    # reaches the pool (this is the entire warm path).
+    pending = []
+    for task in ordered:
+        served = None
+        if cache_mod.result_cache() is not None:
+            try:
+                binary = _resolve_binary(task, compile_missing=False)
+            except Exception:  # noqa: BLE001 - unprobeable != failed; the
+                binary = None  # worker will produce the structured error
+            if binary is not None:
+                key = (_functional_key(binary) if task.kind == "functional"
+                       else _timing_key(binary, task.config, warm=True))
+                served = cache_mod.result_cache().get(key)
+        if served is not None:
+            record(task, served, 0.0, "cache")
+        else:
+            pending.append(task)
+
+    if pending and jobs > 1:
+        _run_pool(pending, jobs, record)
+    elif pending:
+        for task in pending:
+            task_started = time.perf_counter()
+            try:
+                timeout = task.timeout_s or DEFAULT_TASK_TIMEOUT_S
+                with deadline(timeout, task.task_id):
+                    payload, hit = execute_task(task, payload_only=False)
+            except Exception as exc:  # noqa: BLE001 - degrade to manifest
+                payload, hit = _error_payload(task, exc), False
+            record(task, payload, time.perf_counter() - task_started,
+                   "cache" if hit else "run")
+
+    manifest = {
+        "requested": [t.task_id for t in ordered],
+        "completed": [t.task_id for t in ordered
+                      if results.get(t.task_id, {}).get("kind") != "error"],
+        "failed": [e["experiment"] for e in errors],
+        "errors": errors,
+        "jobs": jobs,
+        "cache_served": cache_served,
+    }
+    if diagnostics_dir and errors:
+        from repro.guardrails.crashdump import write_manifest
+
+        manifest["manifest_path"] = write_manifest(diagnostics_dir, manifest)
+
+    ordered_results = {t.task_id: results[t.task_id] for t in ordered}
+    return SweepReport(ordered_results, manifest, cache_mod.cache_report(),
+                       round(time.perf_counter() - started, 6))
+
+
+def _run_pool(pending, jobs, record):
+    """Farm ``pending`` out to a spawn pool; degrade broken pools to inline."""
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = multiprocessing.get_context("spawn")
+    remaining = {task.task_id: task for task in pending}
+    task_started = {task.task_id: time.perf_counter() for task in pending}
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(cache_mod.cache_root(), cache_mod.is_enabled()),
+        ) as pool:
+            futures = {task.task_id: pool.submit(_worker_run, task)
+                       for task in pending}
+            for task in pending:
+                task_id, payload, served = futures[task.task_id].result()
+                del remaining[task_id]
+                status = ("cache" if served
+                          and payload.get("kind") != "error" else "run")
+                record(task, payload,
+                       time.perf_counter() - task_started[task_id], status)
+    except Exception:  # pool itself died (OOM-killed worker, spawn failure)
+        for task in list(remaining.values()):
+            started = time.perf_counter()
+            try:
+                timeout = task.timeout_s or DEFAULT_TASK_TIMEOUT_S
+                with deadline(timeout, task.task_id):
+                    payload = execute_task(task)
+            except Exception as exc:  # noqa: BLE001
+                payload = _error_payload(task, exc)
+            del remaining[task.task_id]
+            record(task, payload, time.perf_counter() - started, "run")

@@ -22,32 +22,27 @@ from repro.common.bitops import wrap32
 from repro.common.errors import SimulationError
 from repro.common.layout import STACK_TOP, WORD_BYTES
 from repro.common.trace import TraceEntry
-from repro.ir.passes.constfold import eval_binop, eval_icmp
-
-_ALU_BINOPS = {
-    "ADD": "add",
-    "SUB": "sub",
-    "AND": "and",
-    "OR": "or",
-    "XOR": "xor",
-    "SLL": "shl",
-    "SRL": "lshr",
-    "SRA": "ashr",
-    "MUL": "mul",
-    "DIV": "sdiv",
-    "DIVU": "udiv",
-    "REM": "srem",
-    "REMU": "urem",
-    "ADDI": "add",
-    "ANDI": "and",
-    "ORI": "or",
-    "XORI": "xor",
-    "SLLI": "shl",
-    "SRLI": "lshr",
-    "SRAI": "ashr",
-}
-
-_CMP_OPS = {"SLT": "slt", "SLTU": "ult", "SLTI": "slt", "SLTUI": "ult"}
+from repro.straight.predecode import (
+    K_ALU,
+    K_ALU_IMM,
+    K_BEZ,
+    K_BNZ,
+    K_CALL,
+    K_CMP,
+    K_CMP_IMM,
+    K_HALT,
+    K_JUMP,
+    K_LOAD,
+    K_LUI,
+    K_NOP,
+    K_OUT,
+    K_RET,
+    K_RMOV,
+    K_SPADD,
+    K_STORE,
+    _decode_one,
+    decode_program,
+)
 
 
 class RunResult:
@@ -74,6 +69,10 @@ class StraightInterpreter:
         rob_entries=256,
     ):
         self.program = program
+        #: Immutable pre-decoded instruction array, decoded once per linked
+        #: binary and shared by every interpreter over the same program
+        #: (primary, lockstep golden, fault campaigns).
+        self.decoded = decode_program(program)
         # MAX_RP = max distance + ROB entries (paper §III-B); the functional
         # simulator only needs it large enough that live values never alias.
         self.max_rp = max_rp or (program.max_distance + rob_entries)
@@ -140,104 +139,155 @@ class StraightInterpreter:
     def run(self, max_steps=10_000_000):
         """Run until HALT or ``max_steps``; returns a :class:`RunResult`."""
         steps = 0
-        instrs = self.program.instrs
-        n_instrs = len(instrs)
+        decoded = self.decoded
+        n_instrs = len(decoded)
+        step_op = self.step_op
         while not self.halted and steps < max_steps:
-            if not 0 <= self.pc_index < n_instrs:
+            index = self.pc_index
+            if not 0 <= index < n_instrs:
                 raise SimulationError(f"pc out of text segment: {self._pc():#x}")
-            self.step(instrs[self.pc_index])
+            step_op(decoded[index])
             steps += 1
         return RunResult("halt" if self.halted else "limit", steps, self.output)
 
     def step(self, instr):
-        """Execute one instruction, updating all architectural state."""
-        mnemonic = instr.mnemonic
-        pc = self._pc()
+        """Execute one instruction, updating all architectural state.
+
+        ``instr`` must be the instruction at the current ``pc_index`` (the
+        contract every caller already honours); the pre-decoded record for it
+        is reused when it matches, so external steppers (lockstep golden,
+        fault campaigns) ride the same decode-once fast path as :meth:`run`.
+        """
+        decoded = self.decoded
+        index = self.pc_index
+        if 0 <= index < len(decoded) and decoded[index].instr is instr:
+            op = decoded[index]
+        else:
+            op = _decode_one(index, instr, self.program.text_base)
+        self.step_op(op)
+
+    def step_op(self, op):
+        """Execute one pre-decoded instruction (the hot path)."""
+        kind = op.kind
+        pc = op.pc
         next_index = self.pc_index + 1
         dest_value = 0
         taken = False
         target_pc = None
         mem_addr = None
+
+        # Inlined source reads (same semantics and diagnostics as
+        # _read_source, without a function call per operand).
+        seq = self.seq
+        max_rp = self.max_rp
+        regs = self.regs
+        written_seq = self.written_seq
+        distance_hist = self.distance_hist
+        check = self.check_distances
         src_values = []
         src_seqs = []
-        for dist in instr.srcs:
-            value, producer = self._read_source(dist)
-            src_values.append(value)
+        for distance in op.srcs:
+            if distance == 0:
+                src_values.append(0)
+                src_seqs.append(None)
+                continue
+            producer = seq - distance
+            if producer < 0:
+                raise SimulationError(
+                    f"pc={self._pc():#x}: distance {distance} reaches before "
+                    "program start"
+                )
+            reg = producer % max_rp
+            if check and written_seq[reg] != producer:
+                raise SimulationError(
+                    f"pc={self._pc():#x}: distance {distance} names "
+                    f"instruction #{producer} but register {reg} holds the "
+                    f"value of #{written_seq[reg]} (stale/aliased operand)"
+                )
+            distance_hist[distance] = distance_hist.get(distance, 0) + 1
+            src_values.append(regs[reg])
             src_seqs.append(producer)
 
-        if mnemonic in _ALU_BINOPS:
-            rhs = src_values[1] if len(src_values) == 2 else wrap32(instr.imm)
-            dest_value = eval_binop(_ALU_BINOPS[mnemonic], src_values[0], rhs)
-        elif mnemonic in _CMP_OPS:
-            rhs = src_values[1] if len(src_values) == 2 else wrap32(instr.imm)
-            dest_value = eval_icmp(_CMP_OPS[mnemonic], src_values[0], rhs)
-        elif mnemonic == "LUI":
-            dest_value = wrap32(instr.imm << 12)
-        elif mnemonic == "RMOV":
-            dest_value = src_values[0]
-        elif mnemonic == "LD":
-            mem_addr = wrap32(src_values[0] + instr.imm)
+        if kind == K_ALU:
+            dest_value = op.operand(src_values[0], src_values[1])
+        elif kind == K_ALU_IMM:
+            evaluator, imm = op.operand
+            dest_value = evaluator(src_values[0], imm)
+        elif kind == K_CMP:
+            dest_value = op.operand(src_values[0], src_values[1])
+        elif kind == K_CMP_IMM:
+            evaluator, imm = op.operand
+            dest_value = evaluator(src_values[0], imm)
+        elif kind == K_LOAD:
+            mem_addr = wrap32(src_values[0] + op.operand)
             dest_value = self._load_word(mem_addr)
-        elif mnemonic == "ST":
-            mem_addr = wrap32(src_values[1] + instr.imm * WORD_BYTES)
+        elif kind == K_STORE:
+            mem_addr = wrap32(src_values[1] + op.operand)
             self._store_word(mem_addr, src_values[0])
             dest_value = src_values[0]  # "store value is returned" (§III-A)
-        elif mnemonic == "BEZ" or mnemonic == "BNZ":
-            cond = src_values[0] == 0
-            taken = cond if mnemonic == "BEZ" else not cond
-            target_pc = pc + instr.imm * WORD_BYTES
+        elif kind == K_BEZ or kind == K_BNZ:
+            taken = (src_values[0] == 0) if kind == K_BEZ else (src_values[0] != 0)
+            target_pc = op.target_pc
             if taken:
-                next_index = self.pc_index + instr.imm
-        elif mnemonic == "J":
+                next_index = op.target_index
+        elif kind == K_RMOV:
+            dest_value = src_values[0]
+        elif kind == K_LUI:
+            dest_value = op.operand
+        elif kind == K_JUMP:
             taken = True
-            target_pc = pc + instr.imm * WORD_BYTES
-            next_index = self.pc_index + instr.imm
-        elif mnemonic == "JAL":
+            target_pc = op.target_pc
+            next_index = op.target_index
+        elif kind == K_CALL:
             taken = True
-            target_pc = pc + instr.imm * WORD_BYTES
-            next_index = self.pc_index + instr.imm
-            dest_value = pc + WORD_BYTES
-        elif mnemonic == "JR":
+            target_pc = op.target_pc
+            next_index = op.target_index
+            dest_value = op.operand
+        elif kind == K_RET:
             taken = True
             target_pc = src_values[0]
             next_index = self.program.index_of_pc(target_pc)
-        elif mnemonic == "SPADD":
-            self.sp = wrap32(self.sp + instr.imm)
+        elif kind == K_SPADD:
+            self.sp = wrap32(self.sp + op.operand)
             dest_value = self.sp
-        elif mnemonic == "OUT":
+        elif kind == K_OUT:
             self.output.append(src_values[0])
             dest_value = src_values[0]
-        elif mnemonic == "NOP":
+        elif kind == K_NOP:
             dest_value = 0
-        elif mnemonic == "HALT":
+        elif kind == K_HALT:
             self.halted = True
         else:  # pragma: no cover - the opcode table is closed
-            raise SimulationError(f"unimplemented mnemonic {mnemonic}")
+            raise SimulationError(f"unimplemented mnemonic {op.mnemonic}")
 
-        self._write_dest(dest_value)
+        dest_reg = seq % max_rp
+        dest_value = wrap32(dest_value)
+        regs[dest_reg] = dest_value
+        written_seq[dest_reg] = seq
+        mnemonic = op.mnemonic
         self.mnemonic_counts[mnemonic] = self.mnemonic_counts.get(mnemonic, 0) + 1
 
         if self.collect_trace:
             self.trace.append(
                 TraceEntry(
                     pc=pc,
-                    op_class=instr.op_class,
+                    op_class=op.op_class,
                     mnemonic=mnemonic,
-                    dest=self.seq,
+                    dest=seq,
                     srcs=src_seqs,
                     taken=taken,
                     target_pc=target_pc,
                     next_pc=self.program.text_base + next_index * WORD_BYTES,
                     mem_addr=mem_addr,
-                    is_call=(mnemonic == "JAL"),
-                    is_return=(mnemonic == "JR"),
-                    is_rmov=(mnemonic == "RMOV"),
-                    is_spadd=(mnemonic == "SPADD"),
-                    src_distances=instr.srcs,
-                    dest_value=self.regs[self.seq % self.max_rp],
+                    is_call=(kind == K_CALL),
+                    is_return=(kind == K_RET),
+                    is_rmov=(kind == K_RMOV),
+                    is_spadd=(kind == K_SPADD),
+                    src_distances=op.srcs,
+                    dest_value=dest_value,
                 )
             )
-        self.seq += 1
+        self.seq = seq + 1
         self.pc_index = next_index
 
     # -- statistics ---------------------------------------------------------------

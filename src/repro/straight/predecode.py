@@ -1,0 +1,182 @@
+"""Pre-decoded STRAIGHT instructions: decode a linked binary exactly once.
+
+The functional simulator used to re-derive everything about an instruction
+on every dynamic execution: mnemonic-table membership tests, opcode-class
+lookups, immediate normalization, branch-target arithmetic.  Lockstep
+co-simulation pays that cost *twice* (the primary interpreter plus the
+golden shadow machine).  This module decodes the whole text segment into an
+immutable array of :class:`DecodedOp` records — one per static instruction,
+with the dispatch kind resolved to a small int, the ALU/compare evaluator
+pre-bound, immediates pre-wrapped and branch/jump targets pre-resolved to
+instruction indices — and memoizes the array on the program object, so
+every interpreter over the same binary (primary, golden, fault campaigns)
+shares one decode.
+
+Decoding is purely static: a :class:`DecodedOp` never holds run state, so
+sharing across interpreter instances (and threads) is safe.
+"""
+
+from functools import partial
+
+from repro.common.bitops import wrap32
+from repro.common.layout import WORD_BYTES
+from repro.ir.passes.constfold import eval_binop, eval_icmp
+
+#: Dispatch kinds (dense ints; the interpreter dispatches on these instead
+#: of hashing mnemonic strings per retired instruction).
+K_ALU = 0        # binop of two sources
+K_ALU_IMM = 1    # binop of one source and a pre-wrapped immediate
+K_CMP = 2        # compare of two sources
+K_CMP_IMM = 3    # compare of one source and a pre-wrapped immediate
+K_LUI = 4
+K_RMOV = 5
+K_LOAD = 6
+K_STORE = 7
+K_BEZ = 8
+K_BNZ = 9
+K_JUMP = 10      # J
+K_CALL = 11      # JAL
+K_RET = 12       # JR
+K_SPADD = 13
+K_OUT = 14
+K_NOP = 15
+K_HALT = 16
+
+_ALU_BINOPS = {
+    "ADD": "add",
+    "SUB": "sub",
+    "AND": "and",
+    "OR": "or",
+    "XOR": "xor",
+    "SLL": "shl",
+    "SRL": "lshr",
+    "SRA": "ashr",
+    "MUL": "mul",
+    "DIV": "sdiv",
+    "DIVU": "udiv",
+    "REM": "srem",
+    "REMU": "urem",
+    "ADDI": "add",
+    "ANDI": "and",
+    "ORI": "or",
+    "XORI": "xor",
+    "SLLI": "shl",
+    "SRLI": "lshr",
+    "SRAI": "ashr",
+}
+
+_CMP_OPS = {"SLT": "slt", "SLTU": "ult", "SLTI": "slt", "SLTUI": "ult"}
+
+
+class DecodedOp:
+    """One statically-decoded instruction (immutable after construction)."""
+
+    __slots__ = (
+        "index",      # text-segment instruction index
+        "pc",         # absolute PC of this instruction
+        "kind",       # one of the K_* dispatch ints
+        "mnemonic",
+        "op_class",
+        "srcs",       # operand distances (tuple of ints)
+        "imm",        # raw immediate (or None)
+        "operand",    # kind-specific precomputation (see decode_program)
+        "target_index",  # branch/jump destination instruction index
+        "target_pc",  # branch/jump destination PC
+        "instr",      # the original SInstr (error paths, tools)
+    )
+
+    def __init__(self, index, pc, kind, instr, operand=None,
+                 target_index=None, target_pc=None):
+        self.index = index
+        self.pc = pc
+        self.kind = kind
+        self.mnemonic = instr.mnemonic
+        self.op_class = instr.op_class
+        self.srcs = instr.srcs
+        self.imm = instr.imm
+        self.operand = operand
+        self.target_index = target_index
+        self.target_pc = target_pc
+        self.instr = instr
+
+    def __repr__(self):
+        return f"DecodedOp({self.index}, {self.mnemonic}, kind={self.kind})"
+
+
+def _decode_one(index, instr, text_base):
+    pc = text_base + index * WORD_BYTES
+    mnemonic = instr.mnemonic
+    operand = None
+    target_index = None
+    target_pc = None
+    if mnemonic in _ALU_BINOPS:
+        evaluator = partial(eval_binop, _ALU_BINOPS[mnemonic])
+        if len(instr.srcs) == 2:
+            kind = K_ALU
+            operand = evaluator
+        else:
+            kind = K_ALU_IMM
+            operand = (evaluator, wrap32(instr.imm))
+    elif mnemonic in _CMP_OPS:
+        evaluator = partial(eval_icmp, _CMP_OPS[mnemonic])
+        if len(instr.srcs) == 2:
+            kind = K_CMP
+            operand = evaluator
+        else:
+            kind = K_CMP_IMM
+            operand = (evaluator, wrap32(instr.imm))
+    elif mnemonic == "LUI":
+        kind = K_LUI
+        operand = wrap32(instr.imm << 12)
+    elif mnemonic == "RMOV":
+        kind = K_RMOV
+    elif mnemonic == "LD":
+        kind = K_LOAD
+        operand = instr.imm
+    elif mnemonic == "ST":
+        kind = K_STORE
+        operand = instr.imm * WORD_BYTES
+    elif mnemonic in ("BEZ", "BNZ"):
+        kind = K_BEZ if mnemonic == "BEZ" else K_BNZ
+        target_index = index + instr.imm
+        target_pc = pc + instr.imm * WORD_BYTES
+    elif mnemonic == "J":
+        kind = K_JUMP
+        target_index = index + instr.imm
+        target_pc = pc + instr.imm * WORD_BYTES
+    elif mnemonic == "JAL":
+        kind = K_CALL
+        target_index = index + instr.imm
+        target_pc = pc + instr.imm * WORD_BYTES
+        operand = pc + WORD_BYTES  # the link value
+    elif mnemonic == "JR":
+        kind = K_RET
+    elif mnemonic == "SPADD":
+        kind = K_SPADD
+        operand = instr.imm
+    elif mnemonic == "OUT":
+        kind = K_OUT
+    elif mnemonic == "NOP":
+        kind = K_NOP
+    elif mnemonic == "HALT":
+        kind = K_HALT
+    else:  # pragma: no cover - the opcode table is closed
+        raise ValueError(f"unimplemented mnemonic {mnemonic}")
+    return DecodedOp(index, pc, kind, instr, operand, target_index, target_pc)
+
+
+def decode_program(program):
+    """The immutable decoded-op array of ``program``, decoded exactly once.
+
+    Memoized on the program object; every interpreter instance over the
+    same linked binary — including the lockstep golden machine — shares
+    one array.
+    """
+    decoded = getattr(program, "_decoded_ops", None)
+    if decoded is None or len(decoded) != len(program.instrs):
+        decoded = tuple(
+            _decode_one(index, instr, program.text_base)
+            for index, instr in enumerate(program.instrs)
+        )
+        program._decoded_ops = decoded
+    return decoded

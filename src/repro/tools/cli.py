@@ -277,7 +277,7 @@ def cmd_trace(args):
         ]
         if entry.mem_addr is not None:
             fields.append(f"mem={entry.mem_addr:#x}")
-        if entry.changes_flow():
+        if entry.is_control:
             fields.append("taken" if entry.taken else "not-taken")
         print("  ".join(fields))
     if limit < len(trace):
@@ -298,12 +298,89 @@ def cmd_bench(args):
                   f"{sorted(BENCH_WORKLOADS)}", file=sys.stderr)
             return 1
     report = bench_smoke(config_name=args.core, repeats=args.repeats,
-                         workloads=args.workload or None)
+                         workloads=args.workload or None,
+                         sweep_jobs=args.sweep_jobs)
     text = json.dumps(report, indent=2)
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(text + "\n")
+    sweep_report = _bench_sweep_summary(report)
+    with open(args.sweep_json, "w") as handle:
+        json.dump(sweep_report, handle, indent=2)
+        handle.write("\n")
     print(text)
+    return 0
+
+
+def _bench_sweep_summary(report):
+    """The ``BENCH_sweep.json`` artifact: one flat sweep/cache scorecard."""
+    passes = report["sweep"]["passes"]
+    return {
+        "generated_by": "straight bench --smoke",
+        "sweep_jobs": report["sweep"]["jobs"],
+        "grid": report["sweep"]["grid"],
+        "wall_s": {p["pass"]: p["wall_s"] for p in passes},
+        "cycles_simulated": {p["pass"]: p["cycles_simulated"] for p in passes},
+        # Idle-skip split of the stepped-vs-event section (the sweep's
+        # results are cache-portable payloads, which carry no engine
+        # internals).
+        "cycles_skipped": sum(w["skipped_cycles"] for w in report["workloads"]),
+        "cycles_executed": sum(w["executed_cycles"] for w in report["workloads"]),
+        "cache": {p["pass"]: p["cache"] for p in passes},
+        "results_from_cache": {
+            p["pass"]: p["results_from_cache"] for p in passes
+        },
+        "warm_hit_rate": passes[-1]["result_hit_rate"],
+        "warm_speedup": report["sweep"]["warm_speedup"],
+        "predecode_speedup": report["predecode"]["speedup"],
+        "event_engine_best_speedup": report["best_speedup"],
+    }
+
+
+def cmd_sweep(args):
+    """Fan the experiment grid out over a process pool, persistently cached."""
+    from repro.harness import cache as cache_mod
+    from repro.harness.experiments import grid_tasks
+    from repro.harness.runner import clear_cache
+    from repro.harness.sweep import run_sweep
+
+    cache_mod.configure(args.cache_dir, enabled=not args.no_cache)
+    if args.no_cache:
+        # --no-cache is a contract: nothing persisted may serve this run,
+        # and nothing stale may survive it.
+        clear_cache(disk=True)
+    try:
+        tasks = grid_tasks(args.names or None)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+
+    def progress(done, total, task_id, status, seconds):
+        if not args.quiet:
+            print(f"[{done}/{total}] {status:>5}  {task_id}  "
+                  f"({seconds:.2f}s)", file=sys.stderr)
+
+    report = run_sweep(tasks, jobs=args.jobs, progress=progress,
+                       diagnostics_dir=args.diagnostics)
+    payload = report.as_dict()
+    payload["result_hit_rate"] = round(report.result_hit_rate(), 4)
+    if not args.full_results:
+        payload.pop("results")
+    text = json.dumps(payload, indent=2)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    if not report.ok:
+        failed = ", ".join(report.manifest["failed"])
+        print(f"sweep completed with failures: {failed}", file=sys.stderr)
+        return 1
+    if args.min_hit_rate is not None and \
+            report.result_hit_rate() < args.min_hit_rate:
+        print(f"result cache hit rate {report.result_hit_rate():.2%} below "
+              f"required {args.min_hit_rate:.2%}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -425,7 +502,41 @@ def build_parser():
                          help="limit to this bench workload (repeatable)")
     p_bench.add_argument("--json", metavar="PATH",
                          help="also write the report to PATH")
+    p_bench.add_argument("--sweep-json", metavar="PATH",
+                         default="BENCH_sweep.json",
+                         help="where to write the sweep/cache scorecard "
+                              "(default: BENCH_sweep.json)")
+    p_bench.add_argument("--sweep-jobs", type=int, default=None,
+                         help="process-pool width for the sweep section")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run the experiment grid through the parallel sweep engine",
+    )
+    p_sweep.add_argument("names", nargs="*",
+                         help="experiment ids whose grids to run "
+                              "(default: every registered grid)")
+    p_sweep.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: CPU count)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent cache AND wipe any "
+                              "previously persisted entries")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="persistent cache root (default: "
+                              "$STRAIGHT_CACHE_DIR or ~/.cache/straight-repro)")
+    p_sweep.add_argument("--json", metavar="PATH",
+                         help="write the report to PATH instead of stdout")
+    p_sweep.add_argument("--full-results", action="store_true",
+                         help="include every task payload in the report")
+    p_sweep.add_argument("--diagnostics", metavar="DIR",
+                         help="write crash dumps + manifest here on failure")
+    p_sweep.add_argument("--min-hit-rate", type=float, default=None,
+                         help="fail unless this fraction of results came "
+                              "from the persistent cache (CI warm check)")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress per-task progress on stderr")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper figures")
     p_exp.add_argument("names", nargs="*", help="experiment ids (default all)")

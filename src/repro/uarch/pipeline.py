@@ -509,7 +509,7 @@ class FetchStage(PipelineStage):
             seq = fetch_idx
             fetch_idx += 1
             fetched += 1
-            if entry.changes_flow():
+            if entry.is_control:
                 mispredicted, stop_group, redirect = self._predict_control(
                     entry, seq
                 )

@@ -99,6 +99,23 @@ class SimStats:
         data["predictor_accuracy"] = self.predictor_accuracy
         return data
 
+    @classmethod
+    def from_dict(cls, data, registry=None):
+        """Rebuild a stats object from :meth:`as_dict` output.
+
+        The persistent result cache round-trips runs through this; every
+        registry counter, the cache hit/miss tables and the predictor
+        accuracy are integers/floats, so the reconstruction is exact and
+        cache-served results stay bit-identical to fresh ones.
+        """
+        stats = cls(registry)
+        for field in stats._registry.fields:
+            if field in data:
+                setattr(stats, field, data[field])
+        stats.cache_stats = dict(data.get("cache", {}))
+        stats.predictor_accuracy = data.get("predictor_accuracy", 1.0)
+        return stats
+
     def __repr__(self):
         return (
             f"SimStats(cycles={self.cycles}, instrs={self.instructions}, "

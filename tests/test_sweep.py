@@ -1,0 +1,241 @@
+"""Sweep engine + persistent cache tests.
+
+Covers the ISSUE 4 guarantees: inline and pooled execution produce
+identical, deterministically-ordered results; a second run is served from
+the persistent cache; cache keys never alias across timing-relevant config
+fields or backend options; worker crashes degrade to structured errors with
+crash dumps while the sweep completes; ``--no-cache`` semantics wipe the
+disk layer even while it is disabled; stale-schema entries self-evict.
+"""
+
+import glob
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.core.configs import ss_2way, straight_2way
+from repro.harness import cache as cache_mod
+from repro.harness.runner import clear_cache
+from repro.harness.sweep import (
+    SweepTask,
+    clear_memo,
+    compile_binary_cached,
+    cached_simulate,
+    ensure_results,
+    payload_or_raise,
+    run_sweep,
+)
+
+TINY = """
+int main() {
+    int s = 0;
+    for (int i = 0; i < 20; i++) { s += i * 3; }
+    __out(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    """A fresh persistent cache rooted in tmp_path, restored afterwards."""
+    previous = cache_mod.swap_state()
+    cache_mod.configure(str(tmp_path / "cache"), enabled=True)
+    clear_memo()
+    yield cache_mod._state
+    clear_memo()
+    cache_mod.swap_state(previous)
+
+
+def tiny_tasks():
+    return [
+        SweepTask(
+            f"tiny/{config.name}",
+            "tiny",
+            config=config,
+            compile_opts={"target": target, "source_text": TINY},
+        )
+        for config, target in (
+            (ss_2way(), "riscv"),
+            (straight_2way(), "straight"),
+        )
+    ]
+
+
+class TestSweepEngine:
+    def test_inline_results_are_deterministic_and_complete(self, disk_cache):
+        tasks = tiny_tasks()
+        report = run_sweep(tasks, jobs=1)
+        assert report.ok
+        assert list(report.results) == [t.task_id for t in tasks]
+        for task in tasks:
+            payload = payload_or_raise(report.results[task.task_id])
+            assert payload["kind"] == "timing"
+            assert payload["stats"]["cycles"] > 0
+
+    def test_pool_matches_inline_bit_for_bit(self, disk_cache, tmp_path):
+        tasks = tiny_tasks()
+        inline = run_sweep(tasks, jobs=1)
+        # Fresh cache + memo so the pooled run recomputes from scratch.
+        cache_mod.configure(str(tmp_path / "cache2"), enabled=True)
+        clear_memo()
+        pooled = run_sweep(tasks, jobs=2)
+        assert pooled.ok
+        assert list(pooled.results) == list(inline.results)
+        assert pooled.results == inline.results
+
+    def test_second_run_served_from_cache(self, disk_cache):
+        tasks = tiny_tasks()
+        cold = run_sweep(tasks, jobs=1)
+        assert cold.manifest["cache_served"] == 0
+        clear_memo()
+        warm = run_sweep(tasks, jobs=1)
+        assert warm.manifest["cache_served"] == len(tasks)
+        assert warm.result_hit_rate() == 1.0
+        assert warm.results == cold.results
+
+    def test_ensure_results_memoizes_in_process(self, disk_cache):
+        tasks = tiny_tasks()
+        first = ensure_results(tasks)
+        second = ensure_results(tasks)
+        for task in tasks:
+            assert first[task.task_id] is second[task.task_id]
+
+    def test_worker_crash_degrades_to_structured_error(self, disk_cache,
+                                                       tmp_path):
+        diagnostics = str(tmp_path / "diag")
+        bad = SweepTask("bad/task", "no_such_workload", binary_label="SS",
+                        config=ss_2way())
+        tasks = [bad] + tiny_tasks()
+        report = run_sweep(tasks, jobs=2, diagnostics_dir=diagnostics)
+        assert not report.ok
+        assert report.manifest["failed"] == ["bad/task"]
+        # The crash is a structured payload with a traceback, and
+        # payload_or_raise re-raises it as a SimulationError in the parent.
+        payload = report.results["bad/task"]
+        assert payload["kind"] == "error"
+        assert "no_such_workload" in payload["message"]
+        assert payload["traceback"]
+        with pytest.raises(SimulationError):
+            payload_or_raise(payload, "bad/task")
+        # Every other task still completed (partial-results manifest).
+        assert report.manifest["completed"] == [t.task_id for t in tasks[1:]]
+        for task in tasks[1:]:
+            assert report.results[task.task_id]["kind"] == "timing"
+        # A crash dump and the manifest were persisted.
+        assert glob.glob(os.path.join(diagnostics, "*.json"))
+        assert os.path.exists(report.manifest["manifest_path"])
+
+    def test_raise_on_error_propagates(self, disk_cache):
+        bad = SweepTask("bad/task", "no_such_workload", binary_label="SS",
+                        config=ss_2way())
+        with pytest.raises(SimulationError):
+            run_sweep([bad], jobs=1, raise_on_error=True)
+
+
+class TestCacheKeys:
+    #: Timing-relevant scalar fields; perturbing any one must change the key.
+    TIMING_FIELDS = (
+        "fetch_width", "issue_width", "commit_width", "frontend_depth",
+        "rename_stage_depth", "rob_entries", "iq_entries", "phys_regs",
+        "lsq_loads", "lsq_stores", "btb_entries", "ras_depth", "mem_latency",
+        "max_distance", "mdp_replay_penalty", "spadd_per_group",
+        "btb_miss_penalty", "prefetch_streams", "prefetch_degree",
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        field=st.sampled_from(TIMING_FIELDS),
+        delta=st.integers(min_value=1, max_value=64),
+        straight=st.booleans(),
+    )
+    def test_any_timing_field_changes_the_key(self, field, delta, straight):
+        config = straight_2way() if straight else ss_2way()
+        perturbed = config.copy(**{field: getattr(config, field) + delta})
+        assert config.cache_key() != perturbed.cache_key()
+        # The display name does NOT participate: renaming must not alias or
+        # split entries.
+        renamed = config.copy(name=config.name + "-renamed")
+        assert renamed.cache_key() == config.cache_key()
+
+    def test_configs_differing_in_timing_field_get_distinct_entries(
+            self, disk_cache):
+        binary = compile_binary_cached(TINY, target="straight")
+        base = straight_2way()
+        cached_simulate(binary, base)
+        cached_simulate(binary, base.copy(mem_latency=base.mem_latency + 50))
+        results = cache_mod.result_cache()
+        assert results.stats.stores == 2
+
+    def test_same_binary_distinct_max_distance_artifacts(self, disk_cache):
+        first = compile_binary_cached(TINY, target="straight",
+                                      max_distance=1023)
+        second = compile_binary_cached(TINY, target="straight",
+                                       max_distance=127)
+        artifacts = cache_mod.artifact_cache()
+        # Two distinct artifact entries, not one shared decode/compile.
+        assert artifacts.stats.stores == 2
+        assert first.program.max_distance != second.program.max_distance
+        assert cache_mod.binary_digest(first) != cache_mod.binary_digest(second)
+
+    def test_backend_options_change_the_artifact_key(self, disk_cache):
+        compile_binary_cached(TINY, target="straight",
+                              redundancy_elimination=True)
+        compile_binary_cached(TINY, target="straight",
+                              redundancy_elimination=False)
+        assert cache_mod.artifact_cache().stats.stores == 2
+
+    def test_artifact_cache_round_trip_is_usable(self, disk_cache):
+        from repro.core.api import run_functional
+
+        cold = compile_binary_cached(TINY, target="straight")
+        cold_out = run_functional(cold).output
+        # A second process would hit the disk entry; emulate by dropping the
+        # in-memory layer object and re-reading.
+        cache_mod._state._artifacts = None
+        warm = compile_binary_cached(TINY, target="straight")
+        assert run_functional(warm).output == cold_out
+
+
+class TestInvalidation:
+    def test_clear_cache_disk_wipes_even_while_disabled(self, disk_cache):
+        run_sweep(tiny_tasks(), jobs=1)
+        assert cache_mod.result_cache().stats.stores == 2
+        root = cache_mod.cache_root()
+        # --no-cache: the layer is disabled first, then cleared; nothing
+        # persisted may survive.
+        cache_mod.configure(enabled=False)
+        clear_cache(disk=True)
+        assert not os.path.exists(os.path.join(root, "results"))
+        assert not os.path.exists(os.path.join(root, "artifacts"))
+        cache_mod.configure(enabled=True)
+        clear_memo()
+        report = run_sweep(tiny_tasks(), jobs=1)
+        assert report.manifest["cache_served"] == 0
+
+    def test_schema_bump_auto_evicts_stale_entries(self, disk_cache,
+                                                   monkeypatch):
+        results = cache_mod.result_cache()
+        key = {"kind": "timing", "probe": 1}
+        results.put(key, {"stats": {"cycles": 1}})
+        assert results.get(key) is not None
+        monkeypatch.setattr(cache_mod, "SCHEMA_VERSION",
+                            cache_mod.SCHEMA_VERSION + 1)
+        assert results.get(key) is None
+        assert results.stats.evictions == 1
+        # The stale file is gone, not just skipped.
+        assert results.get(key) is None
+        assert results.stats.evictions == 1
+
+    def test_corrupt_entry_evicts_as_miss(self, disk_cache):
+        results = cache_mod.result_cache()
+        key = {"kind": "timing", "probe": 2}
+        results.put(key, {"stats": {"cycles": 1}})
+        path = results._path(key)
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        assert results.get(key) is None
+        assert not os.path.exists(path)

@@ -122,9 +122,11 @@ class TestExperiments:
 class TestBench:
     def test_smoke_reports_throughput_and_writes_json(self, tmp_path, capsys):
         out_path = tmp_path / "bench.json"
+        sweep_path = tmp_path / "BENCH_sweep.json"
         code, out, _ = run_cli(
             ["bench", "--smoke", "--repeats", "1",
-             "--workload", "branchy_div", "--json", str(out_path)],
+             "--workload", "branchy_div", "--json", str(out_path),
+             "--sweep-json", str(sweep_path), "--sweep-jobs", "1"],
             capsys,
         )
         assert code == 0
@@ -136,6 +138,15 @@ class TestBench:
         assert report["skipped_cycles"] > 0
         assert (report["executed_cycles"] + report["skipped_cycles"]
                 == report["cycles"])
+        # The sweep/cache scorecard artifact (BENCH_sweep.json).
+        scorecard = json.loads(sweep_path.read_text())
+        assert scorecard["wall_s"]["cold"] > 0
+        assert (scorecard["cycles_simulated"]["warm"]
+                == scorecard["cycles_simulated"]["cold"] > 0)
+        assert scorecard["warm_hit_rate"] == 1.0
+        assert scorecard["cache"]["warm"]["results"]["hits"] > 0
+        assert scorecard["predecode_speedup"] > 0
+        assert payload["predecode"]["speedup"] == scorecard["predecode_speedup"]
 
     def test_bench_without_smoke_fails(self, capsys):
         code, _, err = run_cli(["bench"], capsys)
@@ -147,6 +158,66 @@ class TestBench:
                                capsys)
         assert code == 1
         assert "unknown bench workload" in err
+
+
+class TestSweep:
+    @pytest.fixture
+    def scoped_cache(self):
+        from repro.harness import cache as cache_mod
+        from repro.harness.sweep import clear_memo
+
+        previous = cache_mod.swap_state()
+        clear_memo()
+        yield
+        clear_memo()
+        cache_mod.swap_state(previous)
+
+    def test_unknown_grid_name_fails(self, scoped_cache, tmp_path, capsys):
+        code, _, err = run_cli(
+            ["sweep", "fig99", "--cache-dir", str(tmp_path / "c"), "--quiet"],
+            capsys,
+        )
+        assert code == 1
+        assert "fig99" in err
+
+    def test_cold_then_warm_run_meets_hit_rate(self, scoped_cache, tmp_path,
+                                               capsys):
+        cache_dir = str(tmp_path / "cache")
+        report_path = tmp_path / "sweep.json"
+        code, _, _ = run_cli(
+            ["sweep", "fig16", "--jobs", "1", "--cache-dir", cache_dir,
+             "--json", str(report_path), "--quiet"],
+            capsys,
+        )
+        assert code == 0
+        cold = json.loads(report_path.read_text())
+        assert cold["manifest"]["failed"] == []
+        assert cold["result_hit_rate"] == 0.0
+
+        from repro.harness.sweep import clear_memo
+
+        clear_memo()
+        code, _, _ = run_cli(
+            ["sweep", "fig16", "--jobs", "1", "--cache-dir", cache_dir,
+             "--json", str(report_path), "--quiet", "--min-hit-rate", "0.9",
+             "--full-results"],
+            capsys,
+        )
+        assert code == 0
+        warm = json.loads(report_path.read_text())
+        assert warm["result_hit_rate"] == 1.0
+        assert set(warm["results"]) == set(cold["manifest"]["requested"])
+
+    def test_min_hit_rate_gate_fails_cold_runs(self, scoped_cache, tmp_path,
+                                               capsys):
+        code, _, err = run_cli(
+            ["sweep", "fig16", "--jobs", "1",
+             "--cache-dir", str(tmp_path / "cold"), "--quiet",
+             "--min-hit-rate", "0.9", "--json", str(tmp_path / "r.json")],
+            capsys,
+        )
+        assert code == 1
+        assert "hit rate" in err
 
 
 class TestVerify:
