@@ -106,7 +106,7 @@ def run_functional(binary, max_steps=50_000_000, collect_trace=False):
 
 
 def simulate(binary, config, max_steps=50_000_000, warm_caches=False,
-             guardrails=None):
+             guardrails=None, observer=None):
     """Run a binary through the functional ISS, then the timing model.
 
     ``warm_caches=True`` pre-touches all lines so compulsory misses do not
@@ -116,6 +116,12 @@ def simulate(binary, config, max_steps=50_000_000, warm_caches=False,
     against a golden second interpreter (see :mod:`repro.guardrails`); the
     default ``None`` defers to ``config.guardrails``.  Disabled runs take the
     exact fast path and reproduce guardrail-free cycle counts.
+
+    ``observer`` attaches an :class:`~repro.obs.ObserverBus` of pipeline
+    sinks (Kanata log writer, stall-attribution accountant, hot-region
+    profiler — see :mod:`repro.obs`) to the timing run.  When both
+    guardrails and a stall accountant are present, the suite additionally
+    enforces per-cycle attribution conservation.
     """
     interp = binary.interpreter(collect_trace=True)
     result = interp.run(max_steps)
@@ -131,8 +137,16 @@ def simulate(binary, config, max_steps=50_000_000, warm_caches=False,
 
         suite = (guardrails if isinstance(guardrails, GuardrailSuite)
                  else build_guardrails(config, binary=binary))
+    if suite is not None and observer is not None and observer.active:
+        from repro.guardrails.checkers import StallAttributionChecker
+        from repro.obs.attribution import StallAttributionAccountant
+
+        for sink in observer.sinks:
+            if isinstance(sink, StallAttributionAccountant):
+                suite.add_checker(StallAttributionChecker(sink))
+                break
     core = OoOCore(config, guardrails=suite)
-    stats = core.run(interp.trace, warm=warm_caches)
+    stats = core.run(interp.trace, warm=warm_caches, observer=observer)
     report = suite.finish(result.output) if suite is not None else None
     return SimulationResult(binary, config, result, interp, stats,
                             guardrail_report=report)

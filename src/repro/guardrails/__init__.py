@@ -15,6 +15,7 @@ from repro.guardrails.checkers import (
     FreelistChecker,
     OccupancyChecker,
     PredictorStateChecker,
+    StallAttributionChecker,
     Watchdog,
     WriteOnceChecker,
 )
@@ -102,6 +103,7 @@ __all__ = [
     "FreelistChecker",
     "OccupancyChecker",
     "PredictorStateChecker",
+    "StallAttributionChecker",
     "Watchdog",
     "WriteOnceChecker",
     "LockstepMonitor",

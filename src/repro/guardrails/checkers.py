@@ -283,3 +283,56 @@ class Watchdog(InvariantChecker):
                 context={"checker": self.name,
                          "last_commit_cycle": self.last_commit_cycle},
             )
+
+
+class StallAttributionChecker(InvariantChecker):
+    """Top-down attribution conservation: every issue slot, exactly one bucket.
+
+    Wraps a live :class:`~repro.obs.attribution.StallAttributionAccountant`
+    and re-verifies, on every simulated cycle, that the accountant charged
+    that cycle's ``issue_width`` slots to buckets summing exactly to the
+    width — and at end of run, that the lifetime totals equal
+    ``issue_width × cycles_observed``.  A mismatch means the attribution
+    data is unsound (double- or under-charged slots) and the run fails
+    rather than report misleading stall breakdowns.
+    """
+
+    name = "stall-attribution"
+
+    def __init__(self, accountant):
+        self.accountant = accountant
+
+    def on_cycle(self, view):
+        accountant = self.accountant
+        charges = accountant.last_cycle_charges
+        total = sum(charges.values())
+        if total != accountant.issue_width:
+            raise InvariantViolation(
+                f"attribution not conserved at cycle {view.cycle}: charges "
+                f"{charges} sum to {total}, machine has "
+                f"{accountant.issue_width} issue slots",
+                cycle=view.cycle,
+                occupancy=view.occupancy(),
+                context={"checker": self.name, "charges": dict(charges)},
+            )
+        for bucket, slots in charges.items():
+            if slots < 0:
+                raise InvariantViolation(
+                    f"negative attribution charge at cycle {view.cycle}: "
+                    f"{bucket} = {slots}",
+                    cycle=view.cycle,
+                    context={"checker": self.name, "charges": dict(charges)},
+                )
+
+    def end_run(self, view):
+        accountant = self.accountant
+        if not accountant.conserved():
+            raise InvariantViolation(
+                "attribution totals not conserved: charged "
+                f"{accountant.total_charged} slots over "
+                f"{accountant.cycles_observed} cycles on a "
+                f"{accountant.issue_width}-wide machine "
+                f"(expected {accountant.issue_width * accountant.cycles_observed})",
+                context={"checker": self.name,
+                         "buckets": dict(accountant.buckets)},
+            )

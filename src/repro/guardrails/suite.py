@@ -141,6 +141,9 @@ class GuardrailSuite:
         self.commit_log = deque(maxlen=window)
         self.view = None
         self.commits_seen = 0
+        self._rebuild_hook_lists()
+
+    def _rebuild_hook_lists(self):
         base = InvariantChecker
         self._dispatch_checkers = [
             c for c in self.checkers if type(c).on_dispatch is not base.on_dispatch
@@ -151,6 +154,12 @@ class GuardrailSuite:
         self._cycle_checkers = [
             c for c in self.checkers if type(c).on_cycle is not base.on_cycle
         ]
+
+    def add_checker(self, checker):
+        """Attach one more checker (before the run starts); returns self."""
+        self.checkers.append(checker)
+        self._rebuild_hook_lists()
+        return self
 
     # -- hooks called by the timing core ------------------------------------
 

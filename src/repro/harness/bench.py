@@ -265,6 +265,83 @@ def bench_predecode(workload="branchy_div", repeats=3, max_steps=50_000_000):
     }
 
 
+# -- observability overhead ----------------------------------------------------
+
+
+def bench_observability(config_name="SS-2way", repeats=3,
+                        workload="branchy_div"):
+    """Price the observability subsystem against the plain timing run.
+
+    Four modes over the same trace and config, best-of-``repeats`` each:
+
+    * ``plain`` — no observer argument at all (the default path);
+    * ``bus_empty`` — an :class:`~repro.obs.ObserverBus` with no sinks
+      attached; the engine normalizes it to ``None``, so this prices the
+      "tracing compiled in but disabled" promise the CI job gates at ≤5%;
+    * ``kanata`` — the pipeline-log writer attached (instruction-granular,
+      idle-skip stays on);
+    * ``attribution`` — the stall accountant attached (cycle-granular,
+      idle-skip forced off — priced against the *stepped* plain run so the
+      number isolates the accounting cost from the skipping loss).
+
+    All four modes must agree on the cycle count bit-exactly; enabled-mode
+    overheads are reported but not gated (you asked for the data).
+    """
+    from repro.obs import KanataWriter, ObserverBus, StallAttributionAccountant
+
+    factory = TABLE1[config_name]
+    label = "STRAIGHT-RE+" if factory().is_straight else "SS"
+    trace = _trace_for(BENCH_WORKLOADS[workload], label)
+
+    def timed(observer_factory, idle_skip=True):
+        best = None
+        for _ in range(repeats):
+            core = OoOCore(factory())
+            observer = observer_factory() if observer_factory else None
+            start = time.perf_counter()
+            stats = core.run(trace, idle_skip=idle_skip, observer=observer)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best[1]:
+                best = (stats, elapsed)
+        return best
+
+    plain_stats, plain_s = timed(None)
+    stepped_stats, stepped_s = timed(None, idle_skip=False)
+    empty_stats, empty_s = timed(lambda: ObserverBus())
+    kanata_stats, kanata_s = timed(lambda: ObserverBus([KanataWriter()]))
+    attr_stats, attr_s = timed(
+        lambda: ObserverBus([StallAttributionAccountant()]))
+    cycle_counts = {
+        "plain": plain_stats.cycles,
+        "stepped": stepped_stats.cycles,
+        "bus_empty": empty_stats.cycles,
+        "kanata": kanata_stats.cycles,
+        "attribution": attr_stats.cycles,
+    }
+    if len(set(cycle_counts.values())) != 1:
+        raise AssertionError(
+            f"{workload}: cycle drift across observability modes: "
+            f"{cycle_counts}"
+        )
+    return {
+        "workload": workload,
+        "config": config_name,
+        "cycles": plain_stats.cycles,
+        "instructions": plain_stats.instructions,
+        "wall_s": {
+            "plain": round(plain_s, 6),
+            "stepped": round(stepped_s, 6),
+            "bus_empty": round(empty_s, 6),
+            "kanata": round(kanata_s, 6),
+            "attribution": round(attr_s, 6),
+        },
+        "overhead_disabled_pct": round((empty_s - plain_s) / plain_s * 100, 2),
+        "overhead_kanata_pct": round((kanata_s - plain_s) / plain_s * 100, 2),
+        "overhead_attribution_pct": round(
+            (attr_s - stepped_s) / stepped_s * 100, 2),
+    }
+
+
 # -- sweep-cache benchmark -----------------------------------------------------
 
 
@@ -360,4 +437,5 @@ def bench_smoke(config_name="SS-2way", repeats=3, workloads=None,
         "best_speedup": max(r["speedup"] for r in results),
         "predecode": bench_predecode(names[0], repeats),
         "sweep": bench_sweep(jobs=sweep_jobs, workloads=names),
+        "observability": bench_observability(config_name, repeats, names[0]),
     }

@@ -36,7 +36,9 @@ import pickle
 
 #: Bump when the serialized result entry layout changes (new stats surface,
 #: different payload shape).  Old entries auto-evict.
-SCHEMA_VERSION = 1
+#: 2: attribution buckets joined the SimStats surface and timing payloads
+#: may carry an ``attribution`` report (PR 5).
+SCHEMA_VERSION = 2
 
 #: Bump when compiler/simulator behaviour changes in a way that must
 #: invalidate *all* persisted results and artifacts (new backend pass, timing

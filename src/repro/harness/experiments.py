@@ -60,6 +60,20 @@ def functional_task(workload, binary_label, max_distance=1023,
     )
 
 
+def attribution_task(workload, binary_label, config, max_distance=1023,
+                     iterations=None):
+    """One timing grid point with the stall-attribution accountant attached."""
+    return SweepTask(
+        f"attr/{workload}/{binary_label}/md{max_distance}/{_config_tag(config)}",
+        workload,
+        binary_label=binary_label,
+        config=config,
+        iterations=iterations,
+        max_distance=max_distance,
+        attribution=True,
+    )
+
+
 def _stats_of(results, task):
     """The stats dict of one finished timing task."""
     return payload_or_raise(results[task.task_id], task.task_id)["stats"]
@@ -181,6 +195,71 @@ def fig13_mispredict_penalty():
         "rows": runs,
         "text": format_bars(
             series, title="Fig. 13: mispredict penalty effect (CoreMark, SS-2way = 1.0)"
+        ),
+    }
+
+
+def _attribution_grid(workload="coremark"):
+    """[(display name, attributed task)] for the Fig. 13 explanation."""
+    grid = []
+    for way, ss_f, st_f in (
+        ("2-way", ss_2way, straight_2way),
+        ("4-way", ss_4way, straight_4way),
+    ):
+        grid.append((f"SS {way}",
+                     attribution_task(workload, "SS", ss_f())))
+        grid.append((f"STRAIGHT RE+ {way}",
+                     attribution_task(workload, "STRAIGHT-RE+", st_f())))
+    return grid
+
+
+def attribution_breakdown(workload="coremark"):
+    """Top-down stall attribution: *why* Fig. 13's gap exists.
+
+    Charges every issue slot of every cycle to exactly one bucket (see
+    :mod:`repro.obs.attribution`) on both ISAs and reports, next to the
+    bucket fractions, the bad-speculation slots burned *per mispredict* —
+    the per-event recovery cost that separates SS's RMT-restoring ROB walk
+    from STRAIGHT's one-read recovery.
+    """
+    grid = _attribution_grid(workload)
+    results = ensure_results([task for _, task in grid])
+    rows = []
+    for name, task in grid:
+        payload = payload_or_raise(results[task.task_id], task.task_id)
+        stats = payload["stats"]
+        attribution = payload["attribution"]
+        total = attribution["slots_charged"]
+        fractions = attribution["fractions"]
+        mispredicts = stats["branch_mispredicts"]
+        rows.append(
+            {
+                "model": name,
+                "cycles": stats["cycles"],
+                "slots": total,
+                "conserved": attribution["conserved"],
+                "retiring": fractions["slots_retiring"],
+                "rmov": fractions["slots_rmov_overhead"],
+                "frontend": fractions["slots_frontend_latency"],
+                "bad_spec": fractions["slots_bad_speculation"],
+                "mem": fractions["slots_backend_memory"],
+                "core": fractions["slots_backend_core"],
+                "mispredicts": mispredicts,
+                "bad_spec_slots_per_mispredict": round(
+                    attribution["buckets"]["slots_bad_speculation"]
+                    / mispredicts, 2) if mispredicts else 0.0,
+            }
+        )
+    columns = ["model", "cycles", "slots", "conserved", "retiring", "rmov",
+               "frontend", "bad_spec", "mem", "core", "mispredicts",
+               "bad_spec_slots_per_mispredict"]
+    return {
+        "rows": rows,
+        "text": format_table(
+            rows,
+            columns=columns,
+            title=f"Top-down stall attribution ({workload}; "
+                  "slot fractions, sum = 1.0)",
         ),
     }
 
@@ -421,6 +500,7 @@ ALL_EXPERIMENTS = {
     "fig11": fig11_performance_4way,
     "fig12": fig12_performance_2way,
     "fig13": fig13_mispredict_penalty,
+    "attribution": attribution_breakdown,
     "fig14": fig14_tage,
     "fig15": fig15_instruction_mix,
     "fig16": fig16_distance_distribution,
@@ -439,6 +519,7 @@ def _grid_builders():
         "fig11": lambda: _performance_tasks(ss_4way, straight_4way),
         "fig12": lambda: _performance_tasks(ss_2way, straight_2way),
         "fig13": lambda: [task for _, task in _fig13_grid()],
+        "attribution": lambda: [task for _, task in _attribution_grid()],
         "fig14": lambda: [task for _, _, task in _fig14_grid()],
         "fig15": lambda: [functional_task("coremark", label)
                           for label in _BINARIES],

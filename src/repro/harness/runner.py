@@ -47,7 +47,8 @@ def clear_cache(disk=False):
 
 
 def timed_run(workload, binary_label, config, iterations=None,
-              max_distance=1023, timeout_s=None, guardrails=False):
+              max_distance=1023, timeout_s=None, guardrails=False,
+              observer=None):
     """Simulate one (workload, binary, core) combination, memoized.
 
     ``binary_label`` is one of ``'SS'``, ``'STRAIGHT-RAW'``,
@@ -59,7 +60,20 @@ def timed_run(workload, binary_label, config, iterations=None,
     plus the same config identity; guardrailed runs bypass it (their reports
     are not serialized and must never alias unguarded timing results).
     ``timeout_s`` bounds the run's wall-clock time (see :func:`deadline`).
+
+    ``observer`` attaches an :class:`~repro.obs.ObserverBus` of pipeline
+    sinks to the timing run.  Observed runs bypass both cache layers and are
+    not memoized: sinks accumulate in-memory state (pipeline logs, slot
+    charges) that is not part of any serialized payload, so serving them
+    from a cache would return stats without the observation they were
+    attached for.
     """
+    if observer is not None and observer.active:
+        binaries = build_workload(workload, iterations, max_distance)
+        binary = binaries.all()[binary_label]
+        with deadline(timeout_s, f"{workload}/{binary_label}/{config.name}"):
+            return simulate(binary, config, warm_caches=True,
+                            guardrails=guardrails, observer=observer)
     key = (
         workload,
         binary_label,

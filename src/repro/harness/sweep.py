@@ -55,15 +55,21 @@ class SweepTask:
 
     ``config`` is ``None`` for functional tasks (instruction mix, distance
     distributions), which need an interpreter run but no timing model.
+
+    ``attribution=True`` attaches a stall-attribution accountant
+    (:mod:`repro.obs`) to the timing run; the payload then carries the
+    per-bucket slot charges, and the result-cache key includes the flag so
+    attributed and plain runs never alias (the attributed run disables
+    idle-cycle skipping; its cycle counts are still bit-identical).
     """
 
     __slots__ = ("task_id", "workload", "binary_label", "config",
                  "iterations", "max_distance", "compile_opts", "kind",
-                 "timeout_s")
+                 "timeout_s", "attribution")
 
     def __init__(self, task_id, workload, binary_label=None, config=None,
                  iterations=None, max_distance=1023, compile_opts=None,
-                 kind="timing", timeout_s=None):
+                 kind="timing", timeout_s=None, attribution=False):
         self.task_id = task_id
         self.workload = workload
         self.binary_label = binary_label
@@ -73,6 +79,7 @@ class SweepTask:
         self.compile_opts = dict(compile_opts) if compile_opts else None
         self.kind = kind  # 'timing' | 'functional'
         self.timeout_s = timeout_s
+        self.attribution = attribution
 
     def __repr__(self):
         return f"SweepTask({self.task_id})"
@@ -170,7 +177,7 @@ def _resolve_binary(task, compile_missing=True):
 # ---------------------------------------------------------------------------
 
 
-def _timing_key(binary, config, warm):
+def _timing_key(binary, config, warm, attribution=False):
     return {
         "kind": "timing",
         "tag": cache_mod.TOOLCHAIN_TAG,
@@ -178,6 +185,7 @@ def _timing_key(binary, config, warm):
         "config": config.cache_key(),
         "warm": bool(warm),
         "guardrails": False,
+        "attribution": bool(attribution),
     }
 
 
@@ -240,15 +248,27 @@ def execute_task(task, payload_only=True):
         run = run_functional(binary)
         payload = _functional_payload(run.interpreter, run.run_result)
     else:
-        key = _timing_key(binary, task.config, warm=True)
+        attribution = getattr(task, "attribution", False)
+        key = _timing_key(binary, task.config, warm=True,
+                          attribution=attribution)
         if results is not None:
             hit = results.get(key)
             if hit is not None:
                 return hit if payload_only else (hit, True)
         from repro.core.api import simulate
 
-        result = simulate(binary, task.config, warm_caches=True)
+        observer = None
+        accountant = None
+        if attribution:
+            from repro.obs import ObserverBus, StallAttributionAccountant
+
+            accountant = StallAttributionAccountant()
+            observer = ObserverBus([accountant])
+        result = simulate(binary, task.config, warm_caches=True,
+                          observer=observer)
         payload = _timing_payload(result)
+        if accountant is not None:
+            payload["attribution"] = accountant.report()
     if results is not None:
         results.put(key, payload)
     return payload if payload_only else (payload, False)
@@ -490,7 +510,9 @@ def run_sweep(tasks, jobs=None, progress=None, diagnostics_dir=None,
                 binary = None  # worker will produce the structured error
             if binary is not None:
                 key = (_functional_key(binary) if task.kind == "functional"
-                       else _timing_key(binary, task.config, warm=True))
+                       else _timing_key(
+                           binary, task.config, warm=True,
+                           attribution=getattr(task, "attribution", False)))
                 served = cache_mod.result_cache().get(key)
         if served is not None:
             record(task, served, 0.0, "cache")

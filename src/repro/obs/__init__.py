@@ -1,0 +1,32 @@
+"""repro.obs — cycle-level observability for the timing engine.
+
+The subsystem has three layers (see DESIGN.md §10):
+
+* the **event bus** (:mod:`repro.obs.events`): stages publish
+  per-instruction lifecycle events into an :class:`ObserverBus`; off by
+  default and dropped from the hot path entirely when no sink is attached;
+* **sinks**: the Kanata pipeline-visualizer log writer
+  (:mod:`repro.obs.kanata`), the top-down stall-attribution accountant
+  (:mod:`repro.obs.attribution`), and the PC-indexed hot-region profiler
+  (:mod:`repro.obs.profile`);
+* **surfacing**: ``straight trace`` / ``straight profile`` CLI
+  subcommands, attribution buckets in ``SimStats``, and sweep/cache
+  persistence of attribution payloads.
+"""
+
+from repro.obs.attribution import ATTRIBUTION_BUCKETS, StallAttributionAccountant
+from repro.obs.events import EVENT_KINDS, ObserverBus, PipelineSink, RecordingSink
+from repro.obs.kanata import KanataWriter, parse_kanata
+from repro.obs.profile import HotRegionProfiler
+
+__all__ = [
+    "ATTRIBUTION_BUCKETS",
+    "EVENT_KINDS",
+    "HotRegionProfiler",
+    "KanataWriter",
+    "ObserverBus",
+    "PipelineSink",
+    "RecordingSink",
+    "StallAttributionAccountant",
+    "parse_kanata",
+]

@@ -6,6 +6,8 @@ Subcommands::
     straight disasm   prog.c --target riscv           # linked image listing
     straight run      prog.c --target straight-raw    # functional run
     straight simulate prog.c --core STRAIGHT-4way     # timing run (JSON)
+    straight trace    --workload dhrystone --core SS-2way --kanata d.kanata
+    straight profile  --workload coremark --core STRAIGHT-2way --top 10
     straight verify   prog.c --target both --lint     # static verification
     straight verify   --all-shipped                   # CI workload gate
     straight experiments fig11 fig16                  # regenerate figures
@@ -262,8 +264,96 @@ def cmd_verify(args):
     return 1 if failed else 0
 
 
+def _resolve_sim_binary(args, config):
+    """The binary a trace/profile run targets, from --workload or a file.
+
+    The core picks the ISA; ``--target straight-raw`` selects the RAW
+    binary on STRAIGHT cores (it is ignored on SS cores).
+    """
+    if config.is_straight:
+        target = "straight-raw" if args.target == "straight-raw" else "straight"
+        label = "STRAIGHT-RAW" if target == "straight-raw" else "STRAIGHT-RE+"
+        max_distance = config.max_distance
+    else:
+        target, label = "riscv", "SS"
+        max_distance = 1023
+    if args.workload is not None:
+        from repro.workloads import build_workload
+
+        built = build_workload(args.workload, getattr(args, "iterations", None),
+                               max_distance)
+        return built.all()[label], label
+    if args.file is None:
+        raise SystemExit("trace/profile: pass a source file or --workload")
+    return _compile_target(_read_source(args.file), target, max_distance), label
+
+
+def _sim_config(core_name):
+    factory = TABLE1.get(core_name)
+    if factory is None:
+        raise SystemExit(
+            f"unknown core {core_name!r}; choose from {sorted(TABLE1)}")
+    return factory()
+
+
 def cmd_trace(args):
-    binary = _compile_target(_read_source(args.file), args.target, args.max_distance)
+    if args.core is not None:
+        return _trace_pipeline(args)
+    return _trace_functional(args)
+
+
+def _trace_pipeline(args):
+    """Pipeline-level trace: Kanata visualizer log + stall attribution."""
+    from repro.obs import KanataWriter, ObserverBus, StallAttributionAccountant
+
+    config = _sim_config(args.core)
+    binary, label = _resolve_sim_binary(args, config)
+    writer = KanataWriter(path=args.kanata)
+    sinks = [writer]
+    accountant = None
+    if args.attribution:
+        accountant = StallAttributionAccountant()
+        sinks.append(accountant)
+    result = simulate(binary, config, warm_caches=not args.cold,
+                      guardrails=args.guardrails,
+                      observer=ObserverBus(sinks))
+    payload = {
+        "core": args.core,
+        "binary": label,
+        "cycles": result.cycles,
+        "ipc": round(result.ipc, 4),
+        "instructions": result.stats.instructions,
+        "kanata_log": args.kanata,
+        "instructions_logged": len(writer.canonical_records()),
+        "instructions_dropped": writer.dropped,
+    }
+    if accountant is not None:
+        payload["attribution"] = accountant.report()
+    if result.guardrail_report is not None:
+        payload["guardrails"] = result.guardrail_report
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{label} on {args.core}: {payload['cycles']} cycles, "
+              f"ipc {payload['ipc']}")
+        print(f"kanata log: {args.kanata} "
+              f"({payload['instructions_logged']} instructions)")
+        if accountant is not None:
+            print(accountant.text())
+    return 0
+
+
+def _trace_functional(args):
+    if args.workload is not None:
+        from repro.workloads.common import get_workload
+
+        source = get_workload(args.workload).source(
+            getattr(args, "iterations", None))
+    else:
+        if args.file is None:
+            raise SystemExit("trace: pass a source file or --workload")
+        source = _read_source(args.file)
+    binary = _compile_target(source, args.target, args.max_distance)
     result = run_functional(binary, max_steps=args.max_steps, collect_trace=True)
     trace = result.interpreter.trace
     limit = args.limit if args.limit is not None else len(trace)
@@ -282,6 +372,43 @@ def cmd_trace(args):
         print("  ".join(fields))
     if limit < len(trace):
         print(f"... ({len(trace) - limit} more)", file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args):
+    """Hot-region profile + stall attribution for one timing run."""
+    from repro.obs import (
+        HotRegionProfiler,
+        ObserverBus,
+        StallAttributionAccountant,
+    )
+
+    config = _sim_config(args.core)
+    binary, label = _resolve_sim_binary(args, config)
+    profiler = HotRegionProfiler(program=binary.program)
+    accountant = StallAttributionAccountant()
+    result = simulate(binary, config, warm_caches=not args.cold,
+                      guardrails=args.guardrails,
+                      observer=ObserverBus([profiler, accountant]))
+    if args.json:
+        payload = {
+            "core": args.core,
+            "binary": label,
+            "cycles": result.cycles,
+            "ipc": round(result.ipc, 4),
+            "attribution": accountant.report(),
+            "profile": profiler.report(top=args.top),
+        }
+        if result.guardrail_report is not None:
+            payload["guardrails"] = result.guardrail_report
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{label} on {args.core}: {result.cycles} cycles, "
+              f"ipc {result.ipc:.4f}")
+        print()
+        print(accountant.text())
+        print()
+        print(profiler.text(top=args.top))
     return 0
 
 
@@ -309,6 +436,14 @@ def cmd_bench(args):
         json.dump(sweep_report, handle, indent=2)
         handle.write("\n")
     print(text)
+    if args.max_obs_overhead is not None:
+        overhead = report["observability"]["overhead_disabled_pct"]
+        if overhead > args.max_obs_overhead:
+            print(f"observability-disabled overhead {overhead:+.2f}% exceeds "
+                  f"the {args.max_obs_overhead:.2f}% budget", file=sys.stderr)
+            return 1
+        print(f"observability-disabled overhead {overhead:+.2f}% within "
+              f"the {args.max_obs_overhead:.2f}% budget", file=sys.stderr)
     return 0
 
 
@@ -425,12 +560,61 @@ def build_parser():
     p_run.add_argument("--max-steps", type=int, default=50_000_000)
     p_run.set_defaults(func=cmd_run)
 
-    p_trace = sub.add_parser("trace", help="dump the dynamic instruction trace")
-    add_common(p_trace)
+    p_trace = sub.add_parser(
+        "trace",
+        help="dump the dynamic instruction trace, or (with --core) write a "
+             "Kanata pipeline log from a timing run",
+    )
+    p_trace.add_argument("file", nargs="?", default=None,
+                         help="mini-C source file ('-' for stdin)")
+    p_trace.add_argument("--target", choices=TARGETS, default="straight")
+    p_trace.add_argument("--max-distance", type=int, default=1023)
+    p_trace.add_argument("--workload", default=None,
+                         help="registry workload instead of a source file")
+    p_trace.add_argument("--iterations", type=int, default=None,
+                         help="workload scale override")
     p_trace.add_argument("--max-steps", type=int, default=50_000_000)
     p_trace.add_argument("--limit", type=int, default=None,
-                         help="print at most N entries")
+                         help="print at most N entries (functional mode)")
+    p_trace.add_argument("--core", default=None,
+                         help="Table I core name; switches to pipeline-trace "
+                              "mode")
+    p_trace.add_argument("--kanata", metavar="PATH", default="trace.kanata",
+                         help="Kanata log output path (pipeline mode; "
+                              "default: trace.kanata)")
+    p_trace.add_argument("--attribution", action="store_true",
+                         help="also attach the stall-attribution accountant")
+    p_trace.add_argument("--cold", action="store_true",
+                         help="skip cache warmup (pipeline mode)")
+    p_trace.add_argument("--guardrails", action="store_true",
+                         help="run under invariant checkers + lockstep")
+    p_trace.add_argument("--json", action="store_true",
+                         help="machine-readable summary on stdout "
+                              "(pipeline mode)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="hot-region profile + top-down stall attribution (timing run)",
+    )
+    p_profile.add_argument("file", nargs="?", default=None,
+                           help="mini-C source file ('-' for stdin)")
+    p_profile.add_argument("--target", choices=TARGETS, default="straight")
+    p_profile.add_argument("--workload", default=None,
+                           help="registry workload instead of a source file")
+    p_profile.add_argument("--iterations", type=int, default=None,
+                           help="workload scale override")
+    p_profile.add_argument("--core", default="STRAIGHT-2way",
+                           help="Table I core name")
+    p_profile.add_argument("--top", type=int, default=10,
+                           help="hot-PC rows to report")
+    p_profile.add_argument("--cold", action="store_true",
+                           help="skip cache warmup")
+    p_profile.add_argument("--guardrails", action="store_true",
+                           help="run under invariant checkers + lockstep")
+    p_profile.add_argument("--json", action="store_true",
+                           help="machine-readable report on stdout")
+    p_profile.set_defaults(func=cmd_profile)
 
     p_verify = sub.add_parser(
         "verify",
@@ -508,6 +692,10 @@ def build_parser():
                               "(default: BENCH_sweep.json)")
     p_bench.add_argument("--sweep-jobs", type=int, default=None,
                          help="process-pool width for the sweep section")
+    p_bench.add_argument("--max-obs-overhead", type=float, default=None,
+                         metavar="PCT",
+                         help="fail if the tracing-disabled observability "
+                              "overhead exceeds PCT percent")
     p_bench.set_defaults(func=cmd_bench)
 
     p_sweep = sub.add_parser(

@@ -80,18 +80,23 @@ class OoOCore:
 
     # ------------------------------------------------------------------ run --
 
-    def run(self, trace, max_cycles=200_000_000, warm=False, idle_skip=True):
+    def run(self, trace, max_cycles=200_000_000, warm=False, idle_skip=True,
+            observer=None):
         """Simulate ``trace`` to completion and return the stats.
 
         ``idle_skip=False`` forces cycle-by-cycle stepping (benchmarks use
         it to measure the event-driven speedup); attaching a guardrail suite
         disables skipping regardless, so per-cycle hooks see every cycle.
+        ``observer`` is an optional :class:`~repro.obs.ObserverBus`; an empty
+        or ``None`` bus leaves the hot path untouched, and a bus with a
+        cycle-granular sink (the stall accountant) also disables skipping.
         """
         if warm:
             self.warm_caches(trace)
         from repro.uarch.pipeline import TimingEngine
 
         self.engine = TimingEngine(
-            self, trace, guardrails=self.guardrails, idle_skip=idle_skip
+            self, trace, guardrails=self.guardrails, idle_skip=idle_skip,
+            observer=observer,
         )
         return self.engine.run(max_cycles)

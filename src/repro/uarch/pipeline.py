@@ -155,13 +155,17 @@ class PipelineStage:
     name = "stage"
     STAT_FIELDS = ()
 
-    def __init__(self, core, state, sched, stats, guard=None):
+    def __init__(self, core, state, sched, stats, guard=None, obs=None):
         self.core = core
         self.cfg = core.config
         self.state = state
         self.sched = sched
         self.stats = stats
         self.guard = guard
+        # Observer bus (repro.obs) or None; stages publish lifecycle events
+        # behind the same ``is not None`` pattern the guard hooks use, so an
+        # unobserved run pays nothing beyond the existing-style checks.
+        self.obs = obs
 
     def tick(self):
         raise NotImplementedError
@@ -190,10 +194,13 @@ class CompletionStage(PipelineStage):
         ready_buckets = state.ready_buckets
         rob_by_seq = state.rob_by_seq
         schedule = self.sched.schedule
+        obs = self.obs
         for seq in seqs:
             rob_entry = rob_by_seq.get(seq)
             if rob_entry is not None:
                 rob_entry.done = True
+            if obs is not None:
+                obs.on_complete(seq, cycle)
             for consumer in waiting.pop(seq, ()):
                 consumer.remaining -= 1
                 if consumer.min_issue < cycle:
@@ -215,6 +222,8 @@ class CompletionStage(PipelineStage):
                 if blocked > state.rename_blocked_until:
                     state.rename_blocked_until = blocked
                 stats.recovery_stall_cycles += max(0, blocked - cycle)
+                if obs is not None:
+                    obs.on_recovery(seq, rob_by_seq[seq].entry, cycle, blocked)
 
     def can_tick(self):
         return self.sched.cycle in self.state.events
@@ -238,12 +247,15 @@ class CommitStage(PipelineStage):
         reg_ready = state.reg_ready
         iq_entries_by_seq = state.iq_entries_by_seq
         slots = self.cfg.commit_width
+        obs = self.obs
         while rob and slots > 0:
             head = rob[0]
             if not head.done:
                 break
             if guard is not None:
                 guard.on_commit(head, cycle)
+            if obs is not None:
+                obs.on_commit(head.seq, head.entry, cycle)
             rob.popleft()
             seq = head.seq
             del rob_by_seq[seq]
@@ -291,6 +303,7 @@ class IssueStage(PipelineStage):
         events = state.events
         schedule = self.sched.schedule
         ports = dict(cfg.units)
+        obs = self.obs
         issued = 0
         deferred = []
         while ready_heap and issued < cfg.issue_width:
@@ -313,6 +326,8 @@ class IssueStage(PipelineStage):
             reg_ready[seq] = done_at
             events.setdefault(done_at, []).append(seq)
             schedule(done_at)
+            if obs is not None:
+                obs.on_issue(seq, iq_entry.entry, cycle, done_at)
             stats.regfile_reads += len(iq_entry.entry.srcs)
             if iq_entry.entry.dest is not None or cfg.is_straight:
                 stats.regfile_writes += 1
@@ -351,8 +366,11 @@ class IssueStage(PipelineStage):
             )
             if violations:
                 self.stats.mem_violations += len(violations)
+                obs = self.obs
                 for load_seq in violations:
                     self.core.mdp.train_conflict(lsq.load_pc(load_seq))
+                    if obs is not None:
+                        obs.on_squash(load_seq, cycle, "mem-order")
                 # Replay of the violating loads and their dependents,
                 # modeled as a short pipeline penalty.
                 resume = cycle + self.cfg.mdp_replay_penalty
@@ -393,6 +411,7 @@ class DispatchStage(PipelineStage):
         waiting = state.waiting
         ready_buckets = state.ready_buckets
         schedule = self.sched.schedule
+        obs = self.obs
         slots = cfg.fetch_width
         group_state = {"spadds": 0}
         while pipe and slots > 0:
@@ -425,6 +444,8 @@ class DispatchStage(PipelineStage):
             stats.rob_writes += 1
             if guard is not None:
                 guard.on_dispatch(seq, entry, cycle)
+            if obs is not None:
+                obs.on_dispatch(seq, entry, cycle, tags)
             if entry.op_class == "nop":
                 rob_entry.done = True
                 continue
@@ -492,6 +513,7 @@ class FetchStage(PipelineStage):
         hierarchy = self.core.hierarchy
         pipe = state.pipe
         line_shift = state.line_shift
+        obs = self.obs
         dispatch_at = cycle + cfg.frontend_depth
         fetched = 0
         while fetched < cfg.fetch_width and fetch_idx < n:
@@ -509,12 +531,16 @@ class FetchStage(PipelineStage):
             seq = fetch_idx
             fetch_idx += 1
             fetched += 1
+            if obs is not None:
+                obs.on_fetch(seq, entry, cycle)
             if entry.is_control:
                 mispredicted, stop_group, redirect = self._predict_control(
                     entry, seq
                 )
                 if mispredicted:
                     state.awaiting_branch = seq
+                    if obs is not None:
+                        obs.on_mispredict(seq, entry, cycle)
                     break
                 if redirect:
                     state.fetch_resume = cycle + 1 + redirect
@@ -588,9 +614,15 @@ class TimingEngine:
 
     STAT_FIELDS = ("cycles", "instructions")
 
-    def __init__(self, core, trace, guardrails=None, idle_skip=True):
+    def __init__(self, core, trace, guardrails=None, idle_skip=True,
+                 observer=None):
         self.core = core
         self.guard = guardrails
+        # Normalize an empty bus to None: the stages then skip even the
+        # ``is not None`` publish checks' bodies, and the run is exactly the
+        # unobserved hot path.
+        obs = observer if (observer is not None and observer.active) else None
+        self.obs = obs
         line_shift = (core.hierarchy.line_bytes - 1).bit_length()
         self.state = PipelineState(trace, line_shift)
 
@@ -599,14 +631,19 @@ class TimingEngine:
         self.sched = EventScheduler()
         # Guardrailed runs step every cycle so per-cycle hooks (watchdog,
         # fault schedules, periodic deep scans) observe the exact cadence
-        # the seed engine gave them.
-        self.idle_skip = idle_skip and guardrails is None
+        # the seed engine gave them.  Cycle-granular observers (the stall
+        # accountant) need the same: on_cycle_end must fire once per
+        # simulated cycle for slot accounting to be conservative.
+        # Instruction-granular sinks keep skipping — by the idle-skip
+        # invariant no lifecycle event can fire on a jumped-over cycle.
+        self.idle_skip = (idle_skip and guardrails is None
+                          and (obs is None or not obs.cycle_granular))
         args = (core, self.state, self.sched, core.stats)
-        self.completion = CompletionStage(*args)
-        self.commit = CommitStage(*args, guard=guardrails)
-        self.issue = IssueStage(*args)
-        self.dispatch = DispatchStage(*args, guard=guardrails)
-        self.fetch = FetchStage(*args)
+        self.completion = CompletionStage(*args, obs=obs)
+        self.commit = CommitStage(*args, guard=guardrails, obs=obs)
+        self.issue = IssueStage(*args, obs=obs)
+        self.dispatch = DispatchStage(*args, guard=guardrails, obs=obs)
+        self.fetch = FetchStage(*args, obs=obs)
         self.stages = (self.completion, self.commit, self.issue,
                        self.dispatch, self.fetch)
 
@@ -618,8 +655,11 @@ class TimingEngine:
             return stats
         sched = self.sched
         guard = self.guard
+        obs = self.obs
         if guard is not None:
             guard.begin_run(core=self.core, state=state, sched=sched)
+        if obs is not None:
+            obs.begin_run(self.core, state, sched)
 
         completion, commit, issue, dispatch, fetch = self.stages
         idle_skip = self.idle_skip
@@ -646,6 +686,10 @@ class TimingEngine:
             issue.tick()
             dispatch.tick()
             fetch.tick()
+            # Observer cycle-end precedes the guard hook so the attribution
+            # conservation checker sees this cycle's fresh charges.
+            if obs is not None:
+                obs.on_cycle_end(sched.cycle)
             if guard is not None:
                 guard.on_cycle()
             sched.advance()
@@ -656,6 +700,10 @@ class TimingEngine:
         stats.instructions = n
         stats.cache_stats = self.core.hierarchy.stats()
         stats.predictor_accuracy = self.core.predictor.accuracy
+        # Sinks flush before the guard's end-of-run pass so final-state
+        # checkers (attribution conservation) see the exported buckets.
+        if obs is not None:
+            obs.end_run(stats)
         if guard is not None:
             guard.end_run(stats)
         return stats
@@ -701,6 +749,8 @@ class TimingEngine:
 
 def contribute_default_stats(registry):
     """Assemble the canonical counter set from every pipeline component."""
+    from repro.obs.attribution import StallAttributionAccountant
+
     registry.contribute("engine", TimingEngine.STAT_FIELDS)
     registry.contribute("fetch", FetchStage.STAT_FIELDS)
     registry.contribute("completion", CompletionStage.STAT_FIELDS)
@@ -709,3 +759,5 @@ def contribute_default_stats(registry):
     registry.contribute("frontend.rename", RenameFrontEnd.STAT_FIELDS)
     registry.contribute("frontend.straight", StraightFrontEnd.STAT_FIELDS)
     registry.contribute("lsq", LoadStoreQueue.STAT_FIELDS)
+    registry.contribute("obs.attribution",
+                        StallAttributionAccountant.STAT_FIELDS)

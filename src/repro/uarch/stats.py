@@ -54,6 +54,13 @@ class StatsRegistry:
         return len(self._fields)
 
 
+def _deep_sorted(value):
+    """Recursively key-sort nested dicts (deterministic JSON export)."""
+    if isinstance(value, dict):
+        return {key: _deep_sorted(value[key]) for key in sorted(value)}
+    return value
+
+
 _default_registry = None
 
 
@@ -93,9 +100,16 @@ class SimStats:
         return self.instructions / self.cycles if self.cycles else 0.0
 
     def as_dict(self):
+        """Export every counter, in deterministic order.
+
+        Registry fields come first, in contribution (declaration) order;
+        the nested cache tables are deep-sorted by key.  Two runs with equal
+        counters therefore serialize to byte-identical JSON, so trace and
+        attribution payload diffs are stable across runs and processes.
+        """
         data = {field: getattr(self, field) for field in self._registry.fields}
         data["ipc"] = self.ipc
-        data["cache"] = dict(self.cache_stats)
+        data["cache"] = _deep_sorted(self.cache_stats)
         data["predictor_accuracy"] = self.predictor_accuracy
         return data
 

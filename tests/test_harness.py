@@ -94,6 +94,7 @@ class TestCheapExperiments:
             "fig16",
             "sensitivity_maxdist",
             "fig17",
+            "attribution",
             "ablation_re_plus",
             "ablation_recovery",
             "ablation_spadd",

@@ -180,7 +180,7 @@ class TestStatsRegistry:
         registry = default_registry()
         stats = SimStats()
         assert stats.fields == registry.fields
-        assert len(registry) == 30
+        assert len(registry) == 36  # 30 engine fields + 6 attribution buckets
         data = stats.as_dict()
         for field in registry.fields:
             assert field in data

@@ -263,3 +263,116 @@ class TestVerify:
         )
         assert code == 0
         assert "md=15" in out
+
+
+def _fake_bench_report(overhead_pct):
+    passes = [
+        {"pass": name, "wall_s": 0.1, "cycles_simulated": 100,
+         "cache": {"results": {"hits": 1, "misses": 0, "stores": 0,
+                               "evictions": 0}},
+         "results_from_cache": 1, "result_hit_rate": 1.0}
+        for name in ("cold", "warm")
+    ]
+    return {
+        "workloads": [{"workload": "branchy_div", "cycles": 100,
+                       "skipped_cycles": 40, "executed_cycles": 60}],
+        "sweep": {"passes": passes, "jobs": 1, "grid": ["fig11"],
+                  "warm_speedup": 2.0},
+        "predecode": {"speedup": 1.5},
+        "best_speedup": 3.0,
+        "observability": {"overhead_disabled_pct": overhead_pct},
+    }
+
+
+class TestTraceAndProfile:
+    def test_functional_trace_unchanged(self, demo_file, capsys):
+        code, out, _ = run_cli(["trace", demo_file, "--limit", "4"], capsys)
+        assert code == 0
+        assert len(out.strip().splitlines()) == 4
+        assert "dest=" in out
+
+    def test_trace_requires_some_input(self, capsys):
+        with pytest.raises(SystemExit, match="--workload"):
+            run_cli(["trace"], capsys)
+
+    def test_pipeline_trace_writes_parseable_kanata(self, demo_file,
+                                                    tmp_path, capsys):
+        from repro.obs import parse_kanata
+
+        log = tmp_path / "demo.kanata"
+        code, out, _ = run_cli(
+            ["trace", demo_file, "--core", "STRAIGHT-2way",
+             "--kanata", str(log), "--attribution"],
+            capsys,
+        )
+        assert code == 0
+        assert "conserved" in out
+        records = parse_kanata(log.read_text())
+        assert records
+        assert all(rec["retire"] is not None for rec in records.values())
+
+    def test_pipeline_trace_json_from_workload(self, tmp_path, capsys):
+        log = tmp_path / "w.kanata"
+        code, out, _ = run_cli(
+            ["trace", "--workload", "dhrystone", "--iterations", "2",
+             "--core", "SS-2way", "--kanata", str(log),
+             "--attribution", "--json"],
+            capsys,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["binary"] == "SS"
+        assert payload["instructions_logged"] > 0
+        assert payload["attribution"]["conserved"] is True
+        assert log.exists()
+
+    def test_trace_unknown_core_fails(self, demo_file, capsys):
+        with pytest.raises(SystemExit, match="unknown core"):
+            run_cli(["trace", demo_file, "--core", "SS-9way"], capsys)
+
+    def test_profile_text(self, demo_file, capsys):
+        code, out, _ = run_cli(
+            ["profile", demo_file, "--core", "STRAIGHT-2way", "--top", "3"],
+            capsys,
+        )
+        assert code == 0
+        assert "hot regions:" in out
+        assert "slots_retiring" in out
+
+    def test_profile_json_ss_core(self, demo_file, capsys):
+        code, out, _ = run_cli(
+            ["profile", demo_file, "--core", "SS-2way", "--json"], capsys
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["binary"] == "SS"
+        assert payload["attribution"]["conserved"] is True
+        assert payload["profile"]["total_commits"] > 0
+
+
+class TestBenchObsGate:
+    def test_gate_passes_under_budget(self, tmp_path, capsys, monkeypatch):
+        import repro.harness.bench as bench_mod
+
+        monkeypatch.setattr(bench_mod, "bench_smoke",
+                            lambda **kwargs: _fake_bench_report(1.25))
+        code, _, err = run_cli(
+            ["bench", "--smoke", "--sweep-json",
+             str(tmp_path / "s.json"), "--max-obs-overhead", "5.0"],
+            capsys,
+        )
+        assert code == 0
+        assert "within" in err
+
+    def test_gate_fails_over_budget(self, tmp_path, capsys, monkeypatch):
+        import repro.harness.bench as bench_mod
+
+        monkeypatch.setattr(bench_mod, "bench_smoke",
+                            lambda **kwargs: _fake_bench_report(9.75))
+        code, _, err = run_cli(
+            ["bench", "--smoke", "--sweep-json",
+             str(tmp_path / "s.json"), "--max-obs-overhead", "5.0"],
+            capsys,
+        )
+        assert code == 1
+        assert "exceeds" in err
