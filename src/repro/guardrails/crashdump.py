@@ -5,8 +5,15 @@ error (type, message, cycle, PC, per-structure occupancy), the replayable
 commit window when the guardrail suite attached one, and whatever extra
 context the caller supplies (config name, workload, experiment id).  The
 hardened harness writes one per failed run plus a sweep-level error manifest.
+
+Dumps are **capped and rotated** per directory: once a directory holds
+``max_dumps`` crash files, writing a new one evicts the oldest first, so a
+pathologically failing sweep (thousands of grid points, every one crashing)
+cannot fill the disk.  The cap is configurable per call or process-wide
+(``straight sweep --max-crash-dumps`` sets it for a whole run).
 """
 
+import glob
 import json
 import os
 import time
@@ -15,6 +22,46 @@ from repro.common.errors import SimulationError
 
 _counter = 0
 
+#: Default per-directory crash dump cap; ``configure_rotation`` overrides.
+DEFAULT_MAX_DUMPS = 200
+_max_dumps = DEFAULT_MAX_DUMPS
+
+
+def configure_rotation(max_dumps):
+    """Set the process-wide per-directory dump cap; returns the previous one.
+
+    ``max_dumps`` must be >= 1 (a cap of zero would make every dump vanish
+    the moment it is written, silently destroying the evidence the dump
+    exists to preserve).
+    """
+    global _max_dumps
+    if max_dumps < 1:
+        raise ValueError("max_dumps must be >= 1")
+    previous = _max_dumps
+    _max_dumps = int(max_dumps)
+    return previous
+
+
+def _rotate(directory, cap):
+    """Evict oldest crash dumps until at most ``cap - 1`` remain."""
+    dumps = glob.glob(os.path.join(directory, "crash-*.json"))
+    if len(dumps) < cap:
+        return []
+
+    def age(path):
+        try:
+            return (os.path.getmtime(path), path)
+        except OSError:
+            return (0.0, path)
+    evicted = []
+    for path in sorted(dumps, key=age)[:len(dumps) - cap + 1]:
+        try:
+            os.remove(path)
+            evicted.append(path)
+        except OSError:
+            pass
+    return evicted
+
 
 def _error_payload(exc):
     if isinstance(exc, SimulationError):
@@ -22,10 +69,16 @@ def _error_payload(exc):
     return {"type": type(exc).__name__, "message": str(exc)}
 
 
-def write_crash_dump(directory, label, exc, extra=None):
-    """Serialize one failure; returns the dump's path."""
+def write_crash_dump(directory, label, exc, extra=None, max_dumps=None):
+    """Serialize one failure; returns the dump's path.
+
+    ``max_dumps`` caps how many ``crash-*.json`` files the directory may
+    hold (default: the process-wide cap); the oldest dumps are evicted to
+    make room, newest-first retention.
+    """
     global _counter
     os.makedirs(directory, exist_ok=True)
+    _rotate(directory, max_dumps if max_dumps is not None else _max_dumps)
     _counter += 1
     payload = {
         "label": label,

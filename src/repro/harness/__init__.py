@@ -34,6 +34,15 @@ from repro.harness.sweep import (
     run_sweep,
     set_default_jobs,
 )
+from repro.harness.supervisor import (
+    CheckpointJournal,
+    RetryPolicy,
+    SupervisedReport,
+    SweepInterrupted,
+    classify_failure,
+    supervised_sweep,
+)
+from repro.harness.chaos import run_chaos_campaign
 
 __all__ = [
     "timed_run",
@@ -42,6 +51,13 @@ __all__ = [
     "deadline",
     "SweepTask",
     "SweepReport",
+    "CheckpointJournal",
+    "RetryPolicy",
+    "SupervisedReport",
+    "SweepInterrupted",
+    "classify_failure",
+    "supervised_sweep",
+    "run_chaos_campaign",
     "cached_simulate",
     "compile_binary_cached",
     "ensure_results",

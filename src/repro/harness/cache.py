@@ -21,6 +21,17 @@ Entries embed their schema version; a version bump makes old entries
 *evict themselves* on first touch (the stale file is deleted and the lookup
 reported as a miss), so no separate migration step exists.
 
+Every entry also carries an **end-to-end payload checksum** (SHA-256),
+verified on every read.  A corrupt, truncated or bit-flipped entry is never
+served and never crashes the caller: it is *quarantined* — moved into
+``<root>/quarantine/<layer>/`` with its original name preserved — and the
+lookup reports a miss, so the sweep recomputes and overwrites the slot.
+Quarantine keeps the evidence (the supervisor's chaos campaign and ``straight
+cache fsck`` both inspect it) instead of silently destroying it.  ``fsck``
+scans both layers offline, classifies every entry (valid / stale / corrupt /
+orphaned temp file) and, with ``repair=True``, quarantines the corrupt ones
+and deletes the stale ones; a valid entry is never touched.
+
 The module also owns the process-global cache configuration.  The
 persistent layer is **opt-in**: library code runs memory-only until an
 entry point (the ``straight sweep`` CLI, ``examples/reproduce_paper.py``,
@@ -38,7 +49,9 @@ import pickle
 #: different payload shape).  Old entries auto-evict.
 #: 2: attribution buckets joined the SimStats surface and timing payloads
 #: may carry an ``attribution`` report (PR 5).
-SCHEMA_VERSION = 2
+#: 3: entries carry an end-to-end payload checksum (PR 6); pre-checksum
+#: entries read as stale and self-evict.
+SCHEMA_VERSION = 3
 
 #: Bump when compiler/simulator behaviour changes in a way that must
 #: invalidate *all* persisted results and artifacts (new backend pass, timing
@@ -70,6 +83,25 @@ def _jsonify(obj):
 def source_digest(text):
     """Content digest of one compiler input."""
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def payload_checksum(value):
+    """End-to-end integrity digest of one JSON-safe cache payload."""
+    text = json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=_jsonify)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class CorruptEntryError(Exception):
+    """A cache entry failed its integrity check (truncated, bit-flipped,
+    unparsable).  Never escapes a lookup: the entry is quarantined and the
+    lookup misses."""
+
+
+class StaleEntryError(Exception):
+    """A cache entry predates the current on-disk layout (no checksum /
+    legacy pickle format).  Self-evicts as a miss, exactly like a schema
+    version mismatch."""
 
 
 def binary_digest(binary):
@@ -105,13 +137,14 @@ def binary_digest(binary):
 
 
 class _CacheStats:
-    __slots__ = ("hits", "misses", "stores", "evictions")
+    __slots__ = ("hits", "misses", "stores", "evictions", "quarantined")
 
     def __init__(self):
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.quarantined = 0
 
     def as_dict(self):
         return {
@@ -119,6 +152,7 @@ class _CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
         }
 
     def merge(self, other):
@@ -126,6 +160,7 @@ class _CacheStats:
         self.misses += other["misses"]
         self.stores += other["stores"]
         self.evictions += other["evictions"]
+        self.quarantined += other.get("quarantined", 0)
 
 
 class _DiskCache:
@@ -133,8 +168,10 @@ class _DiskCache:
 
     subdir = "entries"
     suffix = ".json"
+    _tmp_counter = 0
 
     def __init__(self, root):
+        self.cache_root = root
         self.root = os.path.join(root, self.subdir)
         self.stats = _CacheStats()
 
@@ -149,39 +186,114 @@ class _DiskCache:
         except OSError:
             pass
 
+    def quarantine_root(self):
+        return os.path.join(self.cache_root, "quarantine", self.subdir)
+
+    def _quarantine(self, path):
+        """Move a corrupt entry aside; never re-served, never destroyed."""
+        self.stats.quarantined += 1
+        dest_dir = self.quarantine_root()
+        dest = os.path.join(dest_dir, os.path.basename(path))
+        try:
+            os.makedirs(dest_dir, exist_ok=True)
+            serial = 0
+            while os.path.exists(dest):
+                serial += 1
+                dest = os.path.join(
+                    dest_dir, f"{os.path.basename(path)}.{serial}"
+                )
+            os.replace(path, dest)
+            return dest
+        except OSError:
+            # Quarantine dir unusable (permissions, cross-device): the entry
+            # must still never be re-served, so fall back to deletion.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
     def get(self, key_obj):
         path = self._path(key_obj)
         try:
-            payload = self._read(path)
+            envelope = self._read(path)
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except Exception:
-            # Corrupt / truncated / unreadable entry: evict and treat as miss.
+        except StaleEntryError:
+            # Pre-integrity layout: self-evict, like a schema bump.
             self._evict(path)
             self.stats.misses += 1
             return None
-        if payload.get("schema") != SCHEMA_VERSION:
+        except Exception:
+            # Corrupt / truncated / bit-flipped entry: quarantine as a miss.
+            self._quarantine(path)
+            self.stats.misses += 1
+            return None
+        if envelope.get("schema") != SCHEMA_VERSION:
             self._evict(path)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return payload["value"]
+        return envelope["value"]
 
     def put(self, key_obj, value):
         path = self._path(key_obj)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = path + f".tmp.{os.getpid()}"
+        _DiskCache._tmp_counter += 1
+        tmp = path + f".tmp.{os.getpid()}.{_DiskCache._tmp_counter}"
         try:
             self._write(tmp, {"schema": SCHEMA_VERSION, "value": value})
-            os.replace(tmp, path)  # atomic: concurrent workers can't tear it
         except Exception:
             try:
                 os.remove(tmp)
             except OSError:
                 pass
             return
+        try:
+            os.replace(tmp, path)  # atomic: concurrent workers can't tear it
+        except OSError:
+            # A concurrent writer won the rename race (or the slot became
+            # unwritable).  Content-addressed entries are interchangeable:
+            # second writer loses silently, the sweep never sees an error.
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return
         self.stats.stores += 1
+
+    def entry_paths(self):
+        """Every entry file under this layer (sorted; excludes temp files)."""
+        found = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(self.suffix):
+                    found.append(os.path.join(dirpath, name))
+        return sorted(found)
+
+    def orphan_tmp_paths(self):
+        """Leftover ``*.tmp.*`` files from writers that died mid-put."""
+        found = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if ".tmp." in name:
+                    found.append(os.path.join(dirpath, name))
+        return sorted(found)
+
+    def classify(self, path):
+        """Integrity verdict for one entry file: valid / stale / corrupt."""
+        try:
+            envelope = self._read(path)
+        except FileNotFoundError:
+            return "missing"
+        except StaleEntryError:
+            return "stale"
+        except Exception:
+            return "corrupt"
+        if envelope.get("schema") != SCHEMA_VERSION:
+            return "stale"
+        return "valid"
 
     def clear(self):
         import shutil
@@ -190,33 +302,87 @@ class _DiskCache:
 
 
 class ResultCache(_DiskCache):
-    """JSON-serialized timing/functional results."""
+    """JSON-serialized timing/functional results.
+
+    On-disk envelope: ``{"schema": N, "sha256": <payload digest>, "value":
+    payload}``.  The digest covers the canonical JSON rendering of the
+    payload, so any torn write, truncation or bit flip that still parses as
+    JSON is caught exactly like one that does not.
+    """
 
     subdir = "results"
     suffix = ".json"
 
     def _read(self, path):
-        with open(path) as handle:
-            return json.load(handle)
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            raise
+        except Exception as exc:
+            raise CorruptEntryError(f"unparsable result entry {path}") from exc
+        if not isinstance(envelope, dict):
+            raise CorruptEntryError(f"malformed result entry {path}")
+        digest = envelope.get("sha256")
+        if digest is None:
+            raise StaleEntryError(f"pre-checksum result entry {path}")
+        body = {"schema": envelope.get("schema"),
+                "value": envelope.get("value")}
+        if digest != payload_checksum(body):
+            raise CorruptEntryError(f"checksum mismatch in {path}")
+        return envelope
 
-    def _write(self, path, payload):
+    def _write(self, path, envelope):
+        envelope = dict(envelope)
+        envelope["sha256"] = payload_checksum(
+            {"schema": envelope["schema"], "value": envelope["value"]}
+        )
         with open(path, "w") as handle:
-            json.dump(payload, handle, separators=(",", ":"))
+            json.dump(envelope, handle, separators=(",", ":"))
+
+
+#: Header magic of checksummed artifact entries: ``MAGIC<hex digest>\n``
+#: followed by the pickled envelope the digest covers.
+ARTIFACT_MAGIC = b"straight-artifact-v1 "
 
 
 class ArtifactCache(_DiskCache):
-    """Pickled compiled-binary artifacts (linked programs, workload builds)."""
+    """Pickled compiled-binary artifacts (linked programs, workload builds).
+
+    On-disk layout: one header line ``straight-artifact-v1 <sha256>`` then
+    the pickle bytes of ``{"schema": N, "value": payload}``; the digest
+    covers the pickle bytes, so truncated or bit-flipped artifacts are
+    detected *before* unpickling (a corrupt pickle stream can otherwise
+    raise nearly anything).
+    """
 
     subdir = "artifacts"
     suffix = ".pkl"
 
     def _read(self, path):
         with open(path, "rb") as handle:
-            return pickle.load(handle)
+            header = handle.readline()
+            body = handle.read()
+        if not header.startswith(ARTIFACT_MAGIC):
+            if header[:1] == b"\x80":
+                # Legacy headerless pickle from the pre-integrity layout.
+                raise StaleEntryError(f"pre-checksum artifact entry {path}")
+            raise CorruptEntryError(f"malformed artifact header in {path}")
+        digest = header[len(ARTIFACT_MAGIC):].strip().decode("ascii", "replace")
+        if digest != hashlib.sha256(body).hexdigest():
+            raise CorruptEntryError(f"checksum mismatch in {path}")
+        try:
+            return pickle.loads(body)
+        except Exception as exc:
+            raise CorruptEntryError(f"unpicklable artifact entry {path}") from exc
 
-    def _write(self, path, payload):
+    def _write(self, path, envelope):
+        body = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        header = (ARTIFACT_MAGIC
+                  + hashlib.sha256(body).hexdigest().encode("ascii") + b"\n")
         with open(path, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(header)
+            handle.write(body)
 
 
 class CacheConfigState:
@@ -300,6 +466,72 @@ def clear_persistent():
     ArtifactCache(_state.root).clear()
     _state._results = None
     _state._artifacts = None
+
+
+def quarantine_paths(cache_dir=None):
+    """Every quarantined entry under the active (or given) cache root."""
+    root = os.path.join(cache_dir or _state.root, "quarantine")
+    found = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def fsck(cache_dir=None, repair=False):
+    """Scan both persistent layers end-to-end; optionally repair.
+
+    Every entry is classified by the same reader the hot path uses:
+
+    * ``valid`` — parses, checksum verifies, current schema; never touched.
+    * ``stale`` — pre-checksum layout or old schema; would self-evict on
+      first touch anyway.  ``repair=True`` deletes it now.
+    * ``corrupt`` — truncated, bit-flipped or unparsable.  ``repair=True``
+      moves it into ``<root>/quarantine/<layer>/``.
+    * ``orphan_tmp`` — temp file from a writer that died mid-``put``.
+      ``repair=True`` deletes it.
+
+    Returns a JSON-safe report; ``report["ok"]`` is true when no corrupt
+    entry remains on the live path (always true after a repair pass).
+    """
+    root = cache_dir or _state.root
+    report = {"root": root, "repair": bool(repair), "layers": {}}
+    corrupt_total = 0
+    for layer in (ResultCache(root), ArtifactCache(root)):
+        entry = {
+            "scanned": 0,
+            "valid": 0,
+            "stale": [],
+            "corrupt": [],
+            "orphan_tmp": layer.orphan_tmp_paths(),
+            "quarantined": [],
+            "deleted": [],
+        }
+        for path in layer.entry_paths():
+            entry["scanned"] += 1
+            verdict = layer.classify(path)
+            if verdict == "valid":
+                entry["valid"] += 1
+            elif verdict == "stale":
+                entry["stale"].append(path)
+            elif verdict == "corrupt":
+                entry["corrupt"].append(path)
+        if repair:
+            for path in entry["corrupt"]:
+                dest = layer._quarantine(path)
+                entry["quarantined"].append(dest if dest else path)
+            for path in entry["stale"] + entry["orphan_tmp"]:
+                try:
+                    os.remove(path)
+                    entry["deleted"].append(path)
+                except OSError:
+                    pass
+        corrupt_total += len(entry["corrupt"])
+        report["layers"][layer.subdir] = entry
+    report["corrupt_total"] = corrupt_total
+    report["quarantine"] = quarantine_paths(root)
+    report["ok"] = bool(repair) or corrupt_total == 0
+    return report
 
 
 def cache_report():

@@ -13,6 +13,7 @@ diagnostics directory.
 
 import signal
 import threading
+import time
 from contextlib import contextmanager
 
 from repro.common.errors import RunTimeoutError
@@ -104,6 +105,12 @@ def deadline(seconds, label=""):
     Uses ``SIGALRM`` where available (CPython main thread on POSIX); on other
     platforms or worker threads it degrades to a no-op rather than failing,
     so sweeps stay portable.
+
+    Nests correctly: an inner ``deadline`` saves the outer timer's remaining
+    interval on entry and re-arms it (minus the time the inner block spent)
+    on exit, so an outer budget keeps ticking across any number of inner
+    ones.  If the outer budget was exhausted while the inner block ran, the
+    restored timer fires almost immediately rather than being lost.
     """
     usable = (
         seconds
@@ -120,12 +127,18 @@ def deadline(seconds, label=""):
         )
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    outer_remaining, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    entered = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_remaining:
+            # Re-arm the outer deadline with whatever budget it has left;
+            # an already-expired outer budget fires as soon as possible.
+            remaining = outer_remaining - (time.monotonic() - entered)
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6))
 
 
 def run_suite(names=None, timeout_s=None, diagnostics_dir=None,

@@ -65,11 +65,12 @@ class SweepTask:
 
     __slots__ = ("task_id", "workload", "binary_label", "config",
                  "iterations", "max_distance", "compile_opts", "kind",
-                 "timeout_s", "attribution")
+                 "timeout_s", "attribution", "chaos")
 
     def __init__(self, task_id, workload, binary_label=None, config=None,
                  iterations=None, max_distance=1023, compile_opts=None,
-                 kind="timing", timeout_s=None, attribution=False):
+                 kind="timing", timeout_s=None, attribution=False,
+                 chaos=None):
         self.task_id = task_id
         self.workload = workload
         self.binary_label = binary_label
@@ -80,6 +81,31 @@ class SweepTask:
         self.kind = kind  # 'timing' | 'functional'
         self.timeout_s = timeout_s
         self.attribution = attribution
+        #: Fault-injection spec consumed by :mod:`repro.harness.chaos`; the
+        #: campaign's scenarios plant these, production grids leave it None.
+        self.chaos = dict(chaos) if chaos else None
+
+    def checkpoint_key(self):
+        """Stable identity of this grid point for the checkpoint journal.
+
+        Covers everything that determines the payload — the full config timing
+        identity, backend options, task kind and the engine schema/toolchain
+        tags — so a journal entry is replayed only for the exact same work,
+        and never across a toolchain or schema bump.
+        """
+        return cache_mod.canonical_key({
+            "task": self.task_id,
+            "workload": self.workload,
+            "binary": self.binary_label,
+            "config": None if self.config is None else self.config.cache_key(),
+            "iterations": self.iterations,
+            "max_distance": self.max_distance,
+            "opts": self.compile_opts,
+            "kind": self.kind,
+            "attribution": bool(self.attribution),
+            "tag": cache_mod.TOOLCHAIN_TAG,
+            "schema": cache_mod.SCHEMA_VERSION,
+        })
 
     def __repr__(self):
         return f"SweepTask({self.task_id})"
@@ -399,15 +425,34 @@ def _worker_init(cache_root, cache_enabled):
     cache_mod.configure(cache_root, enabled=cache_enabled)
 
 
-def _worker_run(task):
-    """Top-level (spawn-picklable) worker entry: never raises."""
-    served = False
+def _maybe_inject_chaos(task):
+    """Chaos-campaign hook: fire the task's planted fault, if any."""
+    if getattr(task, "chaos", None):
+        from repro.harness.chaos import inject_fault
+
+        inject_fault(task.chaos)
+
+
+def _execute_guarded(task):
+    """Run one task under its deadline; returns ``(payload, served)``.
+
+    Never raises: every failure — including a planted chaos fault — comes
+    back as a structured error payload.  Shared by the inline path, the
+    broken-pool fallback and the worker entry so all three classify and
+    report failures identically.
+    """
     try:
         timeout = task.timeout_s or DEFAULT_TASK_TIMEOUT_S
         with deadline(timeout, task.task_id):
-            payload, served = execute_task(task, payload_only=False)
-    except BaseException as exc:  # noqa: BLE001 - shipped back, not swallowed
-        payload = _error_payload(task, exc)
+            _maybe_inject_chaos(task)
+            return execute_task(task, payload_only=False)
+    except Exception as exc:  # noqa: BLE001 - degrade to a structured record
+        return _error_payload(task, exc), False
+
+
+def _worker_run(task):
+    """Top-level (spawn-picklable) worker entry: never raises."""
+    payload, served = _execute_guarded(task)
     return task.task_id, payload, served
 
 
@@ -519,17 +564,13 @@ def run_sweep(tasks, jobs=None, progress=None, diagnostics_dir=None,
         else:
             pending.append(task)
 
+    inline_fallback = []
     if pending and jobs > 1:
-        _run_pool(pending, jobs, record)
+        inline_fallback = _run_pool(pending, jobs, record)
     elif pending:
         for task in pending:
             task_started = time.perf_counter()
-            try:
-                timeout = task.timeout_s or DEFAULT_TASK_TIMEOUT_S
-                with deadline(timeout, task.task_id):
-                    payload, hit = execute_task(task, payload_only=False)
-            except Exception as exc:  # noqa: BLE001 - degrade to manifest
-                payload, hit = _error_payload(task, exc), False
+            payload, hit = _execute_guarded(task)
             record(task, payload, time.perf_counter() - task_started,
                    "cache" if hit else "run")
 
@@ -541,6 +582,9 @@ def run_sweep(tasks, jobs=None, progress=None, diagnostics_dir=None,
         "errors": errors,
         "jobs": jobs,
         "cache_served": cache_served,
+        # Tasks that lost their pool worker and re-ran in the parent; the
+        # supervisor and the chaos campaign both audit this list.
+        "inline_fallback": inline_fallback,
     }
     if diagnostics_dir and errors:
         from repro.guardrails.crashdump import write_manifest
@@ -553,13 +597,29 @@ def run_sweep(tasks, jobs=None, progress=None, diagnostics_dir=None,
 
 
 def _run_pool(pending, jobs, record):
-    """Farm ``pending`` out to a spawn pool; degrade broken pools to inline."""
+    """Farm ``pending`` out to a spawn pool; degrade broken pools to inline.
+
+    Returns the task ids that actually re-ran inline after the pool broke.
+    Results that finished in a worker *before* the break are harvested from
+    their futures, not recomputed, so a partial pool failure never
+    double-runs (or double-counts) completed work.
+    """
     import multiprocessing
     from concurrent.futures import ProcessPoolExecutor
 
     context = multiprocessing.get_context("spawn")
     remaining = {task.task_id: task for task in pending}
     task_started = {task.task_id: time.perf_counter() for task in pending}
+    inline_fallback = []
+
+    def record_pooled(task, payload, served):
+        del remaining[task.task_id]
+        status = ("cache" if served
+                  and payload.get("kind") != "error" else "run")
+        record(task, payload,
+               time.perf_counter() - task_started[task.task_id], status)
+
+    futures = {}
     try:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(pending)),
@@ -570,20 +630,24 @@ def _run_pool(pending, jobs, record):
             futures = {task.task_id: pool.submit(_worker_run, task)
                        for task in pending}
             for task in pending:
-                task_id, payload, served = futures[task.task_id].result()
-                del remaining[task_id]
-                status = ("cache" if served
-                          and payload.get("kind") != "error" else "run")
-                record(task, payload,
-                       time.perf_counter() - task_started[task_id], status)
-    except Exception:  # pool itself died (OOM-killed worker, spawn failure)
+                _task_id, payload, served = futures[task.task_id].result()
+                record_pooled(task, payload, served)
+    except Exception:  # pool itself died (killed worker, spawn failure)
         for task in list(remaining.values()):
+            # Harvest work that finished before the pool broke: its future
+            # holds a real result even though the executor is now dead.
+            future = futures.get(task.task_id)
+            if future is not None and future.done():
+                try:
+                    _task_id, payload, served = future.result()
+                except Exception:  # noqa: BLE001 - future died with the pool
+                    pass
+                else:
+                    record_pooled(task, payload, served)
+                    continue
             started = time.perf_counter()
-            try:
-                timeout = task.timeout_s or DEFAULT_TASK_TIMEOUT_S
-                with deadline(timeout, task.task_id):
-                    payload = execute_task(task)
-            except Exception as exc:  # noqa: BLE001
-                payload = _error_payload(task, exc)
+            payload, _served = _execute_guarded(task)
             del remaining[task.task_id]
-            record(task, payload, time.perf_counter() - started, "run")
+            inline_fallback.append(task.task_id)
+            record(task, payload, time.perf_counter() - started, "inline")
+    return inline_fallback

@@ -474,9 +474,16 @@ def _bench_sweep_summary(report):
 
 def cmd_sweep(args):
     """Fan the experiment grid out over a process pool, persistently cached."""
+    import os
+
     from repro.harness import cache as cache_mod
     from repro.harness.experiments import grid_tasks
     from repro.harness.runner import clear_cache
+    from repro.harness.supervisor import (
+        RetryPolicy,
+        SweepInterrupted,
+        supervised_sweep,
+    )
     from repro.harness.sweep import run_sweep
 
     cache_mod.configure(args.cache_dir, enabled=not args.no_cache)
@@ -484,6 +491,10 @@ def cmd_sweep(args):
         # --no-cache is a contract: nothing persisted may serve this run,
         # and nothing stale may survive it.
         clear_cache(disk=True)
+    if args.max_crash_dumps is not None:
+        from repro.guardrails.crashdump import configure_rotation
+
+        configure_rotation(args.max_crash_dumps)
     try:
         tasks = grid_tasks(args.names or None)
     except KeyError as exc:
@@ -495,8 +506,36 @@ def cmd_sweep(args):
             print(f"[{done}/{total}] {status:>5}  {task_id}  "
                   f"({seconds:.2f}s)", file=sys.stderr)
 
-    report = run_sweep(tasks, jobs=args.jobs, progress=progress,
-                       diagnostics_dir=args.diagnostics)
+    supervised = bool(args.supervised or args.resume or args.checkpoint)
+    if supervised:
+        checkpoint = args.checkpoint or os.path.join(
+            cache_mod.cache_root(), "sweep-checkpoint.jsonl"
+        )
+        quarantine = args.diagnostics or os.path.join(
+            cache_mod.cache_root(), "quarantine", "sweep"
+        )
+        policy = RetryPolicy(max_attempts=args.retries,
+                             retry_budget=args.retry_budget)
+        try:
+            report = supervised_sweep(
+                tasks, jobs=args.jobs, progress=progress,
+                checkpoint=checkpoint, resume=args.resume, policy=policy,
+                quarantine_dir=quarantine,
+            )
+        except SweepInterrupted as exc:
+            print(f"sweep interrupted: {exc}; checkpoint journal kept at "
+                  f"{checkpoint} — rerun with --resume to continue",
+                  file=sys.stderr)
+            return 3
+        if args.manifest:
+            with open(args.manifest, "wb") as handle:
+                handle.write(report.manifest_bytes())
+        failed = report.manifest["failed"]
+    else:
+        report = run_sweep(tasks, jobs=args.jobs, progress=progress,
+                           diagnostics_dir=args.diagnostics)
+        failed = report.manifest["failed"]
+
     payload = report.as_dict()
     payload["result_hit_rate"] = round(report.result_hit_rate(), 4)
     if not args.full_results:
@@ -508,8 +547,9 @@ def cmd_sweep(args):
     else:
         print(text)
     if not report.ok:
-        failed = ", ".join(report.manifest["failed"])
-        print(f"sweep completed with failures: {failed}", file=sys.stderr)
+        verb = "quarantined" if supervised else "failures"
+        print(f"sweep completed with {verb}: {', '.join(failed)}",
+              file=sys.stderr)
         return 1
     if args.min_hit_rate is not None and \
             report.result_hit_rate() < args.min_hit_rate:
@@ -517,6 +557,70 @@ def cmd_sweep(args):
               f"required {args.min_hit_rate:.2%}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_cache(args):
+    """Persistent-cache maintenance: integrity scan/repair, stats, clear."""
+    from repro.harness import cache as cache_mod
+
+    root = args.cache_dir or cache_mod.default_cache_dir()
+    if args.cache_command == "fsck":
+        report = cache_mod.fsck(root, repair=args.repair)
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            for name, layer in sorted(report["layers"].items()):
+                print(f"{name}: {layer['scanned']} scanned, "
+                      f"{layer['valid']} valid, {len(layer['stale'])} stale, "
+                      f"{len(layer['corrupt'])} corrupt, "
+                      f"{len(layer['orphan_tmp'])} orphan tmp")
+                for path in layer["corrupt"]:
+                    print(f"  corrupt: {path}")
+                if args.repair:
+                    print(f"  quarantined {len(layer['quarantined'])}, "
+                          f"deleted {len(layer['deleted'])}")
+            print(f"quarantine holds {len(report['quarantine'])} entries")
+            print("OK" if report["ok"] else
+                  "FAIL: corrupt entries on the live path "
+                  "(rerun with --repair to quarantine them)")
+        return 0 if report["ok"] else 1
+    if args.cache_command == "clear":
+        cache_mod.configure(root, enabled=cache_mod.is_enabled())
+        cache_mod.clear_persistent()
+        print(f"cleared persistent cache under {root}")
+        return 0
+    print("cache: pass a subcommand (fsck, clear)", file=sys.stderr)
+    return 2
+
+
+def cmd_chaos(args):
+    """Seeded chaos campaign against the supervised sweep layer."""
+    from repro.harness.chaos import QUICK_SCENARIOS, run_chaos_campaign
+
+    scenarios = args.scenarios or None
+    if args.quick and not scenarios:
+        scenarios = list(QUICK_SCENARIOS)
+
+    def progress(name, ok, wall_s):
+        if not args.quiet:
+            print(f"  {'ok  ' if ok else 'FAIL'} {name} ({wall_s:.2f}s)",
+                  file=sys.stderr)
+
+    try:
+        report = run_chaos_campaign(
+            seed=args.seed, scenarios=scenarios, jobs=args.jobs,
+            workdir=args.workdir, keep_workdir=args.workdir is not None,
+            progress=progress,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+    print(report.text())
+    return 0 if report.ok else 1
 
 
 def cmd_experiments(args):
@@ -724,7 +828,76 @@ def build_parser():
                               "from the persistent cache (CI warm check)")
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress per-task progress on stderr")
+    p_sweep.add_argument("--supervised", action="store_true",
+                         help="run under the fault-tolerant supervisor "
+                              "(retry/backoff, quarantine, checkpointing)")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="replay the checkpoint journal and continue an "
+                              "interrupted sweep (implies --supervised)")
+    p_sweep.add_argument("--checkpoint", metavar="PATH", default=None,
+                         help="checkpoint journal path (implies --supervised; "
+                              "default: <cache-root>/sweep-checkpoint.jsonl)")
+    p_sweep.add_argument("--retries", type=int, default=3,
+                         help="max attempts per task for transient failures "
+                              "(supervised mode; default 3)")
+    p_sweep.add_argument("--retry-budget", type=int, default=32,
+                         help="total extra attempts across the sweep "
+                              "(supervised mode; default 32)")
+    p_sweep.add_argument("--manifest", metavar="PATH", default=None,
+                         help="write the canonical (resume-stable) manifest "
+                              "to PATH (supervised mode)")
+    p_sweep.add_argument("--max-crash-dumps", type=int, default=None,
+                         help="cap crash dumps per diagnostics directory "
+                              "(oldest evicted; default 200)")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="persistent-cache maintenance (integrity fsck, clear)",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_fsck = cache_sub.add_parser(
+        "fsck",
+        help="scan every cache entry end-to-end; report (and with --repair "
+             "quarantine) corrupt entries",
+    )
+    p_fsck.add_argument("--cache-dir", default=None,
+                        help="cache root (default: $STRAIGHT_CACHE_DIR or "
+                             "~/.cache/straight-repro)")
+    p_fsck.add_argument("--repair", action="store_true",
+                        help="quarantine corrupt entries and delete stale "
+                             "ones / orphaned temp files")
+    p_fsck.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    p_fsck.set_defaults(func=cmd_cache)
+    p_cclear = cache_sub.add_parser("clear", help="wipe both cache layers")
+    p_cclear.add_argument("--cache-dir", default=None,
+                          help="cache root (default: $STRAIGHT_CACHE_DIR or "
+                               "~/.cache/straight-repro)")
+    p_cclear.set_defaults(func=cmd_cache)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaign: inject worker kills, deadline expiries, "
+             "cache corruption and mid-sweep interrupts; assert recovery",
+    )
+    p_chaos.add_argument("--seed", type=int, default=20260808,
+                         help="campaign RNG seed")
+    p_chaos.add_argument("--scenarios", action="append", metavar="NAME",
+                         help="run only this scenario (repeatable)")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="run the CI smoke subset (worker kill + cache "
+                              "corruption + interrupt/resume)")
+    p_chaos.add_argument("--jobs", type=int, default=2,
+                         help="pool width for pool-based scenarios")
+    p_chaos.add_argument("--workdir", metavar="DIR", default=None,
+                         help="keep journals/quarantine evidence here "
+                              "(default: temp dir, removed afterwards)")
+    p_chaos.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the report to PATH")
+    p_chaos.add_argument("--quiet", action="store_true",
+                         help="suppress per-scenario progress on stderr")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper figures")
     p_exp.add_argument("names", nargs="*", help="experiment ids (default all)")

@@ -3,6 +3,7 @@ state, the watchdog and lockstep end-to-end, the zero-overhead fast path,
 structured errors, crash dumps and the hardened sweep driver."""
 
 import json
+import os
 import time
 from collections import deque
 
@@ -431,6 +432,55 @@ class TestCrashDumps:
     def test_write_manifest(self, tmp_path):
         path = write_manifest(tmp_path, {"failed": ["fig12"]})
         assert json.loads(open(path).read())["failed"] == ["fig12"]
+
+
+class TestCrashDumpRotation:
+    def fill(self, directory, count, max_dumps=None):
+        paths = []
+        for index in range(count):
+            path = write_crash_dump(directory, f"task{index}",
+                                    ValueError(f"boom {index}"),
+                                    max_dumps=max_dumps)
+            os.utime(path, (index, index))  # deterministic age ordering
+            paths.append(path)
+        return paths
+
+    def test_cap_keeps_newest(self, tmp_path):
+        import glob
+
+        self.fill(tmp_path, 6, max_dumps=3)
+        dumps = sorted(glob.glob(str(tmp_path / "crash-*.json")))
+        assert len(dumps) == 3
+        names = " ".join(os.path.basename(p) for p in dumps)
+        # The three most recent survive; the oldest were rotated out.
+        for kept in ("task3", "task4", "task5"):
+            assert kept in names
+        for evicted in ("task0", "task1", "task2"):
+            assert evicted not in names
+
+    def test_default_cap_via_configure(self, tmp_path):
+        from repro.guardrails import crashdump
+
+        previous = crashdump.configure_rotation(2)
+        try:
+            self.fill(tmp_path, 4)  # no per-call override: global cap
+        finally:
+            crashdump.configure_rotation(previous)
+        import glob
+
+        assert len(glob.glob(str(tmp_path / "crash-*.json"))) == 2
+
+    def test_configure_rejects_nonpositive(self):
+        from repro.guardrails import crashdump
+
+        with pytest.raises(ValueError):
+            crashdump.configure_rotation(0)
+
+    def test_under_cap_untouched(self, tmp_path):
+        import glob
+
+        self.fill(tmp_path, 2, max_dumps=5)
+        assert len(glob.glob(str(tmp_path / "crash-*.json"))) == 2
 
 
 # ------------------------------------------------------- hardened harness

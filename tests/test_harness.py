@@ -1,6 +1,11 @@
 """Experiment harness tests (the cheap, functional-only experiments plus
 plumbing; the full timing figures are exercised by the benchmark suite)."""
 
+import time
+
+import pytest
+
+from repro.common.errors import RunTimeoutError
 from repro.harness import (
     table1,
     fig15_instruction_mix,
@@ -9,6 +14,7 @@ from repro.harness import (
     format_table,
     format_bars,
     timed_run,
+    deadline,
     ALL_EXPERIMENTS,
 )
 from repro.core.configs import straight_2way
@@ -106,3 +112,51 @@ class TestRunnerCache:
         first = timed_run("dhrystone", "STRAIGHT-RE+", straight_2way())
         second = timed_run("dhrystone", "STRAIGHT-RE+", straight_2way())
         assert first is second
+
+
+class TestNestedDeadline:
+    """Regression tests: an inner ``deadline`` must not clobber the outer
+    SIGALRM itimer (the pre-PR6 bug cancelled the outer budget for good)."""
+
+    def test_outer_survives_completed_inner(self):
+        # Outer 0.15s, inner 0.02s that finishes instantly: the outer budget
+        # must keep ticking and still fire on the work after the inner block.
+        with pytest.raises(RunTimeoutError, match="outer"):
+            with deadline(0.15, "outer"):
+                with deadline(0.02, "inner"):
+                    pass  # inner completes untriggered
+                time.sleep(1.0)  # outer must interrupt this
+
+    def test_inner_fires_first_then_outer_still_armed(self):
+        fired = []
+        with pytest.raises(RunTimeoutError, match="outer"):
+            with deadline(0.15, "outer"):
+                try:
+                    with deadline(0.02, "inner"):
+                        time.sleep(1.0)
+                except RunTimeoutError:
+                    fired.append("inner")
+                time.sleep(1.0)  # outer budget still live after inner fired
+        assert fired == ["inner"]
+
+    def test_outer_exhausted_during_inner_fires_on_exit(self):
+        # The inner block outlives the whole outer budget; the outer alarm
+        # must fire right after the inner one is dismantled, not vanish.
+        with pytest.raises(RunTimeoutError, match="outer"):
+            with deadline(0.05, "outer"):
+                try:
+                    with deadline(0.02, "inner"):
+                        time.sleep(0.1)
+                except RunTimeoutError:
+                    pass
+                time.sleep(1.0)
+
+    def test_sequential_deadlines_are_independent(self):
+        with deadline(0.2, "a"):
+            pass
+        # No stray alarm may leak from the completed block.
+        time.sleep(0.25)
+
+    def test_zero_seconds_is_a_no_op(self):
+        with deadline(0, "none"):
+            time.sleep(0.01)

@@ -239,3 +239,64 @@ class TestInvalidation:
             handle.write("{ not json")
         assert results.get(key) is None
         assert not os.path.exists(path)
+
+
+class TestBrokenPoolFallback:
+    """A SIGKILLed worker breaks the pool; the parent must harvest finished
+    futures (never double-counting them) and re-run only the lost tasks
+    inline, with the manifest naming exactly the inline re-runs."""
+
+    def kill_grid(self, tmp_path, count=3, victim=0):
+        tasks = []
+        for index in range(count):
+            config = straight_2way() if index % 2 else ss_2way()
+            target = "straight" if index % 2 else "riscv"
+            tasks.append(SweepTask(
+                f"bp/t{index}",
+                f"bp-tiny{index}",
+                config=config,
+                compile_opts={"target": target, "source_text": TINY},
+                chaos=({"mode": "kill",
+                        "once": str(tmp_path / "kill.flag")}
+                       if index == victim else None),
+            ))
+        return tasks
+
+    def test_fallback_completes_without_double_counting(self, disk_cache,
+                                                        tmp_path):
+        tasks = self.kill_grid(tmp_path)
+        events = []
+        report = run_sweep(
+            tasks, jobs=2,
+            progress=lambda *event: events.append(event),
+        )
+        # Every task completed despite the dead worker...
+        assert report.ok
+        assert report.manifest["completed"] == [t.task_id for t in tasks]
+        # ...exactly one progress event per task: finished futures were
+        # harvested, not re-recorded on top of the inline re-run.
+        assert len(events) == len(tasks)
+        assert sorted(e[2] for e in events) == sorted(
+            t.task_id for t in tasks
+        )
+        assert [e[0] for e in events] == list(range(1, len(tasks) + 1))
+        # The manifest names the tasks that re-ran inline, and only those.
+        fallback = report.manifest["inline_fallback"]
+        assert fallback
+        assert set(fallback) <= {t.task_id for t in tasks}
+        inline_events = [e[2] for e in events if e[3] == "inline"]
+        assert sorted(inline_events) == sorted(fallback)
+
+    def test_fallback_results_match_clean_run(self, disk_cache, tmp_path):
+        tasks = self.kill_grid(tmp_path)
+        broken = run_sweep(tasks, jobs=2)
+        cache_mod.configure(str(tmp_path / "cache-clean"), enabled=True)
+        clear_memo()
+        clean = run_sweep(self.kill_grid(tmp_path), jobs=1)
+        assert not clean.manifest["inline_fallback"]
+        assert broken.results == clean.results
+
+    def test_clean_pool_reports_no_fallback(self, disk_cache):
+        report = run_sweep(tiny_tasks(), jobs=2)
+        assert report.ok
+        assert report.manifest["inline_fallback"] == []
