@@ -1,14 +1,23 @@
 """Compiler explorer: watch the paper's Fig. 10 happen to your own code.
 
-Run:  python examples/compiler_explorer.py
+Run:  python examples/compiler_explorer.py            # full guided tour
+      python examples/compiler_explorer.py --isa bb   # one ISA's pipeline
 
-Compiles the paper's `iota` example through the full pipeline and prints:
-the SSA IR (with the phis that become RMOVs), the STRAIGHT RAW assembly
-(distance-fixing RMOVs at every merge), the RE+ assembly (producers sunk
-into refresh slots, loop-through values demoted to the stack frame), and
-the RV32IM baseline for comparison.
+The default tour compiles the paper's `iota` example through the full
+pipeline and prints: the SSA IR (with the phis that become RMOVs), the
+STRAIGHT RAW assembly (distance-fixing RMOVs at every merge), the RE+
+assembly (producers sunk into refresh slots, loop-through values demoted
+to the stack frame), and the RV32IM baseline for comparison.
+
+With ``--isa`` (choices enumerated from the ISA registry, so any newly
+registered descriptor shows up automatically) the explorer drives just
+that ISA's descriptor: compile, print the assembly of every linked
+variant, then execute and report the output.
 """
 
+import argparse
+
+from repro import isa as isa_registry
 from repro.frontend import compile_source
 from repro.compiler import compile_to_straight, compile_to_riscv
 
@@ -38,7 +47,28 @@ def banner(title):
     print("=" * 64)
 
 
-def main():
+def explore_isa(name):
+    """One ISA's pipeline: every linked variant's assembly plus its output."""
+    descriptor = isa_registry.get(name)
+    module = compile_source(SOURCE)
+
+    banner("SSA IR (every backend's input, like LLVM IR)")
+    print(module.functions["iota"])
+
+    for label, opts in descriptor.binary_labels.items():
+        banner(f"{descriptor.display_name} [{label}]")
+        compilation = descriptor.compile_module(module, max_distance=1023, **opts)
+        print(compilation.units[0].to_text())
+        program = compilation.link()
+        report = descriptor.static_check(program)
+        if report is not None:
+            print(f"static verifier: {report.summary()}")
+        interp = descriptor.make_interpreter(program)
+        interp.run(100_000)
+        print(f"output = {interp.output}")
+
+
+def tour():
     module = compile_source(SOURCE)
 
     banner("SSA IR (the STRAIGHT compiler's input, like LLVM IR)")
@@ -70,6 +100,20 @@ def main():
         interp = interp_cls(compilation.link())
         interp.run(100_000)
         print(f"{name:7s} output = {interp.output}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--isa",
+        choices=isa_registry.names(),
+        help="explore one registered ISA instead of the guided tour",
+    )
+    args = parser.parse_args(argv)
+    if args.isa:
+        explore_isa(args.isa)
+    else:
+        tour()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,30 @@
+"""The ``bb`` ISA: BasicBlocker-style RV32IM with announced basic blocks.
+
+See :mod:`repro.bb.isa` for the instruction set, :mod:`repro.bb.bbify` for
+the block-header annotation pass, :mod:`repro.bb.verify` for the static
+structure proof, and :mod:`repro.bb.descriptor` for the registry plugin.
+"""
+
+from repro.bb.isa import BInstr, OPCODES, BB_OPCODE
+from repro.bb.assembler import parse_assembly
+from repro.bb.encoding import encode, decode
+from repro.bb.bbify import bbify_unit, bbify_units
+from repro.bb.linker import BbProgram, link_program, startup_stub
+from repro.bb.interpreter import BbInterpreter
+from repro.bb.verify import verify_program
+
+__all__ = [
+    "BInstr",
+    "OPCODES",
+    "BB_OPCODE",
+    "parse_assembly",
+    "encode",
+    "decode",
+    "bbify_unit",
+    "bbify_units",
+    "BbProgram",
+    "link_program",
+    "startup_stub",
+    "BbInterpreter",
+    "verify_program",
+]

@@ -1,0 +1,28 @@
+"""``bb`` assembler: the RV32IM grammar plus the ``bb <count>`` header."""
+
+from repro.common.errors import AsmError
+from repro.isa.asmcore import AsmUnit, parse_assembly_text
+from repro.riscv.assembler import make_instr_parser
+from repro.bb.isa import BInstr, OPCODES
+
+__all__ = ["AsmUnit", "parse_assembly"]
+
+_rv_line = make_instr_parser(OPCODES, BInstr)
+
+
+def _parse_instr_line(line, lineno):
+    head, _, rest = line.partition(" ")
+    if head.upper() == "BB":
+        token = rest.strip()
+        if not token.isdigit():
+            raise AsmError(
+                f"BB takes one non-negative instruction count, got {rest!r}",
+                line=lineno,
+            )
+        return BInstr("BB", rd=0, imm=int(token))
+    return _rv_line(line, lineno)
+
+
+def parse_assembly(text):
+    """Parse ``bb`` assembly text into an :class:`AsmUnit`."""
+    return parse_assembly_text(text, _parse_instr_line)

@@ -1,0 +1,74 @@
+"""The bbify pass: annotate RV32IM assembly units with block headers.
+
+Runs at the :class:`~repro.isa.asmcore.AsmUnit` level, after code generation
+and before linking.  Basic-block heads are every labelled position (the
+backend emits *all* control-transfer targets as labels) and every position
+following a control transfer — including calls, since the callee returns to
+the instruction after the ``jal``.  Each head gets a ``BB n`` header whose
+immediate is the number of instructions in the block after the header;
+labels stay *before* the header so branches land on the ``BB``, which is
+exactly the invariant the static verifier (:mod:`repro.bb.verify`) proves.
+"""
+
+from repro.isa.asmcore import AsmUnit
+from repro.bb.isa import BInstr
+
+#: Timing classes that end a basic block.
+CONTROL_CLASSES = ("branch", "jump")
+
+
+def _convert(instr, instr_cls):
+    """Rebuild ``instr`` as ``instr_cls`` (RV32IM fields carry over 1:1)."""
+    if type(instr) is instr_cls:
+        return instr
+    return instr_cls(
+        instr.mnemonic,
+        rd=instr.rd,
+        rs1=instr.rs1,
+        rs2=instr.rs2,
+        imm=instr.imm,
+        label=instr.label,
+    )
+
+
+def bbify_unit(unit, instr_cls=BInstr):
+    """A new unit with ``BB`` headers at every basic-block head.
+
+    Instructions are rebuilt as ``instr_cls`` (so plain RV32IM backend
+    output becomes ``bb`` code); per-instruction source origins carry over,
+    headers have none.
+    """
+    origins = unit.instruction_origins()
+    blocks = []  # (labels-before-head, [(instr, origin), ...])
+    pending_labels = []
+    current = None
+    position = 0
+    for kind, item in unit.items:
+        if kind == "label":
+            pending_labels.append(item)
+            current = None
+            continue
+        if current is None:
+            current = (pending_labels, [])
+            pending_labels = []
+            blocks.append(current)
+        current[1].append((_convert(item, instr_cls), origins[position]))
+        position += 1
+        if item.op_class in CONTROL_CLASSES:
+            current = None
+
+    out = AsmUnit()
+    for labels, body in blocks:
+        for label in labels:
+            out.add_label(label)
+        out.add_instr(instr_cls("BB", rd=0, imm=len(body)))
+        for instr, origin in body:
+            out.add_instr(instr, origin)
+    for label in pending_labels:  # trailing labels (none in backend output)
+        out.add_label(label)
+    return out
+
+
+def bbify_units(units, instr_cls=BInstr):
+    """bbify a list of units, preserving order."""
+    return [bbify_unit(unit, instr_cls) for unit in units]

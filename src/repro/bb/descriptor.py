@@ -1,0 +1,64 @@
+"""Registry descriptor for the BasicBlocker-style ``bb`` ISA."""
+
+from repro.isa import IsaDescriptor, register
+from repro.riscv.descriptor import FORMAT_FIELDS as RV_FORMAT_FIELDS
+from repro.riscv.predecode import decode_program
+from repro.bb.isa import OPCODES
+from repro.bb.assembler import parse_assembly
+from repro.bb.encoding import decode, encode
+from repro.bb.interpreter import BbInterpreter
+from repro.bb.linker import link_program, startup_stub
+from repro.bb.verify import verify_program
+
+#: ``BB`` is an ordinary U-format instruction; the format set is RV32IM's.
+FORMAT_FIELDS = dict(RV_FORMAT_FIELDS)
+
+
+def _compile_module(module, max_distance=None, **opts):
+    from repro.compiler.bb_backend import compile_to_bb
+
+    return compile_to_bb(module, **opts)
+
+
+def _make_interpreter(program, collect_trace=False, **kw):
+    return BbInterpreter(program, collect_trace=collect_trace)
+
+
+def _static_check(program, lint=False):
+    return verify_program(program, lint=lint)
+
+
+def _cfg_2way(**overrides):
+    from repro.core.configs import bb_2way
+
+    return bb_2way(**overrides)
+
+
+def _cfg_4way(**overrides):
+    from repro.core.configs import bb_4way
+
+    return bb_4way(**overrides)
+
+
+DESCRIPTOR = register(
+    IsaDescriptor(
+        name="bb",
+        display_name="BB (RV32IM + block headers)",
+        register_model="gpr",
+        opcodes=OPCODES,
+        format_fields=FORMAT_FIELDS,
+        parse_assembly=parse_assembly,
+        link=link_program,
+        startup_stub=startup_stub,
+        encode=encode,
+        decode=decode,
+        make_interpreter=_make_interpreter,
+        compile_module=_compile_module,
+        binary_labels={"BB": {}},
+        targets={"bb": {}},
+        frontend="bb",
+        config_factories={"2way": _cfg_2way, "4way": _cfg_4way},
+        static_check=_static_check,
+        predecode=decode_program,
+    )
+)

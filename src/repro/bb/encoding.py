@@ -1,0 +1,14 @@
+"""``bb`` binary encoding: the RV32IM bit scrambles over the extended table.
+
+``encode`` is inherited unchanged — it is table-driven off each
+instruction's spec, and ``BB`` is an ordinary U-format instruction in the
+custom-0 opcode space.  ``decode`` is the shared decoder instantiated with
+the extended table and :class:`~repro.bb.isa.BInstr`.
+"""
+
+from repro.riscv.encoding import encode, make_decoder
+from repro.bb.isa import BInstr, OPCODES
+
+__all__ = ["encode", "decode"]
+
+decode = make_decoder(OPCODES, BInstr)

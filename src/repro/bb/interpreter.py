@@ -1,0 +1,17 @@
+"""``bb`` functional simulator: the RV32IM interpreter, extended table.
+
+``BB`` headers pre-decode to :data:`~repro.riscv.predecode.RK_BB` no-ops, so
+the whole execution engine is inherited; only the statistics grouping needs
+the extended opcode table (headers count into the ``nop`` class).
+"""
+
+from repro.riscv.interpreter import RiscvInterpreter, RunResult
+from repro.bb.isa import OPCODES
+
+__all__ = ["BbInterpreter", "RunResult"]
+
+
+class BbInterpreter(RiscvInterpreter):
+    """Executes a linked :class:`~repro.bb.linker.BbProgram`."""
+
+    OPCODES = OPCODES

@@ -1,0 +1,49 @@
+"""The ``bb`` instruction set: RV32IM plus BasicBlocker block headers.
+
+BasicBlocker (Gruss et al., "BasicBlocker: ISA Redesign to Make
+Spectre-Immune CPUs Faster") removes control-flow speculation by announcing
+every basic block to the front end: a ``BB`` instruction at each block head
+carries the block's instruction count, so fetch knows where the block ends
+and control transfers resolve without prediction.  This reproduction borrows
+the scheme as a third point of comparison between the renaming baseline and
+STRAIGHT: a conventional register file and back end, but — like STRAIGHT's
+two-path philosophy taken the opposite way — no speculative control flow.
+
+``BB`` is encoded as a U-format instruction in the custom-0 opcode space
+(``rd`` fixed to x0, ``imm`` = number of instructions in the block after the
+header).  It is architecturally a no-op; its timing class is ``nop`` so the
+pipeline charges fetch/decode/ROB occupancy but no execution.
+"""
+
+from repro.riscv.isa import (
+    ABI_NAMES,
+    OPCODES as RV_OPCODES,
+    OpSpec,
+    REG_NAMES,
+    RInstr,
+    reg_number,
+)
+
+__all__ = ["BB_OPCODE", "OPCODES", "BInstr", "REG_NAMES", "ABI_NAMES",
+           "reg_number"]
+
+#: The custom-0 major opcode hosts the block-header instruction.
+BB_OPCODE = 0b0001011
+
+#: RV32IM plus the ``BB`` block header.
+OPCODES = dict(RV_OPCODES)
+OPCODES["BB"] = OpSpec("BB", "U", BB_OPCODE, 0, 0, "nop")
+
+
+class BInstr(RInstr):
+    """One ``bb`` instruction: RV32IM semantics plus ``BB n`` headers."""
+
+    __slots__ = ()
+
+    OPCODES = OPCODES
+    SET_NAME = "bb"
+
+    def to_asm(self):
+        if self.mnemonic == "BB":
+            return f"bb {self.imm}"
+        return super().to_asm()

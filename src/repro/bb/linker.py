@@ -1,0 +1,35 @@
+"""``bb`` linker: the RV32IM linker producing a :class:`BbProgram`.
+
+Linking is unchanged — ``BB`` headers are ordinary U-format instructions and
+the label-offset resolution rebuilds instructions via ``type(instr)``, so
+:class:`~repro.bb.isa.BInstr` survives.  The startup stub is the RV32IM stub
+run through the bbify pass.
+"""
+
+from repro.riscv.linker import (
+    ECALL_EXIT,
+    ECALL_OUT,
+    RiscvProgram,
+    link_program as _rv_link_program,
+    startup_stub as _rv_startup_stub,
+)
+from repro.bb.bbify import bbify_unit
+
+__all__ = ["BbProgram", "ECALL_OUT", "ECALL_EXIT", "link_program",
+           "startup_stub"]
+
+
+class BbProgram(RiscvProgram):
+    """A linked ``bb`` executable image (RV32IM + block headers)."""
+
+
+def startup_stub():
+    """Runtime entry: the RV32IM stub with block headers."""
+    return bbify_unit(_rv_startup_stub())
+
+
+def link_program(units, data_words=(), data_base=0):
+    """Link bbified assembly units (startup stub first) into a program."""
+    return _rv_link_program(
+        units, data_words=data_words, data_base=data_base, program_cls=BbProgram
+    )

@@ -50,3 +50,43 @@ def fits_signed(value, width):
 def fits_unsigned(value, width):
     """True when ``value`` is representable as a ``width``-bit unsigned field."""
     return 0 <= value < (1 << width)
+
+
+class FieldOverflow(ValueError):
+    """An immediate does not fit its encoding field.
+
+    Raised by :func:`signed_field` / :func:`unsigned_field`; encoders catch
+    it and re-raise an :class:`~repro.common.errors.AsmError` carrying the
+    offending instruction, so every ISA reports field overflow identically.
+    """
+
+    def __init__(self, value, width, signed):
+        kind = "signed" if signed else "unsigned"
+        super().__init__(
+            f"immediate {value} does not fit a {width}-bit {kind} field"
+        )
+        self.value = value
+        self.width = width
+        self.signed = signed
+
+
+def signed_field(value, width):
+    """Encode ``value`` as a ``width``-bit two's-complement field.
+
+    Returns the masked unsigned field bits; raises :class:`FieldOverflow`
+    when the value is out of range.  The shared range/mask discipline of
+    every ISA encoder (see ``repro/*/encoding.py``).
+    """
+    if not fits_signed(value, width):
+        raise FieldOverflow(value, width, signed=True)
+    return value & ((1 << width) - 1)
+
+
+def unsigned_field(value, width):
+    """Encode ``value`` as a ``width``-bit unsigned field (masked bits).
+
+    Raises :class:`FieldOverflow` when the value is out of range.
+    """
+    if not fits_unsigned(value, width):
+        raise FieldOverflow(value, width, signed=False)
+    return value

@@ -116,3 +116,20 @@ class FaultEscapeError(GuardrailError):
 
 class RunTimeoutError(SimulationError):
     """A hardened-harness run exceeded its wall-clock budget."""
+
+
+class UnknownIsaError(ReproError):
+    """A name was looked up in the ISA registry and nothing answers to it.
+
+    Carries the offending ``name`` and the tuple of ``registered`` names so
+    harness layers can render structured diagnostics instead of a silent
+    fallback to some default ISA.
+    """
+
+    def __init__(self, name, registered):
+        self.name = name
+        self.registered = tuple(registered)
+        super().__init__(
+            f"unknown ISA {name!r}; registered ISAs: "
+            + ", ".join(self.registered)
+        )

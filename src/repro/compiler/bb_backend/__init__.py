@@ -1,0 +1,5 @@
+"""BasicBlocker backend: the RV32IM backend plus the bbify header pass."""
+
+from repro.compiler.bb_backend.driver import BbCompilation, compile_to_bb
+
+__all__ = ["BbCompilation", "compile_to_bb"]

@@ -1,0 +1,52 @@
+"""``bb`` backend driver: the RV32IM pipeline, then block-header annotation.
+
+BasicBlocker deliberately changes nothing about register allocation or the
+calling convention — the whole scheme lives at basic-block granularity — so
+this backend *is* the RV32IM backend followed by :mod:`repro.bb.bbify` over
+the emitted assembly units.
+"""
+
+from repro.common.errors import CompileError
+from repro.bb.bbify import bbify_units
+from repro.bb.linker import link_program, startup_stub
+from repro.compiler.common import BaseCompilation
+from repro.compiler.riscv_backend.driver import compile_to_riscv
+
+
+class BbCompilation(BaseCompilation):
+    """The result of compiling a module to ``bb`` assembly."""
+
+    def link(self):
+        return link_program(
+            [startup_stub()] + self.units,
+            data_words=self.layout.data_words(),
+            data_base=self.layout.data_base,
+        )
+
+    def verify(self, lint=False):
+        """Statically verify the linked image's block-header structure."""
+        from repro.bb.verify import verify_program
+
+        return verify_program(self.link(), lint=lint)
+
+
+def compile_to_bb(module, layout=None, verify=False):
+    """Compile an SSA IR module to BasicBlocker-annotated RV32IM assembly."""
+    rv = compile_to_riscv(module, layout=layout)
+    units = bbify_units(rv.units)
+    stats = {}
+    for unit, (name, func_stats) in zip(units, rv.stats.items()):
+        headers = sum(1 for i in unit.instructions() if i.mnemonic == "BB")
+        stats[name] = dict(
+            func_stats,
+            instructions=len(unit.instructions()),
+            bb_headers=headers,
+        )
+    compilation = BbCompilation(rv.module, units, rv.layout, stats)
+    if verify:
+        report = compilation.verify()
+        if report.has_errors():
+            raise CompileError(
+                "block-header verification failed:\n" + report.text(max_items=20)
+            )
+    return compilation

@@ -1,0 +1,46 @@
+"""Shared backend skeleton: the ISA-independent parts of code generation.
+
+Every backend follows the same shape — prepare the IR function (critical-edge
+splitting, entry normalization, verification), select instructions into a
+machine IR of labelled blocks, emit per-function assembly units, and wrap the
+result in a compilation object that can render assembly text and link an
+executable image.  This package holds that shape once:
+
+* :mod:`.driver` — :class:`BaseCompilation`, :func:`prepare_function` and the
+  generic per-function module loop;
+* :mod:`.machine_ir` — base classes for machine blocks and functions;
+* :mod:`.isel` — block labelling / block-map construction and the shared
+  IR-binop translation tables.
+
+Concrete backends (:mod:`repro.compiler.straight_backend`,
+:mod:`repro.compiler.riscv_backend`, :mod:`repro.compiler.bb_backend`) keep
+only what is genuinely ISA-specific: operand representation (distances vs.
+virtual registers), calling convention, and their post-isel passes.
+"""
+
+from repro.compiler.common.driver import (
+    BaseCompilation,
+    compile_module_functions,
+    ensure_entry_has_no_preds,
+    prepare_function,
+)
+from repro.compiler.common.machine_ir import MachineBlockBase, MachineFunctionBase
+from repro.compiler.common.isel import (
+    BINOP_TABLE,
+    COMMUTATIVE_BINOPS,
+    block_label,
+    build_block_map,
+)
+
+__all__ = [
+    "BaseCompilation",
+    "compile_module_functions",
+    "ensure_entry_has_no_preds",
+    "prepare_function",
+    "MachineBlockBase",
+    "MachineFunctionBase",
+    "BINOP_TABLE",
+    "COMMUTATIVE_BINOPS",
+    "block_label",
+    "build_block_map",
+]

@@ -1,0 +1,72 @@
+"""ISA-independent backend driver machinery."""
+
+from repro.ir.instructions import Br
+from repro.ir.passes.split_critical_edges import split_critical_edges
+from repro.ir.verifier import verify_function
+
+
+def ensure_entry_has_no_preds(func):
+    """Give ``func`` a dedicated entry block if the current one has preds.
+
+    Both conventions require it: STRAIGHT merge refreshes cannot target the
+    convention-defined entry block, and the RISC-V prologue must run exactly
+    once.  Inserts a fresh ``preentry`` block that just branches to the old
+    entry.
+    """
+    entry = func.entry
+    if func.predecessors()[entry]:
+        from repro.ir.basicblock import BasicBlock
+
+        pre = BasicBlock(func.unique_name("preentry"), parent=func)
+        pre.append(Br(entry))
+        func.blocks.insert(0, pre)
+
+
+def prepare_function(func):
+    """The canonical pre-isel pipeline every backend runs.
+
+    Splits critical edges (so merge/phi copies have a home), normalizes the
+    entry block, and verifies the result — isel may assume a well-formed CFG.
+    """
+    split_critical_edges(func)
+    ensure_entry_has_no_preds(func)
+    verify_function(func)
+
+
+def compile_module_functions(module, compile_one):
+    """Run ``compile_one(func) -> (unit, stats)`` over every function.
+
+    Returns ``(units, stats)`` where ``units`` is the list of per-function
+    assembly units in module order and ``stats`` maps function name to the
+    backend's per-function statistics dict.
+    """
+    units = []
+    stats = {}
+    for func in module.functions.values():
+        unit, func_stats = compile_one(func)
+        units.append(unit)
+        stats[func.name] = func_stats
+    return units, stats
+
+
+class BaseCompilation:
+    """The result of compiling a module to one ISA's assembly.
+
+    Subclasses supply :meth:`link`; everything else — the carried module,
+    per-function units and stats, the data layout, and assembly rendering —
+    is common.
+    """
+
+    def __init__(self, module, units, layout, stats):
+        self.module = module
+        self.units = units  # list of AsmUnit, one per function
+        self.layout = layout
+        self.stats = stats  # per-function dict of compile statistics
+
+    def asm_text(self):
+        """The full program's assembly listing."""
+        return "\n".join(unit.to_text() for unit in self.units)
+
+    def link(self):
+        """Link with the startup stub into an executable program image."""
+        raise NotImplementedError

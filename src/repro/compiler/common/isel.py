@@ -1,0 +1,45 @@
+"""Shared instruction-selection helpers.
+
+Block labelling and the IR-binop translation tables are identical across
+backends (every target here borrows RISC-V mnemonics for its ALU ops, and
+linked symbol names follow the same ``func`` / ``func.block`` convention), so
+they live once.
+"""
+
+#: IR binop -> (register mnemonic, immediate mnemonic or None).
+BINOP_TABLE = {
+    "add": ("ADD", "ADDI"),
+    "sub": ("SUB", None),
+    "mul": ("MUL", None),
+    "sdiv": ("DIV", None),
+    "udiv": ("DIVU", None),
+    "srem": ("REM", None),
+    "urem": ("REMU", None),
+    "and": ("AND", "ANDI"),
+    "or": ("OR", "ORI"),
+    "xor": ("XOR", "XORI"),
+    "shl": ("SLL", "SLLI"),
+    "lshr": ("SRL", "SRLI"),
+    "ashr": ("SRA", "SRAI"),
+}
+
+#: IR binops whose operands may be swapped to expose an immediate form.
+COMMUTATIVE_BINOPS = frozenset({"add", "mul", "and", "or", "xor"})
+
+
+def block_label(func_name, index, block):
+    """The linked symbol for the ``index``-th block of a function.
+
+    The entry block *is* the function symbol (calls land there); every other
+    block gets a dotted internal label.
+    """
+    return func_name if index == 0 else f"{func_name}.{block.name}"
+
+
+def build_block_map(ir_func, machine_func):
+    """Create one machine block per IR block; returns the IR->machine map."""
+    block_map = {}
+    for index, block in enumerate(ir_func.blocks):
+        label = block_label(machine_func.name, index, block)
+        block_map[block] = machine_func.add_block(label, block)
+    return block_map

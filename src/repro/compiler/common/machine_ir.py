@@ -1,0 +1,49 @@
+"""Base classes for backend machine IRs.
+
+A machine function is an ordered list of labelled machine blocks; what a
+block *contains* is ISA-specific (distance-operand :class:`MInst` for
+STRAIGHT, virtual-register :class:`RVOp` for RISC-V), so the base classes own
+only the shared skeleton: identity, block bookkeeping, and debug rendering.
+"""
+
+
+class MachineBlockBase:
+    """A labelled machine basic block; subclasses own the op list."""
+
+    def __init__(self, label, ir_block=None):
+        self.label = label
+        self.ir_block = ir_block
+
+    def body(self):
+        """The block's machine operations (subclass storage)."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {op!r}" for op in self.body())
+        return "\n".join(lines)
+
+
+class MachineFunctionBase:
+    """A function in backend machine form.
+
+    ``BLOCK_CLS`` names the subclass's block type; :meth:`add_block` builds
+    and appends one.
+    """
+
+    BLOCK_CLS = MachineBlockBase
+
+    def __init__(self, name, num_args, returns_value):
+        self.name = name
+        self.num_args = num_args
+        self.returns_value = returns_value
+        self.blocks = []
+        self.makes_calls = False
+
+    def add_block(self, label, ir_block=None):
+        block = self.BLOCK_CLS(label, ir_block)
+        self.blocks.append(block)
+        return block
+
+    def __repr__(self):
+        return "\n".join(repr(b) for b in self.blocks)

@@ -1,12 +1,14 @@
 """RISC-V backend driver: isel -> regalloc -> frames -> assembly."""
 
 from repro.common.errors import CompileError
-from repro.ir.instructions import Br
-from repro.ir.passes.split_critical_edges import split_critical_edges
-from repro.ir.verifier import verify_function
 from repro.riscv.isa import RInstr
 from repro.riscv.assembler import AsmUnit
 from repro.riscv.linker import link_program, startup_stub
+from repro.compiler.common import (
+    BaseCompilation,
+    compile_module_functions,
+    prepare_function,
+)
 from repro.compiler.data_layout import DataLayout
 from repro.compiler.riscv_backend.isel import RiscvISel
 from repro.compiler.riscv_backend.regalloc import (
@@ -17,17 +19,8 @@ from repro.compiler.riscv_backend.regalloc import (
 )
 
 
-class RiscvCompilation:
+class RiscvCompilation(BaseCompilation):
     """The result of compiling a module to RV32IM assembly."""
-
-    def __init__(self, module, units, layout, stats):
-        self.module = module
-        self.units = units
-        self.layout = layout
-        self.stats = stats
-
-    def asm_text(self):
-        return "\n".join(unit.to_text() for unit in self.units)
 
     def link(self):
         return link_program(
@@ -40,29 +33,14 @@ class RiscvCompilation:
 def compile_to_riscv(module, layout=None):
     """Compile an SSA IR module to RV32IM assembly."""
     layout = layout or DataLayout(module)
-    units = []
-    stats = {}
-    for func in module.functions.values():
-        unit, func_stats = _compile_function(func, layout)
-        units.append(unit)
-        stats[func.name] = func_stats
+    units, stats = compile_module_functions(
+        module, lambda func: _compile_function(func, layout)
+    )
     return RiscvCompilation(module, units, layout, stats)
 
 
-def _ensure_entry_has_no_preds(func):
-    entry = func.entry
-    if func.predecessors()[entry]:
-        from repro.ir.basicblock import BasicBlock
-
-        pre = BasicBlock(func.unique_name("preentry"), parent=func)
-        pre.append(Br(entry))
-        func.blocks.insert(0, pre)
-
-
 def _compile_function(func, layout):
-    split_critical_edges(func)
-    _ensure_entry_has_no_preds(func)
-    verify_function(func)
+    prepare_function(func)
     isel = RiscvISel(func, layout)
     rvfunc = isel.run()
     dead = eliminate_dead_ops(rvfunc)

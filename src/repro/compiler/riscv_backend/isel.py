@@ -29,28 +29,16 @@ from repro.ir.instructions import (
     Select,
 )
 from repro.riscv.linker import ECALL_OUT, ECALL_EXIT
+from repro.compiler.common.isel import (
+    BINOP_TABLE as _BINOP_TABLE,
+    COMMUTATIVE_BINOPS as _COMMUTATIVE,
+    build_block_map,
+)
 from repro.compiler.riscv_backend.machine_ir import VReg, RVOp, RVFunction
 
 # Physical register numbers used by the convention.
 ZERO, RA, SP, SCRATCH1, SCRATCH2 = 0, 1, 2, 3, 4
 ARG_REGS = list(range(10, 18))  # a0..a7
-
-_BINOP_TABLE = {
-    "add": ("ADD", "ADDI"),
-    "sub": ("SUB", None),
-    "mul": ("MUL", None),
-    "sdiv": ("DIV", None),
-    "udiv": ("DIVU", None),
-    "srem": ("REM", None),
-    "urem": ("REMU", None),
-    "and": ("AND", "ANDI"),
-    "or": ("OR", "ORI"),
-    "xor": ("XOR", "XORI"),
-    "shl": ("SLL", "SLLI"),
-    "lshr": ("SRL", "SRLI"),
-    "ashr": ("SRA", "SRAI"),
-}
-_COMMUTATIVE = {"add", "mul", "and", "or", "xor"}
 
 #: icmp predicate -> (branch-if-true mnemonic, operands swapped)
 _BRANCH_TABLE = {
@@ -104,11 +92,7 @@ class RiscvISel:
             raise CompileError(
                 f"{self.func.name}: more than {len(ARG_REGS)} parameters"
             )
-        for index, block in enumerate(self.func.blocks):
-            label = (
-                self.func.name if index == 0 else f"{self.func.name}.{block.name}"
-            )
-            self.block_map[block] = self.rvfunc.add_block(label, block)
+        self.block_map = build_block_map(self.func, self.rvfunc)
         for block in self.func.blocks:
             for instr in block.instructions:
                 if isinstance(instr, Alloca):

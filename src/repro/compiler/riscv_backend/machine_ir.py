@@ -6,6 +6,8 @@ allocation replaces the former.  ``target`` holds a block (branches) or a
 callee name (calls).
 """
 
+from repro.compiler.common.machine_ir import MachineBlockBase, MachineFunctionBase
+
 
 class VReg:
     """A virtual register."""
@@ -66,13 +68,15 @@ class RVOp:
         return " ".join(str(f) for f in fields)
 
 
-class RVBlock:
+class RVBlock(MachineBlockBase):
     """A machine basic block."""
 
     def __init__(self, label, ir_block=None):
-        self.label = label
-        self.ir_block = ir_block
+        super().__init__(label, ir_block)
         self.ops = []
+
+    def body(self):
+        return self.ops
 
     def append(self, op):
         self.ops.append(op)
@@ -85,28 +89,13 @@ class RVBlock:
         self.ops.insert(index, op)
         return op
 
-    def __repr__(self):
-        lines = [f"{self.label}:"]
-        lines.extend(f"  {op!r}" for op in self.ops)
-        return "\n".join(lines)
 
-
-class RVFunction:
+class RVFunction(MachineFunctionBase):
     """A function in backend machine form."""
 
+    BLOCK_CLS = RVBlock
+
     def __init__(self, name, num_args, returns_value):
-        self.name = name
-        self.num_args = num_args
-        self.returns_value = returns_value
-        self.blocks = []
-        self.makes_calls = False
+        super().__init__(name, num_args, returns_value)
         self.alloca_offsets = {}  # IR Alloca -> word offset within frame
         self.alloca_words = 0
-
-    def add_block(self, label, ir_block=None):
-        block = RVBlock(label, ir_block)
-        self.blocks.append(block)
-        return block
-
-    def __repr__(self):
-        return "\n".join(repr(b) for b in self.blocks)

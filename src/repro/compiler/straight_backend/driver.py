@@ -1,13 +1,15 @@
 """STRAIGHT backend driver: orchestrates the per-function pipeline."""
 
 from repro.common.errors import CompileError
-from repro.ir.instructions import Br
 from repro.ir.analysis.liveness import compute_liveness
-from repro.ir.passes.split_critical_edges import split_critical_edges
-from repro.ir.verifier import verify_function
 from repro.straight.isa import MAX_DISTANCE
 from repro.straight.assembler import AsmUnit
 from repro.straight.linker import link_program, startup_stub
+from repro.compiler.common import (
+    BaseCompilation,
+    compile_module_functions,
+    prepare_function,
+)
 from repro.compiler.data_layout import DataLayout
 from repro.compiler.straight_backend.frame import build_frame_info
 from repro.compiler.straight_backend.isel import StraightISel
@@ -19,19 +21,12 @@ from repro.compiler.straight_backend.distance import (
 from repro.compiler.straight_backend.redundancy import sink_producers
 
 
-class StraightCompilation:
+class StraightCompilation(BaseCompilation):
     """The result of compiling a module to STRAIGHT assembly."""
 
     def __init__(self, module, units, layout, max_distance, stats):
-        self.module = module
-        self.units = units  # list of AsmUnit, one per function
-        self.layout = layout
+        super().__init__(module, units, layout, stats)
         self.max_distance = max_distance
-        self.stats = stats  # per-function dict of compile statistics
-
-    def asm_text(self):
-        """The full program's assembly listing."""
-        return "\n".join(unit.to_text() for unit in self.units)
 
     def link(self):
         """Link with the startup stub into an executable program image."""
@@ -78,14 +73,12 @@ def compile_to_straight(
     demotion = (
         redundancy_elimination if enable_demotion is None else enable_demotion
     )
-    units = []
-    stats = {}
-    for func in module.functions.values():
-        unit, func_stats = _compile_function(
+    units, stats = compile_module_functions(
+        module,
+        lambda func: _compile_function(
             func, module, layout, max_distance, sinking, demotion
-        )
-        units.append(unit)
-        stats[func.name] = func_stats
+        ),
+    )
     compilation = StraightCompilation(module, units, layout, max_distance, stats)
     if verify:
         report = compilation.verify()
@@ -96,21 +89,8 @@ def compile_to_straight(
     return compilation
 
 
-def _ensure_entry_has_no_preds(func):
-    """Merge refreshes cannot target the convention-defined entry block."""
-    entry = func.entry
-    if func.predecessors()[entry]:
-        from repro.ir.basicblock import BasicBlock
-
-        pre = BasicBlock(func.unique_name("preentry"), parent=func)
-        pre.append(Br(entry))
-        func.blocks.insert(0, pre)
-
-
 def _compile_function(func, module, layout, max_distance, sinking, demotion):
-    split_critical_edges(func)
-    _ensure_entry_has_no_preds(func)
-    verify_function(func)
+    prepare_function(func)
     liveness = compute_liveness(func)
     frame = build_frame_info(func, optimize=demotion)
     isel = StraightISel(func, layout, frame)

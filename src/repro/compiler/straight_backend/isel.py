@@ -30,6 +30,11 @@ from repro.ir.instructions import (
     Output,
     Select,
 )
+from repro.compiler.common.isel import (
+    BINOP_TABLE as _BINOP_TABLE,
+    COMMUTATIVE_BINOPS as _COMMUTATIVE,
+    build_block_map,
+)
 from repro.compiler.straight_backend.machine_ir import (
     MInst,
     MFunction,
@@ -38,25 +43,6 @@ from repro.compiler.straight_backend.machine_ir import (
     RetValValue,
 )
 from repro.compiler.straight_backend.frame import RETADDR_KEY
-
-#: IR binop -> (register mnemonic, immediate mnemonic or None).
-_BINOP_TABLE = {
-    "add": ("ADD", "ADDI"),
-    "sub": ("SUB", None),  # folded to ADDI of the negated constant
-    "mul": ("MUL", None),
-    "sdiv": ("DIV", None),
-    "udiv": ("DIVU", None),
-    "srem": ("REM", None),
-    "urem": ("REMU", None),
-    "and": ("AND", "ANDI"),
-    "or": ("OR", "ORI"),
-    "xor": ("XOR", "XORI"),
-    "shl": ("SLL", "SLLI"),
-    "lshr": ("SRL", "SRLI"),
-    "ashr": ("SRA", "SRAI"),
-}
-
-_COMMUTATIVE = {"add", "mul", "and", "or", "xor"}
 
 #: Word offsets that fit the ST instruction's 5-bit scaled immediate.
 _ST_IMM_MAX = 15
@@ -101,13 +87,7 @@ class StraightISel:
         return inst
 
     def run(self):
-        for index, block in enumerate(self.func.blocks):
-            label = (
-                self.mfunc.name
-                if index == 0
-                else f"{self.mfunc.name}.{block.name}"
-            )
-            self.block_map[block] = self.mfunc.add_block(label, block)
+        self.block_map = build_block_map(self.func, self.mfunc)
         for arg, mval in zip(self.func.params, self.mfunc.arg_values):
             mval.name = arg.name
             self.value_map[arg] = mval

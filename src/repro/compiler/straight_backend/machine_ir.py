@@ -11,6 +11,7 @@ producer via the age map.
 """
 
 from repro.common.errors import CompileError
+from repro.compiler.common.machine_ir import MachineBlockBase, MachineFunctionBase
 
 
 class MValue:
@@ -164,18 +165,20 @@ class RefreshItem:
         return f"Refresh({self.target!r})"
 
 
-class MBlock:
+class MBlock(MachineBlockBase):
     """A machine basic block."""
 
     def __init__(self, label, ir_block=None):
-        self.label = label
-        self.ir_block = ir_block
+        super().__init__(label, ir_block)
         self.instrs = []
         self.preds = []
         self.refresh_list = []  # RefreshItems, only for merge blocks
         # Filled by isel: logical values live out toward each successor,
         # and spill stores that must run at block top (spilled phis).
         self.rc_live_out = set()
+
+    def body(self):
+        return self.instrs
 
     def append(self, inst):
         self.instrs.append(inst)
@@ -192,29 +195,17 @@ class MBlock:
     def is_merge(self):
         return len(self.preds) >= 2
 
-    def __repr__(self):
-        lines = [f"{self.label}:"]
-        lines.extend(f"  {inst!r}" for inst in self.instrs)
-        return "\n".join(lines)
 
-
-class MFunction:
+class MFunction(MachineFunctionBase):
     """A function in backend machine form."""
 
+    BLOCK_CLS = MBlock
+
     def __init__(self, name, num_args, returns_value):
-        self.name = name
-        self.num_args = num_args
-        self.returns_value = returns_value
-        self.blocks = []
+        super().__init__(name, num_args, returns_value)
         self.frame_words = 0
-        self.makes_calls = False
         self.arg_values = [ArgValue(i) for i in range(num_args)]
         self.retaddr = RetAddrValue()
-
-    def add_block(self, label, ir_block=None):
-        block = MBlock(label, ir_block)
-        self.blocks.append(block)
-        return block
 
     @property
     def entry(self):
@@ -228,6 +219,3 @@ class MFunction:
         for block in self.blocks:
             for succ in block.successors():
                 succ.preds.append(block)
-
-    def __repr__(self):
-        return "\n".join(repr(b) for b in self.blocks)

@@ -11,11 +11,10 @@ This is the entry point a downstream user reaches for::
     print(st.stats.ipc / ss.stats.ipc)
 """
 
+from repro import isa as isa_registry
 from repro.common.errors import SimulationError
 from repro.frontend import compile_source
 from repro.compiler import compile_to_riscv, compile_to_straight
-from repro.riscv import RiscvInterpreter
-from repro.straight import StraightInterpreter
 from repro.uarch.core import OoOCore
 
 
@@ -23,35 +22,44 @@ class Binary:
     """One linked executable plus which ISA it targets."""
 
     def __init__(self, isa, program, compilation):
-        self.isa = isa  # 'riscv' | 'straight'
+        self.isa = isa  # a registered ISA name ('riscv' | 'straight' | 'bb')
         self.program = program
         self.compilation = compilation
 
+    @property
+    def descriptor(self):
+        """This binary's :class:`~repro.isa.descriptor.IsaDescriptor`."""
+        return isa_registry.get(self.isa)
+
     def interpreter(self, collect_trace=False):
-        if self.isa == "riscv":
-            return RiscvInterpreter(self.program, collect_trace=collect_trace)
-        return StraightInterpreter(self.program, collect_trace=collect_trace)
+        return self.descriptor.make_interpreter(
+            self.program, collect_trace=collect_trace
+        )
 
 
 class BuildResult:
-    """The three binaries the paper evaluates for every benchmark."""
+    """The evaluated binaries of one benchmark: the paper's three plus BB."""
 
-    def __init__(self, module, riscv, straight_raw, straight_re):
+    def __init__(self, module, riscv, straight_raw, straight_re, bb=None):
         self.module = module
         self.riscv = riscv
         self.straight_raw = straight_raw
         self.straight_re = straight_re
+        self.bb = bb
 
     def all(self):
-        return {
+        binaries = {
             "SS": self.riscv,
             "STRAIGHT-RAW": self.straight_raw,
             "STRAIGHT-RE+": self.straight_re,
         }
+        if self.bb is not None:
+            binaries["BB"] = self.bb
+        return binaries
 
 
 def build(source, max_distance=1023, optimize=True):
-    """Compile mini-C source to RV32IM + STRAIGHT RAW + STRAIGHT RE+ binaries."""
+    """Compile mini-C source to RV32IM, STRAIGHT RAW/RE+ and BB binaries."""
     module = compile_source(source, optimize=optimize)
     riscv = compile_to_riscv(module)
     raw = compile_to_straight(
@@ -60,11 +68,15 @@ def build(source, max_distance=1023, optimize=True):
     re_plus = compile_to_straight(
         module, max_distance=max_distance, redundancy_elimination=True
     )
+    from repro.compiler.bb_backend import compile_to_bb
+
+    bb = compile_to_bb(module)
     return BuildResult(
         module,
         Binary("riscv", riscv.link(), riscv),
         Binary("straight", raw.link(), raw),
         Binary("straight", re_plus.link(), re_plus),
+        bb=Binary("bb", bb.link(), bb),
     )
 
 

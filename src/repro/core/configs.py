@@ -105,12 +105,70 @@ def straight_4way(**overrides):
     ).copy(**overrides)
 
 
+def bb_2way(**overrides):
+    """BB-2way: the SS-2way core with the BasicBlocker ``bb`` front end.
+
+    Identical resources to SS-2way (the ISA is RV32IM plus block headers and
+    the back end is unchanged), but control flow is resolved from the ``BB``
+    annotations instead of predicted — no predictor, no recovery stalls, at
+    the cost of one header instruction per executed basic block.
+    """
+    return CoreConfig(
+        name="BB-2way",
+        is_straight=False,
+        fetch_width=2,
+        issue_width=2,
+        commit_width=3,
+        frontend_depth=8,
+        rename_stage_depth=4,
+        rob_entries=64,
+        iq_entries=16,
+        phys_regs=96,
+        lsq_loads=48,
+        lsq_stores=48,
+        units=_UNITS_2WAY,
+        l3=None,
+        frontend="bb",
+        **_CACHES_COMMON,
+    ).copy(**overrides)
+
+
+def bb_4way(**overrides):
+    """BB-4way: the SS-4way core with the BasicBlocker ``bb`` front end."""
+    return CoreConfig(
+        name="BB-4way",
+        is_straight=False,
+        fetch_width=6,
+        issue_width=4,
+        commit_width=4,
+        frontend_depth=8,
+        rename_stage_depth=4,
+        rob_entries=224,
+        iq_entries=96,
+        phys_regs=256,
+        lsq_loads=72,
+        lsq_stores=56,
+        units=_UNITS_4WAY,
+        l3=CacheConfig(2048, 4, 64, 42),
+        frontend="bb",
+        **_CACHES_COMMON,
+    ).copy(**overrides)
+
+
 #: All Table I models by name.
 TABLE1 = {
     "SS-2way": ss_2way,
     "STRAIGHT-2way": straight_2way,
     "SS-4way": ss_4way,
     "STRAIGHT-4way": straight_4way,
+}
+
+#: Every evaluated core, including the BasicBlocker extension models (not
+#: part of the paper's Table I, so kept out of :data:`TABLE1`).
+ALL_CORES = {
+    **TABLE1,
+    "BB-2way": bb_2way,
+    "BB-4way": bb_4way,
 }
 
 

@@ -32,23 +32,29 @@ from repro.guardrails.crashdump import write_crash_dump, write_manifest
 
 
 def static_precheck(binary, strict=True, lint=False):
-    """Static verification pre-pass over a STRAIGHT binary.
+    """Static verification pre-pass over a binary, via its ISA descriptor.
 
     The cheap front half of the guarded pipeline: before any dynamic
-    lockstep run, prove the distance/write-once/SP discipline over every
-    CFG path (see :mod:`repro.analysis`), so dynamic checking starts from a
-    binary already known to be structurally sound on the paths the run
-    won't take.  Returns the diagnostic report, or ``None`` for non-STRAIGHT
-    binaries; with ``strict`` (default) error diagnostics raise
+    lockstep run, prove the ISA's static discipline over every CFG path —
+    STRAIGHT's distance/write-once/SP proof (:mod:`repro.analysis`), the
+    ``bb`` block-header structure proof (:mod:`repro.bb.verify`) — so
+    dynamic checking starts from a binary already known to be structurally
+    sound on the paths the run won't take.  Returns the diagnostic report,
+    or ``None`` for ISAs without a static verifier; with ``strict``
+    (default) error diagnostics raise
     :class:`~repro.common.errors.GuardrailError`.
     """
-    if getattr(binary, "isa", None) != "straight":
+    isa_name = getattr(binary, "isa", None)
+    if isa_name is None:
         return None
-    from repro.common.errors import GuardrailError
-    from repro.analysis import verify_program
+    from repro import isa as isa_registry
 
-    report = verify_program(binary.program, lint=lint)
+    report = isa_registry.get(isa_name).static_check(binary.program, lint=lint)
+    if report is None:
+        return None
     if strict and report.has_errors():
+        from repro.common.errors import GuardrailError
+
         raise GuardrailError(
             "static verification failed before the dynamic run:\n"
             + report.text(max_items=10)

@@ -28,6 +28,11 @@ class LockstepMonitor:
     def __init__(self, binary, window=32):
         self.binary = binary
         self.isa = binary.isa
+        from repro import isa as isa_registry
+
+        #: 'distance' (every instruction writes the next circular RP) or
+        #: 'gpr' (named registers; writes only when ``dest`` is set).
+        self.register_model = isa_registry.get(binary.isa).register_model
         self.golden = binary.interpreter(collect_trace=False)
         self.compared = 0
         self.window = window
@@ -44,8 +49,8 @@ class LockstepMonitor:
             self._diverge("pc", golden_pc, entry.pc, entry, cycle)
         decoded = getattr(golden, "decoded", None)
         if decoded is not None:
-            # STRAIGHT golden machine: step straight off the shared
-            # pre-decoded array (one decode per binary, not per machine).
+            # Step straight off the shared pre-decoded array (one decode
+            # per binary, not per machine) — every built-in ISS has one.
             if not 0 <= golden.pc_index < len(decoded):
                 self._diverge("pc_index", f"[0, {len(decoded)})",
                               golden.pc_index, entry, cycle)
@@ -70,8 +75,8 @@ class LockstepMonitor:
 
     def _compare_result(self, entry, cycle):
         golden = self.golden
-        if self.isa == "straight":
-            # Every STRAIGHT instruction writes; seq was bumped by step().
+        if self.register_model == "distance":
+            # Every distance-ISA instruction writes; seq was bumped by step().
             value = golden.regs[(golden.seq - 1) % golden.max_rp]
             if value != entry.dest_value:
                 self._diverge("dest_value", value, entry.dest_value, entry,

@@ -25,10 +25,11 @@ import os
 import tempfile
 import time
 
+from repro import isa as isa_registry
 from repro.common.bitops import wrap32
 from repro.common.layout import WORD_BYTES
 from repro.core.api import build
-from repro.core.configs import TABLE1
+from repro.core.configs import ALL_CORES
 from repro.ir.passes.constfold import eval_binop, eval_icmp
 from repro.uarch.core import OoOCore
 
@@ -99,8 +100,9 @@ def _timed(config_factory, trace, idle_skip, repeats):
 def bench_workload(name, config_name="SS-2way", repeats=3):
     """Benchmark one workload; returns a JSON-friendly report dict."""
     source = BENCH_WORKLOADS[name]
-    factory = TABLE1[config_name]
-    label = "STRAIGHT-RE+" if factory().is_straight else "SS"
+    factory = ALL_CORES[config_name]
+    config = factory()
+    label = isa_registry.for_config(config).label_for_config(config)
     trace = _trace_for(source, label)
 
     stepped_stats, _, stepped_s = _timed(factory, trace, False, repeats)
@@ -289,8 +291,9 @@ def bench_observability(config_name="SS-2way", repeats=3,
     """
     from repro.obs import KanataWriter, ObserverBus, StallAttributionAccountant
 
-    factory = TABLE1[config_name]
-    label = "STRAIGHT-RE+" if factory().is_straight else "SS"
+    factory = ALL_CORES[config_name]
+    probe = factory()
+    label = isa_registry.for_config(probe).label_for_config(probe)
     trace = _trace_for(BENCH_WORKLOADS[workload], label)
 
     def timed(observer_factory, idle_skip=True):
@@ -346,23 +349,21 @@ def bench_observability(config_name="SS-2way", repeats=3,
 
 
 def _sweep_grid(workloads):
-    """A reduced timing grid: each bench workload on both 2-way cores."""
-    from repro.core.configs import ss_2way, straight_2way
+    """A reduced timing grid: each bench workload on every ISA's 2-way core."""
     from repro.harness.sweep import SweepTask
 
     tasks = []
     for name in workloads:
         source = BENCH_WORKLOADS[name]
-        for config, opts in (
-            (ss_2way(), {"target": "riscv"}),
-            (straight_2way(), {"target": "straight"}),
-        ):
+        for descriptor in isa_registry.descriptors():
+            config = descriptor.config_factories["2way"]()
+            target = next(iter(descriptor.targets))
             tasks.append(
                 SweepTask(
                     f"bench/{name}/{config.name}",
                     name,
                     config=config,
-                    compile_opts=dict(opts, source_text=source),
+                    compile_opts={"target": target, "source_text": source},
                 )
             )
     return tasks

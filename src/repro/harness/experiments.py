@@ -488,6 +488,87 @@ def fig17_power(workload="dhrystone"):
     }
 
 
+# ---------------------------------------------------------------------------
+# Three-ISA grid + encoding density (registry-driven; beyond the paper)
+# ---------------------------------------------------------------------------
+
+
+def _isa_grid():
+    """[(workload, class, descriptor, task)]: every registered ISA's default
+    evaluation binary on its 2-way and 4-way cores."""
+    from repro import isa as isa_registry
+
+    grid = []
+    for workload in _WORKLOADS:
+        for way in ("2way", "4way"):
+            for descriptor in isa_registry.descriptors():
+                config = descriptor.config_factories[way]()
+                grid.append(
+                    (workload, way, descriptor,
+                     timing_task(workload, descriptor.default_label, config))
+                )
+    return grid
+
+
+def isa_grid():
+    """Fig. 11/12-style relative performance across *all* registered ISAs.
+
+    Extends the paper's SS-vs-STRAIGHT comparison with every other
+    registered ISA (currently BasicBlocker-style ``bb``), normalized to the
+    RV32IM (SS) core of the same issue-width class per workload.
+    """
+    grid = _isa_grid()
+    results = ensure_results([task for *_, task in grid])
+    base = {}
+    for workload, way, descriptor, task in grid:
+        if descriptor.name == "riscv":
+            base[(workload, way)] = _stats_of(results, task)["cycles"]
+    rows = []
+    for workload, way, descriptor, task in grid:
+        stats = _stats_of(results, task)
+        rows.append(
+            {
+                "workload": workload,
+                "class": way,
+                "isa": descriptor.name,
+                "model": descriptor.default_label,
+                "cycles": stats["cycles"],
+                "ipc": round(stats["ipc"], 3),
+                "relative_perf": round(
+                    base[(workload, way)] / stats["cycles"], 4
+                ),
+            }
+        )
+    series = [
+        (f"{r['workload'][:5]}/{r['class']}/{r['model']}", r["relative_perf"])
+        for r in rows
+    ]
+    return {
+        "rows": rows,
+        "text": format_bars(
+            series,
+            title="Three-ISA grid: relative performance (SS = 1.0 per class)",
+        ),
+    }
+
+
+def _isa_density_tasks():
+    from repro import isa as isa_registry
+
+    return [
+        functional_task(workload, descriptor.default_label)
+        for workload in _WORKLOADS
+        for descriptor in isa_registry.descriptors()
+    ]
+
+
+def isa_density():
+    """Encoding density (bits/instruction) across registered ISAs."""
+    from repro.isa.density import density_report
+
+    return density_report(workloads=_WORKLOADS)
+
+
 def _ablations():
     from repro.harness import ablations
 
@@ -509,6 +590,8 @@ ALL_EXPERIMENTS = {
     "ablation_re_plus": lambda: _ablations().ablate_re_plus(),
     "ablation_recovery": lambda: _ablations().ablate_recovery(),
     "ablation_spadd": lambda: _ablations().ablate_spadd_throughput(),
+    "isa_grid": isa_grid,
+    "isa_density": isa_density,
 }
 
 
@@ -537,6 +620,8 @@ def _grid_builders():
         "ablation_re_plus": lambda: [t for _, t in ab.re_plus_grid()],
         "ablation_recovery": lambda: [t for _, t in ab.recovery_grid()],
         "ablation_spadd": lambda: [t for _, t in ab.spadd_grid()],
+        "isa_grid": lambda: [task for *_, task in _isa_grid()],
+        "isa_density": _isa_density_tasks,
     }
 
 

@@ -120,12 +120,18 @@ def compile_binary_cached(source, target="straight", max_distance=1023,
                           **backend_opts):
     """Compile one source/target/options point, persistently memoized.
 
-    Returns a :class:`~repro.core.api.Binary`.  The artifact key covers the
-    source digest, the target ISA, ``max_distance`` and every backend
-    option, so RAW and RE+ (or sinking/demotion ablation variants) never
-    alias while identical requests across figures and runs share one
-    compilation.
+    Returns a :class:`~repro.core.api.Binary`.  ``target`` is any name the
+    ISA registry resolves (``riscv``, ``straight``, ``straight-raw``,
+    ``bb``, ...); unknown targets raise
+    :class:`~repro.common.errors.UnknownIsaError` listing the valid
+    choices.  The artifact key covers the source digest, the target name,
+    ``max_distance`` and every backend option, so RAW and RE+ (or
+    sinking/demotion ablation variants) never alias while identical
+    requests across figures and runs share one compilation.
     """
+    from repro import isa as isa_registry
+
+    descriptor, target_opts = isa_registry.resolve_target(target)
     artifact_key = {
         "kind": "compile",
         "tag": cache_mod.TOOLCHAIN_TAG,
@@ -140,19 +146,18 @@ def compile_binary_cached(source, target="straight", max_distance=1023,
         if binary is not None:
             return binary
 
-    from repro.compiler import compile_to_riscv, compile_to_straight
     from repro.core.api import Binary
     from repro.frontend import compile_source
 
     module = compile_source(source)
-    if target == "riscv":
-        compilation = compile_to_riscv(module)
-        binary = Binary("riscv", compilation.link(), compilation)
-    else:
-        compilation = compile_to_straight(
-            module, max_distance=max_distance, **backend_opts
-        )
-        binary = Binary("straight", compilation.link(), compilation)
+    # Variant targets carry baked-in options (e.g. straight-raw disables
+    # redundancy elimination); explicit backend options always win.
+    opts = dict(target_opts)
+    opts.update(backend_opts)
+    compilation = descriptor.compile_module(
+        module, max_distance=max_distance, **opts
+    )
+    binary = Binary(descriptor.name, compilation.link(), compilation)
     cache_mod.binary_digest(binary)  # memoize the digest into the pickle
     if artifacts is not None:
         artifacts.put(artifact_key, binary)

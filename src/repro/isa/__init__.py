@@ -1,0 +1,119 @@
+"""The ISA registry: ``repro.isa.get("straight" | "riscv" | "bb")``.
+
+Every layer of the stack that used to branch on ISA name strings now asks
+the registry for an :class:`~repro.isa.descriptor.IsaDescriptor` and calls
+its hooks.  Built-in ISAs register lazily on first lookup (importing this
+package stays cheap and cycle-free); third-party descriptors register via
+:func:`register`.
+
+Unknown names raise :class:`~repro.common.errors.UnknownIsaError`, which
+lists the registered names — no silent fallback.
+"""
+
+from repro.common.errors import UnknownIsaError
+from repro.isa.descriptor import IsaDescriptor
+from repro.isa.predecode import DecodedOp, decode_program
+
+#: Registered descriptors by name, in registration order.
+_REGISTRY = {}
+
+#: Built-in descriptors, loaded on first lookup.  The module import runs
+#: the ``register()`` call as a side effect.
+_BUILTIN = {
+    "straight": "repro.straight.descriptor",
+    "riscv": "repro.riscv.descriptor",
+    "bb": "repro.bb.descriptor",
+}
+
+
+def register(descriptor):
+    """Register ``descriptor`` (an :class:`IsaDescriptor`) by its name."""
+    _REGISTRY[descriptor.name] = descriptor
+    return descriptor
+
+
+def _ensure_builtin(name=None):
+    import importlib
+
+    wanted = _BUILTIN if name is None else {name: _BUILTIN[name]}
+    for isa_name, module in wanted.items():
+        if isa_name not in _REGISTRY:
+            importlib.import_module(module)
+
+
+def get(name):
+    """The descriptor registered under ``name``.
+
+    Raises :class:`~repro.common.errors.UnknownIsaError` (listing every
+    registered name) for unknown ISAs.
+    """
+    descriptor = _REGISTRY.get(name)
+    if descriptor is None and name in _BUILTIN:
+        _ensure_builtin(name)
+        descriptor = _REGISTRY.get(name)
+    if descriptor is None:
+        raise UnknownIsaError(name, names())
+    return descriptor
+
+
+def names():
+    """Every registered ISA name, built-ins first, in registration order."""
+    _ensure_builtin()
+    return tuple(_REGISTRY)
+
+
+def descriptors():
+    """Every registered descriptor, in :func:`names` order."""
+    return tuple(_REGISTRY[name] for name in names())
+
+
+def target_map():
+    """CLI target name -> (descriptor, backend opts) across all ISAs."""
+    mapping = {}
+    for descriptor in descriptors():
+        for target, opts in descriptor.targets.items():
+            mapping[target] = (descriptor, opts)
+    return mapping
+
+
+def resolve_target(target):
+    """(descriptor, backend opts) for one CLI target name.
+
+    Accepts both plain ISA names and per-ISA variant targets (e.g.
+    ``straight-raw``); raises :class:`UnknownIsaError` listing every valid
+    choice otherwise.
+    """
+    mapping = target_map()
+    entry = mapping.get(target)
+    if entry is None:
+        raise UnknownIsaError(target, mapping)
+    return entry
+
+
+def for_frontend(frontend):
+    """The descriptor whose cores use timing front-end model ``frontend``."""
+    for descriptor in descriptors():
+        if descriptor.frontend == frontend:
+            return descriptor
+    raise UnknownIsaError(frontend, [d.frontend for d in descriptors()])
+
+
+def for_config(config):
+    """The descriptor a :class:`~repro.uarch.config.CoreConfig` simulates."""
+    return for_frontend(config.frontend_model)
+
+
+__all__ = [
+    "IsaDescriptor",
+    "DecodedOp",
+    "decode_program",
+    "UnknownIsaError",
+    "register",
+    "get",
+    "names",
+    "descriptors",
+    "target_map",
+    "resolve_target",
+    "for_frontend",
+    "for_config",
+]

@@ -1,0 +1,114 @@
+"""ISA-neutral assembler/linker skeleton.
+
+Both per-ISA assemblers are the same machine: split lines, strip comments,
+collect ``label:`` markers and hand instruction lines to an ISA-specific
+parser.  Both linkers start the same way: merge units, assign instruction
+indices, collect label positions.  This module carries that shared shape;
+``repro/straight/assembler.py`` and ``repro/riscv/assembler.py`` contribute
+only their instruction-line grammars, and the linkers call
+:func:`collect_labels`.
+"""
+
+from repro.common.errors import AsmError, LinkError
+
+
+class AsmUnit:
+    """A parsed assembly unit: ordered labels and instructions.
+
+    ``origins`` (parallel to :meth:`instructions`) maps each instruction to
+    its 1-based source line when the unit was parsed from text, else None.
+    ``verify_manifest`` optionally carries the compiler's producer manifest
+    (see :mod:`repro.analysis`) through assembly and linking.
+    """
+
+    def __init__(self, items=None, origins=None):
+        self.items = list(items or [])  # ('label', name) | ('instr', instr)
+        self.origins = list(origins or [])
+        self.verify_manifest = None
+
+    def add_label(self, name):
+        self.items.append(("label", name))
+
+    def add_instr(self, instr, origin=None):
+        self.items.append(("instr", instr))
+        self.origins.append(origin)
+
+    def instructions(self):
+        return [item for kind, item in self.items if kind == "instr"]
+
+    def instruction_origins(self):
+        """Per-instruction source lines, padded to the instruction count."""
+        instrs = self.instructions()
+        origins = list(self.origins[: len(instrs)])
+        origins.extend([None] * (len(instrs) - len(origins)))
+        return origins
+
+    def to_text(self):
+        lines = []
+        for kind, item in self.items:
+            if kind == "label":
+                lines.append(f"{item}:")
+            else:
+                lines.append(f"    {item.to_asm()}")
+        return "\n".join(lines) + "\n"
+
+
+def is_symbol(text):
+    """True for a well-formed label/symbol name."""
+    return bool(text) and (text[0].isalpha() or text[0] in "_.") and all(
+        c.isalnum() or c in "_.$" for c in text
+    )
+
+
+def parse_assembly_text(text, parse_instr_line, validate_labels=False):
+    """The shared assembler driver.
+
+    ``parse_instr_line(line, lineno)`` is the ISA's instruction grammar;
+    ``validate_labels`` additionally enforces symbol syntax and uniqueness
+    (the STRAIGHT assembler's stricter contract).
+    """
+    unit = AsmUnit()
+    seen_labels = set()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if validate_labels:
+                if not label or not is_symbol(label):
+                    raise AsmError(f"bad label {line!r}", line=lineno)
+                if label in seen_labels:
+                    raise AsmError(f"duplicate label {label!r}", line=lineno)
+                seen_labels.add(label)
+            unit.add_label(label)
+            continue
+        unit.add_instr(parse_instr_line(line, lineno), origin=lineno)
+    return unit
+
+
+def merge_units(units):
+    """One merged :class:`AsmUnit` (items + origins) from many."""
+    merged = AsmUnit()
+    for unit in units:
+        merged.items.extend(unit.items)
+        merged.origins.extend(unit.instruction_origins())
+    return merged
+
+
+def collect_labels(items):
+    """Label name -> instruction index over merged unit items.
+
+    Raises :class:`~repro.common.errors.LinkError` on duplicates — the
+    common first half of every linker.
+    """
+    labels = {}
+    index = 0
+    for kind, item in items:
+        if kind == "label":
+            if item in labels:
+                raise LinkError(f"duplicate label {item!r}")
+            labels[item] = index
+        else:
+            index += 1
+    return labels

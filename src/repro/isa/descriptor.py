@@ -1,0 +1,109 @@
+"""The ISA plugin abstraction: one descriptor per registered ISA.
+
+An :class:`IsaDescriptor` bundles everything the toolchain, harness and
+simulators need to know about one instruction set — opcode/format tables,
+the register-model kind, encode/decode, assembler/linker entry points,
+interpreter and compiler factories, timing-model hooks — so that every
+layer above dispatches through the registry (:mod:`repro.isa`) instead of
+comparing ISA name strings.
+
+Adding an ISA means building one descriptor (usually in
+``repro/<isa>/descriptor.py``) and registering it; see DESIGN.md §12 for
+the walkthrough.
+"""
+
+
+class IsaDescriptor:
+    """Everything the stack needs to know about one ISA.
+
+    Required hooks (callables):
+
+    * ``parse_assembly(text)`` -> AsmUnit
+    * ``link(units, data_words=(), data_base=0, **kw)`` -> linked program
+    * ``startup_stub()`` -> AsmUnit
+    * ``encode(instr)`` / ``decode(word)`` -> 32-bit word / instruction
+    * ``make_interpreter(program, collect_trace=False, **kw)`` -> ISS
+    * ``compile_module(module, max_distance=..., **opts)`` -> compilation
+      (an object with ``asm_text()`` and ``link()``)
+
+    Optional hooks:
+
+    * ``static_check(program, lint=False)`` -> diagnostic report — the
+      ISA's static verifier (STRAIGHT's distance/write-once proof, the
+      ``bb`` block-header structure check); ISAs without one leave it
+      ``None``.  Reports duck-type ``has_errors()`` / ``text(max_items)`` /
+      ``as_dict()``; severity policy (raise vs. warn) is the caller's.
+    * ``predecode(program)`` -> tuple of DecodedOp — the decode-once hot
+      path (see :mod:`repro.isa.predecode`).
+
+    Data fields:
+
+    * ``register_model`` — ``'distance'`` (every instruction writes the
+      next circular RP; operands name producers by distance) or ``'gpr'``
+      (conventional named registers).
+    * ``opcodes`` — mnemonic -> spec mapping (specs carry ``fmt`` and
+      ``op_class``).
+    * ``format_fields`` — format name -> {field name: bit width} for every
+      encodable payload field (drives the encoding-density experiment).
+    * ``binary_labels`` — harness label -> backend-option dict; the first
+      entry is the ISA's default evaluation binary (e.g. ``SS`` for rv32im,
+      ``STRAIGHT-RE+`` for straight, ``BB`` for bb).
+    * ``targets`` — CLI target name -> backend-option dict (a superset of
+      ``binary_labels`` values, e.g. ``straight-raw``).
+    * ``frontend`` — name of the timing front-end model this ISA's cores
+      use (see :data:`repro.uarch.frontend_models.FRONTEND_MODELS`).
+    * ``config_factories`` — class name (``'2way'``/``'4way'``) -> CoreConfig
+      factory for this ISA's evaluation cores.
+    """
+
+    def __init__(self, name, display_name, register_model, opcodes,
+                 format_fields, parse_assembly, link, startup_stub,
+                 encode, decode, make_interpreter, compile_module,
+                 binary_labels, targets, frontend, config_factories,
+                 static_check=None, predecode=None, word_bits=32):
+        self.name = name
+        self.display_name = display_name
+        self.register_model = register_model
+        self.opcodes = opcodes
+        self.format_fields = format_fields
+        self.parse_assembly = parse_assembly
+        self.link = link
+        self.startup_stub = startup_stub
+        self.encode = encode
+        self.decode = decode
+        self.make_interpreter = make_interpreter
+        self.compile_module = compile_module
+        self.binary_labels = dict(binary_labels)
+        self.targets = dict(targets)
+        self.frontend = frontend
+        self.config_factories = dict(config_factories)
+        self._static_check = static_check
+        self.predecode = predecode
+        self.word_bits = word_bits
+
+    @property
+    def has_static_check(self):
+        """Whether this ISA ships a static verifier."""
+        return self._static_check is not None
+
+    @property
+    def default_label(self):
+        """The ISA's primary evaluation-binary label (``SS``, ``BB``, ...)."""
+        return next(iter(self.binary_labels))
+
+    def static_check(self, program, lint=False):
+        """Run the ISA's static verifier; ``None`` when it has none."""
+        if self._static_check is None:
+            return None
+        return self._static_check(program, lint=lint)
+
+    def label_for_config(self, config):
+        """The evaluation-binary label a core of this ISA simulates."""
+        return self.default_label
+
+    def format_payload_bits(self, fmt):
+        """Total encodable payload bits of one format (density experiment)."""
+        return sum(self.format_fields[fmt].values())
+
+    def __repr__(self):
+        return f"IsaDescriptor({self.name!r})"

@@ -1,0 +1,76 @@
+"""Generic pre-decoded instruction machinery, shared by every ISA.
+
+The functional simulators used to re-derive everything about an instruction
+on every dynamic execution: mnemonic-table membership tests, opcode-class
+lookups, immediate normalization, branch-target arithmetic.  Lockstep
+co-simulation pays that cost *twice* (the primary interpreter plus the
+golden shadow machine).  This module provides the ISA-neutral half of the
+fix: an immutable :class:`DecodedOp` record — one per static instruction,
+with the dispatch kind resolved to a small int, evaluators pre-bound,
+immediates pre-wrapped and branch/jump targets pre-resolved to instruction
+indices — plus :func:`decode_program`, which decodes a linked binary's text
+segment exactly once and memoizes the array on the program object, so every
+interpreter over the same binary (primary, golden, fault campaigns) shares
+one decode.
+
+Each ISA contributes only a ``decode_one(index, instr, text_base)`` hook
+(see ``repro/straight/predecode.py`` and ``repro/riscv/predecode.py``) that
+maps its instruction objects onto its own dense kind space.  Decoding is
+purely static: a :class:`DecodedOp` never holds run state, so sharing
+across interpreter instances (and threads) is safe.
+"""
+
+
+class DecodedOp:
+    """One statically-decoded instruction (immutable after construction)."""
+
+    __slots__ = (
+        "index",      # text-segment instruction index
+        "pc",         # absolute PC of this instruction
+        "kind",       # one of the ISA's dense dispatch ints
+        "mnemonic",
+        "op_class",
+        "srcs",       # source operands (distances or register numbers)
+        "dest",       # destination register (gpr ISAs; None elsewhere)
+        "imm",        # raw immediate (or None)
+        "operand",    # kind-specific precomputation (evaluators, wrapped imms)
+        "target_index",  # branch/jump destination instruction index
+        "target_pc",  # branch/jump destination PC
+        "instr",      # the original ISA instruction (error paths, tools)
+    )
+
+    def __init__(self, index, pc, kind, instr, operand=None,
+                 target_index=None, target_pc=None, srcs=None, dest=None):
+        self.index = index
+        self.pc = pc
+        self.kind = kind
+        self.mnemonic = instr.mnemonic
+        self.op_class = instr.op_class
+        self.srcs = getattr(instr, "srcs", ()) if srcs is None else srcs
+        self.dest = dest
+        self.imm = instr.imm
+        self.operand = operand
+        self.target_index = target_index
+        self.target_pc = target_pc
+        self.instr = instr
+
+    def __repr__(self):
+        return f"DecodedOp({self.index}, {self.mnemonic}, kind={self.kind})"
+
+
+def decode_program(program, decode_one):
+    """The immutable decoded-op array of ``program``, decoded exactly once.
+
+    ``decode_one(index, instr, text_base)`` is the ISA's static decoder.
+    The array is memoized on the program object; every interpreter instance
+    over the same linked binary — including the lockstep golden machine —
+    shares one array.
+    """
+    decoded = getattr(program, "_decoded_ops", None)
+    if decoded is None or len(decoded) != len(program.instrs):
+        decoded = tuple(
+            decode_one(index, instr, program.text_base)
+            for index, instr in enumerate(program.instrs)
+        )
+        program._decoded_ops = decoded
+    return decoded

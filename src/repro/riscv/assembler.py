@@ -1,81 +1,70 @@
-"""RV32IM assembler: standard assembly text -> instruction lists."""
+"""RV32IM assembler: standard assembly text -> instruction lists.
+
+The line-splitting/label-collection driver and the :class:`AsmUnit`
+container live in :mod:`repro.isa.asmcore`; this module contributes the
+RV32IM instruction-line grammar.  :func:`make_instr_parser` parameterizes
+that grammar over the opcode table and instruction class so RV32IM-derived
+ISAs (``bb``) reuse it with their extended tables.
+"""
 
 from repro.common.errors import AsmError
+from repro.isa.asmcore import AsmUnit, parse_assembly_text
 from repro.riscv.isa import RInstr, OPCODES, reg_number
 
+__all__ = ["AsmUnit", "parse_assembly", "make_instr_parser"]
 
-class AsmUnit:
-    """A parsed assembly unit: ordered labels and instructions."""
 
-    def __init__(self, items=None):
-        self.items = list(items or [])
+def make_instr_parser(opcodes, instr_cls):
+    """A ``parse_instr_line(line, lineno)`` for one RV32IM-family table."""
 
-    def add_label(self, name):
-        self.items.append(("label", name))
+    def parse_instr_line(line, lineno):
+        head, _, rest = line.partition(" ")
+        mnemonic = head.upper()
+        if mnemonic not in opcodes:
+            raise AsmError(f"unknown mnemonic {head!r}", line=lineno)
+        spec = opcodes[mnemonic]
+        operands = [tok.strip() for tok in rest.split(",") if tok.strip()]
+        try:
+            return _build_instr(mnemonic, spec, operands, instr_cls)
+        except AsmError as exc:
+            raise AsmError(str(exc), line=lineno) from None
 
-    def add_instr(self, instr):
-        self.items.append(("instr", instr))
+    return parse_instr_line
 
-    def instructions(self):
-        return [item for kind, item in self.items if kind == "instr"]
 
-    def to_text(self):
-        lines = []
-        for kind, item in self.items:
-            lines.append(f"{item}:" if kind == "label" else f"    {item.to_asm()}")
-        return "\n".join(lines) + "\n"
+_parse_instr_line = make_instr_parser(OPCODES, RInstr)
 
 
 def parse_assembly(text):
     """Parse RISC-V assembly text into an :class:`AsmUnit`."""
-    unit = AsmUnit()
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        if line.endswith(":"):
-            unit.add_label(line[:-1].strip())
-            continue
-        unit.add_instr(_parse_instr_line(line, lineno))
-    return unit
+    return parse_assembly_text(text, _parse_instr_line)
 
 
-def _parse_instr_line(line, lineno):
-    head, _, rest = line.partition(" ")
-    mnemonic = head.upper()
-    if mnemonic not in OPCODES:
-        raise AsmError(f"line {lineno}: unknown mnemonic {head!r}")
-    spec = OPCODES[mnemonic]
-    operands = [tok.strip() for tok in rest.split(",") if tok.strip()]
-    try:
-        return _build_instr(mnemonic, spec, operands)
-    except AsmError as exc:
-        raise AsmError(f"line {lineno}: {exc}") from None
-
-
-def _build_instr(mnemonic, spec, operands):
+def _build_instr(mnemonic, spec, operands, instr_cls):
     fmt = spec.fmt
     if fmt == "SYS":
-        return RInstr(mnemonic)
+        return instr_cls(mnemonic)
     if fmt == "R":
         rd, rs1, rs2 = (reg_number(op) for op in _exactly(operands, 3, mnemonic))
-        return RInstr(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+        return instr_cls(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
     if mnemonic == "LW":
         rd, mem = _exactly(operands, 2, mnemonic)
         base, offset = _parse_mem(mem)
-        return RInstr(mnemonic, rd=reg_number(rd), rs1=base, imm=offset)
+        return instr_cls(mnemonic, rd=reg_number(rd), rs1=base, imm=offset)
     if mnemonic == "SW":
         rs2, mem = _exactly(operands, 2, mnemonic)
         base, offset = _parse_mem(mem)
-        return RInstr(mnemonic, rs1=base, rs2=reg_number(rs2), imm=offset)
+        return instr_cls(mnemonic, rs1=base, rs2=reg_number(rs2), imm=offset)
     if fmt == "I":
         rd, rs1, tail = _exactly(operands, 3, mnemonic)
         imm, label = _imm_or_label(tail)
-        return RInstr(mnemonic, rd=reg_number(rd), rs1=reg_number(rs1), imm=imm, label=label)
+        return instr_cls(
+            mnemonic, rd=reg_number(rd), rs1=reg_number(rs1), imm=imm, label=label
+        )
     if fmt == "B":
         rs1, rs2, tail = _exactly(operands, 3, mnemonic)
         imm, label = _imm_or_label(tail)
-        return RInstr(
+        return instr_cls(
             mnemonic, rs1=reg_number(rs1), rs2=reg_number(rs2), imm=imm, label=label
         )
     if fmt == "U":
@@ -83,11 +72,11 @@ def _build_instr(mnemonic, spec, operands):
         imm, label = _imm_or_label(tail)
         if label is not None:
             raise AsmError(f"{mnemonic} takes a numeric immediate")
-        return RInstr(mnemonic, rd=reg_number(rd), imm=imm)
+        return instr_cls(mnemonic, rd=reg_number(rd), imm=imm)
     if fmt == "J":
         rd, tail = _exactly(operands, 2, mnemonic)
         imm, label = _imm_or_label(tail)
-        return RInstr(mnemonic, rd=reg_number(rd), imm=imm, label=label)
+        return instr_cls(mnemonic, rd=reg_number(rd), imm=imm, label=label)
     raise AsmError(f"unhandled format {fmt!r}")  # pragma: no cover
 
 

@@ -1,0 +1,66 @@
+"""Registry descriptor for the RV32IM baseline ISA (``riscv``)."""
+
+from repro.isa import IsaDescriptor, register
+from repro.riscv.isa import OPCODES
+from repro.riscv.assembler import parse_assembly
+from repro.riscv.encoding import decode, encode
+from repro.riscv.interpreter import RiscvInterpreter
+from repro.riscv.linker import link_program, startup_stub
+from repro.riscv.predecode import decode_program
+
+#: Encoded field widths per format (the B/J immediates are the 12/20 bits
+#: actually stored; the implicit low zero is not a payload bit).
+FORMAT_FIELDS = {
+    "R": {"opcode": 7, "rd": 5, "funct3": 3, "rs1": 5, "rs2": 5, "funct7": 7},
+    "I": {"opcode": 7, "rd": 5, "funct3": 3, "rs1": 5, "imm": 12},
+    "S": {"opcode": 7, "imm": 12, "funct3": 3, "rs1": 5, "rs2": 5},
+    "B": {"opcode": 7, "imm": 12, "funct3": 3, "rs1": 5, "rs2": 5},
+    "U": {"opcode": 7, "rd": 5, "imm": 20},
+    "J": {"opcode": 7, "rd": 5, "imm": 20},
+    "SYS": {"opcode": 7},
+}
+
+
+def _compile_module(module, max_distance=None, **opts):
+    from repro.compiler.riscv_backend import compile_to_riscv
+
+    return compile_to_riscv(module, **opts)
+
+
+def _make_interpreter(program, collect_trace=False, **kw):
+    return RiscvInterpreter(program, collect_trace=collect_trace)
+
+
+def _cfg_2way(**overrides):
+    from repro.core.configs import ss_2way
+
+    return ss_2way(**overrides)
+
+
+def _cfg_4way(**overrides):
+    from repro.core.configs import ss_4way
+
+    return ss_4way(**overrides)
+
+
+DESCRIPTOR = register(
+    IsaDescriptor(
+        name="riscv",
+        display_name="RV32IM",
+        register_model="gpr",
+        opcodes=OPCODES,
+        format_fields=FORMAT_FIELDS,
+        parse_assembly=parse_assembly,
+        link=link_program,
+        startup_stub=startup_stub,
+        encode=encode,
+        decode=decode,
+        make_interpreter=_make_interpreter,
+        compile_module=_compile_module,
+        binary_labels={"SS": {}},
+        targets={"riscv": {}},
+        frontend="rename",
+        config_factories={"2way": _cfg_2way, "4way": _cfg_4way},
+        predecode=decode_program,
+    )
+)

@@ -1,8 +1,22 @@
-"""RV32IM binary encoding, following the RISC-V unprivileged spec exactly."""
+"""RV32IM binary encoding, following the RISC-V unprivileged spec exactly.
 
-from repro.common.bitops import bits, fits_signed, sext
+Both :func:`encode` and the decoder are table-driven off each instruction's
+spec, so RV32IM-derived ISAs (the ``bb`` BasicBlocker variant) reuse them by
+calling :func:`make_decoder` with their extended opcode table and
+instruction class — no per-ISA copy of the bit scrambles.
+"""
+
+from repro.common.bitops import (
+    FieldOverflow,
+    bits,
+    sext,
+    signed_field,
+    unsigned_field,
+)
 from repro.common.errors import AsmError
 from repro.riscv.isa import RInstr, OPCODES
+
+_SHIFTS = ("SLLI", "SRLI", "SRAI")
 
 
 def encode(instr):
@@ -13,83 +27,80 @@ def encode(instr):
     fmt = spec.fmt
     imm = instr.imm
 
-    if fmt == "R":
-        return (
-            (spec.funct7 << 25)
-            | (instr.rs2 << 20)
-            | (instr.rs1 << 15)
-            | (spec.funct3 << 12)
-            | (instr.rd << 7)
-            | spec.opcode
-        )
-    if fmt == "I":
-        if instr.mnemonic in ("SLLI", "SRLI", "SRAI"):
-            if not 0 <= imm < 32:
-                raise AsmError(f"{instr!r}: shift amount out of range")
-            imm_field = (spec.funct7 << 5) | imm
-        else:
-            if not fits_signed(imm, 12):
-                raise AsmError(f"{instr!r}: immediate {imm} does not fit 12 bits")
-            imm_field = imm & 0xFFF
-        return (
-            (imm_field << 20)
-            | (instr.rs1 << 15)
-            | (spec.funct3 << 12)
-            | (instr.rd << 7)
-            | spec.opcode
-        )
-    if fmt == "S":
-        if not fits_signed(imm, 12):
-            raise AsmError(f"{instr!r}: immediate {imm} does not fit 12 bits")
-        u = imm & 0xFFF
-        return (
-            (bits(u, 11, 5) << 25)
-            | (instr.rs2 << 20)
-            | (instr.rs1 << 15)
-            | (spec.funct3 << 12)
-            | (bits(u, 4, 0) << 7)
-            | spec.opcode
-        )
-    if fmt == "B":
-        if imm % 2 != 0 or not fits_signed(imm, 13):
-            raise AsmError(f"{instr!r}: bad branch offset {imm}")
-        u = imm & 0x1FFF
-        return (
-            (bits(u, 12, 12) << 31)
-            | (bits(u, 10, 5) << 25)
-            | (instr.rs2 << 20)
-            | (instr.rs1 << 15)
-            | (spec.funct3 << 12)
-            | (bits(u, 4, 1) << 8)
-            | (bits(u, 11, 11) << 7)
-            | spec.opcode
-        )
-    if fmt == "U":
-        if not 0 <= imm < (1 << 20):
-            raise AsmError(f"{instr!r}: U immediate out of range")
-        return (imm << 12) | (instr.rd << 7) | spec.opcode
-    if fmt == "J":
-        if imm % 2 != 0 or not fits_signed(imm, 21):
-            raise AsmError(f"{instr!r}: bad jump offset {imm}")
-        u = imm & 0x1F_FFFF
-        return (
-            (bits(u, 20, 20) << 31)
-            | (bits(u, 10, 1) << 21)
-            | (bits(u, 11, 11) << 20)
-            | (bits(u, 19, 12) << 12)
-            | (instr.rd << 7)
-            | spec.opcode
-        )
-    if fmt == "SYS":
-        return spec.opcode  # ECALL: funct12 = 0
+    try:
+        if fmt == "R":
+            return (
+                (spec.funct7 << 25)
+                | (instr.rs2 << 20)
+                | (instr.rs1 << 15)
+                | (spec.funct3 << 12)
+                | (instr.rd << 7)
+                | spec.opcode
+            )
+        if fmt == "I":
+            if instr.mnemonic in _SHIFTS:
+                if not 0 <= imm < 32:
+                    raise AsmError(f"{instr!r}: shift amount out of range")
+                imm_field = (spec.funct7 << 5) | imm
+            else:
+                imm_field = signed_field(imm, 12)
+            return (
+                (imm_field << 20)
+                | (instr.rs1 << 15)
+                | (spec.funct3 << 12)
+                | (instr.rd << 7)
+                | spec.opcode
+            )
+        if fmt == "S":
+            u = signed_field(imm, 12)
+            return (
+                (bits(u, 11, 5) << 25)
+                | (instr.rs2 << 20)
+                | (instr.rs1 << 15)
+                | (spec.funct3 << 12)
+                | (bits(u, 4, 0) << 7)
+                | spec.opcode
+            )
+        if fmt == "B":
+            if imm % 2 != 0:
+                raise AsmError(f"{instr!r}: bad branch offset {imm}")
+            u = signed_field(imm, 13)
+            return (
+                (bits(u, 12, 12) << 31)
+                | (bits(u, 10, 5) << 25)
+                | (instr.rs2 << 20)
+                | (instr.rs1 << 15)
+                | (spec.funct3 << 12)
+                | (bits(u, 4, 1) << 8)
+                | (bits(u, 11, 11) << 7)
+                | spec.opcode
+            )
+        if fmt == "U":
+            return (unsigned_field(imm, 20) << 12) | (instr.rd << 7) | spec.opcode
+        if fmt == "J":
+            if imm % 2 != 0:
+                raise AsmError(f"{instr!r}: bad jump offset {imm}")
+            u = signed_field(imm, 21)
+            return (
+                (bits(u, 20, 20) << 31)
+                | (bits(u, 10, 1) << 21)
+                | (bits(u, 11, 11) << 20)
+                | (bits(u, 19, 12) << 12)
+                | (instr.rd << 7)
+                | spec.opcode
+            )
+        if fmt == "SYS":
+            return spec.opcode  # ECALL: funct12 = 0
+    except FieldOverflow as exc:
+        raise AsmError(f"{instr!r}: {exc}") from None
     raise AsmError(f"unknown format {fmt!r}")  # pragma: no cover
 
 
-# Lookup: (opcode, funct3, funct7-or-None) -> mnemonic, built once.
-def _build_decoder_index():
+# Lookup: (opcode, funct3, funct7-or-None) -> mnemonic, built once per table.
+def _build_decoder_index(opcodes):
     index = {}
-    for mnemonic, spec in OPCODES.items():
-        if spec.fmt == "R" or mnemonic in ("SLLI", "SRLI", "SRAI"):
+    for mnemonic, spec in opcodes.items():
+        if spec.fmt == "R" or mnemonic in _SHIFTS:
             index[(spec.opcode, spec.funct3, spec.funct7)] = mnemonic
         elif spec.fmt in ("I", "S", "B"):
             index[(spec.opcode, spec.funct3, None)] = mnemonic
@@ -98,57 +109,62 @@ def _build_decoder_index():
     return index
 
 
-_DECODER = _build_decoder_index()
+def make_decoder(opcodes, instr_cls):
+    """A ``decode(word)`` for one RV32IM-family opcode table."""
+    decoder_index = _build_decoder_index(opcodes)
 
+    def decode(word):
+        opcode = bits(word, 6, 0)
+        funct3 = bits(word, 14, 12)
+        funct7 = bits(word, 31, 25)
+        rd = bits(word, 11, 7)
+        rs1 = bits(word, 19, 15)
+        rs2 = bits(word, 24, 20)
 
-def decode(word):
-    """Decode a 32-bit word to an :class:`RInstr`."""
-    opcode = bits(word, 6, 0)
-    funct3 = bits(word, 14, 12)
-    funct7 = bits(word, 31, 25)
-    rd = bits(word, 11, 7)
-    rs1 = bits(word, 19, 15)
-    rs2 = bits(word, 24, 20)
-
-    mnemonic = (
-        _DECODER.get((opcode, funct3, funct7))
-        or _DECODER.get((opcode, funct3, None))
-        or _DECODER.get((opcode, None, None))
-    )
-    if mnemonic is None:
-        raise AsmError(f"cannot decode word {word:#010x}")
-    spec = OPCODES[mnemonic]
-    fmt = spec.fmt
-
-    if fmt == "R":
-        return RInstr(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
-    if fmt == "I":
-        if mnemonic in ("SLLI", "SRLI", "SRAI"):
-            imm = rs2  # shamt
-        else:
-            imm = sext(bits(word, 31, 20), 12)
-        return RInstr(mnemonic, rd=rd, rs1=rs1, imm=imm)
-    if fmt == "S":
-        imm = sext((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
-        return RInstr(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
-    if fmt == "B":
-        imm = sext(
-            (bits(word, 31, 31) << 12)
-            | (bits(word, 7, 7) << 11)
-            | (bits(word, 30, 25) << 5)
-            | (bits(word, 11, 8) << 1),
-            13,
+        mnemonic = (
+            decoder_index.get((opcode, funct3, funct7))
+            or decoder_index.get((opcode, funct3, None))
+            or decoder_index.get((opcode, None, None))
         )
-        return RInstr(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
-    if fmt == "U":
-        return RInstr(mnemonic, rd=rd, imm=bits(word, 31, 12))
-    if fmt == "J":
-        imm = sext(
-            (bits(word, 31, 31) << 20)
-            | (bits(word, 19, 12) << 12)
-            | (bits(word, 20, 20) << 11)
-            | (bits(word, 30, 21) << 1),
-            21,
-        )
-        return RInstr(mnemonic, rd=rd, imm=imm)
-    return RInstr(mnemonic)  # SYS
+        if mnemonic is None:
+            raise AsmError(f"cannot decode word {word:#010x}")
+        spec = opcodes[mnemonic]
+        fmt = spec.fmt
+
+        if fmt == "R":
+            return instr_cls(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+        if fmt == "I":
+            if mnemonic in _SHIFTS:
+                imm = rs2  # shamt
+            else:
+                imm = sext(bits(word, 31, 20), 12)
+            return instr_cls(mnemonic, rd=rd, rs1=rs1, imm=imm)
+        if fmt == "S":
+            imm = sext((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+            return instr_cls(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
+        if fmt == "B":
+            imm = sext(
+                (bits(word, 31, 31) << 12)
+                | (bits(word, 7, 7) << 11)
+                | (bits(word, 30, 25) << 5)
+                | (bits(word, 11, 8) << 1),
+                13,
+            )
+            return instr_cls(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
+        if fmt == "U":
+            return instr_cls(mnemonic, rd=rd, imm=bits(word, 31, 12))
+        if fmt == "J":
+            imm = sext(
+                (bits(word, 31, 31) << 20)
+                | (bits(word, 19, 12) << 12)
+                | (bits(word, 20, 20) << 11)
+                | (bits(word, 30, 21) << 1),
+                21,
+            )
+            return instr_cls(mnemonic, rd=rd, imm=imm)
+        return instr_cls(mnemonic)  # SYS
+
+    return decode
+
+
+decode = make_decoder(OPCODES, RInstr)

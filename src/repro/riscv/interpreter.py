@@ -3,47 +3,35 @@
 Shares exact ALU semantics with the STRAIGHT simulator and the IR constant
 folder through :func:`repro.ir.passes.constfold.eval_binop`, so compiled
 binaries for the two ISAs are bit-comparable on the output channel.
+
+Like the STRAIGHT interpreter, execution runs over the pre-decoded
+instruction array (:mod:`repro.riscv.predecode`): one decode per linked
+binary, dense-int dispatch, pre-bound evaluators, pre-resolved targets.
+The ``bb`` ISA reuses this class wholesale — its block headers decode to
+:data:`~repro.riscv.predecode.RK_BB` no-ops.
 """
 
 from repro.common.bitops import wrap32
 from repro.common.errors import SimulationError
 from repro.common.layout import STACK_TOP, WORD_BYTES
 from repro.common.trace import TraceEntry
-from repro.ir.passes.constfold import eval_binop, eval_icmp
+from repro.riscv.isa import OPCODES
 from repro.riscv.linker import ECALL_OUT, ECALL_EXIT
-
-_R_BINOPS = {
-    "ADD": "add",
-    "SUB": "sub",
-    "SLL": "shl",
-    "XOR": "xor",
-    "SRL": "lshr",
-    "SRA": "ashr",
-    "OR": "or",
-    "AND": "and",
-    "MUL": "mul",
-    "DIV": "sdiv",
-    "DIVU": "udiv",
-    "REM": "srem",
-    "REMU": "urem",
-}
-_I_BINOPS = {
-    "ADDI": "add",
-    "XORI": "xor",
-    "ORI": "or",
-    "ANDI": "and",
-    "SLLI": "shl",
-    "SRLI": "lshr",
-    "SRAI": "ashr",
-}
-_BRANCH_PREDS = {
-    "BEQ": "eq",
-    "BNE": "ne",
-    "BLT": "slt",
-    "BGE": "sge",
-    "BLTU": "ult",
-    "BGEU": "uge",
-}
+from repro.riscv.predecode import (
+    RK_ALU,
+    RK_ALU_IMM,
+    RK_AUIPC,
+    RK_BB,
+    RK_BRANCH,
+    RK_ECALL,
+    RK_JAL,
+    RK_JALR,
+    RK_LOAD,
+    RK_LUI,
+    RK_STORE,
+    _decode_one,
+    decode_program,
+)
 
 
 class RunResult:
@@ -62,8 +50,16 @@ class RunResult:
 class RiscvInterpreter:
     """Executes a linked :class:`~repro.riscv.linker.RiscvProgram`."""
 
+    #: Opcode table used for statistics grouping; RV32IM-derived ISAs
+    #: (``bb``) override with their extended table.
+    OPCODES = OPCODES
+
     def __init__(self, program, collect_trace=False):
         self.program = program
+        #: Immutable pre-decoded instruction array, decoded once per linked
+        #: binary and shared by every interpreter over the same program
+        #: (primary, lockstep golden, fault campaigns).
+        self.decoded = decode_program(program)
         self.regs = [0] * 32
         self.regs[2] = STACK_TOP
         self.pc_index = program.index_of_pc(program.entry_pc)
@@ -104,121 +100,119 @@ class RiscvInterpreter:
     def run(self, max_steps=10_000_000):
         """Run until exit ECALL or ``max_steps``; returns a :class:`RunResult`."""
         steps = 0
-        instrs = self.program.instrs
-        n_instrs = len(instrs)
+        decoded = self.decoded
+        n_instrs = len(decoded)
+        step_op = self.step_op
         while not self.halted and steps < max_steps:
-            if not 0 <= self.pc_index < n_instrs:
+            index = self.pc_index
+            if not 0 <= index < n_instrs:
                 raise SimulationError(f"pc out of text segment: {self._pc():#x}")
-            self.step(instrs[self.pc_index])
+            step_op(decoded[index])
             steps += 1
         return RunResult(
             "exit" if self.halted else "limit", steps, self.output, self.exit_code
         )
 
     def step(self, instr):
-        """Execute one instruction, updating architectural state."""
-        m = instr.mnemonic
-        pc = self._pc()
+        """Execute one instruction, updating architectural state.
+
+        ``instr`` must be the instruction at the current ``pc_index`` (the
+        contract every caller already honours); the pre-decoded record for it
+        is reused when it matches, so external steppers (lockstep golden,
+        fault campaigns) ride the same decode-once fast path as :meth:`run`.
+        """
+        decoded = self.decoded
+        index = self.pc_index
+        if 0 <= index < len(decoded) and decoded[index].instr is instr:
+            op = decoded[index]
+        else:
+            op = _decode_one(index, instr, self.program.text_base)
+        self.step_op(op)
+
+    def step_op(self, op):
+        """Execute one pre-decoded instruction (the hot path)."""
+        kind = op.kind
+        pc = op.pc
+        regs = self.regs
         next_index = self.pc_index + 1
         taken = False
         target_pc = None
         mem_addr = None
-        dest = None
-        srcs = []
         is_call = False
         is_return = False
+        value = None       # the architectural write (None: no write)
         store_value = None
 
-        if m in _R_BINOPS:
-            value = eval_binop(
-                _R_BINOPS[m], self._read(instr.rs1), self._read(instr.rs2)
+        if kind == RK_ALU:
+            evaluator, rs1, rs2 = op.operand
+            value = evaluator(
+                regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0
             )
-            self._write(instr.rd, value)
-            dest, srcs = instr.rd, [instr.rs1, instr.rs2]
-        elif m in ("SLT", "SLTU"):
-            pred = "slt" if m == "SLT" else "ult"
-            value = eval_icmp(pred, self._read(instr.rs1), self._read(instr.rs2))
-            self._write(instr.rd, value)
-            dest, srcs = instr.rd, [instr.rs1, instr.rs2]
-        elif m in _I_BINOPS:
-            value = eval_binop(
-                _I_BINOPS[m], self._read(instr.rs1), wrap32(instr.imm)
-            )
-            self._write(instr.rd, value)
-            dest, srcs = instr.rd, [instr.rs1]
-        elif m in ("SLTI", "SLTIU"):
-            pred = "slt" if m == "SLTI" else "ult"
-            value = eval_icmp(pred, self._read(instr.rs1), wrap32(instr.imm))
-            self._write(instr.rd, value)
-            dest, srcs = instr.rd, [instr.rs1]
-        elif m == "LUI":
-            self._write(instr.rd, instr.imm << 12)
-            dest = instr.rd
-        elif m == "AUIPC":
-            self._write(instr.rd, wrap32(pc + (instr.imm << 12)))
-            dest = instr.rd
-        elif m == "LW":
-            mem_addr = wrap32(self._read(instr.rs1) + instr.imm)
-            self._write(instr.rd, self._load_word(mem_addr))
-            dest, srcs = instr.rd, [instr.rs1]
-        elif m == "SW":
-            mem_addr = wrap32(self._read(instr.rs1) + instr.imm)
-            self._store_word(mem_addr, self._read(instr.rs2))
-            srcs = [instr.rs1, instr.rs2]
+        elif kind == RK_ALU_IMM:
+            evaluator, rs1, imm = op.operand
+            value = evaluator(regs[rs1] if rs1 else 0, imm)
+        elif kind == RK_LUI or kind == RK_AUIPC:
+            value = op.operand
+        elif kind == RK_LOAD:
+            rs1, imm = op.operand
+            mem_addr = wrap32((regs[rs1] if rs1 else 0) + imm)
+            value = self._load_word(mem_addr)
+        elif kind == RK_STORE:
+            rs1, rs2, imm = op.operand
+            mem_addr = wrap32((regs[rs1] if rs1 else 0) + imm)
+            self._store_word(mem_addr, regs[rs2] if rs2 else 0)
             store_value = self.memory[mem_addr // 4]
-        elif m in _BRANCH_PREDS:
+        elif kind == RK_BRANCH:
+            evaluator, rs1, rs2 = op.operand
             taken = bool(
-                eval_icmp(
-                    _BRANCH_PREDS[m], self._read(instr.rs1), self._read(instr.rs2)
-                )
+                evaluator(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0)
             )
-            target_pc = pc + instr.imm
+            target_pc = op.target_pc
             if taken:
-                next_index = self.program.index_of_pc(target_pc)
-            srcs = [instr.rs1, instr.rs2]
-        elif m == "JAL":
-            self._write(instr.rd, pc + WORD_BYTES)
+                next_index = op.target_index
+        elif kind == RK_JAL:
+            value, is_call = op.operand
             taken = True
-            target_pc = pc + instr.imm
+            target_pc = op.target_pc
+            next_index = op.target_index
+        elif kind == RK_JALR:
+            rs1, imm, link, is_call, is_return = op.operand
+            target_pc = wrap32((regs[rs1] if rs1 else 0) + imm) & ~1
+            taken = True
             next_index = self.program.index_of_pc(target_pc)
-            dest = instr.rd
-            is_call = instr.rd == 1
-        elif m == "JALR":
-            return_target = wrap32(self._read(instr.rs1) + instr.imm) & ~1
-            self._write(instr.rd, pc + WORD_BYTES)
-            taken = True
-            target_pc = return_target
-            next_index = self.program.index_of_pc(return_target)
-            dest, srcs = instr.rd, [instr.rs1]
-            is_return = instr.rd == 0 and instr.rs1 == 1
-            is_call = instr.rd == 1
-        elif m == "ECALL":
-            service = self._read(17)  # a7
+            value = link
+        elif kind == RK_ECALL:
+            service = regs[17]  # a7
             if service == ECALL_OUT:
-                self.output.append(self._read(10))  # a0
+                self.output.append(regs[10])  # a0
             elif service == ECALL_EXIT:
                 self.halted = True
-                self.exit_code = self._read(10)
+                self.exit_code = regs[10]
             else:
                 raise SimulationError(f"pc={pc:#x}: unknown ecall {service}")
-            srcs = [10, 17]
+        elif kind == RK_BB:
+            pass  # block header: decode-stage marker, no architectural effect
         else:  # pragma: no cover - closed opcode table
-            raise SimulationError(f"unimplemented mnemonic {m}")
+            raise SimulationError(f"unimplemented mnemonic {op.mnemonic}")
 
-        self.mnemonic_counts[m] = self.mnemonic_counts.get(m, 0) + 1
+        dest = op.dest
+        if dest is not None and value is not None:
+            value = wrap32(value)
+            regs[dest] = value
+        mnemonic = op.mnemonic
+        self.mnemonic_counts[mnemonic] = self.mnemonic_counts.get(mnemonic, 0) + 1
         if self.collect_trace:
-            arch_dest = dest if dest not in (None, 0) else None
-            if arch_dest is not None:
-                dest_value = self.regs[arch_dest]
+            if dest is not None:
+                dest_value = regs[dest]
             else:
                 dest_value = store_value
             self.trace.append(
                 TraceEntry(
                     pc=pc,
-                    op_class=instr.op_class,
-                    mnemonic=m,
-                    dest=arch_dest,
-                    srcs=[s for s in srcs if s != 0],
+                    op_class=op.op_class,
+                    mnemonic=mnemonic,
+                    dest=dest,
+                    srcs=op.srcs,
                     taken=taken,
                     target_pc=target_pc,
                     next_pc=self.program.text_base + next_index * WORD_BYTES,
@@ -234,8 +228,6 @@ class RiscvInterpreter:
 
     def class_counts(self):
         """Retired counts grouped the way Fig. 15 groups them."""
-        from repro.riscv.isa import OPCODES
-
         groups = {
             "jump_branch": 0,
             "alu": 0,
@@ -245,8 +237,9 @@ class RiscvInterpreter:
             "nop": 0,
             "other": 0,
         }
+        opcodes = type(self).OPCODES
         for mnemonic, count in self.mnemonic_counts.items():
-            op_class = OPCODES[mnemonic].op_class
+            op_class = opcodes[mnemonic].op_class
             if op_class in ("branch", "jump"):
                 groups["jump_branch"] += count
             elif op_class in ("alu", "mul", "div"):
@@ -255,6 +248,8 @@ class RiscvInterpreter:
                 groups["load"] += count
             elif op_class == "store":
                 groups["store"] += count
+            elif op_class == "nop":
+                groups["nop"] += count
             else:
                 groups["other"] += count
         return groups

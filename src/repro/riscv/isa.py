@@ -135,14 +135,22 @@ class RInstr:
 
     ``label`` (branch/jump target) is resolved to a PC-relative byte offset
     in ``imm`` by the linker.
+
+    ``OPCODES`` and ``SET_NAME`` are class attributes so RV32IM-derived
+    ISAs (the ``bb`` BasicBlocker variant) subclass with an extended opcode
+    table and inherit all the operand validation.
     """
 
     __slots__ = ("mnemonic", "rd", "rs1", "rs2", "imm", "label")
 
+    OPCODES = OPCODES
+    SET_NAME = "RV32IM"
+
     def __init__(self, mnemonic, rd=None, rs1=None, rs2=None, imm=None, label=None):
-        if mnemonic not in OPCODES:
-            raise AsmError(f"unknown RV32IM mnemonic {mnemonic!r}")
-        spec = OPCODES[mnemonic]
+        opcodes = type(self).OPCODES
+        if mnemonic not in opcodes:
+            raise AsmError(f"unknown {self.SET_NAME} mnemonic {mnemonic!r}")
+        spec = opcodes[mnemonic]
         need_rd = spec.fmt in ("R", "I", "U", "J")
         need_rs1 = spec.fmt in ("R", "I", "S", "B")
         need_rs2 = spec.fmt in ("R", "S", "B")
@@ -167,7 +175,7 @@ class RInstr:
 
     @property
     def spec(self):
-        return OPCODES[self.mnemonic]
+        return type(self).OPCODES[self.mnemonic]
 
     @property
     def op_class(self):

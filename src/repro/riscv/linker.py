@@ -1,10 +1,15 @@
-"""RV32IM linker: assembly units + data image -> executable program."""
+"""RV32IM linker: assembly units + data image -> executable program.
+
+Label merging/collection comes from :mod:`repro.isa.asmcore`; resolution
+rebuilds each labeled instruction via ``type(instr)`` so RV32IM-derived
+instruction classes (``bb``) survive linking unchanged.
+"""
 
 from repro.common.errors import LinkError
 from repro.common.layout import TEXT_BASE, STACK_TOP, WORD_BYTES
-from repro.riscv.isa import RInstr
+from repro.isa.asmcore import collect_labels, merge_units
 from repro.riscv.encoding import encode
-from repro.riscv.assembler import AsmUnit, parse_assembly
+from repro.riscv.assembler import parse_assembly
 
 
 class RiscvProgram:
@@ -60,21 +65,10 @@ _start:
     )
 
 
-def link_program(units, data_words=(), data_base=0):
+def link_program(units, data_words=(), data_base=0, program_cls=RiscvProgram):
     """Link assembly units (startup stub first) into a :class:`RiscvProgram`."""
-    merged = AsmUnit()
-    for unit in units:
-        merged.items.extend(unit.items)
-
-    labels = {}
-    index = 0
-    for kind, item in merged.items:
-        if kind == "label":
-            if item in labels:
-                raise LinkError(f"duplicate label {item!r}")
-            labels[item] = index
-        else:
-            index += 1
+    merged = merge_units(units)
+    labels = collect_labels(merged.items)
 
     instrs = []
     position = 0
@@ -86,7 +80,7 @@ def link_program(units, data_words=(), data_base=0):
             if instr.label not in labels:
                 raise LinkError(f"undefined label {instr.label!r}")
             byte_offset = (labels[instr.label] - position) * WORD_BYTES
-            instr = RInstr(
+            instr = type(instr)(
                 instr.mnemonic,
                 rd=instr.rd,
                 rs1=instr.rs1,
@@ -98,4 +92,4 @@ def link_program(units, data_words=(), data_base=0):
 
     if "_start" not in labels:
         raise LinkError("no _start label; pass startup_stub() as the first unit")
-    return RiscvProgram(instrs, labels, list(data_words), data_base)
+    return program_cls(instrs, labels, list(data_words), data_base)

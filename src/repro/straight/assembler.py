@@ -11,72 +11,22 @@ Syntax (one item per line; ``#`` starts a comment)::
         SPADD -4
         LUI 0x100
         HALT
+
+The :class:`AsmUnit` container and the line-splitting/label-validation
+driver live in :mod:`repro.isa.asmcore`; this module contributes only the
+STRAIGHT instruction-line grammar.
 """
 
 from repro.common.errors import AsmError
+from repro.isa.asmcore import AsmUnit, is_symbol, parse_assembly_text
 from repro.straight.isa import SInstr, OPCODES
 
-
-class AsmUnit:
-    """A parsed assembly unit: ordered labels and instructions.
-
-    ``origins`` (parallel to :meth:`instructions`) maps each instruction to
-    its 1-based source line when the unit was parsed from text, else None.
-    ``verify_manifest`` optionally carries the compiler's producer manifest
-    (see :mod:`repro.analysis`) through assembly and linking.
-    """
-
-    def __init__(self, items=None, origins=None):
-        self.items = list(items or [])  # ('label', name) | ('instr', SInstr)
-        self.origins = list(origins or [])
-        self.verify_manifest = None
-
-    def add_label(self, name):
-        self.items.append(("label", name))
-
-    def add_instr(self, instr, origin=None):
-        self.items.append(("instr", instr))
-        self.origins.append(origin)
-
-    def instructions(self):
-        return [item for kind, item in self.items if kind == "instr"]
-
-    def instruction_origins(self):
-        """Per-instruction source lines, padded to the instruction count."""
-        instrs = self.instructions()
-        origins = list(self.origins[: len(instrs)])
-        origins.extend([None] * (len(instrs) - len(origins)))
-        return origins
-
-    def to_text(self):
-        lines = []
-        for kind, item in self.items:
-            if kind == "label":
-                lines.append(f"{item}:")
-            else:
-                lines.append(f"    {item.to_asm()}")
-        return "\n".join(lines) + "\n"
+__all__ = ["AsmUnit", "parse_assembly", "assemble_function"]
 
 
 def parse_assembly(text):
     """Parse assembly text into an :class:`AsmUnit`."""
-    unit = AsmUnit()
-    seen_labels = set()
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        if line.endswith(":"):
-            label = line[:-1].strip()
-            if not label or not _is_symbol(label):
-                raise AsmError(f"bad label {line!r}", line=lineno)
-            if label in seen_labels:
-                raise AsmError(f"duplicate label {label!r}", line=lineno)
-            seen_labels.add(label)
-            unit.add_label(label)
-            continue
-        unit.add_instr(_parse_instr_line(line, lineno), origin=lineno)
-    return unit
+    return parse_assembly_text(text, _parse_instr_line, validate_labels=True)
 
 
 def assemble_function(name, instrs, internal_labels=None):
@@ -102,12 +52,6 @@ def assemble_function(name, instrs, internal_labels=None):
     return unit
 
 
-def _is_symbol(text):
-    return text and (text[0].isalpha() or text[0] in "_.") and all(
-        c.isalnum() or c in "_.$" for c in text
-    )
-
-
 def _parse_instr_line(line, lineno):
     parts = line.replace(",", " ").split()
     mnemonic = parts[0].upper()
@@ -127,7 +71,7 @@ def _parse_instr_line(line, lineno):
                 raise AsmError(f"duplicate immediate in {line!r}", line=lineno)
             imm = int(token, 0)
         else:
-            if not _is_symbol(token):
+            if not is_symbol(token):
                 raise AsmError(f"bad operand {token!r}", line=lineno)
             if label is not None:
                 raise AsmError("duplicate label operand", line=lineno)

@@ -1,0 +1,82 @@
+"""Registry descriptor for the STRAIGHT ISA."""
+
+from repro.isa import IsaDescriptor, register
+from repro.straight.isa import MAX_DISTANCE, OPCODES
+from repro.straight.assembler import parse_assembly
+from repro.straight.encoding import decode, encode
+from repro.straight.interpreter import StraightInterpreter
+from repro.straight.linker import link_program, startup_stub
+from repro.straight.predecode import decode_program
+
+#: Encoded field widths per format (isa.py's format table; unused padding
+#: bits are not payload).
+FORMAT_FIELDS = {
+    "R2": {"opcode": 7, "src1": 10, "src2": 10, "imm": 5},
+    "R1I": {"opcode": 7, "src1": 10, "imm": 15},
+    "R1": {"opcode": 7, "src1": 10},
+    "I25": {"opcode": 7, "imm": 25},
+    "I20": {"opcode": 7, "imm": 20},
+    "N": {"opcode": 7},
+}
+
+
+def _compile_module(module, max_distance=None, **opts):
+    from repro.compiler.straight_backend import compile_to_straight
+
+    return compile_to_straight(
+        module,
+        max_distance=MAX_DISTANCE if max_distance is None else max_distance,
+        **opts,
+    )
+
+
+def _make_interpreter(program, collect_trace=False, **kw):
+    return StraightInterpreter(program, collect_trace=collect_trace, **kw)
+
+
+def _static_check(program, lint=False):
+    from repro.analysis import verify_program
+
+    return verify_program(program, lint=lint)
+
+
+def _cfg_2way(**overrides):
+    from repro.core.configs import straight_2way
+
+    return straight_2way(**overrides)
+
+
+def _cfg_4way(**overrides):
+    from repro.core.configs import straight_4way
+
+    return straight_4way(**overrides)
+
+
+DESCRIPTOR = register(
+    IsaDescriptor(
+        name="straight",
+        display_name="STRAIGHT",
+        register_model="distance",
+        opcodes=OPCODES,
+        format_fields=FORMAT_FIELDS,
+        parse_assembly=parse_assembly,
+        link=link_program,
+        startup_stub=startup_stub,
+        encode=encode,
+        decode=decode,
+        make_interpreter=_make_interpreter,
+        compile_module=_compile_module,
+        binary_labels={
+            "STRAIGHT-RE+": {"redundancy_elimination": True},
+            "STRAIGHT-RAW": {"redundancy_elimination": False},
+        },
+        targets={
+            "straight": {"redundancy_elimination": True},
+            "straight-raw": {"redundancy_elimination": False},
+        },
+        frontend="straight",
+        config_factories={"2way": _cfg_2way, "4way": _cfg_4way},
+        static_check=_static_check,
+        predecode=decode_program,
+    )
+)

@@ -1,6 +1,12 @@
 """STRAIGHT binary encoding: assembly-level instructions <-> 32-bit words."""
 
-from repro.common.bitops import bits, fits_signed, sext
+from repro.common.bitops import (
+    FieldOverflow,
+    bits,
+    sext,
+    signed_field,
+    unsigned_field,
+)
 from repro.common.errors import AsmError
 from repro.straight.isa import SInstr, OPCODES_BY_CODE
 
@@ -21,16 +27,13 @@ def encode(instr):
     imm = instr.imm if spec.has_imm else None
     if imm is not None:
         width = _IMM_WIDTH[fmt]
-        if fmt == "I20":
-            if not 0 <= imm < (1 << 20):
-                raise AsmError(f"{instr!r}: LUI immediate out of range")
-            word |= imm
-        else:
-            if not fits_signed(imm, width):
-                raise AsmError(
-                    f"{instr!r}: immediate {imm} does not fit {width} bits"
-                )
-            word |= imm & ((1 << width) - 1)
+        try:
+            if fmt == "I20":
+                word |= unsigned_field(imm, width)
+            else:
+                word |= signed_field(imm, width)
+        except FieldOverflow as exc:
+            raise AsmError(f"{instr!r}: {exc}") from None
     return word
 
 

@@ -8,6 +8,7 @@ remain at this stage.
 
 from repro.common.errors import LinkError
 from repro.common.layout import TEXT_BASE, WORD_BYTES
+from repro.isa.asmcore import collect_labels
 from repro.straight.isa import SInstr, MAX_DISTANCE
 from repro.straight.encoding import encode
 from repro.straight.assembler import parse_assembly
@@ -81,16 +82,9 @@ _start:
 
 def link_program(units, data_words=(), data_base=0, max_distance=MAX_DISTANCE):
     """Link assembly units (startup stub first) into a :class:`StraightProgram`."""
-    labels = {}
-    index = 0
-    for unit in units:
-        for kind, item in unit.items:
-            if kind == "label":
-                if item in labels:
-                    raise LinkError(f"duplicate label {item!r}")
-                labels[item] = index
-            else:
-                index += 1
+    labels = collect_labels(
+        [pair for unit in units for pair in unit.items]
+    )
 
     instrs = []
     origins = []

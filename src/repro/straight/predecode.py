@@ -1,19 +1,12 @@
 """Pre-decoded STRAIGHT instructions: decode a linked binary exactly once.
 
-The functional simulator used to re-derive everything about an instruction
-on every dynamic execution: mnemonic-table membership tests, opcode-class
-lookups, immediate normalization, branch-target arithmetic.  Lockstep
-co-simulation pays that cost *twice* (the primary interpreter plus the
-golden shadow machine).  This module decodes the whole text segment into an
-immutable array of :class:`DecodedOp` records — one per static instruction,
-with the dispatch kind resolved to a small int, the ALU/compare evaluator
-pre-bound, immediates pre-wrapped and branch/jump targets pre-resolved to
-instruction indices — and memoizes the array on the program object, so
-every interpreter over the same binary (primary, golden, fault campaigns)
-shares one decode.
-
-Decoding is purely static: a :class:`DecodedOp` never holds run state, so
-sharing across interpreter instances (and threads) is safe.
+The :class:`~repro.isa.predecode.DecodedOp` record and the memoizing
+:func:`repro.isa.predecode.decode_program` driver are ISA-neutral and live
+in :mod:`repro.isa.predecode`; this module contributes only the STRAIGHT
+half — the dense ``K_*`` dispatch kind space and the static
+``_decode_one`` hook that maps each :class:`~repro.straight.isa.SInstr`
+onto it, with the ALU/compare evaluator pre-bound, immediates pre-wrapped
+and branch/jump targets pre-resolved to instruction indices.
 """
 
 from functools import partial
@@ -21,6 +14,8 @@ from functools import partial
 from repro.common.bitops import wrap32
 from repro.common.layout import WORD_BYTES
 from repro.ir.passes.constfold import eval_binop, eval_icmp
+from repro.isa.predecode import DecodedOp
+from repro.isa.predecode import decode_program as _decode_program
 
 #: Dispatch kinds (dense ints; the interpreter dispatches on these instead
 #: of hashing mnemonic strings per retired instruction).
@@ -66,41 +61,6 @@ _ALU_BINOPS = {
 }
 
 _CMP_OPS = {"SLT": "slt", "SLTU": "ult", "SLTI": "slt", "SLTUI": "ult"}
-
-
-class DecodedOp:
-    """One statically-decoded instruction (immutable after construction)."""
-
-    __slots__ = (
-        "index",      # text-segment instruction index
-        "pc",         # absolute PC of this instruction
-        "kind",       # one of the K_* dispatch ints
-        "mnemonic",
-        "op_class",
-        "srcs",       # operand distances (tuple of ints)
-        "imm",        # raw immediate (or None)
-        "operand",    # kind-specific precomputation (see decode_program)
-        "target_index",  # branch/jump destination instruction index
-        "target_pc",  # branch/jump destination PC
-        "instr",      # the original SInstr (error paths, tools)
-    )
-
-    def __init__(self, index, pc, kind, instr, operand=None,
-                 target_index=None, target_pc=None):
-        self.index = index
-        self.pc = pc
-        self.kind = kind
-        self.mnemonic = instr.mnemonic
-        self.op_class = instr.op_class
-        self.srcs = instr.srcs
-        self.imm = instr.imm
-        self.operand = operand
-        self.target_index = target_index
-        self.target_pc = target_pc
-        self.instr = instr
-
-    def __repr__(self):
-        return f"DecodedOp({self.index}, {self.mnemonic}, kind={self.kind})"
 
 
 def _decode_one(index, instr, text_base):
@@ -166,17 +126,5 @@ def _decode_one(index, instr, text_base):
 
 
 def decode_program(program):
-    """The immutable decoded-op array of ``program``, decoded exactly once.
-
-    Memoized on the program object; every interpreter instance over the
-    same linked binary — including the lockstep golden machine — shares
-    one array.
-    """
-    decoded = getattr(program, "_decoded_ops", None)
-    if decoded is None or len(decoded) != len(program.instrs):
-        decoded = tuple(
-            _decode_one(index, instr, program.text_base)
-            for index, instr in enumerate(program.instrs)
-        )
-        program._decoded_ops = decoded
-    return decoded
+    """The memoized decoded-op array of ``program`` (STRAIGHT kinds)."""
+    return _decode_program(program, _decode_one)

@@ -14,37 +14,46 @@ Subcommands::
     straight guardrails --workload dhrystone          # lockstep smoke run
     straight guardrails --faults 100 --seed 7         # fault campaign
     straight bench --smoke --json bench.json          # simulator throughput
+    straight isa list                                 # registered ISAs
+    straight isa density --json                       # bits/instruction report
 
-Targets: ``riscv`` (the SS baseline), ``straight`` (RE+), ``straight-raw``.
-Cores: the Table I names (``SS-2way``, ``STRAIGHT-2way``, ``SS-4way``,
-``STRAIGHT-4way``).
+Targets come from the ISA registry (:mod:`repro.isa`): ``riscv`` (the SS
+baseline), ``straight`` (RE+), ``straight-raw``, ``bb`` — plus any
+third-party registration.  Cores: the Table I names (``SS-2way``,
+``STRAIGHT-2way``, ``SS-4way``, ``STRAIGHT-4way``) and the BB pair
+(``BB-2way``, ``BB-4way``).
 """
 
 import argparse
 import json
 import sys
 
+from repro import isa as isa_registry
 from repro.frontend import compile_source
-from repro.compiler import compile_to_riscv, compile_to_straight
 from repro.core.api import Binary, simulate, run_functional
-from repro.core.configs import TABLE1
+from repro.core.configs import ALL_CORES
 
-TARGETS = ("riscv", "straight", "straight-raw")
+#: CLI target names, enumerated from the registry (registration order).
+TARGETS = tuple(isa_registry.target_map())
+
+#: Registered ISA names (for ``--isa`` flags and ``straight isa list``).
+ISA_NAMES = isa_registry.names()
 
 
 def _compile_target(source, target, max_distance=1023):
+    descriptor, opts = isa_registry.resolve_target(target)
     module = compile_source(source)
-    if target == "riscv":
-        compilation = compile_to_riscv(module)
-        isa = "riscv"
-    else:
-        compilation = compile_to_straight(
-            module,
-            max_distance=max_distance,
-            redundancy_elimination=(target == "straight"),
-        )
-        isa = "straight"
-    return Binary(isa, compilation.link(), compilation)
+    compilation = descriptor.compile_module(
+        module, max_distance=max_distance, **opts
+    )
+    return Binary(descriptor.name, compilation.link(), compilation)
+
+
+def _target_of(args):
+    """The effective target: ``--isa NAME`` selects that ISA's default."""
+    if getattr(args, "isa", None):
+        return next(iter(isa_registry.get(args.isa).targets))
+    return args.target
 
 
 def _read_source(path):
@@ -55,19 +64,22 @@ def _read_source(path):
 
 
 def cmd_compile(args):
-    binary = _compile_target(_read_source(args.file), args.target, args.max_distance)
+    binary = _compile_target(_read_source(args.file), _target_of(args),
+                             args.max_distance)
     print(binary.compilation.asm_text())
     return 0
 
 
 def cmd_disasm(args):
-    binary = _compile_target(_read_source(args.file), args.target, args.max_distance)
+    binary = _compile_target(_read_source(args.file), _target_of(args),
+                             args.max_distance)
     print(binary.program.disassemble())
     return 0
 
 
 def cmd_run(args):
-    binary = _compile_target(_read_source(args.file), args.target, args.max_distance)
+    binary = _compile_target(_read_source(args.file), _target_of(args),
+                             args.max_distance)
     result = run_functional(binary, max_steps=args.max_steps)
     for word in result.output:
         print(word)
@@ -76,17 +88,20 @@ def cmd_run(args):
 
 
 def cmd_simulate(args):
-    factory = TABLE1.get(args.core)
+    factory = ALL_CORES.get(args.core)
     if factory is None:
-        print(f"unknown core {args.core!r}; choose from {sorted(TABLE1)}",
+        print(f"unknown core {args.core!r}; choose from {sorted(ALL_CORES)}",
               file=sys.stderr)
         return 1
     config = factory()
-    target = "riscv" if not config.is_straight else (
-        "straight" if not args.raw else "straight-raw"
-    )
-    binary = _compile_target(_read_source(args.file), target, config.max_distance
-                             if config.is_straight else 1023)
+    descriptor = isa_registry.for_config(config)
+    # ``--raw`` picks the ISA's secondary target (STRAIGHT's no-RE+ binary);
+    # ISAs with a single target ignore it.
+    targets = list(descriptor.targets)
+    target = targets[1] if args.raw and len(targets) > 1 else targets[0]
+    max_distance = (config.max_distance
+                    if descriptor.register_model == "distance" else 1023)
+    binary = _compile_target(_read_source(args.file), target, max_distance)
     result = simulate(binary, config, warm_caches=not args.cold,
                       guardrails=args.guardrails)
     payload = result.stats.as_dict()
@@ -102,13 +117,12 @@ def cmd_simulate(args):
 def cmd_guardrails(args):
     """Guarded smoke run (lockstep + checkers) or a fault-injection campaign."""
     from repro.common.errors import RunTimeoutError
-    from repro.core.configs import TABLE1
     from repro.guardrails import run_campaign
     from repro.harness.runner import timed_run, deadline
 
-    factory = TABLE1.get(args.core)
+    factory = ALL_CORES.get(args.core)
     if factory is None:
-        print(f"unknown core {args.core!r}; choose from {sorted(TABLE1)}",
+        print(f"unknown core {args.core!r}; choose from {sorted(ALL_CORES)}",
               file=sys.stderr)
         return 1
     config = factory(guardrails=True)
@@ -123,14 +137,15 @@ def cmd_guardrails(args):
                 print("FAIL: silent fault escapes detected", file=sys.stderr)
                 return 1
             return 0
-        binary_label = "SS" if not config.is_straight else "STRAIGHT-RE+"
-        if config.is_straight:
-            from repro.guardrails import static_precheck
-            from repro.workloads.common import build_workload
+        descriptor = isa_registry.for_config(config)
+        binary_label = descriptor.label_for_config(config)
+        from repro.guardrails import static_precheck
+        from repro.workloads.common import build_workload
 
-            built = build_workload(args.workload, iterations=args.iterations,
-                                   max_distance=config.max_distance)
-            static_report = static_precheck(built.straight_re)
+        built = build_workload(args.workload, iterations=args.iterations,
+                               max_distance=config.max_distance)
+        static_report = static_precheck(built.all()[binary_label])
+        if static_report is not None:
             print(f"static verify: {static_report.summary()}",
                   file=sys.stderr)
         run = timed_run(args.workload, binary_label, config,
@@ -151,24 +166,37 @@ def cmd_guardrails(args):
     return 0
 
 
-def _verify_jobs_all_shipped(max_distances):
-    """(name, program) pairs covering every shipped STRAIGHT artifact."""
+def _verify_jobs_all_shipped(max_distances, isas=None):
+    """(name, isa, program) triplets covering every shipped artifact of the
+    statically-verifiable ISAs (STRAIGHT's distance proof, bb's block
+    structure; ISAs without a verifier contribute nothing)."""
     import os
 
     from repro.workloads.common import get_workload
     from repro.guardrails import DEFAULT_CAMPAIGN_SOURCE
 
+    names = tuple(isas) if isas else ISA_NAMES
     sources = [
         ("dhrystone", get_workload("dhrystone").source()),
         ("coremark", get_workload("coremark").source()),
         ("fault-campaign", DEFAULT_CAMPAIGN_SOURCE),
     ]
-    for name, source in sources:
-        for target in ("straight", "straight-raw"):
-            for max_distance in max_distances:
-                binary = _compile_target(source, target, max_distance)
-                yield f"{name}/{target}/md={max_distance}", binary.program
+    for isa_name in names:
+        descriptor = isa_registry.get(isa_name)
+        if not descriptor.has_static_check:
+            continue
+        # The distance-bound sweep only means something on distance ISAs.
+        distances = (max_distances
+                     if descriptor.register_model == "distance" else (1023,))
+        for name, source in sources:
+            for target in descriptor.targets:
+                for max_distance in distances:
+                    binary = _compile_target(source, target, max_distance)
+                    yield (f"{name}/{target}/md={max_distance}",
+                           descriptor.name, binary.program)
 
+    if "straight" not in names:
+        return
     # The hand-written assembly example, when run from a repo checkout.
     example = os.path.normpath(
         os.path.join(
@@ -189,15 +217,22 @@ def _verify_jobs_all_shipped(max_distances):
             program = link_program(
                 [startup_stub(), parse_assembly(getattr(module, snippet))]
             )
-            yield f"examples/hand_written_asm/{snippet}", program
+            yield f"examples/hand_written_asm/{snippet}", "straight", program
 
 
 def cmd_verify(args):
-    """Static verification: prove the distance discipline over all paths."""
-    from repro.analysis import run_mutation_campaign, verify_program
+    """Static verification via each ISA's registered verifier."""
+    from repro.analysis import run_mutation_campaign
 
     if args.all_shipped:
-        jobs = list(_verify_jobs_all_shipped(max_distances=(1023, 31)))
+        jobs = list(_verify_jobs_all_shipped(
+            max_distances=(1023, 31),
+            isas=(args.isa,) if args.isa else None,
+        ))
+        if not jobs:
+            print(f"verify: ISA {args.isa!r} has no static verifier",
+                  file=sys.stderr)
+            return 2
     else:
         if args.file is None:
             if not args.mutants:
@@ -211,24 +246,29 @@ def cmd_verify(args):
         else:
             name = args.file
             source = _read_source(args.file)
-        targets = (
-            ("straight", "straight-raw")
-            if args.target == "both"
-            else (args.target,)
-        )
-        jobs = [
-            (
-                f"{name}/{target}/md={args.max_distance}",
-                _compile_target(source, target, args.max_distance).program,
-            )
-            for target in targets
-        ]
+        if args.isa:
+            targets = tuple(isa_registry.get(args.isa).targets)
+        elif args.target == "both":
+            targets = ("straight", "straight-raw")
+        else:
+            targets = (args.target,)
+        jobs = []
+        for target in targets:
+            descriptor, _ = isa_registry.resolve_target(target)
+            if not descriptor.has_static_check:
+                print(f"verify: ISA {descriptor.name!r} has no static "
+                      "verifier", file=sys.stderr)
+                return 2
+            binary = _compile_target(source, target, args.max_distance)
+            jobs.append((f"{name}/{target}/md={args.max_distance}",
+                         descriptor.name, binary.program))
 
     runs = []
     failed = False
-    for name, program in jobs:
-        report = verify_program(program, lint=args.lint)
-        entry = {"name": name, "counts": report.counts(),
+    for name, isa_name, program in jobs:
+        report = isa_registry.get(isa_name).static_check(program,
+                                                         lint=args.lint)
+        entry = {"name": name, "isa": isa_name, "counts": report.counts(),
                  "stats": report.stats}
         if args.json:
             entry["diagnostics"] = report.as_dict()["diagnostics"]
@@ -241,8 +281,12 @@ def cmd_verify(args):
             print("verify: --mutants needs a single file/target",
                   file=sys.stderr)
             return 2
+        if jobs[0][1] != "straight":
+            print("verify: the mutation campaign targets STRAIGHT binaries",
+                  file=sys.stderr)
+            return 2
         campaign = run_mutation_campaign(
-            jobs[0][1], mutants=args.mutants, seed=args.seed
+            jobs[0][2], mutants=args.mutants, seed=args.seed
         )
         failed = failed or campaign.detection_rate < 0.95
 
@@ -267,16 +311,22 @@ def cmd_verify(args):
 def _resolve_sim_binary(args, config):
     """The binary a trace/profile run targets, from --workload or a file.
 
-    The core picks the ISA; ``--target straight-raw`` selects the RAW
-    binary on STRAIGHT cores (it is ignored on SS cores).
+    The core picks the ISA via the registry; ``--target`` selects among
+    that ISA's own variant targets (e.g. ``straight-raw`` on STRAIGHT
+    cores) and is ignored when it names another ISA's target.
     """
-    if config.is_straight:
-        target = "straight-raw" if args.target == "straight-raw" else "straight"
-        label = "STRAIGHT-RAW" if target == "straight-raw" else "STRAIGHT-RE+"
-        max_distance = config.max_distance
-    else:
-        target, label = "riscv", "SS"
-        max_distance = 1023
+    descriptor = isa_registry.for_config(config)
+    target = next(iter(descriptor.targets))
+    if getattr(args, "target", None) in descriptor.targets:
+        target = args.target
+    opts = descriptor.targets[target]
+    label = next(
+        (lab for lab, lab_opts in descriptor.binary_labels.items()
+         if lab_opts == opts),
+        descriptor.label_for_config(config),
+    )
+    max_distance = (config.max_distance
+                    if descriptor.register_model == "distance" else 1023)
     if args.workload is not None:
         from repro.workloads import build_workload
 
@@ -289,10 +339,10 @@ def _resolve_sim_binary(args, config):
 
 
 def _sim_config(core_name):
-    factory = TABLE1.get(core_name)
+    factory = ALL_CORES.get(core_name)
     if factory is None:
         raise SystemExit(
-            f"unknown core {core_name!r}; choose from {sorted(TABLE1)}")
+            f"unknown core {core_name!r}; choose from {sorted(ALL_CORES)}")
     return factory()
 
 
@@ -623,6 +673,45 @@ def cmd_chaos(args):
     return 0 if report.ok else 1
 
 
+def cmd_isa(args):
+    """ISA registry introspection: list descriptors, encoding density."""
+    if args.isa_command == "list":
+        rows = [
+            {
+                "name": d.name,
+                "display": d.display_name,
+                "registers": d.register_model,
+                "frontend": d.frontend,
+                "targets": ",".join(d.targets),
+                "binaries": ",".join(d.binary_labels),
+                "static_verifier": "yes" if d.has_static_check else "no",
+                "opcodes": len(d.opcodes),
+            }
+            for d in isa_registry.descriptors()
+        ]
+        if args.json:
+            print(json.dumps({"isas": rows}, indent=2))
+        else:
+            from repro.harness.reporting import format_table
+
+            print(format_table(rows, title="Registered ISAs"))
+        return 0
+    if args.isa_command == "density":
+        from repro.isa.density import DEFAULT_WORKLOADS, density_report
+
+        report = density_report(
+            workloads=tuple(args.workloads) if args.workloads
+            else DEFAULT_WORKLOADS,
+        )
+        if args.json:
+            print(json.dumps({"rows": report["rows"]}, indent=2))
+        else:
+            print(report["text"])
+        return 0
+    print("isa: pass a subcommand (list, density)", file=sys.stderr)
+    return 2
+
+
 def cmd_experiments(args):
     from repro.harness import ALL_EXPERIMENTS
 
@@ -649,6 +738,9 @@ def build_parser():
     def add_common(p):
         p.add_argument("file", help="mini-C source file ('-' for stdin)")
         p.add_argument("--target", choices=TARGETS, default="straight")
+        p.add_argument("--isa", choices=ISA_NAMES, default=None,
+                       help="compile for this registered ISA's default "
+                            "target (overrides --target)")
         p.add_argument("--max-distance", type=int, default=1023)
 
     p_compile = sub.add_parser("compile", help="emit assembly")
@@ -727,12 +819,16 @@ def build_parser():
     )
     p_verify.add_argument("file", nargs="?", default=None,
                           help="mini-C source file ('-' for stdin)")
-    p_verify.add_argument("--target", choices=("straight", "straight-raw",
-                                               "both"), default="straight")
+    p_verify.add_argument("--target", choices=TARGETS + ("both",),
+                          default="straight")
+    p_verify.add_argument("--isa", choices=ISA_NAMES, default=None,
+                          help="verify this registered ISA's targets "
+                               "(overrides --target)")
     p_verify.add_argument("--max-distance", type=int, default=1023)
     p_verify.add_argument("--all-shipped", action="store_true",
-                          help="verify every shipped workload/example at "
-                               "max_distance 1023 and 31")
+                          help="verify every shipped workload/example of the "
+                               "statically-verifiable ISAs (STRAIGHT at "
+                               "max_distance 1023 and 31)")
     p_verify.add_argument("--lint", action="store_true",
                           help="also run the advisory lint passes")
     p_verify.add_argument("--json", action="store_true",
@@ -898,6 +994,27 @@ def build_parser():
     p_chaos.add_argument("--quiet", action="store_true",
                          help="suppress per-scenario progress on stderr")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_isa = sub.add_parser(
+        "isa",
+        help="ISA registry: list descriptors, encoding-density report",
+    )
+    isa_sub = p_isa.add_subparsers(dest="isa_command", required=True)
+    p_ilist = isa_sub.add_parser("list", help="registered ISA descriptors")
+    p_ilist.add_argument("--json", action="store_true",
+                         help="machine-readable listing on stdout")
+    p_ilist.set_defaults(func=cmd_isa)
+    p_idensity = isa_sub.add_parser(
+        "density",
+        help="bits/instruction encoding density per registered ISA "
+             "(descriptor-table driven)",
+    )
+    p_idensity.add_argument("--workloads", nargs="*", default=None,
+                            help="registry workloads to measure "
+                                 "(default: dhrystone coremark)")
+    p_idensity.add_argument("--json", action="store_true",
+                            help="machine-readable report on stdout")
+    p_idensity.set_defaults(func=cmd_isa)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper figures")
     p_exp.add_argument("names", nargs="*", help="experiment ids (default all)")

@@ -56,9 +56,14 @@ class CoreConfig:
         watchdog_cycles=50_000,
         deep_check_interval=64,
         predictor_check_interval=4096,
+        frontend=None,
     ):
         self.name = name
         self.is_straight = is_straight
+        #: Explicit front-end model name (see
+        #: :data:`repro.uarch.frontend_models.FRONTEND_MODELS`); ``None``
+        #: keeps the classic two-model selection via ``is_straight``.
+        self.frontend = frontend
         self.fetch_width = fetch_width
         self.issue_width = issue_width
         self.commit_width = commit_width
@@ -116,7 +121,7 @@ class CoreConfig:
             return (level.size_kib, level.ways, level.line_bytes,
                     level.hit_latency)
 
-        return (
+        key = (
             self.is_straight,
             self.fetch_width,
             self.issue_width,
@@ -146,6 +151,18 @@ class CoreConfig:
             self.prefetch_streams,
             self.prefetch_degree,
         )
+        # Appended only when set, so every pre-existing config keeps its
+        # exact historical cache key (persistent result caches stay warm).
+        if self.frontend is not None:
+            key += (self.frontend,)
+        return key
+
+    @property
+    def frontend_model(self):
+        """The front-end model name this config simulates."""
+        if self.frontend is not None:
+            return self.frontend
+        return "straight" if self.is_straight else "rename"
 
     def copy(self, **overrides):
         """A modified copy (used for Fig. 13's no-penalty and Fig. 14's TAGE)."""

@@ -24,7 +24,7 @@ backwards compatibility.
 """
 
 from repro.uarch.branch import make_predictor, BranchTargetBuffer, ReturnAddressStack
-from repro.uarch.frontend_models import RenameFrontEnd, StraightFrontEnd
+from repro.uarch.frontend_models import FRONTEND_MODELS
 from repro.uarch.lsq import LoadStoreQueue, MemDependencePredictor
 from repro.uarch.stats import SimStats, StatsRegistry, default_registry
 
@@ -48,8 +48,7 @@ class OoOCore:
         self.predictor = make_predictor(config.predictor)
         self.btb = BranchTargetBuffer(config.btb_entries)
         self.ras = ReturnAddressStack(config.ras_depth)
-        frontend_cls = StraightFrontEnd if config.is_straight else RenameFrontEnd
-        self.frontend = frontend_cls(config, self.stats)
+        self.frontend = FRONTEND_MODELS[config.frontend_model](config, self.stats)
         self.lsq = LoadStoreQueue(config.lsq_loads, config.lsq_stores)
         self.mdp = MemDependencePredictor()
         self.engine = None  # the TimingEngine of the most recent run

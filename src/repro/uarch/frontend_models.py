@@ -10,7 +10,16 @@ This module is the heart of the reproduction's architectural comparison:
   adder per operand against the running RP, no table, no free list, and a
   *single ROB-entry read* on recovery (paper §III-B, Figs. 3 and 4).  Its
   only dispatch restriction is one SPADD per group (the cascaded-SPADD
-  frequency concern of §III-B).
+  frequency concern of §III-B);
+* :class:`BasicBlockFrontEnd` models a BasicBlocker-style RV32IM front end
+  (the ``bb`` ISA): a conventional rename stage, but control flow resolved
+  from block-header annotations instead of prediction — sequential fetch
+  within an announced basic block, no speculation, no mispredictions.
+
+Models register in :data:`FRONTEND_MODELS`; a
+:class:`~repro.uarch.config.CoreConfig` names one via its
+``frontend_model`` property and :class:`~repro.uarch.core.OoOCore` looks it
+up there.
 """
 
 
@@ -119,3 +128,39 @@ class StraightFrontEnd:
         if self.config.ideal_recovery:
             return resolve_cycle
         return resolve_cycle + 1
+
+
+class BasicBlockFrontEnd(RenameFrontEnd):
+    """BasicBlocker-style front end: block headers instead of prediction.
+
+    The ``bb`` ISA marks every basic-block head with a ``BB`` instruction
+    announcing the block's instruction count, so fetch always knows where
+    the current block ends and control transfers are resolved at decode —
+    there is no branch predictor and therefore no misprediction recovery.
+    The model charges that as: fetch groups stop at taken control transfers
+    (sequential fetch never crosses a block boundary speculatively), with
+    no recovery stalls; the dynamic cost of the scheme is the ``BB`` header
+    instruction itself, which occupies fetch/decode/ROB slots in every
+    executed block.  Register renaming is inherited unchanged — the ISA is
+    RV32IM plus headers.
+    """
+
+    name = "bb"
+
+    def predict_control(self, stats, entry):
+        """The FetchStage control hook: (mispredicted, stop_group, penalty).
+
+        Mirrors the predictor path's accounting (every control transfer
+        counts as a fetched branch) but never mispredicts and never pays a
+        redirect: the block header resolved the boundary ahead of fetch.
+        """
+        stats.branches += 1
+        return False, entry.taken, 0
+
+
+#: Registered front-end models by name (``CoreConfig.frontend_model``).
+FRONTEND_MODELS = {
+    "rename": RenameFrontEnd,
+    "straight": StraightFrontEnd,
+    "bb": BasicBlockFrontEnd,
+}

@@ -553,6 +553,12 @@ class FetchStage(PipelineStage):
         """Returns (mispredicted, stop_fetch_group, redirect_penalty)."""
         stats = self.stats
         core = self.core
+        # Front-end models may resolve control flow without prediction (the
+        # bb block-header scheme); models without the hook take the classic
+        # predictor path below unchanged.
+        resolve = getattr(core.frontend, "predict_control", None)
+        if resolve is not None:
+            return resolve(stats, entry)
         stats.branches += 1
         actual_taken = entry.taken
         actual_target = entry.next_pc if actual_taken else None

@@ -20,7 +20,7 @@ class Workload:
         )
 
     def build(self, iterations=None, max_distance=1023):
-        """Compile to all three binaries and cross-validate their outputs."""
+        """Compile to every evaluated binary and cross-validate the outputs."""
         result = build(self.source(iterations), max_distance=max_distance)
         reference = run_functional(result.riscv).output
         for name, binary in result.all().items():
@@ -87,6 +87,8 @@ def build_workload(name, iterations=None, max_distance=1023):
         if artifacts is not None:
             artifact_key = _artifact_key(workload, iterations, max_distance)
             built = artifacts.get(artifact_key)
+        if built is not None and getattr(built, "bb", None) is None:
+            built = None  # stale pre-BB cache entry: rebuild with all labels
         if built is None:
             built = workload.build(iterations, max_distance)
             for binary in built.all().values():
@@ -110,6 +112,8 @@ def peek_cached_build(name, iterations=None, max_distance=1023):
         return None
     workload = get_workload(name)
     built = artifacts.get(_artifact_key(workload, iterations, max_distance))
+    if built is not None and getattr(built, "bb", None) is None:
+        return None  # stale pre-BB cache entry
     if built is not None:
         _build_cache[key] = built
     return built

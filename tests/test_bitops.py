@@ -5,6 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.common.bitops import (
     MASK32,
+    FieldOverflow,
     wrap32,
     to_signed,
     to_unsigned,
@@ -12,6 +13,8 @@ from repro.common.bitops import (
     bits,
     fits_signed,
     fits_unsigned,
+    signed_field,
+    unsigned_field,
 )
 
 u32 = st.integers(min_value=0, max_value=MASK32)
@@ -110,3 +113,63 @@ class TestFits:
     def test_fits_signed_matches_sext(self, width, value):
         if fits_signed(value, width):
             assert sext(value & ((1 << width) - 1), width) == value
+
+
+class TestEncodeFields:
+    """The shared immediate-field helpers every ISA encoder goes through."""
+
+    #: Field widths the encoders actually use (STRAIGHT imm5/imm15/imm20/
+    #: imm25, RV32IM imm12/imm13/imm20/imm21), plus the 1-bit degenerate.
+    WIDTHS = (1, 5, 12, 13, 15, 20, 21, 25)
+
+    def test_signed_field_exhaustive_boundaries(self):
+        for width in self.WIDTHS:
+            low, high = -(1 << (width - 1)), (1 << (width - 1)) - 1
+            assert signed_field(low, width) == 1 << (width - 1)
+            assert signed_field(high, width) == high
+            assert signed_field(-1, width) == (1 << width) - 1
+            assert signed_field(0, width) == 0
+            for bad in (low - 1, high + 1):
+                with pytest.raises(FieldOverflow):
+                    signed_field(bad, width)
+
+    def test_unsigned_field_exhaustive_boundaries(self):
+        for width in self.WIDTHS:
+            high = (1 << width) - 1
+            assert unsigned_field(0, width) == 0
+            assert unsigned_field(high, width) == high
+            for bad in (-1, high + 1):
+                with pytest.raises(FieldOverflow):
+                    unsigned_field(bad, width)
+
+    def test_overflow_carries_structured_context(self):
+        with pytest.raises(FieldOverflow) as info:
+            signed_field(1 << 14, 15)
+        err = info.value
+        assert err.value == 1 << 14
+        assert err.width == 15
+        assert err.signed is True
+        assert "15-bit signed" in str(err)
+        with pytest.raises(FieldOverflow) as info:
+            unsigned_field(-3, 20)
+        assert info.value.signed is False
+        assert "20-bit unsigned" in str(info.value)
+
+    def test_field_overflow_is_a_value_error(self):
+        assert issubclass(FieldOverflow, ValueError)
+
+    @given(st.integers(min_value=1, max_value=31), any_int)
+    def test_signed_field_roundtrips_through_sext(self, width, value):
+        if fits_signed(value, width):
+            assert sext(signed_field(value, width), width) == value
+        else:
+            with pytest.raises(FieldOverflow):
+                signed_field(value, width)
+
+    @given(st.integers(min_value=1, max_value=31), any_int)
+    def test_unsigned_field_is_identity_in_range(self, width, value):
+        if fits_unsigned(value, width):
+            assert unsigned_field(value, width) == value
+        else:
+            with pytest.raises(FieldOverflow):
+                unsigned_field(value, width)

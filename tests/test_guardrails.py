@@ -9,6 +9,7 @@ from collections import deque
 
 import pytest
 
+from repro import isa as isa_registry
 from repro.common.errors import (
     DeadlockError,
     DivergenceError,
@@ -302,32 +303,32 @@ class TestWatchdog:
 
 
 class TestEndToEnd:
-    def test_clean_guarded_runs_both_isas(self, small_build):
-        for binary, factory in (
-            (small_build.straight_re, straight_2way),
-            (small_build.riscv, ss_2way),
-        ):
-            result = simulate(binary, factory(), warm_caches=True,
-                              guardrails=True)
-            assert result.output == SMALL_PROGRAM_OUTPUT
-            report = result.guardrail_report
-            assert report["commits_checked"] > 0
-            assert report["lockstep"]["golden_halted"]
-            assert report["lockstep"]["commits_compared"] == report[
-                "commits_checked"
-            ]
+    @pytest.mark.parametrize("isa_name", isa_registry.names())
+    def test_clean_guarded_runs_every_isa(self, small_build, isa_name):
+        """Lockstep co-sim holds for every registered ISA's default binary."""
+        descriptor = isa_registry.get(isa_name)
+        binary = small_build.all()[descriptor.default_label]
+        config = descriptor.config_factories["2way"]()
+        result = simulate(binary, config, warm_caches=True, guardrails=True)
+        assert result.output == SMALL_PROGRAM_OUTPUT
+        report = result.guardrail_report
+        assert report["commits_checked"] > 0
+        assert report["lockstep"]["golden_halted"]
+        assert report["lockstep"]["commits_compared"] == report[
+            "commits_checked"
+        ]
 
-    def test_guardrails_do_not_change_cycle_counts(self, small_build):
+    @pytest.mark.parametrize("isa_name", isa_registry.names())
+    def test_guardrails_do_not_change_cycle_counts(self, small_build,
+                                                   isa_name):
         """Acceptance: the guarded run reproduces seed cycle counts exactly."""
-        for binary, factory in (
-            (small_build.straight_re, straight_2way),
-            (small_build.riscv, ss_2way),
-        ):
-            plain = simulate(binary, factory(), warm_caches=True)
-            guarded = simulate(binary, factory(), warm_caches=True,
-                               guardrails=True)
-            assert guarded.cycles == plain.cycles
-            assert guarded.output == plain.output
+        descriptor = isa_registry.get(isa_name)
+        binary = small_build.all()[descriptor.default_label]
+        config = descriptor.config_factories["2way"]()
+        plain = simulate(binary, config, warm_caches=True)
+        guarded = simulate(binary, config, warm_caches=True, guardrails=True)
+        assert guarded.cycles == plain.cycles
+        assert guarded.output == plain.output
 
     def test_lockstep_catches_corrupted_commit_value(self, small_build):
         """A deliberately corrupted architectural result must diverge."""

@@ -104,6 +104,8 @@ class TestCheapExperiments:
             "ablation_re_plus",
             "ablation_recovery",
             "ablation_spadd",
+            "isa_grid",
+            "isa_density",
         }
 
 

@@ -1,0 +1,265 @@
+"""The ISA plugin layer: registry behavior, descriptor invariants, the
+``bb`` BasicBlocker ISA end-to-end (compile -> static verify -> lockstep
+co-sim -> timing sim on the paper workloads), the bbify pass and block
+verifier against corrupted programs, and the encoding-density report."""
+
+import pytest
+
+from repro import isa as isa_registry
+from repro.common.errors import UnknownIsaError
+from repro.frontend import compile_source
+from tests.conftest import SMALL_PROGRAM, SMALL_PROGRAM_OUTPUT
+
+
+# ------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_builtin_names_in_registration_order(self):
+        assert isa_registry.names() == ("straight", "riscv", "bb")
+
+    def test_get_returns_named_descriptor(self):
+        for name in isa_registry.names():
+            assert isa_registry.get(name).name == name
+
+    def test_unknown_isa_error_lists_registered_names(self):
+        with pytest.raises(UnknownIsaError) as info:
+            isa_registry.get("mips")
+        message = str(info.value)
+        for name in isa_registry.names():
+            assert name in message
+
+    def test_target_map_covers_variant_targets(self):
+        mapping = isa_registry.target_map()
+        assert set(mapping) >= {"straight", "straight-raw", "riscv", "bb"}
+        descriptor, opts = mapping["straight-raw"]
+        assert descriptor.name == "straight"
+        assert opts["redundancy_elimination"] is False
+
+    def test_resolve_target_unknown_raises(self):
+        with pytest.raises(UnknownIsaError):
+            isa_registry.resolve_target("straight-re-minus")
+
+    def test_for_config_maps_cores_to_descriptors(self):
+        from repro.core.configs import ALL_CORES
+
+        for factory in ALL_CORES.values():
+            config = factory()
+            descriptor = isa_registry.for_config(config)
+            assert descriptor.frontend == config.frontend_model
+
+    def test_register_and_lookup_third_party(self):
+        base = isa_registry.get("riscv")
+        fake = isa_registry.IsaDescriptor(
+            "fake", "Fake ISA", "gpr", base.opcodes, base.format_fields,
+            base.parse_assembly, base.link, base.startup_stub, base.encode,
+            base.decode, base.make_interpreter, base.compile_module,
+            binary_labels={"FAKE": {}}, targets={"fake": {}},
+            frontend="rename", config_factories=dict(base.config_factories),
+        )
+        try:
+            isa_registry.register(fake)
+            assert isa_registry.get("fake") is fake
+            assert "fake" in isa_registry.names()
+        finally:
+            isa_registry._REGISTRY.pop("fake", None)
+
+
+class TestDescriptorInvariants:
+    @pytest.mark.parametrize("isa_name", isa_registry.names())
+    def test_format_fields_cover_opcode_table(self, isa_name):
+        descriptor = isa_registry.get(isa_name)
+        for spec in descriptor.opcodes.values():
+            assert spec.fmt in descriptor.format_fields
+            payload = descriptor.format_payload_bits(spec.fmt)
+            assert 0 <= payload <= descriptor.word_bits
+
+    @pytest.mark.parametrize("isa_name", isa_registry.names())
+    def test_binary_labels_subset_of_target_opts(self, isa_name):
+        descriptor = isa_registry.get(isa_name)
+        assert descriptor.binary_labels
+        assert descriptor.targets
+        target_opts = list(descriptor.targets.values())
+        for opts in descriptor.binary_labels.values():
+            assert opts in target_opts
+
+    @pytest.mark.parametrize("isa_name", isa_registry.names())
+    def test_default_label_and_config_factories(self, isa_name):
+        descriptor = isa_registry.get(isa_name)
+        assert descriptor.default_label == next(iter(descriptor.binary_labels))
+        assert set(descriptor.config_factories) == {"2way", "4way"}
+        for factory in descriptor.config_factories.values():
+            assert factory().frontend_model == descriptor.frontend
+
+    @pytest.mark.parametrize("isa_name", isa_registry.names())
+    def test_compile_and_interpret_small_program(self, isa_name):
+        descriptor = isa_registry.get(isa_name)
+        compilation = descriptor.compile_module(
+            compile_source(SMALL_PROGRAM), max_distance=1023
+        )
+        interp = descriptor.make_interpreter(compilation.link())
+        assert interp.run(2_000_000).status in ("halt", "exit")
+        assert interp.output == SMALL_PROGRAM_OUTPUT
+
+
+# ------------------------------------------------- bbify + block verifier
+
+
+def _bb_program(source=SMALL_PROGRAM):
+    descriptor = isa_registry.get("bb")
+    compilation = descriptor.compile_module(
+        compile_source(source), max_distance=1023
+    )
+    return compilation.link()
+
+
+class TestBbVerifier:
+    def test_clean_program_verifies(self):
+        from repro.bb.verify import verify_program
+
+        program = _bb_program()
+        report = verify_program(program)
+        assert not report.has_errors()
+        assert report.stats["blocks"] > 0
+        assert "0 error(s)" in report.summary()
+
+    def test_corrupted_header_count_detected(self):
+        from repro.bb.verify import verify_program
+
+        program = _bb_program()
+        program.instrs = list(program.instrs)
+        header = next(
+            i for i, instr in enumerate(program.instrs)
+            if instr.mnemonic == "BB"
+        )
+        program.instrs[header].imm += 1
+        report = verify_program(program)
+        assert report.has_errors()
+        assert any(d.code == "BBV002" for d in report.diagnostics)
+
+    def test_missing_entry_header_detected(self):
+        from repro.bb.verify import verify_program
+
+        program = _bb_program()
+        program.instrs = list(program.instrs)
+        del program.instrs[0]  # the entry BB header
+        report = verify_program(program)
+        assert any(d.code == "BBV001" for d in report.diagnostics)
+
+    def test_header_stripped_after_branch_detected(self):
+        from repro.bb.bbify import CONTROL_CLASSES
+        from repro.bb.verify import verify_program
+
+        program = _bb_program()
+        program.instrs = list(program.instrs)
+        victim = next(
+            i for i, instr in enumerate(program.instrs)
+            if instr.op_class in CONTROL_CLASSES
+            and i + 2 < len(program.instrs)
+        )
+        del program.instrs[victim + 1]  # the following BB header
+        report = verify_program(program)
+        assert report.has_errors()
+        codes = {d.code for d in report.diagnostics}
+        assert "BBV003" in codes or "BBV002" in codes
+
+    def test_report_duck_types_diagnostic_surface(self):
+        from repro.bb.verify import verify_program
+
+        program = _bb_program()
+        program.instrs = list(program.instrs)
+        program.instrs[0].imm += 2
+        report = verify_program(program)
+        assert report.counts()["error"] == len(report.errors())
+        payload = report.as_dict()
+        assert payload["counts"]["error"] >= 1
+        diag = payload["diagnostics"][0]
+        assert diag["code"] in ("BBV001", "BBV002", "BBV003", "BBV004")
+        assert "pc=" in diag["location"]
+        assert diag["code"] in report.text()
+
+    def test_bbify_preserves_semantics(self):
+        """bbifying plain RV32IM output changes headers only, not results."""
+        from repro.bb.bbify import bbify_unit
+
+        descriptor = isa_registry.get("riscv")
+        module = compile_source(SMALL_PROGRAM)
+        compilation = descriptor.compile_module(module, max_distance=1023)
+        unit = bbify_unit(compilation.units[0])
+        mnemonics = [
+            item.mnemonic for kind, item in unit.items if kind == "instr"
+        ]
+        headers = mnemonics.count("BB")
+        assert headers > 0
+        originals = [m for m in mnemonics if m != "BB"]
+        assert originals == [
+            item.mnemonic
+            for kind, item in compilation.units[0].items
+            if kind == "instr"
+        ]
+
+
+# ---------------------------------------- bb end-to-end: paper workloads
+
+
+@pytest.mark.parametrize("workload", ["dhrystone", "coremark"])
+def test_bb_runs_paper_workloads_end_to_end(workload):
+    """compile -> static verify -> lockstep co-sim -> timing sim, per ISA."""
+    from repro.core.api import simulate
+    from repro.workloads import build_workload
+
+    descriptor = isa_registry.get("bb")
+    build = build_workload(workload, 2)
+    binaries = build.all()
+    assert "BB" in binaries
+    binary = binaries[descriptor.default_label]
+
+    # Static verify: the linked workload satisfies the block invariants.
+    report = descriptor.static_check(binary.program)
+    assert report is not None and not report.has_errors()
+
+    # Functional equivalence against the other registered ISAs.
+    outputs = {}
+    for other in isa_registry.descriptors():
+        interp = binaries[other.default_label].interpreter()
+        assert interp.run(50_000_000).status in ("halt", "exit")
+        outputs[other.name] = interp.output
+    assert outputs["bb"] == outputs["riscv"] == outputs["straight"]
+
+    # Lockstep co-sim + timing: the guarded run commits every instruction
+    # against the ISS golden model and completes.
+    config = descriptor.config_factories["2way"]()
+    result = simulate(binary, config, warm_caches=True, guardrails=True)
+    assert result.output == outputs["bb"]
+    assert result.cycles > 0
+    assert result.guardrail_report["lockstep"]["golden_halted"]
+
+
+# ------------------------------------------------------ density report
+
+
+class TestDensityReport:
+    def test_rows_cover_every_isa(self):
+        from repro.isa.density import density_report
+
+        report = density_report(workloads=("dhrystone",), iterations=2)
+        rows = report["rows"]
+        assert {row["isa"] for row in rows} == set(isa_registry.names())
+        for row in rows:
+            assert row["static_instrs"] > 0
+            assert row["dynamic_instrs"] > 0
+            assert 0 < row["utilization"] <= 1.0
+            assert row["code_bytes"] == row["static_instrs"] * 4
+        by_isa = {row["isa"]: row for row in rows}
+        # BasicBlocker pays for hazard-free fetch with header instructions.
+        assert by_isa["bb"]["code_size_vs_ss"] > 1.0
+        assert by_isa["riscv"]["code_size_vs_ss"] == 1.0
+        assert "Encoding density" in report["text"]
+
+    def test_payload_bits_from_descriptor_tables(self):
+        from repro.isa.density import payload_bits_by_mnemonic
+
+        for descriptor in isa_registry.descriptors():
+            bits = payload_bits_by_mnemonic(descriptor)
+            assert set(bits) == set(descriptor.opcodes)
+            assert all(0 <= b <= 32 for b in bits.values())

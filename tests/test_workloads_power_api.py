@@ -134,9 +134,17 @@ class TestPowerModel:
 
 
 class TestTopLevelApi:
-    def test_build_produces_three_binaries(self, small_build):
+    def test_build_produces_one_binary_per_registered_label(self, small_build):
+        from repro import isa as isa_registry
+
         labels = set(small_build.all())
-        assert labels == {"SS", "STRAIGHT-RAW", "STRAIGHT-RE+"}
+        expected = {
+            label
+            for descriptor in isa_registry.descriptors()
+            for label in descriptor.binary_labels
+        }
+        assert labels == expected == {"SS", "STRAIGHT-RAW", "STRAIGHT-RE+",
+                                      "BB"}
 
     def test_simulate_returns_consistent_result(self, small_build):
         result = simulate(small_build.straight_re, straight_2way())
