@@ -1,10 +1,17 @@
-"""Static analysis of assembled STRAIGHT binaries.
+"""ISA-generic static analysis of linked binaries.
 
-``verify_program`` proves the distance/write-once/SP/calling-convention
-discipline over every CFG path of a linked program (translation validation
-when the backend's producer manifest is attached); ``run_mutation_campaign``
-measures that the verifier catches seeded distance corruption.  See
-DESIGN.md §8 for the abstract domain and the proof obligations.
+One dataflow fixpoint engine (:mod:`repro.analysis.framework`),
+parameterized over each registered ISA's analysis support, carries every
+pass in the repo: ``verify_program`` proves the STRAIGHT
+distance/write-once/SP/calling-convention discipline over every CFG path
+(translation validation when the backend's producer manifest is attached);
+the gpr-model and ``bb`` verifiers live in :mod:`repro.riscv.verify` and
+:mod:`repro.bb.verify`; liveness / value-range lints in
+:mod:`repro.analysis.passes`; the static ILP / IPC-bound pass in
+:mod:`repro.analysis.ilp_static`; and :func:`analyze_program` bundles the
+whole stack for one binary.  ``run_campaign_for_isa`` measures that each
+ISA's verifier catches seeded corruption.  See DESIGN.md §8 (STRAIGHT
+domain) and §13 (the generic framework).
 """
 
 from repro.analysis.diagnostics import (
@@ -17,7 +24,23 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.verifier import verify_program
 from repro.analysis.cfg import build_cfg
-from repro.analysis.mutation import MutationReport, run_mutation_campaign
+from repro.analysis.framework import (
+    Analysis,
+    fixpoint,
+    solve_backward,
+    solve_forward,
+    support_for,
+)
+from repro.analysis.analyze import AnalysisBundle, analyze_program
+from repro.analysis.ilp_static import StaticIlpReport, analyze_ilp
+from repro.analysis.mutation import (
+    MutationReport,
+    cached_mutation_campaign,
+    run_bb_mutation_campaign,
+    run_campaign_for_isa,
+    run_gpr_mutation_campaign,
+    run_mutation_campaign,
+)
 
 __all__ = [
     "CODES",
@@ -26,8 +49,21 @@ __all__ = [
     "INFO",
     "Report",
     "WARNING",
+    "Analysis",
+    "AnalysisBundle",
+    "StaticIlpReport",
+    "analyze_ilp",
+    "analyze_program",
     "build_cfg",
+    "fixpoint",
+    "solve_backward",
+    "solve_forward",
+    "support_for",
     "verify_program",
     "MutationReport",
+    "cached_mutation_campaign",
+    "run_bb_mutation_campaign",
+    "run_campaign_for_isa",
+    "run_gpr_mutation_campaign",
     "run_mutation_campaign",
 ]

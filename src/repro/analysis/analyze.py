@@ -1,0 +1,72 @@
+"""``straight analyze``: one static-analysis surface per binary.
+
+Bundles, for any registered ISA with analysis support, the verifier's
+diagnostics (errors plus the advisory lint tier) and the static ILP pass
+(per-block critical paths, simple-loop recurrences, the IPC upper bound per
+machine width) into a single report with deterministic text and JSON
+renderings — diagnostics in the shared ``sort_key`` order, blocks and
+loops in leader order, so two runs over the same binary are byte-identical.
+"""
+
+from repro import isa as isa_registry
+from repro.analysis.diagnostics import Report
+from repro.analysis.ilp_static import analyze_ilp
+
+#: Machine widths the IPC bound is reported for (the evaluated cores).
+DEFAULT_WIDTHS = (2, 4)
+
+
+class AnalysisBundle:
+    """Verifier report + static ILP report for one binary."""
+
+    def __init__(self, name, isa, verify_report, ilp_report,
+                 widths=DEFAULT_WIDTHS):
+        self.name = name
+        self.isa = isa
+        self.verify_report = verify_report
+        self.ilp_report = ilp_report
+        self.widths = tuple(widths)
+
+    @property
+    def ok(self):
+        return not self.verify_report.has_errors()
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "isa": self.isa,
+            "ok": self.ok,
+            "verify": self.verify_report.as_dict(),
+            "ilp": self.ilp_report.as_dict(self.widths),
+        }
+
+    def text(self, max_blocks=12):
+        lines = [f"analyze {self.name} [{self.isa}]: "
+                 f"{self.verify_report.summary()}"]
+        for diag in self.verify_report.sorted():
+            lines.append(f"  {diag.render()}")
+        lines.append(self.ilp_report.text(max_blocks=max_blocks))
+        return "\n".join(lines)
+
+
+def analyze_program(program, isa, name=None, lint=True,
+                    widths=DEFAULT_WIDTHS):
+    """Run the full static-analysis stack on one linked binary.
+
+    ``isa`` names a registered ISA; its descriptor supplies both the
+    verifier (``static_check``) and the analysis support the ILP pass
+    needs.  Raises ``ValueError`` when the ISA has no analysis support.
+    """
+    descriptor = isa_registry.get(isa)
+    support = descriptor.analysis() if descriptor.analysis else None
+    if support is None:
+        raise ValueError(f"ISA {isa!r} has no analysis support")
+    if descriptor.has_static_check:
+        verify_report = descriptor.static_check(program, lint=lint)
+    else:
+        verify_report = Report(program)
+    ilp_report = analyze_ilp(program, support)
+    return AnalysisBundle(
+        name or descriptor.name, descriptor.name, verify_report, ilp_report,
+        widths=widths,
+    )

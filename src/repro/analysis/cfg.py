@@ -1,19 +1,26 @@
-"""Binary-level CFG reconstruction for linked STRAIGHT programs.
+"""Binary-level CFG reconstruction for linked programs of any registered ISA.
 
-Rebuilds, from a :class:`~repro.straight.linker.StraightProgram` alone, the
-function partition and per-function basic-block graph the verifier walks:
+Rebuilds, from a linked program alone, the function partition and
+per-function basic-block graph every static analysis walks.  The decoding
+of control flow is delegated to a per-ISA
+:class:`~repro.analysis.support.IsaAnalysisSupport` object (the
+descriptor's ``analysis`` hook); the discovery algorithm itself is
+ISA-generic:
 
-* functions are discovered from the entry point, every ``JAL`` target, and
-  (iteratively) the lowest still-unvisited labelled instruction — which picks
-  up functions that are never called;
-* ``JAL`` is *not* a block terminator: intra-procedurally the call returns to
-  the next instruction, so the resume point stays inside the block and the
-  verifier models the callee as an opaque age-killing event;
-* ``JR`` and ``HALT`` terminate, ``BEZ``/``BNZ`` fall through and branch.
+* functions are discovered from the entry point, every direct call target,
+  and (iteratively) the lowest still-unvisited labelled instruction — which
+  picks up functions that are never called;
+* a call is *not* a block terminator: intra-procedurally it returns to the
+  next instruction, so the resume point stays inside the block and the
+  analyses model the callee as an opaque event;
+* returns and halts terminate, conditional branches fall through and
+  branch — exactly which mnemonics those are is the support object's
+  business (STRAIGHT: ``JR``/``HALT``/``BEZ``/``BNZ``; RV32IM: ``jalr``
+  conventions, exit ``ecall``, B-format branches).
 
 Structural problems found while decoding edges (targets outside the text
 segment) are collected as ``issues`` — ``(code, index, message)`` tuples —
-for the verifier to turn into diagnostics.
+for the verifiers to turn into diagnostics.
 """
 
 
@@ -41,7 +48,7 @@ class BinFunction:
         self.indices = set()
         self.blocks = {}  # leader index -> BinBlock
         self.call_sites = []  # (index, callee entry index | None)
-        self.returns = []  # indices of JR instructions
+        self.returns = []  # indices of return instructions
 
     def block_order(self):
         return [self.blocks[leader] for leader in sorted(self.blocks)]
@@ -53,8 +60,9 @@ class BinFunction:
 class BinCFG:
     """The whole program's reconstructed control-flow structure."""
 
-    def __init__(self, program):
+    def __init__(self, program, support=None):
         self.program = program
+        self.support = support
         self.functions = []
         self.entry_of_index = {}  # instruction index -> owning function entry
         self.issues = []  # (code, index, message)
@@ -67,41 +75,18 @@ class BinCFG:
         return None
 
 
-def successors(program, index):
-    """Intra-procedural successor indices of instruction ``index``.
+def _default_support():
+    from repro.straight.analysis import StraightAnalysisSupport
 
-    Returns ``(succs, call_target, issue)``: ``call_target`` is the callee
-    entry for JAL, ``issue`` a ``(code, message)`` pair for malformed edges.
+    return StraightAnalysisSupport()
+
+
+def successors(program, index):
+    """STRAIGHT successor decoding (kept for backward compatibility).
+
+    New callers should go through a support object's ``successors``.
     """
-    instr = program.instrs[index]
-    n = len(program.instrs)
-    mnemonic = instr.mnemonic
-    if mnemonic == "HALT":
-        return [], None, None
-    if mnemonic == "JR":
-        return [], None, None
-    if mnemonic in ("BEZ", "BNZ", "J", "JAL"):
-        target = index + (instr.imm or 0)
-        if not 0 <= target < n:
-            issue = (
-                "STR010",
-                f"{mnemonic} target index {target} outside text segment",
-            )
-            if mnemonic == "J":
-                return [], None, issue
-            return [index + 1] if index + 1 < n else [], None, issue
-        if mnemonic == "J":
-            return [target], None, None
-        if mnemonic == "JAL":
-            succs = [index + 1] if index + 1 < n else []
-            return succs, target, None
-        succs = [target]
-        if index + 1 < n:
-            succs.append(index + 1)
-        return succs, None, None
-    if index + 1 < n:
-        return [index + 1], None, None
-    return [], None, ("STR010", f"{mnemonic} falls off the end of the text segment")
+    return _default_support().successors(program, index)
 
 
 def _labels_by_index(program):
@@ -113,9 +98,15 @@ def _labels_by_index(program):
     return table
 
 
-def build_cfg(program):
-    """Reconstruct the :class:`BinCFG` of a linked program."""
-    cfg = BinCFG(program)
+def build_cfg(program, support=None):
+    """Reconstruct the :class:`BinCFG` of a linked program.
+
+    ``support`` is the ISA's analysis-support object; it defaults to
+    STRAIGHT's, preserving the original single-ISA signature.
+    """
+    if support is None:
+        support = _default_support()
+    cfg = BinCFG(program, support)
     labels_at = _labels_by_index(program)
     n = len(program.instrs)
     entry_index = program.index_of_pc(program.entry_pc)
@@ -134,11 +125,10 @@ def build_cfg(program):
         queue.append(BinFunction(name, index))
 
     add_entry(entry_index)
-    for index, instr in enumerate(program.instrs):
-        if instr.mnemonic == "JAL":
-            target = index + (instr.imm or 0)
-            if 0 <= target < n:
-                add_entry(target)
+    for index in range(n):
+        _, call_target, _ = support.successors(program, index)
+        if call_target is not None:
+            add_entry(call_target)
 
     # Pass 2: claim reachable code per function; then sweep leftover labelled
     # code as additional (never-called) functions until nothing is claimed.
@@ -158,14 +148,13 @@ def build_cfg(program):
                 func.indices.add(index)
                 claimed.add(index)
                 cfg.entry_of_index.setdefault(index, func.entry)
-                succs, call_target, issue = successors(program, index)
+                succs, call_target, issue = support.successors(program, index)
                 if issue is not None and (issue[0], index) not in issue_seen:
                     issue_seen.add((issue[0], index))
                     cfg.issues.append((issue[0], index, issue[1]))
-                instr = program.instrs[index]
-                if instr.mnemonic == "JAL":
+                if support.is_call(program, index):
                     func.call_sites.append((index, call_target))
-                elif instr.mnemonic == "JR":
+                elif support.is_return(program, index):
                     func.returns.append(index)
                 worklist.extend(s for s in succs if s not in func.indices)
         fresh = None
@@ -182,19 +171,17 @@ def build_cfg(program):
     cfg.unreachable = [i for i in range(n) if i not in claimed]
 
     for func in cfg.functions:
-        _partition_blocks(program, func)
+        _partition_blocks(program, support, func)
     return cfg
 
 
-def _partition_blocks(program, func):
+def _partition_blocks(program, support, func):
     """Split a function's reachable indices into basic blocks with edges."""
     leaders = {func.entry}
     for index in func.indices:
-        succs, _, _ = successors(program, index)
-        instr = program.instrs[index]
-        if instr.mnemonic in ("BEZ", "BNZ", "J"):
+        succs, _, _ = support.successors(program, index)
+        if support.ends_block(program, index):
             leaders.update(s for s in succs if s in func.indices)
-        if instr.mnemonic in ("BEZ", "BNZ", "J", "JR", "HALT"):
             follower = index + 1
             if follower in func.indices:
                 leaders.add(follower)
@@ -207,11 +194,11 @@ def _partition_blocks(program, func):
         index = leader
         while True:
             block.indices.append(index)
-            succs, _, _ = successors(program, index)
+            succs, _, _ = support.successors(program, index)
             succs = [s for s in succs if s in func.indices]
             ends = (
                 not succs
-                or program.instrs[index].mnemonic in ("BEZ", "BNZ", "J")
+                or support.ends_block(program, index)
                 or (index + 1 in leaders)
                 or len(succs) > 1
                 or (succs and succs[0] != index + 1)

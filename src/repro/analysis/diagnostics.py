@@ -1,13 +1,21 @@
-"""Diagnostics framework for the static STRAIGHT verifier.
+"""Diagnostics framework shared by every ISA's static analyses.
 
-Every finding carries a stable code (``STR0xx`` for invariant violations,
-``STR1xx`` for lints), a severity, the linked instruction index/PC, the
-containing function, a label-relative location (``main.loop+3``), and — when
-the unit was assembled from text — the 1-based assembly source line mapped
-back through the assembler (:attr:`AsmUnit.origins`).
+Every finding carries a stable code, a severity, the linked instruction
+index/PC, the containing function, a label-relative location
+(``main.loop+3``), and — when the unit was assembled from text — the
+1-based assembly source line mapped back through the assembler
+(:attr:`AsmUnit.origins`).
 
 The catalog below is the contract: codes are append-only and never reused,
-so downstream tooling (CI gates, baselines) can match on them.
+so downstream tooling (CI gates, baselines) can match on them.  Namespaces
+by analysis: ``STR0xx`` STRAIGHT proof obligations, ``STR1xx`` STRAIGHT
+lints, ``BBV0xx`` the ``bb`` block-structure verifier, ``RVG0xx`` the
+gpr-model (rv32im) dataflow verifier, ``ANL1xx`` ISA-generic analysis
+lints (liveness / value range).
+
+Rendering is fully deterministic: diagnostics sort by (pc, code) with
+stable insertion order breaking ties, so ``straight verify --json`` output
+is byte-stable across runs.
 """
 
 from repro.common.layout import WORD_BYTES
@@ -38,6 +46,23 @@ CODES = {
     "STR104": (INFO, "return address reloaded through memory"),
     "STR105": (WARNING, "unreachable instruction"),
     "STR106": (INFO, "consumes the call-boundary JR value"),
+    # bb block-structure verifier (repro.bb.verify).
+    "BBV001": (ERROR, "control transfer target is not a block header"),
+    "BBV002": (ERROR, "block header announces the wrong instruction count"),
+    "BBV003": (ERROR, "instruction after a control transfer is not a header"),
+    "BBV004": (ERROR, "branch or jump lands inside a basic block"),
+    # gpr-model dataflow verifier (repro.riscv.verify).
+    "RVG001": (ERROR, "register may be read before any write"),
+    "RVG002": (ERROR, "register may be clobbered by an intervening call"),
+    "RVG003": (ERROR, "SP offset differs across incoming paths"),
+    "RVG004": (ERROR, "SP offset not restored at return"),
+    "RVG005": (ERROR, "SP written outside the ADDI sp, sp, imm discipline"),
+    "RVG006": (ERROR, "control transfer leaves the text segment"),
+    "RVG007": (ERROR, "value-returning function may return without defining a0"),
+    # ISA-generic analysis lints (repro.analysis.passes).
+    "ANL101": (WARNING, "dead definition: register is overwritten before any read"),
+    "ANL102": (WARNING, "branch condition is statically constant"),
+    "ANL103": (WARNING, "division by a constant zero"),
 }
 
 
@@ -84,10 +109,14 @@ class Diagnostic:
         return CODES[self.code][1]
 
     def sort_key(self):
+        # Program order first (pc, then code for several findings at one
+        # pc); list-insertion order — itself deterministic — breaks ties,
+        # keeping text and JSON rendering byte-stable across runs.
         return (
-            _SEVERITY_ORDER[self.severity],
+            self.pc if self.pc is not None else -1,
             self.code,
             self.index if self.index is not None else -1,
+            _SEVERITY_ORDER[self.severity],
         )
 
     def render(self):
@@ -142,8 +171,9 @@ class Report:
                 pc = self.program.text_base + index * WORD_BYTES
             if location is None:
                 location = locate(self.program, index)
-            if origin is None and index < len(self.program.origins):
-                origin = self.program.origins[index]
+            origins = getattr(self.program, "origins", None)
+            if origin is None and origins is not None and index < len(origins):
+                origin = origins[index]
         diag = Diagnostic(
             code,
             message,

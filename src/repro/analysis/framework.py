@@ -1,0 +1,144 @@
+"""ISA-generic dataflow analysis framework.
+
+One worklist fixpoint engine shared by every static analysis in the repo,
+parameterized over
+
+* an :class:`IsaAnalysisSupport` object supplied by the ISA's
+  :class:`~repro.isa.descriptor.IsaDescriptor` (its ``analysis`` hook),
+  which knows the ISA's control protocol (successors, calls, returns,
+  block terminators) and its dataflow protocol (uses/defs or age slots,
+  latencies, per-block dependence graphs); and
+* a *lattice protocol* — three callables ``(boundary, join, transfer)``
+  describing one analysis over that ISA.
+
+The engine itself is ISA-agnostic: it walks the reconstructed
+:class:`~repro.analysis.cfg.BinCFG` (itself built through the same support
+object) and iterates transfer functions to a fixpoint.  The solver's
+semantics — LIFO worklist, join-or-first-copy into successors, re-enqueue
+on change — are exactly those of the original STRAIGHT verifier's inline
+loop, which is now one instance of this engine; the ``bb`` structural
+verifier and the new ``rv32im`` def-before-use/SP-balance verifier are two
+more, and the liveness, value-range and static-ILP passes
+(:mod:`repro.analysis.passes`, :mod:`repro.analysis.ilp_static`) complete
+the set.
+
+Termination: the engine requires ``join`` to be monotone over a lattice of
+finite height (all analyses here join finite sets or widened intervals);
+each node re-enqueues only when its in-state strictly grows.
+"""
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+def fixpoint(entries, successors, transfer, join):
+    """Generic worklist fixpoint over an explicit node graph.
+
+    ``entries`` maps seed nodes to their boundary in-states; ``successors``
+    maps a node to the nodes its out-state flows into (CFG successors for a
+    forward analysis, predecessors for a backward one); ``transfer`` maps
+    ``(node, in_state)`` to the node's out-state; ``join`` is the lattice's
+    least upper bound.  Returns ``{node: converged in-state}`` covering
+    every node reachable from the seeds along ``successors`` edges.
+    """
+    in_states = dict(entries)
+    worklist = list(entries)
+    on_list = set(entries)
+    while worklist:
+        node = worklist.pop()
+        on_list.discard(node)
+        out = transfer(node, in_states[node])
+        for succ in successors(node):
+            if succ in in_states:
+                joined = join(in_states[succ], out)
+                if joined == in_states[succ]:
+                    continue
+                in_states[succ] = joined
+            else:
+                in_states[succ] = out
+            if succ not in on_list:
+                on_list.add(succ)
+                worklist.append(succ)
+    return in_states
+
+
+def solve_forward(func, entry_state, transfer, join):
+    """Forward dataflow over one :class:`~repro.analysis.cfg.BinFunction`.
+
+    Seeds the function's entry block with ``entry_state`` and propagates
+    along block successor edges; returns block-leader -> in-state.
+    """
+    return fixpoint(
+        {func.entry: entry_state},
+        lambda leader: func.blocks[leader].succs,
+        transfer,
+        join,
+    )
+
+
+def solve_backward(func, boundary, transfer, join, bottom=None):
+    """Backward dataflow over one function: block-leader -> out-state.
+
+    ``boundary`` seeds every *exit* block (no successors); blocks on a cycle
+    with no path to an exit are seeded with ``bottom`` (default: the
+    boundary) so infinite loops still converge.  ``transfer`` maps
+    ``(leader, out_state)`` to the block's in-state, which flows to its
+    predecessors' out-states.
+    """
+    if bottom is None:
+        bottom = boundary
+    entries = {}
+    for leader, block in func.blocks.items():
+        entries[leader] = boundary if not block.succs else bottom
+    return fixpoint(
+        entries,
+        lambda leader: func.blocks[leader].preds,
+        transfer,
+        join,
+    )
+
+
+class Analysis:
+    """Lattice-protocol base class for class-style analyses.
+
+    Subclasses set :attr:`direction` and implement :meth:`boundary`,
+    :meth:`join` and :meth:`transfer`; :meth:`run` dispatches to the
+    matching solver.  Function-style analyses can call
+    :func:`solve_forward` / :func:`solve_backward` directly — the verifier
+    does — this class exists for analyses that carry configuration.
+    """
+
+    direction = FORWARD
+
+    def boundary(self, func):
+        raise NotImplementedError
+
+    def join(self, a, b):
+        raise NotImplementedError
+
+    def transfer(self, func, leader, state):
+        raise NotImplementedError
+
+    def bottom(self, func):
+        return self.boundary(func)
+
+    def run(self, func):
+        transfer = lambda leader, state: self.transfer(func, leader, state)  # noqa: E731
+        if self.direction == FORWARD:
+            return solve_forward(func, self.boundary(func), transfer, self.join)
+        return solve_backward(
+            func, self.boundary(func), transfer, self.join, self.bottom(func)
+        )
+
+
+def support_for(isa_name):
+    """Resolve the per-ISA analysis support object from the registry.
+
+    Returns ``None`` for ISAs that do not supply an ``analysis`` hook.
+    """
+    from repro import isa as isa_registry
+
+    descriptor = isa_registry.get(isa_name)
+    if descriptor.analysis is None:
+        return None
+    return descriptor.analysis()

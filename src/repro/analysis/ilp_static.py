@@ -1,0 +1,277 @@
+"""Static ILP / dependence-height analysis: an IPC upper bound per binary.
+
+Works on the reconstructed CFG through the per-ISA analysis support — the
+same :class:`~repro.analysis.support.BlockDeps` dependence graphs drive
+every ISA (distance slots for STRAIGHT, logical registers for the gpr
+models), so the pass is ISA-generic by construction.
+
+Two measurements:
+
+* **per-block critical path** — the latency-weighted longest dataflow
+  chain through each basic block, using each op class's *minimum* latency
+  (L1-hit loads).  ``instructions / critical_path`` is the block's local
+  ILP, an upper bound on any machine's sustained IPC while executing that
+  block from a steady state.
+* **loop recurrence** — for every *simple* loop (each block has exactly
+  one in-loop successor, so the loop is one cycle of blocks), the body is
+  concatenated in cycle order and its dependence graph rebuilt as one
+  sequence.  A read of a live-in key that the body itself defines at its
+  exit is a loop-carried dependence; closing it through the body's
+  intra-iteration chains yields a dependence cycle whose total latency
+  bounds the steady-state initiation interval from below (any closed
+  dependence walk's mean is at most the true critical recurrence, so the
+  derived IPC limit stays an *upper* bound).  A loop of ``n`` instructions
+  with recurrence ``C`` cannot retire faster than ``n / C`` per cycle.
+
+The program-level ``static_ipc_bound(width)`` is ``min(width, best loop
+limit)`` — programs spend their time in loops, so the most permissive
+loop's limit caps sustained IPC; a loop with no recurrence (or a program
+with no detected loop) is bounded only by the machine width.  The
+``static_ilp`` experiment cross-checks the bound against measured
+simulator IPC on the full workload x config x ISA grid.
+"""
+
+
+class LoopBound:
+    """One simple loop's static throughput limit."""
+
+    __slots__ = ("function", "header", "blocks", "instructions",
+                 "recurrence", "ipc_limit")
+
+    def __init__(self, function, header, blocks, instructions, recurrence):
+        self.function = function
+        self.header = header
+        self.blocks = blocks
+        self.instructions = instructions
+        self.recurrence = recurrence
+        #: None: no closable recurrence — the loop is width-bound.
+        self.ipc_limit = (
+            instructions / recurrence if recurrence > 0 else None
+        )
+
+    def as_dict(self):
+        return {
+            "function": self.function,
+            "header": self.header,
+            "blocks": list(self.blocks),
+            "instructions": self.instructions,
+            "recurrence": self.recurrence,
+            "ipc_limit": (
+                None if self.ipc_limit is None else round(self.ipc_limit, 4)
+            ),
+        }
+
+
+class StaticIlpReport:
+    """Per-block critical paths, loop bounds, and the program IPC bound."""
+
+    def __init__(self, isa, blocks, loops):
+        self.isa = isa
+        self.blocks = blocks  # list of per-block dicts
+        self.loops = loops    # list of LoopBound
+
+    def ipc_bound(self, width):
+        """Static upper bound on sustained IPC at the given issue width."""
+        best = None
+        for loop in self.loops:
+            if loop.ipc_limit is None:
+                return float(width)  # a recurrence-free loop is width-bound
+            if best is None or loop.ipc_limit > best:
+                best = loop.ipc_limit
+        if best is None:
+            return float(width)
+        return min(float(width), best)
+
+    def as_dict(self, widths=(2, 4)):
+        return {
+            "isa": self.isa,
+            "blocks": self.blocks,
+            "loops": [loop.as_dict() for loop in self.loops],
+            "ipc_bound": {
+                str(width): round(self.ipc_bound(width), 4)
+                for width in widths
+            },
+        }
+
+    def text(self, max_blocks=12):
+        lines = [f"static ILP [{self.isa}]: {len(self.blocks)} blocks, "
+                 f"{len(self.loops)} simple loops"]
+        ranked = sorted(
+            self.blocks, key=lambda b: b["instructions"], reverse=True
+        )
+        for entry in ranked[:max_blocks]:
+            lines.append(
+                f"  block @{entry['leader']:5d} [{entry['function']}] "
+                f"n={entry['instructions']:3d} cp={entry['critical_path']:3d} "
+                f"ilp={entry['local_ilp']:.2f}"
+            )
+        for loop in self.loops:
+            limit = ("width-bound" if loop.ipc_limit is None
+                     else f"{loop.ipc_limit:.2f}")
+            lines.append(
+                f"  loop @{loop.header:5d} [{loop.function}] "
+                f"n={loop.instructions} C={loop.recurrence} ipc<={limit}"
+            )
+        for width in (2, 4):
+            lines.append(f"  ipc_bound({width}-way) = "
+                         f"{self.ipc_bound(width):.3f}")
+        return "\n".join(lines)
+
+
+def _block_critical_path(program, support, indices):
+    """Latency-weighted longest dataflow chain through one sequence."""
+    deps = support.block_deps(program, indices)
+    finish = {}
+    critical = 0
+    for pos, index in enumerate(deps.indices):
+        start = 0
+        for ref in deps.producers[pos]:
+            if ref is not None and ref[0] == "intra":
+                start = max(start, finish[ref[1]])
+        finish[index] = start + support.latency(program, index)
+        if finish[index] > critical:
+            critical = finish[index]
+    return critical
+
+
+def _simple_cycle_order(func, head, tail):
+    """Blocks of the natural loop of back edge ``tail -> head`` in cycle
+    order, or ``None`` when the loop is not one simple cycle."""
+    loop = {head}
+    work = [tail]
+    while work:
+        leader = work.pop()
+        if leader in loop:
+            continue
+        loop.add(leader)
+        work.extend(func.blocks[leader].preds)
+    order = [head]
+    current = head
+    while True:
+        inside = [s for s in func.blocks[current].succs if s in loop]
+        if len(inside) != 1:
+            return None
+        current = inside[0]
+        if current == head:
+            break
+        if current in loop and current in order:
+            return None  # re-entered mid-loop: not a single cycle
+        order.append(current)
+    if len(order) != len(loop):
+        return None
+    return order
+
+
+def _back_edges(func):
+    """``(tail, head)`` DFS back edges of the function's block graph."""
+    edges = []
+    state = {}  # leader -> "active" | "done"
+    stack = [(func.entry, iter(func.blocks[func.entry].succs))]
+    state[func.entry] = "active"
+    while stack:
+        leader, succs = stack[-1]
+        advanced = False
+        for succ in succs:
+            mark = state.get(succ)
+            if mark == "active":
+                edges.append((leader, succ))
+            elif mark is None:
+                state[succ] = "active"
+                stack.append((succ, iter(func.blocks[succ].succs)))
+                advanced = True
+                break
+        if not advanced:
+            state[leader] = "done"
+            stack.pop()
+    return edges
+
+
+def _loop_recurrence(program, support, body):
+    """Longest closable loop-carried dependence cycle (0: none found).
+
+    ``body`` is the concatenated instruction sequence of one simple cycle.
+    Every ``("in", key)`` read whose key the body redefines at exit
+    (``out_defs``) is a distance-1 carried dependence; the cycle closes
+    through the body's intra-iteration chains from consumer back to
+    producer.  Multi-iteration-distance cycles are ignored — that only
+    *under*-estimates the recurrence, keeping the IPC limit an upper bound.
+    """
+    deps = support.block_deps(program, body)
+    pos_of = {index: pos for pos, index in enumerate(deps.indices)}
+    lat = [support.latency(program, index) for index in deps.indices]
+    edges_in = []
+    carried = []  # (producer pos in previous iteration, consumer pos)
+    for pos, refs in enumerate(deps.producers):
+        incoming = []
+        for ref in refs:
+            if ref is None:
+                continue
+            if ref[0] == "intra":
+                incoming.append(pos_of[ref[1]])
+            elif ref[1] in deps.out_defs:
+                carried.append((pos_of[deps.out_defs[ref[1]]], pos))
+        edges_in.append(incoming)
+
+    recurrence = 0
+    minus_inf = float("-inf")
+    for producer, consumer in carried:
+        if consumer > producer:
+            continue  # cannot close with a single carried edge
+        # Longest latency path consumer -> producer over intra edges.
+        best = [minus_inf] * (producer + 1)
+        best[consumer] = lat[consumer]
+        for pos in range(consumer + 1, producer + 1):
+            incoming = max(
+                (best[q] for q in edges_in[pos] if q >= consumer),
+                default=minus_inf,
+            )
+            if incoming != minus_inf:
+                best[pos] = incoming + lat[pos]
+        if best[producer] != minus_inf and best[producer] > recurrence:
+            recurrence = int(best[producer])
+    return recurrence
+
+
+def analyze_ilp(program, support, cfg=None):
+    """Static ILP report for one linked binary (any registered ISA)."""
+    from repro.analysis.cfg import build_cfg
+
+    if cfg is None:
+        cfg = build_cfg(program, support)
+
+    blocks = []
+    loops = []
+    seen_loops = set()
+    for func in cfg.functions:
+        for leader in sorted(func.blocks):
+            indices = func.blocks[leader].indices
+            critical = _block_critical_path(program, support, indices)
+            blocks.append(
+                {
+                    "leader": leader,
+                    "function": func.name,
+                    "instructions": len(indices),
+                    "critical_path": critical,
+                    "local_ilp": round(
+                        len(indices) / critical if critical else 1.0, 4
+                    ),
+                }
+            )
+        for tail, head in _back_edges(func):
+            order = _simple_cycle_order(func, head, tail)
+            if order is None:
+                continue
+            key = frozenset(order)
+            if key in seen_loops:
+                continue
+            seen_loops.add(key)
+            body = []
+            for block_leader in order:
+                body.extend(func.blocks[block_leader].indices)
+            recurrence = _loop_recurrence(program, support, body)
+            loops.append(
+                LoopBound(func.name, head, tuple(order), len(body),
+                          recurrence)
+            )
+    loops.sort(key=lambda loop: (loop.function, loop.header))
+    return StaticIlpReport(support.name, blocks, loops)

@@ -18,6 +18,17 @@ truthful so detection measures the verifier, not a stale manifest):
 
 Every mutation changes the dynamic dataflow of some reachable instruction,
 so an undetected mutant is a genuine verifier gap, not a benign rewrite.
+
+The campaign runs over *every* registered ISA (:func:`run_campaign_for_isa`).
+The gpr-model campaigns corrupt what an RV32IM backend bug would corrupt —
+stack-adjust immediates, read operands, control-transfer offsets — guided
+by the clean program's converged abstract state
+(:func:`repro.riscv.verify.undef_map`) so that each seeded read targets a
+register the verifier *proves* may be unwritten or call-clobbered.  The
+``bb`` campaign corrupts the block-structure contract itself (header
+counts, branch/jump targets).  :func:`cached_mutation_campaign` memoizes
+golden campaign runs through the harness :class:`ResultCache`, keyed by the
+binary digest and every campaign parameter, so CI reruns are warm.
 """
 
 import copy
@@ -34,12 +45,28 @@ DEFAULT_MIX = (
     ("rmov_retarget", 15),
 )
 
+#: gpr-model (RV32IM) mix: SP bookkeeping, proven-undefined reads,
+#: call-clobbered reads.
+GPR_MIX = (
+    ("sp_imm", 30),
+    ("undef_read", 45),
+    ("clob_read", 25),
+)
+
+#: ``bb`` structural mix: header counts and control-transfer targets.
+BB_MIX = (
+    ("header_count", 40),
+    ("branch_retarget", 35),
+    ("jump_retarget", 25),
+)
+
 
 class MutationReport:
     """Aggregated outcome of one verifier mutation campaign."""
 
-    def __init__(self, seed, records):
+    def __init__(self, seed, records, isa="straight"):
         self.seed = seed
+        self.isa = isa
         self.records = records
         self.total = len(records)
         self.detected = sum(1 for r in records if r["detected"])
@@ -57,9 +84,23 @@ class MutationReport:
     def missed(self):
         return [r for r in self.records if not r["detected"]]
 
+    @classmethod
+    def from_payload(cls, payload):
+        """Rehydrate a report from a cached campaign payload."""
+        return cls(
+            payload["seed"],
+            payload["records"],
+            isa=payload.get("isa", "straight"),
+        )
+
+    def payload(self):
+        """The JSON-safe cacheable form (inverse of :meth:`from_payload`)."""
+        return {"seed": self.seed, "isa": self.isa, "records": self.records}
+
     def as_dict(self):
         return {
             "seed": self.seed,
+            "isa": self.isa,
             "total": self.total,
             "detected": self.detected,
             "missed": self.total - self.detected,
@@ -69,7 +110,7 @@ class MutationReport:
 
     def text(self):
         lines = [
-            f"verifier mutation campaign: seed={self.seed} "
+            f"verifier mutation campaign [{self.isa}]: seed={self.seed} "
             f"mutants={self.total}",
             f"  detected {self.detected:4d}  ({self.detection_rate:.1%})",
             f"  missed   {self.total - self.detected:4d}",
@@ -164,3 +205,282 @@ def run_mutation_campaign(
             }
         )
     return MutationReport(seed, records)
+
+
+# --------------------------------------------------------------------------
+# gpr-model campaign (RV32IM and any future gpr ISA)
+# --------------------------------------------------------------------------
+
+_READ_FIELDS = {"R": ("rs1", "rs2"), "I": ("rs1",), "S": ("rs1", "rs2"),
+                "B": ("rs1", "rs2")}
+
+
+def _require_clean(report, isa):
+    if report.has_errors():
+        raise ValueError(
+            f"mutation campaign needs a clean baseline ({isa}), got:\n"
+            + report.text(max_items=10)
+        )
+
+
+def _gpr_sites(program):
+    """Site pools for the gpr campaign, guided by the converged fixpoint.
+
+    ``sp_sites`` are the ADDI-sp stack adjustments; ``undef_sites`` /
+    ``clob_sites`` are ``(index, field, candidate registers)`` triples where
+    retargeting the read to any candidate is *provably* detected — the
+    candidates come from the clean program's own abstract state, and a read
+    operand never feeds the transfer functions, so the mutant converges to
+    the same state and the verifier must flag the read.
+    """
+    from repro.riscv.verify import undef_map
+
+    table = undef_map(program)
+    sp_sites = []
+    undef_sites = []
+    clob_sites = []
+    for index, instr in enumerate(program.instrs):
+        if instr.mnemonic == "BB":
+            continue
+        if instr.mnemonic == "ADDI" and instr.rd == 2 and instr.rs1 == 2:
+            sp_sites.append(index)
+        state = table.get(index)
+        if state is None:  # unreachable from any function entry
+            continue
+        undef, clob = state
+        for field in _READ_FIELDS.get(instr.spec.fmt, ()):
+            old = getattr(instr, field)
+            undef_regs = sorted(undef - {old})
+            if undef_regs:
+                undef_sites.append((index, field, undef_regs))
+            clob_regs = sorted(clob - {old})
+            if clob_regs:
+                clob_sites.append((index, field, clob_regs))
+    return sp_sites, undef_sites, clob_sites
+
+
+def _mutate_gpr(rng, program, target, sp_sites, undef_sites, clob_sites):
+    if target == "sp_imm":
+        index = sp_sites[rng.randrange(len(sp_sites))]
+        instr = program.instrs[index]
+        old = instr.imm
+        instr.imm = old + rng.choice((-4, 4))
+        return index, f"imm {old} -> {instr.imm}"
+    pool = clob_sites if target == "clob_read" and clob_sites else undef_sites
+    index, field, regs = pool[rng.randrange(len(pool))]
+    instr = program.instrs[index]
+    old = getattr(instr, field)
+    new = regs[rng.randrange(len(regs))]
+    setattr(instr, field, new)
+    return index, f"{field} {old} -> {new}"
+
+
+def run_gpr_mutation_campaign(
+    program, isa="riscv", mutants=40, seed=20260805, mix=GPR_MIX
+):
+    """Seeded corruption of a linked gpr-model binary; verify each mutant.
+
+    Mutation targets model what an RV32IM backend or linker bug would
+    produce: a mis-sized stack adjustment (``sp_imm``), a read operand
+    rewired to a register no path has written (``undef_read``) or one an
+    intervening call may have clobbered (``clob_read``).
+    """
+    from repro.riscv.verify import verify_program as gpr_verify
+
+    _require_clean(gpr_verify(program), isa)
+    sp_sites, undef_sites, clob_sites = _gpr_sites(program)
+    if not undef_sites:
+        raise ValueError("program has no provably-detectable read sites")
+
+    rng = random.Random(seed)
+    targets = [t for t, weight in mix for _ in range(weight)]
+    records = []
+    for _ in range(mutants):
+        target = targets[rng.randrange(len(targets))]
+        if target == "sp_imm" and not sp_sites:
+            target = "undef_read"
+        mutant = copy.deepcopy(program)
+        index, description = _mutate_gpr(
+            rng, mutant, target, sp_sites, undef_sites, clob_sites
+        )
+        report = gpr_verify(mutant)
+        records.append(
+            {
+                "target": target,
+                "index": index,
+                "mutation": description,
+                "detected": report.has_errors(),
+                "codes": sorted({d.code for d in report.errors()}),
+            }
+        )
+    return MutationReport(seed, records, isa=isa)
+
+
+# --------------------------------------------------------------------------
+# bb structural campaign
+# --------------------------------------------------------------------------
+
+def _bb_sites(program):
+    """Header indices, transfer sites, and non-header target candidates."""
+    headers = []
+    branch_sites = []
+    jump_sites = []
+    non_headers = []
+    for index, instr in enumerate(program.instrs):
+        if instr.mnemonic == "BB":
+            headers.append(index)
+            continue
+        non_headers.append(index)
+        if instr.imm is None:
+            continue
+        if instr.spec.fmt == "B":
+            branch_sites.append(index)
+        elif instr.mnemonic == "JAL":
+            jump_sites.append(index)
+    return headers, branch_sites, jump_sites, non_headers
+
+
+def _mutate_bb(rng, program, target, headers, branch_sites, jump_sites,
+               non_headers):
+    from repro.common.layout import WORD_BYTES
+
+    if target == "header_count":
+        index = headers[rng.randrange(len(headers))]
+        instr = program.instrs[index]
+        old = instr.imm
+        new = old + rng.choice((-1, 1))
+        if new < 0:
+            new = old + 1
+        instr.imm = new
+        return index, f"BB count {old} -> {new}"
+    pool = branch_sites if target == "branch_retarget" else jump_sites
+    index = pool[rng.randrange(len(pool))]
+    instr = program.instrs[index]
+    old = instr.imm
+    old_target = index + old // WORD_BYTES
+    new_target = old_target
+    while new_target == old_target:
+        new_target = non_headers[rng.randrange(len(non_headers))]
+    instr.imm = (new_target - index) * WORD_BYTES
+    return index, f"target {old_target} -> {new_target} (non-header)"
+
+
+def run_bb_mutation_campaign(program, mutants=40, seed=20260805, mix=BB_MIX):
+    """Seeded corruption of the ``bb`` block-structure contract.
+
+    Targets the invariants the structural verifier proves: a header count
+    that disagrees with the block body (``header_count``, B2) and branch /
+    jump targets rewired to mid-block instructions (``*_retarget``, B4).
+    """
+    from repro.bb.verify import verify_program as bb_verify
+
+    _require_clean(bb_verify(program), "bb")
+    headers, branch_sites, jump_sites, non_headers = _bb_sites(program)
+    if not headers or not non_headers:
+        raise ValueError("program has no BB block structure to mutate")
+
+    rng = random.Random(seed)
+    targets = [t for t, weight in mix for _ in range(weight)]
+    records = []
+    for _ in range(mutants):
+        target = targets[rng.randrange(len(targets))]
+        if target == "branch_retarget" and not branch_sites:
+            target = "header_count"
+        if target == "jump_retarget" and not jump_sites:
+            target = "header_count"
+        mutant = copy.deepcopy(program)
+        index, description = _mutate_bb(
+            rng, mutant, target, headers, branch_sites, jump_sites,
+            non_headers,
+        )
+        report = bb_verify(mutant)
+        records.append(
+            {
+                "target": target,
+                "index": index,
+                "mutation": description,
+                "detected": report.has_errors(),
+                "codes": sorted({d.code for d in report.errors()}),
+            }
+        )
+    return MutationReport(seed, records, isa="bb")
+
+
+# --------------------------------------------------------------------------
+# registry dispatch + cached golden runs
+# --------------------------------------------------------------------------
+
+def run_campaign_for_isa(isa, program, mutants=None, seed=20260805,
+                         max_distance=None):
+    """Run the mutation campaign appropriate for a registered ISA.
+
+    Dispatches on the descriptor's register model: distance-machine
+    binaries get the STRAIGHT operand campaign, ``bb`` binaries the
+    structural campaign, and any other gpr-model ISA the RV32IM dataflow
+    campaign.  Raises :class:`~repro.common.errors.UnknownIsaError` for
+    unregistered names.
+    """
+    from repro import isa as isa_registry
+
+    descriptor = isa_registry.get(isa)
+    if descriptor.register_model == "distance":
+        return run_mutation_campaign(
+            program,
+            mutants=80 if mutants is None else mutants,
+            seed=seed,
+            max_distance=max_distance,
+        )
+    if descriptor.name == "bb":
+        return run_bb_mutation_campaign(
+            program, mutants=40 if mutants is None else mutants, seed=seed
+        )
+    return run_gpr_mutation_campaign(
+        program,
+        isa=descriptor.name,
+        mutants=40 if mutants is None else mutants,
+        seed=seed,
+    )
+
+
+class _CampaignBinary:
+    """Adapter giving :func:`repro.harness.cache.binary_digest` its shape."""
+
+    def __init__(self, isa, program):
+        self.isa = isa
+        self.program = program
+
+
+def cached_mutation_campaign(isa, program, mutants=None, seed=20260805,
+                             max_distance=None):
+    """:func:`run_campaign_for_isa` memoized through the result cache.
+
+    The key covers the binary digest (text + data + geometry), the ISA and
+    every campaign parameter, so a toolchain change or a different mix can
+    never serve a stale golden run.  Memory-only sessions (no cache
+    configured) just run the campaign.
+    """
+    from repro.harness import cache as harness_cache
+
+    results = harness_cache.result_cache()
+    if results is None:
+        return run_campaign_for_isa(
+            isa, program, mutants=mutants, seed=seed,
+            max_distance=max_distance,
+        )
+    key = {
+        "kind": "mutation-campaign",
+        "toolchain": harness_cache.TOOLCHAIN_TAG,
+        "binary": harness_cache.binary_digest(_CampaignBinary(isa, program)),
+        "isa": isa,
+        "mutants": mutants,
+        "seed": seed,
+        "max_distance": max_distance,
+    }
+    hit = results.get(key)
+    if hit is not None:
+        return MutationReport.from_payload(hit)
+    report = run_campaign_for_isa(
+        isa, program, mutants=mutants, seed=seed, max_distance=max_distance
+    )
+    results.put(key, report.payload())
+    return report

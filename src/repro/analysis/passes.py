@@ -1,0 +1,284 @@
+"""Performance-oriented dataflow passes on the generic analysis engine.
+
+Two gpr-model analyses over the reconstructed CFG, both instances of the
+:mod:`repro.analysis.framework` fixpoint engine:
+
+* **liveness** — a backward may-analysis over register sets.  The exit
+  boundary keeps the calling convention honest (callee-saved registers,
+  ``sp`` and the ``a0``/``a1`` return slots are live at every function
+  exit); calls kill the caller-saved registers and read the callee's
+  argument pack.  A *pure* instruction whose destination is dead right
+  after the write is flagged ``ANL101`` — the value can never be observed.
+* **value ranges** — a forward analysis mapping registers to signed-32
+  intervals ``(lo, hi)``.  Absent registers are unknown (TOP); loop
+  convergence comes from a per-entry widening generation: two interval
+  hulls are tolerated at a join, the third widens the register to TOP, so
+  the lattice has finite height without a separate widening phase.
+  The converged ranges feed ``ANL102`` (a branch whose operands are both
+  compile-time constants — its direction never varies) and ``ANL103``
+  (a divide/remainder whose divisor is provably zero).
+
+Soundness contracts (the property tests pin both): a register the
+dead-code pass marks dead is never read before its next write in any
+concrete execution, and every concrete register value observed by the
+interpreter lies inside the pass's converged interval for that program
+point.
+"""
+
+from repro.analysis.framework import solve_backward, solve_forward
+from repro.riscv.analysis import CALL_CLOBBERED, CALL_DEFINED, SP
+from repro.riscv.isa import REG_NAMES
+
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+
+#: Interval hulls tolerated per join before a register widens to TOP.
+WIDEN_LIMIT = 2
+
+#: Registers the convention keeps live at every function exit: callee-saved,
+#: the stack pointer, and the ``a0``/``a1`` return-value slots.
+EXIT_LIVE = frozenset({SP, 8, 9, 10, 11} | set(range(18, 28)))
+
+#: op classes whose only effect is the destination write.
+_PURE_CLASSES = frozenset({"alu", "mul", "div", "load"})
+
+_DIV_MNEMONICS = frozenset({"DIV", "DIVU", "REM", "REMU"})
+
+
+def _reg(number):
+    return REG_NAMES[number]
+
+
+# --------------------------------------------------------------------------
+# Liveness (backward) and dead definitions
+# --------------------------------------------------------------------------
+
+def _call_num_args(program, support, cfg, manifest_funcs, index):
+    """Argument count at a call site (manifest-refined, else all eight)."""
+    _, call_target, _ = support.successors(program, index)
+    if call_target is not None:
+        callee = cfg.function_at(call_target)
+        if callee is not None:
+            fmanifest = manifest_funcs.get(callee.name)
+            if fmanifest is not None:
+                return int(fmanifest["num_args"])
+    return 8
+
+
+def _live_step(program, support, cfg, manifest_funcs, live, index):
+    """One instruction of the backward transfer: live-after -> live-before."""
+    if support.is_call(program, index):
+        num_args = _call_num_args(program, support, cfg, manifest_funcs, index)
+        live = live - CALL_DEFINED - CALL_CLOBBERED
+        live = live | frozenset(range(10, 10 + num_args))
+        return live | frozenset(support.uses(program, index))
+    defs = support.defs(program, index)
+    if defs:
+        live = live - frozenset(defs)
+    return live | frozenset(support.uses(program, index))
+
+
+def gpr_liveness(program, support, cfg, func, manifest=None):
+    """Converged live-at-block-exit sets: ``{leader: frozenset(regs)}``."""
+    manifest_funcs = (manifest or {}).get("functions", {})
+
+    def transfer(leader, out_state):
+        live = out_state
+        for index in reversed(func.blocks[leader].indices):
+            live = _live_step(program, support, cfg, manifest_funcs, live,
+                              index)
+        return live
+
+    return solve_backward(
+        func, EXIT_LIVE, transfer, lambda a, b: a | b, bottom=frozenset()
+    )
+
+
+def gpr_dead_defs(program, support, cfg, manifest=None):
+    """``(index, reg)`` pairs of pure writes no path can ever read.
+
+    ``sp`` and the zero register are exempt (bookkeeping / hardwired), as
+    are calls — their write is the return address, never "dead".
+    """
+    manifest_funcs = (manifest or {}).get("functions", {})
+    dead = []
+    for func in cfg.functions:
+        out_states = gpr_liveness(program, support, cfg, func, manifest)
+        for leader in sorted(out_states):
+            live = out_states[leader]
+            for index in reversed(func.blocks[leader].indices):
+                instr = program.instrs[index]
+                if (
+                    not support.is_call(program, index)
+                    and instr.op_class in _PURE_CLASSES
+                    and instr.rd not in (None, 0, SP)
+                    and support.defs(program, index)
+                    and instr.rd not in live
+                ):
+                    dead.append((index, instr.rd))
+                live = _live_step(
+                    program, support, cfg, manifest_funcs, live, index
+                )
+    dead.sort()
+    return dead
+
+
+# --------------------------------------------------------------------------
+# Value ranges (forward, widened intervals)
+# --------------------------------------------------------------------------
+
+def _join_ranges(a, b):
+    """Per-register interval join; hulls widen to TOP after WIDEN_LIMIT."""
+    out = {}
+    for reg, ra in a.items():
+        rb = b.get(reg)
+        if rb is None:
+            continue
+        if ra == rb:
+            out[reg] = ra
+            continue
+        gen = max(ra[2], rb[2]) + 1
+        if gen > WIDEN_LIMIT:
+            continue
+        out[reg] = (min(ra[0], rb[0]), max(ra[1], rb[1]), gen)
+    return out
+
+
+def _get_range(state, reg):
+    """``(lo, hi, gen)`` for a register, ``None`` when unknown (TOP)."""
+    if reg == 0 or reg is None:
+        return (0, 0, 0)
+    return state.get(reg)
+
+
+def _set_range(state, rd, lo, hi, gen):
+    """Assign ``rd``'s interval; out-of-signed-32 results widen to TOP
+    (the machine wraps, the interval does not)."""
+    if INT32_MIN <= lo and hi <= INT32_MAX:
+        state[rd] = (lo, hi, gen)
+    else:
+        state.pop(rd, None)
+
+
+def _range_step(program, support, state, index):
+    """One instruction of the forward transfer (mutates ``state``)."""
+    if support.is_call(program, index):
+        for reg in CALL_CLOBBERED | CALL_DEFINED:
+            state.pop(reg, None)
+        return
+    instr = program.instrs[index]
+    defs = support.defs(program, index)
+    if not defs:
+        return
+    rd = instr.rd
+    m = instr.mnemonic
+    imm = instr.imm or 0
+    r1 = _get_range(state, instr.rs1)
+    r2 = _get_range(state, instr.rs2)
+
+    if m == "LUI":
+        value = (imm << 12) & 0xFFFFFFFF
+        if value >= 1 << 31:
+            value -= 1 << 32
+        state[rd] = (value, value, 0)
+    elif m == "AUIPC":
+        value = program.text_base + index * 4 + (imm << 12)
+        _set_range(state, rd, value, value, 0)
+    elif m == "ADDI" and r1 is not None:
+        _set_range(state, rd, r1[0] + imm, r1[1] + imm, r1[2])
+    elif m == "ADD" and r1 is not None and r2 is not None:
+        _set_range(state, rd, r1[0] + r2[0], r1[1] + r2[1],
+                   max(r1[2], r2[2]))
+    elif m == "SUB" and r1 is not None and r2 is not None:
+        _set_range(state, rd, r1[0] - r2[1], r1[1] - r2[0],
+                   max(r1[2], r2[2]))
+    elif m == "MUL" and r1 is not None and r2 is not None:
+        corners = [a * b for a in (r1[0], r1[1]) for b in (r2[0], r2[1])]
+        _set_range(state, rd, min(corners), max(corners), max(r1[2], r2[2]))
+    elif m == "ANDI" and imm >= 0:
+        state[rd] = (0, imm, 0 if r1 is None else r1[2])
+    elif m in ("SLT", "SLTU", "SLTI", "SLTIU"):
+        state[rd] = (0, 1, 0)
+    elif m == "SRLI" and imm > 0:
+        state[rd] = (0, (1 << (32 - imm)) - 1, 0)
+    elif m == "SRAI" and r1 is not None:
+        state[rd] = (r1[0] >> imm, r1[1] >> imm, r1[2])
+    elif m == "SLLI" and r1 is not None:
+        _set_range(state, rd, r1[0] << imm, r1[1] << imm, r1[2])
+    else:  # loads, logicals, divides, shifts by register, links: unknown
+        state.pop(rd, None)
+
+
+def gpr_value_ranges(program, support, cfg):
+    """Converged pre-instruction intervals: ``{index: {reg: (lo, hi)}}``.
+
+    Covers every instruction reachable from a function entry; an absent
+    register is unknown.  Every interval is a sound enclosure of the
+    register's concrete (signed) value at that program point.
+    """
+    table = {}
+    for func in cfg.functions:
+        def transfer(leader, state):
+            state = dict(state)
+            for index in func.blocks[leader].indices:
+                _range_step(program, support, state, index)
+            return state
+
+        in_states = solve_forward(func, {0: (0, 0, 0)}, transfer,
+                                  _join_ranges)
+        for leader in sorted(in_states):
+            state = dict(in_states[leader])
+            for index in func.blocks[leader].indices:
+                table[index] = {
+                    reg: (lo, hi) for reg, (lo, hi, _) in state.items()
+                }
+                _range_step(program, support, state, index)
+    return table
+
+
+def _constant(table_entry, reg):
+    """The register's single possible value at this point, else ``None``."""
+    if reg == 0 or reg is None:
+        return 0
+    interval = table_entry.get(reg)
+    if interval is not None and interval[0] == interval[1]:
+        return interval[0]
+    return None
+
+
+# --------------------------------------------------------------------------
+# Lint driver (the ``lint=True`` tier of the gpr verifier)
+# --------------------------------------------------------------------------
+
+def run_gpr_lints(program, support, cfg, report, manifest=None):
+    """ANL101/ANL102/ANL103 over a verified gpr-model binary."""
+    for index, reg in gpr_dead_defs(program, support, cfg, manifest):
+        instr = program.instrs[index]
+        report.emit(
+            "ANL101",
+            f"{instr.mnemonic} writes {_reg(reg)} but no path reads the "
+            "value before it is overwritten or the function exits",
+            index=index,
+        )
+    ranges = gpr_value_ranges(program, support, cfg)
+    for index, entry in sorted(ranges.items()):
+        instr = program.instrs[index]
+        if instr.spec.fmt == "B":
+            v1 = _constant(entry, instr.rs1)
+            v2 = _constant(entry, instr.rs2)
+            if v1 is not None and v2 is not None:
+                report.emit(
+                    "ANL102",
+                    f"{instr.mnemonic} compares constants {v1} and {v2}; "
+                    "the branch direction never varies",
+                    index=index,
+                )
+        if instr.mnemonic in _DIV_MNEMONICS:
+            if _constant(entry, instr.rs2) == 0:
+                report.emit(
+                    "ANL103",
+                    f"{instr.mnemonic} divides by "
+                    f"{_reg(instr.rs2) if instr.rs2 else 'zero'}, which is "
+                    "provably zero here",
+                    index=index,
+                )

@@ -1,0 +1,95 @@
+"""Per-ISA analysis support: the protocol descriptors plug into the engine.
+
+An :class:`IsaAnalysisSupport` instance is what an
+:class:`~repro.isa.descriptor.IsaDescriptor` returns from its ``analysis``
+hook.  It captures everything the generic machinery
+(:mod:`repro.analysis.cfg`, :mod:`repro.analysis.framework`,
+:mod:`repro.analysis.passes`, :mod:`repro.analysis.ilp_static`) needs to
+know about one ISA:
+
+* the **control protocol** — how to decode an instruction's successor
+  indices, which instructions are calls / returns / block terminators
+  (STRAIGHT: ``JAL``/``JR``/``HALT``; RV32IM: ``jal``/``jalr`` split by
+  ``rd``/``rs1`` register conventions, ``ecall`` exit sequences); and
+* the **dataflow protocol** — per-block dependence graphs
+  (:class:`BlockDeps`) in the ISA's own operand model (distance slots for
+  STRAIGHT, logical registers for the gpr ISAs) plus per-class latencies.
+
+Adding an ISA to every analysis in the repo therefore means implementing
+this one class and wiring it into the descriptor.
+"""
+
+from repro.uarch.ilp import DEFAULT_LATENCIES
+
+
+class BlockDeps:
+    """Intra-block dependence graph of one basic block (or simple cycle).
+
+    ``indices`` is the instruction sequence; ``producers[pos]`` is a tuple
+    of one *ref* per operand of ``indices[pos]``:
+
+    * ``("intra", j)`` — produced by instruction index ``j`` earlier in the
+      sequence,
+    * ``("in", key)`` — live-in: produced before the sequence under ``key``
+      (a register number for gpr ISAs, a 1-based age depth for STRAIGHT),
+    * ``None`` — no dataflow edge (zero register, constant, or a value made
+      opaque by an intervening call).
+
+    ``out_defs`` maps each live-out ``key`` to the index that produces it
+    at sequence exit — resolving a back edge's ``("in", key)`` reads to the
+    previous iteration's producers.
+    """
+
+    __slots__ = ("indices", "producers", "out_defs")
+
+    def __init__(self, indices, producers, out_defs):
+        self.indices = list(indices)
+        self.producers = list(producers)
+        self.out_defs = dict(out_defs)
+
+
+class IsaAnalysisSupport:
+    """Abstract per-ISA plug for the dataflow framework."""
+
+    #: registry name of the ISA this support object describes
+    name = ""
+    #: ``"distance"`` (STRAIGHT age operands) or ``"gpr"`` (logical registers)
+    register_model = "gpr"
+    #: op_class -> execution latency used by the static ILP pass; these are
+    #: the *minimum* (cache-hit) latencies of the timing model, so static
+    #: dependence heights never exceed simulated ones.
+    latencies = DEFAULT_LATENCIES
+
+    # -- control protocol --------------------------------------------------
+
+    def successors(self, program, index):
+        """``(succs, call_target, issue)`` of instruction ``index``.
+
+        ``succs`` are the intra-procedural successor indices (a call falls
+        through to ``index + 1`` — the callee is opaque), ``call_target``
+        is the callee's entry index for a direct call (``None`` otherwise),
+        and ``issue`` is a ``(code, message)`` diagnostic for malformed
+        edges (targets outside the text segment).
+        """
+        raise NotImplementedError
+
+    def ends_block(self, program, index):
+        """True if instruction ``index`` terminates a basic block."""
+        raise NotImplementedError
+
+    def is_call(self, program, index):
+        """True for call instructions (direct or indirect)."""
+        raise NotImplementedError
+
+    def is_return(self, program, index):
+        """True for return instructions."""
+        raise NotImplementedError
+
+    # -- dataflow protocol -------------------------------------------------
+
+    def latency(self, program, index):
+        return self.latencies.get(program.instrs[index].op_class, 1)
+
+    def block_deps(self, program, indices):
+        """The :class:`BlockDeps` of the instruction sequence ``indices``."""
+        raise NotImplementedError

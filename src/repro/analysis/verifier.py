@@ -39,6 +39,7 @@ from repro.straight.encoding import encode, decode
 from repro.common.errors import AsmError
 from repro.analysis.cfg import build_cfg
 from repro.analysis.diagnostics import Report, locate
+from repro.analysis.framework import solve_forward
 
 #: SP lattice top: incoming paths disagree on the SPADD sum.
 SP_CONFLICT = "conflict"
@@ -232,25 +233,17 @@ def _verify_function(ctx, cfg, func, bound):
     is_program_entry = func.entry == program.index_of_pc(program.entry_pc)
     entry_state = _entry_state(ctx, func, is_program_entry)
 
-    in_states = {func.entry: entry_state}
-    worklist = [func.entry]
-    on_list = {func.entry}
-    while worklist:
-        leader = worklist.pop()
-        on_list.discard(leader)
-        block = func.blocks[leader]
-        out = _transfer_block(ctx, func, block, in_states[leader])
-        for succ in block.succs:
-            if succ in in_states:
-                joined = _join(in_states[succ], out)
-                if joined == in_states[succ]:
-                    continue
-                in_states[succ] = joined
-            else:
-                in_states[succ] = out
-            if succ not in on_list:
-                on_list.add(succ)
-                worklist.append(succ)
+    # The register-age abstract interpretation is one instance of the
+    # generic engine: the lattice is (age-slot tag sets, SP offset) with
+    # pointwise-union join, the transfer function the uniform shift-in.
+    in_states = solve_forward(
+        func,
+        entry_state,
+        lambda leader, state: _transfer_block(
+            ctx, func, func.blocks[leader], state
+        ),
+        _join,
+    )
     result.in_states = in_states
 
     # Final pass: walk each block from its converged entry state, checking

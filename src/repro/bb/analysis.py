@@ -1,0 +1,15 @@
+"""``bb`` analysis support: RV32IM's protocol plus block headers.
+
+BasicBlocker code is RV32IM with architecturally no-op ``BB`` headers; the
+gpr control and dataflow protocols carry over unchanged (the gpr support
+already treats ``BB`` as reading and writing nothing).  Only the registry
+name differs, so diagnostics and reports attribute findings to ``bb``.
+"""
+
+from repro.riscv.analysis import GprAnalysisSupport
+
+
+class BbAnalysisSupport(GprAnalysisSupport):
+    """Control + dataflow protocol of the ``bb`` ISA."""
+
+    name = "bb"

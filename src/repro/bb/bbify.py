@@ -66,6 +66,9 @@ def bbify_unit(unit, instr_cls=BInstr):
             out.add_instr(instr, origin)
     for label in pending_labels:  # trailing labels (none in backend output)
         out.add_label(label)
+    # Function-level verifier facts survive bbification unchanged (they
+    # carry no instruction indices, which headers would shift).
+    out.verify_manifest = getattr(unit, "verify_manifest", None)
     return out
 
 

@@ -28,6 +28,12 @@ def _static_check(program, lint=False):
     return verify_program(program, lint=lint)
 
 
+def _analysis():
+    from repro.bb.analysis import BbAnalysisSupport
+
+    return BbAnalysisSupport()
+
+
 def _cfg_2way(**overrides):
     from repro.core.configs import bb_2way
 
@@ -60,5 +66,6 @@ DESCRIPTOR = register(
         config_factories={"2way": _cfg_2way, "4way": _cfg_4way},
         static_check=_static_check,
         predecode=decode_program,
+        analysis=_analysis,
     )
 )

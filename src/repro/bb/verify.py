@@ -12,106 +12,41 @@ text segment is partitioned into announced blocks:
   PC-relative targets of B-format branches and JAL) lands on a ``BB``
   header, and inside the text segment.
 
-The returned :class:`BbReport` duck-types the STRAIGHT verifier's report
-(``has_errors()`` / ``text(max_items)`` / ``as_dict()``) so the CLI and
-guardrail layers consume either without caring which ISA produced it.
+Findings are emitted through the shared diagnostics framework
+(:mod:`repro.analysis.diagnostics`) under the append-only ``BBV0xx``
+codes, so the CLI, guardrail and campaign layers consume one report type
+for every ISA.  Locations keep the historical ``pc=0x...`` form.
 """
 
 from repro.common.layout import WORD_BYTES
+from repro.analysis.diagnostics import Report
 from repro.bb.bbify import CONTROL_CLASSES
 
-#: code -> title (append-only, BBV0xx: structure proofs).
+#: The ``BBV0xx`` structure-proof codes (the catalog of record lives in
+#: :data:`repro.analysis.diagnostics.CODES`; this keeps the historical
+#: code -> title view).
+from repro.analysis.diagnostics import CODES as _ALL_CODES
+
 CODES = {
-    "BBV001": "entry is not a BB header",
-    "BBV002": "BB header count does not match block extent",
-    "BBV003": "control transfer is not followed by a BB header",
-    "BBV004": "control-transfer target is not a BB header",
+    code: title
+    for code, (severity, title) in _ALL_CODES.items()
+    if code.startswith("BBV")
 }
 
 
-class BbDiagnostic:
-    """One block-structure finding; every ``bb`` diagnostic is an error."""
-
-    __slots__ = ("code", "location", "message", "index")
-    severity = "error"
-
-    def __init__(self, code, location, message, index):
-        self.code = code
-        self.location = location
-        self.message = message
-        self.index = index
-
-    @property
-    def title(self):
-        return CODES[self.code]
-
-    def render(self):
-        return f"{self.location}: error {self.code}: {self.message}"
-
-    def as_dict(self):
-        return {
-            "code": self.code,
-            "severity": self.severity,
-            "title": self.title,
-            "message": self.message,
-            "location": self.location,
-            "index": self.index,
-        }
-
-    def __repr__(self):
-        return f"BbDiagnostic({self.code}, {self.location!r}, {self.message!r})"
-
-
-class BbReport:
-    """Findings of one ``bb`` block-structure verification run."""
-
-    def __init__(self, program):
-        self.program = program
-        self.diagnostics = []
-        self.stats = {}
-
-    def emit(self, code, index, message):
-        pc = self.program.text_base + index * WORD_BYTES
-        self.diagnostics.append(BbDiagnostic(code, f"pc={pc:#x}", message, index))
-
-    def has_errors(self):
-        return bool(self.diagnostics)
-
-    def errors(self):
-        return list(self.diagnostics)
-
-    def sorted(self):
-        return sorted(self.diagnostics, key=lambda d: (d.code, d.index))
-
-    def counts(self):
-        return {"error": len(self.diagnostics), "warning": 0, "info": 0}
-
-    def summary(self):
-        return f"{len(self.diagnostics)} error(s), 0 warning(s), 0 info"
-
-    def text(self, max_items=None):
-        lines = [d.render() for d in self.sorted()]
-        if max_items is not None and len(lines) > max_items:
-            dropped = len(lines) - max_items
-            lines = lines[:max_items] + [f"... ({dropped} more)"]
-        lines.append(self.summary())
-        return "\n".join(lines)
-
-    def as_dict(self):
-        return {
-            "counts": self.counts(),
-            "stats": dict(self.stats),
-            "diagnostics": [d.as_dict() for d in self.sorted()],
-        }
+def _emit(report, code, index, message):
+    pc = report.program.text_base + index * WORD_BYTES
+    report.emit(code, message, index=index, location=f"pc={pc:#x}")
 
 
 def verify_program(program, lint=False):
     """Prove the block-header invariants of a linked ``bb`` program.
 
     ``lint`` is accepted for hook-signature compatibility; the ``bb``
-    verifier has no lint tier.
+    verifier has no lint tier.  Returns a
+    :class:`~repro.analysis.diagnostics.Report`.
     """
-    report = BbReport(program)
+    report = Report(program)
     instrs = program.instrs
     n = len(instrs)
     headers = [i for i, instr in enumerate(instrs) if instr.mnemonic == "BB"]
@@ -120,7 +55,7 @@ def verify_program(program, lint=False):
     report.stats["blocks"] = len(headers)
 
     if not instrs or instrs[0].mnemonic != "BB":
-        report.emit("BBV001", 0, "text segment does not start with a BB header")
+        _emit(report, "BBV001", 0, "text segment does not start with a BB header")
 
     # B2: headers partition the text exactly.
     for pos, start in enumerate(headers):
@@ -128,7 +63,8 @@ def verify_program(program, lint=False):
         body = end - start - 1
         announced = instrs[start].imm
         if announced != body:
-            report.emit(
+            _emit(
+                report,
                 "BBV002",
                 start,
                 f"BB announces {announced} instruction(s) but the block has"
@@ -141,7 +77,8 @@ def verify_program(program, lint=False):
         # B3: blocks end exactly at control transfers.
         if instr.op_class in CONTROL_CLASSES:
             if index + 1 < n and index + 1 not in header_set:
-                report.emit(
+                _emit(
+                    report,
                     "BBV003",
                     index,
                     f"{instr.mnemonic} is not followed by a BB header",
@@ -151,20 +88,20 @@ def verify_program(program, lint=False):
         if spec.fmt in ("B", "J") and instr.imm is not None:
             target = index + instr.imm // WORD_BYTES
             if not 0 <= target < n:
-                report.emit(
+                _emit(
+                    report,
                     "BBV004",
                     index,
                     f"{instr.mnemonic} target leaves the text segment",
                 )
             elif target not in header_set:
-                report.emit(
+                _emit(
+                    report,
                     "BBV004",
                     index,
                     f"{instr.mnemonic} target is not a BB header",
                 )
     for label, index in program.labels.items():
         if index < n and index not in header_set:
-            report.emit(
-                "BBV004", index, f"label {label!r} is not a BB header"
-            )
+            _emit(report, "BBV004", index, f"label {label!r} is not a BB header")
     return report

@@ -49,6 +49,19 @@ def _compile_function(func, layout):
     frame = FrameBuilder(rvfunc, allocation)
     frame_words = frame.run()
     unit = _emit_assembly(rvfunc)
+    # Per-function facts for the static verifier (merged into the linked
+    # program's manifest): argument count, return kind, frame shape.
+    unit.verify_manifest = {
+        "functions": {
+            rvfunc.name: {
+                "num_args": rvfunc.num_args,
+                "returns_value": bool(rvfunc.returns_value),
+                "frame_words": frame_words,
+                "saved": list(allocation.used_callee_saved),
+                "saves_ra": bool(frame.save_ra),
+            }
+        }
+    }
     func_stats = {
         "instructions": len(unit.instructions()),
         "spilled_vregs": len(allocation.spilled),

@@ -552,6 +552,63 @@ def isa_grid():
     }
 
 
+def static_ilp():
+    """Static IPC upper bound vs measured simulator IPC, per ISA.
+
+    Runs the static ILP pass (:mod:`repro.analysis.ilp_static`) on every
+    registered ISA's default evaluation binary and joins it with the
+    measured timing-grid IPC at both issue widths.  The static bound is an
+    *upper* bound by construction, so ``bound_holds`` must be true on every
+    grid point — the CI analyze-smoke job gates on ``ok``.  The gap between
+    the two is the price of everything the static pass cannot see: cache
+    misses, branch mispredictions, fetch stalls, finite windows.
+    """
+    from repro import isa as isa_registry
+    from repro.analysis import analyze_ilp, support_for
+    from repro.workloads import build_workload
+
+    grid = _isa_grid()
+    results = ensure_results([task for *_, task in grid])
+    reports = {}  # (workload, isa) -> StaticIlpReport
+    rows = []
+    for workload, way, descriptor, task in grid:
+        key = (workload, descriptor.name)
+        if key not in reports:
+            built = build_workload(workload)
+            program = built.all()[descriptor.default_label].program
+            reports[key] = analyze_ilp(program, support_for(descriptor.name))
+        config = descriptor.config_factories[way]()
+        bound = reports[key].ipc_bound(config.issue_width)
+        measured = _stats_of(results, task)["ipc"]
+        rows.append(
+            {
+                "workload": workload,
+                "class": way,
+                "isa": descriptor.name,
+                "width": config.issue_width,
+                "measured_ipc": round(measured, 4),
+                "static_ipc_bound": round(bound, 4),
+                "headroom": round(bound - measured, 4),
+                "bound_holds": measured <= bound + 1e-9,
+                "loops": len(reports[key].loops),
+            }
+        )
+    series = [
+        (f"{r['workload'][:5]}/{r['class']}/{r['isa']}",
+         round(r["measured_ipc"] / r["static_ipc_bound"], 4))
+        for r in rows
+    ]
+    return {
+        "rows": rows,
+        "ok": all(r["bound_holds"] for r in rows),
+        "text": format_bars(
+            series,
+            title="Static ILP: measured IPC as a fraction of the static "
+                  "upper bound",
+        ),
+    }
+
+
 def _isa_density_tasks():
     from repro import isa as isa_registry
 
@@ -592,6 +649,7 @@ ALL_EXPERIMENTS = {
     "ablation_spadd": lambda: _ablations().ablate_spadd_throughput(),
     "isa_grid": isa_grid,
     "isa_density": isa_density,
+    "static_ilp": static_ilp,
 }
 
 
@@ -622,6 +680,7 @@ def _grid_builders():
         "ablation_spadd": lambda: [t for _, t in ab.spadd_grid()],
         "isa_grid": lambda: [task for *_, task in _isa_grid()],
         "isa_density": _isa_density_tasks,
+        "static_ilp": lambda: [task for *_, task in _isa_grid()],
     }
 
 

@@ -35,6 +35,13 @@ class IsaDescriptor:
       ``as_dict()``; severity policy (raise vs. warn) is the caller's.
     * ``predecode(program)`` -> tuple of DecodedOp — the decode-once hot
       path (see :mod:`repro.isa.predecode`).
+    * ``analysis()`` -> IsaAnalysisSupport — the ISA's plug into the
+      generic dataflow framework (:mod:`repro.analysis.framework`):
+      control protocol (successors / calls / returns / terminators) and
+      dataflow protocol (per-block dependence graphs, latencies) for the
+      CFG reconstruction, the verifiers and the liveness / value-range /
+      static-ILP passes.  ISAs without one leave it ``None`` and are
+      skipped by `straight analyze`.
 
     Data fields:
 
@@ -60,7 +67,8 @@ class IsaDescriptor:
                  format_fields, parse_assembly, link, startup_stub,
                  encode, decode, make_interpreter, compile_module,
                  binary_labels, targets, frontend, config_factories,
-                 static_check=None, predecode=None, word_bits=32):
+                 static_check=None, predecode=None, analysis=None,
+                 word_bits=32):
         self.name = name
         self.display_name = display_name
         self.register_model = register_model
@@ -79,6 +87,7 @@ class IsaDescriptor:
         self.config_factories = dict(config_factories)
         self._static_check = static_check
         self.predecode = predecode
+        self.analysis = analysis
         self.word_bits = word_bits
 
     @property

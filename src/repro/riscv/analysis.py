@@ -1,0 +1,165 @@
+"""RV32IM analysis support: the gpr-model control/dataflow plug.
+
+The control protocol decodes the standard RISC-V conventions the backend
+emits: ``jal`` with ``rd = ra`` is a call (falls through — the callee is
+opaque), ``jal`` with ``rd = x0`` an unconditional jump, ``jalr`` with
+``rd = x0, rs1 = ra`` a return, branches branch and fall through, and an
+``ecall`` immediately preceded by ``addi a7, zero, 93`` (the exit service)
+terminates the program.  Link-resolved immediates are PC-relative *byte*
+offsets, so target indices are ``index + imm // WORD_BYTES``.
+
+The dataflow protocol reads operand registers straight off the instruction
+formats (R/S/B use ``rs1``/``rs2``; I uses ``rs1``; U/J use none; ``ecall``
+reads ``a0``/``a7``) — which also serves the :mod:`repro.riscv.verify`
+def-before-use verifier and the liveness/value-range/ILP passes.
+"""
+
+from repro.common.layout import WORD_BYTES
+from repro.analysis.support import BlockDeps, IsaAnalysisSupport
+
+RA, SP, GP, TP = 1, 2, 3, 4
+
+#: Registers a call may leave with unrelated values (caller-saved scratch
+#: minus the ``a0``/``a1`` results and ``ra``, which holds the return
+#: address again once the callee returns).
+CALL_CLOBBERED = frozenset({GP, TP, 5, 6, 7, 28, 29, 30, 31} | set(range(12, 18)))
+
+#: Registers a call defines on return: the results and the return address.
+CALL_DEFINED = frozenset({RA, 10, 11})
+
+#: The exit-service code (kept in sync with the linker's ECALL table).
+from repro.riscv.linker import ECALL_EXIT  # noqa: E402
+
+
+class GprAnalysisSupport(IsaAnalysisSupport):
+    """Control + dataflow protocol shared by the gpr-model ISAs."""
+
+    name = "riscv"
+    register_model = "gpr"
+    issue_code = "RVG006"
+
+    # -- control protocol --------------------------------------------------
+
+    def _target(self, index, instr):
+        return index + (instr.imm or 0) // WORD_BYTES
+
+    def is_exit_ecall(self, program, index):
+        """True for an ``ecall`` that invokes the exit service."""
+        if program.instrs[index].mnemonic != "ECALL" or index == 0:
+            return False
+        prev = program.instrs[index - 1]
+        return (
+            prev.mnemonic == "ADDI"
+            and prev.rd == 17
+            and prev.rs1 == 0
+            and (prev.imm or 0) == ECALL_EXIT
+        )
+
+    def successors(self, program, index):
+        instr = program.instrs[index]
+        n = len(program.instrs)
+        mnemonic = instr.mnemonic
+        fmt = instr.spec.fmt
+        if fmt == "B":
+            target = self._target(index, instr)
+            if not 0 <= target < n:
+                issue = (
+                    self.issue_code,
+                    f"{mnemonic} target index {target} outside text segment",
+                )
+                return ([index + 1] if index + 1 < n else []), None, issue
+            succs = [target]
+            if index + 1 < n:
+                succs.append(index + 1)
+            return succs, None, None
+        if mnemonic == "JAL":
+            target = self._target(index, instr)
+            if not 0 <= target < n:
+                issue = (
+                    self.issue_code,
+                    f"JAL target index {target} outside text segment",
+                )
+                if instr.rd == 0:
+                    return [], None, issue
+                return ([index + 1] if index + 1 < n else []), None, issue
+            if instr.rd == 0:
+                return [target], None, None  # unconditional jump
+            succs = [index + 1] if index + 1 < n else []
+            return succs, target, None  # direct call
+        if mnemonic == "JALR":
+            if instr.rd == 0:
+                return [], None, None  # return (or indirect jump): terminator
+            succs = [index + 1] if index + 1 < n else []
+            return succs, None, None  # indirect call: unknown callee
+        if mnemonic == "ECALL" and self.is_exit_ecall(program, index):
+            return [], None, None
+        if index + 1 < n:
+            return [index + 1], None, None
+        return [], None, (
+            self.issue_code,
+            f"{mnemonic} falls off the end of the text segment",
+        )
+
+    def ends_block(self, program, index):
+        instr = program.instrs[index]
+        if instr.spec.fmt == "B":
+            return True
+        if instr.mnemonic in ("JAL", "JALR"):
+            return instr.rd == 0
+        if instr.mnemonic == "ECALL":
+            return self.is_exit_ecall(program, index)
+        return False
+
+    def is_call(self, program, index):
+        instr = program.instrs[index]
+        return instr.mnemonic in ("JAL", "JALR") and instr.rd != 0
+
+    def is_return(self, program, index):
+        instr = program.instrs[index]
+        return instr.mnemonic == "JALR" and instr.rd == 0 and instr.rs1 == RA
+
+    # -- dataflow protocol -------------------------------------------------
+
+    def uses(self, program, index):
+        """Register numbers instruction ``index`` reads (x0 excluded)."""
+        instr = program.instrs[index]
+        mnemonic = instr.mnemonic
+        if mnemonic == "BB":
+            return ()
+        if mnemonic == "ECALL":
+            return (10, 17)  # every service reads a0 (payload) and a7 (code)
+        fmt = instr.spec.fmt
+        if fmt in ("R", "S", "B"):
+            return tuple(r for r in (instr.rs1, instr.rs2) if r)
+        if fmt == "I":
+            return (instr.rs1,) if instr.rs1 else ()
+        return ()  # U, J
+
+    def defs(self, program, index):
+        """Register numbers instruction ``index`` writes (x0 excluded)."""
+        instr = program.instrs[index]
+        if instr.mnemonic in ("BB", "ECALL"):
+            return ()
+        if instr.spec.fmt in ("S", "B"):
+            return ()
+        return (instr.rd,) if instr.rd else ()
+
+    def block_deps(self, program, indices):
+        last = {}  # register -> producing index within the sequence
+        producers = []
+        for index in indices:
+            prods = []
+            for reg in self.uses(program, index):
+                if reg in last:
+                    prods.append(("intra", last[reg]))
+                else:
+                    prods.append(("in", reg))
+            producers.append(tuple(prods))
+            for reg in self.defs(program, index):
+                last[reg] = index
+            if self.is_call(program, index):
+                # Chain reads of results (and clobbered scratch) through
+                # the call rather than across it.
+                for reg in CALL_DEFINED | CALL_CLOBBERED:
+                    last[reg] = index
+        return BlockDeps(indices, producers, last)

@@ -31,6 +31,18 @@ def _make_interpreter(program, collect_trace=False, **kw):
     return RiscvInterpreter(program, collect_trace=collect_trace)
 
 
+def _static_check(program, lint=False):
+    from repro.riscv.verify import verify_program
+
+    return verify_program(program, lint=lint)
+
+
+def _analysis():
+    from repro.riscv.analysis import GprAnalysisSupport
+
+    return GprAnalysisSupport()
+
+
 def _cfg_2way(**overrides):
     from repro.core.configs import ss_2way
 
@@ -61,6 +73,8 @@ DESCRIPTOR = register(
         targets={"riscv": {}},
         frontend="rename",
         config_factories={"2way": _cfg_2way, "4way": _cfg_4way},
+        static_check=_static_check,
         predecode=decode_program,
+        analysis=_analysis,
     )
 )

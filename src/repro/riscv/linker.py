@@ -15,7 +15,8 @@ from repro.riscv.assembler import parse_assembly
 class RiscvProgram:
     """A linked RV32IM executable image."""
 
-    def __init__(self, instrs, labels, data_words, data_base, entry_label="_start"):
+    def __init__(self, instrs, labels, data_words, data_base,
+                 entry_label="_start", manifest=None):
         self.instrs = instrs
         self.labels = labels
         self.data_words = data_words
@@ -23,6 +24,9 @@ class RiscvProgram:
         self.text_base = TEXT_BASE
         self.entry_pc = TEXT_BASE + labels[entry_label] * WORD_BYTES
         self.stack_top = STACK_TOP
+        #: per-function facts from the backend (``{"functions": {...}}``);
+        #: the static verifier uses them for calling-convention checks.
+        self.manifest = manifest
 
     @property
     def text_words(self):
@@ -92,4 +96,13 @@ def link_program(units, data_words=(), data_base=0, program_cls=RiscvProgram):
 
     if "_start" not in labels:
         raise LinkError("no _start label; pass startup_stub() as the first unit")
-    return program_cls(instrs, labels, list(data_words), data_base)
+
+    functions = {}
+    for unit in units:
+        unit_manifest = getattr(unit, "verify_manifest", None)
+        if unit_manifest:
+            functions.update(unit_manifest.get("functions", {}))
+    manifest = {"functions": functions} if functions else None
+    return program_cls(
+        instrs, labels, list(data_words), data_base, manifest=manifest
+    )

@@ -1,0 +1,322 @@
+"""Static dataflow verifier for linked RV32IM (and ``bb``) binaries.
+
+The gpr-model counterpart of the STRAIGHT register-age verifier, built on
+the same generic engine (:mod:`repro.analysis.framework`): a forward
+fixpoint over the reconstructed CFG proves, over every path,
+
+* **def-before-use** — no instruction reads a register that some path
+  reaches without writing first (``RVG001``);
+* **call-boundary discipline** — no instruction reads a caller-saved
+  register across an intervening call (``RVG002``): calls define
+  ``a0``/``a1``/``ra`` and clobber the t-registers, ``gp``/``tp`` and
+  ``a2``-``a7``;
+* **SP discipline** — SP only moves by ``addi sp, sp, imm`` (``RVG005``),
+  its offset agrees on all paths into a merge (``RVG003``) and is restored
+  to the entry offset at every return (``RVG004``);
+* **calling convention** — with the backend's function manifest attached
+  (``program.manifest``), argument registers are defined at every direct
+  call site and ``a0`` is defined at every return of a value-returning
+  function (``RVG007``).
+
+The abstract state is ``(undef, clobbered, sp)``: two register sets (may
+be read-before-write / may hold a call-clobbered value) joined by union,
+and the SP offset joined to a conflict top — a finite lattice, so the
+worklist fixpoint terminates.  Checks run in a final pass over the
+converged block-entry states, mirroring the STRAIGHT verifier's shape.
+"""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.diagnostics import Report
+from repro.analysis.framework import solve_forward
+from repro.riscv.analysis import (
+    CALL_CLOBBERED,
+    CALL_DEFINED,
+    GprAnalysisSupport,
+    RA,
+    SP,
+)
+from repro.riscv.isa import REG_NAMES
+
+#: SP lattice top: incoming paths disagree on the ADDI-sp sum.
+SP_CONFLICT = "conflict"
+
+#: Callee-saved registers (plus ra/sp) the convention defines at entry.
+_ENTRY_DEFINED = frozenset({RA, SP, 8, 9} | set(range(18, 28)))
+
+_ALL_REGS = frozenset(range(1, 32))
+
+
+def _reg(name_index):
+    return REG_NAMES[name_index]
+
+
+def _entry_undef(num_args):
+    """Registers that are undefined at a callee's entry."""
+    defined = _ENTRY_DEFINED | frozenset(range(10, 10 + num_args))
+    return _ALL_REGS - defined
+
+
+def _join_sp(a, b):
+    if a == b:
+        return a
+    return SP_CONFLICT
+
+
+def _join(a, b):
+    undef_a, clob_a, sp_a = a
+    undef_b, clob_b, sp_b = b
+    return undef_a | undef_b, clob_a | clob_b, _join_sp(sp_a, sp_b)
+
+
+def _sp_write_kind(instr, is_program_entry):
+    """``"track"`` / ``"init"`` / ``"violation"`` for a write to SP."""
+    if instr.mnemonic == "ADDI" and instr.rs1 == SP:
+        return "track"
+    if instr.mnemonic == "LUI" and is_program_entry:
+        return "init"  # the startup stub establishing the stack base
+    return "violation"
+
+
+class _Ctx:
+    def __init__(self, program, manifest, report, support):
+        self.program = program
+        self.report = report
+        self.support = support
+        self.manifest_funcs = (manifest or {}).get("functions", {})
+
+
+def verify_program(program, manifest=None, lint=False, support=None):
+    """Verify a linked gpr-model program; returns a shared ``Report``.
+
+    ``manifest`` defaults to ``program.manifest`` (attached by the RV32IM
+    backend); without one, argument-count refinements are skipped — every
+    ``a`` register counts as defined at entry and call-site argument /
+    return-value checks are off.
+    """
+    if support is None:
+        support = GprAnalysisSupport()
+    if manifest is None:
+        manifest = getattr(program, "manifest", None)
+    report = Report(program)
+
+    cfg = build_cfg(program, support)
+    for code, index, message in cfg.issues:
+        report.emit(code, message, index=index)
+
+    ctx = _Ctx(program, manifest, report, support)
+    annotated = 0
+    for func in cfg.functions:
+        if func.name in ctx.manifest_funcs:
+            annotated += 1
+        _verify_function(ctx, cfg, func)
+
+    report.stats.update(
+        {
+            "functions": len(cfg.functions),
+            "instructions": len(program.instrs),
+            "annotated_functions": annotated,
+        }
+    )
+
+    if lint:
+        from repro.analysis.passes import run_gpr_lints
+
+        run_gpr_lints(program, support, cfg, report, manifest)
+    return report
+
+
+def undef_map(program, support=None):
+    """Per-index ``(undef, clobbered)`` register sets of a clean program.
+
+    Runs the same fixpoint as :func:`verify_program` and replays each block
+    from its converged entry state, recording the abstract state *before*
+    every instruction.  The mutation campaign uses this to seed reads of
+    provably-unwritten registers.
+    """
+    if support is None:
+        support = GprAnalysisSupport()
+    cfg = build_cfg(program, support)
+    ctx = _Ctx(program, getattr(program, "manifest", None), Report(program), support)
+    table = {}
+    for func in cfg.functions:
+        is_program_entry = func.entry == program.index_of_pc(program.entry_pc)
+        fmanifest = ctx.manifest_funcs.get(func.name)
+        if is_program_entry:
+            entry_state = (_ALL_REGS - {0}, frozenset(), 0)
+        else:
+            num_args = 8 if fmanifest is None else int(fmanifest["num_args"])
+            entry_state = (_entry_undef(num_args), frozenset(), 0)
+        in_states = solve_forward(
+            func,
+            entry_state,
+            lambda leader, state: _transfer_block(
+                ctx, func, func.blocks[leader], state, is_program_entry
+            ),
+            _join,
+        )
+        for leader, state in in_states.items():
+            undef, clob, _ = state
+            for index in func.blocks[leader].indices:
+                table[index] = (undef, clob)
+                if support.is_call(program, index):
+                    undef = undef - CALL_CLOBBERED - CALL_DEFINED
+                    clob = (clob | CALL_CLOBBERED) - CALL_DEFINED
+                    continue
+                defs = support.defs(program, index)
+                if defs:
+                    undef = undef.difference(defs)
+                    clob = clob.difference(defs)
+    return table
+
+
+def _transfer_block(ctx, func, block, state, is_program_entry):
+    """Push the block's defs/calls through ``state`` (fixpoint path)."""
+    undef, clob, sp = state
+    program = ctx.program
+    support = ctx.support
+    for index in block.indices:
+        instr = program.instrs[index]
+        if support.is_call(program, index):
+            undef = undef - CALL_CLOBBERED - CALL_DEFINED
+            clob = (clob | CALL_CLOBBERED) - CALL_DEFINED
+            continue
+        defs = support.defs(program, index)
+        if SP in defs and sp != SP_CONFLICT:
+            kind = _sp_write_kind(instr, is_program_entry)
+            if kind == "track":
+                sp += instr.imm or 0
+            elif kind == "init":
+                sp = 0
+            # a violation leaves the offset as-is; the final pass reports it
+        if defs:
+            undef = undef.difference(defs)
+            clob = clob.difference(defs)
+    return undef, clob, sp
+
+
+def _verify_function(ctx, cfg, func):
+    program = ctx.program
+    support = ctx.support
+    report = ctx.report
+    fmanifest = ctx.manifest_funcs.get(func.name)
+
+    is_program_entry = func.entry == program.index_of_pc(program.entry_pc)
+    if is_program_entry:
+        entry_state = (_ALL_REGS - {0}, frozenset(), 0)
+    else:
+        num_args = 8 if fmanifest is None else int(fmanifest["num_args"])
+        entry_state = (_entry_undef(num_args), frozenset(), 0)
+
+    in_states = solve_forward(
+        func,
+        entry_state,
+        lambda leader, state: _transfer_block(
+            ctx, func, func.blocks[leader], state, is_program_entry
+        ),
+        _join,
+    )
+    func.in_states = in_states
+
+    # Final pass: walk each block from its converged entry state.
+    for leader in sorted(in_states):
+        block = func.blocks[leader]
+        undef, clob, sp = in_states[leader]
+        if len(block.preds) > 1 and sp == SP_CONFLICT:
+            report.emit(
+                "RVG003",
+                "incoming paths reach this merge with different SP offsets",
+                index=leader,
+                function=func.name,
+            )
+        for index in block.indices:
+            instr = program.instrs[index]
+            for operand, reg in enumerate(support.uses(program, index)):
+                _check_use(ctx, func, index, instr, operand, reg, undef, clob)
+            if support.is_call(program, index):
+                _check_call_args(ctx, cfg, func, index, undef, clob)
+                undef = undef - CALL_CLOBBERED - CALL_DEFINED
+                clob = (clob | CALL_CLOBBERED) - CALL_DEFINED
+                continue
+            if support.is_return(program, index):
+                if sp not in (0, SP_CONFLICT):
+                    report.emit(
+                        "RVG004",
+                        f"returns with SP offset {sp:+d} (the ADDI-sp sum "
+                        "must be zero on every path to the return)",
+                        index=index,
+                        function=func.name,
+                    )
+                if fmanifest is not None and fmanifest.get("returns_value"):
+                    if 10 in undef or 10 in clob:
+                        report.emit(
+                            "RVG007",
+                            f"{func.name!r} returns a value but a0 may be "
+                            "undefined at this return",
+                            index=index,
+                            function=func.name,
+                        )
+            defs = support.defs(program, index)
+            if SP in defs:
+                kind = _sp_write_kind(instr, is_program_entry)
+                if kind == "violation":
+                    report.emit(
+                        "RVG005",
+                        f"{instr.mnemonic} writes sp; only ADDI sp, sp, imm "
+                        "may move the stack pointer",
+                        index=index,
+                        function=func.name,
+                    )
+                elif sp != SP_CONFLICT:
+                    sp = sp + (instr.imm or 0) if kind == "track" else 0
+            if defs:
+                undef = undef.difference(defs)
+                clob = clob.difference(defs)
+
+
+def _check_use(ctx, func, index, instr, operand, reg, undef, clob):
+    where = dict(function=func.name, data={"operand": operand})
+    if reg in clob:
+        ctx.report.emit(
+            "RVG002",
+            f"{instr.mnemonic} reads {_reg(reg)}, which an intervening call "
+            "may have clobbered on some path",
+            index=index,
+            **where,
+        )
+    elif reg in undef:
+        ctx.report.emit(
+            "RVG001",
+            f"{instr.mnemonic} reads {_reg(reg)} before any write on some "
+            "path",
+            index=index,
+            **where,
+        )
+
+
+def _check_call_args(ctx, cfg, func, index, undef, clob):
+    """RVG001/RVG002 for argument registers at an annotated call site."""
+    _, call_target, _ = ctx.support.successors(ctx.program, index)
+    if call_target is None:
+        return
+    callee = cfg.function_at(call_target)
+    if callee is None:
+        return
+    fmanifest = ctx.manifest_funcs.get(callee.name)
+    if fmanifest is None:
+        return
+    for k in range(int(fmanifest["num_args"])):
+        reg = 10 + k
+        if reg in clob:
+            code, cause = "RVG002", "an intervening call may have clobbered it"
+        elif reg in undef:
+            code, cause = "RVG001", "it may be undefined on some path"
+        else:
+            continue
+        ctx.report.emit(
+            code,
+            f"call to {callee.name!r} passes argument {k} in {_reg(reg)} "
+            f"but {cause}",
+            index=index,
+            function=func.name,
+            data={"operand": k},
+        )

@@ -1,0 +1,100 @@
+"""STRAIGHT's analysis support: the distance-operand control/dataflow plug.
+
+Supplies the :class:`~repro.analysis.support.IsaAnalysisSupport` instance
+the STRAIGHT descriptor hands to the generic dataflow framework.  The
+control protocol is the one the CFG reconstruction has always used
+(``JAL`` is a call that falls through — the callee is opaque; ``JR`` and
+``HALT`` terminate; ``BEZ``/``BNZ`` branch and fall through); the dataflow
+protocol models the paper's uniform shift-in: *every* retired instruction
+pushes exactly one register-age slot, so a distance-``d`` operand at a
+point where the block has pushed ``p`` slots reads intra-block producer
+``p - d`` when ``d <= p`` and live-in age ``d - p`` otherwise.
+"""
+
+from repro.analysis.support import BlockDeps, IsaAnalysisSupport
+
+#: Mnemonics that terminate a basic block.
+_BLOCK_ENDERS = ("BEZ", "BNZ", "J", "JR", "HALT")
+
+
+class StraightAnalysisSupport(IsaAnalysisSupport):
+    """Control + dataflow protocol of the STRAIGHT ISA."""
+
+    name = "straight"
+    register_model = "distance"
+    issue_code = "STR010"
+
+    def successors(self, program, index):
+        instr = program.instrs[index]
+        n = len(program.instrs)
+        mnemonic = instr.mnemonic
+        if mnemonic in ("HALT", "JR"):
+            return [], None, None
+        if mnemonic in ("BEZ", "BNZ", "J", "JAL"):
+            target = index + (instr.imm or 0)
+            if not 0 <= target < n:
+                issue = (
+                    self.issue_code,
+                    f"{mnemonic} target index {target} outside text segment",
+                )
+                if mnemonic == "J":
+                    return [], None, issue
+                return [index + 1] if index + 1 < n else [], None, issue
+            if mnemonic == "J":
+                return [target], None, None
+            if mnemonic == "JAL":
+                succs = [index + 1] if index + 1 < n else []
+                return succs, target, None
+            succs = [target]
+            if index + 1 < n:
+                succs.append(index + 1)
+            return succs, None, None
+        if index + 1 < n:
+            return [index + 1], None, None
+        return [], None, (
+            self.issue_code,
+            f"{mnemonic} falls off the end of the text segment",
+        )
+
+    def ends_block(self, program, index):
+        return program.instrs[index].mnemonic in _BLOCK_ENDERS
+
+    def is_call(self, program, index):
+        return program.instrs[index].mnemonic == "JAL"
+
+    def is_return(self, program, index):
+        return program.instrs[index].mnemonic == "JR"
+
+    def block_deps(self, program, indices):
+        slots = []  # most recent push first: producer index, None if opaque
+        call_seen = False
+        producers = []
+        for index in indices:
+            instr = program.instrs[index]
+            prods = []
+            for dist in instr.srcs:
+                if dist == 0:
+                    prods.append(None)
+                elif dist <= len(slots):
+                    prods.append(
+                        ("intra", slots[dist - 1])
+                        if slots[dist - 1] is not None
+                        else None
+                    )
+                elif call_seen:
+                    prods.append(None)  # caller values a call pushed away
+                else:
+                    prods.append(("in", dist - len(slots)))
+            producers.append(tuple(prods))
+            if instr.mnemonic == "JAL":
+                # The callee's JR value and return value both become ready
+                # when the call completes; deeper slots are dead.
+                call_seen = True
+                slots = [index, index]
+            else:
+                slots.insert(0, index)
+        out_defs = {}
+        for depth, producer in enumerate(slots, start=1):
+            if producer is not None:
+                out_defs[depth] = producer
+        return BlockDeps(indices, producers, out_defs)

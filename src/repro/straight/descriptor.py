@@ -40,6 +40,12 @@ def _static_check(program, lint=False):
     return verify_program(program, lint=lint)
 
 
+def _analysis():
+    from repro.straight.analysis import StraightAnalysisSupport
+
+    return StraightAnalysisSupport()
+
+
 def _cfg_2way(**overrides):
     from repro.core.configs import straight_2way
 
@@ -78,5 +84,6 @@ DESCRIPTOR = register(
         config_factories={"2way": _cfg_2way, "4way": _cfg_4way},
         static_check=_static_check,
         predecode=decode_program,
+        analysis=_analysis,
     )
 )

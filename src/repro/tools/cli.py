@@ -220,9 +220,16 @@ def _verify_jobs_all_shipped(max_distances, isas=None):
             yield f"examples/hand_written_asm/{snippet}", "straight", program
 
 
+#: Default mutation-campaign detection gates per register model: the
+#: STRAIGHT campaign's historical bar, a slightly lower one for the newer
+#: gpr/structural campaigns (CI pins stricter values explicitly).
+_DETECTION_GATES = {"distance": 0.95}
+_DETECTION_GATE_DEFAULT = 0.90
+
+
 def cmd_verify(args):
     """Static verification via each ISA's registered verifier."""
-    from repro.analysis import run_mutation_campaign
+    from repro.analysis import cached_mutation_campaign
 
     if args.all_shipped:
         jobs = list(_verify_jobs_all_shipped(
@@ -281,14 +288,22 @@ def cmd_verify(args):
             print("verify: --mutants needs a single file/target",
                   file=sys.stderr)
             return 2
-        if jobs[0][1] != "straight":
-            print("verify: the mutation campaign targets STRAIGHT binaries",
+        isa_name = jobs[0][1]
+        descriptor = isa_registry.get(isa_name)
+        if descriptor.analysis is None:
+            print(f"verify: ISA {isa_name!r} has no mutation campaign",
                   file=sys.stderr)
             return 2
-        campaign = run_mutation_campaign(
-            jobs[0][2], mutants=args.mutants, seed=args.seed
+        campaign = cached_mutation_campaign(
+            isa_name, jobs[0][2], mutants=args.mutants, seed=args.seed,
+            max_distance=args.max_distance,
         )
-        failed = failed or campaign.detection_rate < 0.95
+        gate = args.min_detection
+        if gate is None:
+            gate = _DETECTION_GATES.get(
+                descriptor.register_model, _DETECTION_GATE_DEFAULT
+            )
+        failed = failed or campaign.detection_rate < gate
 
     if args.json:
         payload = {"runs": [entry for entry, _ in runs],
@@ -306,6 +321,46 @@ def cmd_verify(args):
             print(campaign.text())
         print("FAIL" if failed else "OK")
     return 1 if failed else 0
+
+
+def cmd_analyze(args):
+    """Full static-analysis stack on one compiled binary."""
+    from repro.analysis import analyze_program
+
+    if args.target:
+        descriptor, _ = isa_registry.resolve_target(args.target)
+        target = args.target
+    else:
+        descriptor = isa_registry.get(args.isa)
+        target = next(iter(descriptor.targets))
+    if descriptor.analysis is None:
+        print(f"analyze: ISA {descriptor.name!r} has no analysis support",
+              file=sys.stderr)
+        return 2
+
+    if args.workload:
+        from repro.workloads.common import get_workload
+
+        name = args.workload
+        source = get_workload(args.workload).source()
+    elif args.file:
+        name = args.file
+        source = _read_source(args.file)
+    else:
+        print("analyze: pass a source file or --workload", file=sys.stderr)
+        return 2
+
+    binary = _compile_target(source, target, args.max_distance)
+    bundle = analyze_program(
+        binary.program, descriptor.name, name=f"{name}/{target}",
+        lint=not args.no_lint,
+    )
+    if args.json:
+        print(json.dumps(bundle.as_dict(), indent=2))
+    else:
+        print(bundle.text())
+        print("OK" if bundle.ok else "FAIL")
+    return 0 if bundle.ok else 1
 
 
 def _resolve_sim_binary(args, config):
@@ -836,11 +891,34 @@ def build_parser():
     p_verify.add_argument("--verbose", action="store_true",
                           help="print every diagnostic, not just errors")
     p_verify.add_argument("--mutants", type=int, default=0,
-                          help="also run a seeded mutation campaign of N "
-                               "corrupted copies (single target only)")
+                          help="also run the ISA's seeded mutation campaign "
+                               "of N corrupted copies (single target only)")
     p_verify.add_argument("--seed", type=int, default=20260805,
                           help="mutation campaign RNG seed")
+    p_verify.add_argument("--min-detection", type=float, default=None,
+                          help="fail below this campaign detection rate "
+                               "(default: 0.95 STRAIGHT, 0.90 otherwise)")
     p_verify.set_defaults(func=cmd_verify)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="full static-analysis stack: verifier + lints + static "
+             "ILP/IPC bound",
+    )
+    p_analyze.add_argument("file", nargs="?", default=None,
+                           help="mini-C source file ('-' for stdin)")
+    p_analyze.add_argument("--workload", choices=("dhrystone", "coremark"),
+                           default=None)
+    p_analyze.add_argument("--target", choices=TARGETS, default=None,
+                           help="single compilation target (default: the "
+                                "ISA's first target)")
+    p_analyze.add_argument("--isa", choices=ISA_NAMES, default="straight")
+    p_analyze.add_argument("--max-distance", type=int, default=1023)
+    p_analyze.add_argument("--no-lint", action="store_true",
+                           help="skip the advisory lint tier")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="machine-readable report on stdout")
+    p_analyze.set_defaults(func=cmd_analyze)
 
     p_sim = sub.add_parser("simulate", help="cycle-level timing run (JSON)")
     p_sim.add_argument("file", help="mini-C source file ('-' for stdin)")

@@ -1,0 +1,151 @@
+"""The generic dataflow engine and the per-ISA analysis support objects."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.framework import (
+    Analysis,
+    BACKWARD,
+    fixpoint,
+    solve_backward,
+    solve_forward,
+    support_for,
+)
+from repro.common.errors import UnknownIsaError
+from repro.frontend import compile_source
+from repro.compiler import compile_to_riscv
+
+SOURCE = """
+int helper(int x) { return x * 2 + 1; }
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 5; i++) acc += helper(i);
+    __out(acc);
+    return 0;
+}
+"""
+
+
+def riscv_program(source=SOURCE):
+    return compile_to_riscv(compile_source(source)).link()
+
+
+class TestFixpoint:
+    def test_cyclic_graph_converges(self):
+        # a -> b -> c -> b (cycle), sets joined by union.
+        succs = {"a": ["b"], "b": ["c"], "c": ["b"]}
+        gen = {"a": {"a"}, "b": {"b"}, "c": {"c"}}
+        states = fixpoint(
+            {"a": frozenset({"a"})},
+            lambda n: succs[n],
+            lambda n, s: s | gen[n],
+            lambda x, y: x | y,
+        )
+        assert states["b"] == {"a", "b", "c"}
+        assert states["c"] == {"a", "b", "c"}
+
+    def test_unreachable_nodes_absent(self):
+        states = fixpoint(
+            {"a": 0},
+            lambda n: [] if n == "a" else ["a"],
+            lambda n, s: s,
+            max,
+        )
+        assert set(states) == {"a"}
+
+    def test_join_or_first_copy(self):
+        # Two seeds merging: the merge node joins, not overwrites.
+        succs = {"a": ["m"], "b": ["m"], "m": []}
+        states = fixpoint(
+            {"a": frozenset({1}), "b": frozenset({2})},
+            lambda n: succs[n],
+            lambda n, s: s,
+            lambda x, y: x | y,
+        )
+        assert states["m"] == {1, 2}
+
+
+class TestSolvers:
+    def test_forward_covers_reachable_blocks(self):
+        program = riscv_program()
+        support = support_for("riscv")
+        cfg = build_cfg(program, support)
+        func = next(f for f in cfg.functions if f.name == "main")
+        states = solve_forward(
+            func, frozenset(), lambda leader, s: s, lambda a, b: a | b
+        )
+        assert set(states) == set(func.blocks)
+
+    def test_backward_reaches_entry_from_exits(self):
+        program = riscv_program()
+        support = support_for("riscv")
+        cfg = build_cfg(program, support)
+        func = next(f for f in cfg.functions if f.name == "main")
+        states = solve_backward(
+            func,
+            frozenset({"exit"}),
+            lambda leader, s: s,
+            lambda a, b: a | b,
+            bottom=frozenset(),
+        )
+        # The exit marker must flow back to the entry block.
+        assert "exit" in states[func.entry]
+
+    def test_analysis_class_dispatches_backward(self):
+        program = riscv_program()
+        support = support_for("riscv")
+        cfg = build_cfg(program, support)
+        func = next(f for f in cfg.functions if f.name == "main")
+
+        class Reach(Analysis):
+            direction = BACKWARD
+
+            def boundary(self, func):
+                return frozenset({"exit"})
+
+            def bottom(self, func):
+                return frozenset()
+
+            def join(self, a, b):
+                return a | b
+
+            def transfer(self, func, leader, state):
+                return state
+
+        assert "exit" in Reach().run(func)[func.entry]
+
+
+class TestSupportRegistry:
+    def test_three_isas_resolve(self):
+        for isa, model in (
+            ("straight", "distance"),
+            ("riscv", "gpr"),
+            ("bb", "gpr"),
+        ):
+            support = support_for(isa)
+            assert support is not None
+            assert support.name == isa
+            assert support.register_model == model
+
+    def test_unknown_isa_raises(self):
+        with pytest.raises(UnknownIsaError):
+            support_for("mips")
+
+    def test_latency_uses_op_class_minimums(self):
+        program = riscv_program()
+        support = support_for("riscv")
+        by_class = {}
+        for index, instr in enumerate(program.instrs):
+            by_class.setdefault(instr.op_class, support.latency(program, index))
+        assert by_class["alu"] == 1
+        assert by_class["load"] == 4
+
+    def test_cfg_is_isa_generic(self):
+        # The same build_cfg walks gpr programs: functions discovered by
+        # call targets, blocks partitioned at that ISA's terminators.
+        program = riscv_program()
+        cfg = build_cfg(program, support_for("riscv"))
+        names = {func.name for func in cfg.functions}
+        assert {"main", "helper", "_start"} <= names
+        main = next(f for f in cfg.functions if f.name == "main")
+        assert len(main.blocks) > 1  # the for loop splits main

@@ -3,9 +3,18 @@
 import pytest
 
 from repro.frontend import compile_source
-from repro.compiler import compile_to_straight
+from repro.compiler import compile_to_riscv, compile_to_straight
+from repro.compiler.bb_backend import compile_to_bb
 from repro.guardrails import DEFAULT_CAMPAIGN_SOURCE
-from repro.analysis import run_mutation_campaign, verify_program
+from repro.analysis import (
+    cached_mutation_campaign,
+    run_bb_mutation_campaign,
+    run_campaign_for_isa,
+    run_gpr_mutation_campaign,
+    run_mutation_campaign,
+    verify_program,
+)
+from repro.analysis.mutation import MutationReport
 
 
 def campaign_program(max_distance=1023, redundancy_elimination=True):
@@ -14,6 +23,14 @@ def campaign_program(max_distance=1023, redundancy_elimination=True):
         max_distance=max_distance,
         redundancy_elimination=redundancy_elimination,
     ).link()
+
+
+def riscv_campaign_program():
+    return compile_to_riscv(compile_source(DEFAULT_CAMPAIGN_SOURCE)).link()
+
+
+def bb_campaign_program():
+    return compile_to_bb(compile_source(DEFAULT_CAMPAIGN_SOURCE)).link()
 
 
 class TestMutationCampaign:
@@ -67,3 +84,112 @@ class TestMutationCampaign:
         for record in report.records:
             if record["detected"]:
                 assert record["codes"]
+
+
+class TestGprCampaign:
+    def test_riscv_detection_is_total(self):
+        report = run_gpr_mutation_campaign(
+            riscv_campaign_program(), isa="riscv", mutants=40, seed=20260805
+        )
+        assert report.isa == "riscv"
+        assert report.total == 40
+        assert report.detection_rate == 1.0, report.text()
+
+    def test_campaign_is_deterministic(self):
+        first = run_gpr_mutation_campaign(
+            riscv_campaign_program(), mutants=16, seed=11
+        )
+        second = run_gpr_mutation_campaign(
+            riscv_campaign_program(), mutants=16, seed=11
+        )
+        assert first.as_dict() == second.as_dict()
+
+    def test_campaign_leaves_program_intact(self):
+        program = riscv_campaign_program()
+        before = [
+            (instr.mnemonic, getattr(instr, "rs1", None),
+             getattr(instr, "rs2", None), getattr(instr, "imm", None))
+            for instr in program.instrs
+        ]
+        run_gpr_mutation_campaign(program, mutants=10, seed=1)
+        after = [
+            (instr.mnemonic, getattr(instr, "rs1", None),
+             getattr(instr, "rs2", None), getattr(instr, "imm", None))
+            for instr in program.instrs
+        ]
+        assert after == before
+
+
+class TestBbCampaign:
+    def test_bb_detection_is_total(self):
+        report = run_bb_mutation_campaign(
+            bb_campaign_program(), mutants=40, seed=20260805
+        )
+        assert report.isa == "bb"
+        assert report.detection_rate == 1.0, report.text()
+
+    def test_campaign_is_deterministic(self):
+        first = run_bb_mutation_campaign(
+            bb_campaign_program(), mutants=16, seed=5
+        )
+        second = run_bb_mutation_campaign(
+            bb_campaign_program(), mutants=16, seed=5
+        )
+        assert first.as_dict() == second.as_dict()
+
+
+class TestCampaignDispatch:
+    def test_dispatch_covers_three_isas(self):
+        cases = (
+            ("straight", campaign_program()),
+            ("riscv", riscv_campaign_program()),
+            ("bb", bb_campaign_program()),
+        )
+        for isa, program in cases:
+            report = run_campaign_for_isa(isa, program, mutants=8, seed=2)
+            assert report.isa == isa
+            assert report.total == 8
+
+    def test_dispatch_matches_direct_call(self):
+        direct = run_mutation_campaign(
+            campaign_program(), mutants=12, seed=20260805
+        )
+        dispatched = run_campaign_for_isa(
+            "straight", campaign_program(), mutants=12, seed=20260805
+        )
+        assert direct.as_dict() == dispatched.as_dict()
+
+
+class TestCampaignCache:
+    def test_payload_round_trip(self):
+        report = run_gpr_mutation_campaign(
+            riscv_campaign_program(), mutants=8, seed=3
+        )
+        clone = MutationReport.from_payload(report.payload())
+        assert clone.as_dict() == report.as_dict()
+        assert clone.isa == report.isa
+
+    def test_cache_hit_returns_equal_report(self, tmp_path):
+        import repro.harness.cache as hc
+
+        previous = hc.swap_state()
+        hc.configure(cache_dir=str(tmp_path))
+        try:
+            first = cached_mutation_campaign(
+                "riscv", riscv_campaign_program(), mutants=8, seed=4
+            )
+            second = cached_mutation_campaign(
+                "riscv", riscv_campaign_program(), mutants=8, seed=4
+            )
+            assert first.as_dict() == second.as_dict()
+            cache = hc.result_cache()
+            assert cache is not None
+            assert cache.stats.hits >= 1 and cache.stats.stores >= 1
+        finally:
+            hc.swap_state(previous)
+
+    def test_memory_only_mode_still_runs(self):
+        report = cached_mutation_campaign(
+            "bb", bb_campaign_program(), mutants=6, seed=5
+        )
+        assert report.total == 6

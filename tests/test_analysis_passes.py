@@ -1,0 +1,239 @@
+"""Liveness/dead-code, value-range, and static-ILP passes."""
+
+from repro.analysis import analyze_ilp, analyze_program, support_for
+from repro.analysis.cfg import build_cfg
+from repro.analysis.passes import (
+    gpr_dead_defs,
+    gpr_value_ranges,
+)
+from repro.frontend import compile_source
+from repro.compiler import compile_to_riscv
+from repro.riscv.verify import verify_program
+from repro.riscv import link_program, parse_assembly, startup_stub
+
+SOURCE = """
+int helper(int x) { return x * 2 + 1; }
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 5; i++) acc += helper(i);
+    __out(acc);
+    return 0;
+}
+"""
+
+
+def compiled_program(source=SOURCE):
+    return compile_to_riscv(compile_source(source)).link()
+
+
+def asm_program(body):
+    return link_program([startup_stub(), parse_assembly(body)])
+
+
+def lint_codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+class TestDeadDefs:
+    def test_dead_write_is_flagged(self):
+        report = verify_program(asm_program("""
+main:
+    addi t0, zero, 7
+    addi a0, zero, 1
+    jalr zero, ra, 0
+"""), lint=True)
+        assert "ANL101" in lint_codes(report)
+        assert not report.has_errors()
+
+    def test_consumed_write_is_not_flagged(self):
+        report = verify_program(asm_program("""
+main:
+    addi t0, zero, 7
+    add a0, t0, zero
+    jalr zero, ra, 0
+"""), lint=True)
+        assert "ANL101" not in lint_codes(report)
+
+    def test_write_live_across_branch_is_not_flagged(self):
+        report = verify_program(asm_program("""
+main:
+    addi t0, zero, 7
+    beq a0, zero, out
+    addi t0, zero, 9
+out:
+    add a0, t0, zero
+    jalr zero, ra, 0
+"""), lint=True)
+        assert "ANL101" not in lint_codes(report)
+
+    def test_dead_defs_report_index_and_reg(self):
+        program = asm_program("""
+main:
+    addi t6, zero, 7
+    addi a0, zero, 1
+    jalr zero, ra, 0
+""")
+        support = support_for("riscv")
+        cfg = build_cfg(program, support)
+        dead = gpr_dead_defs(program, support, cfg)
+        assert any(reg == 31 for _, reg in dead)  # t6
+
+
+class TestValueRanges:
+    def test_constant_propagates(self):
+        program = asm_program("""
+main:
+    addi t0, zero, 5
+    addi t1, t0, 3
+    add a0, t1, zero
+    jalr zero, ra, 0
+""")
+        support = support_for("riscv")
+        cfg = build_cfg(program, support)
+        ranges = gpr_value_ranges(program, support, cfg)
+        add_index = next(
+            i for i, instr in enumerate(program.instrs)
+            if instr.mnemonic == "ADD"
+        )
+        assert ranges[add_index][6] == (8, 8)  # t1 = 5 + 3
+
+    def test_loop_counter_widens_to_top(self):
+        program = compiled_program()
+        support = support_for("riscv")
+        cfg = build_cfg(program, support)
+        ranges = gpr_value_ranges(program, support, cfg)
+        # Every tracked interval is well-formed; unbounded counters drop out.
+        for entry in ranges.values():
+            for lo, hi in entry.values():
+                assert lo <= hi
+
+    def test_anl102_constant_branch(self):
+        report = verify_program(asm_program("""
+main:
+    addi t0, zero, 3
+    beq t0, zero, out
+    addi a0, zero, 1
+out:
+    jalr zero, ra, 0
+"""), lint=True)
+        assert "ANL102" in lint_codes(report)
+
+    def test_anl103_division_by_constant_zero(self):
+        report = verify_program(asm_program("""
+main:
+    addi t0, zero, 9
+    div a0, t0, zero
+    jalr zero, ra, 0
+"""), lint=True)
+        assert "ANL103" in lint_codes(report)
+
+    def test_varying_branch_not_flagged(self):
+        report = verify_program(compiled_program(), lint=True)
+        assert "ANL102" not in lint_codes(report)
+        assert "ANL103" not in lint_codes(report)
+
+
+class TestStaticIlp:
+    def test_simple_loop_recurrence(self):
+        program = asm_program("""
+main:
+    addi t0, zero, 0
+    addi t1, zero, 10
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    add a0, t0, zero
+    jalr zero, ra, 0
+""")
+        report = analyze_ilp(program, support_for("riscv"))
+        loop = next(x for x in report.loops if x.function == "main")
+        assert loop.instructions == 2
+        assert loop.recurrence == 1  # t0 -> t0 chain, alu latency 1
+        assert loop.ipc_limit == 2.0
+        assert report.ipc_bound(4) == 2.0  # the loop caps a 4-wide machine
+        assert report.ipc_bound(2) == 2.0
+
+    def test_div_recurrence_throttles_below_width(self):
+        program = asm_program("""
+main:
+    addi t0, zero, 64
+    addi t1, zero, 2
+loop:
+    div t0, t0, t1
+    addi t2, t0, 1
+    bne t0, zero, loop
+    add a0, t2, zero
+    jalr zero, ra, 0
+""")
+        report = analyze_ilp(program, support_for("riscv"))
+        loop = next(x for x in report.loops if x.function == "main")
+        assert loop.recurrence == 12  # div latency dominates the recurrence
+        assert loop.ipc_limit == 3 / 12
+        assert report.ipc_bound(2) == 0.25
+
+    def test_block_critical_path_bounds_local_ilp(self):
+        program = compiled_program()
+        report = analyze_ilp(program, support_for("riscv"))
+        assert report.blocks
+        for entry in report.blocks:
+            if entry["instructions"]:
+                assert 1 <= entry["critical_path"]
+                # A chain cannot be longer than every instruction at the
+                # slowest latency in the table (div = 12).
+                assert entry["critical_path"] <= entry["instructions"] * 12
+                assert entry["local_ilp"] >= entry["instructions"] / (
+                    entry["instructions"] * 12
+                )
+
+    def test_all_isas_produce_bounds(self):
+        from repro.compiler import compile_to_straight
+        from repro.compiler.bb_backend import compile_to_bb
+
+        module = compile_source(SOURCE)
+        for isa, program in (
+            ("straight", compile_to_straight(module, max_distance=1023).link()),
+            ("riscv", compile_to_riscv(module).link()),
+            ("bb", compile_to_bb(module).link()),
+        ):
+            report = analyze_ilp(program, support_for(isa))
+            assert report.loops, isa  # the for loop is found everywhere
+            for width in (2, 4):
+                assert 0 < report.ipc_bound(width) <= width
+
+    def test_as_dict_shape(self):
+        program = compiled_program()
+        payload = analyze_ilp(program, support_for("riscv")).as_dict()
+        assert payload["isa"] == "riscv"
+        assert {"blocks", "loops", "ipc_bound"} <= set(payload)
+        assert set(payload["ipc_bound"]) == {"2", "4"}
+
+
+class TestAnalyzeBundle:
+    def test_bundle_combines_verify_and_ilp(self):
+        program = compiled_program()
+        bundle = analyze_program(program, "riscv", name="demo")
+        assert bundle.ok
+        payload = bundle.as_dict()
+        assert payload["name"] == "demo"
+        assert payload["verify"]["counts"]["error"] == 0
+        assert payload["ilp"]["ipc_bound"]
+        assert "analyze demo [riscv]" in bundle.text()
+
+    def test_bundle_is_byte_stable(self):
+        import json
+
+        program = compiled_program()
+        first = analyze_program(program, "riscv")
+        second = analyze_program(program, "riscv")
+        assert json.dumps(first.as_dict()) == json.dumps(second.as_dict())
+        assert first.text() == second.text()
+
+    def test_straight_bundle(self):
+        from repro.compiler import compile_to_straight
+
+        program = compile_to_straight(
+            compile_source(SOURCE), max_distance=1023
+        ).link()
+        bundle = analyze_program(program, "straight")
+        assert bundle.ok
+        assert bundle.ilp_report.loops

@@ -1,0 +1,116 @@
+"""Property tests: static analysis claims checked against concrete runs.
+
+Hypothesis generates random mini-C control-flow (the same generator the
+cross-ISA fuzz suite uses), the program is compiled to RV32IM, and every
+claim the static passes make is checked against an actual interpretation:
+
+* a **dead-marked definition**'s value is never read again inside the
+  function before being overwritten (calls clear the obligation — a callee
+  may legitimately spill/reload the register);
+* every **value-range interval** contains the register's observed signed
+  value at each instruction the analysis annotated.
+
+Both are soundness obligations: a single counterexample means the lint
+tier could flag live code dead or the range lattice lost a value.
+"""
+
+import os
+
+from hypothesis import given, note, seed, settings, strategies as st
+
+from repro.analysis import support_for
+from repro.analysis.cfg import build_cfg
+from repro.analysis.passes import gpr_dead_defs, gpr_value_ranges
+from repro.compiler import compile_to_riscv
+from repro.frontend import compile_source
+from repro.riscv.interpreter import RiscvInterpreter
+
+from tests.test_fuzz_programs import block
+
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260805"))
+
+#: Generated programs are tiny loops; this bounds even the worst case.
+MAX_STEPS = 200_000
+
+
+def _signed(value):
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def _source(body, lim):
+    return f"""
+    int buf[8];
+    int helper(int x) {{ return x * 2 + 1; }}
+    int main() {{
+        int acc = 1;
+        int tmp = 0;
+        int lim = {lim};
+        for (int i = 0; i < lim + 2; i++) {{
+            {body}
+        }}
+        __out(acc);
+        __out(helper(acc & 255));
+        return 0;
+    }}
+    """
+
+
+def _is_call(instr):
+    return instr.mnemonic in ("JAL", "JALR") and instr.rd == 1
+
+
+@seed(FUZZ_SEED)
+@settings(max_examples=10, deadline=None)
+@given(block(), st.integers(min_value=1, max_value=4))
+def test_static_claims_hold_on_concrete_run(body, lim):
+    note(f"REPRO_FUZZ_SEED={FUZZ_SEED}")
+    program = compile_to_riscv(compile_source(_source(body, lim))).link()
+    support = support_for("riscv")
+    cfg = build_cfg(program, support)
+    dead = set(gpr_dead_defs(program, support, cfg, program.manifest))
+    ranges = gpr_value_ranges(program, support, cfg)
+
+    interp = RiscvInterpreter(program)
+    tainted = set()  # regs whose last write was statically marked dead
+    steps = 0
+    while not interp.halted and steps < MAX_STEPS:
+        index = interp.pc_index
+        instr = program.instrs[index]
+
+        for reg, (lo, hi) in ranges.get(index, {}).items():
+            observed = _signed(interp.regs[reg]) if reg else 0
+            assert lo <= observed <= hi, (
+                f"range claim broken at index {index} ({instr.mnemonic}): "
+                f"x{reg} = {observed} outside [{lo}, {hi}]"
+            )
+
+        read = tainted.intersection(support.uses(program, index))
+        assert not read, (
+            f"dead-def claim broken at index {index} ({instr.mnemonic}): "
+            f"reads {sorted(read)} whose last write was marked dead"
+        )
+
+        if _is_call(instr):
+            tainted.clear()  # the callee may spill/reload any register
+        for reg in support.defs(program, index):
+            tainted.discard(reg)
+            if (index, reg) in dead:
+                tainted.add(reg)
+
+        interp.step(instr)
+        steps += 1
+
+    assert interp.halted, "generated program did not terminate in budget"
+
+
+@seed(FUZZ_SEED)
+@settings(max_examples=6, deadline=None)
+@given(block(), st.integers(min_value=1, max_value=3))
+def test_fuzzed_programs_verify_clean(body, lim):
+    """Compiler output passes the gpr verifier for random CFG shapes."""
+    from repro.riscv.verify import verify_program
+
+    note(f"REPRO_FUZZ_SEED={FUZZ_SEED}")
+    program = compile_to_riscv(compile_source(_source(body, lim))).link()
+    report = verify_program(program, lint=True)
+    assert not report.has_errors(), report.text()

@@ -374,11 +374,14 @@ class TestGuardrailsIntegration:
         report = static_precheck(binary)
         assert report is not None and not report.has_errors()
 
-    def test_static_precheck_skips_riscv(self):
+    def test_static_precheck_covers_riscv(self):
+        # riscv gained a static verifier (RVG codes), so the precheck runs
+        # on it too and compiled programs come out clean.
         from repro.core.api import build
         from repro.guardrails import static_precheck
 
-        assert static_precheck(build(LOOP_CALL_SOURCE).riscv) is None
+        report = static_precheck(build(LOOP_CALL_SOURCE).riscv)
+        assert report is not None and not report.has_errors()
 
     def test_static_precheck_raises_on_corruption(self):
         from repro.core.api import build

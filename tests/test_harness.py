@@ -106,7 +106,18 @@ class TestCheapExperiments:
             "ablation_spadd",
             "isa_grid",
             "isa_density",
+            "static_ilp",
         }
+
+    def test_static_ilp_declares_the_isa_grid_tasks(self):
+        from repro.harness import grid_tasks
+
+        tasks = grid_tasks(["static_ilp"])
+        # 2 workloads x 2 machine classes x 3 ISAs.
+        assert len(tasks) == 12
+        assert list(map(repr, grid_tasks(["isa_grid"]))) == list(
+            map(repr, tasks)
+        )
 
 
 class TestRunnerCache:

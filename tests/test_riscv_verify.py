@@ -1,0 +1,194 @@
+"""The RV32IM static verifier: def-before-use, call clobbers, SP balance."""
+
+import copy
+import json
+
+from repro.frontend import compile_source
+from repro.compiler import compile_to_riscv
+from repro.riscv import link_program, parse_assembly, startup_stub
+from repro.riscv.verify import undef_map, verify_program
+
+SOURCE = """
+int helper(int x) { return x * 2 + 1; }
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 5; i++) acc += helper(i);
+    __out(acc);
+    return 0;
+}
+"""
+
+
+def compiled_program(source=SOURCE):
+    return compile_to_riscv(compile_source(source)).link()
+
+
+def asm_program(body):
+    return link_program([startup_stub(), parse_assembly(body)])
+
+
+def codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+class TestCleanPrograms:
+    def test_compiled_program_verifies_clean(self):
+        report = verify_program(compiled_program())
+        assert not report.has_errors(), report.text()
+
+    def test_backend_manifest_is_consumed(self):
+        program = compiled_program()
+        report = verify_program(program)
+        assert program.manifest is not None
+        assert report.stats["annotated_functions"] >= 2
+
+    def test_clean_without_manifest(self):
+        program = compiled_program()
+        program.manifest = None
+        assert not verify_program(program).has_errors()
+
+    def test_report_is_deterministic(self):
+        program = compiled_program()
+        first = verify_program(program, lint=True)
+        second = verify_program(program, lint=True)
+        assert first.text() == second.text()
+        assert json.dumps(first.as_dict()) == json.dumps(second.as_dict())
+
+
+class TestRvgCodes:
+    def test_rvg001_read_before_write(self):
+        report = verify_program(asm_program("""
+main:
+    add a0, t0, zero
+    jalr zero, ra, 0
+"""))
+        assert "RVG001" in codes(report)
+
+    def test_rvg002_call_clobbered_read(self):
+        report = verify_program(asm_program("""
+main:
+    addi t0, zero, 5
+    jal ra, helper
+    add a0, t0, zero
+    jalr zero, ra, 0
+helper:
+    jalr zero, ra, 0
+"""))
+        assert "RVG002" in codes(report)
+
+    def test_callee_saved_survives_call(self):
+        report = verify_program(asm_program("""
+main:
+    addi s2, zero, 5
+    jal ra, helper
+    add a0, s2, zero
+    jalr zero, ra, 0
+helper:
+    jalr zero, ra, 0
+"""))
+        assert not report.has_errors(), report.text()
+
+    def test_rvg003_sp_merge_conflict(self):
+        report = verify_program(asm_program("""
+main:
+    beq a0, zero, skip
+    addi sp, sp, -8
+skip:
+    addi sp, sp, 0
+    jalr zero, ra, 0
+"""))
+        assert "RVG003" in codes(report)
+
+    def test_rvg004_unbalanced_return(self):
+        report = verify_program(asm_program("""
+main:
+    addi sp, sp, -16
+    jalr zero, ra, 0
+"""))
+        assert "RVG004" in codes(report)
+
+    def test_balanced_frame_is_clean(self):
+        report = verify_program(asm_program("""
+main:
+    addi sp, sp, -16
+    sw ra, 0(sp)
+    lw ra, 0(sp)
+    addi sp, sp, 16
+    jalr zero, ra, 0
+"""))
+        assert not report.has_errors(), report.text()
+
+    def test_rvg005_non_addi_sp_write(self):
+        report = verify_program(asm_program("""
+main:
+    add sp, sp, a0
+    jalr zero, ra, 0
+"""))
+        assert "RVG005" in codes(report)
+
+    def test_rvg006_jump_leaves_text(self):
+        program = compiled_program()
+        mutant = copy.deepcopy(program)
+        victim = next(
+            i for i, instr in enumerate(mutant.instrs)
+            if instr.mnemonic == "JAL" and instr.rd == 0
+        )
+        mutant.instrs[victim].imm = 4 * 100_000
+        assert "RVG006" in codes(verify_program(mutant))
+
+    def test_rvg007_missing_return_value(self):
+        program = asm_program("""
+main:
+    jalr zero, ra, 0
+""")
+        program.manifest = {
+            "functions": {"main": {"num_args": 0, "returns_value": True}}
+        }
+        assert "RVG007" in codes(verify_program(program))
+
+    def test_call_site_argument_check(self):
+        program = asm_program("""
+main:
+    jal ra, callee
+    jalr zero, ra, 0
+callee:
+    jalr zero, ra, 0
+""")
+        program.manifest = {
+            "functions": {
+                "main": {"num_args": 0, "returns_value": False},
+                "callee": {"num_args": 1, "returns_value": False},
+            }
+        }
+        report = verify_program(program)
+        assert any(
+            d.code == "RVG001" and "argument" in d.message
+            for d in report.diagnostics
+        )
+
+
+class TestUndefMap:
+    def test_states_follow_writes_and_calls(self):
+        program = asm_program("""
+main:
+    addi t0, zero, 5
+    jal ra, helper
+    add a0, s2, zero
+    jalr zero, ra, 0
+helper:
+    jalr zero, ra, 0
+""")
+        table = undef_map(program)
+        by_mnemonic = {}
+        for index, instr in enumerate(program.instrs):
+            by_mnemonic.setdefault(instr.mnemonic, []).append(index)
+        addi_main = by_mnemonic["ADDI"][-1]  # main's addi (stub has one too)
+        t0 = 5
+        undef, clob = table[addi_main]
+        assert t0 in undef  # not yet written
+        t1 = 6
+        assert t1 in undef  # never written at all
+        add_index = by_mnemonic["ADD"][0]
+        undef, clob = table[add_index]
+        assert t0 in clob  # the call clobbered it
+        assert t1 in clob  # unwritten values also become clobber-tainted

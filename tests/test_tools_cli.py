@@ -264,6 +264,73 @@ class TestVerify:
         assert code == 0
         assert "md=15" in out
 
+    def test_verify_riscv_isa(self, demo_file, capsys):
+        code, out, _ = run_cli(
+            ["verify", demo_file, "--isa", "riscv", "--lint"], capsys
+        )
+        assert code == 0
+        assert out.strip().endswith("OK")
+
+    def test_verify_json_is_byte_stable(self, demo_file, capsys):
+        runs = [
+            run_cli(["verify", demo_file, "--isa", isa, "--lint", "--json"],
+                    capsys)
+            for isa in ("straight", "riscv", "bb")
+            for _ in range(2)
+        ]
+        assert all(code == 0 for code, _, _ in runs)
+        outs = [out for _, out, _ in runs]
+        # Same invocation twice -> byte-identical JSON (satellite: stable
+        # diagnostic ordering).
+        assert outs[0] == outs[1]
+        assert outs[2] == outs[3]
+        assert outs[4] == outs[5]
+
+    def test_verify_gpr_mutation_campaign(self, demo_file, capsys):
+        code, out, _ = run_cli(
+            ["verify", demo_file, "--isa", "riscv", "--mutants", "6",
+             "--seed", "3"],
+            capsys,
+        )
+        assert code == 0
+        assert "mutation campaign" in out
+        assert "[riscv]" in out
+
+
+class TestAnalyze:
+    def test_analyze_text(self, demo_file, capsys):
+        code, out, _ = run_cli(["analyze", demo_file], capsys)
+        assert code == 0
+        assert "static ILP [straight]" in out
+        assert "ipc_bound(2-way)" in out
+        assert out.strip().endswith("OK")
+
+    def test_analyze_json_riscv(self, demo_file, capsys):
+        code, out, _ = run_cli(
+            ["analyze", demo_file, "--isa", "riscv", "--json"], capsys
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["isa"] == "riscv"
+        assert payload["verify"]["counts"]["error"] == 0
+        assert float(payload["ilp"]["ipc_bound"]["4"]) > 0
+
+    def test_analyze_workload(self, capsys):
+        code, out, _ = run_cli(
+            ["analyze", "--workload", "dhrystone", "--isa", "bb", "--json"],
+            capsys,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["ilp"]["loops"]
+
+    def test_analyze_without_input_fails(self, capsys):
+        code, _, err = run_cli(["analyze"], capsys)
+        assert code == 2
+        assert "--workload" in err or "file" in err
+
 
 def _fake_bench_report(overhead_pct):
     passes = [
