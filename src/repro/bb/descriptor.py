@@ -21,7 +21,7 @@ def _compile_module(module, max_distance=None, **opts):
 
 
 def _make_interpreter(program, collect_trace=False, **kw):
-    return BbInterpreter(program, collect_trace=collect_trace)
+    return BbInterpreter(program, collect_trace=collect_trace, **kw)
 
 
 def _static_check(program, lint=False):

@@ -31,9 +31,15 @@ class Binary:
         """This binary's :class:`~repro.isa.descriptor.IsaDescriptor`."""
         return isa_registry.get(self.isa)
 
-    def interpreter(self, collect_trace=False):
+    def interpreter(self, collect_trace=False, compiled=None):
+        """This binary's functional simulator.
+
+        ``compiled`` forces the threaded-code fast path on (``True``), off
+        (``False``) or leaves the interpreter's default policy (``None`` —
+        on unless ``STRAIGHT_FASTPATH=0`` or the program is incompatible).
+        """
         return self.descriptor.make_interpreter(
-            self.program, collect_trace=collect_trace
+            self.program, collect_trace=collect_trace, compiled=compiled
         )
 
 
@@ -106,9 +112,11 @@ class SimulationResult:
         return self.stats.ipc
 
 
-def run_functional(binary, max_steps=50_000_000, collect_trace=False):
+def run_functional(binary, max_steps=50_000_000, collect_trace=False,
+                   compiled=None):
     """Execute a binary on its ISA's functional simulator."""
-    interp = binary.interpreter(collect_trace=collect_trace)
+    interp = binary.interpreter(collect_trace=collect_trace,
+                                compiled=compiled)
     result = interp.run(max_steps)
     if result.status == "limit":
         raise SimulationError(

@@ -1,0 +1,402 @@
+"""STRAIGHT block compiler: DecodedOp arrays -> specialized Python closures.
+
+Generates, per linked STRAIGHT binary, one module of Python source holding
+
+* ``_b{start}`` — a function per basic block executing the whole block
+  trace-less (the ``run(collect_trace=False)`` / fast-forward hot path);
+* ``_h{index}`` — a function per instruction executing exactly one op with
+  full ``TraceEntry`` support (trace runs, ``step()``, lockstep golden,
+  boundary landing).
+
+The generated code preserves the baseline interpreter's semantics exactly:
+
+* source reads resolve ``producer = seq - distance`` with the same
+  negative-distance and stale-register diagnostics (distance checking
+  stays a run-time flag — the generated code tests one pre-loaded local);
+* destination writes hit ``regs[(seq + k) % max_rp]`` with pre-baked
+  offsets; every value written is already masked to 32 bits;
+* ALU/compare algebra is inlined via :func:`repro.fastpath.codegen.binop_expr`
+  (divide/remainder call the pre-bound ``eval_binop`` partials, keeping
+  the baseline's corner semantics bit-exact);
+* ``mnemonic_counts`` / ``distance_hist`` updates are batched per block in
+  first-occurrence order, reproducing the baseline dicts — insertion order
+  included — on every non-erroring run.
+
+Superinstruction fusion happens structurally: a producer inside the block
+is *forwarded* as a Python local (so RMOV chains and address-generation
+feeding a load collapse to local reads), and a compare feeding the
+block-ending BEZ/BNZ exports its raw boolean, so the branch tests one
+native condition instead of re-comparing an int.  Forwarding a distance
+``d`` is only architecturally transparent while ``max_rp >= d`` (no later
+op can alias the producer's register inside the window); the largest
+forwarded distance is recorded as :attr:`CompiledProgram.min_mrp` and
+interpreters with a smaller circular file decline the fast path.
+"""
+
+from repro.fastpath.blocks import partition
+from repro.fastpath.codegen import (
+    MASK,
+    CompiledProgram,
+    SourceWriter,
+    base_namespace,
+    binop_expr,
+    compile_namespace,
+    control_descriptors,
+    icmp_cond,
+)
+from repro.straight.predecode import (
+    _ALU_BINOPS,
+    _CMP_OPS,
+    K_ALU,
+    K_ALU_IMM,
+    K_BEZ,
+    K_BNZ,
+    K_CALL,
+    K_CMP,
+    K_CMP_IMM,
+    K_HALT,
+    K_JUMP,
+    K_LOAD,
+    K_LUI,
+    K_OUT,
+    K_RET,
+    K_RMOV,
+    K_SPADD,
+    K_STORE,
+    decode_program,
+)
+
+TERMINATORS = frozenset(
+    (K_BEZ, K_BNZ, K_JUMP, K_CALL, K_RET, K_HALT)
+)
+
+_MEM_KINDS = frozenset((K_LOAD, K_STORE))
+
+
+class _BlockState:
+    """Per-block codegen state: value forwarding and batched bookkeeping."""
+
+    def __init__(self):
+        #: offset-in-block -> value expression (a local name or int literal)
+        self.values = {}
+        #: offset-in-block -> bool-local name, for compare ops only
+        self.bools = {}
+        self.hist = {}      # distance -> count, first-occurrence order
+        self.counts = {}    # mnemonic -> count, first-occurrence order
+        self.max_forward = 0
+
+
+def _read_source(w, state, op, k, slot, distance, checked):
+    """Emit one source read; returns its value expression.
+
+    ``k`` is the op's offset in the block (0 for handlers, which pass
+    ``checked='handler'`` to get inline histogram updates and producer
+    locals for the trace).  Distance histogram updates are batched into
+    ``state.hist`` for blocks and emitted inline for handlers.
+    """
+    if distance == 0:
+        return 0
+    handler = checked == "handler"
+    if not handler:
+        state.hist[distance] = state.hist.get(distance, 0) + 1
+        back = distance - k
+        if back <= 0:
+            # Intra-block producer: forward its value through the local.
+            state.max_forward = max(state.max_forward, distance)
+            return state.values[k - distance]
+    pc = op.pc
+    name = f"a{k}_{slot}"
+    prod = f"_p{slot}" if handler else "_p"
+    reg = "_q"
+    w.line(f"{prod} = seq - {distance if handler else distance - k}")
+    w.line(f"if {prod} < 0:")
+    w.indent()
+    w.line(f"_neg(it, {distance}, {pc})")
+    w.dedent()
+    w.line(f"{reg} = {prod} % mrp")
+    w.line(f"if chk and ws[{reg}] != {prod}:")
+    w.indent()
+    w.line(f"_stale(it, {distance}, {prod}, {reg}, {pc})")
+    w.dedent()
+    if handler:
+        w.line(f"_dh[{distance}] = _dh.get({distance}, 0) + 1")
+    w.line(f"{name} = regs[{reg}]")
+    return name
+
+
+def _emit_value(w, state, op, k, srcs):
+    """Emit the op's computation; returns (value_expr, extra_trace_fields).
+
+    ``value_expr`` is what gets written to the destination register (an
+    int literal or an assigned-once local/source name, always a wrapped
+    word).  ``extra_trace_fields`` carries the handler-only trace pieces
+    (memory address local, etc.).
+    """
+    kind = op.kind
+    pc = op.pc
+    mem_addr = None
+    if kind == K_ALU:
+        name = _ALU_BINOPS[op.mnemonic]
+        w.line(f"v{k} = {binop_expr(name, srcs[0], srcs[1])}")
+        value = f"v{k}"
+    elif kind == K_ALU_IMM:
+        name = _ALU_BINOPS[op.mnemonic]
+        imm = op.operand[1]
+        expr = binop_expr(name, srcs[0], imm)
+        if expr == str(srcs[0]):
+            value = srcs[0]  # additive/shift identity folded away
+        else:
+            w.line(f"v{k} = {expr}")
+            value = f"v{k}"
+    elif kind == K_CMP or kind == K_CMP_IMM:
+        pred = _CMP_OPS[op.mnemonic]
+        rhs = srcs[1] if kind == K_CMP else op.operand[1]
+        w.line(f"_t{k} = {icmp_cond(pred, srcs[0], rhs)}")
+        w.line(f"v{k} = 1 if _t{k} else 0")
+        state.bools[k] = f"_t{k}"
+        value = f"v{k}"
+    elif kind == K_LOAD:
+        offset = op.operand
+        if offset == 0:
+            w.line(f"_a = {srcs[0]}")
+        else:
+            w.line(f"_a = ({srcs[0]} + {offset}) & {MASK}")
+        w.line("if _a & 3:")
+        w.indent()
+        w.line(f"_mis('load', _a, {pc})")
+        w.dedent()
+        w.line(f"v{k} = mem.get(_a >> 2, 0)")
+        value = f"v{k}"
+        mem_addr = "_a"
+    elif kind == K_STORE:
+        offset = op.operand
+        if offset == 0:
+            w.line(f"_a = {srcs[1]}")
+        else:
+            w.line(f"_a = ({srcs[1]} + {offset}) & {MASK}")
+        w.line("if _a & 3:")
+        w.indent()
+        w.line(f"_mis('store', _a, {pc})")
+        w.dedent()
+        w.line(f"mem[_a >> 2] = {srcs[0]}")
+        value = srcs[0]  # "store value is returned" (paper §III-A)
+        mem_addr = "_a"
+    elif kind == K_RMOV:
+        value = srcs[0]
+    elif kind == K_LUI:
+        value = op.operand
+    elif kind == K_CALL:
+        value = op.operand  # the link value
+    elif kind == K_SPADD:
+        w.line(f"_sp{k} = (it.sp + {op.operand}) & {MASK}")
+        w.line(f"it.sp = _sp{k}")
+        value = f"_sp{k}"
+    elif kind == K_OUT:
+        w.line(f"it.output.append({srcs[0]})")
+        value = srcs[0]
+    elif kind == K_HALT:
+        w.line("it.halted = True")
+        value = 0
+    else:  # K_BEZ / K_BNZ / K_JUMP / K_RET / K_NOP write zero
+        value = 0
+    return value, mem_addr
+
+
+def _emit_dest(w, k, value):
+    if k == 0:
+        w.line("_q = seq % mrp")
+        w.line(f"regs[_q] = {value}")
+        w.line("ws[_q] = seq")
+    else:
+        w.line(f"_q = (seq + {k}) % mrp")
+        w.line(f"regs[_q] = {value}")
+        w.line(f"ws[_q] = seq + {k}")
+
+
+def _block_needs(ops, start):
+    """(needs_check, needs_mem): which prologue locals the block uses."""
+    needs_check = False
+    needs_mem = False
+    for k, op in enumerate(ops):
+        if op.kind in _MEM_KINDS:
+            needs_mem = True
+        for distance in op.srcs:
+            if distance > k:  # at least one out-of-block read
+                needs_check = True
+    return needs_check, needs_mem
+
+
+def _branch_condition(state, op, k, src_expr):
+    """The native taken-condition of a block-ending BEZ/BNZ.
+
+    When the branch source is a compare executed earlier in the same block
+    the raw boolean local is reused (the fused compare+branch
+    superinstruction); otherwise the wrapped word is tested against zero.
+    """
+    distance = op.srcs[0]
+    j = k - distance
+    if distance and j >= 0 and j in state.bools:
+        t = state.bools[j]
+        return f"not {t}" if op.kind == K_BEZ else t
+    test = "==" if op.kind == K_BEZ else "!="
+    return f"{src_expr} {test} 0"
+
+
+def _emit_block(w, decoded, start, end):
+    """Emit one `_b{start}` whole-block function; returns max forward dist."""
+    ops = decoded[start:end]
+    needs_check, needs_mem = _block_needs(ops, start)
+    state = _BlockState()
+    w.line(f"def _b{start}(it):")
+    w.indent()
+    w.line("seq = it.seq")
+    w.line("regs = it.regs")
+    w.line("ws = it.written_seq")
+    w.line("mrp = it.max_rp")
+    if needs_check:
+        w.line("chk = it.check_distances")
+    if needs_mem:
+        w.line("mem = it.memory")
+    last_cond = None
+    last_srcs = []
+    for k, op in enumerate(ops):
+        srcs = [
+            _read_source(w, state, op, k, slot, d, "block")
+            for slot, d in enumerate(op.srcs)
+        ]
+        value, _ = _emit_value(w, state, op, k, srcs)
+        state.values[k] = value
+        _emit_dest(w, k, value)
+        state.counts[op.mnemonic] = state.counts.get(op.mnemonic, 0) + 1
+        last_srcs = srcs
+        if op.kind in (K_BEZ, K_BNZ):
+            last_cond = _branch_condition(state, op, k, srcs[0])
+    w.line(f"it.seq = seq + {len(ops)}")
+    if state.counts:
+        w.line("_mc = it.mnemonic_counts")
+        for mnemonic, count in state.counts.items():
+            w.line(f"_mc[{mnemonic!r}] = _mc.get({mnemonic!r}, 0) + {count}")
+    if state.hist:
+        w.line("_dh = it.distance_hist")
+        for distance, count in state.hist.items():
+            w.line(f"_dh[{distance}] = _dh.get({distance}, 0) + {count}")
+    last = ops[-1]
+    if last.kind in (K_BEZ, K_BNZ):
+        w.line(f"if {last_cond}:")
+        w.indent()
+        w.line(f"it.pc_index = {last.target_index}")
+        w.dedent()
+        w.line("else:")
+        w.indent()
+        w.line(f"it.pc_index = {end}")
+        w.dedent()
+    elif last.kind in (K_JUMP, K_CALL):
+        w.line(f"it.pc_index = {last.target_index}")
+    elif last.kind == K_RET:
+        w.line(f"it.pc_index = _iop({last_srcs[0]})")
+    else:  # HALT or plain fall-through
+        w.line(f"it.pc_index = {end}")
+    w.dedent()
+    w.line()
+    return state.max_forward
+
+
+def _emit_handler(w, op):
+    """Emit one `_h{index}` single-op handler (trace-capable)."""
+    i = op.index
+    pc = op.pc
+    kind = op.kind
+    state = _BlockState()
+    has_reads = any(d for d in op.srcs)
+    w.line(f"def _h{i}(it):")
+    w.indent()
+    w.line("seq = it.seq")
+    w.line("regs = it.regs")
+    w.line("ws = it.written_seq")
+    w.line("mrp = it.max_rp")
+    if has_reads:
+        w.line("chk = it.check_distances")
+        w.line("_dh = it.distance_hist")
+    if kind in _MEM_KINDS:
+        w.line("mem = it.memory")
+    srcs = [
+        _read_source(w, state, op, 0, slot, d, "handler")
+        for slot, d in enumerate(op.srcs)
+    ]
+    value, mem_addr = _emit_value(w, state, op, 0, srcs)
+    # Control resolution (handlers own their pc update and trace fields).
+    taken = "False"
+    target_pc = "None"
+    next_index = str(i + 1)
+    next_pc = str(pc + 4)
+    if kind in (K_BEZ, K_BNZ):
+        cond = _branch_condition(state, op, 0, srcs[0])
+        w.line(f"_t = {cond}")
+        taken = "_t"
+        target_pc = str(op.target_pc)
+        next_index = f"({op.target_index} if _t else {i + 1})"
+        next_pc = f"({op.target_pc} if _t else {pc + 4})"
+    elif kind in (K_JUMP, K_CALL):
+        taken = "True"
+        target_pc = str(op.target_pc)
+        next_index = str(op.target_index)
+        next_pc = str(op.target_pc)
+    elif kind == K_RET:
+        w.line(f"_ni = _iop({srcs[0]})")
+        taken = "True"
+        target_pc = str(srcs[0])
+        next_index = "_ni"
+        next_pc = "(_tb + _ni * 4)"
+    _emit_dest(w, 0, value)
+    mnemonic = op.mnemonic
+    w.line("_mc = it.mnemonic_counts")
+    w.line(f"_mc[{mnemonic!r}] = _mc.get({mnemonic!r}, 0) + 1")
+    w.line("if it.collect_trace:")
+    w.indent()
+    producers = []
+    for slot, d in enumerate(op.srcs):
+        producers.append(f"_p{slot}" if d else "None")
+    srcs_list = "[" + ", ".join(producers) + "]"
+    w.line("it.trace.append(_TE(")
+    w.indent()
+    w.line(f"pc={pc}, op_class={op.op_class!r}, mnemonic={mnemonic!r},")
+    w.line(f"dest=seq, srcs={srcs_list}, taken={taken},")
+    w.line(f"target_pc={target_pc}, next_pc={next_pc},")
+    w.line(f"mem_addr={mem_addr or 'None'},")
+    w.line(f"is_call={kind == K_CALL}, is_return={kind == K_RET},")
+    w.line(f"is_rmov={kind == K_RMOV}, is_spadd={kind == K_SPADD},")
+    w.line(f"src_distances={tuple(op.srcs)!r}, dest_value={value}))")
+    w.dedent()
+    w.dedent()
+    w.line("it.seq = seq + 1")
+    w.line(f"it.pc_index = {next_index}")
+    w.dedent()
+    w.line()
+
+
+def compile_program(program):
+    """Compile ``program`` into a :class:`CompiledProgram` (one exec)."""
+    decoded = decode_program(program)
+    n = len(decoded)
+    ranges = partition(decoded, TERMINATORS)
+    w = SourceWriter()
+    min_mrp = 0
+    for start, end in ranges:
+        min_mrp = max(min_mrp, _emit_block(w, decoded, start, end))
+    for op in decoded:
+        _emit_handler(w, op)
+    namespace = base_namespace(program)
+    compile_namespace(w.text(), namespace, f"straight:{program.text_base:#x}")
+    block_funcs = [None] * n
+    block_lens = [0] * n
+    for start, end in ranges:
+        block_funcs[start] = namespace[f"_b{start}"]
+        block_lens[start] = end - start
+    handlers = [namespace[f"_h{op.index}"] for op in decoded]
+    term_at = control_descriptors(
+        decoded, lambda op: (op.kind == K_CALL, op.kind == K_RET)
+    )
+    return CompiledProgram(
+        n, block_funcs, block_lens, handlers,
+        min_mrp=min_mrp, block_ranges=tuple(ranges), term_at=term_at,
+    )

@@ -54,7 +54,14 @@ class LockstepMonitor:
             if not 0 <= golden.pc_index < len(decoded):
                 self._diverge("pc_index", f"[0, {len(decoded)})",
                               golden.pc_index, entry, cycle)
-            golden.step_op(decoded[golden.pc_index])
+            step_current = getattr(golden, "step_current", None)
+            if step_current is not None:
+                # Dispatches through the compiled per-op handlers when the
+                # threaded-code fast path is active, so lockstep guards the
+                # same generated code production runs execute.
+                step_current()
+            else:
+                golden.step_op(decoded[golden.pc_index])
         else:
             instrs = golden.program.instrs
             if not 0 <= golden.pc_index < len(instrs):

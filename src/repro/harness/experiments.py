@@ -609,6 +609,90 @@ def static_ilp():
     }
 
 
+def _sampled_grid():
+    """[(workload, way, descriptor, full_task, sampled_task)] — every
+    registered ISA's evaluation binary, full vs. sampled simulation."""
+    from repro import isa as isa_registry
+    from repro.harness.bench import FASTPATH_ACCURACY_PARAMS
+    from repro.harness.sampling import SamplingParams
+    from repro.workloads import WORKLOADS
+
+    params = SamplingParams(seed=0, **FASTPATH_ACCURACY_PARAMS).as_dict()
+    grid = []
+    for workload in _WORKLOADS:
+        # Sampling pays off (and its estimator converges) at evaluation
+        # scale, not at the pinned paper-figure iteration counts.
+        iterations = WORKLOADS[workload].large_iterations
+        for way in ("2way", "4way"):
+            for descriptor in isa_registry.descriptors():
+                config = descriptor.config_factories[way]()
+                label = descriptor.default_label
+                full = timing_task(workload, label, config,
+                                   iterations=iterations)
+                sampled = SweepTask(
+                    f"sampled/{workload}/{label}/{_config_tag(config)}",
+                    workload,
+                    binary_label=label,
+                    config=config,
+                    iterations=iterations,
+                    sampling=params,
+                )
+                grid.append((workload, way, descriptor, full, sampled))
+    return grid
+
+
+def sampled_error():
+    """Sampled-vs-full IPC error across the three-ISA grid.
+
+    Runs every golden-grid cell twice — the full cycle model and the
+    SMARTS-style sampled estimator (:mod:`repro.harness.sampling`) — and
+    reports the relative IPC error next to the estimator's own 95%
+    confidence interval.  The sampled runs' windows and coverage land in
+    the rows, so the wall-clock/accuracy trade is visible at a glance.
+    """
+    grid = _sampled_grid()
+    tasks = [task for *_, full, sampled in grid
+             for task in (full, sampled)]
+    results = ensure_results(tasks)
+    rows = []
+    for workload, way, descriptor, full, sampled in grid:
+        full_stats = _stats_of(results, full)
+        sampled_stats = _stats_of(results, sampled)
+        meta = sampled_stats.get("sampling") or {}
+        full_ipc = full_stats["ipc"]
+        sampled_ipc = sampled_stats["ipc"]
+        ipc_ci = meta.get("ipc_ci95")
+        ipc_mean = meta.get("ipc_mean") or sampled_ipc
+        rows.append(
+            {
+                "workload": workload,
+                "class": way,
+                "isa": descriptor.name,
+                "model": descriptor.default_label,
+                "mode": meta.get("mode", "full"),
+                "windows": meta.get("windows"),
+                "coverage": round(meta["coverage"], 4)
+                            if "coverage" in meta else None,
+                "ipc_full": round(full_ipc, 4),
+                "ipc_sampled": round(sampled_ipc, 4),
+                "err_pct": round((sampled_ipc / full_ipc - 1) * 100, 3),
+                "ci95_rel_pct": (None if not ipc_ci else
+                                 round(ipc_ci / ipc_mean * 100, 3)),
+            }
+        )
+    series = [
+        (f"{r['workload'][:5]}/{r['class']}/{r['model']}", r["err_pct"])
+        for r in rows
+    ]
+    return {
+        "rows": rows,
+        "text": format_bars(
+            series,
+            title="Sampled vs full simulation: IPC error (%)",
+        ),
+    }
+
+
 def _isa_density_tasks():
     from repro import isa as isa_registry
 
@@ -650,6 +734,7 @@ ALL_EXPERIMENTS = {
     "isa_grid": isa_grid,
     "isa_density": isa_density,
     "static_ilp": static_ilp,
+    "sampled_error": sampled_error,
 }
 
 
@@ -681,6 +766,10 @@ def _grid_builders():
         "isa_grid": lambda: [task for *_, task in _isa_grid()],
         "isa_density": _isa_density_tasks,
         "static_ilp": lambda: [task for *_, task in _isa_grid()],
+        "sampled_error": lambda: [
+            task for *_, full, sampled in _sampled_grid()
+            for task in (full, sampled)
+        ],
     }
 
 

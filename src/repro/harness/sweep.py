@@ -65,12 +65,12 @@ class SweepTask:
 
     __slots__ = ("task_id", "workload", "binary_label", "config",
                  "iterations", "max_distance", "compile_opts", "kind",
-                 "timeout_s", "attribution", "chaos")
+                 "timeout_s", "attribution", "chaos", "sampling")
 
     def __init__(self, task_id, workload, binary_label=None, config=None,
                  iterations=None, max_distance=1023, compile_opts=None,
                  kind="timing", timeout_s=None, attribution=False,
-                 chaos=None):
+                 chaos=None, sampling=None):
         self.task_id = task_id
         self.workload = workload
         self.binary_label = binary_label
@@ -84,6 +84,11 @@ class SweepTask:
         #: Fault-injection spec consumed by :mod:`repro.harness.chaos`; the
         #: campaign's scenarios plant these, production grids leave it None.
         self.chaos = dict(chaos) if chaos else None
+        #: Sampled-simulation schedule (a ``SamplingParams.as_dict()``
+        #: payload); ``None`` runs the full cycle model.  Part of every
+        #: cache key — a sampled estimate must never serve a full-run
+        #: request or vice versa.
+        self.sampling = dict(sampling) if sampling else None
 
     def checkpoint_key(self):
         """Stable identity of this grid point for the checkpoint journal.
@@ -103,6 +108,7 @@ class SweepTask:
             "opts": self.compile_opts,
             "kind": self.kind,
             "attribution": bool(self.attribution),
+            "sampling": self.sampling,
             "tag": cache_mod.TOOLCHAIN_TAG,
             "schema": cache_mod.SCHEMA_VERSION,
         })
@@ -208,8 +214,8 @@ def _resolve_binary(task, compile_missing=True):
 # ---------------------------------------------------------------------------
 
 
-def _timing_key(binary, config, warm, attribution=False):
-    return {
+def _timing_key(binary, config, warm, attribution=False, sampling=None):
+    key = {
         "kind": "timing",
         "tag": cache_mod.TOOLCHAIN_TAG,
         "binary": cache_mod.binary_digest(binary),
@@ -218,6 +224,11 @@ def _timing_key(binary, config, warm, attribution=False):
         "guardrails": False,
         "attribution": bool(attribution),
     }
+    if sampling:
+        # Only sampled runs carry the schedule, so every pre-existing
+        # full-run cache entry keeps its key (no mass invalidation).
+        key["sampling"] = dict(sampling)
+    return key
 
 
 def _functional_key(binary):
@@ -280,26 +291,40 @@ def execute_task(task, payload_only=True):
         payload = _functional_payload(run.interpreter, run.run_result)
     else:
         attribution = getattr(task, "attribution", False)
+        sampling = getattr(task, "sampling", None)
         key = _timing_key(binary, task.config, warm=True,
-                          attribution=attribution)
+                          attribution=attribution, sampling=sampling)
         if results is not None:
             hit = results.get(key)
             if hit is not None:
                 return hit if payload_only else (hit, True)
-        from repro.core.api import simulate
+        if sampling is not None:
+            if attribution:
+                raise ValueError(
+                    "attribution needs every committed instruction; "
+                    "run it on a full (non-sampled) task"
+                )
+            from repro.harness.sampling import SamplingParams, simulate_sampled
 
-        observer = None
-        accountant = None
-        if attribution:
-            from repro.obs import ObserverBus, StallAttributionAccountant
+            result = simulate_sampled(binary, task.config,
+                                      SamplingParams.from_dict(sampling),
+                                      warm_caches=True)
+            payload = _timing_payload(result)
+        else:
+            from repro.core.api import simulate
 
-            accountant = StallAttributionAccountant()
-            observer = ObserverBus([accountant])
-        result = simulate(binary, task.config, warm_caches=True,
-                          observer=observer)
-        payload = _timing_payload(result)
-        if accountant is not None:
-            payload["attribution"] = accountant.report()
+            observer = None
+            accountant = None
+            if attribution:
+                from repro.obs import ObserverBus, StallAttributionAccountant
+
+                accountant = StallAttributionAccountant()
+                observer = ObserverBus([accountant])
+            result = simulate(binary, task.config, warm_caches=True,
+                              observer=observer)
+            payload = _timing_payload(result)
+            if accountant is not None:
+                payload["attribution"] = accountant.report()
     if results is not None:
         results.put(key, payload)
     return payload if payload_only else (payload, False)

@@ -28,7 +28,7 @@ def _compile_module(module, max_distance=None, **opts):
 
 
 def _make_interpreter(program, collect_trace=False, **kw):
-    return RiscvInterpreter(program, collect_trace=collect_trace)
+    return RiscvInterpreter(program, collect_trace=collect_trace, **kw)
 
 
 def _static_check(program, lint=False):

@@ -11,6 +11,7 @@ The ``bb`` ISA reuses this class wholesale — its block headers decode to
 :data:`~repro.riscv.predecode.RK_BB` no-ops.
 """
 
+from repro import fastpath
 from repro.common.bitops import wrap32
 from repro.common.errors import SimulationError
 from repro.common.layout import STACK_TOP, WORD_BYTES
@@ -54,7 +55,7 @@ class RiscvInterpreter:
     #: (``bb``) override with their extended table.
     OPCODES = OPCODES
 
-    def __init__(self, program, collect_trace=False):
+    def __init__(self, program, collect_trace=False, compiled=None):
         self.program = program
         #: Immutable pre-decoded instruction array, decoded once per linked
         #: binary and shared by every interpreter over the same program
@@ -72,6 +73,13 @@ class RiscvInterpreter:
         self.halted = False
         self.exit_code = None
         self.mnemonic_counts = {}
+        #: Threaded-code fast path (None: baseline step_op loop).  The
+        #: ``compiled`` argument overrides the ``STRAIGHT_FASTPATH`` global
+        #: toggle per instance.
+        self._fast = None
+        use_fast = fastpath.enabled() if compiled is None else compiled
+        if use_fast:
+            self._fast = fastpath.compiled_for(program, "riscv")
 
     # -- helpers --------------------------------------------------------------
 
@@ -99,6 +107,12 @@ class RiscvInterpreter:
 
     def run(self, max_steps=10_000_000):
         """Run until exit ECALL or ``max_steps``; returns a :class:`RunResult`."""
+        if self._fast is not None:
+            steps = fastpath.run_compiled(self, max_steps)
+            return RunResult(
+                "exit" if self.halted else "limit", steps, self.output,
+                self.exit_code,
+            )
         steps = 0
         decoded = self.decoded
         n_instrs = len(decoded)
@@ -120,14 +134,36 @@ class RiscvInterpreter:
         contract every caller already honours); the pre-decoded record for it
         is reused when it matches, so external steppers (lockstep golden,
         fault campaigns) ride the same decode-once fast path as :meth:`run`.
+        A non-matching ``instr`` (fault campaigns mutate instructions in
+        place) falls back to a one-off decode + baseline step, bypassing the
+        compiled handlers, which are specialized to the linked binary.
         """
         decoded = self.decoded
         index = self.pc_index
         if 0 <= index < len(decoded) and decoded[index].instr is instr:
+            if self._fast is not None:
+                self._fast.op_handlers[index](self)
+                return
             op = decoded[index]
         else:
             op = _decode_one(index, instr, self.program.text_base)
         self.step_op(op)
+
+    def step_current(self):
+        """Execute the instruction at the current ``pc_index``.
+
+        Single-step entry point used by the lockstep golden machine; goes
+        through the compiled per-op handlers when the fast path is active so
+        co-simulation guards the same generated code production runs use.
+        """
+        index = self.pc_index
+        decoded = self.decoded
+        if not 0 <= index < len(decoded):
+            raise SimulationError(f"pc out of text segment: {self._pc():#x}")
+        if self._fast is not None:
+            self._fast.op_handlers[index](self)
+        else:
+            self.step_op(decoded[index])
 
     def step_op(self, op):
         """Execute one pre-decoded instruction (the hot path)."""
@@ -223,6 +259,36 @@ class RiscvInterpreter:
                 )
             )
         self.pc_index = next_index
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def checkpoint(self):
+        """Snapshot the complete architectural + bookkeeping state.
+
+        Used by the sampled-simulation runner (window replay, debugging)
+        and by resumable campaigns; ``restore`` rewinds exactly — a run
+        restarted from a checkpoint is bit-identical to one that never
+        stopped.
+        """
+        return {
+            "regs": list(self.regs),
+            "pc_index": self.pc_index,
+            "memory": dict(self.memory),
+            "output": list(self.output),
+            "halted": self.halted,
+            "exit_code": self.exit_code,
+            "mnemonic_counts": dict(self.mnemonic_counts),
+        }
+
+    def restore(self, snap):
+        """Rewind to a :meth:`checkpoint` snapshot (exact)."""
+        self.regs = list(snap["regs"])
+        self.pc_index = snap["pc_index"]
+        self.memory = dict(snap["memory"])
+        self.output = list(snap["output"])
+        self.halted = snap["halted"]
+        self.exit_code = snap["exit_code"]
+        self.mnemonic_counts = dict(snap["mnemonic_counts"])
 
     # -- statistics ---------------------------------------------------------------
 

@@ -18,6 +18,7 @@ compiler bug and the simulator raises immediately instead of computing
 garbage.
 """
 
+from repro import fastpath
 from repro.common.bitops import wrap32
 from repro.common.errors import SimulationError
 from repro.common.layout import STACK_TOP, WORD_BYTES
@@ -67,6 +68,7 @@ class StraightInterpreter:
         collect_trace=False,
         check_distances=True,
         rob_entries=256,
+        compiled=None,
     ):
         self.program = program
         #: Immutable pre-decoded instruction array, decoded once per linked
@@ -93,6 +95,17 @@ class StraightInterpreter:
         # source-distance distribution).
         self.mnemonic_counts = {}
         self.distance_hist = {}
+        #: Threaded-code fast path (None: baseline step_op loop).  The
+        #: ``compiled`` argument overrides the ``STRAIGHT_FASTPATH`` global
+        #: toggle per instance; the circular file must also be at least
+        #: ``min_mrp`` registers for the compiled intra-block forwarding to
+        #: be architecturally transparent.
+        self._fast = None
+        use_fast = fastpath.enabled() if compiled is None else compiled
+        if use_fast:
+            fast = fastpath.compiled_for(program, "straight")
+            if self.max_rp >= fast.min_mrp:
+                self._fast = fast
 
     # -- architectural helpers ---------------------------------------------------
 
@@ -138,6 +151,11 @@ class StraightInterpreter:
 
     def run(self, max_steps=10_000_000):
         """Run until HALT or ``max_steps``; returns a :class:`RunResult`."""
+        if self._fast is not None:
+            steps = fastpath.run_compiled(self, max_steps)
+            return RunResult(
+                "halt" if self.halted else "limit", steps, self.output
+            )
         steps = 0
         decoded = self.decoded
         n_instrs = len(decoded)
@@ -157,14 +175,38 @@ class StraightInterpreter:
         contract every caller already honours); the pre-decoded record for it
         is reused when it matches, so external steppers (lockstep golden,
         fault campaigns) ride the same decode-once fast path as :meth:`run`.
+        A non-matching ``instr`` (fault-injection campaigns mutate
+        instructions in place) falls back to a one-off decode + baseline
+        step, bypassing the compiled handlers, which are specialized to the
+        linked binary.
         """
         decoded = self.decoded
         index = self.pc_index
         if 0 <= index < len(decoded) and decoded[index].instr is instr:
+            if self._fast is not None:
+                self._fast.op_handlers[index](self)
+                return
             op = decoded[index]
         else:
             op = _decode_one(index, instr, self.program.text_base)
         self.step_op(op)
+
+    def step_current(self):
+        """Execute the instruction at the current ``pc_index``.
+
+        The single-step entry point used by the lockstep golden machine: it
+        goes through the compiled per-op handlers when the fast path is
+        active, so co-simulation guards the same generated code that
+        production runs execute.
+        """
+        index = self.pc_index
+        decoded = self.decoded
+        if not 0 <= index < len(decoded):
+            raise SimulationError(f"pc out of text segment: {self._pc():#x}")
+        if self._fast is not None:
+            self._fast.op_handlers[index](self)
+        else:
+            self.step_op(decoded[index])
 
     def step_op(self, op):
         """Execute one pre-decoded instruction (the hot path)."""
@@ -289,6 +331,42 @@ class StraightInterpreter:
             )
         self.seq = seq + 1
         self.pc_index = next_index
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def checkpoint(self):
+        """Snapshot the complete architectural + bookkeeping state.
+
+        Used by the sampled-simulation runner (window replay, debugging)
+        and by resumable campaigns; ``restore`` rewinds exactly — a run
+        restarted from a checkpoint is bit-identical to one that never
+        stopped.
+        """
+        return {
+            "regs": list(self.regs),
+            "written_seq": list(self.written_seq),
+            "sp": self.sp,
+            "seq": self.seq,
+            "pc_index": self.pc_index,
+            "memory": dict(self.memory),
+            "output": list(self.output),
+            "halted": self.halted,
+            "mnemonic_counts": dict(self.mnemonic_counts),
+            "distance_hist": dict(self.distance_hist),
+        }
+
+    def restore(self, snap):
+        """Rewind to a :meth:`checkpoint` snapshot (exact)."""
+        self.regs = list(snap["regs"])
+        self.written_seq = list(snap["written_seq"])
+        self.sp = snap["sp"]
+        self.seq = snap["seq"]
+        self.pc_index = snap["pc_index"]
+        self.memory = dict(snap["memory"])
+        self.output = list(snap["output"])
+        self.halted = snap["halted"]
+        self.mnemonic_counts = dict(snap["mnemonic_counts"])
+        self.distance_hist = dict(snap["distance_hist"])
 
     # -- statistics ---------------------------------------------------------------
 

@@ -80,7 +80,40 @@ def cmd_disasm(args):
 def cmd_run(args):
     binary = _compile_target(_read_source(args.file), _target_of(args),
                              args.max_distance)
-    result = run_functional(binary, max_steps=args.max_steps)
+    if args.sampled:
+        from repro.harness.sampling import SamplingParams, simulate_sampled
+
+        factory = ALL_CORES.get(args.core)
+        if factory is None:
+            print(f"unknown core {args.core!r}; choose from "
+                  f"{sorted(ALL_CORES)}", file=sys.stderr)
+            return 1
+        config = factory()
+        expected = isa_registry.for_config(config).name
+        if binary.isa != expected:
+            print(f"core {args.core} simulates {expected!r} binaries, but "
+                  f"--target produced a {binary.isa!r} binary",
+                  file=sys.stderr)
+            return 1
+        params = SamplingParams(
+            period=args.sampling_period, window=args.sampling_window,
+            warmup=args.sampling_warmup, cooldown=args.sampling_cooldown,
+            seed=args.seed,
+        )
+        result = simulate_sampled(binary, config, params,
+                                  max_steps=args.max_steps, warm_caches=True)
+        payload = result.stats.as_dict()
+        payload["output"] = result.output
+        payload["core"] = args.core
+        print(json.dumps(payload, indent=2))
+        return 0
+    compiled = None
+    if args.compiled:
+        compiled = True
+    elif args.no_compiled:
+        compiled = False
+    result = run_functional(binary, max_steps=args.max_steps,
+                            compiled=compiled)
     for word in result.output:
         print(word)
     print(f"# {result.run_result.steps} instructions retired", file=sys.stderr)
@@ -519,7 +552,11 @@ def cmd_profile(args):
 
 def cmd_bench(args):
     """Simulator-throughput smoke benchmark (stepped vs. event-driven)."""
-    from repro.harness.bench import BENCH_WORKLOADS, bench_smoke
+    from repro.harness.bench import (
+        BENCH_WORKLOADS,
+        bench_fastpath,
+        bench_smoke,
+    )
 
     if not args.smoke:
         print("nothing to do: pass --smoke", file=sys.stderr)
@@ -532,6 +569,10 @@ def cmd_bench(args):
     report = bench_smoke(config_name=args.core, repeats=args.repeats,
                          workloads=args.workload or None,
                          sweep_jobs=args.sweep_jobs)
+    if args.fastpath:
+        report["fastpath"] = bench_fastpath(
+            smoke=args.fastpath != "full", seed=args.seed
+        )
     text = json.dumps(report, indent=2)
     if args.json:
         with open(args.json, "w") as handle:
@@ -540,6 +581,10 @@ def cmd_bench(args):
     with open(args.sweep_json, "w") as handle:
         json.dump(sweep_report, handle, indent=2)
         handle.write("\n")
+    if args.fastpath and args.fastpath_json:
+        with open(args.fastpath_json, "w") as handle:
+            json.dump(report["fastpath"], handle, indent=2)
+            handle.write("\n")
     print(text)
     if args.max_obs_overhead is not None:
         overhead = report["observability"]["overhead_disabled_pct"]
@@ -549,6 +594,25 @@ def cmd_bench(args):
             return 1
         print(f"observability-disabled overhead {overhead:+.2f}% within "
               f"the {args.max_obs_overhead:.2f}% budget", file=sys.stderr)
+    if args.fastpath:
+        fp = report["fastpath"]
+        failed = False
+        if (args.min_fastpath_speedup is not None
+                and fp["max_speedup"] < args.min_fastpath_speedup):
+            print(f"fastpath speedup {fp['max_speedup']:.2f}x below the "
+                  f"{args.min_fastpath_speedup:.2f}x gate", file=sys.stderr)
+            failed = True
+        if (args.max_sampling_error is not None
+                and fp["max_abs_ipc_err_pct"] > args.max_sampling_error):
+            print(f"sampled IPC error {fp['max_abs_ipc_err_pct']:.2f}% "
+                  f"exceeds the {args.max_sampling_error:.2f}% gate",
+                  file=sys.stderr)
+            failed = True
+        if failed:
+            return 1
+        print(f"fastpath: {fp['max_speedup']:.2f}x end-to-end, worst "
+              f"sampled IPC error {fp['max_abs_ipc_err_pct']:.2f}%",
+              file=sys.stderr)
     return 0
 
 
@@ -809,6 +873,27 @@ def build_parser():
     p_run = sub.add_parser("run", help="run on the functional simulator")
     add_common(p_run)
     p_run.add_argument("--max-steps", type=int, default=50_000_000)
+    p_run.add_argument("--compiled", action="store_true",
+                       help="force the threaded-code fast path on")
+    p_run.add_argument("--no-compiled", action="store_true",
+                       help="force the baseline step loop (overrides "
+                            "STRAIGHT_FASTPATH)")
+    p_run.add_argument("--sampled", action="store_true",
+                       help="sampled timing run (SMARTS-style): fast-forward "
+                            "on the compiled interpreter between "
+                            "cycle-accurate windows; prints stats JSON")
+    p_run.add_argument("--core", default="SS-2way",
+                       help="Table I core for --sampled")
+    p_run.add_argument("--sampling-period", type=int, default=8000,
+                       help="instructions per sampling stratum")
+    p_run.add_argument("--sampling-window", type=int, default=2000,
+                       help="measured instructions per window")
+    p_run.add_argument("--sampling-warmup", type=int, default=600,
+                       help="detailed warmup instructions per window")
+    p_run.add_argument("--sampling-cooldown", type=int, default=300,
+                       help="detailed cooldown instructions per window")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="window-placement seed for --sampled")
     p_run.set_defaults(func=cmd_run)
 
     p_trace = sub.add_parser(
@@ -974,6 +1059,24 @@ def build_parser():
                          metavar="PCT",
                          help="fail if the tracing-disabled observability "
                               "overhead exceeds PCT percent")
+    p_bench.add_argument("--fastpath", nargs="?", const="smoke",
+                         choices=("smoke", "full"), default=None,
+                         help="add the compiled+sampled fastpath scorecard "
+                              "(smoke subset by default; 'full' runs the "
+                              "whole golden grid)")
+    p_bench.add_argument("--fastpath-json", metavar="PATH", default=None,
+                         help="also write the fastpath scorecard to PATH "
+                              "(the BENCH_fastpath.json artifact)")
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="sampling seed for the fastpath scorecard")
+    p_bench.add_argument("--min-fastpath-speedup", type=float, default=None,
+                         metavar="X",
+                         help="fail if the fastpath end-to-end speedup "
+                              "falls below X")
+    p_bench.add_argument("--max-sampling-error", type=float, default=None,
+                         metavar="PCT",
+                         help="fail if the worst sampled-vs-full IPC error "
+                              "exceeds PCT percent")
     p_bench.set_defaults(func=cmd_bench)
 
     p_sweep = sub.add_parser(

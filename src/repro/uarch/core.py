@@ -92,6 +92,9 @@ class OoOCore:
         """
         if warm:
             self.warm_caches(trace)
+        # Trace positions restart at 0 every run: per-run front-end state
+        # (the rename table) must not leak across runs on a reused core.
+        self.frontend.reset_run()
         from repro.uarch.pipeline import TimingEngine
 
         self.engine = TimingEngine(

@@ -39,6 +39,19 @@ class RenameFrontEnd:
         self.free_regs = config.phys_regs - 32
         self.last_writer = {}  # logical reg -> producer trace seq
 
+    def reset_run(self):
+        """Clear per-run state before a new trace (seq numbering restarts).
+
+        ``last_writer`` maps logical registers to producer *trace positions*;
+        carrying mappings across runs on a reused core (sampled simulation
+        windows) would alias unrelated instructions in the new numbering —
+        including future positions, which can deadlock the issue queue.  A
+        producer from before this trace is architecturally long-retired, and
+        an empty map yields exactly that ("operand ready").
+        """
+        self.free_regs = self.config.phys_regs - 32
+        self.last_writer = {}
+
     def can_dispatch(self, entry, group_state):
         """Structural check; may record a stall reason in ``stats``."""
         if entry.dest is not None and self.free_regs <= 0:
@@ -104,6 +117,9 @@ class StraightFrontEnd:
         # MAX_RP = maximum distance + ROB entries (paper §III-B) never
         # aliases live registers, so there is no free-list stall by design.
         self.max_rp = config.max_distance + config.rob_entries
+
+    def reset_run(self):
+        pass  # operand determination is stateless across runs
 
     def can_dispatch(self, entry, group_state):
         limit = getattr(self.config, "spadd_per_group", 1)

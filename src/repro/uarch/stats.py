@@ -90,6 +90,11 @@ class SimStats:
             setattr(self, field, 0)
         self.cache_stats = {}
         self.predictor_accuracy = 1.0
+        #: Sampled-simulation metadata (:mod:`repro.harness.sampling`):
+        #: window schedule, coverage, per-bucket error bars.  ``None`` for
+        #: full (non-sampled) runs, and omitted from :meth:`as_dict` so
+        #: existing payloads stay byte-identical.
+        self.sampling = None
 
     @property
     def fields(self):
@@ -111,6 +116,8 @@ class SimStats:
         data["ipc"] = self.ipc
         data["cache"] = _deep_sorted(self.cache_stats)
         data["predictor_accuracy"] = self.predictor_accuracy
+        if self.sampling is not None:
+            data["sampling"] = _deep_sorted(self.sampling)
         return data
 
     @classmethod
@@ -128,6 +135,7 @@ class SimStats:
                 setattr(stats, field, data[field])
         stats.cache_stats = dict(data.get("cache", {}))
         stats.predictor_accuracy = data.get("predictor_accuracy", 1.0)
+        stats.sampling = data.get("sampling")
         return stats
 
     def __repr__(self):

@@ -7,12 +7,24 @@ from repro.workloads import coremark as _coremark
 
 
 class Workload:
-    """A named benchmark: mini-C source generator + default scale."""
+    """A named benchmark: mini-C source generator + default scale.
 
-    def __init__(self, name, module, default_iterations):
+    ``default_iterations`` keeps a *full* timing run around 10^5 dynamic
+    instructions (every paper figure is pinned to it — do not bump it when
+    the simulator gets faster).  ``large_iterations`` is the sampled-
+    simulation scale: an order of magnitude more work, affordable because
+    the fast-forward path never touches the cycle model
+    (:mod:`repro.harness.sampling`)."""
+
+    def __init__(self, name, module, default_iterations,
+                 large_iterations=None):
         self.name = name
         self.module = module
         self.default_iterations = default_iterations
+        self.large_iterations = (
+            default_iterations * 10 if large_iterations is None
+            else large_iterations
+        )
 
     def source(self, iterations=None):
         return self.module.source(
@@ -36,8 +48,10 @@ class Workload:
 #: instructions per binary — the paper's 9000 Dhrystone / 9 CoreMark runs
 #: scaled to what a Python cycle model sweeps in seconds (see DESIGN.md).
 WORKLOADS = {
-    "dhrystone": Workload("dhrystone", _dhrystone, default_iterations=40),
-    "coremark": Workload("coremark", _coremark, default_iterations=3),
+    "dhrystone": Workload("dhrystone", _dhrystone, default_iterations=40,
+                          large_iterations=400),
+    "coremark": Workload("coremark", _coremark, default_iterations=3,
+                         large_iterations=30),
 }
 
 

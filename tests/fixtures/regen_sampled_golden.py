@@ -1,0 +1,55 @@
+"""Regenerate sampled_golden.json (run from the repo root).
+
+The fixture pins full-simulation IPC for the sampled-vs-full error-bound
+tests in tests/test_sampling.py, so the suite never pays for the full
+runs.  Rerun after any intentional timing-model change::
+
+    PYTHONPATH=src python tests/fixtures/regen_sampled_golden.py
+"""
+
+import json
+import os
+
+from repro.core.api import simulate
+from repro.core.configs import ALL_CORES
+from repro.workloads import build_workload
+
+CELLS = [("SS", "SS-2way"), ("STRAIGHT-RE+", "STRAIGHT-2way"),
+         ("BB", "BB-2way")]
+ITERATIONS = 150
+
+
+def main():
+    binaries = build_workload("dhrystone", iterations=ITERATIONS).all()
+    cells = []
+    for label, core_name in CELLS:
+        result = simulate(binaries[label], ALL_CORES[core_name](),
+                          warm_caches=True)
+        cells.append({
+            "binary": label,
+            "config": core_name,
+            "instructions": result.stats.instructions,
+            "cycles": result.stats.cycles,
+            "ipc": round(result.stats.instructions / result.stats.cycles, 6),
+            "output": result.output,
+        })
+    fixture = {
+        "_comment": (
+            "Full-simulation golden results for tests/test_sampling.py: "
+            "dhrystone x 150 iterations, warm caches. Regenerate with "
+            "tests/fixtures/regen_sampled_golden.py after any timing-model "
+            "change (test_golden_snapshots will flag those first)."
+        ),
+        "workload": "dhrystone",
+        "iterations": ITERATIONS,
+        "warm_caches": True,
+        "cells": cells,
+    }
+    path = os.path.join(os.path.dirname(__file__), "sampled_golden.json")
+    with open(path, "w") as fh:
+        json.dump(fixture, fh, indent=1)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

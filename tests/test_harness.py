@@ -107,6 +107,7 @@ class TestCheapExperiments:
             "isa_grid",
             "isa_density",
             "static_ilp",
+            "sampled_error",
         }
 
     def test_static_ilp_declares_the_isa_grid_tasks(self):

@@ -83,6 +83,42 @@ class TestRun:
         assert code == 0
         assert out.strip() == "30"
 
+    def test_run_compiled_flags_agree(self, demo_file, capsys):
+        outputs = set()
+        for flag in ("--compiled", "--no-compiled"):
+            code, out, _ = run_cli(["run", demo_file, flag], capsys)
+            assert code == 0
+            outputs.add(out)
+        assert len(outputs) == 1
+
+    def test_run_sampled_emits_stats_json(self, demo_file, capsys):
+        code, out, _ = run_cli(
+            ["run", demo_file, "--sampled", "--core", "SS-2way",
+             "--target", "riscv"], capsys
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["output"] == [30]
+        assert payload["core"] == "SS-2way"
+        # The demo is far too short to sample: exact fallback, flagged.
+        assert payload["sampling"]["mode"] == "full-fallback"
+        assert payload["sampling"]["params"]["seed"] == 0
+
+    def test_run_sampled_unknown_core_fails(self, demo_file, capsys):
+        code, _, err = run_cli(
+            ["run", demo_file, "--sampled", "--core", "SS-9way"], capsys
+        )
+        assert code == 1
+        assert "unknown core" in err
+
+    def test_run_sampled_target_core_mismatch_fails(self, demo_file, capsys):
+        # Default --target is straight; an SS core cannot simulate it.
+        code, _, err = run_cli(
+            ["run", demo_file, "--sampled", "--core", "SS-2way"], capsys
+        )
+        assert code == 1
+        assert "simulates" in err
+
 
 class TestSimulate:
     def test_simulate_emits_json(self, demo_file, capsys):
