@@ -44,6 +44,15 @@ import hashlib
 import json
 import os
 import pickle
+import threading
+
+#: Guards the process-global configuration singleton (``_state``) and lazy
+#: layer construction.  The serve tier calls :func:`configure`/
+#: :func:`result_cache` from event-loop tasks and worker-adjacent threads
+#: concurrently; without the lock two racing callers could each build a
+#: layer (splitting the stats surface) or observe a half-applied
+#: :func:`configure`.
+_config_lock = threading.RLock()
 
 #: Bump when the serialized result entry layout changes (new stats surface,
 #: different payload shape).  Old entries auto-evict.
@@ -137,6 +146,13 @@ def binary_digest(binary):
 
 
 class _CacheStats:
+    """Hit/miss counters for one layer.
+
+    Mutations go through ``_DiskCache._bump`` under the owning layer's lock — plain
+    ``+= 1`` from concurrent server threads loses updates, and the serve
+    scorecard's dedup/hit-rate accounting is built on these counters.
+    """
+
     __slots__ = ("hits", "misses", "stores", "evictions", "quarantined")
 
     def __init__(self):
@@ -164,23 +180,34 @@ class _CacheStats:
 
 
 class _DiskCache:
-    """Shared machinery: sharded content-addressed files under one root."""
+    """Shared machinery: sharded content-addressed files under one root.
+
+    Instances are thread-safe: lookups/stores from multiple event-loop
+    tasks or worker threads interleave freely (file-level atomicity comes
+    from ``os.replace``; counter integrity from the per-instance lock).
+    """
 
     subdir = "entries"
     suffix = ".json"
     _tmp_counter = 0
+    _tmp_lock = threading.Lock()
 
     def __init__(self, root):
         self.cache_root = root
         self.root = os.path.join(root, self.subdir)
         self.stats = _CacheStats()
+        self._lock = threading.Lock()
+
+    def _bump(self, field, amount=1):
+        with self._lock:
+            setattr(self.stats, field, getattr(self.stats, field) + amount)
 
     def _path(self, key_obj):
         digest = canonical_key(key_obj)
         return os.path.join(self.root, digest[:2], digest + self.suffix)
 
     def _evict(self, path):
-        self.stats.evictions += 1
+        self._bump("evictions")
         try:
             os.remove(path)
         except OSError:
@@ -191,7 +218,7 @@ class _DiskCache:
 
     def _quarantine(self, path):
         """Move a corrupt entry aside; never re-served, never destroyed."""
-        self.stats.quarantined += 1
+        self._bump("quarantined")
         dest_dir = self.quarantine_root()
         dest = os.path.join(dest_dir, os.path.basename(path))
         try:
@@ -218,30 +245,32 @@ class _DiskCache:
         try:
             envelope = self._read(path)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._bump("misses")
             return None
         except StaleEntryError:
             # Pre-integrity layout: self-evict, like a schema bump.
             self._evict(path)
-            self.stats.misses += 1
+            self._bump("misses")
             return None
         except Exception:
             # Corrupt / truncated / bit-flipped entry: quarantine as a miss.
             self._quarantine(path)
-            self.stats.misses += 1
+            self._bump("misses")
             return None
         if envelope.get("schema") != SCHEMA_VERSION:
             self._evict(path)
-            self.stats.misses += 1
+            self._bump("misses")
             return None
-        self.stats.hits += 1
+        self._bump("hits")
         return envelope["value"]
 
     def put(self, key_obj, value):
         path = self._path(key_obj)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        _DiskCache._tmp_counter += 1
-        tmp = path + f".tmp.{os.getpid()}.{_DiskCache._tmp_counter}"
+        with _DiskCache._tmp_lock:
+            _DiskCache._tmp_counter += 1
+            serial = _DiskCache._tmp_counter
+        tmp = path + f".tmp.{os.getpid()}.{serial}"
         try:
             self._write(tmp, {"schema": SCHEMA_VERSION, "value": value})
         except Exception:
@@ -261,7 +290,7 @@ class _DiskCache:
             except OSError:
                 pass
             return
-        self.stats.stores += 1
+        self._bump("stores")
 
     def entry_paths(self):
         """Every entry file under this layer (sorted; excludes temp files)."""
@@ -398,14 +427,18 @@ class CacheConfigState:
         if not self.enabled:
             return None
         if self._results is None:
-            self._results = ResultCache(self.root)
+            with _config_lock:
+                if self._results is None:
+                    self._results = ResultCache(self.root)
         return self._results
 
     def artifacts(self):
         if not self.enabled:
             return None
         if self._artifacts is None:
-            self._artifacts = ArtifactCache(self.root)
+            with _config_lock:
+                if self._artifacts is None:
+                    self._artifacts = ArtifactCache(self.root)
         return self._artifacts
 
 
@@ -413,13 +446,20 @@ _state = CacheConfigState()
 
 
 def configure(cache_dir=None, enabled=True):
-    """Enable (or disable) the persistent layer for this process."""
-    if cache_dir is not None and cache_dir != _state.root:
-        _state.root = cache_dir
-        _state._results = None
-        _state._artifacts = None
-    _state.enabled = enabled
-    return _state
+    """Enable (or disable) the persistent layer for this process.
+
+    Safe to call concurrently from event-loop tasks and worker threads:
+    the root swap and layer invalidation happen atomically under the
+    module lock, so a racing :func:`result_cache` lookup sees either the
+    old configuration or the new one, never a half-moved root.
+    """
+    with _config_lock:
+        if cache_dir is not None and cache_dir != _state.root:
+            _state.root = cache_dir
+            _state._results = None
+            _state._artifacts = None
+        _state.enabled = enabled
+        return _state
 
 
 def swap_state(state=None):
@@ -430,16 +470,18 @@ def swap_state(state=None):
     temporary cache dir never leaks into the rest of the process.
     """
     global _state
-    previous = _state
-    _state = state if state is not None else CacheConfigState()
-    return previous
+    with _config_lock:
+        previous = _state
+        _state = state if state is not None else CacheConfigState()
+        return previous
 
 
 def reset_cache_stats():
     """Zero the hit/miss counters of the active layers (not the contents)."""
-    for layer in (_state._results, _state._artifacts):
-        if layer is not None:
-            layer.stats = _CacheStats()
+    with _config_lock:
+        for layer in (_state._results, _state._artifacts):
+            if layer is not None:
+                layer.stats = _CacheStats()
 
 
 def is_enabled():
@@ -462,10 +504,11 @@ def artifact_cache():
 
 def clear_persistent():
     """Delete every persisted result and artifact under the active root."""
-    ResultCache(_state.root).clear()
-    ArtifactCache(_state.root).clear()
-    _state._results = None
-    _state._artifacts = None
+    with _config_lock:
+        ResultCache(_state.root).clear()
+        ArtifactCache(_state.root).clear()
+        _state._results = None
+        _state._artifacts = None
 
 
 def quarantine_paths(cache_dir=None):

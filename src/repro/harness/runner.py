@@ -20,6 +20,16 @@ from repro.common.errors import RunTimeoutError
 from repro.core.api import simulate
 from repro.workloads import build_workload
 
+try:  # CPython-only: the thread-timer deadline path needs the C API.
+    import ctypes
+
+    _HAVE_ASYNC_EXC = hasattr(ctypes, "pythonapi") and hasattr(
+        ctypes.pythonapi, "PyThreadState_SetAsyncExc"
+    )
+except ImportError:  # pragma: no cover - ctypes is stdlib on CPython
+    ctypes = None
+    _HAVE_ASYNC_EXC = False
+
 _run_cache = {}
 
 
@@ -98,36 +108,153 @@ def timed_run(workload, binary_label, config, iterations=None,
     return _run_cache[key]
 
 
-@contextmanager
-def deadline(seconds, label=""):
-    """Wall-clock budget for one run; raises :class:`RunTimeoutError`.
+#: Thread-local stack of active deadline records, innermost last.  Every
+#: enforcement mode registers here so :func:`poll_deadline` works uniformly.
+_deadlines = threading.local()
 
-    Uses ``SIGALRM`` where available (CPython main thread on POSIX); on other
-    platforms or worker threads it degrades to a no-op rather than failing,
-    so sweeps stay portable.
 
-    Nests correctly: an inner ``deadline`` saves the outer timer's remaining
-    interval on entry and re-arms it (minus the time the inner block spent)
-    on exit, so an outer budget keeps ticking across any number of inner
-    ones.  If the outer budget was exhausted while the inner block ran, the
-    restored timer fires almost immediately rather than being lost.
-    """
-    usable = (
-        seconds
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
+def _deadline_stack():
+    stack = getattr(_deadlines, "stack", None)
+    if stack is None:
+        stack = _deadlines.stack = []
+    return stack
 
-    def _on_alarm(signum, frame):
-        raise RunTimeoutError(
-            f"{label or 'run'}: exceeded {seconds}s wall-clock budget"
+
+class _DeadlineRecord:
+    """One active :func:`deadline` scope on the current thread."""
+
+    __slots__ = ("label", "seconds", "expires_at", "mode", "fired", "done",
+                 "lock")
+
+    def __init__(self, label, seconds, mode):
+        self.label = label
+        self.seconds = seconds
+        self.expires_at = time.monotonic() + seconds
+        self.mode = mode
+        self.fired = False
+        self.done = False
+        self.lock = threading.Lock()
+
+    def timeout_error(self):
+        return RunTimeoutError(
+            f"{self.label or 'run'}: exceeded {self.seconds}s "
+            f"wall-clock budget"
         )
 
+
+def active_deadline():
+    """The innermost active deadline record on this thread, or ``None``."""
+    stack = getattr(_deadlines, "stack", None)
+    return stack[-1] if stack else None
+
+
+def poll_deadline():
+    """Cooperative deadline check: raise if any enclosing budget expired.
+
+    Long-running loops that must honor a budget even in ``poll`` mode (no
+    signals, no C-API async raise) call this at convenient safepoints.  It
+    checks *every* active deadline on the current thread — an outer budget
+    expiring during an inner scope is still caught — and raises the
+    :class:`RunTimeoutError` of the most deeply nested expired scope.
+    """
+    stack = getattr(_deadlines, "stack", None)
+    if not stack:
+        return
+    now = time.monotonic()
+    for record in reversed(stack):
+        if now >= record.expires_at and not record.done:
+            record.fired = True
+            raise record.timeout_error()
+
+
+def deadline_mode():
+    """The enforcement mode :func:`deadline` would auto-select here.
+
+    ``sigalrm`` on a POSIX main thread, ``timer`` on worker threads of a
+    CPython with the async-exception C API, ``poll`` (cooperative-only)
+    otherwise.
+    """
+    if (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()):
+        return "sigalrm"
+    if _HAVE_ASYNC_EXC:
+        return "timer"
+    return "poll"
+
+
+def _async_raise(thread_id, exc_class):
+    """Deliver ``exc_class`` asynchronously to ``thread_id`` (CPython)."""
+    res = ctypes.pythonapi.PyThreadState_SetAsyncExc(
+        ctypes.c_ulong(thread_id), ctypes.py_object(exc_class)
+    )
+    if res > 1:  # pragma: no cover - only on a stale/wrong thread id
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(thread_id), None
+        )
+
+
+@contextmanager
+def deadline(seconds, label="", mode=None):
+    """Wall-clock budget for one run; raises :class:`RunTimeoutError`.
+
+    Three documented enforcement modes, auto-selected (``mode=None``) per
+    :func:`deadline_mode` and overridable for tests:
+
+    * ``sigalrm`` — ``SIGALRM`` + ``setitimer`` (CPython main thread on
+      POSIX).  Nests correctly: an inner ``deadline`` saves the outer
+      timer's remaining interval on entry and re-arms it (minus the time
+      the inner block spent) on exit, so an outer budget keeps ticking
+      across any number of inner ones.  If the outer budget was exhausted
+      while the inner block ran, the restored timer fires almost
+      immediately rather than being lost.
+    * ``timer`` — a ``threading.Timer`` that, on expiry, delivers
+      :class:`RunTimeoutError` to the owning thread via the CPython
+      async-exception C API.  This is the path server worker threads (the
+      ``repro.serve`` executor) take automatically — worker contexts no
+      longer silently lose deadline enforcement.  Delivery lands at the
+      next Python bytecode boundary, so a blocking C call can outlive the
+      budget; pure-Python simulation loops (all of this repo) are bounded.
+      On scope exit a fired-but-undelivered expiry is normalized into a
+      deterministic raise with the scope's label.
+    * ``poll`` — registration only (non-CPython fallback).  Enforcement is
+      cooperative: code inside the scope must call :func:`poll_deadline`
+      at safepoints.  All three modes register, so ``poll_deadline`` works
+      under any of them.
+
+    ``seconds`` falsy disables enforcement entirely (no registration).
+    """
+    if not seconds:
+        yield
+        return
+    if mode is None:
+        mode = deadline_mode()
+    elif mode == "sigalrm" and deadline_mode() != "sigalrm":
+        raise ValueError("sigalrm deadline requested off the main thread")
+    elif mode == "timer" and not _HAVE_ASYNC_EXC:
+        mode = "poll"
+
+    record = _DeadlineRecord(label, seconds, mode)
+    stack = _deadline_stack()
+    stack.append(record)
+    try:
+        if mode == "sigalrm":
+            yield from _deadline_sigalrm(record)
+        elif mode == "timer":
+            yield from _deadline_timer(record)
+        else:
+            yield
+    finally:
+        record.done = True
+        stack.remove(record)
+
+
+def _deadline_sigalrm(record):
+    def _on_alarm(signum, frame):
+        record.fired = True
+        raise record.timeout_error()
+
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    outer_remaining, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    outer_remaining, _ = signal.setitimer(signal.ITIMER_REAL, record.seconds)
     entered = time.monotonic()
     try:
         yield
@@ -139,6 +266,37 @@ def deadline(seconds, label=""):
             # an already-expired outer budget fires as soon as possible.
             remaining = outer_remaining - (time.monotonic() - entered)
             signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6))
+
+
+def _deadline_timer(record):
+    thread_id = threading.get_ident()
+
+    def _fire():
+        with record.lock:
+            if record.done:
+                return
+            record.fired = True
+        _async_raise(thread_id, RunTimeoutError)
+
+    timer = threading.Timer(record.seconds, _fire)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    finally:
+        with record.lock:
+            record.done = True
+        timer.cancel()
+        if record.fired:
+            # The timer fired: the async exception may have been delivered
+            # mid-block (we are unwinding through it now) or may still be
+            # pending at the next bytecode boundary.  Clear any pending
+            # delivery and raise deterministically with the scope's label,
+            # so both races surface as the same well-formed error.
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(thread_id), None
+            )
+            raise record.timeout_error()
 
 
 def run_suite(names=None, timeout_s=None, diagnostics_dir=None,

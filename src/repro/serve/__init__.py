@@ -1,0 +1,52 @@
+"""``repro.serve`` — simulation-as-a-service over the sweep engine.
+
+The serving tier in front of the repo's compute tier: a stdlib-only
+asyncio HTTP/JSON server (``straight serve``) that accepts compile /
+simulate / sweep / compiler-explorer jobs, dedups identical requests both
+in flight (single-flight futures) and against the persistent
+content-addressed :mod:`repro.harness.cache`, batches compatible queued
+tasks onto the :func:`repro.harness.sweep.run_sweep` process pool,
+enforces per-client token-bucket quotas and per-job deadlines, and
+streams job lifecycle + observability events over Server-Sent Events.
+
+Layers (one module each):
+
+* :mod:`repro.serve.protocol` — request canonicalization (the dedup
+  identity) and SSE framing;
+* :mod:`repro.serve.jobs` — the job store: single-flight dedup, ordered
+  per-job event history, subscriber streaming;
+* :mod:`repro.serve.executor` — execution: batching onto the sweep pool,
+  thread-pool compile/explore jobs under the :func:`deadline` thread-timer
+  fallback, transient-failure retry via
+  :class:`repro.harness.supervisor.RetryPolicy`;
+* :mod:`repro.serve.server` — the asyncio HTTP front end and routing;
+* :mod:`repro.serve.loadgen` — the load-test harness behind
+  ``BENCH_serve.json`` (p50/p99, throughput, dedup/cache hit-rates,
+  quota rejections).
+"""
+
+from repro.serve.jobs import Job, JobStore
+from repro.serve.protocol import (
+    BadRequest,
+    JOB_KINDS,
+    canonical_request,
+    parse_sse,
+    sse_event,
+)
+from repro.serve.quota import QuotaRegistry, TokenBucket
+from repro.serve.server import ServeApp, ServerHandle, run_server
+
+__all__ = [
+    "BadRequest",
+    "JOB_KINDS",
+    "Job",
+    "JobStore",
+    "QuotaRegistry",
+    "ServeApp",
+    "ServerHandle",
+    "TokenBucket",
+    "canonical_request",
+    "parse_sse",
+    "run_server",
+    "sse_event",
+]

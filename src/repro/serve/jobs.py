@@ -1,0 +1,237 @@
+"""The job layer: single-flight dedup, event history, subscriber streams.
+
+A *job* is one unit of server work, identified by the canonical key of
+its request (:func:`repro.serve.protocol.canonical_request`).  The store
+enforces the single-flight contract:
+
+* a request whose key matches a *queued or running* job attaches to it —
+  one execution, any number of waiters/subscribers (``served ==
+  "inflight"``);
+* a request whose key matches a *successfully finished* retained job is
+  answered from the store without any execution (``served == "store"``);
+* everything else creates a fresh job (``served == "fresh"``).  A fresh
+  job's payload may still come from the persistent
+  :class:`~repro.harness.cache.ResultCache` inside the sweep engine, in
+  which case the executor stamps ``cache_status = "cache"``.
+
+Failed jobs are never dedup targets — a retry of the same request gets a
+fresh execution.
+
+Every job carries an append-only, index-stamped event history.  SSE
+subscribers replay the history from index 0 and then follow live
+appends, so *every* subscriber — however late it attaches — observes the
+same totally ordered stream; the terminal ``done``/``failed`` event
+closes it.  All mutation happens on the owning event loop (the executor
+marshals worker-thread callbacks via ``call_soon_threadsafe``), which is
+what makes the lock-free history safe.
+"""
+
+import asyncio
+import itertools
+import time
+from collections import OrderedDict
+
+from repro.serve.protocol import canonical_request
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TERMINAL = (DONE, FAILED)
+
+
+class Job:
+    """One deduplicated unit of work plus its ordered event history."""
+
+    def __init__(self, job_id, kind, key, request):
+        self.id = job_id
+        self.kind = kind
+        self.key = key
+        self.request = request
+        self.state = QUEUED
+        self.served = "fresh"
+        #: "cache" when the executor observed the payload being served by
+        #: the persistent result cache rather than computed.
+        self.cache_status = None
+        self.created_s = time.monotonic()
+        self.started_s = None
+        self.finished_s = None
+        self.result = None
+        self.error = None
+        self.attempts = 0
+        self.events = []
+        self._changed = asyncio.Event()
+        self._done = asyncio.Event()
+        self.publish("queued", {"kind": kind, "key": key[:16]})
+
+    # -- event history -------------------------------------------------------
+
+    def publish(self, event, data):
+        """Append one event and wake every subscriber (loop thread only)."""
+        self.events.append({
+            "index": len(self.events),
+            "event": event,
+            "data": data,
+        })
+        waiter = self._changed
+        self._changed = asyncio.Event()
+        waiter.set()
+
+    async def stream(self):
+        """Async-iterate the full ordered event history, then live events.
+
+        Terminates after yielding the terminal event.  Safe for any number
+        of concurrent subscribers; a cancelled subscriber (client
+        disconnect) leaves no state behind — the job and every other
+        subscriber are unaffected.
+        """
+        index = 0
+        while True:
+            waiter = self._changed
+            while index < len(self.events):
+                record = self.events[index]
+                index += 1
+                yield record
+            if self.state in TERMINAL:
+                return
+            await waiter.wait()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def mark_running(self, detail=None):
+        self.state = RUNNING
+        self.started_s = time.monotonic()
+        self.attempts += 1
+        self.publish("started", {"attempt": self.attempts,
+                                 **(detail or {})})
+
+    def finish(self, result, cache_status=None):
+        self.result = result
+        if cache_status:
+            self.cache_status = cache_status
+        self.state = DONE
+        self.finished_s = time.monotonic()
+        self.publish("done", {"wall_ms": self.wall_ms(),
+                              "cache": self.cache_status})
+        self._done.set()
+
+    def fail(self, error_type, message, detail=None):
+        self.error = {"type": error_type, "message": message}
+        if detail:
+            self.error.update(detail)
+        self.state = FAILED
+        self.finished_s = time.monotonic()
+        self.publish("failed", dict(self.error))
+        self._done.set()
+
+    async def wait(self, timeout=None):
+        """True once terminal; False if ``timeout`` elapsed first."""
+        if self.state in TERMINAL:
+            return True
+        try:
+            await asyncio.wait_for(self._done.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    # -- views ---------------------------------------------------------------
+
+    def wall_ms(self):
+        if self.finished_s is None or self.started_s is None:
+            return None
+        return round((self.finished_s - self.started_s) * 1000.0, 3)
+
+    def view(self, include_result=True):
+        view = {
+            "job": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "served": self.served,
+            "cache": self.cache_status,
+            "attempts": self.attempts,
+            "events": len(self.events),
+            "wall_ms": self.wall_ms(),
+            "request": self.request,
+            "links": {
+                "self": f"/v1/jobs/{self.id}",
+                "events": f"/v1/jobs/{self.id}/events",
+                "result": f"/v1/jobs/{self.id}/result",
+            },
+        }
+        if self.error is not None:
+            view["error"] = self.error
+        if include_result and self.state == DONE:
+            view["result"] = self.result
+        return view
+
+    def __repr__(self):
+        return f"Job({self.id}, {self.kind}, {self.state})"
+
+
+class JobStore:
+    """Bounded job registry enforcing the single-flight contract."""
+
+    def __init__(self, max_jobs=4096):
+        self.max_jobs = max_jobs
+        self.jobs = OrderedDict()     # id -> Job, creation order
+        self.by_key = {}              # key -> latest Job for that identity
+        self._ids = itertools.count(1)
+        self.counters = {
+            "submitted": 0,
+            "fresh": 0,
+            "dedup_inflight": 0,
+            "dedup_store": 0,
+        }
+
+    def submit(self, kind, payload):
+        """``(job, created)`` for one request; dedups by canonical key.
+
+        ``created`` is True only for a fresh job that the caller must hand
+        to the executor; dedup'd submissions return the existing job with
+        ``job.served`` reflecting how this *submission* was satisfied via
+        the returned ``served`` tag on the view the server builds.
+        """
+        request, key = canonical_request(kind, payload)
+        self.counters["submitted"] += 1
+        existing = self.by_key.get(key)
+        if existing is not None:
+            if existing.state in (QUEUED, RUNNING):
+                self.counters["dedup_inflight"] += 1
+                return existing, False, "inflight"
+            if existing.state == DONE:
+                self.counters["dedup_store"] += 1
+                return existing, False, "store"
+            # FAILED: fall through — failures are not dedup targets.
+        self.counters["fresh"] += 1
+        job = Job(f"j{next(self._ids):06d}-{key[:12]}", kind, key, request)
+        self.jobs[job.id] = job
+        self.by_key[key] = job
+        self._evict()
+        return job, True, "fresh"
+
+    def get(self, job_id):
+        return self.jobs.get(job_id)
+
+    def _evict(self):
+        """Drop the oldest *terminal* jobs beyond the store bound."""
+        if len(self.jobs) <= self.max_jobs:
+            return
+        for job_id in list(self.jobs):
+            if len(self.jobs) <= self.max_jobs:
+                break
+            job = self.jobs[job_id]
+            if job.state in TERMINAL:
+                del self.jobs[job_id]
+                if self.by_key.get(job.key) is job:
+                    del self.by_key[job.key]
+
+    def stats(self):
+        by_state = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "jobs": len(self.jobs),
+            "by_state": by_state,
+            **self.counters,
+        }

@@ -1,0 +1,431 @@
+"""Load-test harness for the serve tier: ``python -m repro.serve.loadgen``.
+
+Drives thousands of concurrent requests against a running server with a
+minimal asyncio HTTP/1.1 client (keep-alive over a bounded connection
+pool — stdlib only, same constraint as the server) and writes the
+``BENCH_serve.json`` scorecard the CI ``serve-smoke`` job and ``straight
+bench --serve`` gate on.
+
+Four phases:
+
+* **unique** — N distinct simulate requests (per-request source text, so
+  no two share a dedup key): the cold path, exercising batching onto the
+  process pool.
+* **repeated** — M requests spread over a handful of distinct keys,
+  launched concurrently: the dedup path.  The scorecard's
+  ``saved_rate`` counts responses served without a fresh execution —
+  in-flight single-flight attaches, job-store hits, and persistent
+  result-cache hits — and the CI gate requires >= 90%.
+* **explore** — one compiler-explorer request per registered ISA (asm +
+  diagnostics + Kanata trace), the acceptance-criteria endpoint.
+* **quota** — a burst from one dedicated client id sized to overrun its
+  token bucket: measured 429s (which are 4xxs; the zero-5xx gate is
+  separate).
+
+Latency is measured per request (monotonic, send-to-parse) and
+summarized as p50/p90/p99/mean plus overall request throughput.
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from repro.serve.protocol import parse_sse
+
+#: A distinct mini-C program per index: same shape, different constant, so
+#: every unique-phase request compiles (and caches) independently.
+_SOURCE_TEMPLATE = """
+int main() {{
+    int acc = 0;
+    int i;
+    for (i = 0; i < {iters}; ++i) {{
+        acc = acc + i * {salt};
+    }}
+    __out(acc);
+    return 0;
+}}
+"""
+
+
+def phase_source(index):
+    return _SOURCE_TEMPLATE.format(iters=8 + (index % 8), salt=index + 1)
+
+
+# ---------------------------------------------------------------------------
+# Minimal asyncio HTTP client (keep-alive, JSON, SSE)
+# ---------------------------------------------------------------------------
+
+
+class HttpClient:
+    """Keep-alive connection pool against one host:port."""
+
+    def __init__(self, host, port, pool_size=64):
+        self.host = host
+        self.port = port
+        self._idle = []
+        self._gate = asyncio.Semaphore(pool_size)
+
+    async def _connect(self):
+        return await asyncio.open_connection(self.host, self.port)
+
+    async def request(self, method, path, body=None, headers=None):
+        """``(status, headers, body_bytes)``; retries once on a stale
+        keep-alive connection."""
+        async with self._gate:
+            for attempt in (0, 1):
+                fresh = not self._idle
+                reader, writer = (self._idle.pop() if self._idle
+                                  else await self._connect())
+                try:
+                    return await self._roundtrip(
+                        reader, writer, method, path, body, headers)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    writer.close()
+                    if fresh or attempt:
+                        raise
+                    # Stale pooled connection: retry once on a fresh one.
+
+    async def _roundtrip(self, reader, writer, method, path, body, headers):
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+        lines = [f"{method} {path} HTTP/1.1",
+                 f"Host: {self.host}:{self.port}",
+                 f"Content-Length: {len(payload)}"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + payload)
+        await writer.drain()
+        blob = await reader.readuntil(b"\r\n\r\n")
+        head = blob.decode("latin-1").split("\r\n")
+        status = int(head[0].split(" ", 2)[1])
+        response_headers = {}
+        for line in head[1:]:
+            if line:
+                name, _, value = line.partition(":")
+                response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0") or "0")
+        data = await reader.readexactly(length) if length else b""
+        if response_headers.get("connection", "").lower() == "close":
+            writer.close()
+        else:
+            self._idle.append((reader, writer))
+        return status, response_headers, data
+
+    async def get_json(self, path, headers=None):
+        status, _headers, data = await self.request("GET", path,
+                                                    headers=headers)
+        return status, json.loads(data) if data else {}
+
+    async def post_json(self, path, body, headers=None):
+        status, _headers, data = await self.request("POST", path, body=body,
+                                                    headers=headers)
+        return status, json.loads(data) if data else {}
+
+    async def stream_events(self, path):
+        """All SSE events of one stream (the server closes at terminal)."""
+        reader, writer = await self._connect()
+        writer.write((f"GET {path} HTTP/1.1\r\n"
+                      f"Host: {self.host}:{self.port}\r\n\r\n")
+                     .encode("latin-1"))
+        await writer.drain()
+        blob = await reader.read(-1)
+        writer.close()
+        header, _, body = blob.partition(b"\r\n\r\n")
+        status = int(header.decode("latin-1").split(" ", 2)[1])
+        return status, parse_sse(body.decode("utf-8"))
+
+    def close(self):
+        for _reader, writer in self._idle:
+            writer.close()
+        self._idle.clear()
+
+
+# ---------------------------------------------------------------------------
+# Phases
+# ---------------------------------------------------------------------------
+
+
+class Recorder:
+    """Per-phase latency samples and response accounting."""
+
+    def __init__(self):
+        self.latencies_ms = []
+        self.statuses = {}
+        self.saved = 0
+        self.failures = []
+
+    def note(self, status, view, elapsed_s):
+        self.latencies_ms.append(elapsed_s * 1000.0)
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        if status in (200, 202):
+            served = view.get("served")
+            if served in ("inflight", "store") or view.get("cache") == "cache":
+                self.saved += 1
+            if view.get("state") == "failed":
+                self.failures.append(view.get("error"))
+
+    def summary(self):
+        samples = sorted(self.latencies_ms)
+        total = len(samples)
+
+        def pct(p):
+            if not samples:
+                return None
+            return round(samples[min(total - 1, int(p * total))], 3)
+
+        return {
+            "requests": total,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "saved": self.saved,
+            "saved_rate": round(self.saved / total, 4) if total else None,
+            "job_failures": len(self.failures),
+            "latency_ms": {
+                "p50": pct(0.50),
+                "p90": pct(0.90),
+                "p99": pct(0.99),
+                "mean": (round(sum(samples) / total, 3) if total else None),
+                "max": (round(samples[-1], 3) if samples else None),
+            },
+        }
+
+
+async def _post_recorded(client, recorder, path, body, headers=None):
+    started = time.monotonic()
+    status, view = await client.post_json(path, body, headers=headers)
+    recorder.note(status, view, time.monotonic() - started)
+    return status, view
+
+
+async def phase_unique(client, count, wait_s):
+    """``count`` distinct simulate jobs, all launched concurrently."""
+    recorder = Recorder()
+    await asyncio.gather(*[
+        _post_recorded(client, recorder, f"/v1/simulate?wait={wait_s}",
+                       {"source": phase_source(i)},
+                       headers={"X-Client-Id": f"unique-{i % 8}"})
+        for i in range(count)
+    ])
+    return recorder
+
+
+async def phase_repeated(client, count, distinct, wait_s):
+    """``count`` requests over ``distinct`` keys; dedup must absorb them.
+
+    The distinct keys are seeded (and allowed to finish) first so the
+    concurrent storm hits the job store / result cache, not ``fresh``.
+    """
+    recorder = Recorder()
+    seeds = [{"source": phase_source(10_000 + i)} for i in range(distinct)]
+    for body in seeds:
+        await _post_recorded(client, recorder, "/v1/simulate?wait=30", body,
+                             headers={"X-Client-Id": "repeat-seed"})
+    await asyncio.gather(*[
+        _post_recorded(client, recorder, f"/v1/simulate?wait={wait_s}",
+                       seeds[i % distinct],
+                       headers={"X-Client-Id": f"repeat-{i % 8}"})
+        for i in range(count - distinct)
+    ])
+    return recorder
+
+
+async def phase_explore(client, wait_s):
+    """One explorer request per registered ISA, trace on."""
+    recorder = Recorder()
+    status, inventory = await client.get_json("/v1/isas")
+    isa_names = sorted(inventory.get("isas", {})) if status == 200 else []
+    views = {}
+    for name in isa_names:
+        _status, view = await _post_recorded(
+            client, recorder, f"/v1/explore?wait={wait_s}",
+            {"source": phase_source(777), "isas": [name], "trace": True},
+            headers={"X-Client-Id": "explore"})
+        views[name] = view
+    checks = {}
+    for name, view in views.items():
+        entry = (view.get("result") or {}).get("isas", {}).get(name, {})
+        variant = next(iter(entry.get("variants", {}).values()), {})
+        checks[name] = {
+            "asm": bool(variant.get("asm")),
+            "diagnostics": variant.get("diagnostics") is not None,
+            "output": variant.get("output") is not None,
+            "kanata": bool(entry.get("timing", {}).get("kanata")),
+        }
+    return recorder, checks
+
+
+async def phase_quota(client, burst):
+    """Overrun one client's token bucket; count the measured 429s."""
+    recorder = Recorder()
+    await asyncio.gather(*[
+        _post_recorded(client, recorder, "/v1/simulate",
+                       {"source": phase_source(99_000)},
+                       headers={"X-Client-Id": "quota-hog"})
+        for _ in range(burst)
+    ])
+    return recorder
+
+
+# ---------------------------------------------------------------------------
+# The run
+# ---------------------------------------------------------------------------
+
+PROFILES = {
+    # unique, repeated, distinct, wait_s
+    "quick": {"unique": 120, "repeated": 240, "distinct": 4, "wait_s": 60},
+    "full": {"unique": 600, "repeated": 500, "distinct": 4, "wait_s": 120},
+}
+
+
+async def run_loadgen(host, port, profile="quick", pool_size=64,
+                      quota_burst=0):
+    """Drive every phase; returns the scorecard dict."""
+    params = PROFILES[profile]
+    client = HttpClient(host, port, pool_size=pool_size)
+    started = time.monotonic()
+    try:
+        status, health = await client.get_json("/v1/healthz")
+        if status != 200 or not health.get("ok"):
+            raise RuntimeError(f"server not healthy: {status} {health}")
+        unique = await phase_unique(client, params["unique"],
+                                    params["wait_s"])
+        repeated = await phase_repeated(client, params["repeated"],
+                                        params["distinct"], params["wait_s"])
+        explore, explore_checks = await phase_explore(client,
+                                                      params["wait_s"])
+        quota = None
+        if quota_burst:
+            quota = await phase_quota(client, quota_burst)
+        _status, stats = await client.get_json("/v1/stats")
+    finally:
+        client.close()
+    wall_s = time.monotonic() - started
+
+    phases = {
+        "unique": unique.summary(),
+        "repeated": repeated.summary(),
+        "explore": explore.summary(),
+    }
+    if quota is not None:
+        phases["quota"] = quota.summary()
+    all_statuses = {}
+    requests_total = 0
+    for summary in phases.values():
+        requests_total += summary["requests"]
+        for code, count in summary["statuses"].items():
+            all_statuses[code] = all_statuses.get(code, 0) + count
+    errors_5xx = sum(count for code, count in all_statuses.items()
+                     if code.startswith("5"))
+    all_latencies = sorted(
+        unique.latencies_ms + repeated.latencies_ms + explore.latencies_ms
+        + (quota.latencies_ms if quota else []))
+
+    def pct(p):
+        if not all_latencies:
+            return None
+        return round(all_latencies[min(len(all_latencies) - 1,
+                                       int(p * len(all_latencies)))], 3)
+
+    return {
+        "bench": "serve",
+        "profile": profile,
+        "requests_total": requests_total,
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(requests_total / wall_s, 2) if wall_s else None,
+        "statuses": all_statuses,
+        "errors_5xx": errors_5xx,
+        "latency_ms": {"p50": pct(0.50), "p90": pct(0.90), "p99": pct(0.99)},
+        "dedup": {
+            "repeated_saved_rate": phases["repeated"]["saved_rate"],
+            "quota_rejections": (phases.get("quota", {})
+                                 .get("statuses", {}).get("429", 0)),
+        },
+        "explore_checks": explore_checks,
+        "phases": phases,
+        "server_stats": stats,
+    }
+
+
+def gate(scorecard, min_dedup_rate=None, max_p99_ms=None):
+    """Human-readable gate failures (empty list == pass)."""
+    failures = []
+    if scorecard["errors_5xx"]:
+        failures.append(f"{scorecard['errors_5xx']} 5xx responses "
+                        "(gate: zero)")
+    rate = scorecard["dedup"]["repeated_saved_rate"]
+    if min_dedup_rate is not None and (rate is None or rate < min_dedup_rate):
+        failures.append(f"repeated-phase saved rate {rate} < "
+                        f"{min_dedup_rate}")
+    p99 = scorecard["latency_ms"]["p99"]
+    if max_p99_ms is not None and (p99 is None or p99 > max_p99_ms):
+        failures.append(f"p99 latency {p99}ms > {max_p99_ms}ms")
+    for isa, checks in scorecard["explore_checks"].items():
+        missing = [field for field, present in checks.items() if not present]
+        if missing:
+            failures.append(f"explore[{isa}] missing: {', '.join(missing)}")
+    return failures
+
+
+def bench_serve(profile="quick", pool_jobs=None, cache_dir=None,
+                quota_burst=400):
+    """In-process serve bench: spin a server, run the loadgen, score it.
+
+    The path behind ``straight bench --serve``; ``cache_dir`` isolates the
+    persistent caches so the bench's cold phase is genuinely cold.  The
+    quota is generous enough that only the dedicated ``quota-hog`` client
+    (which fires ``quota_burst`` requests at a 200-token bucket) sees
+    rejections.
+    """
+    from repro.harness import cache as cache_mod
+    from repro.serve.server import ServerHandle
+
+    if cache_dir is not None:
+        cache_mod.configure(cache_dir, enabled=True)
+    with ServerHandle(port=0, pool_jobs=pool_jobs,
+                      quota_rate=200.0, quota_burst=200.0) as handle:
+        scorecard = asyncio.run(run_loadgen(
+            handle.host, handle.port, profile=profile,
+            quota_burst=quota_burst))
+    return scorecard
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="load-test a running repro.serve server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8712)
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default="quick")
+    parser.add_argument("--pool-size", type=int, default=64,
+                        help="client connection-pool size")
+    parser.add_argument("--quota-burst", type=int, default=0,
+                        help="also fire this many requests from one client "
+                             "to measure quota rejections")
+    parser.add_argument("--json", default=None,
+                        help="write the scorecard to this path")
+    parser.add_argument("--min-dedup-rate", type=float, default=None,
+                        help="gate: repeated-phase saved rate floor")
+    parser.add_argument("--max-p99-ms", type=float, default=None,
+                        help="gate: overall p99 latency ceiling")
+    args = parser.parse_args(argv)
+
+    scorecard = asyncio.run(run_loadgen(
+        args.host, args.port, profile=args.profile,
+        pool_size=args.pool_size, quota_burst=args.quota_burst))
+    text = json.dumps(scorecard, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    print(text)
+    failures = gate(scorecard, min_dedup_rate=args.min_dedup_rate,
+                    max_p99_ms=args.max_p99_ms)
+    for failure in failures:
+        print(f"GATE FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

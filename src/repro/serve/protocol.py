@@ -1,0 +1,342 @@
+"""Request canonicalization and SSE framing for the serve tier.
+
+Canonicalization is the server's dedup identity: every job-creating
+request is normalized — defaults filled in, fields validated against the
+live registries (ISA targets, Table I cores, workloads), unknown fields
+rejected — and the normalized form is hashed with the same
+:func:`repro.harness.cache.canonical_key` machinery the persistent caches
+use, folding in the toolchain tag and schema version.  Two requests that
+differ only in field order, omitted defaults, or non-identity knobs
+(client id, wait behaviour, timeout budget) therefore land on the same
+job key, which is what makes single-flight dedup and store-serving safe:
+a key collision *is* a semantic match.
+
+SSE framing follows the WHATWG EventSource wire format: ``id:`` /
+``event:`` / one ``data:`` line per payload line, terminated by a blank
+line.  :func:`parse_sse` is the bundled round-trip parser (tests and the
+loadgen both consume it).
+"""
+
+import json
+
+from repro.common.errors import ReproError
+from repro.harness import cache as cache_mod
+
+#: Job kinds the server accepts, in route order.
+JOB_KINDS = ("compile", "simulate", "sweep", "explore")
+
+#: Hard cap on submitted source text (the compiler-explorer is an open
+#: endpoint; a 256 KiB mini-C program is already absurd).
+MAX_SOURCE_BYTES = 256 * 1024
+
+#: Per-job wall-clock budget bounds (seconds).  Requests may lower the
+#: default but never exceed the max; the budget is enforcement policy,
+#: not result identity, so it stays out of the dedup key.
+DEFAULT_TIMEOUT_S = 120.0
+MAX_TIMEOUT_S = 600.0
+
+#: Cap on the Kanata trace window an explore job renders.
+MAX_TRACE_INSNS = 50_000
+
+
+class BadRequest(ReproError):
+    """A request failed validation; maps to HTTP 400."""
+
+
+def _require(condition, message):
+    if not condition:
+        raise BadRequest(message)
+
+
+def _as_bool(payload, field, default=False):
+    value = payload.get(field, default)
+    _require(isinstance(value, bool), f"{field} must be a boolean")
+    return value
+
+
+def _as_int(payload, field, default, low, high):
+    value = payload.get(field, default)
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             f"{field} must be an integer")
+    _require(low <= value <= high,
+             f"{field} must be within [{low}, {high}]")
+    return value
+
+
+def _timeout_of(payload):
+    value = payload.get("timeout_s", None)
+    if value is None:
+        return DEFAULT_TIMEOUT_S
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             "timeout_s must be a number")
+    _require(value > 0, "timeout_s must be positive")
+    return min(float(value), MAX_TIMEOUT_S)
+
+
+def _source_of(payload, required=True):
+    source = payload.get("source")
+    if source is None and not required:
+        return None
+    _require(isinstance(source, str) and source.strip(),
+             "source must be a non-empty string")
+    _require(len(source.encode("utf-8")) <= MAX_SOURCE_BYTES,
+             f"source exceeds {MAX_SOURCE_BYTES} bytes")
+    return source
+
+
+def _check_fields(payload, allowed, kind):
+    _require(isinstance(payload, dict), f"{kind} request body must be a "
+             "JSON object")
+    unknown = sorted(set(payload) - set(allowed))
+    _require(not unknown,
+             f"unknown {kind} field(s): {', '.join(unknown)}; "
+             f"allowed: {', '.join(sorted(allowed))}")
+
+
+def _valid_targets():
+    from repro import isa as isa_registry
+
+    return tuple(isa_registry.target_map())
+
+
+def _valid_cores():
+    from repro.core.configs import ALL_CORES
+
+    return ALL_CORES
+
+
+def normalize_compile(payload):
+    _check_fields(payload, ("source", "target", "max_distance", "verify",
+                            "timeout_s"), "compile")
+    targets = _valid_targets()
+    target = payload.get("target", "straight")
+    _require(target in targets,
+             f"unknown target {target!r}; choose from {', '.join(targets)}")
+    return {
+        "source": _source_of(payload),
+        "target": target,
+        "max_distance": _as_int(payload, "max_distance", 1023, 1, 1 << 20),
+        "verify": _as_bool(payload, "verify", True),
+    }
+
+
+#: Sampling-schedule fields a simulate request may carry, with bounds
+#: (mirrors :class:`repro.harness.sampling.SamplingParams`).
+_SAMPLING_FIELDS = {
+    "period": (1, 10_000_000),
+    "window": (1, 1_000_000),
+    "warmup": (0, 1_000_000),
+    "cooldown": (0, 1_000_000),
+    "seed": (0, 1 << 62),
+}
+
+
+def _sampling_of(payload):
+    sampling = payload.get("sampling")
+    if sampling is None:
+        return None
+    _check_fields(sampling, tuple(_SAMPLING_FIELDS), "sampling")
+    for field, (low, high) in _SAMPLING_FIELDS.items():
+        if field in sampling:
+            _as_int(sampling, field, None, low, high)
+    from repro.harness.sampling import SamplingParams
+
+    try:
+        params = SamplingParams(**sampling)
+    except ValueError as exc:
+        raise BadRequest(f"invalid sampling schedule: {exc}") from None
+    return params.as_dict()
+
+
+def normalize_simulate(payload):
+    _check_fields(payload, ("source", "workload", "target", "core",
+                            "iterations", "max_distance", "attribution",
+                            "sampling", "timeout_s"), "simulate")
+    source = _source_of(payload, required=False)
+    workload = payload.get("workload")
+    _require((source is None) != (workload is None),
+             "pass exactly one of source / workload")
+    if workload is not None:
+        from repro.workloads.common import WORKLOADS
+
+        _require(workload in WORKLOADS,
+                 f"unknown workload {workload!r}; choose from "
+                 f"{', '.join(sorted(WORKLOADS))}")
+    core = payload.get("core")
+    if core is not None:
+        cores = _valid_cores()
+        _require(core in cores,
+                 f"unknown core {core!r}; choose from "
+                 f"{', '.join(sorted(cores))}")
+    attribution = _as_bool(payload, "attribution", False)
+    sampling = _sampling_of(payload)
+    _require(not (attribution and sampling),
+             "attribution needs every committed instruction; it cannot be "
+             "combined with sampled simulation")
+    _require(core is not None or not (attribution or sampling),
+             "functional runs (no core) take neither attribution nor "
+             "sampling")
+    target = payload.get("target")
+    if target is not None:
+        targets = _valid_targets()
+        _require(target in targets,
+                 f"unknown target {target!r}; choose from "
+                 f"{', '.join(targets)}")
+    iterations = payload.get("iterations")
+    if iterations is not None:
+        iterations = _as_int(payload, "iterations", None, 1, 1_000_000)
+    return {
+        "source": source,
+        "workload": workload,
+        "target": target,
+        "core": core,
+        "iterations": iterations,
+        "max_distance": _as_int(payload, "max_distance", 1023, 1, 1 << 20),
+        "attribution": attribution,
+        "sampling": sampling,
+    }
+
+
+def normalize_sweep(payload):
+    _check_fields(payload, ("experiments", "full_results", "timeout_s"),
+                  "sweep")
+    experiments = payload.get("experiments")
+    _require(isinstance(experiments, (list, tuple)) and experiments,
+             "experiments must be a non-empty list of grid names")
+    _require(all(isinstance(name, str) for name in experiments),
+             "experiments entries must be strings")
+    from repro.harness.experiments import ALL_EXPERIMENTS
+
+    unknown = sorted(set(experiments) - set(ALL_EXPERIMENTS))
+    _require(not unknown,
+             f"unknown experiment(s): {', '.join(unknown)}; choose from "
+             f"{', '.join(sorted(ALL_EXPERIMENTS))}")
+    # Order-insensitive identity: the grid is deduplicated downstream.
+    return {
+        "experiments": sorted(set(experiments)),
+        "full_results": _as_bool(payload, "full_results", False),
+    }
+
+
+def normalize_explore(payload):
+    _check_fields(payload, ("source", "isas", "trace", "sampled",
+                            "max_insns", "max_distance", "timeout_s"),
+                  "explore")
+    from repro import isa as isa_registry
+
+    known = isa_registry.names()
+    isas = payload.get("isas")
+    if isas is None:
+        isas = list(known)
+    _require(isinstance(isas, (list, tuple)) and isas,
+             "isas must be a non-empty list of ISA names")
+    unknown = sorted(set(isas) - set(known))
+    _require(not unknown,
+             f"unknown ISA(s): {', '.join(unknown)}; choose from "
+             f"{', '.join(known)}")
+    return {
+        "source": _source_of(payload),
+        "isas": sorted(set(isas)),
+        "trace": _as_bool(payload, "trace", True),
+        "sampled": _as_bool(payload, "sampled", False),
+        "max_insns": _as_int(payload, "max_insns", 10_000, 1,
+                             MAX_TRACE_INSNS),
+        "max_distance": _as_int(payload, "max_distance", 1023, 1, 1 << 20),
+    }
+
+
+_NORMALIZERS = {
+    "compile": normalize_compile,
+    "simulate": normalize_simulate,
+    "sweep": normalize_sweep,
+    "explore": normalize_explore,
+}
+
+
+def canonical_request(kind, payload):
+    """``(request, key)`` — the normalized request and its dedup identity.
+
+    ``request`` has every identity-bearing field present and validated;
+    ``key`` is the SHA-256 canonical-JSON digest over ``(kind, request,
+    toolchain tag, cache schema version)``.  The wall-clock budget
+    (``timeout_s``) is normalized separately (``request_timeout``) and
+    deliberately excluded from the key: two callers asking for the same
+    result with different patience must share one execution.
+    """
+    _require(kind in _NORMALIZERS,
+             f"unknown job kind {kind!r}; choose from {', '.join(JOB_KINDS)}")
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    request = _NORMALIZERS[kind](payload)
+    key = cache_mod.canonical_key({
+        "kind": kind,
+        "request": request,
+        "tag": cache_mod.TOOLCHAIN_TAG,
+        "schema": cache_mod.SCHEMA_VERSION,
+    })
+    request["timeout_s"] = _timeout_of(payload)
+    return request, key
+
+
+# ---------------------------------------------------------------------------
+# Server-Sent Events framing
+# ---------------------------------------------------------------------------
+
+
+def sse_event(data, event=None, id=None):
+    """One SSE frame as bytes (``id:``/``event:``/``data:`` + blank line).
+
+    ``data`` may be a string (sent verbatim, multi-line safe) or any
+    JSON-safe object (dumped canonically, sorted keys — byte-stable so two
+    subscribers to one job see identical streams).
+    """
+    lines = []
+    if id is not None:
+        lines.append(f"id: {id}")
+    if event is not None:
+        lines.append(f"event: {event}")
+    text = data if isinstance(data, str) else json.dumps(
+        data, sort_keys=True, separators=(",", ":"))
+    for line in text.split("\n") or [""]:
+        lines.append(f"data: {line}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def parse_sse(text):
+    """Parse an SSE stream back into ``[{"id", "event", "data"}, ...]``.
+
+    The inverse of :func:`sse_event` for the framing subset the server
+    emits (no retry fields, no comments except ``:`` keep-alives, which
+    are skipped).  Multi-line ``data:`` payloads are rejoined with
+    newlines, per the EventSource algorithm.
+    """
+    if isinstance(text, bytes):
+        text = text.decode("utf-8")
+    events = []
+    current = {"id": None, "event": None, "data": []}
+    saw_field = False
+    for line in text.split("\n"):
+        if line == "":
+            if saw_field:
+                events.append({
+                    "id": current["id"],
+                    "event": current["event"],
+                    "data": "\n".join(current["data"]),
+                })
+            current = {"id": None, "event": None, "data": []}
+            saw_field = False
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        if value.startswith(" "):
+            value = value[1:]
+        if field == "id":
+            current["id"] = value
+            saw_field = True
+        elif field == "event":
+            current["event"] = value
+            saw_field = True
+        elif field == "data":
+            current["data"].append(value)
+            saw_field = True
+    return events

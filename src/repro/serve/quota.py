@@ -1,0 +1,109 @@
+"""Per-client token-bucket quotas for the serve tier.
+
+Every job-creating request costs one token from its client's bucket
+(client identity: the ``X-Client-Id`` header, falling back to the peer
+address).  Buckets refill continuously at ``rate`` tokens/second up to a
+``burst`` cap, so a client may spend a saved-up burst instantly but
+sustained traffic is bounded by the refill rate — the classic shape for
+an open compute endpoint backed by a process pool.
+
+The clock is injectable (tests drive it deterministically) and the
+registry is bounded: least-recently-seen idle buckets are evicted once
+``max_clients`` distinct identities have appeared, so an address-spraying
+client cannot grow server memory.
+"""
+
+import threading
+import time
+from collections import OrderedDict
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity refilled at ``rate``/s."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated", "clock",
+                 "rejections", "granted")
+
+    def __init__(self, rate, burst, clock=time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.clock = clock
+        self.updated = clock()
+        self.rejections = 0
+        self.granted = 0
+
+    def try_take(self, tokens=1.0):
+        """Spend ``tokens`` if available; False (and counted) otherwise."""
+        now = self.clock()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= tokens:
+            self.tokens -= tokens
+            self.granted += 1
+            return True
+        self.rejections += 1
+        return False
+
+    def retry_after_s(self, tokens=1.0):
+        """Seconds until ``tokens`` will be available (``Retry-After``)."""
+        deficit = tokens - self.tokens
+        return max(0.0, deficit / self.rate)
+
+
+class QuotaRegistry:
+    """Thread-safe per-client bucket map with LRU eviction.
+
+    ``rate=None`` disables quotas entirely (every take succeeds) — the
+    in-process bench path uses that to measure pure serving overhead.
+    """
+
+    def __init__(self, rate=50.0, burst=200.0, max_clients=4096,
+                 clock=time.monotonic):
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self.clock = clock
+        self._buckets = OrderedDict()
+        self._lock = threading.Lock()
+        self.rejections = 0
+
+    @property
+    def enabled(self):
+        return self.rate is not None
+
+    def bucket(self, client):
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self.clock)
+                self._buckets[client] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client)
+            return bucket
+
+    def try_take(self, client, tokens=1.0):
+        """``(granted, retry_after_s)`` for one request from ``client``."""
+        if not self.enabled:
+            return True, 0.0
+        bucket = self.bucket(client)
+        with self._lock:
+            if bucket.try_take(tokens):
+                return True, 0.0
+            self.rejections += 1
+            return False, bucket.retry_after_s(tokens)
+
+    def stats(self):
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "rate": self.rate,
+                "burst": self.burst,
+                "clients": len(self._buckets),
+                "rejections": self.rejections,
+            }

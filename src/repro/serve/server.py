@@ -1,0 +1,437 @@
+"""The asyncio HTTP/JSON front end: ``straight serve``.
+
+A deliberately small stdlib-only HTTP/1.1 server over ``asyncio`` streams
+(no aiohttp in the image, and the endpoint surface is tiny).  Supported:
+keep-alive, Content-Length bodies, Server-Sent Events responses.  Not
+supported (rejected cleanly): chunked request bodies, TLS, HTTP/2.
+
+Routes::
+
+    POST /v1/compile             compile job  (asm + verifier diagnostics)
+    POST /v1/simulate            functional or timing simulation job
+    POST /v1/sweep               experiment-grid job
+    POST /v1/explore             compiler-explorer job (multi-ISA)
+    GET  /v1/jobs/<id>           job view (state, served, events, result)
+    GET  /v1/jobs/<id>/events    the job's ordered event stream, as SSE
+    GET  /v1/jobs/<id>/result    just the result (404 until done)
+    GET  /v1/healthz             liveness + readiness
+    GET  /v1/stats               job store / quota / executor / cache stats
+    GET  /v1/isas                registered ISAs, targets, cores, workloads
+
+``POST`` responses carry ``served``: ``fresh`` (new execution),
+``inflight`` (attached to a running identical job) or ``store`` (answered
+from a finished one); ``?wait=<seconds>`` blocks up to that long for the
+terminal state (``202`` with the current view on timeout — never a 5xx).
+Quota rejections are ``429`` with ``Retry-After``.
+
+:class:`ServerHandle` runs the whole app on a background thread with its
+own event loop — the shape the tests, the loadgen, and ``straight bench
+--serve`` use; :func:`run_server` is the blocking CLI entry.
+"""
+
+import asyncio
+import json
+import threading
+
+from repro.serve.jobs import DONE, JobStore
+from repro.serve.protocol import BadRequest, sse_event
+from repro.serve.quota import QuotaRegistry
+from repro.serve.executor import ServeExecutor
+
+#: Request-line + headers cap and body cap (the explorer accepts source
+#: text, not object files; see protocol.MAX_SOURCE_BYTES for the field cap).
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status, message, headers=None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+class ServeApp:
+    """Routing + job orchestration, independent of the socket layer."""
+
+    def __init__(self, pool_jobs=None, quota_rate=50.0, quota_burst=200.0,
+                 max_jobs=4096, retry_policy=None):
+        self.store = JobStore(max_jobs=max_jobs)
+        self.executor = ServeExecutor(pool_jobs=pool_jobs,
+                                      retry_policy=retry_policy)
+        self.quota = QuotaRegistry(rate=quota_rate, burst=quota_burst)
+        self.requests = 0
+        self.errors_5xx = 0
+
+    def start(self, loop=None):
+        self.executor.start(loop)
+        return self
+
+    async def stop(self):
+        await self.executor.stop()
+
+    # -- request handling ----------------------------------------------------
+
+    async def handle(self, reader, writer):
+        """One keep-alive connection."""
+        peer = writer.get_extra_info("peername")
+        client_addr = peer[0] if isinstance(peer, tuple) else str(peer)
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:
+                    return
+                method, path, query, headers, body = request
+                self.requests += 1
+                keep_alive = headers.get("connection", "").lower() != "close"
+                try:
+                    handled = await self._route(
+                        method, path, query, headers, body, writer,
+                        client_addr)
+                except _HttpError as exc:
+                    _write_json(writer, exc.status,
+                                {"error": exc.message},
+                                keep_alive=keep_alive,
+                                extra_headers=exc.headers)
+                except BadRequest as exc:
+                    _write_json(writer, 400, {"error": str(exc)},
+                                keep_alive=keep_alive)
+                except Exception as exc:  # noqa: BLE001 - last-resort 500
+                    self.errors_5xx += 1
+                    _write_json(
+                        writer, 500,
+                        {"error": f"{type(exc).__name__}: {exc}"},
+                        keep_alive=keep_alive)
+                else:
+                    if handled == "stream":
+                        # SSE responses own the connection to its end.
+                        return
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError):
+            pass
+        except asyncio.IncompleteReadError:
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels idle keep-alive handlers; close
+            # quietly instead of letting asyncio log the cancellation.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _route(self, method, path, query, headers, body, writer,
+                     client_addr):
+        keep_alive = headers.get("connection", "").lower() != "close"
+        parts = [p for p in path.split("/") if p]
+        if len(parts) < 2 or parts[0] != "v1":
+            raise _HttpError(404, f"no such route: {path}")
+        head = parts[1]
+
+        if method == "POST":
+            from repro.serve.protocol import JOB_KINDS
+
+            if len(parts) != 2 or head not in JOB_KINDS:
+                raise _HttpError(404, f"no such route: POST {path}")
+            client = headers.get("x-client-id", client_addr)
+            granted, retry_after = self.quota.try_take(client)
+            if not granted:
+                raise _HttpError(
+                    429, f"quota exceeded for client {client!r}",
+                    headers={"Retry-After": f"{retry_after:.3f}"})
+            payload = _json_body(body)
+            job, created, served = self.store.submit(head, payload)
+            if created:
+                self.executor.submit(job)
+            wait_s = _wait_of(query)
+            status = 200
+            if wait_s:
+                finished = await job.wait(wait_s)
+                if not finished:
+                    status = 202
+            elif job.state != DONE and served != "store":
+                status = 202
+            view = job.view()
+            view["served"] = served
+            _write_json(writer, status, view, keep_alive=keep_alive)
+            return "response"
+
+        if method != "GET":
+            raise _HttpError(405, f"method {method} not allowed")
+
+        if head == "healthz":
+            _write_json(writer, 200, {"ok": True, "jobs": len(self.store.jobs)},
+                        keep_alive=keep_alive)
+            return "response"
+        if head == "stats":
+            _write_json(writer, 200, self.stats(), keep_alive=keep_alive)
+            return "response"
+        if head == "isas":
+            _write_json(writer, 200, _isa_inventory(), keep_alive=keep_alive)
+            return "response"
+        if head == "jobs" and len(parts) >= 3:
+            job = self.store.get(parts[2])
+            if job is None:
+                raise _HttpError(404, f"no such job: {parts[2]}")
+            if len(parts) == 3:
+                _write_json(writer, 200, job.view(), keep_alive=keep_alive)
+                return "response"
+            if parts[3] == "result":
+                if job.state != DONE:
+                    raise _HttpError(404, f"job {job.id} is {job.state}")
+                _write_json(writer, 200, {"job": job.id,
+                                          "result": job.result},
+                            keep_alive=keep_alive)
+                return "response"
+            if parts[3] == "events":
+                await self._stream_events(writer, job)
+                return "stream"
+        raise _HttpError(404, f"no such route: {path}")
+
+    async def _stream_events(self, writer, job):
+        """SSE: replay the job's history, then follow it to the terminal
+        event.  A disconnected subscriber just stops iterating — the job
+        and every other subscriber are unaffected."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n")
+        await writer.drain()
+        async for record in job.stream():
+            writer.write(sse_event(record["data"], event=record["event"],
+                                   id=record["index"]))
+            await writer.drain()
+
+    def stats(self):
+        from repro.harness import cache as cache_mod
+
+        return {
+            "requests": self.requests,
+            "errors_5xx": self.errors_5xx,
+            "store": self.store.stats(),
+            "executor": self.executor.stats(),
+            "quota": self.quota.stats(),
+            "cache": cache_mod.cache_report(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# HTTP plumbing
+# ---------------------------------------------------------------------------
+
+
+async def _read_request(reader):
+    """``(method, path, query, headers, body)`` or ``None`` at EOF."""
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise
+    if len(header_blob) > MAX_HEADER_BYTES:
+        raise _HttpError(413, "request headers too large")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise _HttpError(400, f"malformed request line: {lines[0]!r}") from None
+    path, _, query_text = target.partition("?")
+    query = {}
+    for pair in query_text.split("&"):
+        if pair:
+            key, _, value = pair.partition("=")
+            query[key] = value
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise _HttpError(400, "chunked request bodies are not supported")
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, query, headers, body
+
+
+def _json_body(body):
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequest(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    return payload
+
+
+def _wait_of(query):
+    raw = query.get("wait")
+    if raw is None or raw == "":
+        return None
+    try:
+        wait_s = float(raw)
+    except ValueError:
+        raise BadRequest(f"wait must be a number, got {raw!r}") from None
+    if wait_s <= 0:
+        return None
+    return min(wait_s, 600.0)
+
+
+def _write_json(writer, status, payload, keep_alive=True, extra_headers=None):
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
+
+
+def _isa_inventory():
+    from repro import isa as isa_registry
+    from repro.core.configs import ALL_CORES
+    from repro.harness.experiments import ALL_EXPERIMENTS
+    from repro.workloads.common import WORKLOADS
+
+    isas = {}
+    for descriptor in isa_registry.descriptors():
+        isas[descriptor.name] = {
+            "display_name": descriptor.display_name,
+            "register_model": descriptor.register_model,
+            "targets": sorted(descriptor.targets),
+            "binary_labels": list(descriptor.binary_labels),
+            "static_check": descriptor.has_static_check,
+        }
+    return {
+        "isas": isas,
+        "cores": sorted(ALL_CORES),
+        "workloads": sorted(WORKLOADS),
+        "experiments": sorted(ALL_EXPERIMENTS),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+async def serve_forever(app, host="127.0.0.1", port=8712, ready=None):
+    """Run ``app`` on ``(host, port)`` until cancelled."""
+    app.start(asyncio.get_running_loop())
+    server = await asyncio.start_server(app.handle, host, port,
+                                        limit=MAX_HEADER_BYTES + MAX_BODY_BYTES)
+    bound = server.sockets[0].getsockname()
+    if ready is not None:
+        ready(bound[0], bound[1])
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await app.stop()
+
+
+def run_server(host="127.0.0.1", port=8712, pool_jobs=None, quota_rate=50.0,
+               quota_burst=200.0, announce=print):
+    """Blocking CLI entry (``straight serve``)."""
+    app = ServeApp(pool_jobs=pool_jobs, quota_rate=quota_rate,
+                   quota_burst=quota_burst)
+
+    def ready(bound_host, bound_port):
+        if announce is not None:
+            announce(f"serving on http://{bound_host}:{bound_port} "
+                     f"(pool_jobs={pool_jobs or 'auto'}, "
+                     f"quota={quota_rate}/s burst {quota_burst})")
+
+    try:
+        asyncio.run(serve_forever(app, host, port, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    return app
+
+
+class ServerHandle:
+    """An in-process server on a background thread (tests, bench, loadgen).
+
+    ::
+
+        with ServerHandle(port=0) as handle:
+            ...  # http://{handle.host}:{handle.port}
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, **app_kwargs):
+        self.app = ServeApp(**app_kwargs)
+        self._host = host
+        self._port = port
+        self.host = None
+        self.port = None
+        self._loop = None
+        self._thread = None
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    def start(self, timeout=10.0):
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="serve-http")
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server did not become ready in time")
+        return self
+
+    def _run(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        def ready(host, port):
+            self.host, self.port = host, port
+            self._ready.set()
+
+        try:
+            self._loop.run_until_complete(
+                serve_forever(self.app, self._host, self._port, ready=ready))
+        except asyncio.CancelledError:
+            pass
+        finally:
+            try:
+                self._loop.run_until_complete(
+                    self._loop.shutdown_asyncgens())
+            finally:
+                self._loop.close()
+                self._stopped.set()
+
+    def stop(self, timeout=10.0):
+        if self._loop is None or not self._thread.is_alive():
+            return
+
+        def _cancel():
+            for task in asyncio.all_tasks(self._loop):
+                task.cancel()
+
+        self._loop.call_soon_threadsafe(_cancel)
+        self._stopped.wait(timeout)
+        self._thread.join(timeout)

@@ -558,8 +558,10 @@ def cmd_bench(args):
         bench_smoke,
     )
 
+    if args.serve:
+        return _bench_serve(args)
     if not args.smoke:
-        print("nothing to do: pass --smoke", file=sys.stderr)
+        print("nothing to do: pass --smoke or --serve", file=sys.stderr)
         return 1
     for name in args.workload or ():
         if name not in BENCH_WORKLOADS:
@@ -613,6 +615,35 @@ def cmd_bench(args):
         print(f"fastpath: {fp['max_speedup']:.2f}x end-to-end, worst "
               f"sampled IPC error {fp['max_abs_ipc_err_pct']:.2f}%",
               file=sys.stderr)
+    return 0
+
+
+def _bench_serve(args):
+    """The ``BENCH_serve.json`` scorecard: loadgen against an in-process
+    server, gated like the other bench artifacts."""
+    import tempfile
+
+    from repro.serve.loadgen import bench_serve, gate
+
+    with tempfile.TemporaryDirectory(prefix="serve-bench-") as cache_dir:
+        scorecard = bench_serve(profile=args.serve_profile,
+                                pool_jobs=args.sweep_jobs,
+                                cache_dir=cache_dir)
+    text = json.dumps(scorecard, indent=2, sort_keys=True)
+    with open(args.serve_json, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    failures = gate(scorecard, min_dedup_rate=args.min_serve_dedup_rate,
+                    max_p99_ms=args.max_serve_p99_ms)
+    for failure in failures:
+        print(f"serve bench gate: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"serve bench: {scorecard['requests_total']} requests, "
+          f"p99 {scorecard['latency_ms']['p99']}ms, "
+          f"{scorecard['errors_5xx']} 5xx, repeated-phase saved rate "
+          f"{scorecard['dedup']['repeated_saved_rate']:.2%}",
+          file=sys.stderr)
     return 0
 
 
@@ -725,6 +756,19 @@ def cmd_sweep(args):
         print(f"result cache hit rate {report.result_hit_rate():.2%} below "
               f"required {args.min_hit_rate:.2%}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_serve(args):
+    """Run the asyncio simulation-as-a-service job server (blocking)."""
+    from repro.harness import cache as cache_mod
+    from repro.serve.server import run_server
+
+    cache_mod.configure(args.cache_dir, enabled=not args.no_cache)
+    quota_rate = args.quota_rate if args.quota_rate > 0 else None
+    run_server(host=args.host, port=args.port, pool_jobs=args.jobs,
+               quota_rate=quota_rate, quota_burst=args.quota_burst,
+               announce=lambda line: print(line, file=sys.stderr, flush=True))
     return 0
 
 
@@ -1073,6 +1117,23 @@ def build_parser():
                          metavar="X",
                          help="fail if the fastpath end-to-end speedup "
                               "falls below X")
+    p_bench.add_argument("--serve", action="store_true",
+                         help="bench the serve tier: spin an in-process "
+                              "server, drive the loadgen, write the "
+                              "BENCH_serve.json scorecard")
+    p_bench.add_argument("--serve-json", metavar="PATH",
+                         default="BENCH_serve.json",
+                         help="serve scorecard path (default "
+                              "BENCH_serve.json)")
+    p_bench.add_argument("--serve-profile", choices=("quick", "full"),
+                         default="quick",
+                         help="loadgen profile for --serve (default quick)")
+    p_bench.add_argument("--min-serve-dedup-rate", type=float, default=None,
+                         help="gate: floor on the repeated-phase "
+                              "dedup/cache-served rate (--serve)")
+    p_bench.add_argument("--max-serve-p99-ms", type=float, default=None,
+                         help="gate: ceiling on overall p99 request "
+                              "latency in ms (--serve)")
     p_bench.add_argument("--max-sampling-error", type=float, default=None,
                          metavar="PCT",
                          help="fail if the worst sampled-vs-full IPC error "
@@ -1127,6 +1188,29 @@ def build_parser():
                          help="cap crash dumps per diagnostics directory "
                               "(oldest evicted; default 200)")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP job server",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8712,
+                         help="bind port (default 8712; 0 = ephemeral)")
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="sweep-pool worker processes "
+                              "(default: CPU count)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent result/artifact cache")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="persistent cache root (default: "
+                              "$STRAIGHT_CACHE_DIR or ~/.cache/straight-repro)")
+    p_serve.add_argument("--quota-rate", type=float, default=50.0,
+                         help="per-client sustained requests/second "
+                              "(default 50; 0 disables quotas)")
+    p_serve.add_argument("--quota-burst", type=float, default=200.0,
+                         help="per-client token-bucket burst (default 200)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cache = sub.add_parser(
         "cache",

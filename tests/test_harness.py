@@ -174,3 +174,112 @@ class TestNestedDeadline:
     def test_zero_seconds_is_a_no_op(self):
         with deadline(0, "none"):
             time.sleep(0.01)
+
+
+class TestDeadlineFallbackModes:
+    """The documented non-SIGALRM enforcement paths (PR 10, satellite b):
+    worker threads auto-select the thread-timer mode, and ``poll`` mode
+    enforces cooperatively via :func:`poll_deadline`."""
+
+    def test_mode_autoselect_main_vs_worker_thread(self):
+        import threading
+
+        from repro.harness.runner import deadline_mode
+
+        assert deadline_mode() == "sigalrm"
+        seen = []
+        worker = threading.Thread(target=lambda: seen.append(deadline_mode()))
+        worker.start()
+        worker.join()
+        assert seen == ["timer"]
+
+    def test_timer_mode_fires_in_worker_thread(self):
+        import threading
+
+        outcome = {}
+
+        def work():
+            try:
+                with deadline(0.05, "threaded"):
+                    # A busy loop, not sleep: async-exception delivery lands
+                    # at a bytecode boundary, which sleep() can outlive.
+                    spin_until = time.monotonic() + 5.0
+                    while time.monotonic() < spin_until:
+                        pass
+                outcome["result"] = "completed"
+            except RunTimeoutError as exc:
+                outcome["result"] = "timeout"
+                outcome["message"] = str(exc)
+
+        worker = threading.Thread(target=work)
+        started = time.monotonic()
+        worker.start()
+        worker.join(10.0)
+        assert outcome["result"] == "timeout"
+        assert "threaded" in outcome["message"]
+        assert time.monotonic() - started < 5.0
+
+    def test_timer_mode_untriggered_block_is_clean(self):
+        import threading
+
+        outcome = {}
+
+        def work():
+            try:
+                with deadline(5.0, "plenty"):
+                    outcome["inside"] = True
+                # No stray async exception may land after a clean exit.
+                time.sleep(0.05)
+                outcome["result"] = "completed"
+            except RunTimeoutError:  # pragma: no cover - the failure mode
+                outcome["result"] = "timeout"
+
+        worker = threading.Thread(target=work)
+        worker.start()
+        worker.join(10.0)
+        assert outcome == {"inside": True, "result": "completed"}
+
+    def test_poll_mode_enforces_cooperatively(self):
+        from repro.harness.runner import poll_deadline
+
+        with pytest.raises(RunTimeoutError, match="polled"):
+            with deadline(0.03, "polled", mode="poll"):
+                spin_until = time.monotonic() + 5.0
+                while time.monotonic() < spin_until:
+                    poll_deadline()
+
+    def test_poll_deadline_checks_outer_scopes_too(self):
+        from repro.harness.runner import poll_deadline
+
+        with pytest.raises(RunTimeoutError, match="outer"):
+            with deadline(0.03, "outer", mode="poll"):
+                time.sleep(0.05)  # outer budget now exhausted
+                with deadline(5.0, "inner", mode="poll"):
+                    poll_deadline()
+
+    def test_sigalrm_mode_rejected_off_main_thread(self):
+        import threading
+
+        errors = []
+
+        def work():
+            try:
+                with deadline(0.1, "x", mode="sigalrm"):
+                    pass
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        worker = threading.Thread(target=work)
+        worker.start()
+        worker.join()
+        assert errors and "main thread" in errors[0]
+
+    def test_explicit_timer_mode_on_main_thread(self):
+        # The serve executor's inline path requests auto mode inside a
+        # worker thread; explicitly forcing timer on the main thread must
+        # behave identically (the mode is thread-agnostic).
+        with pytest.raises(RunTimeoutError, match="forced"):
+            with deadline(0.05, "forced", mode="timer"):
+                spin_until = time.monotonic() + 5.0
+                while time.monotonic() < spin_until:
+                    pass
